@@ -1,0 +1,69 @@
+//! E-ATT microbenchmark (paper §6): solid force kernel with and without
+//! the 3-SLS memory-variable update. Paper: attenuation costs ~1.8× in
+//! wall time at a nearly unchanged flop rate.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use specfem_gll::GllBasis;
+use specfem_kernels::{DerivOps, FlopCounter, KernelVariant};
+use specfem_mesh::{GlobalMesh, MeshParams, Partition};
+use specfem_model::Prem;
+use specfem_solver::assemble::{PrecomputedGeometry, WaveFields};
+use specfem_solver::forces::{compute_solid_forces, AttenuationState};
+
+fn bench_attenuation(c: &mut Criterion) {
+    let params = MeshParams::new(6, 1);
+    let mesh = GlobalMesh::build(&params, &Prem::isotropic_no_ocean());
+    let local = Partition::serial(&mesh).extract(&mesh, 0);
+    let geom = PrecomputedGeometry::compute(&local, None);
+    let ops = DerivOps::from_basis(&GllBasis::new(4));
+
+    let mut fields = WaveFields::zeros(local.nglob);
+    for (p, coord) in local.coords.iter().enumerate() {
+        fields.displ[p * 3] = (coord[0] / 2.0e6).sin() as f32;
+        fields.displ[p * 3 + 2] = (coord[1] / 3.0e6).cos() as f32;
+    }
+
+    let mut group = c.benchmark_group("solid_forces");
+    group.sample_size(10);
+    group.bench_function(BenchmarkId::new("attenuation", "off"), |b| {
+        let mut flops = FlopCounter::new();
+        b.iter(|| {
+            fields.accel.fill(0.0);
+            compute_solid_forces(
+                &local,
+                &geom,
+                &ops,
+                KernelVariant::Simd,
+                &mut fields,
+                None,
+                false,
+                &mut flops,
+            );
+            black_box(fields.accel[0])
+        })
+    });
+    group.bench_function(BenchmarkId::new("attenuation", "on"), |b| {
+        let mut att = AttenuationState::new(&local, 1.0, 100.0);
+        let mut flops = FlopCounter::new();
+        b.iter(|| {
+            fields.accel.fill(0.0);
+            compute_solid_forces(
+                &local,
+                &geom,
+                &ops,
+                KernelVariant::Simd,
+                &mut fields,
+                Some(&mut att),
+                false,
+                &mut flops,
+            );
+            black_box(fields.accel[0])
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_attenuation);
+criterion_main!(benches);

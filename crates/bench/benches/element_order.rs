@@ -1,0 +1,51 @@
+//! E-CM microbenchmark (paper §4.2): solver main-loop time under the four
+//! element orderings. Paper: the multilevel Cuthill-McKee sort gains at
+//! most ~5 % because the point renumbering already minimized cache misses.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use specfem_comm::SerialComm;
+use specfem_mesh::{ElementOrder, GlobalMesh, MeshParams, Partition};
+use specfem_model::Prem;
+use specfem_solver::{RankSolver, SolverConfig};
+
+fn bench_orders(c: &mut Criterion) {
+    let mut group = c.benchmark_group("element_order_solver_steps");
+    group.sample_size(10);
+    let orders = [
+        ("random", ElementOrder::Random(7)),
+        ("natural", ElementOrder::Natural),
+        ("cuthill_mckee", ElementOrder::CuthillMcKee),
+        (
+            "multilevel_cm64",
+            ElementOrder::MultilevelCuthillMcKee { block: 64 },
+        ),
+    ];
+    for (name, order) in orders {
+        let mut params = MeshParams::new(8, 1);
+        params.element_order = order;
+        let mesh = GlobalMesh::build(&params, &Prem::isotropic_no_ocean());
+        let local = Partition::serial(&mesh).extract(&mesh, 0);
+        let config = SolverConfig {
+            nsteps: 0,
+            ..SolverConfig::default()
+        };
+        group.bench_function(BenchmarkId::new("order", name), |b| {
+            let mut comm = SerialComm::new();
+            let mut solver = RankSolver::new(local.clone(), &config, &[], &mut comm);
+            b.iter(|| {
+                solver.step(0, &mut comm);
+                black_box(solver.fields.accel[0])
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default();
+    targets = bench_orders
+}
+criterion_main!(benches);

@@ -1,0 +1,174 @@
+//! E-SSE microbenchmark (paper §4.3): the cut-plane 5×5 matrix-product
+//! kernel in its three implementations, streamed over a batch of elements
+//! (as the solver does), plus the padded-vs-unpadded layout comparison.
+//!
+//! Expected shape: `simd` beats `reference` by roughly the paper's 15–20 %
+//! (modern LLVM already auto-vectorizes some of the reference, exactly as
+//! the paper notes compilers of its era had begun to); `blas_style` loses
+//! badly to both.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+use specfem_gll::GllBasis;
+use specfem_kernels::{
+    blas_style, reference, simd, DerivOps, NGLL3, NGLL3_PADDED,
+};
+
+const BATCH: usize = 512; // elements per iteration — streams like the solver
+
+fn make_batch(pad: usize) -> Vec<f32> {
+    (0..BATCH * pad)
+        .map(|i| ((i as u32).wrapping_mul(2654435761) % 1000) as f32 / 500.0 - 1.0)
+        .collect()
+}
+
+fn bench_derivatives(c: &mut Criterion) {
+    let ops = DerivOps::from_basis(&GllBasis::new(4));
+    let mut group = c.benchmark_group("cutplane_derivatives");
+    group.throughput(Throughput::Elements(BATCH as u64));
+
+    let upad = make_batch(NGLL3_PADDED);
+    let unpadded = make_batch(NGLL3);
+
+    group.bench_function(BenchmarkId::new("reference", "padded"), |b| {
+        let mut t1 = vec![0.0f32; NGLL3_PADDED];
+        let mut t2 = vec![0.0f32; NGLL3_PADDED];
+        let mut t3 = vec![0.0f32; NGLL3_PADDED];
+        b.iter(|| {
+            for e in 0..BATCH {
+                let u = &upad[e * NGLL3_PADDED..(e + 1) * NGLL3_PADDED];
+                reference::cutplane_derivatives(
+                    black_box(u),
+                    &ops.hprime,
+                    &mut t1,
+                    &mut t2,
+                    &mut t3,
+                );
+            }
+            black_box(t1[0])
+        })
+    });
+
+    group.bench_function(BenchmarkId::new("reference", "unpadded"), |b| {
+        let mut t1 = vec![0.0f32; NGLL3];
+        let mut t2 = vec![0.0f32; NGLL3];
+        let mut t3 = vec![0.0f32; NGLL3];
+        b.iter(|| {
+            for e in 0..BATCH {
+                let u = &unpadded[e * NGLL3..(e + 1) * NGLL3];
+                reference::cutplane_derivatives_unpadded(
+                    black_box(u),
+                    &ops.hprime,
+                    &mut t1,
+                    &mut t2,
+                    &mut t3,
+                );
+            }
+            black_box(t1[0])
+        })
+    });
+
+    group.bench_function(BenchmarkId::new("simd_4plus1", "padded"), |b| {
+        let mut t1 = vec![0.0f32; NGLL3_PADDED];
+        let mut t2 = vec![0.0f32; NGLL3_PADDED];
+        let mut t3 = vec![0.0f32; NGLL3_PADDED];
+        b.iter(|| {
+            for e in 0..BATCH {
+                let u = &upad[e * NGLL3_PADDED..(e + 1) * NGLL3_PADDED];
+                simd::cutplane_derivatives(black_box(u), &ops.hprime, &mut t1, &mut t2, &mut t3);
+            }
+            black_box(t1[0])
+        })
+    });
+
+    group.bench_function(BenchmarkId::new("blas_style", "padded"), |b| {
+        let mut t1 = vec![0.0f32; NGLL3_PADDED];
+        let mut t2 = vec![0.0f32; NGLL3_PADDED];
+        let mut t3 = vec![0.0f32; NGLL3_PADDED];
+        b.iter(|| {
+            for e in 0..BATCH {
+                let u = &upad[e * NGLL3_PADDED..(e + 1) * NGLL3_PADDED];
+                blas_style::cutplane_derivatives(
+                    black_box(u),
+                    &ops.hprime,
+                    &mut t1,
+                    &mut t2,
+                    &mut t3,
+                );
+            }
+            black_box(t1[0])
+        })
+    });
+
+    group.finish();
+}
+
+fn bench_transpose(c: &mut Criterion) {
+    let ops = DerivOps::from_basis(&GllBasis::new(4));
+    let mut group = c.benchmark_group("cutplane_transpose_accumulate");
+    group.throughput(Throughput::Elements(BATCH as u64));
+    let f1 = make_batch(NGLL3_PADDED);
+    let f2 = make_batch(NGLL3_PADDED);
+    let f3 = make_batch(NGLL3_PADDED);
+
+    group.bench_function("reference", |b| {
+        let mut out = vec![0.0f32; NGLL3_PADDED];
+        b.iter(|| {
+            for e in 0..BATCH {
+                let s = e * NGLL3_PADDED..(e + 1) * NGLL3_PADDED;
+                reference::cutplane_transpose_accumulate(
+                    black_box(&f1[s.clone()]),
+                    &f2[s.clone()],
+                    &f3[s],
+                    &ops.hprime_wgll_t,
+                    &mut out,
+                );
+            }
+            black_box(out[0])
+        })
+    });
+
+    group.bench_function("simd_4plus1", |b| {
+        let mut out = vec![0.0f32; NGLL3_PADDED];
+        b.iter(|| {
+            for e in 0..BATCH {
+                let s = e * NGLL3_PADDED..(e + 1) * NGLL3_PADDED;
+                simd::cutplane_transpose_accumulate(
+                    black_box(&f1[s.clone()]),
+                    &f2[s.clone()],
+                    &f3[s],
+                    &ops.hprime_wgll_t,
+                    &mut out,
+                );
+            }
+            black_box(out[0])
+        })
+    });
+
+    group.bench_function("blas_style", |b| {
+        let mut out = vec![0.0f32; NGLL3_PADDED];
+        b.iter(|| {
+            for e in 0..BATCH {
+                let s = e * NGLL3_PADDED..(e + 1) * NGLL3_PADDED;
+                blas_style::cutplane_transpose_accumulate(
+                    black_box(&f1[s.clone()]),
+                    &f2[s.clone()],
+                    &f3[s],
+                    &ops.hprime_wgll_t,
+                    &mut out,
+                );
+            }
+            black_box(out[0])
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_derivatives, bench_transpose
+}
+criterion_main!(benches);

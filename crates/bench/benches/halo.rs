@@ -1,0 +1,41 @@
+//! Halo-assembly microbenchmark: the per-step `assemble_MPI` cost (paper
+//! §2.4's "costly part of the calculation on parallel computers") on a
+//! real mesh decomposition — pack/send/receive/combine over the thread
+//! substrate.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use specfem_comm::{assemble_halo, Communicator, NetworkProfile, ThreadWorld};
+use specfem_mesh::{GlobalMesh, MeshParams, Partition};
+use specfem_model::Prem;
+
+fn bench_halo(c: &mut Criterion) {
+    let params = MeshParams::new(8, 2);
+    let mesh = GlobalMesh::build(&params, &Prem::isotropic_no_ocean());
+    let part = Partition::compute(&mesh);
+    let locals = part.extract_all(&mesh);
+    let total_shared: usize = locals.iter().map(|l| l.halo.shared_point_count()).sum();
+
+    let mut group = c.benchmark_group("halo_assembly");
+    group.sample_size(10);
+    group.throughput(criterion::Throughput::Elements(total_shared as u64));
+    group.bench_function("24_ranks_3comp", |b| {
+        b.iter(|| {
+            let locals = &locals;
+            let sums = ThreadWorld::run(locals.len(), NetworkProfile::loopback(), |mut comm| {
+                let l = &locals[comm.rank()];
+                let mut field = vec![1.0f32; l.nglob * 3];
+                for _ in 0..10 {
+                    assemble_halo(&mut comm, &l.halo, &mut field, 3, 42);
+                }
+                field[0]
+            });
+            black_box(sums[0])
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_halo);
+criterion_main!(benches);

@@ -1,0 +1,49 @@
+//! E-F5 companion microbenchmark (paper §4.1): the legacy file-based
+//! mesher→solver handoff — write and read of one rank's full array set —
+//! vs the merged in-memory handoff (a clone of the LocalMesh, which is
+//! what the merged application effectively avoids entirely).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use specfem_io::{read_local_mesh, write_local_mesh};
+use specfem_mesh::{GlobalMesh, MeshParams, Partition};
+use specfem_model::Prem;
+
+fn bench_io(c: &mut Criterion) {
+    let params = MeshParams::new(6, 1);
+    let mesh = GlobalMesh::build(&params, &Prem::isotropic_no_ocean());
+    let local = Partition::serial(&mesh).extract(&mesh, 0);
+    let dir = std::env::temp_dir().join("specfem_bench_io");
+
+    let mut group = c.benchmark_group("mesher_solver_handoff");
+    group.sample_size(10);
+    group.bench_function("legacy_write", |b| {
+        b.iter(|| {
+            let _ = std::fs::remove_dir_all(&dir);
+            let rep = write_local_mesh(&dir, &local).unwrap();
+            black_box(rep.bytes)
+        })
+    });
+    // Ensure the files exist for the read benchmark.
+    let _ = std::fs::remove_dir_all(&dir);
+    write_local_mesh(&dir, &local).unwrap();
+    group.bench_function("legacy_read", |b| {
+        b.iter(|| {
+            let (mesh, rep) = read_local_mesh(&dir, 0).unwrap();
+            black_box((mesh.nglob, rep.bytes))
+        })
+    });
+    group.bench_function("merged_in_memory", |b| {
+        b.iter(|| {
+            // The merged path's "handoff" is just ownership transfer; a
+            // full clone is its worst case.
+            black_box(local.clone().nglob)
+        })
+    });
+    group.finish();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+criterion_group!(benches, bench_io);
+criterion_main!(benches);

@@ -1,0 +1,28 @@
+//! E-MESH2X microbenchmark (paper §4.4-1): one-pass vs legacy two-pass
+//! material assignment in the mesher.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use specfem_mesh::{GlobalMesh, MeshParams};
+use specfem_model::Prem;
+
+fn bench_mesher(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mesher_passes");
+    group.sample_size(10);
+    let prem = Prem::isotropic_no_ocean();
+    for (name, two_pass) in [("one_pass", false), ("legacy_two_pass", true)] {
+        group.bench_function(BenchmarkId::new("mode", name), |b| {
+            b.iter(|| {
+                let mut params = MeshParams::new(6, 1);
+                params.legacy_two_pass_materials = two_pass;
+                let mesh = GlobalMesh::build(&params, &prem);
+                black_box(mesh.nglob)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_mesher);
+criterion_main!(benches);

@@ -1,0 +1,51 @@
+//! §6 ablation: "attenuation … resulted in a 1.8× increase in execution
+//! time but only an almost imperceptible drop in Tflops".
+
+use specfem_bench::{prem_mesh, timed};
+use specfem_solver::{run_serial, SolverConfig};
+
+fn main() {
+    println!("== Attenuation on/off ablation (paper §6: 1.8× time, ≈same Tflops) ==");
+    let mesh = prem_mesh(8, 1);
+    let nsteps = 60;
+    let run = |attenuation: bool| {
+        let config = SolverConfig {
+            nsteps,
+            attenuation,
+            ..SolverConfig::default()
+        };
+        timed(|| run_serial(&mesh, &config, &[]))
+    };
+
+    // Warm up caches/allocator once.
+    let _ = run(false);
+    let (elastic, t_off) = run(false);
+    let (anelastic, t_on) = run(true);
+
+    let rate_off = elastic.flops as f64 / t_off / 1e9;
+    let rate_on = anelastic.flops as f64 / t_on / 1e9;
+    println!("{:>14} {:>12} {:>14} {:>12}", "mode", "time (s)", "Gflop", "Gflop/s");
+    println!(
+        "{:>14} {:>12.3} {:>14.2} {:>12.2}",
+        "elastic",
+        t_off,
+        elastic.flops as f64 / 1e9,
+        rate_off
+    );
+    println!(
+        "{:>14} {:>12.3} {:>14.2} {:>12.2}",
+        "attenuation",
+        t_on,
+        anelastic.flops as f64 / 1e9,
+        rate_on
+    );
+    println!();
+    println!(
+        "runtime ratio: {:.2}× (paper: 1.8×)",
+        t_on / t_off
+    );
+    println!(
+        "flop-rate change: {:+.1} % (paper: 'almost imperceptible drop')",
+        100.0 * (rate_on - rate_off) / rate_off
+    );
+}

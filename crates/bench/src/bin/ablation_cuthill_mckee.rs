@@ -1,0 +1,45 @@
+//! §4.2 ablation: multilevel Cuthill-McKee element sorting gains at most
+//! ~5 % over the already point-renumbered mesh — and a cache-hostile
+//! random order shows what the renumbering work protects against.
+
+use specfem_bench::{prem_mesh_with, timed};
+use specfem_mesh::ElementOrder;
+use specfem_solver::{run_serial, SolverConfig};
+
+fn main() {
+    println!("== Element ordering ablation (paper §4.2: ≤5 % from sorting) ==");
+    let nsteps = 50;
+    let orders = [
+        ("random (hostile)", ElementOrder::Random(7)),
+        ("natural", ElementOrder::Natural),
+        ("cuthill-mckee", ElementOrder::CuthillMcKee),
+        (
+            "multilevel CM",
+            ElementOrder::MultilevelCuthillMcKee { block: 64 },
+        ),
+    ];
+    let mut baseline = None;
+    println!("{:>18} {:>12} {:>12}", "order", "time (s)", "vs natural");
+    // Build+run twice per order; report the faster run to damp noise.
+    for (name, order) in orders {
+        let mesh = prem_mesh_with(8, 1, |p| p.element_order = order);
+        let config = SolverConfig {
+            nsteps,
+            ..SolverConfig::default()
+        };
+        let (_, t1) = timed(|| run_serial(&mesh, &config, &[]));
+        let (_, t2) = timed(|| run_serial(&mesh, &config, &[]));
+        let t = t1.min(t2);
+        if name == "natural" {
+            baseline = Some(t);
+        }
+        let rel = baseline
+            .map(|b| format!("{:+.1} %", 100.0 * (t - b) / b))
+            .unwrap_or_else(|| "—".into());
+        println!("{name:>18} {t:>12.3} {rel:>12}");
+    }
+    println!();
+    println!("paper's finding: sorting gains ≤5 % because point renumbering already");
+    println!("left very few L2 misses; the SEM's heavy per-element arithmetic hides");
+    println!("the remaining traffic. Expect natural ≈ CM ≈ multilevel here too.");
+}

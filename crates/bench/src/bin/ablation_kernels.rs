@@ -1,0 +1,41 @@
+//! §4.3 ablation at application level: solver runs with the reference,
+//! manual-SIMD, and BLAS-style kernels (paper: SIMD +15–20 %, BLAS slower
+//! than plain loops). The kernel-only microbenchmark is
+//! `cargo bench -p specfem-bench --bench force_kernel`.
+
+use specfem_bench::{prem_mesh, timed};
+use specfem_kernels::KernelVariant;
+use specfem_solver::{run_serial, SolverConfig};
+
+fn main() {
+    println!("== Force-kernel variant ablation (paper §4.3) ==");
+    let mesh = prem_mesh(8, 1);
+    let nsteps = 60;
+    let variants = [
+        ("reference loops", KernelVariant::Reference),
+        ("manual SIMD 4+1", KernelVariant::Simd),
+        ("BLAS-style sgemm", KernelVariant::BlasStyle),
+    ];
+    let mut reference_time = None;
+    println!("{:>18} {:>12} {:>12}", "variant", "time (s)", "vs reference");
+    for (name, variant) in variants {
+        let config = SolverConfig {
+            nsteps,
+            variant,
+            ..SolverConfig::default()
+        };
+        let (_, t1) = timed(|| run_serial(&mesh, &config, &[]));
+        let (_, t2) = timed(|| run_serial(&mesh, &config, &[]));
+        let t = t1.min(t2);
+        if variant == KernelVariant::Reference {
+            reference_time = Some(t);
+        }
+        let rel = reference_time
+            .map(|b| format!("{:+.1} %", 100.0 * (t - b) / b))
+            .unwrap_or_else(|| "—".into());
+        println!("{name:>18} {t:>12.3} {rel:>12}");
+    }
+    println!();
+    println!("paper: manual vectors gain 15–20 % over the loops; BLAS-style is a");
+    println!("clear loss at 5×5 (call overhead + pack/unpack copies).");
+}

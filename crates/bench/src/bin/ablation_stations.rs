@@ -1,0 +1,46 @@
+//! §4.4-2 ablation: exact nonlinear station location vs nearest grid point
+//! — error and cost as resolution grows. The paper switched to nearest at
+//! high resolution: the error becomes geophysically negligible while the
+//! nonlinear search (and the per-step interpolation it forces) costs time
+//! and load balance.
+
+use specfem_bench::{prem_mesh, timed};
+use specfem_mesh::stations::{global_network, locate_station_exact, locate_station_nearest};
+use specfem_mesh::Partition;
+
+fn main() {
+    println!("== Station location ablation (paper §4.4-2) ==");
+    let stations = global_network(24);
+    println!(
+        "{:>6} {:>16} {:>16} {:>14} {:>14}",
+        "NEX", "exact err (m)", "nearest err (m)", "exact (s)", "nearest (s)"
+    );
+    for nex in [4usize, 8, 12] {
+        let mesh = prem_mesh(nex, 1);
+        let local = Partition::serial(&mesh).extract(&mesh, 0);
+        let (exact_errs, t_exact) = timed(|| {
+            stations
+                .iter()
+                .map(|s| locate_station_exact(&local, s).position_error_m)
+                .collect::<Vec<_>>()
+        });
+        let (near_errs, t_near) = timed(|| {
+            stations
+                .iter()
+                .map(|s| locate_station_nearest(&local, s).position_error_m)
+                .collect::<Vec<_>>()
+        });
+        let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
+        println!(
+            "{nex:>6} {:>16.2} {:>16.0} {:>14.3} {:>14.3}",
+            mean(&exact_errs),
+            mean(&near_errs),
+            t_exact,
+            t_near
+        );
+    }
+    println!();
+    println!("shape: nearest-grid-point error shrinks ∝ 1/NEX; at production NEX");
+    println!("(>1000) it is tens of metres — 'negligible from a geophysical point of");
+    println!("view' — while the Newton search costs strictly more per station.");
+}

@@ -1,0 +1,54 @@
+//! §5 reproduction: the communication share of the solver main loop
+//! (paper, measured with IPM on Franklin: 1.9 %–4.2 %, average 3.2 %),
+//! and the per-core communication trend with rank count.
+
+use specfem_bench::prem_mesh;
+use specfem_comm::NetworkProfile;
+use specfem_solver::{run_distributed, SolverConfig};
+
+fn main() {
+    println!("== Communication share of the main loop (IPM analog, §5) ==");
+    let nsteps = 50;
+    for nproc in [1usize, 2] {
+        let mesh = prem_mesh(8, nproc);
+        let config = SolverConfig {
+            nsteps,
+            ..SolverConfig::default()
+        };
+        let results = run_distributed(&mesh, &config, &[], NetworkProfile::xt4_seastar2());
+        let ranks = results.len();
+        // Two views of the comm share:
+        //  * wall — what IPM would see *on this oversubscribed laptop*:
+        //    rank threads parked in recv() count as communication, so the
+        //    number is dominated by oversubscription waits, not the network;
+        //  * modeled — the dedicated-machine estimate: the XT4 network model
+        //    time in place of the measured waits (the paper's regime).
+        let mut wall_fracs = Vec::new();
+        let mut modeled_fracs = Vec::new();
+        for r in &results {
+            wall_fracs.push(r.comm_fraction());
+            let compute = (r.elapsed_s - r.comm.wall_time_s).max(1e-9);
+            modeled_fracs.push(r.comm.modeled_time_s / (compute + r.comm.modeled_time_s));
+        }
+        let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
+        let per_core_comm: f64 =
+            results.iter().map(|r| r.comm.wall_time_s).sum::<f64>() / ranks as f64;
+        println!(
+            "{ranks:>4} ranks: modeled (dedicated-machine) share {:.2} %; wall share {:.1} % (oversubscribed threads); per-core comm wall {:.3} s",
+            100.0 * mean(&modeled_fracs),
+            100.0 * mean(&wall_fracs),
+            per_core_comm
+        );
+        let bytes: u64 = results.iter().map(|r| r.comm.bytes_sent).sum();
+        let msgs: u64 = results.iter().map(|r| r.comm.messages_sent).sum();
+        println!(
+            "          traffic: {:.2} MB in {} messages ({:.1} KB/msg)",
+            bytes as f64 / 1e6,
+            msgs,
+            bytes as f64 / msgs.max(1) as f64 / 1e3
+        );
+    }
+    println!();
+    println!("paper: 1.9–4.2 % of main-loop time (avg 3.2 %) — computation-dominated,");
+    println!("'a good candidate to scale up to tens of thousands of processors'.");
+}

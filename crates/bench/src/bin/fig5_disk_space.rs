@@ -1,0 +1,73 @@
+//! Figure 5: total disk space used for communication between MESHFEM3D and
+//! SPECFEM3D vs resolution.
+//!
+//! Measures real serialized bytes of the legacy file handoff at small NEX,
+//! fits the paper's regression, and extrapolates to the 2-second
+//! (paper: >14 TB) and 1-second (paper: >108 TB) resolutions.
+
+use specfem_bench::{human_bytes, prem_mesh};
+use specfem_io::write_local_mesh;
+use specfem_mesh::{nex_for_period, nominal_shortest_period_s, Partition};
+use specfem_perf::{DiskSpaceModel, Sample};
+
+fn main() {
+    println!("== Figure 5: mesher→solver disk space vs resolution ==");
+    println!("{:>6} {:>12} {:>14} {:>10}", "NEX", "period (s)", "bytes", "files");
+
+    let mut samples = Vec::new();
+    for nex in [4usize, 6, 8, 12, 16] {
+        let mesh = prem_mesh(nex, 1);
+        let local = Partition::serial(&mesh).extract(&mesh, 0);
+        let dir = std::env::temp_dir().join(format!("specfem_fig5_{nex}"));
+        let _ = std::fs::remove_dir_all(&dir);
+        let report = write_local_mesh(&dir, &local).expect("write mesh");
+        let _ = std::fs::remove_dir_all(&dir);
+        println!(
+            "{nex:>6} {:>12.1} {:>14} {:>10}",
+            nominal_shortest_period_s(nex),
+            report.bytes,
+            report.files
+        );
+        samples.push(Sample {
+            x: nex as f64,
+            y: report.bytes as f64,
+        });
+    }
+
+    let model = DiskSpaceModel::fit(&samples);
+    println!();
+    println!(
+        "fitted model: bytes = {:.3e} · NEX^{:.2}   (R² = {:.4})",
+        model.predict_bytes(1) as f64,
+        model.exponent(),
+        model.r_squared()
+    );
+    println!();
+    println!("extrapolation (paper: >14 TB at 2 s, >108 TB at 1 s):");
+    for period in [3.0, 2.0, 1.0] {
+        let nex = nex_for_period(period);
+        let bytes = model.predict_bytes(nex);
+        println!(
+            "  T = {period:.0} s (NEX {nex:>5}) → {:>10}",
+            human_bytes(bytes)
+        );
+    }
+    let ratio =
+        model.predict_bytes_for_period(1.0) / model.predict_bytes_for_period(2.0);
+    println!("  1 s / 2 s volume ratio: {ratio:.1}× (paper: 108/14 ≈ 7.7×)");
+
+    // File-count explosion (§4.1: >3.2 M files at 62K cores).
+    let mesh = prem_mesh(8, 2);
+    let part = Partition::compute(&mesh);
+    let local = part.extract(&mesh, 0);
+    let dir = std::env::temp_dir().join("specfem_fig5_files");
+    let _ = std::fs::remove_dir_all(&dir);
+    let rep = write_local_mesh(&dir, &local).expect("write");
+    let _ = std::fs::remove_dir_all(&dir);
+    println!();
+    println!(
+        "files per rank: {} → at 62,976 cores: {:.1} M files (paper: >3.2 M)",
+        rep.files,
+        rep.files as f64 * 62_976.0 / 1e6
+    );
+}

@@ -1,0 +1,60 @@
+//! The §6 results table: sustained Tflops and shortest period for every
+//! reported production run, from the machine model — plus the planned
+//! 48K/62K-core Ranger runs of §7.
+
+use specfem_perf::paper_runs_table;
+
+fn main() {
+    println!("== Paper §6 results table: model vs reported ==");
+    println!(
+        "{:<42} {:>7} {:>6} {:>8} {:>9} {:>9} {:>7} {:>7}",
+        "machine", "cores", "NEX", "T_min(s)", "model TF", "paper TF", "err %", "mem ok"
+    );
+    for run in paper_runs_table() {
+        let (paper, err) = match run.paper_tflops {
+            Some(p) => (
+                format!("{p:.1}"),
+                format!(
+                    "{:+.1}",
+                    100.0 * (run.sustained_tflops - p) / p
+                ),
+            ),
+            None => ("—".into(), "—".into()),
+        };
+        println!(
+            "{:<42} {:>7} {:>6} {:>8.2} {:>9.1} {:>9} {:>7} {:>7}",
+            run.machine,
+            run.cores,
+            run.nex,
+            run.period_s,
+            run.sustained_tflops,
+            paper,
+            err,
+            if run.memory_feasible { "yes" } else { "NO" }
+        );
+    }
+
+    println!();
+    println!("shape checks:");
+    let runs = paper_runs_table();
+    let reported: Vec<_> = runs.iter().filter(|r| r.paper_tflops.is_some()).collect();
+    let flops_best = reported
+        .iter()
+        .max_by(|a, b| a.sustained_tflops.partial_cmp(&b.sustained_tflops).unwrap())
+        .unwrap();
+    let res_best = reported
+        .iter()
+        .min_by(|a, b| a.period_s.partial_cmp(&b.period_s).unwrap())
+        .unwrap();
+    println!("  flops record:      {} ({:.1} TF) — paper: Jaguar, 35.7 TF", flops_best.machine, flops_best.sustained_tflops);
+    println!("  resolution record: {} ({:.2} s) — paper: Ranger, 1.84 s", res_best.machine, res_best.period_s);
+    if let Some(pct) = runs[0].pct_rmax {
+        println!(
+            "  Franklin fraction of (scaled) Rmax: {:.0} % — paper: 44 %",
+            pct * 100.0
+        );
+    }
+
+    println!();
+    println!("machine-readable: {}", serde_json::to_string(&runs).unwrap());
+}

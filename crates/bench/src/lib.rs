@@ -1,0 +1,70 @@
+//! Shared helpers for the figure/table harness binaries
+//! (`src/bin/fig*.rs`, `src/bin/ablation_*.rs`) and the Criterion benches.
+//!
+//! Every binary regenerates one artifact of the paper's evaluation; the
+//! mapping is in DESIGN.md §3 and the measured-vs-paper record in
+//! EXPERIMENTS.md.
+
+use std::time::Instant;
+
+use specfem_mesh::{GlobalMesh, MeshParams};
+use specfem_model::Prem;
+
+/// Build an isotropic-PREM mesh with standard options.
+pub fn prem_mesh(nex: usize, nproc: usize) -> GlobalMesh {
+    let params = MeshParams::new(nex, nproc);
+    GlobalMesh::build(&params, &Prem::isotropic_no_ocean())
+}
+
+/// Build a mesh with custom parameter tweaks.
+pub fn prem_mesh_with(
+    nex: usize,
+    nproc: usize,
+    tweak: impl FnOnce(&mut MeshParams),
+) -> GlobalMesh {
+    let mut params = MeshParams::new(nex, nproc);
+    tweak(&mut params);
+    GlobalMesh::build(&params, &Prem::isotropic_no_ocean())
+}
+
+/// Time a closure, returning `(result, seconds)`.
+pub fn timed<T>(f: impl FnOnce() -> T) -> (T, f64) {
+    let t0 = Instant::now();
+    let out = f();
+    (out, t0.elapsed().as_secs_f64())
+}
+
+/// Render a markdown-ish table row.
+pub fn row(cells: &[String]) -> String {
+    cells.join("  |  ")
+}
+
+/// Pretty bytes.
+pub fn human_bytes(b: f64) -> String {
+    const UNITS: &[&str] = &["B", "KB", "MB", "GB", "TB", "PB"];
+    let mut v = b;
+    let mut u = 0;
+    while v >= 1000.0 && u + 1 < UNITS.len() {
+        v /= 1000.0;
+        u += 1;
+    }
+    format!("{v:.2} {}", UNITS[u])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn human_bytes_formats() {
+        assert_eq!(human_bytes(512.0), "512.00 B");
+        assert_eq!(human_bytes(14.0e12), "14.00 TB");
+    }
+
+    #[test]
+    fn timed_measures() {
+        let (v, s) = timed(|| 42);
+        assert_eq!(v, 42);
+        assert!(s >= 0.0);
+    }
+}

@@ -1,0 +1,253 @@
+//! Halo exchange: assembling shared-point contributions across ranks.
+//!
+//! In the SEM the contributions from all elements sharing a global grid
+//! point must be summed before the time step completes (paper §2.4, Figure
+//! 3). Points on inter-slice interfaces live on several ranks; each rank
+//! holds a *partial* sum. The halo exchange sends each rank's partial values
+//! for the shared points to every neighbouring rank and adds the received
+//! partials, after which every copy of a shared point holds the full sum —
+//! exactly the `assemble_MPI_*` pattern of SPECFEM3D_GLOBE.
+
+use crate::Communicator;
+
+/// One neighbouring rank and the shared points with it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Neighbor {
+    /// The other rank.
+    pub rank: usize,
+    /// Local indices of the shared points, ordered by *global* point id so
+    /// both sides enumerate identically.
+    pub points: Vec<u32>,
+}
+
+/// The communication plan of one rank: its neighbours, sorted by rank so
+/// that message posting order is deterministic.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct HaloPlan {
+    /// Neighbours in ascending rank order.
+    pub neighbors: Vec<Neighbor>,
+}
+
+impl HaloPlan {
+    /// Total shared points over all interfaces (with multiplicity).
+    pub fn shared_point_count(&self) -> usize {
+        self.neighbors.iter().map(|n| n.points.len()).sum()
+    }
+
+    /// Validate internal invariants (sorted neighbours, no self edges,
+    /// indices in range for a field of `npoints` points).
+    pub fn validate(&self, my_rank: usize, npoints: usize) -> Result<(), String> {
+        for w in self.neighbors.windows(2) {
+            if w[0].rank >= w[1].rank {
+                return Err(format!(
+                    "neighbors not strictly ascending: {} then {}",
+                    w[0].rank, w[1].rank
+                ));
+            }
+        }
+        for n in &self.neighbors {
+            if n.rank == my_rank {
+                return Err("self edge in halo plan".into());
+            }
+            if n.points.is_empty() {
+                return Err(format!("empty interface with rank {}", n.rank));
+            }
+            for &p in &n.points {
+                if p as usize >= npoints {
+                    return Err(format!("point {p} out of range {npoints}"));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Sum shared-point contributions of a multi-component field across ranks.
+///
+/// `field` is laid out `[point * ncomp + component]`. After the call every
+/// copy of every shared point holds the sum of all ranks' partials.
+pub fn assemble_halo(
+    comm: &mut dyn Communicator,
+    plan: &HaloPlan,
+    field: &mut [f32],
+    ncomp: usize,
+    tag: u32,
+) {
+    exchange_halo(comm, plan, field, ncomp, tag, |dst, src| *dst += src);
+}
+
+/// Generic halo exchange with a custom combine function (`+=` for assembly,
+/// `=` would implement ghost-value copy).
+pub fn exchange_halo(
+    comm: &mut dyn Communicator,
+    plan: &HaloPlan,
+    field: &mut [f32],
+    ncomp: usize,
+    tag: u32,
+    mut combine: impl FnMut(&mut f32, f32),
+) {
+    if plan.neighbors.is_empty() {
+        return;
+    }
+    // Post all sends first (non-blocking semantics; avoids deadlock without
+    // needing ordered pairwise exchanges).
+    let mut sendbuf = Vec::new();
+    for n in &plan.neighbors {
+        sendbuf.clear();
+        sendbuf.reserve(n.points.len() * ncomp);
+        for &p in &n.points {
+            let base = p as usize * ncomp;
+            sendbuf.extend_from_slice(&field[base..base + ncomp]);
+        }
+        comm.send_f32(n.rank, tag, &sendbuf);
+    }
+    // Then receive from every neighbour and combine.
+    for n in &plan.neighbors {
+        let recv = comm.recv_f32(n.rank, tag);
+        assert_eq!(
+            recv.len(),
+            n.points.len() * ncomp,
+            "halo size mismatch with rank {}",
+            n.rank
+        );
+        for (i, &p) in n.points.iter().enumerate() {
+            let base = p as usize * ncomp;
+            for c in 0..ncomp {
+                combine(&mut field[base + c], recv[i * ncomp + c]);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::thread::ThreadWorld;
+    use crate::virtual_net::NetworkProfile;
+
+    /// Two ranks sharing points {0, 1}; values should sum.
+    #[test]
+    fn two_rank_assembly_sums_partials() {
+        let results = ThreadWorld::run(2, NetworkProfile::loopback(), |mut comm| {
+            let rank = comm.rank();
+            let plan = HaloPlan {
+                neighbors: vec![Neighbor {
+                    rank: 1 - rank,
+                    points: vec![0, 1],
+                }],
+            };
+            // 3 points, 1 component; point 2 is private.
+            let mut field = vec![(rank + 1) as f32; 3];
+            assemble_halo(&mut comm, &plan, &mut field, 1, 42);
+            field
+        });
+        // Shared points: 1 + 2 = 3 on both ranks; private points unchanged.
+        assert_eq!(results[0], vec![3.0, 3.0, 1.0]);
+        assert_eq!(results[1], vec![3.0, 3.0, 2.0]);
+    }
+
+    #[test]
+    fn multicomponent_assembly() {
+        let results = ThreadWorld::run(2, NetworkProfile::loopback(), |mut comm| {
+            let rank = comm.rank();
+            let plan = HaloPlan {
+                neighbors: vec![Neighbor {
+                    rank: 1 - rank,
+                    points: vec![1],
+                }],
+            };
+            // 2 points × 3 components.
+            let mut field = vec![0.0f32; 6];
+            field[3] = rank as f32 + 1.0; // point 1, comp x
+            field[5] = 10.0 * (rank as f32 + 1.0); // point 1, comp z
+            assemble_halo(&mut comm, &plan, &mut field, 3, 7);
+            field
+        });
+        for r in &results {
+            assert_eq!(r[3], 3.0);
+            assert_eq!(r[4], 0.0);
+            assert_eq!(r[5], 30.0);
+        }
+    }
+
+    #[test]
+    fn four_rank_corner_point() {
+        // A corner shared by 4 ranks: everyone must end with the 4-way sum,
+        // which requires every pair to be neighbours (as SPECFEM's comm
+        // lists guarantee for chunk corners).
+        let results = ThreadWorld::run(4, NetworkProfile::loopback(), |mut comm| {
+            let rank = comm.rank();
+            let neighbors = (0..4)
+                .filter(|&r| r != rank)
+                .map(|r| Neighbor {
+                    rank: r,
+                    points: vec![0],
+                })
+                .collect();
+            let plan = HaloPlan { neighbors };
+            let mut field = vec![2.0f32.powi(rank as i32)]; // 1,2,4,8
+            assemble_halo(&mut comm, &plan, &mut field, 1, 9);
+            field[0]
+        });
+        for v in results {
+            assert_eq!(v, 15.0);
+        }
+    }
+
+    #[test]
+    fn plan_validation_catches_errors() {
+        let bad_self = HaloPlan {
+            neighbors: vec![Neighbor {
+                rank: 3,
+                points: vec![0],
+            }],
+        };
+        assert!(bad_self.validate(3, 10).is_err());
+
+        let bad_order = HaloPlan {
+            neighbors: vec![
+                Neighbor {
+                    rank: 2,
+                    points: vec![0],
+                },
+                Neighbor {
+                    rank: 1,
+                    points: vec![0],
+                },
+            ],
+        };
+        assert!(bad_order.validate(0, 10).is_err());
+
+        let bad_range = HaloPlan {
+            neighbors: vec![Neighbor {
+                rank: 1,
+                points: vec![99],
+            }],
+        };
+        assert!(bad_range.validate(0, 10).is_err());
+
+        let good = HaloPlan {
+            neighbors: vec![
+                Neighbor {
+                    rank: 1,
+                    points: vec![0, 5],
+                },
+                Neighbor {
+                    rank: 2,
+                    points: vec![5],
+                },
+            ],
+        };
+        assert!(good.validate(0, 10).is_ok());
+        assert_eq!(good.shared_point_count(), 3);
+    }
+
+    #[test]
+    fn empty_plan_is_noop() {
+        let mut comm = crate::serial::SerialComm::new();
+        let plan = HaloPlan::default();
+        let mut field = vec![1.0f32, 2.0];
+        assemble_halo(&mut comm, &plan, &mut field, 1, 0);
+        assert_eq!(field, vec![1.0, 2.0]);
+    }
+}

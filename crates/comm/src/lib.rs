@@ -1,0 +1,99 @@
+//! An MPI-like message-passing substrate for the solver.
+//!
+//! SPECFEM3D_GLOBE distributes mesh slices over MPI ranks and assembles the
+//! global system by exchanging shared-point contributions (paper §2.4). This
+//! crate reproduces that programming model in-process: every *rank* is an OS
+//! thread, messages are typed buffers moved over lock-free channels, and the
+//! solver is written against the [`Communicator`] trait exactly as it would
+//! be against `MPI_Comm`.
+//!
+//! Two kinds of timing are recorded per rank (the paper's §5 methodology):
+//!
+//! * **wall time** actually spent inside communication calls — the IPM
+//!   measurement ("communication time spent in the main loop of the solver");
+//! * **modeled time** from a latency/bandwidth machine profile — the
+//!   deterministic analog used to extrapolate to machines we do not have
+//!   (62K-core Ranger and friends).
+
+pub mod halo;
+pub mod serial;
+pub mod stats;
+pub mod thread;
+pub mod virtual_net;
+
+pub use halo::{assemble_halo, exchange_halo, HaloPlan, Neighbor};
+pub use serial::SerialComm;
+pub use stats::{CommStats, StatsSnapshot};
+pub use thread::{ThreadComm, ThreadWorld};
+pub use virtual_net::NetworkProfile;
+
+/// Message tags used by the solver (mirrors the handful of tags the Fortran
+/// code uses).
+pub mod tags {
+    /// Halo exchange of crust-mantle/solid accelerations.
+    pub const HALO_SOLID: u32 = 100;
+    /// Halo exchange of fluid (outer-core) potential.
+    pub const HALO_FLUID: u32 = 101;
+    /// Generic reduction traffic.
+    pub const REDUCE: u32 = 200;
+    /// Generic broadcast traffic.
+    pub const BCAST: u32 = 201;
+    /// Mesher → solver handoff (legacy I/O replacement path).
+    pub const MESH_HANDOFF: u32 = 300;
+}
+
+/// The MPI-like interface the solver programs against.
+///
+/// Semantics follow MPI two-sided messaging: `send` is asynchronous
+/// (buffered, never deadlocks at our message sizes), `recv` blocks until a
+/// matching `(src, tag)` message arrives. All collective operations must be
+/// entered by every rank.
+pub trait Communicator: Send {
+    /// This rank's id in `0..size()`.
+    fn rank(&self) -> usize;
+    /// Number of ranks.
+    fn size(&self) -> usize;
+
+    /// Asynchronous buffered send of an `f32` payload.
+    fn send_f32(&mut self, dest: usize, tag: u32, data: &[f32]);
+    /// Blocking receive matching `(src, tag)`.
+    fn recv_f32(&mut self, src: usize, tag: u32) -> Vec<f32>;
+
+    /// Barrier across all ranks.
+    fn barrier(&mut self);
+
+    /// Global sum of one `f64`.
+    fn allreduce_sum(&mut self, x: f64) -> f64;
+    /// Global min of one `f64`.
+    fn allreduce_min(&mut self, x: f64) -> f64;
+    /// Global max of one `f64`.
+    fn allreduce_max(&mut self, x: f64) -> f64;
+
+    /// Statistics snapshot for this rank.
+    fn stats(&self) -> StatsSnapshot;
+
+    /// Reset statistics (e.g. after the warm-up phase, so the main-loop
+    /// percentages match the paper's IPM methodology).
+    fn reset_stats(&mut self);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tags_are_distinct() {
+        let all = [
+            tags::HALO_SOLID,
+            tags::HALO_FLUID,
+            tags::REDUCE,
+            tags::BCAST,
+            tags::MESH_HANDOFF,
+        ];
+        for i in 0..all.len() {
+            for j in i + 1..all.len() {
+                assert_ne!(all[i], all[j]);
+            }
+        }
+    }
+}

@@ -1,0 +1,108 @@
+//! Single-rank communicator: the degenerate world used for serial runs and
+//! as the reference in parallel-vs-serial equivalence tests.
+
+use crate::stats::{CommStats, StatsSnapshot};
+use crate::Communicator;
+
+/// A world of one. Point-to-point messaging to *any* other rank is a logic
+/// error; self-sends are buffered and receivable (matching MPI semantics for
+/// buffered self-communication).
+#[derive(Debug, Default)]
+pub struct SerialComm {
+    self_queue: Vec<(u32, Vec<f32>)>,
+    stats: CommStats,
+}
+
+impl SerialComm {
+    /// Create the single-rank communicator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Communicator for SerialComm {
+    fn rank(&self) -> usize {
+        0
+    }
+
+    fn size(&self) -> usize {
+        1
+    }
+
+    fn send_f32(&mut self, dest: usize, tag: u32, data: &[f32]) {
+        assert_eq!(dest, 0, "serial world has only rank 0");
+        self.stats.on_send(data.len() * 4);
+        self.self_queue.push((tag, data.to_vec()));
+    }
+
+    fn recv_f32(&mut self, src: usize, tag: u32) -> Vec<f32> {
+        assert_eq!(src, 0, "serial world has only rank 0");
+        let pos = self
+            .self_queue
+            .iter()
+            .position(|(t, _)| *t == tag)
+            .expect("no matching self-message buffered");
+        let (_, data) = self.self_queue.remove(pos);
+        self.stats.on_recv(data.len() * 4);
+        data
+    }
+
+    fn barrier(&mut self) {
+        self.stats.collectives += 1;
+    }
+
+    fn allreduce_sum(&mut self, x: f64) -> f64 {
+        self.stats.collectives += 1;
+        x
+    }
+
+    fn allreduce_min(&mut self, x: f64) -> f64 {
+        self.stats.collectives += 1;
+        x
+    }
+
+    fn allreduce_max(&mut self, x: f64) -> f64 {
+        self.stats.collectives += 1;
+        x
+    }
+
+    fn stats(&self) -> StatsSnapshot {
+        self.stats.snapshot()
+    }
+
+    fn reset_stats(&mut self) {
+        self.stats.reset();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn collectives_are_identity() {
+        let mut c = SerialComm::new();
+        assert_eq!(c.allreduce_sum(3.5), 3.5);
+        assert_eq!(c.allreduce_min(-1.0), -1.0);
+        assert_eq!(c.allreduce_max(7.0), 7.0);
+        c.barrier();
+        assert_eq!(c.stats().collectives, 4);
+    }
+
+    #[test]
+    fn self_send_recv_roundtrip() {
+        let mut c = SerialComm::new();
+        c.send_f32(0, 3, &[1.0, 2.0]);
+        c.send_f32(0, 4, &[9.0]);
+        assert_eq!(c.recv_f32(0, 4), vec![9.0]);
+        assert_eq!(c.recv_f32(0, 3), vec![1.0, 2.0]);
+        assert_eq!(c.stats().bytes_sent, 12);
+    }
+
+    #[test]
+    #[should_panic(expected = "serial world")]
+    fn send_to_other_rank_panics() {
+        let mut c = SerialComm::new();
+        c.send_f32(1, 0, &[0.0]);
+    }
+}

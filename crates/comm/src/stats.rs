@@ -1,0 +1,132 @@
+//! Per-rank communication statistics — the IPM analog (paper §5).
+
+use std::time::Duration;
+
+/// Mutable accumulator owned by one rank's communicator.
+#[derive(Debug, Default, Clone)]
+pub struct CommStats {
+    /// Bytes sent by this rank.
+    pub bytes_sent: u64,
+    /// Bytes received.
+    pub bytes_received: u64,
+    /// Point-to-point messages sent.
+    pub messages_sent: u64,
+    /// Collective operations entered (barriers + reductions).
+    pub collectives: u64,
+    /// Wall time spent inside communication calls.
+    pub wall_time: Duration,
+    /// Deterministic modeled communication time (seconds) from the
+    /// latency/bandwidth network profile.
+    pub modeled_time_s: f64,
+}
+
+impl CommStats {
+    /// Record a sent message of `bytes` bytes.
+    pub fn on_send(&mut self, bytes: usize) {
+        self.bytes_sent += bytes as u64;
+        self.messages_sent += 1;
+    }
+
+    /// Record a received message.
+    pub fn on_recv(&mut self, bytes: usize) {
+        self.bytes_received += bytes as u64;
+    }
+
+    /// Record wall time spent in a communication call.
+    pub fn on_wall(&mut self, d: Duration) {
+        self.wall_time += d;
+    }
+
+    /// Record modeled network time.
+    pub fn on_modeled(&mut self, seconds: f64) {
+        self.modeled_time_s += seconds;
+    }
+
+    /// Snapshot for reporting.
+    pub fn snapshot(&self) -> StatsSnapshot {
+        StatsSnapshot {
+            bytes_sent: self.bytes_sent,
+            bytes_received: self.bytes_received,
+            messages_sent: self.messages_sent,
+            collectives: self.collectives,
+            wall_time_s: self.wall_time.as_secs_f64(),
+            modeled_time_s: self.modeled_time_s,
+        }
+    }
+
+    /// Zero all counters.
+    pub fn reset(&mut self) {
+        *self = Self::default();
+    }
+}
+
+/// Immutable copy of one rank's statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct StatsSnapshot {
+    pub bytes_sent: u64,
+    pub bytes_received: u64,
+    pub messages_sent: u64,
+    pub collectives: u64,
+    pub wall_time_s: f64,
+    pub modeled_time_s: f64,
+}
+
+impl StatsSnapshot {
+    /// Aggregate snapshots from all ranks into "total for all cores" form —
+    /// the quantity Figures 6/7 of the paper plot.
+    pub fn total(all: &[StatsSnapshot]) -> StatsSnapshot {
+        let mut out = StatsSnapshot::default();
+        for s in all {
+            out.bytes_sent += s.bytes_sent;
+            out.bytes_received += s.bytes_received;
+            out.messages_sent += s.messages_sent;
+            out.collectives += s.collectives;
+            out.wall_time_s += s.wall_time_s;
+            out.modeled_time_s += s.modeled_time_s;
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accumulates_and_resets() {
+        let mut s = CommStats::default();
+        s.on_send(100);
+        s.on_send(50);
+        s.on_recv(100);
+        s.on_wall(Duration::from_millis(5));
+        s.on_modeled(1.5e-6);
+        let snap = s.snapshot();
+        assert_eq!(snap.bytes_sent, 150);
+        assert_eq!(snap.messages_sent, 2);
+        assert_eq!(snap.bytes_received, 100);
+        assert!(snap.wall_time_s >= 0.005);
+        assert!((snap.modeled_time_s - 1.5e-6).abs() < 1e-12);
+        s.reset();
+        assert_eq!(s.snapshot(), StatsSnapshot::default());
+    }
+
+    #[test]
+    fn total_sums_ranks() {
+        let a = StatsSnapshot {
+            bytes_sent: 10,
+            messages_sent: 1,
+            modeled_time_s: 0.5,
+            ..Default::default()
+        };
+        let b = StatsSnapshot {
+            bytes_sent: 20,
+            messages_sent: 2,
+            modeled_time_s: 0.25,
+            ..Default::default()
+        };
+        let t = StatsSnapshot::total(&[a, b]);
+        assert_eq!(t.bytes_sent, 30);
+        assert_eq!(t.messages_sent, 3);
+        assert!((t.modeled_time_s - 0.75).abs() < 1e-12);
+    }
+}

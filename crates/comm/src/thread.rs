@@ -1,0 +1,358 @@
+//! The thread-backed communicator: every rank is an OS thread, messages are
+//! buffers moved over crossbeam channels.
+
+use crossbeam_channel::{unbounded, Receiver, Sender};
+use std::sync::{Arc, Barrier};
+use std::time::Instant;
+
+use crate::stats::{CommStats, StatsSnapshot};
+use crate::virtual_net::NetworkProfile;
+use crate::{tags, Communicator};
+
+/// One in-flight message.
+#[derive(Debug)]
+enum Payload {
+    F32(Vec<f32>),
+    F64(Vec<f64>),
+}
+
+#[derive(Debug)]
+struct Message {
+    src: usize,
+    tag: u32,
+    payload: Payload,
+}
+
+impl Message {
+    fn len_bytes(&self) -> usize {
+        match &self.payload {
+            Payload::F32(v) => v.len() * 4,
+            Payload::F64(v) => v.len() * 8,
+        }
+    }
+}
+
+/// Factory for a set of connected [`ThreadComm`]s — the "world".
+pub struct ThreadWorld;
+
+impl ThreadWorld {
+    /// Create `size` connected communicators charged against `profile`.
+    pub fn create(size: usize, profile: NetworkProfile) -> Vec<ThreadComm> {
+        assert!(size >= 1);
+        let mut senders = Vec::with_capacity(size);
+        let mut receivers = Vec::with_capacity(size);
+        for _ in 0..size {
+            let (s, r) = unbounded::<Message>();
+            senders.push(s);
+            receivers.push(r);
+        }
+        let barrier = Arc::new(Barrier::new(size));
+        receivers
+            .into_iter()
+            .enumerate()
+            .map(|(rank, receiver)| ThreadComm {
+                rank,
+                size,
+                senders: senders.clone(),
+                receiver,
+                pending: Vec::new(),
+                barrier: barrier.clone(),
+                profile,
+                stats: CommStats::default(),
+            })
+            .collect()
+    }
+
+    /// Run `f` on `size` ranks (one thread each) and collect the per-rank
+    /// results in rank order. This is the `mpirun` analog used by tests,
+    /// examples and benchmarks.
+    pub fn run<R, F>(size: usize, profile: NetworkProfile, f: F) -> Vec<R>
+    where
+        R: Send,
+        F: Fn(ThreadComm) -> R + Sync,
+    {
+        let comms = Self::create(size, profile);
+        let mut out: Vec<Option<R>> = (0..size).map(|_| None).collect();
+        std::thread::scope(|scope| {
+            let mut handles = Vec::new();
+            for comm in comms {
+                let fref = &f;
+                handles.push(scope.spawn(move || fref(comm)));
+            }
+            for (slot, h) in out.iter_mut().zip(handles) {
+                *slot = Some(h.join().expect("rank panicked"));
+            }
+        });
+        out.into_iter().map(|r| r.unwrap()).collect()
+    }
+}
+
+/// A rank endpoint of the thread world.
+pub struct ThreadComm {
+    rank: usize,
+    size: usize,
+    senders: Vec<Sender<Message>>,
+    receiver: Receiver<Message>,
+    /// Out-of-order messages already pulled off the channel.
+    pending: Vec<Message>,
+    barrier: Arc<Barrier>,
+    profile: NetworkProfile,
+    stats: CommStats,
+}
+
+impl ThreadComm {
+    /// The network profile messages are charged against.
+    pub fn profile(&self) -> NetworkProfile {
+        self.profile
+    }
+
+    fn send_message(&mut self, dest: usize, tag: u32, payload: Payload) {
+        assert!(dest < self.size, "send to rank {dest} of {}", self.size);
+        let msg = Message {
+            src: self.rank,
+            tag,
+            payload,
+        };
+        let bytes = msg.len_bytes();
+        self.stats.on_send(bytes);
+        self.stats.on_modeled(self.profile.message_time(bytes));
+        self.senders[dest].send(msg).expect("world disconnected");
+    }
+
+    fn recv_message(&mut self, src: usize, tag: u32) -> Message {
+        // Check the out-of-order buffer first.
+        if let Some(pos) = self
+            .pending
+            .iter()
+            .position(|m| m.src == src && m.tag == tag)
+        {
+            return self.pending.swap_remove(pos);
+        }
+        loop {
+            let msg = self.receiver.recv().expect("world disconnected");
+            if msg.src == src && msg.tag == tag {
+                return msg;
+            }
+            self.pending.push(msg);
+        }
+    }
+
+    fn allreduce_with(&mut self, x: f64, op: fn(f64, f64) -> f64) -> f64 {
+        let t0 = Instant::now();
+        self.stats.collectives += 1;
+        self.stats.on_modeled(self.profile.collective_time(self.size));
+        let result = if self.size == 1 {
+            x
+        } else if self.rank == 0 {
+            // Deterministic reduction in rank order, then broadcast.
+            let mut acc = x;
+            for src in 1..self.size {
+                let msg = self.recv_message(src, tags::REDUCE);
+                let v = match msg.payload {
+                    Payload::F64(v) => v[0],
+                    _ => unreachable!("reduce payload must be f64"),
+                };
+                acc = op(acc, v);
+            }
+            for dest in 1..self.size {
+                self.send_message(dest, tags::BCAST, Payload::F64(vec![acc]));
+            }
+            acc
+        } else {
+            self.send_message(0, tags::REDUCE, Payload::F64(vec![x]));
+            let msg = self.recv_message(0, tags::BCAST);
+            match msg.payload {
+                Payload::F64(v) => v[0],
+                _ => unreachable!(),
+            }
+        };
+        self.stats.on_wall(t0.elapsed());
+        result
+    }
+}
+
+impl Communicator for ThreadComm {
+    fn rank(&self) -> usize {
+        self.rank
+    }
+
+    fn size(&self) -> usize {
+        self.size
+    }
+
+    fn send_f32(&mut self, dest: usize, tag: u32, data: &[f32]) {
+        let t0 = Instant::now();
+        self.send_message(dest, tag, Payload::F32(data.to_vec()));
+        self.stats.on_wall(t0.elapsed());
+    }
+
+    fn recv_f32(&mut self, src: usize, tag: u32) -> Vec<f32> {
+        let t0 = Instant::now();
+        let msg = self.recv_message(src, tag);
+        let bytes = msg.len_bytes();
+        self.stats.on_recv(bytes);
+        self.stats.on_modeled(self.profile.message_time(bytes));
+        self.stats.on_wall(t0.elapsed());
+        match msg.payload {
+            Payload::F32(v) => v,
+            _ => panic!("expected f32 payload for tag {tag}"),
+        }
+    }
+
+    fn barrier(&mut self) {
+        let t0 = Instant::now();
+        self.stats.collectives += 1;
+        self.stats.on_modeled(self.profile.collective_time(self.size));
+        self.barrier.wait();
+        self.stats.on_wall(t0.elapsed());
+    }
+
+    fn allreduce_sum(&mut self, x: f64) -> f64 {
+        self.allreduce_with(x, |a, b| a + b)
+    }
+
+    fn allreduce_min(&mut self, x: f64) -> f64 {
+        self.allreduce_with(x, f64::min)
+    }
+
+    fn allreduce_max(&mut self, x: f64) -> f64 {
+        self.allreduce_with(x, f64::max)
+    }
+
+    fn stats(&self) -> StatsSnapshot {
+        self.stats.snapshot()
+    }
+
+    fn reset_stats(&mut self) {
+        self.stats.reset();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_exchange() {
+        let results = ThreadWorld::run(4, NetworkProfile::loopback(), |mut comm| {
+            let rank = comm.rank();
+            let size = comm.size();
+            let next = (rank + 1) % size;
+            let prev = (rank + size - 1) % size;
+            comm.send_f32(next, 7, &[rank as f32; 3]);
+            let got = comm.recv_f32(prev, 7);
+            (prev, got)
+        });
+        for (rank, (prev, got)) in results.iter().enumerate() {
+            assert_eq!(got.len(), 3);
+            assert_eq!(got[0], *prev as f32, "rank {rank}");
+        }
+    }
+
+    #[test]
+    fn allreduce_sum_min_max() {
+        let results = ThreadWorld::run(6, NetworkProfile::loopback(), |mut comm| {
+            let x = comm.rank() as f64 + 1.0;
+            (
+                comm.allreduce_sum(x),
+                comm.allreduce_min(x),
+                comm.allreduce_max(x),
+            )
+        });
+        for (s, mn, mx) in results {
+            assert_eq!(s, 21.0);
+            assert_eq!(mn, 1.0);
+            assert_eq!(mx, 6.0);
+        }
+    }
+
+    #[test]
+    fn out_of_order_tags_are_buffered() {
+        let results = ThreadWorld::run(2, NetworkProfile::loopback(), |mut comm| {
+            if comm.rank() == 0 {
+                // Send tag 2 first, then tag 1; receiver asks for 1 first.
+                comm.send_f32(1, 2, &[2.0]);
+                comm.send_f32(1, 1, &[1.0]);
+                vec![]
+            } else {
+                let a = comm.recv_f32(0, 1);
+                let b = comm.recv_f32(0, 2);
+                vec![a[0], b[0]]
+            }
+        });
+        assert_eq!(results[1], vec![1.0, 2.0]);
+    }
+
+    #[test]
+    fn stats_track_bytes_and_modeled_time() {
+        let results = ThreadWorld::run(2, NetworkProfile::ranger_infiniband(), |mut comm| {
+            if comm.rank() == 0 {
+                comm.send_f32(1, 5, &[0.0; 1000]);
+            } else {
+                let _ = comm.recv_f32(0, 5);
+            }
+            comm.barrier();
+            comm.stats()
+        });
+        assert_eq!(results[0].bytes_sent, 4000);
+        assert_eq!(results[0].messages_sent, 1);
+        assert_eq!(results[1].bytes_received, 4000);
+        assert!(results[0].modeled_time_s > 0.0);
+        assert!(results[1].wall_time_s > 0.0);
+    }
+
+    #[test]
+    fn reset_stats_clears() {
+        let results = ThreadWorld::run(2, NetworkProfile::loopback(), |mut comm| {
+            if comm.rank() == 0 {
+                comm.send_f32(1, 9, &[1.0]);
+            } else {
+                let _ = comm.recv_f32(0, 9);
+            }
+            comm.reset_stats();
+            comm.stats()
+        });
+        assert_eq!(results[0].bytes_sent, 0);
+        assert_eq!(results[1].bytes_received, 0);
+    }
+
+    #[test]
+    fn single_rank_world_collectives_are_identity() {
+        let results = ThreadWorld::run(1, NetworkProfile::loopback(), |mut comm| {
+            comm.barrier();
+            comm.allreduce_sum(42.0)
+        });
+        assert_eq!(results, vec![42.0]);
+    }
+
+    #[test]
+    fn many_ranks_heavy_traffic() {
+        // All-to-all with distinct payload sizes; checks buffering under load.
+        let n = 8;
+        let results = ThreadWorld::run(n, NetworkProfile::loopback(), |mut comm| {
+            let rank = comm.rank();
+            for dest in 0..n {
+                if dest != rank {
+                    comm.send_f32(dest, 50, &vec![rank as f32; rank + 1]);
+                }
+            }
+            let mut total = 0.0f32;
+            for src in 0..n {
+                if src != rank {
+                    let v = comm.recv_f32(src, 50);
+                    assert_eq!(v.len(), src + 1);
+                    total += v.iter().sum::<f32>();
+                }
+            }
+            total
+        });
+        // Σ_{src≠rank} src·(src+1)
+        for (rank, total) in results.iter().enumerate() {
+            let expect: f32 = (0..n)
+                .filter(|&s| s != rank)
+                .map(|s| (s * (s + 1)) as f32)
+                .sum();
+            assert_eq!(*total, expect);
+        }
+    }
+}

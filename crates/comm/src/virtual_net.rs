@@ -1,0 +1,99 @@
+//! Deterministic network cost model: the `α + n/β` (latency + bandwidth)
+//! time assigned to each message for *modeled* communication time.
+//!
+//! This is how the reproduction predicts communication behaviour on machines
+//! it does not have: messages moved over in-process channels are *also*
+//! charged against a profile of the target interconnect (InfiniBand CLOS on
+//! Ranger, SeaStar/SeaStar2 3-D torus on the Cray XT4s), mirroring the
+//! paper's §5 model-and-extrapolate methodology.
+
+/// Latency/bandwidth profile of an interconnect.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NetworkProfile {
+    /// Human-readable name.
+    pub name: &'static str,
+    /// Per-message latency (s).
+    pub latency_s: f64,
+    /// Point-to-point bandwidth (bytes/s).
+    pub bandwidth_bps: f64,
+    /// Extra per-hop latency × expected hop count (s) — torus networks pay
+    /// distance, CLOS trees mostly do not.
+    pub topology_penalty_s: f64,
+}
+
+impl NetworkProfile {
+    /// Time to move one `bytes`-sized message.
+    #[inline]
+    pub fn message_time(&self, bytes: usize) -> f64 {
+        self.latency_s + self.topology_penalty_s + bytes as f64 / self.bandwidth_bps
+    }
+
+    /// Time for a barrier/reduction over `p` ranks (log-tree of small
+    /// messages).
+    #[inline]
+    pub fn collective_time(&self, p: usize) -> f64 {
+        let rounds = (p.max(2) as f64).log2().ceil();
+        rounds * self.message_time(8)
+    }
+
+    /// TACC Ranger: full-CLOS InfiniBand (paper §5).
+    pub fn ranger_infiniband() -> Self {
+        Self {
+            name: "Ranger InfiniBand CLOS",
+            latency_s: 2.3e-6,
+            bandwidth_bps: 1.0e9,
+            topology_penalty_s: 0.0,
+        }
+    }
+
+    /// Cray XT4 SeaStar2 3-D torus (Franklin).
+    pub fn xt4_seastar2() -> Self {
+        Self {
+            name: "XT4 SeaStar2 torus",
+            latency_s: 4.5e-6,
+            bandwidth_bps: 2.1e9,
+            topology_penalty_s: 1.0e-6,
+        }
+    }
+
+    /// Loopback profile for in-process testing (cheap but nonzero).
+    pub fn loopback() -> Self {
+        Self {
+            name: "loopback",
+            latency_s: 1.0e-7,
+            bandwidth_bps: 1.0e10,
+            topology_penalty_s: 0.0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn message_time_monotone_in_size() {
+        let p = NetworkProfile::ranger_infiniband();
+        assert!(p.message_time(1 << 20) > p.message_time(1 << 10));
+        assert!(p.message_time(0) >= p.latency_s);
+    }
+
+    #[test]
+    fn small_messages_latency_bound_large_bandwidth_bound() {
+        let p = NetworkProfile::xt4_seastar2();
+        // 8-byte message: dominated by latency.
+        let t_small = p.message_time(8);
+        assert!(t_small < 2.0 * (p.latency_s + p.topology_penalty_s));
+        // 100 MB message: dominated by bandwidth.
+        let t_big = p.message_time(100_000_000);
+        assert!((t_big - 100_000_000.0 / p.bandwidth_bps).abs() / t_big < 0.01);
+    }
+
+    #[test]
+    fn collective_time_grows_logarithmically() {
+        let p = NetworkProfile::ranger_infiniband();
+        let t64 = p.collective_time(64);
+        let t4096 = p.collective_time(4096);
+        assert!((t4096 / t64 - 2.0).abs() < 0.01); // log2: 6 rounds vs 12
+    }
+}

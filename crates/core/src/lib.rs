@@ -1,0 +1,394 @@
+//! # specfem-core — global seismic wave propagation in Rust
+//!
+//! A from-scratch Rust reproduction of **SPECFEM3D_GLOBE** as described in
+//! *"High-Frequency Simulations of Global Seismic Wave Propagation Using
+//! SPECFEM3D_GLOBE on 62K Processors"* (Carrington et al., SC 2008): a
+//! spectral-element solver for 3-D anelastic, rotating, self-gravitating
+//! Earth models on the cubed-sphere mesh, with the merged mesher+solver
+//! pipeline, multilevel Cuthill-McKee element ordering, manual-SIMD force
+//! kernels, and the paper's performance-modeling methodology.
+//!
+//! This crate is the high-level facade: build a [`Simulation`] with the
+//! builder, run it serially or on a simulated-MPI thread world, and read
+//! back seismograms and performance statistics.
+//!
+//! ```no_run
+//! use specfem_core::Simulation;
+//!
+//! let sim = Simulation::builder()
+//!     .resolution(8)          // NEX_XI
+//!     .processors(1)          // NPROC_XI → 6·NPROC² ranks
+//!     .steps(200)
+//!     .catalogue_event("argentina_deep")
+//!     .stations(8)
+//!     .build()
+//!     .unwrap();
+//! let result = sim.run_serial();
+//! println!("{} seismograms, {:.2} Gflop/s sustained",
+//!          result.seismograms.len(), result.total_flop_rate() / 1e9);
+//! ```
+
+pub mod parfile;
+
+pub use specfem_comm as comm;
+pub use specfem_gll as gll;
+pub use specfem_io as io;
+pub use specfem_kernels as kernels;
+pub use specfem_mesh as mesh;
+pub use specfem_model as model;
+pub use specfem_perf as perf;
+pub use specfem_solver as solver;
+
+pub use specfem_comm::NetworkProfile;
+pub use specfem_kernels::KernelVariant;
+pub use specfem_mesh::stations::{global_network, Station};
+pub use specfem_mesh::{ElementOrder, GlobalMesh, MeshMode, MeshParams, Partition};
+pub use specfem_model::{builtin_events, CmtSource, Prem, SourceTimeFunction, StfKind};
+pub use specfem_solver::{RankResult, Seismogram, SolverConfig, SourceSpec};
+
+/// Which Earth model fills the mesh.
+#[derive(Debug, Clone)]
+pub enum ModelChoice {
+    /// Full PREM with transverse isotropy.
+    Prem,
+    /// Isotropic PREM without the ocean (the common meshing target).
+    IsotropicPrem,
+    /// PREM with a deterministic 3-D mantle perturbation (the tomographic-
+    /// model stand-in).
+    Prem3D,
+    /// Uniform solid ball (validation runs).
+    Homogeneous,
+}
+
+/// A configured simulation: mesh parameters + solver configuration +
+/// station network.
+#[derive(Debug, Clone)]
+pub struct Simulation {
+    /// Mesh parameters.
+    pub params: MeshParams,
+    /// Earth model.
+    pub model: ModelChoice,
+    /// Solver configuration.
+    pub config: SolverConfig,
+    /// Stations to record at.
+    pub stations: Vec<Station>,
+}
+
+/// Merged result of a run.
+#[derive(Debug, Clone)]
+pub struct SimulationResult {
+    /// Seismograms from all ranks, station-ordered.
+    pub seismograms: Vec<Seismogram>,
+    /// Per-rank results (timings, comm stats, flops).
+    pub ranks: Vec<RankResult>,
+    /// Time step used (s).
+    pub dt: f64,
+}
+
+impl SimulationResult {
+    /// Total flops over all ranks.
+    pub fn total_flops(&self) -> u64 {
+        self.ranks.iter().map(|r| r.flops).sum()
+    }
+
+    /// Aggregate sustained flop rate (total flops / max wall time) — the
+    /// PSiNSlight-style number the paper reports as "sustained Tflops".
+    pub fn total_flop_rate(&self) -> f64 {
+        let wall = self
+            .ranks
+            .iter()
+            .map(|r| r.elapsed_s)
+            .fold(0.0f64, f64::max);
+        self.total_flops() as f64 / wall.max(1e-12)
+    }
+
+    /// Mean fraction of main-loop time spent in communication — the IPM
+    /// measurement of paper §5 (1.9–4.2 % on Franklin).
+    pub fn mean_comm_fraction(&self) -> f64 {
+        if self.ranks.is_empty() {
+            return 0.0;
+        }
+        self.ranks.iter().map(|r| r.comm_fraction()).sum::<f64>() / self.ranks.len() as f64
+    }
+
+    /// Total communication seconds over all cores (the Figure 6 quantity).
+    pub fn total_comm_seconds(&self) -> f64 {
+        self.ranks.iter().map(|r| r.comm.wall_time_s).sum()
+    }
+
+    /// Total core-seconds (the Figure 7 quantity).
+    pub fn total_core_seconds(&self) -> f64 {
+        self.ranks.iter().map(|r| r.elapsed_s).sum()
+    }
+}
+
+impl Simulation {
+    /// Start building a simulation.
+    pub fn builder() -> SimulationBuilder {
+        SimulationBuilder::default()
+    }
+
+    fn build_mesh(&self) -> GlobalMesh {
+        match &self.model {
+            ModelChoice::Prem => GlobalMesh::build(&self.params, &Prem::default()),
+            ModelChoice::IsotropicPrem => {
+                GlobalMesh::build(&self.params, &Prem::isotropic_no_ocean())
+            }
+            ModelChoice::Prem3D => GlobalMesh::build(
+                &self.params,
+                &specfem_model::Prem3D::default_mantle(),
+            ),
+            ModelChoice::Homogeneous => GlobalMesh::build(
+                &self.params,
+                &specfem_model::HomogeneousModel::default(),
+            ),
+        }
+    }
+
+    /// Run on a single rank (merged mesher+solver, no MPI).
+    pub fn run_serial(&self) -> SimulationResult {
+        let mesh = self.build_mesh();
+        let result = specfem_solver::run_serial(&mesh, &self.config, &self.stations);
+        SimulationResult {
+            seismograms: result.seismograms.clone(),
+            dt: result.dt,
+            ranks: vec![result],
+        }
+    }
+
+    /// Run on the full `6 × NPROC_XI²`-rank thread world, charging
+    /// communication against `profile`.
+    pub fn run_parallel(&self, profile: NetworkProfile) -> SimulationResult {
+        let mesh = self.build_mesh();
+        let ranks =
+            specfem_solver::run_distributed(&mesh, &self.config, &self.stations, profile);
+        let seismograms = specfem_solver::timeloop::merge_seismograms(&ranks);
+        let dt = ranks.first().map(|r| r.dt).unwrap_or(0.0);
+        SimulationResult {
+            seismograms,
+            ranks,
+            dt,
+        }
+    }
+}
+
+/// Builder for [`Simulation`].
+#[derive(Debug, Clone)]
+pub struct SimulationBuilder {
+    nex: usize,
+    nproc: usize,
+    mode: MeshMode,
+    model: ModelChoice,
+    config: SolverConfig,
+    stations: Vec<Station>,
+    event: Option<String>,
+}
+
+impl Default for SimulationBuilder {
+    fn default() -> Self {
+        Self {
+            nex: 8,
+            nproc: 1,
+            mode: MeshMode::Global,
+            model: ModelChoice::IsotropicPrem,
+            config: SolverConfig::default(),
+            stations: Vec::new(),
+            event: None,
+        }
+    }
+}
+
+impl SimulationBuilder {
+    /// Mesh resolution `NEX_XI` (elements per chunk side).
+    pub fn resolution(mut self, nex: usize) -> Self {
+        self.nex = nex;
+        self
+    }
+
+    /// `NPROC_XI` (slices per chunk side; 6·NPROC² ranks total).
+    pub fn processors(mut self, nproc: usize) -> Self {
+        self.nproc = nproc;
+        self
+    }
+
+    /// Earth model.
+    pub fn model(mut self, model: ModelChoice) -> Self {
+        self.model = model;
+        self
+    }
+
+    /// Regional single-chunk simulation from `r_min` (m) to the surface,
+    /// with Stacey absorbing boundaries on the artificial faces.
+    pub fn regional(mut self, r_min: f64) -> Self {
+        self.mode = MeshMode::Regional { r_min };
+        self
+    }
+
+    /// Number of time steps.
+    pub fn steps(mut self, nsteps: usize) -> Self {
+        self.config.nsteps = nsteps;
+        self
+    }
+
+    /// Enable attenuation (anelastic run).
+    pub fn attenuation(mut self, on: bool) -> Self {
+        self.config.attenuation = on;
+        self
+    }
+
+    /// Enable rotation (Coriolis).
+    pub fn rotation(mut self, on: bool) -> Self {
+        self.config.rotation = on;
+        self
+    }
+
+    /// Enable Cowling-approximation self-gravitation.
+    pub fn gravity(mut self, on: bool) -> Self {
+        self.config.gravity = on;
+        self
+    }
+
+    /// Enable the equivalent ocean load on the free surface.
+    pub fn ocean_load(mut self, on: bool) -> Self {
+        self.config.ocean_load = on;
+        self
+    }
+
+    /// Kernel variant (§4.3 ablation).
+    pub fn kernel(mut self, variant: KernelVariant) -> Self {
+        self.config.variant = variant;
+        self
+    }
+
+    /// Use a built-in catalogue event by name.
+    pub fn catalogue_event(mut self, name: &str) -> Self {
+        self.event = Some(name.to_string());
+        self
+    }
+
+    /// Explicit source.
+    pub fn source(mut self, source: SourceSpec) -> Self {
+        self.config.source = source;
+        self.event = None;
+        self
+    }
+
+    /// Record at `n` worldwide stations (Fibonacci network).
+    pub fn stations(mut self, n: usize) -> Self {
+        self.stations = global_network(n);
+        self
+    }
+
+    /// Record at explicit stations.
+    pub fn station_list(mut self, stations: Vec<Station>) -> Self {
+        self.stations = stations;
+        self
+    }
+
+    /// Energy diagnostics cadence (0 = off).
+    pub fn energy_every(mut self, every: usize) -> Self {
+        self.config.energy_every = every;
+        self
+    }
+
+    /// Full solver-config access for options without a dedicated method.
+    pub fn configure(mut self, f: impl FnOnce(&mut SolverConfig)) -> Self {
+        f(&mut self.config);
+        self
+    }
+
+    /// Validate and build.
+    pub fn build(mut self) -> Result<Simulation, String> {
+        if self.nex < 2 {
+            return Err("NEX_XI must be at least 2".into());
+        }
+        if self.nproc == 0 || self.nex % self.nproc != 0 {
+            return Err(format!(
+                "NEX_XI ({}) must be divisible by NPROC_XI ({})",
+                self.nex, self.nproc
+            ));
+        }
+        if let Some(name) = &self.event {
+            let event = builtin_events()
+                .into_iter()
+                .find(|e| e.name == *name)
+                .ok_or_else(|| format!("unknown catalogue event '{name}'"))?;
+            let period = specfem_mesh::nominal_shortest_period_s(self.nex);
+            let stf = SourceTimeFunction::new(
+                StfKind::Gaussian,
+                event.half_duration_s.max(period / 4.0),
+            );
+            self.config.source = SourceSpec::Cmt { event, stf };
+        }
+        let mut params = MeshParams::new(self.nex, self.nproc);
+        if let MeshMode::Regional { r_min } = self.mode {
+            if r_min < specfem_model::CMB_RADIUS_M {
+                return Err("regional meshes must stay above the fluid outer core".into());
+            }
+            params.mode = self.mode;
+        }
+        Ok(Simulation {
+            params,
+            model: self.model,
+            config: self.config,
+            stations: self.stations,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_validates_inputs() {
+        assert!(Simulation::builder().resolution(1).build().is_err());
+        assert!(Simulation::builder()
+            .resolution(10)
+            .processors(4)
+            .build()
+            .is_err());
+        assert!(Simulation::builder()
+            .catalogue_event("no_such_event")
+            .build()
+            .is_err());
+        let sim = Simulation::builder()
+            .resolution(8)
+            .processors(2)
+            .catalogue_event("argentina_deep")
+            .stations(5)
+            .build()
+            .unwrap();
+        assert_eq!(sim.params.num_ranks(), 24);
+        assert_eq!(sim.stations.len(), 5);
+        assert!(matches!(sim.config.source, SourceSpec::Cmt { .. }));
+    }
+
+    #[test]
+    fn tiny_serial_simulation_end_to_end() {
+        let sim = Simulation::builder()
+            .resolution(4)
+            .steps(10)
+            .stations(2)
+            .build()
+            .unwrap();
+        let result = sim.run_serial();
+        assert_eq!(result.seismograms.len(), 2);
+        assert_eq!(result.ranks.len(), 1);
+        assert!(result.total_flops() > 0);
+        assert!(result.dt > 0.0);
+    }
+
+    #[test]
+    fn result_aggregations() {
+        let sim = Simulation::builder()
+            .resolution(4)
+            .steps(5)
+            .build()
+            .unwrap();
+        let r = sim.run_serial();
+        assert!(r.total_flop_rate() > 0.0);
+        assert!(r.total_core_seconds() > 0.0);
+        assert!(r.mean_comm_fraction() >= 0.0);
+    }
+}

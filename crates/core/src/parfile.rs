@@ -1,0 +1,195 @@
+//! `Par_file` parsing — the SPECFEM3D_GLOBE configuration format
+//! (`KEY = value` lines with `#` comments), mapped onto the
+//! [`SimulationBuilder`](crate::SimulationBuilder).
+//!
+//! Recognized keys (a faithful subset of the production file):
+//!
+//! ```text
+//! # simulation type
+//! NCHUNKS                = 6            # 6 = global, 1 = regional
+//! NEX_XI                 = 16
+//! NPROC_XI               = 2
+//! MODEL                  = prem_iso     # prem | prem_iso | prem_3d | homogeneous
+//! REGIONAL_MIN_RADIUS_KM = 5701.0      # only for NCHUNKS = 1
+//! # physics
+//! ATTENUATION            = .true.
+//! ROTATION               = .false.
+//! GRAVITY                = .false.
+//! OCEANS                 = .false.
+//! # run
+//! NSTEP                  = 400
+//! DT                     = 0.0          # 0 = automatic (Courant)
+//! RECORD_LENGTH_STEPS    = 1
+//! EVENT                  = argentina_deep
+//! NSTATIONS              = 12
+//! ```
+
+use crate::{ModelChoice, Simulation, SimulationBuilder};
+
+/// Parse the `KEY = value` format into key/value pairs (upper-cased keys).
+pub fn parse_pairs(text: &str) -> Vec<(String, String)> {
+    let mut out = Vec::new();
+    for line in text.lines() {
+        let line = match line.find('#') {
+            Some(i) => &line[..i],
+            None => line,
+        };
+        let Some(eq) = line.find('=') else { continue };
+        let key = line[..eq].trim().to_uppercase();
+        let value = line[eq + 1..].trim().to_string();
+        if !key.is_empty() && !value.is_empty() {
+            out.push((key, value));
+        }
+    }
+    out
+}
+
+fn parse_bool(v: &str) -> Result<bool, String> {
+    match v.to_lowercase().as_str() {
+        ".true." | "true" | "1" | "yes" => Ok(true),
+        ".false." | "false" | "0" | "no" => Ok(false),
+        other => Err(format!("not a boolean: {other}")),
+    }
+}
+
+/// Build a [`Simulation`] from Par_file text.
+pub fn simulation_from_parfile(text: &str) -> Result<Simulation, String> {
+    let pairs = parse_pairs(text);
+    let get = |key: &str| -> Option<&str> {
+        pairs
+            .iter()
+            .rev() // last assignment wins, like Fortran's re-reads
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+    };
+    let parse_num = |key: &str, v: &str| -> Result<f64, String> {
+        v.parse::<f64>()
+            .map_err(|_| format!("{key}: not a number: {v}"))
+    };
+
+    let mut builder = SimulationBuilder::default();
+    if let Some(v) = get("NEX_XI") {
+        builder = builder.resolution(parse_num("NEX_XI", v)? as usize);
+    }
+    if let Some(v) = get("NPROC_XI") {
+        builder = builder.processors(parse_num("NPROC_XI", v)? as usize);
+    }
+    match get("NCHUNKS") {
+        None | Some("6") => {}
+        Some("1") => {
+            let r_km = get("REGIONAL_MIN_RADIUS_KM")
+                .map(|v| parse_num("REGIONAL_MIN_RADIUS_KM", v))
+                .transpose()?
+                .unwrap_or(5_701.0);
+            builder = builder.regional(r_km * 1000.0);
+        }
+        Some(other) => return Err(format!("NCHUNKS must be 1 or 6, got {other}")),
+    }
+    if let Some(v) = get("MODEL") {
+        builder = builder.model(match v.to_lowercase().as_str() {
+            "prem" => ModelChoice::Prem,
+            "prem_iso" | "prem_isotropic" => ModelChoice::IsotropicPrem,
+            "prem_3d" | "s_perturbed" => ModelChoice::Prem3D,
+            "homogeneous" => ModelChoice::Homogeneous,
+            other => return Err(format!("unknown MODEL: {other}")),
+        });
+    }
+    if let Some(v) = get("ATTENUATION") {
+        builder = builder.attenuation(parse_bool(v)?);
+    }
+    if let Some(v) = get("ROTATION") {
+        builder = builder.rotation(parse_bool(v)?);
+    }
+    if let Some(v) = get("GRAVITY") {
+        builder = builder.gravity(parse_bool(v)?);
+    }
+    if let Some(v) = get("OCEANS") {
+        builder = builder.ocean_load(parse_bool(v)?);
+    }
+    if let Some(v) = get("NSTEP") {
+        builder = builder.steps(parse_num("NSTEP", v)? as usize);
+    }
+    if let Some(v) = get("EVENT") {
+        builder = builder.catalogue_event(v);
+    }
+    if let Some(v) = get("NSTATIONS") {
+        builder = builder.stations(parse_num("NSTATIONS", v)? as usize);
+    }
+    let dt = get("DT")
+        .map(|v| parse_num("DT", v))
+        .transpose()?
+        .unwrap_or(0.0);
+    let record = get("RECORD_LENGTH_STEPS")
+        .map(|v| parse_num("RECORD_LENGTH_STEPS", v))
+        .transpose()?
+        .unwrap_or(1.0) as usize;
+    builder = builder.configure(|c| {
+        if dt > 0.0 {
+            c.dt = Some(dt);
+        }
+        c.record_every = record.max(1);
+    });
+    builder.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use specfem_mesh::MeshMode;
+
+    const EXAMPLE: &str = r#"
+# a global run
+NCHUNKS      = 6
+NEX_XI       = 8
+NPROC_XI     = 2     # 24 ranks
+MODEL        = prem_iso
+ATTENUATION  = .true.
+ROTATION     = .false.
+NSTEP        = 250
+EVENT        = argentina_deep
+NSTATIONS    = 4
+"#;
+
+    #[test]
+    fn parses_the_example_parfile() {
+        let sim = simulation_from_parfile(EXAMPLE).unwrap();
+        assert_eq!(sim.params.nex_xi, 8);
+        assert_eq!(sim.params.num_ranks(), 24);
+        assert!(sim.config.attenuation);
+        assert!(!sim.config.rotation);
+        assert_eq!(sim.config.nsteps, 250);
+        assert_eq!(sim.stations.len(), 4);
+    }
+
+    #[test]
+    fn comments_and_blank_lines_ignored_last_assignment_wins() {
+        let text = "NEX_XI = 4\n# NEX_XI = 99\n\nNEX_XI = 8 # final\n";
+        let pairs = parse_pairs(text);
+        assert_eq!(pairs.len(), 2);
+        let sim = simulation_from_parfile(text).unwrap();
+        assert_eq!(sim.params.nex_xi, 8);
+    }
+
+    #[test]
+    fn regional_parfile() {
+        let text = "NCHUNKS = 1\nNEX_XI = 8\nREGIONAL_MIN_RADIUS_KM = 5701\nNSTEP = 10\n";
+        let sim = simulation_from_parfile(text).unwrap();
+        assert!(matches!(sim.params.mode, MeshMode::Regional { .. }));
+        assert_eq!(sim.params.num_ranks(), 1);
+    }
+
+    #[test]
+    fn errors_are_reported() {
+        assert!(simulation_from_parfile("NCHUNKS = 3\n").is_err());
+        assert!(simulation_from_parfile("MODEL = marsquake\n").is_err());
+        assert!(simulation_from_parfile("ATTENUATION = maybe\n").is_err());
+        assert!(simulation_from_parfile("NEX_XI = 8\nNPROC_XI = 3\n").is_err());
+    }
+
+    #[test]
+    fn fortran_style_booleans() {
+        assert!(parse_bool(".true.").unwrap());
+        assert!(!parse_bool(".false.").unwrap());
+        assert!(parse_bool("YES").unwrap());
+    }
+}

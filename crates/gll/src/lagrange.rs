@@ -1,0 +1,224 @@
+//! Lagrange interpolation on arbitrary node sets (used with GLL nodes).
+
+/// Build the derivative matrix `D[i][j] = l'_j(x_i)` for the Lagrange
+/// interpolants `l_j` through the nodes `x` (row-major `(n+1)²`).
+///
+/// Uses the barycentric form: with weights `c_j = Π_{m≠j} (x_j - x_m)`,
+/// `l'_j(x_i) = (c_i / c_j) / (x_i - x_j)` for `i ≠ j`, and the diagonal is
+/// fixed by the zero-row-sum property (derivative of the constant is zero).
+pub fn lagrange_derivative_matrix(x: &[f64]) -> Vec<f64> {
+    let np = x.len();
+    let mut c = vec![1.0f64; np];
+    for j in 0..np {
+        for m in 0..np {
+            if m != j {
+                c[j] *= x[j] - x[m];
+            }
+        }
+    }
+    let mut d = vec![0.0f64; np * np];
+    for i in 0..np {
+        for j in 0..np {
+            if i != j {
+                d[i * np + j] = (c[i] / c[j]) / (x[i] - x[j]);
+            }
+        }
+    }
+    for i in 0..np {
+        let off: f64 = (0..np).filter(|&j| j != i).map(|j| d[i * np + j]).sum();
+        d[i * np + i] = -off;
+    }
+    d
+}
+
+/// Values of all Lagrange interpolants `l_j(xi)` at an arbitrary point `xi`.
+///
+/// Used to interpolate the wave field at a seismic station that does not fall
+/// on a grid point (paper §4.4-2, the *costly* interpolation path), and to
+/// spread a point source onto the element's GLL points.
+pub fn lagrange_weights_at(nodes: &[f64], xi: f64) -> Vec<f64> {
+    let np = nodes.len();
+    let mut out = vec![1.0f64; np];
+    for j in 0..np {
+        for m in 0..np {
+            if m != j {
+                out[j] *= (xi - nodes[m]) / (nodes[j] - nodes[m]);
+            }
+        }
+    }
+    out
+}
+
+/// Derivatives of all Lagrange interpolants `l'_j(xi)` at an arbitrary
+/// point `xi` (not necessarily a node). Used by the Newton iteration that
+/// locates seismic stations *between* grid points (paper §4.4-2).
+pub fn lagrange_deriv_weights_at(nodes: &[f64], xi: f64) -> Vec<f64> {
+    let np = nodes.len();
+    let mut out = vec![0.0f64; np];
+    for j in 0..np {
+        let denom: f64 = (0..np)
+            .filter(|&k| k != j)
+            .map(|k| nodes[j] - nodes[k])
+            .product();
+        let mut acc = 0.0;
+        for m in 0..np {
+            if m == j {
+                continue;
+            }
+            let mut prod = 1.0;
+            for k in 0..np {
+                if k != j && k != m {
+                    prod *= xi - nodes[k];
+                }
+            }
+            acc += prod;
+        }
+        out[j] = acc / denom;
+    }
+    out
+}
+
+/// Reusable evaluator for repeated interpolation at one fixed reference-cube
+/// location (e.g. a station inside an element): caches the 1-D weight vectors
+/// for the three directions.
+#[derive(Debug, Clone)]
+pub struct LagrangeEval {
+    /// Weights along ξ.
+    pub hxi: Vec<f64>,
+    /// Weights along η.
+    pub heta: Vec<f64>,
+    /// Weights along γ.
+    pub hgamma: Vec<f64>,
+}
+
+impl LagrangeEval {
+    /// Build the evaluator for reference coordinates `(xi, eta, gamma)`,
+    /// each in `[-1, 1]`, on the given 1-D node set.
+    pub fn new(nodes: &[f64], xi: f64, eta: f64, gamma: f64) -> Self {
+        Self {
+            hxi: lagrange_weights_at(nodes, xi),
+            heta: lagrange_weights_at(nodes, eta),
+            hgamma: lagrange_weights_at(nodes, gamma),
+        }
+    }
+
+    /// Interpolate a nodal field stored as `f[(k*np + j)*np + i]`
+    /// (i fastest, matching the solver's element storage).
+    pub fn interpolate(&self, f: &[f64]) -> f64 {
+        let np = self.hxi.len();
+        debug_assert_eq!(f.len(), np * np * np);
+        let mut acc = 0.0;
+        for k in 0..np {
+            for j in 0..np {
+                let hjk = self.heta[j] * self.hgamma[k];
+                let base = (k * np + j) * np;
+                for i in 0..np {
+                    acc += f[base + i] * self.hxi[i] * hjk;
+                }
+            }
+        }
+        acc
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::quadrature::gll_points_and_weights;
+
+    fn assert_close(a: f64, b: f64, tol: f64) {
+        assert!((a - b).abs() <= tol, "{a} vs {b}");
+    }
+
+    #[test]
+    fn weights_are_kronecker_at_nodes() {
+        let (x, _) = gll_points_and_weights(4);
+        for (i, &xi) in x.iter().enumerate() {
+            let w = lagrange_weights_at(&x, xi);
+            for (j, &wj) in w.iter().enumerate() {
+                let expect = if i == j { 1.0 } else { 0.0 };
+                assert_close(wj, expect, 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn weights_form_partition_of_unity() {
+        let (x, _) = gll_points_and_weights(5);
+        for &xi in &[-0.913, -0.2, 0.33, 0.78] {
+            let w = lagrange_weights_at(&x, xi);
+            assert_close(w.iter().sum::<f64>(), 1.0, 1e-12);
+        }
+    }
+
+    #[test]
+    fn interpolation_reproduces_polynomials() {
+        let (x, _) = gll_points_and_weights(4);
+        let f: Vec<f64> = x.iter().map(|&v| 3.0 * v.powi(4) - v + 0.5).collect();
+        for &xi in &[-0.77, 0.11, 0.6] {
+            let w = lagrange_weights_at(&x, xi);
+            let interp: f64 = w.iter().zip(&f).map(|(wi, fi)| wi * fi).sum();
+            assert_close(interp, 3.0 * xi.powi(4) - xi + 0.5, 1e-12);
+        }
+    }
+
+    #[test]
+    fn derivative_matrix_exact_for_degree_n() {
+        let (x, _) = gll_points_and_weights(4);
+        let d = lagrange_derivative_matrix(&x);
+        let np = x.len();
+        // f = x^4 → f' = 4x^3, representable exactly.
+        let f: Vec<f64> = x.iter().map(|&v| v.powi(4)).collect();
+        for i in 0..np {
+            let df: f64 = (0..np).map(|j| d[i * np + j] * f[j]).sum();
+            assert_close(df, 4.0 * x[i].powi(3), 1e-12);
+        }
+    }
+
+    #[test]
+    fn deriv_weights_at_arbitrary_point_differentiate_polynomials() {
+        let (x, _) = gll_points_and_weights(4);
+        // f(x) = x^4 - 2x² + x, f' = 4x³ - 4x + 1.
+        let f: Vec<f64> = x.iter().map(|&v| v.powi(4) - 2.0 * v * v + v).collect();
+        for &xi in &[-0.91, -0.2, 0.05, 0.66] {
+            let dw = lagrange_deriv_weights_at(&x, xi);
+            let df: f64 = dw.iter().zip(&f).map(|(w, fi)| w * fi).sum();
+            assert_close(df, 4.0 * xi.powi(3) - 4.0 * xi + 1.0, 1e-11);
+        }
+    }
+
+    #[test]
+    fn deriv_weights_match_derivative_matrix_at_nodes() {
+        let (x, _) = gll_points_and_weights(5);
+        let d = lagrange_derivative_matrix(&x);
+        let np = x.len();
+        for (i, &xi) in x.iter().enumerate() {
+            let dw = lagrange_deriv_weights_at(&x, xi);
+            for j in 0..np {
+                assert_close(dw[j], d[i * np + j], 1e-10);
+            }
+        }
+    }
+
+    #[test]
+    fn trilinear_eval_reproduces_separable_product() {
+        let (x, _) = gll_points_and_weights(4);
+        let np = x.len();
+        // f(x,y,z) = (x²)(y+2)(z³)
+        let mut f = vec![0.0; np * np * np];
+        for k in 0..np {
+            for j in 0..np {
+                for i in 0..np {
+                    f[(k * np + j) * np + i] = x[i] * x[i] * (x[j] + 2.0) * x[k].powi(3);
+                }
+            }
+        }
+        let (xi, eta, ga) = (0.3, -0.45, 0.81);
+        let ev = LagrangeEval::new(&x, xi, eta, ga);
+        assert_close(
+            ev.interpolate(&f),
+            xi * xi * (eta + 2.0) * ga.powi(3),
+            1e-12,
+        );
+    }
+}

@@ -1,0 +1,126 @@
+//! Legendre polynomials and derivatives via the three-term recurrence.
+
+/// Evaluate the Legendre polynomial `P_n(x)`.
+///
+/// Uses the stable Bonnet recurrence
+/// `(k+1) P_{k+1}(x) = (2k+1) x P_k(x) - k P_{k-1}(x)`.
+pub fn legendre(n: usize, x: f64) -> f64 {
+    legendre_pair(n, x).0
+}
+
+/// Evaluate the derivative `P'_n(x)`.
+pub fn legendre_deriv(n: usize, x: f64) -> f64 {
+    legendre_pair(n, x).1
+}
+
+/// Evaluate `(P_n(x), P'_n(x))` together.
+///
+/// The derivative is accumulated alongside the recurrence using
+/// `P'_{k+1} = P'_{k-1} + (2k+1) P_k`, which is valid for all `x` including
+/// the end points ±1 (where the common `(x² - 1)`-division formula blows up).
+pub fn legendre_pair(n: usize, x: f64) -> (f64, f64) {
+    match n {
+        0 => return (1.0, 0.0),
+        1 => return (x, 1.0),
+        _ => {}
+    }
+    let mut p_prev = 1.0; // P_0
+    let mut p = x; // P_1
+    let mut d_prev = 0.0; // P'_0
+    let mut d = 1.0; // P'_1
+    for k in 1..n {
+        let kf = k as f64;
+        let p_next = ((2.0 * kf + 1.0) * x * p - kf * p_prev) / (kf + 1.0);
+        let d_next = d_prev + (2.0 * kf + 1.0) * p;
+        p_prev = p;
+        p = p_next;
+        d_prev = d;
+        d = d_next;
+    }
+    (p, d)
+}
+
+/// Second derivative `P''_n(x)`, from the Legendre ODE
+/// `(1-x²) P'' - 2x P' + n(n+1) P = 0` away from ±1, and the closed form
+/// at the end points.
+pub fn legendre_deriv2(n: usize, x: f64) -> f64 {
+    let nf = n as f64;
+    if (1.0 - x * x).abs() < 1e-12 {
+        // limit value at x = ±1: P''_n(±1) = (±1)^n (n-1) n (n+1) (n+2) / 8
+        let sign = if x > 0.0 || n % 2 == 0 { 1.0 } else { -1.0 };
+        return sign * (nf - 1.0) * nf * (nf + 1.0) * (nf + 2.0) / 8.0;
+    }
+    let (p, d) = legendre_pair(n, x);
+    (2.0 * x * d - nf * (nf + 1.0) * p) / (1.0 - x * x)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_close(a: f64, b: f64, tol: f64) {
+        assert!((a - b).abs() <= tol, "{a} vs {b}");
+    }
+
+    #[test]
+    fn low_degree_closed_forms() {
+        for &x in &[-1.0, -0.7, -0.3, 0.0, 0.25, 0.9, 1.0] {
+            assert_close(legendre(0, x), 1.0, 1e-15);
+            assert_close(legendre(1, x), x, 1e-15);
+            assert_close(legendre(2, x), 0.5 * (3.0 * x * x - 1.0), 1e-14);
+            assert_close(legendre(3, x), 0.5 * (5.0 * x * x * x - 3.0 * x), 1e-14);
+            assert_close(
+                legendre(4, x),
+                (35.0 * x.powi(4) - 30.0 * x * x + 3.0) / 8.0,
+                1e-14,
+            );
+        }
+    }
+
+    #[test]
+    fn derivative_closed_forms() {
+        for &x in &[-1.0, -0.4, 0.0, 0.6, 1.0] {
+            assert_close(legendre_deriv(2, x), 3.0 * x, 1e-14);
+            assert_close(legendre_deriv(3, x), 0.5 * (15.0 * x * x - 3.0), 1e-13);
+            assert_close(
+                legendre_deriv(4, x),
+                (140.0 * x * x * x - 60.0 * x) / 8.0,
+                1e-13,
+            );
+        }
+    }
+
+    #[test]
+    fn endpoint_values() {
+        for n in 0..12 {
+            assert_close(legendre(n, 1.0), 1.0, 1e-12);
+            let expect = if n % 2 == 0 { 1.0 } else { -1.0 };
+            assert_close(legendre(n, -1.0), expect, 1e-12);
+            // P'_n(1) = n(n+1)/2
+            let nf = n as f64;
+            assert_close(legendre_deriv(n, 1.0), nf * (nf + 1.0) / 2.0, 1e-10);
+        }
+    }
+
+    #[test]
+    fn ode_satisfied_in_interior() {
+        for n in 2..9 {
+            let nf = n as f64;
+            for &x in &[-0.83, -0.31, 0.07, 0.55, 0.96] {
+                let (p, d) = legendre_pair(n, x);
+                let d2 = legendre_deriv2(n, x);
+                let residual = (1.0 - x * x) * d2 - 2.0 * x * d + nf * (nf + 1.0) * p;
+                assert_close(residual, 0.0, 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn second_derivative_endpoint_limit() {
+        // P''_4(1) = 3*4*5*6/8 = 45
+        assert_close(legendre_deriv2(4, 1.0), 45.0, 1e-12);
+        // continuity: approach the end point
+        let near = legendre_deriv2(4, 1.0 - 1e-7);
+        assert_close(near, 45.0, 1e-4);
+    }
+}

@@ -1,0 +1,45 @@
+//! Gauss-Lobatto-Legendre (GLL) quadrature and Lagrange interpolation —
+//! the polynomial machinery of the spectral-element method (paper §2.3).
+//!
+//! A spectral element of polynomial degree `n` carries `n + 1` GLL control
+//! points per direction. The GLL points are the roots of
+//! `(1 - x²) P'_n(x)` where `P_n` is the Legendre polynomial of degree `n`;
+//! they always include the end points ±1, which is what makes neighbouring
+//! elements share points on their common faces, edges and corners (paper
+//! Figure 3). Quadrature at these same points yields a *diagonal* mass
+//! matrix, the property that makes explicit time marching cheap (paper §2.4).
+//!
+//! All basis quantities are computed once in `f64` and consumed by the mesher
+//! and solver (which, like SPECFEM3D_GLOBE, run the wave propagation itself
+//! in single precision).
+
+pub mod lagrange;
+pub mod legendre;
+pub mod quadrature;
+
+pub use lagrange::{lagrange_derivative_matrix, lagrange_weights_at, LagrangeEval};
+pub use legendre::{legendre, legendre_deriv, legendre_pair};
+pub use quadrature::{gll_points_and_weights, GllBasis};
+
+/// Polynomial degree used throughout SPECFEM3D_GLOBE production runs.
+///
+/// The paper (§2.3) notes degrees 4–10 are usable; 4 (i.e. 5 GLL points per
+/// direction, 125 per element) is the production choice and the one the 5×5
+/// cut-plane matrix products of §4.3 are built around.
+pub const DEFAULT_DEGREE: usize = 4;
+
+/// Number of GLL points per direction at the default degree.
+pub const NGLL: usize = DEFAULT_DEGREE + 1;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_degree_is_production_specfem() {
+        assert_eq!(DEFAULT_DEGREE, 4);
+        assert_eq!(NGLL, 5);
+        let b = GllBasis::new(DEFAULT_DEGREE);
+        assert_eq!(b.points.len(), NGLL);
+    }
+}

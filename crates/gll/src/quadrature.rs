@@ -1,0 +1,233 @@
+//! GLL node/weight computation and the per-degree basis bundle.
+
+use crate::lagrange::lagrange_derivative_matrix;
+use crate::legendre::{legendre, legendre_deriv, legendre_deriv2};
+
+/// Compute the `n + 1` Gauss-Lobatto-Legendre points and weights for
+/// polynomial degree `n`.
+///
+/// Points are the roots of `(1 - x²) P'_n(x)`: the end points ±1 plus the
+/// `n - 1` interior roots of `P'_n`, found by Newton iteration seeded with
+/// Chebyshev-Gauss-Lobatto points. Weights are `2 / (n (n+1) P_n(x_i)²)`.
+pub fn gll_points_and_weights(n: usize) -> (Vec<f64>, Vec<f64>) {
+    assert!(n >= 1, "GLL quadrature needs degree >= 1");
+    let np = n + 1;
+    let mut x = vec![0.0f64; np];
+    x[0] = -1.0;
+    x[n] = 1.0;
+    // Interior points: roots of P'_n. Seed with Chebyshev-Lobatto nodes,
+    // refine with Newton on f = P'_n, f' = P''_n.
+    for i in 1..n {
+        let mut xi = -(std::f64::consts::PI * i as f64 / n as f64).cos();
+        for _ in 0..100 {
+            let f = legendre_deriv(n, xi);
+            let df = legendre_deriv2(n, xi);
+            let step = f / df;
+            xi -= step;
+            if step.abs() < 1e-15 {
+                break;
+            }
+        }
+        x[i] = xi;
+    }
+    // Enforce exact antisymmetry (the seed/Newton pair is symmetric up to
+    // roundoff; averaging removes the last-bit asymmetry).
+    for i in 0..np / 2 {
+        let s = 0.5 * (x[i] - x[n - i]);
+        x[i] = s;
+        x[n - i] = -s;
+    }
+    if np % 2 == 1 {
+        x[np / 2] = 0.0;
+    }
+    let nf = n as f64;
+    let w: Vec<f64> = x
+        .iter()
+        .map(|&xi| {
+            let p = legendre(n, xi);
+            2.0 / (nf * (nf + 1.0) * p * p)
+        })
+        .collect();
+    (x, w)
+}
+
+/// Everything the mesher and solver need about the 1-D GLL basis of one
+/// polynomial degree: nodes, weights, and the Lagrange derivative matrix in
+/// both plain and quadrature-weighted forms.
+#[derive(Debug, Clone)]
+pub struct GllBasis {
+    /// Polynomial degree `n`.
+    pub degree: usize,
+    /// GLL nodes `x_0 = -1 < … < x_n = 1`.
+    pub points: Vec<f64>,
+    /// GLL quadrature weights.
+    pub weights: Vec<f64>,
+    /// `hprime[i][j] = l'_j(x_i)`: derivative of the `j`-th Lagrange
+    /// interpolant at the `i`-th node (row-major, `(n+1)²`).
+    pub hprime: Vec<f64>,
+    /// `hprime_wgll[i][j] = w_i l'_j(x_i)` — the weighted transpose-ready
+    /// form used in the second application inside the force kernel.
+    pub hprime_wgll: Vec<f64>,
+}
+
+impl GllBasis {
+    /// Build the basis for polynomial degree `degree`.
+    pub fn new(degree: usize) -> Self {
+        let (points, weights) = gll_points_and_weights(degree);
+        let hprime = lagrange_derivative_matrix(&points);
+        let np = degree + 1;
+        let mut hprime_wgll = vec![0.0; np * np];
+        for i in 0..np {
+            for j in 0..np {
+                hprime_wgll[i * np + j] = weights[i] * hprime[i * np + j];
+            }
+        }
+        Self {
+            degree,
+            points,
+            weights,
+            hprime,
+            hprime_wgll,
+        }
+    }
+
+    /// Number of points per direction (`degree + 1`).
+    #[inline]
+    pub fn npoints(&self) -> usize {
+        self.degree + 1
+    }
+
+    /// Integrate a sampled function (values at the GLL nodes) over `[-1, 1]`.
+    pub fn integrate(&self, values: &[f64]) -> f64 {
+        assert_eq!(values.len(), self.npoints());
+        values
+            .iter()
+            .zip(&self.weights)
+            .map(|(v, w)| v * w)
+            .sum()
+    }
+
+    /// Differentiate a nodal function, returning the derivative sampled at
+    /// the nodes: `(Df)_i = Σ_j hprime[i][j] f_j`.
+    pub fn differentiate(&self, values: &[f64]) -> Vec<f64> {
+        let np = self.npoints();
+        assert_eq!(values.len(), np);
+        let mut out = vec![0.0; np];
+        for i in 0..np {
+            let mut acc = 0.0;
+            for j in 0..np {
+                acc += self.hprime[i * np + j] * values[j];
+            }
+            out[i] = acc;
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_close(a: f64, b: f64, tol: f64) {
+        assert!((a - b).abs() <= tol, "{a} vs {b}");
+    }
+
+    #[test]
+    fn degree4_matches_published_values() {
+        // Classical degree-4 GLL: {±1, ±sqrt(3/7), 0},
+        // weights {1/10, 49/90, 32/45}.
+        let (x, w) = gll_points_and_weights(4);
+        let s = (3.0f64 / 7.0).sqrt();
+        let expect_x = [-1.0, -s, 0.0, s, 1.0];
+        let expect_w = [0.1, 49.0 / 90.0, 32.0 / 45.0, 49.0 / 90.0, 0.1];
+        for i in 0..5 {
+            assert_close(x[i], expect_x[i], 1e-14);
+            assert_close(w[i], expect_w[i], 1e-14);
+        }
+    }
+
+    #[test]
+    fn weights_sum_to_interval_length() {
+        for n in 1..12 {
+            let (_, w) = gll_points_and_weights(n);
+            assert_close(w.iter().sum::<f64>(), 2.0, 1e-12);
+        }
+    }
+
+    #[test]
+    fn quadrature_exact_up_to_2n_minus_1() {
+        // GLL with n+1 points integrates polynomials of degree 2n-1 exactly.
+        for n in 2..9 {
+            let (x, w) = gll_points_and_weights(n);
+            for k in 0..=(2 * n - 1) {
+                let quad: f64 = x.iter().zip(&w).map(|(xi, wi)| wi * xi.powi(k as i32)).sum();
+                let exact = if k % 2 == 1 {
+                    0.0
+                } else {
+                    2.0 / (k as f64 + 1.0)
+                };
+                assert_close(quad, exact, 1e-11);
+            }
+        }
+    }
+
+    #[test]
+    fn quadrature_not_exact_at_2n() {
+        // x^{2n} has a known positive quadrature error for Lobatto rules.
+        let n = 4;
+        let (x, w) = gll_points_and_weights(n);
+        let k = 2 * n;
+        let quad: f64 = x.iter().zip(&w).map(|(xi, wi)| wi * xi.powi(k as i32)).sum();
+        let exact = 2.0 / (k as f64 + 1.0);
+        assert!((quad - exact).abs() > 1e-6);
+    }
+
+    #[test]
+    fn nodes_are_sorted_and_symmetric() {
+        for n in 1..15 {
+            let (x, _) = gll_points_and_weights(n);
+            for i in 1..x.len() {
+                assert!(x[i] > x[i - 1]);
+            }
+            for i in 0..x.len() {
+                assert_close(x[i], -x[x.len() - 1 - i], 1e-15);
+            }
+        }
+    }
+
+    #[test]
+    fn derivative_matrix_rows_sum_to_zero() {
+        // Derivative of the constant function is zero.
+        let b = GllBasis::new(4);
+        for i in 0..5 {
+            let row: f64 = (0..5).map(|j| b.hprime[i * 5 + j]).sum();
+            assert_close(row, 0.0, 1e-12);
+        }
+    }
+
+    #[test]
+    fn differentiate_polynomial_exactly() {
+        let b = GllBasis::new(4);
+        // f(x) = x^3 - 2x, f'(x) = 3x^2 - 2; degree 3 < 5 so exact.
+        let f: Vec<f64> = b.points.iter().map(|&x| x * x * x - 2.0 * x).collect();
+        let df = b.differentiate(&f);
+        for (i, &x) in b.points.iter().enumerate() {
+            assert_close(df[i], 3.0 * x * x - 2.0, 1e-12);
+        }
+    }
+
+    #[test]
+    fn integrate_matches_weights() {
+        let b = GllBasis::new(6);
+        let f: Vec<f64> = b.points.iter().map(|&x| x * x).collect();
+        assert_close(b.integrate(&f), 2.0 / 3.0, 1e-12);
+    }
+
+    #[test]
+    fn high_degree_stable() {
+        let (x, w) = gll_points_and_weights(10);
+        assert_eq!(x.len(), 11);
+        assert!(w.iter().all(|&wi| wi > 0.0));
+        assert_close(w.iter().sum::<f64>(), 2.0, 1e-12);
+    }
+}

@@ -1,0 +1,87 @@
+//! Property-based tests of the GLL basis: quadrature exactness, partition
+//! of unity, interpolation identity — over randomized inputs.
+
+use proptest::prelude::*;
+use specfem_gll::{gll_points_and_weights, lagrange_weights_at, GllBasis};
+
+proptest! {
+    /// GLL quadrature with n+1 points integrates any polynomial of degree
+    /// ≤ 2n−1 exactly, for random coefficients.
+    #[test]
+    fn quadrature_exact_for_random_polynomials(
+        degree in 2usize..8,
+        coeffs in prop::collection::vec(-5.0f64..5.0, 1..8),
+    ) {
+        let (x, w) = gll_points_and_weights(degree);
+        // Truncate the polynomial to degree 2n−1.
+        let max_pow = (2 * degree - 1).min(coeffs.len() - 1);
+        let poly = |t: f64| -> f64 {
+            coeffs[..=max_pow]
+                .iter()
+                .enumerate()
+                .map(|(k, c)| c * t.powi(k as i32))
+                .sum()
+        };
+        let quad: f64 = x.iter().zip(&w).map(|(xi, wi)| wi * poly(*xi)).sum();
+        let exact: f64 = coeffs[..=max_pow]
+            .iter()
+            .enumerate()
+            .map(|(k, c)| if k % 2 == 0 { 2.0 * c / (k as f64 + 1.0) } else { 0.0 })
+            .sum();
+        prop_assert!((quad - exact).abs() < 1e-9 * (1.0 + exact.abs()));
+    }
+
+    /// Lagrange weights form a partition of unity at any point in [-1, 1].
+    #[test]
+    fn partition_of_unity_everywhere(
+        degree in 1usize..9,
+        xi in -1.0f64..1.0,
+    ) {
+        let (x, _) = gll_points_and_weights(degree);
+        let w = lagrange_weights_at(&x, xi);
+        let sum: f64 = w.iter().sum();
+        prop_assert!((sum - 1.0).abs() < 1e-10);
+    }
+
+    /// Interpolating a degree-≤n polynomial at any point is exact.
+    #[test]
+    fn interpolation_reproduces_representable_polynomials(
+        degree in 2usize..7,
+        xi in -1.0f64..1.0,
+        a in -3.0f64..3.0,
+        b in -3.0f64..3.0,
+    ) {
+        let (x, _) = gll_points_and_weights(degree);
+        let f = |t: f64| a * t.powi(degree as i32) + b * t - 0.5;
+        let nodal: Vec<f64> = x.iter().map(|&t| f(t)).collect();
+        let w = lagrange_weights_at(&x, xi);
+        let interp: f64 = w.iter().zip(&nodal).map(|(wi, fi)| wi * fi).sum();
+        prop_assert!((interp - f(xi)).abs() < 1e-9 * (1.0 + f(xi).abs()));
+    }
+
+    /// The derivative matrix annihilates constants and differentiates
+    /// the identity exactly, for every degree.
+    #[test]
+    fn derivative_matrix_basics(degree in 1usize..10) {
+        let basis = GllBasis::new(degree);
+        let np = basis.npoints();
+        let ones = vec![1.0; np];
+        for v in basis.differentiate(&ones) {
+            prop_assert!(v.abs() < 1e-10);
+        }
+        let ident: Vec<f64> = basis.points.clone();
+        for v in basis.differentiate(&ident) {
+            prop_assert!((v - 1.0).abs() < 1e-10);
+        }
+    }
+
+    /// Weights are positive and symmetric for every degree.
+    #[test]
+    fn weights_positive_symmetric(degree in 1usize..12) {
+        let (_, w) = gll_points_and_weights(degree);
+        for i in 0..w.len() {
+            prop_assert!(w[i] > 0.0);
+            prop_assert!((w[i] - w[w.len() - 1 - i]).abs() < 1e-13);
+        }
+    }
+}

@@ -1,0 +1,103 @@
+//! Seismogram output in the SPECFEM ASCII convention: one file per station
+//! per component (`<station>.<NET>.<comp>.semv`), two columns
+//! `time value`, plus a reader for round-tripping and post-processing.
+
+use std::fs::{self, File};
+use std::io::{self, BufRead, BufReader, BufWriter, Write};
+use std::path::Path;
+
+/// Component suffixes in SPECFEM order (here Cartesian X/Y/Z rather than
+/// rotated N/E/Z — the rotation to geographic components is a
+/// post-processing step).
+pub const COMPONENTS: [&str; 3] = ["BXX", "BXY", "BXZ"];
+
+/// A minimal view of a seismogram for writing (mirrors
+/// `specfem_solver::Seismogram` without the dependency).
+pub struct SeismogramRecord<'a> {
+    /// Station name.
+    pub station: &'a str,
+    /// Sample spacing (s).
+    pub dt: f64,
+    /// Three-component samples.
+    pub data: &'a [[f32; 3]],
+}
+
+/// Write one station's three component files into `dir`. Returns the file
+/// paths written.
+pub fn write_station(
+    dir: &Path,
+    network: &str,
+    rec: &SeismogramRecord<'_>,
+) -> io::Result<Vec<std::path::PathBuf>> {
+    fs::create_dir_all(dir)?;
+    let mut paths = Vec::with_capacity(3);
+    for (c, comp) in COMPONENTS.iter().enumerate() {
+        let path = dir.join(format!("{}.{network}.{comp}.semv", rec.station));
+        let mut w = BufWriter::new(File::create(&path)?);
+        for (i, v) in rec.data.iter().enumerate() {
+            writeln!(w, "{:.6e} {:.6e}", i as f64 * rec.dt, v[c])?;
+        }
+        w.flush()?;
+        paths.push(path);
+    }
+    Ok(paths)
+}
+
+/// Read one component file back as `(times, values)`.
+pub fn read_component(path: &Path) -> io::Result<(Vec<f64>, Vec<f32>)> {
+    let r = BufReader::new(File::open(path)?);
+    let mut times = Vec::new();
+    let mut values = Vec::new();
+    for line in r.lines() {
+        let line = line?;
+        let mut it = line.split_whitespace();
+        let (Some(t), Some(v)) = (it.next(), it.next()) else {
+            continue;
+        };
+        times.push(t.parse::<f64>().map_err(io::Error::other)?);
+        values.push(v.parse::<f32>().map_err(io::Error::other)?);
+    }
+    Ok((times, values))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_station_files() {
+        let dir = std::env::temp_dir().join("specfem_seismo_rt");
+        let _ = fs::remove_dir_all(&dir);
+        let data: Vec<[f32; 3]> = (0..50)
+            .map(|i| [i as f32, -2.0 * i as f32, 0.5 * i as f32])
+            .collect();
+        let rec = SeismogramRecord {
+            station: "ANMO",
+            dt: 0.25,
+            data: &data,
+        };
+        let paths = write_station(&dir, "GE", &rec).unwrap();
+        assert_eq!(paths.len(), 3);
+        assert!(paths[0].file_name().unwrap().to_str().unwrap().contains("ANMO.GE.BXX"));
+        let (t, v) = read_component(&paths[1]).unwrap();
+        assert_eq!(t.len(), 50);
+        assert!((t[4] - 1.0).abs() < 1e-12);
+        assert!((v[10] + 20.0).abs() < 1e-3);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn empty_seismogram_writes_empty_files() {
+        let dir = std::env::temp_dir().join("specfem_seismo_empty");
+        let _ = fs::remove_dir_all(&dir);
+        let rec = SeismogramRecord {
+            station: "NONE",
+            dt: 1.0,
+            data: &[],
+        };
+        let paths = write_station(&dir, "XX", &rec).unwrap();
+        let (t, v) = read_component(&paths[0]).unwrap();
+        assert!(t.is_empty() && v.is_empty());
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,192 @@
+//! BLAS-style kernels: the approach paper §4.3 evaluated and rejected.
+//!
+//! "First, the matrices are very small (5 x 5) and therefore the overhead
+//! of the BLAS routine is higher than what we can hope to gain. Second …
+//! several of these calls to BLAS would be for blocks not linearly aligned
+//! in memory and would therefore first require a memory copy to an aligned
+//! 2D block."
+//!
+//! This module reproduces that structure faithfully: a *generic*,
+//! runtime-dimension `sgemm` (as a library routine would be — no
+//! compile-time 5×5 specialization), invoked through a function pointer to
+//! defeat inlining (the call overhead a shared-library BLAS has), plus the
+//! pack/unpack copies needed for the `j`- and `k`-direction cut-planes.
+
+use crate::layout::{NGLL, NGLL2};
+
+/// Generic column-major-ish sgemm: `C ← A·B + βC` with runtime dimensions,
+/// `A` is `m×k` (row-major, lda), `B` is `k×n` (row-major, ldb), `C` `m×n`.
+#[inline(never)]
+pub fn sgemm(
+    m: usize,
+    n: usize,
+    kk: usize,
+    a: &[f32],
+    lda: usize,
+    b: &[f32],
+    ldb: usize,
+    beta: f32,
+    c: &mut [f32],
+    ldc: usize,
+) {
+    for i in 0..m {
+        for j in 0..n {
+            let mut acc = 0.0f32;
+            for l in 0..kk {
+                acc += a[i * lda + l] * b[l * ldb + j];
+            }
+            let cij = &mut c[i * ldc + j];
+            *cij = acc + beta * *cij;
+        }
+    }
+}
+
+/// Function-pointer indirection: models calling into an opaque BLAS.
+pub type SgemmFn = fn(usize, usize, usize, &[f32], usize, &[f32], usize, f32, &mut [f32], usize);
+
+/// The sgemm entry point used below (kept as a `fn` pointer on purpose).
+pub static SGEMM: SgemmFn = sgemm;
+
+/// Cut-plane derivatives via repeated library-style sgemm calls.
+pub fn cutplane_derivatives(
+    u: &[f32],
+    h: &[[f32; NGLL]; NGLL],
+    t1: &mut [f32],
+    t2: &mut [f32],
+    t3: &mut [f32],
+) {
+    // Flatten h row-major for the generic routine.
+    let mut hf = [0.0f32; NGLL2];
+    for i in 0..NGLL {
+        for l in 0..NGLL {
+            hf[i * NGLL + l] = h[i][l];
+        }
+    }
+    let mut pack = [0.0f32; NGLL2];
+    let mut packed_out = [0.0f32; NGLL2];
+
+    // t1: for each k-plane, t1_k = H · U_k where U_k(l, j) = u(l,j,k) —
+    // u is contiguous in i, so U_k as (i rows, j cols) needs A=H (5×5),
+    // B = plane with b[l*ldb + j] = u(l, j, k): element (l,j) at offset
+    // (k·5+j)·5+l → not row-major in (l,j); pack it.
+    for k in 0..NGLL {
+        for l in 0..NGLL {
+            for j in 0..NGLL {
+                pack[l * NGLL + j] = u[(k * NGLL + j) * NGLL + l];
+            }
+        }
+        SGEMM(NGLL, NGLL, NGLL, &hf, NGLL, &pack, NGLL, 0.0, &mut packed_out, NGLL);
+        // unpack: t1(i,j,k) = out(i, j)
+        for i in 0..NGLL {
+            for j in 0..NGLL {
+                t1[(k * NGLL + j) * NGLL + i] = packed_out[i * NGLL + j];
+            }
+        }
+    }
+
+    // t2: t2(i,j,k) = Σ_l h[j][l] u(i,l,k): for each k-plane this is
+    // U'_k · Hᵀ with U'_k(i, l) = u(i,l,k) — rows i stride 1? u(i,l,k)
+    // offset (k·5+l)·5+i: as (i rows, l cols) not contiguous; pack again.
+    let mut ht = [0.0f32; NGLL2];
+    for l in 0..NGLL {
+        for j in 0..NGLL {
+            ht[l * NGLL + j] = h[j][l];
+        }
+    }
+    for k in 0..NGLL {
+        for i in 0..NGLL {
+            for l in 0..NGLL {
+                pack[i * NGLL + l] = u[(k * NGLL + l) * NGLL + i];
+            }
+        }
+        SGEMM(NGLL, NGLL, NGLL, &pack, NGLL, &ht, NGLL, 0.0, &mut packed_out, NGLL);
+        for i in 0..NGLL {
+            for j in 0..NGLL {
+                t2[(k * NGLL + j) * NGLL + i] = packed_out[i * NGLL + j];
+            }
+        }
+    }
+
+    // t3: t3(i,j,k) = Σ_l h[k][l] u(i,j,l): for each j-plane, pack
+    // (i rows, l cols) from offset (l·5+j)·5+i.
+    for j in 0..NGLL {
+        for i in 0..NGLL {
+            for l in 0..NGLL {
+                pack[i * NGLL + l] = u[(l * NGLL + j) * NGLL + i];
+            }
+        }
+        // out(i, k) = Σ_l pack(i,l)·h[k][l] = pack · Hᵀ(l,k)
+        let mut hkt = [0.0f32; NGLL2];
+        for l in 0..NGLL {
+            for kx in 0..NGLL {
+                hkt[l * NGLL + kx] = h[kx][l];
+            }
+        }
+        SGEMM(NGLL, NGLL, NGLL, &pack, NGLL, &hkt, NGLL, 0.0, &mut packed_out, NGLL);
+        for i in 0..NGLL {
+            for kx in 0..NGLL {
+                t3[(kx * NGLL + j) * NGLL + i] = packed_out[i * NGLL + kx];
+            }
+        }
+    }
+}
+
+/// Weighted-transpose accumulation via the same pack/sgemm/unpack pattern.
+pub fn cutplane_transpose_accumulate(
+    f1: &[f32],
+    f2: &[f32],
+    f3: &[f32],
+    w: &[[f32; NGLL]; NGLL],
+    out: &mut [f32],
+) {
+    // Reuse the derivative structure: each term is the same cut-plane
+    // product with w in place of h, so compute the three products into
+    // scratch and accumulate.
+    let mut s1 = [0.0f32; 125];
+    let mut s2 = [0.0f32; 125];
+    let mut s3 = [0.0f32; 125];
+    // The transpose stage applies w along the *output* index, which has the
+    // same access pattern as the derivative stage with (f, w) in place of
+    // (u, h) per term.
+    cutplane_derivatives(f1, w, &mut s1, &mut scratch(), &mut scratch());
+    {
+        let mut tmp = [0.0f32; 125];
+        cutplane_derivatives(f2, w, &mut scratch(), &mut s2, &mut tmp);
+    }
+    {
+        let mut tmp = [0.0f32; 125];
+        cutplane_derivatives(f3, w, &mut scratch(), &mut tmp, &mut s3);
+    }
+    for idx in 0..125 {
+        out[idx] += s1[idx] + s2[idx] + s3[idx];
+    }
+}
+
+#[inline]
+fn scratch() -> [f32; 125] {
+    [0.0; 125]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generic_sgemm_multiplies_correctly() {
+        // 2×3 · 3×2.
+        let a = [1.0, 2.0, 3.0, 4.0, 5.0, 6.0];
+        let b = [7.0, 8.0, 9.0, 10.0, 11.0, 12.0];
+        let mut c = [0.0f32; 4];
+        sgemm(2, 2, 3, &a, 3, &b, 2, 0.0, &mut c, 2);
+        assert_eq!(c, [58.0, 64.0, 139.0, 154.0]);
+    }
+
+    #[test]
+    fn sgemm_beta_accumulates() {
+        let a = [1.0, 0.0, 0.0, 1.0];
+        let b = [2.0, 0.0, 0.0, 2.0];
+        let mut c = [10.0, 0.0, 0.0, 10.0];
+        sgemm(2, 2, 2, &a, 2, &b, 2, 1.0, &mut c, 2);
+        assert_eq!(c, [12.0, 0.0, 0.0, 12.0]);
+    }
+}

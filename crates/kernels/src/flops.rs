@@ -1,0 +1,124 @@
+//! Analytic flop accounting — the PSiNSlight analog (paper §6 measured
+//! sustained Tflops with the PSiNS tracer; we count the kernel flops
+//! directly, which is what such tracers report for this code).
+
+use crate::layout::{NGLL, NGLL3};
+
+/// Flops of one cut-plane derivative stage for one scalar field:
+/// 3 directions × 125 points × (5 multiplies + 5 adds).
+pub const DERIVATIVE_STAGE_FLOPS: u64 = (3 * NGLL3 * 2 * NGLL) as u64;
+
+/// Flops of one weighted-transpose accumulation for one scalar field
+/// (same shape plus the final accumulate add per point).
+pub const TRANSPOSE_STAGE_FLOPS: u64 = (3 * NGLL3 * 2 * NGLL + NGLL3) as u64;
+
+/// Pointwise flops per GLL point in the solid force kernel between the two
+/// matrix stages: metric transforms (9→9 chain-rule products ≈ 45 flops),
+/// isotropic stress (≈ 25), and the weighted metric re-projection (≈ 45).
+pub const SOLID_POINTWISE_FLOPS_PER_POINT: u64 = 115;
+
+/// Pointwise flops per GLL point in the fluid (scalar) kernel.
+pub const FLUID_POINTWISE_FLOPS_PER_POINT: u64 = 40;
+
+/// Flops of the full solid internal-force kernel for one element
+/// (3 displacement components through both stages + pointwise physics).
+pub fn solid_element_flops() -> u64 {
+    3 * (DERIVATIVE_STAGE_FLOPS + TRANSPOSE_STAGE_FLOPS)
+        + SOLID_POINTWISE_FLOPS_PER_POINT * NGLL3 as u64
+}
+
+/// Flops of the full fluid internal-force kernel for one element.
+pub fn fluid_element_flops() -> u64 {
+    DERIVATIVE_STAGE_FLOPS + TRANSPOSE_STAGE_FLOPS + FLUID_POINTWISE_FLOPS_PER_POINT * NGLL3 as u64
+}
+
+/// Extra flops per *solid* element per step when attenuation (3 SLS memory
+/// variables on 5 deviatoric strain components) is on: the reason the
+/// paper's attenuation runs take ~1.8× longer at nearly the same flop
+/// *rate*.
+pub fn attenuation_element_flops() -> u64 {
+    // Per point: 5 strain components × 3 SLS × (2 mul + 1 add for the
+    // recursion) + stress correction (≈ 10).
+    ((5 * 3 * 3 + 10) * NGLL3) as u64
+}
+
+/// Running flop counter for a solver run.
+#[derive(Debug, Default, Clone)]
+pub struct FlopCounter {
+    total: u64,
+}
+
+impl FlopCounter {
+    /// New zeroed counter.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record `n` solid elements processed.
+    pub fn add_solid_elements(&mut self, n: usize, with_attenuation: bool) {
+        self.total += n as u64 * solid_element_flops();
+        if with_attenuation {
+            self.total += n as u64 * attenuation_element_flops();
+        }
+    }
+
+    /// Record `n` fluid elements processed.
+    pub fn add_fluid_elements(&mut self, n: usize) {
+        self.total += n as u64 * fluid_element_flops();
+    }
+
+    /// Record raw flops (time-update loops, mass division, …).
+    pub fn add_raw(&mut self, flops: u64) {
+        self.total += flops;
+    }
+
+    /// Total flops so far.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Sustained flop rate over `seconds`.
+    pub fn rate(&self, seconds: f64) -> f64 {
+        self.total as f64 / seconds
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stage_flop_constants() {
+        assert_eq!(DERIVATIVE_STAGE_FLOPS, 3 * 125 * 10);
+        assert_eq!(TRANSPOSE_STAGE_FLOPS, 3 * 125 * 10 + 125);
+    }
+
+    #[test]
+    fn solid_element_is_about_37k_flops() {
+        let f = solid_element_flops();
+        // 3·(3750+3875) + 115·125 = 22875 + 14375 = 37250.
+        assert_eq!(f, 37_250);
+        // The scalar fluid kernel is roughly a third of the 3-component
+        // solid kernel.
+        assert!(fluid_element_flops() < f / 2);
+    }
+
+    #[test]
+    fn counter_accumulates() {
+        let mut c = FlopCounter::new();
+        c.add_solid_elements(10, false);
+        c.add_fluid_elements(5);
+        c.add_raw(100);
+        let expect = 10 * solid_element_flops() + 5 * fluid_element_flops() + 100;
+        assert_eq!(c.total(), expect);
+        assert!((c.rate(2.0) - expect as f64 / 2.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn attenuation_adds_meaningful_but_not_dominant_flops() {
+        let base = solid_element_flops();
+        let att = attenuation_element_flops();
+        let ratio = att as f64 / base as f64;
+        assert!(ratio > 0.1 && ratio < 0.5, "attenuation ratio {ratio}");
+    }
+}

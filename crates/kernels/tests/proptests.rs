@@ -1,0 +1,123 @@
+//! Property-based equivalence of the kernel variants (paper §4.3): the
+//! three implementations are the same linear operator, on arbitrary data.
+
+use proptest::prelude::*;
+use specfem_gll::GllBasis;
+use specfem_kernels::{
+    blas_style, reference, simd, DerivOps, NGLL3, NGLL3_PADDED,
+};
+
+fn padded(vals: &[f32]) -> Vec<f32> {
+    let mut v = vec![0.0f32; NGLL3_PADDED];
+    v[..NGLL3].copy_from_slice(&vals[..NGLL3]);
+    v
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// simd == reference == blas on random fields (derivative stage).
+    #[test]
+    fn derivative_variants_agree(
+        field in prop::collection::vec(-100.0f32..100.0, NGLL3),
+    ) {
+        let ops = DerivOps::from_basis(&GllBasis::new(4));
+        let u = padded(&field);
+        let mut outs = Vec::new();
+        type Kernel = fn(&[f32], &[[f32; 5]; 5], &mut [f32], &mut [f32], &mut [f32]);
+        let kernels: [Kernel; 3] = [
+            reference::cutplane_derivatives,
+            simd::cutplane_derivatives,
+            blas_style::cutplane_derivatives,
+        ];
+        for k in kernels {
+            let mut t1 = vec![0.0f32; NGLL3_PADDED];
+            let mut t2 = vec![0.0f32; NGLL3_PADDED];
+            let mut t3 = vec![0.0f32; NGLL3_PADDED];
+            k(&u, &ops.hprime, &mut t1, &mut t2, &mut t3);
+            outs.push((t1, t2, t3));
+        }
+        let scale = field.iter().map(|v| v.abs()).fold(1.0f32, f32::max);
+        for o in &outs[1..] {
+            for idx in 0..NGLL3 {
+                prop_assert!((outs[0].0[idx] - o.0[idx]).abs() <= 1e-3 * scale);
+                prop_assert!((outs[0].1[idx] - o.1[idx]).abs() <= 1e-3 * scale);
+                prop_assert!((outs[0].2[idx] - o.2[idx]).abs() <= 1e-3 * scale);
+            }
+        }
+    }
+
+    /// simd == reference on the transpose/accumulate stage, including the
+    /// accumulation into pre-existing output.
+    #[test]
+    fn transpose_variants_agree(
+        f1 in prop::collection::vec(-10.0f32..10.0, NGLL3),
+        f2 in prop::collection::vec(-10.0f32..10.0, NGLL3),
+        f3 in prop::collection::vec(-10.0f32..10.0, NGLL3),
+        init in -5.0f32..5.0,
+    ) {
+        let ops = DerivOps::from_basis(&GllBasis::new(4));
+        let (p1, p2, p3) = (padded(&f1), padded(&f2), padded(&f3));
+        let mut out_ref = vec![init; NGLL3_PADDED];
+        let mut out_simd = vec![init; NGLL3_PADDED];
+        reference::cutplane_transpose_accumulate(&p1, &p2, &p3, &ops.hprime_wgll_t, &mut out_ref);
+        simd::cutplane_transpose_accumulate(&p1, &p2, &p3, &ops.hprime_wgll_t, &mut out_simd);
+        for idx in 0..NGLL3 {
+            prop_assert!((out_ref[idx] - out_simd[idx]).abs() <= 2e-3);
+        }
+    }
+
+    /// Linearity of the derivative kernel: D(a·u + v) = a·D(u) + D(v).
+    #[test]
+    fn derivative_is_linear(
+        u in prop::collection::vec(-10.0f32..10.0, NGLL3),
+        v in prop::collection::vec(-10.0f32..10.0, NGLL3),
+        a in -4.0f32..4.0,
+    ) {
+        let ops = DerivOps::from_basis(&GllBasis::new(4));
+        let run = |field: &[f32]| {
+            let f = padded(field);
+            let mut t1 = vec![0.0f32; NGLL3_PADDED];
+            let mut t2 = vec![0.0f32; NGLL3_PADDED];
+            let mut t3 = vec![0.0f32; NGLL3_PADDED];
+            simd::cutplane_derivatives(&f, &ops.hprime, &mut t1, &mut t2, &mut t3);
+            t1
+        };
+        let combo: Vec<f32> = u.iter().zip(&v).map(|(x, y)| a * x + y).collect();
+        let lhs = run(&combo);
+        let du = run(&u);
+        let dv = run(&v);
+        for idx in 0..NGLL3 {
+            let rhs = a * du[idx] + dv[idx];
+            prop_assert!((lhs[idx] - rhs).abs() <= 1e-2 * (1.0 + rhs.abs()));
+        }
+    }
+
+    /// The generic sgemm multiplies correctly for random small matrices.
+    #[test]
+    fn sgemm_random_matrices(
+        m in 1usize..6,
+        n in 1usize..6,
+        k in 1usize..6,
+        seed in 0u32..1000,
+    ) {
+        let gen = |len: usize, salt: u32| -> Vec<f32> {
+            (0..len)
+                .map(|i| {
+                    let h = (i as u32).wrapping_mul(2654435761).wrapping_add(seed ^ salt);
+                    (h % 2000) as f32 / 1000.0 - 1.0
+                })
+                .collect()
+        };
+        let a = gen(m * k, 1);
+        let b = gen(k * n, 2);
+        let mut c = vec![0.0f32; m * n];
+        blas_style::sgemm(m, n, k, &a, k, &b, n, 0.0, &mut c, n);
+        for i in 0..m {
+            for j in 0..n {
+                let expect: f32 = (0..k).map(|l| a[i * k + l] * b[l * n + j]).sum();
+                prop_assert!((c[i * n + j] - expect).abs() < 1e-4);
+            }
+        }
+    }
+}

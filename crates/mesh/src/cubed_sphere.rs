@@ -1,0 +1,260 @@
+//! The gnomonic "cubed sphere" mapping (paper §3, Figure 4) and the central
+//! cube lattice it must conform with.
+//!
+//! Each of the six chunks is parametrized by angles `(ξ, η) ∈ [-π/4, π/4]²`;
+//! the equal-angle grid `ξ_i` induces the *tangent lattice* `u_i = tan ξ_i ∈
+//! [-1, 1]`. A lateral position `(u, v)` of a chunk maps to the unit
+//! direction obtained by normalizing the face vector `c(u, v)` of that
+//! chunk. Crucially, interpolation *within* elements is linear in `(u, v)` —
+//! not in `(ξ, η)` — so chunk faces, chunk/chunk edges and the chunk/cube
+//! interface all sample bitwise-identical point sets.
+
+/// Number of cubed-sphere chunks.
+pub const NCHUNKS: usize = 6;
+
+/// The equal-angle tangent lattice: `u_i = tan(-π/4 + i·(π/2)/n)` for
+/// `i = 0..=n`, with the end points snapped to exactly ±1 and the centre to
+/// exactly 0 so shared faces match bitwise.
+pub fn tan_lattice(n: usize) -> Vec<f64> {
+    assert!(n >= 1);
+    let mut u: Vec<f64> = (0..=n)
+        .map(|i| {
+            let xi = -std::f64::consts::FRAC_PI_4
+                + std::f64::consts::FRAC_PI_2 * i as f64 / n as f64;
+            xi.tan()
+        })
+        .collect();
+    u[0] = -1.0;
+    u[n] = 1.0;
+    if n % 2 == 0 {
+        u[n / 2] = 0.0;
+    }
+    // Enforce exact antisymmetry.
+    for i in 0..(n + 1) / 2 {
+        let s = 0.5 * (u[i] - u[n - i]);
+        u[i] = s;
+        u[n - i] = -s;
+    }
+    u
+}
+
+/// Unnormalized face vector of chunk `chunk` at lateral coordinates
+/// `(u, v) ∈ [-1, 1]²`.
+///
+/// The six orientations are chosen so that (a) every chunk-edge point set
+/// coincides between adjacent chunks, (b) the bottom face of every chunk
+/// coincides with one face of the central-cube lattice, and (c) the local
+/// `(u, v, radial)` frame is right-handed (positive Jacobians).
+#[inline]
+pub fn chunk_face_vector(chunk: usize, u: f64, v: f64) -> [f64; 3] {
+    match chunk {
+        0 => [u, v, 1.0],   // +Z
+        1 => [v, u, -1.0],  // -Z
+        2 => [v, 1.0, u],   // +Y
+        3 => [u, -1.0, v],  // -Y
+        4 => [1.0, u, v],   // +X
+        5 => [-1.0, v, u],  // -X
+        _ => panic!("chunk index {chunk} out of range 0..6"),
+    }
+}
+
+/// Unit direction (gnomonic projection) of chunk `chunk` at `(u, v)`.
+#[inline]
+pub fn chunk_direction(chunk: usize, u: f64, v: f64) -> [f64; 3] {
+    let c = chunk_face_vector(chunk, u, v);
+    let norm = (c[0] * c[0] + c[1] * c[1] + c[2] * c[2]).sqrt();
+    [c[0] / norm, c[1] / norm, c[2] / norm]
+}
+
+/// Position of a central-cube lattice point with cube coordinates
+/// `c ∈ [-1, 1]³` (components are tangent-lattice values), half-width `a`
+/// and inflation `beta ∈ [0, 1]`.
+///
+/// `beta = 0` is the flat-faced "real cube with flat faces"; `beta = 1` the
+/// fully "inflated" cube whose boundary is the sphere of radius `a` (the
+/// improvement over the flat cube described in the paper's introduction and
+/// ref [7]). Both keep every node on the ray through `c`, so chunk columns
+/// interpolate radially along fixed directions.
+#[inline]
+pub fn cube_node(c: [f64; 3], a: f64, beta: f64) -> [f64; 3] {
+    let norm2 = c[0] * c[0] + c[1] * c[1] + c[2] * c[2];
+    if norm2 == 0.0 {
+        return [0.0; 3];
+    }
+    let linf = c[0].abs().max(c[1].abs()).max(c[2].abs());
+    let norm = norm2.sqrt();
+    // radius along the ray: (1-β)·a·|c|₂ + β·a·|c|∞ — at the boundary
+    // (|c|∞ = 1) this is a·((1-β)|c|₂ + β), i.e. sphere of radius a if β=1.
+    let scale = a * ((1.0 - beta) + beta * linf / norm);
+    [c[0] * scale, c[1] * scale, c[2] * scale]
+}
+
+/// Radius of the cube boundary point in direction of lattice coords `c`
+/// (with `|c|∞ = 1`) — where the chunks' radial columns start.
+#[inline]
+pub fn cube_surface_radius(c: [f64; 3], a: f64, beta: f64) -> f64 {
+    let p = cube_node(c, a, beta);
+    (p[0] * p[0] + p[1] * p[1] + p[2] * p[2]).sqrt()
+}
+
+/// Linear interpolation in the exact-endpoint form `a(1−t) + b t` (returns
+/// `a` bitwise at `t = 0` and `b` bitwise at `t = 1`, which the global point
+/// matching relies on).
+#[inline]
+pub fn lerp(a: f64, b: f64, t: f64) -> f64 {
+    a * (1.0 - t) + b * t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tan_lattice_is_symmetric_and_spans() {
+        for n in [1, 2, 4, 8, 17] {
+            let u = tan_lattice(n);
+            assert_eq!(u.len(), n + 1);
+            assert_eq!(u[0], -1.0);
+            assert_eq!(u[n], 1.0);
+            for i in 0..=n {
+                assert_eq!(u[i], -u[n - i], "antisymmetry at {i}");
+            }
+            for w in u.windows(2) {
+                assert!(w[1] > w[0]);
+            }
+        }
+    }
+
+    #[test]
+    fn tan_lattice_denser_at_centre() {
+        // Equal-angle gnomonic grids have wider tangent spacing at the
+        // edges (sec² grows away from the face centre).
+        let u = tan_lattice(8);
+        let centre_gap = u[5] - u[4];
+        let edge_gap = u[8] - u[7];
+        assert!(edge_gap > 1.4 * centre_gap);
+    }
+
+    #[test]
+    fn directions_are_unit_and_cover_all_faces() {
+        let mut hits = [false; 6];
+        for chunk in 0..NCHUNKS {
+            let d = chunk_direction(chunk, 0.0, 0.0);
+            let norm = (d[0] * d[0] + d[1] * d[1] + d[2] * d[2]).sqrt();
+            assert!((norm - 1.0).abs() < 1e-15);
+            for (axis, &val) in d.iter().enumerate() {
+                if (val - 1.0).abs() < 1e-12 {
+                    hits[axis] = true;
+                }
+                if (val + 1.0).abs() < 1e-12 {
+                    hits[3 + axis] = true;
+                }
+            }
+        }
+        assert!(hits.iter().all(|&h| h), "face centres must cover ±x ±y ±z");
+    }
+
+    #[test]
+    fn chunk_frames_are_right_handed() {
+        // Numerically check det[∂d/∂u, ∂d/∂v, d] > 0 at the face centre for
+        // every chunk (positive Jacobian convention).
+        let h = 1e-6;
+        for chunk in 0..NCHUNKS {
+            let d0 = chunk_direction(chunk, 0.0, 0.0);
+            let du = chunk_direction(chunk, h, 0.0);
+            let dv = chunk_direction(chunk, 0.0, h);
+            let eu = [du[0] - d0[0], du[1] - d0[1], du[2] - d0[2]];
+            let ev = [dv[0] - d0[0], dv[1] - d0[1], dv[2] - d0[2]];
+            let det = eu[0] * (ev[1] * d0[2] - ev[2] * d0[1])
+                - eu[1] * (ev[0] * d0[2] - ev[2] * d0[0])
+                + eu[2] * (ev[0] * d0[1] - ev[1] * d0[0]);
+            assert!(det > 0.0, "chunk {chunk} left-handed (det = {det})");
+        }
+    }
+
+    #[test]
+    fn adjacent_chunk_edges_share_identical_points() {
+        // Every chunk-boundary point has two coordinates in {−1, +1} and one
+        // free lattice value; collect all boundary points of all chunks and
+        // verify each appears at least twice (edges) using exact comparison.
+        let n = 6;
+        let u = tan_lattice(n);
+        let mut pts: Vec<[u64; 3]> = Vec::new();
+        for chunk in 0..NCHUNKS {
+            for (i, &ui) in u.iter().enumerate() {
+                for (j, &vj) in u.iter().enumerate() {
+                    let on_boundary = i == 0 || i == n || j == 0 || j == n;
+                    if !on_boundary {
+                        continue;
+                    }
+                    let d = chunk_direction(chunk, ui, vj);
+                    pts.push([
+                        (d[0] * 1e12).round() as i64 as u64,
+                        (d[1] * 1e12).round() as i64 as u64,
+                        (d[2] * 1e12).round() as i64 as u64,
+                    ]);
+                }
+            }
+        }
+        let mut counts = std::collections::HashMap::new();
+        for p in &pts {
+            *counts.entry(*p).or_insert(0usize) += 1;
+        }
+        for (p, c) in counts {
+            assert!(c >= 2, "boundary point {p:?} only appears {c} times");
+        }
+    }
+
+    #[test]
+    fn flat_cube_has_flat_faces_inflated_cube_is_spherical() {
+        let a = 550_000.0;
+        // Flat (β=0): face +z points all have z = a.
+        for &(x, y) in &[(0.0, 0.0), (0.5, -0.3), (1.0, 1.0)] {
+            let p = cube_node([x, y, 1.0], a, 0.0);
+            assert!((p[2] - a).abs() < 1e-6 * a, "flat face z = {}", p[2]);
+        }
+        // Inflated (β=1): all boundary points at radius a.
+        for &(x, y) in &[(0.0, 0.0), (0.5, -0.3), (1.0, 1.0), (-0.7, 0.9)] {
+            let r = cube_surface_radius([x, y, 1.0], a, 1.0);
+            assert!((r - a).abs() < 1e-9 * a, "inflated radius = {r}");
+        }
+        // Partial inflation lies between.
+        let r_half = cube_surface_radius([1.0, 1.0, 1.0], a, 0.5);
+        assert!(r_half > a && r_half < a * 3.0f64.sqrt());
+    }
+
+    #[test]
+    fn cube_face_matches_chunk_bottom_lattice() {
+        // Cube face k = n (c = (u_i, u_j, 1)) must equal chunk 0's bottom
+        // lattice positions at the cube surface radius.
+        let n = 4;
+        let u = tan_lattice(n);
+        let a = 500_000.0;
+        let beta = 1.0;
+        for &ui in &u {
+            for &vj in &u {
+                let cube_p = cube_node([ui, vj, 1.0], a, beta);
+                let d = chunk_direction(0, ui, vj);
+                let r = cube_surface_radius([ui, vj, 1.0], a, beta);
+                for k in 0..3 {
+                    assert!(
+                        (cube_p[k] - r * d[k]).abs() < 1e-6,
+                        "cube/chunk mismatch at ({ui}, {vj})"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn lerp_is_exact_at_endpoints() {
+        let (a, b) = (0.123456789f64, 0.987654321f64);
+        assert_eq!(lerp(a, b, 0.0), a);
+        assert_eq!(lerp(a, b, 1.0), b);
+    }
+
+    #[test]
+    fn cube_node_center_is_origin() {
+        assert_eq!(cube_node([0.0; 3], 1000.0, 0.7), [0.0; 3]);
+    }
+}

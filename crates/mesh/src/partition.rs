@@ -1,0 +1,415 @@
+//! Partitioning the global mesh into `6 × NPROC_XI²` slices and extracting
+//! per-rank local meshes with halo communication lists.
+//!
+//! Shell elements go to the slice of their chunk tile (paper Figure 4). The
+//! central cube either lands entirely on one rank — the historical
+//! bottleneck — or is *cut in two* across ranks of opposite chunks, the
+//! §1 improvement ("reduction of the central cube bottleneck by cutting the
+//! cube in two").
+
+use std::collections::HashMap;
+
+use specfem_comm::{HaloPlan, Neighbor};
+
+use crate::build::{ElementHome, GlobalMesh};
+use crate::local::LocalMesh;
+use crate::numbering::element_permutation;
+
+/// How central-cube elements are assigned to ranks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CubeAssignment {
+    /// Whole cube on one rank (the pre-optimization bottleneck).
+    SingleRank,
+    /// Cube cut in two halves assigned to ranks of opposite chunks.
+    TwoRanks,
+}
+
+/// Element → rank assignment for a mesh.
+#[derive(Debug, Clone)]
+pub struct Partition {
+    /// Total ranks (= `6 × nproc_xi²`).
+    pub num_ranks: usize,
+    /// Rank of each global element.
+    pub rank_of: Vec<u32>,
+}
+
+impl Partition {
+    /// Compute the assignment from the mesh parameters.
+    pub fn compute(mesh: &GlobalMesh) -> Partition {
+        let nproc = mesh.params.nproc_xi;
+        let nex_per = mesh.params.nex_xi / nproc;
+        let num_ranks = mesh.params.num_ranks();
+        // The two cube owners sit in opposite chunks (+Z slice 0 and −Z
+        // slice 0) so the cube work rides on ranks whose shell slices are
+        // far apart.
+        let cube_rank_a = 0u32;
+        let cube_rank_b = (nproc * nproc) as u32; // first rank of chunk 1 (−Z)
+        let rank_of = mesh
+            .home
+            .iter()
+            .map(|home| match *home {
+                ElementHome::Shell { chunk, ix, iy } => {
+                    let tx = ix as usize / nex_per;
+                    let ty = iy as usize / nex_per;
+                    (chunk as usize * nproc * nproc + ty * nproc + tx) as u32
+                }
+                ElementHome::Cube { k, .. } => match mesh.params.cube_assignment {
+                    CubeAssignment::SingleRank => cube_rank_a,
+                    CubeAssignment::TwoRanks => {
+                        if (k as usize) < mesh.params.nex_xi / 2 {
+                            cube_rank_b
+                        } else {
+                            cube_rank_a
+                        }
+                    }
+                },
+            })
+            .collect();
+        Partition { num_ranks, rank_of }
+    }
+
+    /// A trivial single-rank partition (serial runs, reference results).
+    pub fn serial(mesh: &GlobalMesh) -> Partition {
+        Partition {
+            num_ranks: 1,
+            rank_of: vec![0; mesh.nspec],
+        }
+    }
+
+    /// Elements per rank — the load-balance view ("excellent load
+    /// balancing", paper abstract).
+    pub fn load(&self) -> Vec<usize> {
+        let mut load = vec![0usize; self.num_ranks];
+        for &r in &self.rank_of {
+            load[r as usize] += 1;
+        }
+        load
+    }
+
+    /// Extract the local mesh of `rank`, applying the element ordering from
+    /// the mesh parameters and building the halo plan.
+    pub fn extract(&self, mesh: &GlobalMesh, rank: usize) -> LocalMesh {
+        let n3 = mesh.points_per_element();
+        // ---- elements of this rank, natural order ------------------------
+        let mine: Vec<u32> = (0..mesh.nspec as u32)
+            .filter(|&e| self.rank_of[e as usize] == rank as u32)
+            .collect();
+
+        // ---- ownership map of global points (which ranks touch them) ----
+        let point_ranks = self.point_ranks(mesh);
+
+        // ---- element ordering (paper §4.2) -------------------------------
+        // Build adjacency among this rank's elements via shared points.
+        let mut local_of_global_elem: HashMap<u32, u32> = HashMap::new();
+        for (le, &ge) in mine.iter().enumerate() {
+            local_of_global_elem.insert(ge, le as u32);
+        }
+        let mut point_elems: HashMap<u32, Vec<u32>> = HashMap::new();
+        for (le, &ge) in mine.iter().enumerate() {
+            let base = ge as usize * n3;
+            for &g in &mesh.ibool[base..base + n3] {
+                let v = point_elems.entry(g).or_default();
+                if v.last() != Some(&(le as u32)) {
+                    v.push(le as u32);
+                }
+            }
+        }
+        let mut adj: Vec<Vec<u32>> = vec![Vec::new(); mine.len()];
+        for elems in point_elems.values() {
+            for (ai, &a) in elems.iter().enumerate() {
+                for &b in &elems[ai + 1..] {
+                    adj[a as usize].push(b);
+                    adj[b as usize].push(a);
+                }
+            }
+        }
+        for v in &mut adj {
+            v.sort_unstable();
+            v.dedup();
+        }
+        let perm = element_permutation(mesh.params.element_order, mine.len(), &adj);
+        let ordered: Vec<u32> = perm.iter().map(|&le| mine[le as usize]).collect();
+
+        // ---- local point numbering by first touch ------------------------
+        let mut local_of_global: HashMap<u32, u32> = HashMap::new();
+        let mut global_ids: Vec<u32> = Vec::new();
+        let mut ibool = Vec::with_capacity(ordered.len() * n3);
+        let mut rho = Vec::with_capacity(ordered.len() * n3);
+        let mut kappa = Vec::with_capacity(ordered.len() * n3);
+        let mut mu = Vec::with_capacity(ordered.len() * n3);
+        let mut qmu = Vec::with_capacity(ordered.len() * n3);
+        let mut region = Vec::with_capacity(ordered.len());
+        for &ge in &ordered {
+            let base = ge as usize * n3;
+            region.push(mesh.region[ge as usize]);
+            for l in 0..n3 {
+                let g = mesh.ibool[base + l];
+                let lid = *local_of_global.entry(g).or_insert_with(|| {
+                    global_ids.push(g);
+                    (global_ids.len() - 1) as u32
+                });
+                ibool.push(lid);
+                rho.push(mesh.rho[base + l]);
+                kappa.push(mesh.kappa[base + l]);
+                mu.push(mesh.mu[base + l]);
+                qmu.push(mesh.qmu[base + l]);
+            }
+        }
+        let coords: Vec<[f64; 3]> = global_ids
+            .iter()
+            .map(|&g| mesh.coords[g as usize])
+            .collect();
+
+        // ---- halo plan ----------------------------------------------------
+        // For every local point shared with other ranks, record it under
+        // each other rank; point lists sorted by global id so both sides
+        // enumerate identically.
+        let mut per_neighbor: HashMap<u32, Vec<(u32, u32)>> = HashMap::new(); // rank → (gid, lid)
+        for (lid, &g) in global_ids.iter().enumerate() {
+            if let Some(ranks) = point_ranks.get(&g) {
+                for &r in ranks {
+                    if r != rank as u32 {
+                        per_neighbor.entry(r).or_default().push((g, lid as u32));
+                    }
+                }
+            }
+        }
+        let mut neighbors: Vec<Neighbor> = per_neighbor
+            .into_iter()
+            .map(|(r, mut pts)| {
+                pts.sort_unstable_by_key(|&(g, _)| g);
+                Neighbor {
+                    rank: r as usize,
+                    points: pts.into_iter().map(|(_, l)| l).collect(),
+                }
+            })
+            .collect();
+        neighbors.sort_by_key(|n| n.rank);
+        let halo = HaloPlan { neighbors };
+        let nglob = global_ids.len();
+        halo.validate(rank, nglob).expect("halo plan invalid");
+
+        LocalMesh {
+            rank,
+            basis: mesh.basis.clone(),
+            nspec: ordered.len(),
+            nglob,
+            ibool,
+            coords,
+            global_ids,
+            region,
+            element_global: ordered,
+            rho,
+            kappa,
+            mu,
+            qmu,
+            halo,
+        }
+    }
+
+    /// Extract every rank's local mesh.
+    pub fn extract_all(&self, mesh: &GlobalMesh) -> Vec<LocalMesh> {
+        (0..self.num_ranks).map(|r| self.extract(mesh, r)).collect()
+    }
+
+    /// Map from global point id to the sorted list of ranks touching it —
+    /// only points touched by ≥ 2 ranks are stored.
+    fn point_ranks(&self, mesh: &GlobalMesh) -> HashMap<u32, Vec<u32>> {
+        let n3 = mesh.points_per_element();
+        let mut first_rank: Vec<u32> = vec![u32::MAX; mesh.nglob];
+        let mut multi: HashMap<u32, Vec<u32>> = HashMap::new();
+        for e in 0..mesh.nspec {
+            let r = self.rank_of[e];
+            for &g in &mesh.ibool[e * n3..(e + 1) * n3] {
+                let f = first_rank[g as usize];
+                if f == u32::MAX {
+                    first_rank[g as usize] = r;
+                } else if f != r {
+                    let v = multi.entry(g).or_insert_with(|| vec![f]);
+                    if !v.contains(&r) {
+                        v.push(r);
+                    }
+                }
+            }
+        }
+        for v in multi.values_mut() {
+            v.sort_unstable();
+        }
+        multi
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{MeshParams, MeshRegion};
+    use specfem_model::Prem;
+
+    fn mesh_with(nex: usize, nproc: usize, cube: CubeAssignment) -> GlobalMesh {
+        let mut params = MeshParams::new(nex, nproc);
+        params.cube_assignment = cube;
+        let prem = Prem::isotropic_no_ocean();
+        GlobalMesh::build(&params, &prem)
+    }
+
+    #[test]
+    fn every_element_gets_exactly_one_rank() {
+        let mesh = mesh_with(4, 2, CubeAssignment::TwoRanks);
+        let part = Partition::compute(&mesh);
+        assert_eq!(part.rank_of.len(), mesh.nspec);
+        assert_eq!(part.num_ranks, 24);
+        let load = part.load();
+        assert_eq!(load.iter().sum::<usize>(), mesh.nspec);
+        assert!(load.iter().all(|&l| l > 0), "empty rank: {load:?}");
+    }
+
+    #[test]
+    fn shell_slices_are_perfectly_balanced() {
+        let mesh = mesh_with(4, 2, CubeAssignment::TwoRanks);
+        let part = Partition::compute(&mesh);
+        // Count shell elements per rank: all equal by construction.
+        let mut shell_load = vec![0usize; part.num_ranks];
+        for (e, home) in mesh.home.iter().enumerate() {
+            if matches!(home, ElementHome::Shell { .. }) {
+                shell_load[part.rank_of[e] as usize] += 1;
+            }
+        }
+        let first = shell_load[0];
+        assert!(shell_load.iter().all(|&l| l == first), "{shell_load:?}");
+    }
+
+    #[test]
+    fn cube_single_rank_vs_two_ranks() {
+        let m1 = mesh_with(4, 2, CubeAssignment::SingleRank);
+        let p1 = Partition::compute(&m1);
+        let m2 = mesh_with(4, 2, CubeAssignment::TwoRanks);
+        let p2 = Partition::compute(&m2);
+        let cube_ranks = |mesh: &GlobalMesh, part: &Partition| {
+            let mut ranks: Vec<u32> = mesh
+                .home
+                .iter()
+                .enumerate()
+                .filter(|(_, h)| matches!(h, ElementHome::Cube { .. }))
+                .map(|(e, _)| part.rank_of[e])
+                .collect();
+            ranks.sort_unstable();
+            ranks.dedup();
+            ranks
+        };
+        assert_eq!(cube_ranks(&m1, &p1).len(), 1);
+        let two = cube_ranks(&m2, &p2);
+        assert_eq!(two.len(), 2);
+        // Max load drops when the cube is cut in two.
+        let max1 = *p1.load().iter().max().unwrap();
+        let max2 = *p2.load().iter().max().unwrap();
+        assert!(max2 < max1, "cutting the cube must reduce peak load");
+    }
+
+    #[test]
+    fn local_meshes_cover_global_mesh_exactly() {
+        let mesh = mesh_with(4, 2, CubeAssignment::TwoRanks);
+        let part = Partition::compute(&mesh);
+        let locals = part.extract_all(&mesh);
+        let total: usize = locals.iter().map(|l| l.nspec).sum();
+        assert_eq!(total, mesh.nspec);
+        // Every global element appears exactly once.
+        let mut seen = vec![false; mesh.nspec];
+        for l in &locals {
+            for &ge in &l.element_global {
+                assert!(!seen[ge as usize], "element {ge} duplicated");
+                seen[ge as usize] = true;
+            }
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn halo_plans_are_symmetric() {
+        let mesh = mesh_with(4, 2, CubeAssignment::TwoRanks);
+        let part = Partition::compute(&mesh);
+        let locals = part.extract_all(&mesh);
+        for l in &locals {
+            for n in &l.halo.neighbors {
+                let other = &locals[n.rank];
+                let back = other
+                    .halo
+                    .neighbors
+                    .iter()
+                    .find(|m| m.rank == l.rank)
+                    .unwrap_or_else(|| panic!("rank {} missing back edge to {}", n.rank, l.rank));
+                assert_eq!(n.points.len(), back.points.len());
+                // Same global ids in the same order on both sides.
+                let gids: Vec<u32> = n.points.iter().map(|&p| l.global_ids[p as usize]).collect();
+                let back_gids: Vec<u32> = back
+                    .points
+                    .iter()
+                    .map(|&p| other.global_ids[p as usize])
+                    .collect();
+                assert_eq!(gids, back_gids);
+            }
+        }
+    }
+
+    #[test]
+    fn halo_points_lie_on_slice_boundaries() {
+        // Shared points must be shared: every halo point's global id must be
+        // referenced by elements of both ranks.
+        let mesh = mesh_with(4, 2, CubeAssignment::TwoRanks);
+        let part = Partition::compute(&mesh);
+        let l0 = part.extract(&mesh, 0);
+        assert!(
+            !l0.halo.neighbors.is_empty(),
+            "rank 0 must have neighbours"
+        );
+        let n3 = mesh.points_per_element();
+        for n in &l0.halo.neighbors {
+            for &p in n.points.iter().take(5) {
+                let gid = l0.global_ids[p as usize];
+                let mut ranks: Vec<u32> = (0..mesh.nspec)
+                    .filter(|&e| mesh.ibool[e * n3..(e + 1) * n3].contains(&gid))
+                    .map(|e| part.rank_of[e])
+                    .collect();
+                ranks.sort_unstable();
+                ranks.dedup();
+                assert!(ranks.contains(&0));
+                assert!(ranks.contains(&(n.rank as u32)));
+            }
+        }
+    }
+
+    #[test]
+    fn serial_partition_has_everything_no_halo() {
+        let mesh = mesh_with(4, 2, CubeAssignment::TwoRanks);
+        let part = Partition::serial(&mesh);
+        let local = part.extract(&mesh, 0);
+        assert_eq!(local.nspec, mesh.nspec);
+        assert_eq!(local.nglob, mesh.nglob);
+        assert!(local.halo.neighbors.is_empty());
+        // Region totals preserved.
+        let cm = local
+            .region
+            .iter()
+            .filter(|r| **r == MeshRegion::CrustMantle)
+            .count();
+        let cm_global = mesh
+            .region
+            .iter()
+            .filter(|r| **r == MeshRegion::CrustMantle)
+            .count();
+        assert_eq!(cm, cm_global);
+    }
+
+    #[test]
+    fn local_materials_match_global() {
+        let mesh = mesh_with(4, 2, CubeAssignment::TwoRanks);
+        let part = Partition::compute(&mesh);
+        let l = part.extract(&mesh, 3);
+        let n3 = mesh.points_per_element();
+        for (le, &ge) in l.element_global.iter().enumerate() {
+            for i in 0..n3 {
+                assert_eq!(l.rho[le * n3 + i], mesh.rho[ge as usize * n3 + i]);
+                assert_eq!(l.mu[le * n3 + i], mesh.mu[ge as usize * n3 + i]);
+            }
+        }
+    }
+}

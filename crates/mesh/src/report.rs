@@ -1,0 +1,137 @@
+//! Mesh statistics and the memory-sizing model of paper §4: "the mesher
+//! and solver would each require at least 37 TBs of data … around 62K
+//! cores of an HPC system having around 1.85 GB of memory per core".
+
+use crate::build::GlobalMesh;
+use crate::MeshRegion;
+#[cfg(test)]
+use crate::{MeshMode, MeshParams};
+
+/// Summary statistics of a built mesh.
+#[derive(Debug, Clone, Default)]
+pub struct MeshStatistics {
+    /// Elements per region (crust-mantle, outer core, inner core, cube).
+    pub elements: [usize; 4],
+    /// Total elements and global points.
+    pub nspec: usize,
+    pub nglob: usize,
+    /// Points shared by ≥ 2 elements (assembly points).
+    pub shared_points: usize,
+    /// Estimated solver memory for the whole mesh (bytes).
+    pub solver_bytes: u64,
+}
+
+impl MeshStatistics {
+    /// Collect statistics from a built mesh.
+    pub fn collect(mesh: &GlobalMesh) -> Self {
+        let n3 = mesh.points_per_element();
+        let mut refs = vec![0u8; mesh.nglob];
+        for e in 0..mesh.nspec {
+            let mut seen: Vec<u32> = mesh.ibool[e * n3..(e + 1) * n3].to_vec();
+            seen.sort_unstable();
+            seen.dedup();
+            for p in seen {
+                refs[p as usize] = refs[p as usize].saturating_add(1);
+            }
+        }
+        let shared_points = refs.iter().filter(|&&r| r >= 2).count();
+        let mut elements = [0usize; 4];
+        for r in &mesh.region {
+            elements[match r {
+                MeshRegion::CrustMantle => 0,
+                MeshRegion::OuterCore => 1,
+                MeshRegion::InnerCore => 2,
+                MeshRegion::CentralCube => 3,
+            }] += 1;
+        }
+        Self {
+            elements,
+            nspec: mesh.nspec,
+            nglob: mesh.nglob,
+            shared_points,
+            solver_bytes: solver_bytes_for(mesh.nspec, mesh.nglob, n3),
+        }
+    }
+}
+
+/// Solver memory for a mesh of the given size: per-element metric terms
+/// (10 × f32), materials (4 × f32), connectivity (u32), plus per-point
+/// fields (displ/veloc/accel 3-comp + fluid potentials + 2 mass matrices),
+/// attenuation memory variables (5 comps × 3 SLS).
+pub fn solver_bytes_for(nspec: usize, nglob: usize, n3: usize) -> u64 {
+    let per_elem_point = 10 * 4 + 4 * 4 + 4 + 5 * 3 * 4; // metric+mat+ibool+SLS
+    let per_point = (3 * 3 + 3) * 4 + 2 * 4; // fields + masses
+    (nspec * n3 * per_elem_point + nglob * per_point) as u64
+}
+
+/// Memory estimate for a *hypothetical* global run at `nex`, without
+/// building it: element counts from the structured decomposition with the
+/// production-style fixed radial layering ratio.
+pub fn estimate_global_solver_bytes(nex: usize, radial_layers: usize) -> u64 {
+    let n3 = 125;
+    let nspec = 6 * nex * nex * radial_layers + nex * nex * nex / 64; // coarse cube
+    // Conforming degree-4 meshes have ~0.55 global points per local point.
+    let nglob = (nspec as f64 * n3 as f64 * 0.55) as usize;
+    solver_bytes_for(nspec, nglob, n3)
+}
+
+/// The paper's §4 sizing, reproduced: bytes per core for a 62K-core run at
+/// the 1–2 s resolutions.
+pub fn paper_sizing_check() -> (f64, f64) {
+    // The paper's production mesh at NEX ~4848 has ~100 radial layers
+    // (with doubling); per-core share on 62,976 cores:
+    let bytes_2s = estimate_global_solver_bytes(2176, 100) as f64;
+    let bytes_1s = estimate_global_solver_bytes(4352, 100) as f64;
+    (bytes_2s / 62_976.0, bytes_1s / 62_976.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use specfem_model::Prem;
+
+    #[test]
+    fn statistics_are_consistent() {
+        let params = MeshParams::new(4, 1);
+        let mesh = GlobalMesh::build(&params, &Prem::isotropic_no_ocean());
+        let stats = MeshStatistics::collect(&mesh);
+        assert_eq!(stats.nspec, mesh.nspec);
+        assert_eq!(stats.elements.iter().sum::<usize>(), mesh.nspec);
+        assert!(stats.shared_points > 0);
+        assert!(stats.shared_points < mesh.nglob);
+        assert!(stats.solver_bytes > 1_000_000);
+    }
+
+    #[test]
+    fn regional_mesh_statistics() {
+        let params = MeshParams::regional(4, 1, 5_701_000.0);
+        let mesh = GlobalMesh::build(&params, &Prem::isotropic_no_ocean());
+        let stats = MeshStatistics::collect(&mesh);
+        assert_eq!(stats.elements[1], 0, "no fluid in regional mesh");
+        assert_eq!(stats.elements[3], 0, "no cube in regional mesh");
+        assert!(matches!(mesh.params.mode, MeshMode::Regional { .. }));
+    }
+
+    #[test]
+    fn paper_memory_sizing_lands_near_1_85_gb_per_core() {
+        // §4: 1–2 s needs ~62K cores at ~1.85 GB/core. Our solver layout
+        // differs in detail from the Fortran arrays, but the per-core share
+        // at the 1-second resolution must land at the same order.
+        let (per_core_2s, per_core_1s) = paper_sizing_check();
+        assert!(
+            per_core_1s > 0.4e9 && per_core_1s < 6.0e9,
+            "1-s per-core bytes {per_core_1s:.3e}"
+        );
+        // And the 1 s case needs ~8× the 2 s case (cubic in resolution at
+        // fixed layering… lateral² × same layers = 4×, plus cube growth).
+        let ratio = per_core_1s / per_core_2s;
+        assert!(ratio > 3.0 && ratio < 10.0, "1s/2s memory ratio {ratio}");
+    }
+
+    #[test]
+    fn memory_grows_with_resolution() {
+        let a = estimate_global_solver_bytes(256, 40);
+        let b = estimate_global_solver_bytes(512, 40);
+        assert!(b > 3 * a);
+    }
+}

@@ -1,0 +1,129 @@
+//! Property-based tests of the mesher's combinatorial invariants.
+
+use proptest::prelude::*;
+use specfem_mesh::numbering::{
+    element_permutation, graph_bandwidth, renumber_points_first_touch, ElementOrder,
+    PointRegistry,
+};
+
+/// A random undirected graph as adjacency lists.
+fn random_graph(n: usize, edges: &[(usize, usize)]) -> Vec<Vec<u32>> {
+    let mut adj = vec![Vec::new(); n];
+    for &(a, b) in edges {
+        let (a, b) = (a % n, b % n);
+        if a != b {
+            adj[a].push(b as u32);
+            adj[b].push(a as u32);
+        }
+    }
+    for v in &mut adj {
+        v.sort_unstable();
+        v.dedup();
+    }
+    adj
+}
+
+proptest! {
+    /// Every ordering is a permutation of 0..n on random graphs.
+    #[test]
+    fn orderings_are_permutations(
+        n in 2usize..60,
+        edges in prop::collection::vec((0usize..60, 0usize..60), 0..150),
+        seed in any::<u64>(),
+        block in 1usize..20,
+    ) {
+        let adj = random_graph(n, &edges);
+        for order in [
+            ElementOrder::Natural,
+            ElementOrder::Random(seed),
+            ElementOrder::CuthillMcKee,
+            ElementOrder::MultilevelCuthillMcKee { block },
+        ] {
+            let mut p = element_permutation(order, n, &adj);
+            p.sort_unstable();
+            let expect: Vec<u32> = (0..n as u32).collect();
+            prop_assert_eq!(p, expect);
+        }
+    }
+
+    /// RCM never yields a larger bandwidth than the worst of a few random
+    /// orders on connected-ish graphs (statistical sanity, not optimality).
+    #[test]
+    fn rcm_not_worse_than_random_worst(
+        n in 4usize..40,
+        extra in prop::collection::vec((0usize..40, 0usize..40), 0..60),
+    ) {
+        // Ensure a connected path backbone + random chords.
+        let mut edges: Vec<(usize, usize)> = (0..n - 1).map(|i| (i, i + 1)).collect();
+        edges.extend(extra);
+        let adj = random_graph(n, &edges);
+        let rcm = element_permutation(ElementOrder::CuthillMcKee, n, &adj);
+        let bw_rcm = graph_bandwidth(&rcm, &adj);
+        let worst_random = (0..4u64)
+            .map(|s| {
+                let p = element_permutation(ElementOrder::Random(s), n, &adj);
+                graph_bandwidth(&p, &adj)
+            })
+            .max()
+            .unwrap();
+        prop_assert!(bw_rcm <= worst_random.max(1));
+    }
+
+    /// First-touch renumbering is a bijection and covers every point.
+    #[test]
+    fn first_touch_is_bijection(
+        nelem in 1usize..20,
+        ppe in 1usize..6,
+        seed in any::<u32>(),
+    ) {
+        // Random ibool covering every point id at least once.
+        let nglob = nelem * ppe;
+        let mut ibool: Vec<u32> = (0..nglob as u32).collect();
+        // Shuffle deterministically.
+        for i in (1..ibool.len()).rev() {
+            let j = (seed as usize).wrapping_mul(i).wrapping_add(7) % (i + 1);
+            ibool.swap(i, j);
+        }
+        let perm: Vec<u32> = (0..nelem as u32).collect();
+        let (new_ibool, old_to_new) =
+            renumber_points_first_touch(&ibool, &perm, ppe, nglob);
+        let mut sorted = old_to_new.clone();
+        sorted.sort_unstable();
+        let expect: Vec<u32> = (0..nglob as u32).collect();
+        prop_assert_eq!(sorted, expect);
+        // Mapping consistency.
+        for (o, n) in ibool.iter().zip(&new_ibool) {
+            prop_assert_eq!(old_to_new[*o as usize], *n);
+        }
+        // First-touch order: new ids appear in nondecreasing "first seen"
+        // order along the traversal.
+        let mut seen_max = 0i64;
+        let mut seen = vec![false; nglob];
+        for &g in &new_ibool {
+            if !seen[g as usize] {
+                prop_assert!(g as i64 >= seen_max);
+                seen_max = g as i64;
+                seen[g as usize] = true;
+            }
+        }
+    }
+
+    /// The point registry identifies points within tolerance and separates
+    /// points beyond it, for arbitrary offsets.
+    #[test]
+    fn registry_tolerance_semantics(
+        x in -1.0e7f64..1.0e7,
+        y in -1.0e7f64..1.0e7,
+        z in -1.0e7f64..1.0e7,
+        eps_frac in 0.0f64..0.45,
+        far_frac in 3.0f64..100.0,
+    ) {
+        let tol = 0.05;
+        let mut reg = PointRegistry::new(tol);
+        let a = reg.get_or_insert([x, y, z]);
+        let b = reg.get_or_insert([x + eps_frac * tol, y, z]);
+        let c = reg.get_or_insert([x + far_frac * tol, y, z]);
+        prop_assert_eq!(a, b);
+        prop_assert_ne!(a, c);
+    }
+}

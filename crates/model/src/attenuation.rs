@@ -1,0 +1,187 @@
+//! Constant-Q attenuation fitted with standard linear solids (SLS).
+//!
+//! Viscoelasticity ("loss of energy due to the fact that the rocks are
+//! viscoelastic", paper §6) is modelled, as in SPECFEM3D_GLOBE, by
+//! approximating a frequency-independent quality factor `Q` over the seismic
+//! absorption band with a small series of standard linear solids. Each SLS
+//! contributes `Q⁻¹(ω) ≈ Σ_j y_j ω τ_j / (1 + ω² τ_j²)`; the coefficients
+//! `y_j` are fitted by least squares. The solver integrates one memory
+//! variable per SLS per strain component, which is exactly why attenuation
+//! raises runtime by roughly the observed 1.8× while barely changing the
+//! flops *rate* (the extra work is the same streaming kind).
+
+use crate::linalg::least_squares;
+
+/// Number of standard linear solids, as in production SPECFEM3D_GLOBE.
+pub const N_SLS: usize = 3;
+
+/// What to fit: a target shear quality factor over a frequency band.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AttenuationSpec {
+    /// Target (frequency-independent) shear quality factor.
+    pub q_mu: f64,
+    /// Lower edge of the absorption band (Hz).
+    pub f_min: f64,
+    /// Upper edge of the absorption band (Hz).
+    pub f_max: f64,
+}
+
+impl AttenuationSpec {
+    /// The standard global-seismology band for a run resolving periods down
+    /// to `t_min` seconds: one decade below `1/t_min`.
+    pub fn for_shortest_period(q_mu: f64, t_min_s: f64) -> Self {
+        let f_max = 1.0 / t_min_s;
+        Self {
+            q_mu,
+            f_min: f_max / 100.0,
+            f_max,
+        }
+    }
+}
+
+/// The fitted SLS series.
+#[derive(Debug, Clone)]
+pub struct AttenuationFit {
+    /// Stress relaxation times `τ_σj` (s), log-spaced over the band.
+    pub tau_sigma: [f64; N_SLS],
+    /// Modulus-defect coefficients `y_j` (dimensionless).
+    pub y: [f64; N_SLS],
+    /// `1 − Σ y_j`: the relaxed/unrelaxed modulus ratio the solver applies to
+    /// the elastic stress before adding back the memory variables.
+    pub one_minus_sum_y: f64,
+}
+
+impl AttenuationFit {
+    /// Fit `N_SLS` standard linear solids to the spec by least squares on a
+    /// log-spaced frequency sampling of the band.
+    pub fn fit(spec: AttenuationSpec) -> Self {
+        assert!(spec.f_min > 0.0 && spec.f_max > spec.f_min);
+        assert!(spec.q_mu > 1.0, "Q must be > 1 (got {})", spec.q_mu);
+        let mut tau_sigma = [0.0; N_SLS];
+        for (j, t) in tau_sigma.iter_mut().enumerate() {
+            // log-spaced relaxation frequencies across the band
+            let f = spec.f_min
+                * (spec.f_max / spec.f_min).powf(j as f64 / (N_SLS as f64 - 1.0));
+            *t = 1.0 / (2.0 * std::f64::consts::PI * f);
+        }
+        // Sample the band at M log-spaced frequencies; rows of the design
+        // matrix are the per-SLS Debye kernels.
+        const M: usize = 40;
+        let mut a = vec![0.0; M * N_SLS];
+        let mut b = vec![0.0; M];
+        for r in 0..M {
+            let f = spec.f_min
+                * (spec.f_max / spec.f_min).powf(r as f64 / (M as f64 - 1.0));
+            let w = 2.0 * std::f64::consts::PI * f;
+            for j in 0..N_SLS {
+                let wt = w * tau_sigma[j];
+                a[r * N_SLS + j] = wt / (1.0 + wt * wt);
+            }
+            b[r] = 1.0 / spec.q_mu;
+        }
+        let yv = least_squares(&a, &b, M, N_SLS).expect("attenuation fit is well-posed");
+        let mut y = [0.0; N_SLS];
+        y.copy_from_slice(&yv);
+        let one_minus_sum_y = 1.0 - y.iter().sum::<f64>();
+        Self {
+            tau_sigma,
+            y,
+            one_minus_sum_y,
+        }
+    }
+
+    /// The model's actual `1/Q` at angular frequency `ω` — used to verify
+    /// fit quality.
+    pub fn inv_q_at(&self, omega: f64) -> f64 {
+        self.tau_sigma
+            .iter()
+            .zip(&self.y)
+            .map(|(&t, &y)| y * omega * t / (1.0 + omega * omega * t * t))
+            .sum()
+    }
+
+    /// Per-SLS exponential-update factors for a time step `dt`:
+    /// `(exp(−dt/τ_j), y_j (1 − exp(−dt/τ_j)))`. The solver uses them as
+    /// `R_j ← α_j R_j + β_j μ ε̇`-style recursions.
+    pub fn update_factors(&self, dt: f64) -> [(f64, f64); N_SLS] {
+        let mut out = [(0.0, 0.0); N_SLS];
+        for j in 0..N_SLS {
+            let e = (-dt / self.tau_sigma[j]).exp();
+            out[j] = (e, self.y[j] * (1.0 - e));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fit_reproduces_target_q_across_band() {
+        // Three SLS hold constant Q well over about two decades — the
+        // standard absorption-band width for one simulation.
+        let spec = AttenuationSpec {
+            q_mu: 312.0, // PREM lower mantle
+            f_min: 0.005,
+            f_max: 0.5,
+        };
+        let fit = AttenuationFit::fit(spec);
+        // Check 1/Q within 15% of target across the central 80% of the band.
+        let lo = spec.f_min * (spec.f_max / spec.f_min).powf(0.1);
+        let hi = spec.f_min * (spec.f_max / spec.f_min).powf(0.9);
+        for i in 0..20 {
+            let f = lo * (hi / lo).powf(i as f64 / 19.0);
+            let inv_q = fit.inv_q_at(2.0 * std::f64::consts::PI * f);
+            let err = (inv_q * spec.q_mu - 1.0).abs();
+            assert!(err < 0.15, "f = {f}: 1/Q relative error {err}");
+        }
+    }
+
+    #[test]
+    fn fit_works_for_low_q_inner_core() {
+        let fit = AttenuationFit::fit(AttenuationSpec::for_shortest_period(84.6, 2.0));
+        assert!(fit.y.iter().all(|&y| y > 0.0), "y = {:?}", fit.y);
+        assert!(fit.one_minus_sum_y > 0.0 && fit.one_minus_sum_y < 1.0);
+    }
+
+    #[test]
+    fn relaxation_times_span_band_descending() {
+        let spec = AttenuationSpec {
+            q_mu: 143.0,
+            f_min: 0.01,
+            f_max: 1.0,
+        };
+        let fit = AttenuationFit::fit(spec);
+        // τ for the lowest frequency is the largest.
+        assert!(fit.tau_sigma[0] > fit.tau_sigma[1]);
+        assert!(fit.tau_sigma[1] > fit.tau_sigma[2]);
+        let t_lo = 1.0 / (2.0 * std::f64::consts::PI * spec.f_min);
+        let t_hi = 1.0 / (2.0 * std::f64::consts::PI * spec.f_max);
+        assert!((fit.tau_sigma[0] - t_lo).abs() < 1e-9 * t_lo);
+        assert!((fit.tau_sigma[2] - t_hi).abs() < 1e-9 * t_hi);
+    }
+
+    #[test]
+    fn update_factors_decay_and_stay_bounded() {
+        let fit = AttenuationFit::fit(AttenuationSpec::for_shortest_period(600.0, 10.0));
+        for &(alpha, beta) in fit.update_factors(0.1).iter() {
+            assert!(alpha > 0.0 && alpha < 1.0);
+            assert!(beta.abs() < 1.0);
+        }
+        // dt → 0 gives alpha → 1, beta → 0.
+        for &(alpha, beta) in fit.update_factors(1e-12).iter() {
+            assert!((alpha - 1.0).abs() < 1e-9);
+            assert!(beta.abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn higher_q_means_weaker_sls() {
+        let weak = AttenuationFit::fit(AttenuationSpec::for_shortest_period(600.0, 5.0));
+        let strong = AttenuationFit::fit(AttenuationSpec::for_shortest_period(80.0, 5.0));
+        let sum_weak: f64 = weak.y.iter().sum();
+        let sum_strong: f64 = strong.y.iter().sum();
+        assert!(sum_strong > sum_weak);
+    }
+}

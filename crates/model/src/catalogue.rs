@@ -1,0 +1,223 @@
+//! CMT-style earthquake sources and a small built-in catalogue.
+//!
+//! The paper's science runs simulate "a few seconds of an earthquake in
+//! Argentina" (§6) from a centroid-moment-tensor solution. We bundle a
+//! synthetic but physically plausible deep Argentina-like event plus two
+//! other canonical mechanisms so examples and benchmarks have realistic
+//! inputs without shipping proprietary catalogue data.
+
+use crate::prem::EARTH_RADIUS_M;
+
+/// Symmetric moment tensor in the local (r, θ, φ) spherical basis, N·m.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MomentTensor {
+    pub m_rr: f64,
+    pub m_tt: f64,
+    pub m_pp: f64,
+    pub m_rt: f64,
+    pub m_rp: f64,
+    pub m_tp: f64,
+}
+
+impl MomentTensor {
+    /// Scalar moment `M0 = sqrt(Σ M_ij² / 2)` (N·m).
+    pub fn scalar_moment(&self) -> f64 {
+        let sum = self.m_rr * self.m_rr
+            + self.m_tt * self.m_tt
+            + self.m_pp * self.m_pp
+            + 2.0 * (self.m_rt * self.m_rt + self.m_rp * self.m_rp + self.m_tp * self.m_tp);
+        (sum / 2.0).sqrt()
+    }
+
+    /// Moment magnitude `Mw = (2/3)(log10 M0 − 9.1)`.
+    pub fn magnitude(&self) -> f64 {
+        2.0 / 3.0 * (self.scalar_moment().log10() - 9.1)
+    }
+}
+
+/// A point moment-tensor source in geographic coordinates.
+#[derive(Debug, Clone)]
+pub struct CmtSource {
+    /// Event name.
+    pub name: String,
+    /// Latitude, degrees north.
+    pub lat_deg: f64,
+    /// Longitude, degrees east.
+    pub lon_deg: f64,
+    /// Depth below surface, km.
+    pub depth_km: f64,
+    /// Moment tensor (r, θ, φ basis).
+    pub tensor: MomentTensor,
+    /// Half-duration of the source-time function, s.
+    pub half_duration_s: f64,
+}
+
+impl CmtSource {
+    /// Cartesian position (m), Earth-centred: z toward the north pole,
+    /// x toward (lat, lon) = (0, 0).
+    pub fn position(&self) -> [f64; 3] {
+        let r = EARTH_RADIUS_M - self.depth_km * 1000.0;
+        let theta = (90.0 - self.lat_deg).to_radians(); // colatitude
+        let phi = self.lon_deg.to_radians();
+        [
+            r * theta.sin() * phi.cos(),
+            r * theta.sin() * phi.sin(),
+            r * theta.cos(),
+        ]
+    }
+
+    /// The moment tensor rotated to the global Cartesian basis.
+    ///
+    /// Local unit vectors at (θ, φ): r̂ (up), θ̂ (south), φ̂ (east); the
+    /// Cartesian tensor is `R M_local Rᵀ` with `R = [r̂ θ̂ φ̂]`.
+    pub fn tensor_cartesian(&self) -> [[f64; 3]; 3] {
+        let theta = (90.0 - self.lat_deg).to_radians();
+        let phi = self.lon_deg.to_radians();
+        let (st, ct) = (theta.sin(), theta.cos());
+        let (sp, cp) = (phi.sin(), phi.cos());
+        let rhat = [st * cp, st * sp, ct];
+        let that = [ct * cp, ct * sp, -st];
+        let phat = [-sp, cp, 0.0];
+        let basis = [rhat, that, phat];
+        let t = &self.tensor;
+        let m_local = [
+            [t.m_rr, t.m_rt, t.m_rp],
+            [t.m_rt, t.m_tt, t.m_tp],
+            [t.m_rp, t.m_tp, t.m_pp],
+        ];
+        let mut out = [[0.0; 3]; 3];
+        for a in 0..3 {
+            for b in 0..3 {
+                let mut acc = 0.0;
+                for i in 0..3 {
+                    for j in 0..3 {
+                        acc += basis[i][a] * m_local[i][j] * basis[j][b];
+                    }
+                }
+                out[a][b] = acc;
+            }
+        }
+        out
+    }
+}
+
+/// Built-in synthetic events (magnitude ≥ 6.5, per the paper's note that
+/// 1–2 s global phases need large earthquakes).
+pub fn builtin_events() -> Vec<CmtSource> {
+    vec![
+        // Deep slab event under Santiago del Estero, Argentina — the same
+        // kind of event as the §6 science runs.
+        CmtSource {
+            name: "argentina_deep".into(),
+            lat_deg: -27.9,
+            lon_deg: -63.1,
+            depth_km: 600.0,
+            tensor: MomentTensor {
+                m_rr: 1.1e19,
+                m_tt: -0.3e19,
+                m_pp: -0.8e19,
+                m_rt: 0.4e19,
+                m_rp: -0.6e19,
+                m_tp: 0.2e19,
+            },
+            half_duration_s: 8.0,
+        },
+        // Shallow megathrust-style event.
+        CmtSource {
+            name: "sumatra_thrust".into(),
+            lat_deg: 3.3,
+            lon_deg: 95.8,
+            depth_km: 30.0,
+            tensor: MomentTensor {
+                m_rr: 3.0e19,
+                m_tt: -1.0e19,
+                m_pp: -2.0e19,
+                m_rt: 2.2e19,
+                m_rp: -1.1e19,
+                m_tp: 0.5e19,
+            },
+            half_duration_s: 12.0,
+        },
+        // Continental strike-slip event.
+        CmtSource {
+            name: "denali_strike_slip".into(),
+            lat_deg: 63.5,
+            lon_deg: -147.4,
+            depth_km: 15.0,
+            tensor: MomentTensor {
+                m_rr: 0.1e19,
+                m_tt: -0.9e19,
+                m_pp: 0.8e19,
+                m_rt: 0.1e19,
+                m_rp: -0.2e19,
+                m_tp: 1.4e19,
+            },
+            half_duration_s: 10.0,
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builtin_events_are_large_earthquakes() {
+        for ev in builtin_events() {
+            let mw = ev.tensor.magnitude();
+            assert!(mw >= 6.5, "{} has Mw {mw:.2} < 6.5", ev.name);
+            assert!(ev.half_duration_s > 0.0);
+        }
+    }
+
+    #[test]
+    fn position_radius_accounts_for_depth() {
+        let ev = &builtin_events()[0];
+        let p = ev.position();
+        let r = (p[0] * p[0] + p[1] * p[1] + p[2] * p[2]).sqrt();
+        assert!((r - (EARTH_RADIUS_M - 600_000.0)).abs() < 1.0);
+        // Southern hemisphere → z < 0.
+        assert!(p[2] < 0.0);
+    }
+
+    #[test]
+    fn cartesian_tensor_is_symmetric_and_preserves_norm() {
+        for ev in builtin_events() {
+            let m = ev.tensor_cartesian();
+            for a in 0..3 {
+                for b in 0..3 {
+                    assert!((m[a][b] - m[b][a]).abs() < 1e-3 * ev.tensor.scalar_moment());
+                }
+            }
+            // Frobenius norm is rotation-invariant.
+            let frob: f64 = m.iter().flatten().map(|v| v * v).sum();
+            let m0 = ev.tensor.scalar_moment();
+            assert!(((frob / 2.0).sqrt() - m0).abs() < 1e-6 * m0);
+        }
+    }
+
+    #[test]
+    fn trace_is_rotation_invariant() {
+        let ev = &builtin_events()[1];
+        let m = ev.tensor_cartesian();
+        let trace_cart = m[0][0] + m[1][1] + m[2][2];
+        let t = &ev.tensor;
+        let trace_local = t.m_rr + t.m_tt + t.m_pp;
+        assert!((trace_cart - trace_local).abs() < 1e-3 * t.scalar_moment());
+    }
+
+    #[test]
+    fn equator_source_position() {
+        let ev = CmtSource {
+            name: "test".into(),
+            lat_deg: 0.0,
+            lon_deg: 0.0,
+            depth_km: 0.0,
+            tensor: builtin_events()[0].tensor,
+            half_duration_s: 1.0,
+        };
+        let p = ev.position();
+        assert!((p[0] - EARTH_RADIUS_M).abs() < 1e-6);
+        assert!(p[1].abs() < 1e-6 && p[2].abs() < 1e-6);
+    }
+}

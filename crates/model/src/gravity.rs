@@ -1,0 +1,178 @@
+//! Gravitational acceleration profile `g(r)` from the model's own density.
+//!
+//! Used by the solver's Cowling-approximation self-gravitation term. `g` is
+//! obtained from the enclosed mass, `g(r) = G M(<r) / r²`, with the mass
+//! integral done by composite Simpson quadrature per model region (so the
+//! density discontinuities never fall inside a quadrature panel).
+
+use crate::EarthModel;
+
+/// Newtonian gravitational constant (SI).
+pub const G_NEWTON: f64 = 6.674_30e-11;
+
+/// Tabulated `g(r)` on a uniform radial grid with linear interpolation.
+#[derive(Debug, Clone)]
+pub struct GravityProfile {
+    r_max: f64,
+    g: Vec<f64>,
+    mass_total: f64,
+}
+
+impl GravityProfile {
+    /// Build the profile for `model` with `n` radial samples.
+    pub fn new(model: &dyn EarthModel, n: usize) -> Self {
+        assert!(n >= 16);
+        let r_max = model.surface_radius();
+        // Split integration at discontinuities.
+        let mut edges = vec![0.0];
+        edges.extend(model.discontinuities());
+        edges.push(r_max);
+        edges.dedup_by(|a, b| (*a - *b).abs() < 1.0);
+
+        // Cumulative mass at the grid radii.
+        let mut g = vec![0.0; n + 1];
+        let dr = r_max / n as f64;
+        let mut mass = 0.0;
+        let mut prev_r = 0.0;
+        for (i, gi) in g.iter_mut().enumerate().skip(1) {
+            let r = dr * i as f64;
+            mass += shell_mass(model, &edges, prev_r, r);
+            *gi = G_NEWTON * mass / (r * r);
+            prev_r = r;
+        }
+        g[0] = 0.0;
+        Self {
+            r_max,
+            g,
+            mass_total: mass,
+        }
+    }
+
+    /// `g(r)` in m/s², linear interpolation; clamped at the surface.
+    pub fn g_at(&self, r: f64) -> f64 {
+        if r <= 0.0 {
+            return 0.0;
+        }
+        if r >= self.r_max {
+            // outside: point-mass field
+            return G_NEWTON * self.mass_total / (r * r);
+        }
+        let n = self.g.len() - 1;
+        let t = r / self.r_max * n as f64;
+        let i = (t as usize).min(n - 1);
+        let frac = t - i as f64;
+        self.g[i] * (1.0 - frac) + self.g[i + 1] * frac
+    }
+
+    /// Total mass of the model (kg).
+    pub fn total_mass(&self) -> f64 {
+        self.mass_total
+    }
+}
+
+/// Mass of the shell `[r0, r1]`, integrating region by region.
+fn shell_mass(model: &dyn EarthModel, edges: &[f64], r0: f64, r1: f64) -> f64 {
+    let mut total = 0.0;
+    let mut a = r0;
+    for &e in edges {
+        if e <= a + 1e-9 {
+            continue;
+        }
+        let b = e.min(r1);
+        if b > a {
+            total += simpson_shell(model, a, b);
+            a = b;
+        }
+        if a >= r1 - 1e-9 {
+            break;
+        }
+    }
+    if a < r1 - 1e-9 {
+        total += simpson_shell(model, a, r1);
+    }
+    total
+}
+
+/// ∫ 4π r² ρ(r) dr over `[a, b]` by composite Simpson with 8 panels.
+fn simpson_shell(model: &dyn EarthModel, a: f64, b: f64) -> f64 {
+    const PANELS: usize = 8;
+    let h = (b - a) / (2 * PANELS) as f64;
+    let f = |r: f64| {
+        let rho = model.material_at(r.clamp(a, b), r > 0.5 * (a + b)).rho;
+        4.0 * std::f64::consts::PI * r * r * rho
+    };
+    let mut acc = f(a) + f(b);
+    for i in 1..2 * PANELS {
+        let w = if i % 2 == 1 { 4.0 } else { 2.0 };
+        acc += w * f(a + h * i as f64);
+    }
+    acc * h / 3.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::prem::{Prem, CMB_RADIUS_M, EARTH_RADIUS_M};
+    use crate::HomogeneousModel;
+
+    #[test]
+    fn uniform_ball_gravity_is_linear_inside() {
+        let m = HomogeneousModel {
+            rho: 5000.0,
+            vp: 8000.0,
+            vs: 4500.0,
+            radius: 6.0e6,
+            q_mu: 600.0,
+        };
+        let prof = GravityProfile::new(&m, 256);
+        // Inside a uniform ball g(r) = (4/3)πGρ r.
+        let slope = 4.0 / 3.0 * std::f64::consts::PI * G_NEWTON * 5000.0;
+        for &r in &[1.0e6, 3.0e6, 5.5e6] {
+            let expect = slope * r;
+            let got = prof.g_at(r);
+            assert!((got - expect).abs() < 1e-3 * expect, "{got} vs {expect}");
+        }
+    }
+
+    #[test]
+    fn prem_total_mass_matches_earth() {
+        let prem = Prem::default();
+        let prof = GravityProfile::new(&prem, 512);
+        // Earth mass ≈ 5.972e24 kg; PREM integrates to within ~0.5%.
+        let m = prof.total_mass();
+        assert!(
+            (m - 5.972e24).abs() < 0.01 * 5.972e24,
+            "PREM mass {m:.3e} kg"
+        );
+    }
+
+    #[test]
+    fn prem_surface_gravity_is_9_8() {
+        let prem = Prem::default();
+        let prof = GravityProfile::new(&prem, 512);
+        let g = prof.g_at(EARTH_RADIUS_M);
+        assert!((g - 9.81).abs() < 0.05, "surface g = {g}");
+    }
+
+    #[test]
+    fn prem_gravity_peaks_near_cmb() {
+        // Known PREM feature: g is larger at the CMB (~10.7 m/s²) than at
+        // the surface because of the dense core.
+        let prem = Prem::default();
+        let prof = GravityProfile::new(&prem, 512);
+        let g_cmb = prof.g_at(CMB_RADIUS_M);
+        let g_surf = prof.g_at(EARTH_RADIUS_M);
+        assert!(g_cmb > g_surf, "g(CMB) = {g_cmb}, g(surface) = {g_surf}");
+        assert!((g_cmb - 10.68).abs() < 0.15, "g(CMB) = {g_cmb}");
+    }
+
+    #[test]
+    fn gravity_zero_at_center_and_decays_outside() {
+        let prem = Prem::default();
+        let prof = GravityProfile::new(&prem, 256);
+        assert_eq!(prof.g_at(0.0), 0.0);
+        let g1 = prof.g_at(EARTH_RADIUS_M);
+        let g2 = prof.g_at(2.0 * EARTH_RADIUS_M);
+        assert!((g2 - g1 / 4.0).abs() < 0.01 * g1);
+    }
+}

@@ -1,0 +1,129 @@
+//! Earth models and source descriptions for global wave propagation.
+//!
+//! SPECFEM3D_GLOBE populates its cubed-sphere mesh with material properties
+//! from a reference Earth model. This crate provides:
+//!
+//! * the canonical radially symmetric **PREM** model (Dziewonski & Anderson
+//!   1981) as piecewise polynomials in normalized radius, including its
+//!   transversely isotropic upper-mantle region and quality factors;
+//! * **attenuation** machinery — fitting a constant-Q absorption band with a
+//!   series of standard linear solids, producing the relaxation times the
+//!   solver's memory variables integrate (the physics behind the paper's
+//!   "attenuation on → 1.8× runtime" observation, §6);
+//! * **gravity** `g(r)` from the model's own mass distribution (used by the
+//!   Cowling-approximation self-gravitation term);
+//! * a deterministic smooth **3-D perturbation** layer standing in for the
+//!   tomographic mantle models the production code loads;
+//! * a small **earthquake catalogue** of CMT-style moment-tensor sources and
+//!   the usual source-time functions, including a deep Argentina-like event
+//!   matching the science runs of §6.
+
+pub mod attenuation;
+pub mod catalogue;
+pub mod gravity;
+pub mod linalg;
+pub mod material;
+pub mod model3d;
+pub mod perturbation;
+pub mod prem;
+pub mod stf;
+
+pub use attenuation::{AttenuationFit, AttenuationSpec, N_SLS};
+pub use catalogue::{builtin_events, CmtSource, MomentTensor};
+pub use gravity::GravityProfile;
+pub use material::{ElasticModuli, Material, TransverseIsotropy};
+pub use model3d::Prem3D;
+pub use perturbation::Perturbation3D;
+pub use prem::{
+    Prem, Region, CMB_RADIUS_M, EARTH_RADIUS_M, ICB_RADIUS_M, MOHO_RADIUS_M, OCEAN_FLOOR_M, R670_M,
+};
+pub use stf::{SourceTimeFunction, StfKind};
+
+/// A radially symmetric reference Earth model the mesher can sample.
+///
+/// Radii in metres from the Earth's centre; outputs in SI (kg/m³, m/s).
+pub trait EarthModel: Sync {
+    /// Material properties at radius `r` (metres). For points exactly on a
+    /// discontinuity the property of the *lower* (deeper) side is returned
+    /// when `from_below` is true, else the upper side.
+    fn material_at(&self, r: f64, from_below: bool) -> Material;
+
+    /// Material properties at a Cartesian position (metres) — laterally
+    /// heterogeneous ("3-D") models override this; the default delegates
+    /// to the radial profile.
+    fn material_at_point(&self, p: [f64; 3], from_below: bool) -> Material {
+        let r = (p[0] * p[0] + p[1] * p[1] + p[2] * p[2]).sqrt();
+        self.material_at(r, from_below)
+    }
+
+    /// Radii (metres, ascending) of first-order discontinuities the mesh must
+    /// honour with element boundaries.
+    fn discontinuities(&self) -> Vec<f64>;
+
+    /// Outer radius of the model in metres.
+    fn surface_radius(&self) -> f64;
+
+    /// True if the shell `[r_in, r_out]` is fluid (vs == 0 throughout).
+    fn is_fluid_shell(&self, r_in: f64, r_out: f64) -> bool {
+        let rm = 0.5 * (r_in + r_out);
+        self.material_at(rm, false).vs == 0.0
+    }
+}
+
+/// A uniform solid ball — the "homogeneous Earth" used by validation tests
+/// (plane-wave speed, energy conservation) where analytic answers exist.
+#[derive(Debug, Clone)]
+pub struct HomogeneousModel {
+    /// Density, kg/m³.
+    pub rho: f64,
+    /// P-wave speed, m/s.
+    pub vp: f64,
+    /// S-wave speed, m/s.
+    pub vs: f64,
+    /// Outer radius, m.
+    pub radius: f64,
+    /// Shear quality factor.
+    pub q_mu: f64,
+}
+
+impl Default for HomogeneousModel {
+    fn default() -> Self {
+        Self {
+            rho: 3000.0,
+            vp: 8000.0,
+            vs: 4500.0,
+            radius: EARTH_RADIUS_M,
+            q_mu: 600.0,
+        }
+    }
+}
+
+impl EarthModel for HomogeneousModel {
+    fn material_at(&self, _r: f64, _from_below: bool) -> Material {
+        Material::isotropic(self.rho, self.vp, self.vs, self.q_mu, 57823.0)
+    }
+
+    fn discontinuities(&self) -> Vec<f64> {
+        Vec::new()
+    }
+
+    fn surface_radius(&self) -> f64 {
+        self.radius
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn homogeneous_model_is_uniform() {
+        let m = HomogeneousModel::default();
+        let a = m.material_at(1.0e6, false);
+        let b = m.material_at(6.0e6, true);
+        assert_eq!(a.rho, b.rho);
+        assert_eq!(a.vp, b.vp);
+        assert!(m.discontinuities().is_empty());
+        assert!(!m.is_fluid_shell(0.0, m.surface_radius()));
+    }
+}

@@ -1,0 +1,144 @@
+//! Tiny dense linear-algebra helpers (no external BLAS/LAPACK — the paper
+//! §4.3 found library BLAS counterproductive at these sizes anyway).
+
+/// Solve `A x = b` in place by Gaussian elimination with partial pivoting.
+/// `a` is row-major `n×n`. Returns `None` if the matrix is singular to
+/// working precision.
+pub fn solve(mut a: Vec<f64>, mut b: Vec<f64>) -> Option<Vec<f64>> {
+    let n = b.len();
+    assert_eq!(a.len(), n * n);
+    for col in 0..n {
+        // pivot
+        let mut piv = col;
+        let mut best = a[col * n + col].abs();
+        for row in col + 1..n {
+            let v = a[row * n + col].abs();
+            if v > best {
+                best = v;
+                piv = row;
+            }
+        }
+        if best < 1e-300 {
+            return None;
+        }
+        if piv != col {
+            for k in 0..n {
+                a.swap(col * n + k, piv * n + k);
+            }
+            b.swap(col, piv);
+        }
+        let d = a[col * n + col];
+        for row in col + 1..n {
+            let f = a[row * n + col] / d;
+            if f == 0.0 {
+                continue;
+            }
+            for k in col..n {
+                a[row * n + k] -= f * a[col * n + k];
+            }
+            b[row] -= f * b[col];
+        }
+    }
+    // back substitution
+    let mut x = vec![0.0; n];
+    for row in (0..n).rev() {
+        let mut acc = b[row];
+        for k in row + 1..n {
+            acc -= a[row * n + k] * x[k];
+        }
+        x[row] = acc / a[row * n + row];
+    }
+    Some(x)
+}
+
+/// Least-squares solve of an overdetermined `m×n` system via normal
+/// equations `AᵀA x = Aᵀb` (fine for the tiny, well-conditioned attenuation
+/// fits this crate needs).
+pub fn least_squares(a: &[f64], b: &[f64], m: usize, n: usize) -> Option<Vec<f64>> {
+    assert_eq!(a.len(), m * n);
+    assert_eq!(b.len(), m);
+    let mut ata = vec![0.0; n * n];
+    let mut atb = vec![0.0; n];
+    for i in 0..n {
+        for j in 0..n {
+            let mut acc = 0.0;
+            for r in 0..m {
+                acc += a[r * n + i] * a[r * n + j];
+            }
+            ata[i * n + j] = acc;
+        }
+        let mut acc = 0.0;
+        for r in 0..m {
+            acc += a[r * n + i] * b[r];
+        }
+        atb[i] = acc;
+    }
+    solve(ata, atb)
+}
+
+/// Fit `y ≈ c0 * x^p` by linear regression in log-log space, returning
+/// `(c0, p)`. Used by the perf-model crate's measure-then-extrapolate flows
+/// (Figures 5 and 7 of the paper).
+pub fn fit_power_law(x: &[f64], y: &[f64]) -> (f64, f64) {
+    assert_eq!(x.len(), y.len());
+    assert!(x.len() >= 2);
+    let n = x.len() as f64;
+    let (mut sx, mut sy, mut sxx, mut sxy) = (0.0, 0.0, 0.0, 0.0);
+    for (&xi, &yi) in x.iter().zip(y) {
+        let lx = xi.ln();
+        let ly = yi.ln();
+        sx += lx;
+        sy += ly;
+        sxx += lx * lx;
+        sxy += lx * ly;
+    }
+    let p = (n * sxy - sx * sy) / (n * sxx - sx * sx);
+    let c0 = ((sy - p * sx) / n).exp();
+    (c0, p)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn solve_3x3() {
+        let a = vec![2.0, 1.0, -1.0, -3.0, -1.0, 2.0, -2.0, 1.0, 2.0];
+        let b = vec![8.0, -11.0, -3.0];
+        let x = solve(a, b).unwrap();
+        let expect = [2.0, 3.0, -1.0];
+        for i in 0..3 {
+            assert!((x[i] - expect[i]).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn solve_detects_singular() {
+        let a = vec![1.0, 2.0, 2.0, 4.0];
+        assert!(solve(a, vec![1.0, 2.0]).is_none());
+    }
+
+    #[test]
+    fn least_squares_recovers_exact_solution() {
+        // y = 3 + 2t sampled without noise, m=5 rows, n=2 unknowns.
+        let ts = [0.0, 1.0, 2.0, 3.0, 4.0];
+        let mut a = Vec::new();
+        let mut b = Vec::new();
+        for &t in &ts {
+            a.extend_from_slice(&[1.0, t]);
+            b.push(3.0 + 2.0 * t);
+        }
+        let x = least_squares(&a, &b, 5, 2).unwrap();
+        assert!((x[0] - 3.0).abs() < 1e-10);
+        assert!((x[1] - 2.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn power_law_fit_recovers_exponent() {
+        let x: Vec<f64> = (1..=8).map(|i| i as f64 * 10.0).collect();
+        let y: Vec<f64> = x.iter().map(|&v| 2.5 * v.powf(1.8)).collect();
+        let (c, p) = fit_power_law(&x, &y);
+        assert!((c - 2.5).abs() < 1e-9);
+        assert!((p - 1.8).abs() < 1e-12);
+    }
+}

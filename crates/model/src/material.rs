@@ -1,0 +1,171 @@
+//! Point material properties and derived elastic moduli.
+
+/// Transversely isotropic (radial symmetry axis) velocity description, as in
+/// PREM's anisotropic upper mantle. Velocities in m/s, `eta` dimensionless.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TransverseIsotropy {
+    /// Vertically polarized P speed.
+    pub vpv: f64,
+    /// Horizontally polarized P speed.
+    pub vph: f64,
+    /// Vertically polarized S speed.
+    pub vsv: f64,
+    /// Horizontally polarized S speed.
+    pub vsh: f64,
+    /// Anellipticity parameter η = F / (A − 2L).
+    pub eta: f64,
+}
+
+/// Love-parameter form of a transversely isotropic stiffness (Pa):
+/// `A = ρ v_ph²`, `C = ρ v_pv²`, `L = ρ v_sv²`, `N = ρ v_sh²`,
+/// `F = η (A − 2L)`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ElasticModuli {
+    pub a: f64,
+    pub c: f64,
+    pub l: f64,
+    pub n: f64,
+    pub f: f64,
+}
+
+impl ElasticModuli {
+    /// Isotropic special case from bulk and shear moduli.
+    pub fn isotropic(kappa: f64, mu: f64) -> Self {
+        let lambda = kappa - 2.0 / 3.0 * mu;
+        Self {
+            a: lambda + 2.0 * mu,
+            c: lambda + 2.0 * mu,
+            l: mu,
+            n: mu,
+            f: lambda,
+        }
+    }
+}
+
+/// Material properties of one point of the Earth model, SI units.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Material {
+    /// Density, kg/m³.
+    pub rho: f64,
+    /// Isotropic-equivalent P speed (Voigt average for TI), m/s.
+    pub vp: f64,
+    /// Isotropic-equivalent S speed, m/s. Zero in fluids.
+    pub vs: f64,
+    /// Shear quality factor. `f64::INFINITY` in fluids.
+    pub q_mu: f64,
+    /// Bulk quality factor.
+    pub q_kappa: f64,
+    /// Optional transverse isotropy (PREM upper mantle); `None` ⇒ isotropic.
+    pub ti: Option<TransverseIsotropy>,
+}
+
+impl Material {
+    /// Isotropic material.
+    pub fn isotropic(rho: f64, vp: f64, vs: f64, q_mu: f64, q_kappa: f64) -> Self {
+        Self {
+            rho,
+            vp,
+            vs,
+            q_mu,
+            q_kappa,
+            ti: None,
+        }
+    }
+
+    /// Shear modulus μ = ρ vs² (Pa).
+    #[inline]
+    pub fn mu(&self) -> f64 {
+        self.rho * self.vs * self.vs
+    }
+
+    /// Bulk modulus κ = ρ (vp² − 4/3 vs²) (Pa).
+    #[inline]
+    pub fn kappa(&self) -> f64 {
+        self.rho * (self.vp * self.vp - 4.0 / 3.0 * self.vs * self.vs)
+    }
+
+    /// Lamé λ = κ − 2μ/3 (Pa).
+    #[inline]
+    pub fn lambda(&self) -> f64 {
+        self.kappa() - 2.0 / 3.0 * self.mu()
+    }
+
+    /// True for a fluid (no shear strength).
+    #[inline]
+    pub fn is_fluid(&self) -> bool {
+        self.vs == 0.0
+    }
+
+    /// Full stiffness in Love parameters; uses the TI record when present,
+    /// otherwise the isotropic reduction.
+    pub fn moduli(&self) -> ElasticModuli {
+        match self.ti {
+            Some(ti) => {
+                let a = self.rho * ti.vph * ti.vph;
+                let c = self.rho * ti.vpv * ti.vpv;
+                let l = self.rho * ti.vsv * ti.vsv;
+                let n = self.rho * ti.vsh * ti.vsh;
+                let f = ti.eta * (a - 2.0 * l);
+                ElasticModuli { a, c, l, n, f }
+            }
+            None => ElasticModuli::isotropic(self.kappa(), self.mu()),
+        }
+    }
+
+    /// Voigt-average isotropic (vp, vs) of a TI material — what the mesher
+    /// uses for resolution/stability estimates.
+    pub fn voigt_velocities(&self) -> (f64, f64) {
+        match self.ti {
+            Some(ti) => {
+                let vp = ((2.0 * ti.vph * ti.vph + ti.vpv * ti.vpv) / 3.0).sqrt();
+                let vs = ((2.0 * ti.vsv * ti.vsv + ti.vsh * ti.vsh) / 3.0).sqrt();
+                (vp, vs)
+            }
+            None => (self.vp, self.vs),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn isotropic_moduli_roundtrip() {
+        let m = Material::isotropic(3000.0, 8000.0, 4500.0, 600.0, 57823.0);
+        assert!((m.mu() - 3000.0 * 4500.0f64.powi(2)).abs() < 1.0);
+        let em = m.moduli();
+        // For isotropic: A = C = λ + 2μ, L = N = μ, F = λ.
+        assert!((em.a - em.c).abs() < 1e-6 * em.a);
+        assert!((em.l - em.n).abs() < 1e-6 * em.l);
+        assert!((em.f - m.lambda()).abs() < 1e-6 * em.f.abs());
+        assert!((em.a - (m.lambda() + 2.0 * m.mu())).abs() < 1e-6 * em.a);
+    }
+
+    #[test]
+    fn fluid_has_zero_mu() {
+        let m = Material::isotropic(11000.0, 9000.0, 0.0, f64::INFINITY, 57823.0);
+        assert!(m.is_fluid());
+        assert_eq!(m.mu(), 0.0);
+        assert!((m.kappa() - 11000.0 * 9000.0f64.powi(2)).abs() < 1.0);
+    }
+
+    #[test]
+    fn ti_voigt_reduces_to_isotropic_when_degenerate() {
+        let mut m = Material::isotropic(3300.0, 8100.0, 4600.0, 143.0, 57823.0);
+        m.ti = Some(TransverseIsotropy {
+            vpv: 8100.0,
+            vph: 8100.0,
+            vsv: 4600.0,
+            vsh: 4600.0,
+            eta: 1.0,
+        });
+        let (vp, vs) = m.voigt_velocities();
+        assert!((vp - 8100.0).abs() < 1e-9);
+        assert!((vs - 4600.0).abs() < 1e-9);
+        let em = m.moduli();
+        let em_iso = Material::isotropic(3300.0, 8100.0, 4600.0, 143.0, 57823.0).moduli();
+        assert!((em.a - em_iso.a).abs() < 1e-3 * em.a);
+        assert!((em.f - em_iso.f).abs() < 1e-3 * em.f);
+    }
+}

@@ -1,0 +1,114 @@
+//! Laterally heterogeneous ("3-D") Earth models: a radial reference model
+//! plus a smooth lateral perturbation — the stand-in for the tomographic
+//! mantle models production SPECFEM3D_GLOBE loads (paper title: "3D
+//! anelastic, anisotropic, rotating and self-gravitating Earth models").
+
+use crate::perturbation::Perturbation3D;
+use crate::prem::Prem;
+use crate::{EarthModel, Material};
+
+/// PREM with a deterministic 3-D velocity perturbation in the mantle.
+#[derive(Debug, Clone)]
+pub struct Prem3D {
+    /// The radial reference.
+    pub reference: Prem,
+    /// The lateral perturbation field δln v.
+    pub perturbation: Perturbation3D,
+    /// Density scaling: δln ρ = `density_ratio` · δln v_s (tomographic
+    /// convention, typically ~0.3).
+    pub density_ratio: f64,
+}
+
+impl Prem3D {
+    /// Isotropic PREM + the default mantle perturbation.
+    pub fn default_mantle() -> Self {
+        Self {
+            reference: Prem::isotropic_no_ocean(),
+            perturbation: Perturbation3D::mantle_default(),
+            density_ratio: 0.3,
+        }
+    }
+}
+
+impl EarthModel for Prem3D {
+    fn material_at(&self, r: f64, from_below: bool) -> Material {
+        // Radial-only callers get the reference model (perturbations
+        // average to zero laterally).
+        self.reference.material_at(r, from_below)
+    }
+
+    fn material_at_point(&self, p: [f64; 3], from_below: bool) -> Material {
+        let r = (p[0] * p[0] + p[1] * p[1] + p[2] * p[2]).sqrt();
+        let mut m = self.reference.material_at(r, from_below);
+        let dln = self.perturbation.dln_v(p[0], p[1], p[2]);
+        if dln != 0.0 && !m.is_fluid() {
+            m.vs *= 1.0 + dln;
+            m.vp *= 1.0 + 0.5 * dln; // δln vp ≈ half δln vs (tomography)
+            m.rho *= 1.0 + self.density_ratio * dln;
+        }
+        m
+    }
+
+    fn discontinuities(&self) -> Vec<f64> {
+        self.reference.discontinuities()
+    }
+
+    fn surface_radius(&self) -> f64 {
+        self.reference.surface_radius()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::prem::{CMB_RADIUS_M, MOHO_RADIUS_M};
+
+    #[test]
+    fn radial_query_matches_reference() {
+        let m3d = Prem3D::default_mantle();
+        let r = 5.0e6;
+        let a = m3d.material_at(r, false);
+        let b = m3d.reference.material_at(r, false);
+        assert_eq!(a.vs, b.vs);
+    }
+
+    #[test]
+    fn lateral_variation_exists_in_mantle_only() {
+        let m3d = Prem3D::default_mantle();
+        let r = 0.5 * (CMB_RADIUS_M + MOHO_RADIUS_M);
+        // Two points at the same radius, different longitude.
+        let a = m3d.material_at_point([r, 0.0, 0.0], false);
+        let b = m3d.material_at_point([0.0, r, 0.0], false);
+        assert!(
+            (a.vs - b.vs).abs() > 1.0,
+            "no lateral variation: {} vs {}",
+            a.vs,
+            b.vs
+        );
+        // Fluid outer core untouched.
+        let rc = 2.5e6;
+        let f1 = m3d.material_at_point([rc, 0.0, 0.0], false);
+        let f2 = m3d.material_at_point([0.0, rc, 0.0], false);
+        assert_eq!(f1.vs, 0.0);
+        assert!((f1.rho - f2.rho).abs() < 1e-9);
+    }
+
+    #[test]
+    fn perturbations_are_bounded_and_sign_consistent() {
+        let m3d = Prem3D::default_mantle();
+        let r = 4.5e6;
+        for i in 0..50 {
+            let th = std::f64::consts::PI * (i as f64 + 0.5) / 50.0;
+            let p = [r * th.sin(), 0.0, r * th.cos()];
+            let m = m3d.material_at_point(p, false);
+            let m0 = m3d.reference.material_at(r, false);
+            let dv = m.vs / m0.vs - 1.0;
+            assert!(dv.abs() < 0.03, "perturbation too large: {dv}");
+            // Density moves with vs.
+            let drho = m.rho / m0.rho - 1.0;
+            if dv.abs() > 1e-6 {
+                assert!(drho * dv > 0.0, "δρ and δvs must have the same sign");
+            }
+        }
+    }
+}

@@ -1,0 +1,104 @@
+//! Deterministic smooth 3-D heterogeneity, standing in for tomographic
+//! mantle models.
+//!
+//! The production code loads 3-D tomography (e.g. S20RTS-style models) to
+//! perturb PREM. For reproduction purposes what matters is that material
+//! assignment touches a laterally varying field with mantle-like spectral
+//! content; we synthesize one from a few low-order spherical harmonics plus
+//! a radial taper — deterministic, so runs are exactly repeatable.
+
+/// A smooth lateral velocity perturbation field `δln v(r, θ, φ)`.
+#[derive(Debug, Clone)]
+pub struct Perturbation3D {
+    /// Peak relative perturbation (e.g. 0.02 = ±2 %).
+    pub amplitude: f64,
+    /// Angular orders of the harmonic components `(l, m, weight)`.
+    pub components: Vec<(u32, u32, f64)>,
+    /// Radius range (m) the perturbation applies to (mantle only by default).
+    pub r_min: f64,
+    /// Outer radius (m).
+    pub r_max: f64,
+}
+
+impl Perturbation3D {
+    /// A mantle-like default: degree 2 and 8 structure, ±2 %, confined to
+    /// the mantle shell.
+    pub fn mantle_default() -> Self {
+        Self {
+            amplitude: 0.02,
+            components: vec![(2, 1, 0.6), (5, 3, 0.25), (8, 5, 0.15)],
+            r_min: crate::prem::CMB_RADIUS_M,
+            r_max: crate::prem::MOHO_RADIUS_M,
+        }
+    }
+
+    /// Relative perturbation at Cartesian position (m). Zero outside the
+    /// configured shell, smoothly tapered at its edges.
+    pub fn dln_v(&self, x: f64, y: f64, z: f64) -> f64 {
+        let r = (x * x + y * y + z * z).sqrt();
+        if r <= self.r_min || r >= self.r_max || r == 0.0 {
+            return 0.0;
+        }
+        let theta = (z / r).clamp(-1.0, 1.0).acos();
+        let phi = y.atan2(x);
+        // Smooth radial taper: sin² ramp over the shell.
+        let s = (r - self.r_min) / (self.r_max - self.r_min);
+        let taper = (std::f64::consts::PI * s).sin().powi(2);
+        let mut v = 0.0;
+        for &(l, m, w) in &self.components {
+            // Cheap real-harmonic-like pattern (not normalized Y_lm; the
+            // point is smooth banded lateral structure, not spectral purity).
+            v += w * (l as f64 * theta).cos() * (m as f64 * phi).cos();
+        }
+        self.amplitude * taper * v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::prem::{CMB_RADIUS_M, MOHO_RADIUS_M};
+
+    #[test]
+    fn zero_outside_shell() {
+        let p = Perturbation3D::mantle_default();
+        assert_eq!(p.dln_v(0.0, 0.0, 1.0e6), 0.0); // inside core
+        assert_eq!(p.dln_v(0.0, 0.0, 6.37e6), 0.0); // crust/surface
+    }
+
+    #[test]
+    fn bounded_by_amplitude() {
+        let p = Perturbation3D::mantle_default();
+        let weight_sum: f64 = p.components.iter().map(|c| c.2).sum();
+        let bound = p.amplitude * weight_sum + 1e-12;
+        let mid = 0.5 * (CMB_RADIUS_M + MOHO_RADIUS_M);
+        for i in 0..200 {
+            let th = std::f64::consts::PI * (i as f64 + 0.5) / 200.0;
+            let ph = 2.0 * std::f64::consts::PI * (i as f64 * 0.37).fract();
+            let (x, y, z) = (
+                mid * th.sin() * ph.cos(),
+                mid * th.sin() * ph.sin(),
+                mid * th.cos(),
+            );
+            assert!(p.dln_v(x, y, z).abs() <= bound);
+        }
+    }
+
+    #[test]
+    fn deterministic() {
+        let p = Perturbation3D::mantle_default();
+        let a = p.dln_v(4.0e6, 1.0e6, 2.0e6);
+        let b = p.dln_v(4.0e6, 1.0e6, 2.0e6);
+        assert_eq!(a, b);
+        assert!(a != 0.0);
+    }
+
+    #[test]
+    fn continuous_at_shell_edges() {
+        let p = Perturbation3D::mantle_default();
+        // Just inside the CMB edge the taper must make it tiny.
+        let r = CMB_RADIUS_M + 1.0;
+        let v = p.dln_v(r, 0.0, 0.0);
+        assert!(v.abs() < 1e-8);
+    }
+}

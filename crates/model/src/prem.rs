@@ -1,0 +1,473 @@
+//! The Preliminary Reference Earth Model (Dziewonski & Anderson, 1981).
+//!
+//! PREM is the canonical radially symmetric model SPECFEM3D_GLOBE is
+//! benchmarked against (paper §3: "extensively benchmarked against
+//! semi-analytical normal-mode synthetic seismograms for
+//! spherically-symmetric Earth models"). Density and velocities are cubic
+//! polynomials in the normalized radius `x = r / 6371 km`, per region.
+
+use crate::material::{Material, TransverseIsotropy};
+use crate::EarthModel;
+
+/// Earth surface radius (m).
+pub const EARTH_RADIUS_M: f64 = 6_371_000.0;
+/// Inner-core boundary radius (m).
+pub const ICB_RADIUS_M: f64 = 1_221_500.0;
+/// Core-mantle boundary radius (m).
+pub const CMB_RADIUS_M: f64 = 3_480_000.0;
+/// 670-km discontinuity radius (m).
+pub const R670_M: f64 = 5_701_000.0;
+/// 400-km discontinuity radius (m).
+pub const R400_M: f64 = 5_971_000.0;
+/// Moho radius (m) — PREM crust/mantle boundary at 24.4 km depth.
+pub const MOHO_RADIUS_M: f64 = 6_346_600.0;
+/// Ocean floor radius (m) — PREM has a 3 km ocean.
+pub const OCEAN_FLOOR_M: f64 = 6_368_000.0;
+
+/// Cubic polynomial in normalized radius: `c0 + c1 x + c2 x² + c3 x³`,
+/// producing g/cm³ (density) or km/s (velocities) — classic PREM units.
+#[derive(Debug, Clone, Copy)]
+struct Poly([f64; 4]);
+
+impl Poly {
+    #[inline]
+    fn eval(&self, x: f64) -> f64 {
+        let c = &self.0;
+        c[0] + x * (c[1] + x * (c[2] + x * c[3]))
+    }
+    const fn new(c0: f64, c1: f64, c2: f64, c3: f64) -> Self {
+        Self([c0, c1, c2, c3])
+    }
+}
+
+/// One radial region of PREM.
+#[derive(Debug, Clone, Copy)]
+pub struct Region {
+    /// Inner radius (m).
+    pub r_in: f64,
+    /// Outer radius (m).
+    pub r_out: f64,
+    /// Human-readable region name.
+    pub name: &'static str,
+    rho: Poly,
+    vp: Poly,
+    vs: Poly,
+    q_mu: f64,
+    q_kappa: f64,
+    /// Transversely isotropic coefficients (vpv, vph, vsv, vsh, eta) where
+    /// PREM defines them (upper mantle, 24.4–220 km depth).
+    ti: Option<[Poly; 5]>,
+}
+
+const KM: f64 = 1000.0;
+
+/// The full PREM region table (isotropic coefficients; the 24.4–220 km region
+/// additionally carries the anisotropic polynomials).
+fn regions() -> &'static [Region] {
+    const INF: f64 = f64::INFINITY;
+    static REGIONS: &[Region] = &[
+        Region {
+            r_in: 0.0,
+            r_out: ICB_RADIUS_M,
+            name: "inner core",
+            rho: Poly::new(13.0885, 0.0, -8.8381, 0.0),
+            vp: Poly::new(11.2622, 0.0, -6.3640, 0.0),
+            vs: Poly::new(3.6678, 0.0, -4.4475, 0.0),
+            q_mu: 84.6,
+            q_kappa: 1327.7,
+            ti: None,
+        },
+        Region {
+            r_in: ICB_RADIUS_M,
+            r_out: CMB_RADIUS_M,
+            name: "outer core",
+            rho: Poly::new(12.5815, -1.2638, -3.6426, -5.5281),
+            vp: Poly::new(11.0487, -4.0362, 4.8023, -13.5732),
+            vs: Poly::new(0.0, 0.0, 0.0, 0.0),
+            q_mu: INF,
+            q_kappa: 57823.0,
+            ti: None,
+        },
+        Region {
+            r_in: CMB_RADIUS_M,
+            r_out: 3_630_000.0,
+            name: "D'' layer",
+            rho: Poly::new(7.9565, -6.4761, 5.5283, -3.0807),
+            vp: Poly::new(15.3891, -5.3181, 5.5242, -2.5514),
+            vs: Poly::new(6.9254, 1.4672, -2.0834, 0.9783),
+            q_mu: 312.0,
+            q_kappa: 57823.0,
+            ti: None,
+        },
+        Region {
+            r_in: 3_630_000.0,
+            r_out: 5_600_000.0,
+            name: "lower mantle",
+            rho: Poly::new(7.9565, -6.4761, 5.5283, -3.0807),
+            vp: Poly::new(24.9520, -40.4673, 51.4832, -26.6419),
+            vs: Poly::new(11.1671, -13.7818, 17.4575, -9.2777),
+            q_mu: 312.0,
+            q_kappa: 57823.0,
+            ti: None,
+        },
+        Region {
+            r_in: 5_600_000.0,
+            r_out: R670_M,
+            name: "lowermost transition zone",
+            rho: Poly::new(7.9565, -6.4761, 5.5283, -3.0807),
+            vp: Poly::new(29.2766, -23.6027, 5.5242, -2.5514),
+            vs: Poly::new(22.3459, -17.2473, -2.0834, 0.9783),
+            q_mu: 312.0,
+            q_kappa: 57823.0,
+            ti: None,
+        },
+        Region {
+            r_in: R670_M,
+            r_out: 5_771_000.0,
+            name: "transition zone (600-670 km)",
+            rho: Poly::new(5.3197, -1.4836, 0.0, 0.0),
+            vp: Poly::new(19.0957, -9.8672, 0.0, 0.0),
+            vs: Poly::new(9.9839, -4.9324, 0.0, 0.0),
+            q_mu: 143.0,
+            q_kappa: 57823.0,
+            ti: None,
+        },
+        Region {
+            r_in: 5_771_000.0,
+            r_out: R400_M,
+            name: "transition zone (400-600 km)",
+            rho: Poly::new(11.2494, -8.0298, 0.0, 0.0),
+            vp: Poly::new(39.7027, -32.6166, 0.0, 0.0),
+            vs: Poly::new(22.3512, -18.5856, 0.0, 0.0),
+            q_mu: 143.0,
+            q_kappa: 57823.0,
+            ti: None,
+        },
+        Region {
+            r_in: R400_M,
+            r_out: 6_151_000.0,
+            name: "upper mantle (220-400 km)",
+            rho: Poly::new(7.1089, -3.8045, 0.0, 0.0),
+            vp: Poly::new(20.3926, -12.2569, 0.0, 0.0),
+            vs: Poly::new(8.9496, -4.4597, 0.0, 0.0),
+            q_mu: 143.0,
+            q_kappa: 57823.0,
+            ti: None,
+        },
+        Region {
+            r_in: 6_151_000.0,
+            r_out: 6_291_000.0,
+            name: "low-velocity zone (anisotropic)",
+            rho: Poly::new(2.6910, 0.6924, 0.0, 0.0),
+            vp: Poly::new(4.1875, 3.9382, 0.0, 0.0),
+            vs: Poly::new(2.1519, 2.3481, 0.0, 0.0),
+            q_mu: 80.0,
+            q_kappa: 57823.0,
+            ti: Some([
+                Poly::new(0.8317, 7.2180, 0.0, 0.0),  // vpv
+                Poly::new(3.5908, 4.6172, 0.0, 0.0),  // vph
+                Poly::new(5.8582, -1.4678, 0.0, 0.0), // vsv
+                Poly::new(-1.0839, 5.7176, 0.0, 0.0), // vsh
+                Poly::new(3.3687, -2.4778, 0.0, 0.0), // eta
+            ]),
+        },
+        Region {
+            r_in: 6_291_000.0,
+            r_out: MOHO_RADIUS_M,
+            name: "LID (anisotropic)",
+            rho: Poly::new(2.6910, 0.6924, 0.0, 0.0),
+            vp: Poly::new(4.1875, 3.9382, 0.0, 0.0),
+            vs: Poly::new(2.1519, 2.3481, 0.0, 0.0),
+            q_mu: 600.0,
+            q_kappa: 57823.0,
+            ti: Some([
+                Poly::new(0.8317, 7.2180, 0.0, 0.0),
+                Poly::new(3.5908, 4.6172, 0.0, 0.0),
+                Poly::new(5.8582, -1.4678, 0.0, 0.0),
+                Poly::new(-1.0839, 5.7176, 0.0, 0.0),
+                Poly::new(3.3687, -2.4778, 0.0, 0.0),
+            ]),
+        },
+        Region {
+            r_in: MOHO_RADIUS_M,
+            r_out: 6_356_000.0,
+            name: "lower crust",
+            rho: Poly::new(2.900, 0.0, 0.0, 0.0),
+            vp: Poly::new(6.800, 0.0, 0.0, 0.0),
+            vs: Poly::new(3.900, 0.0, 0.0, 0.0),
+            q_mu: 600.0,
+            q_kappa: 57823.0,
+            ti: None,
+        },
+        Region {
+            r_in: 6_356_000.0,
+            r_out: OCEAN_FLOOR_M,
+            name: "upper crust",
+            rho: Poly::new(2.600, 0.0, 0.0, 0.0),
+            vp: Poly::new(5.800, 0.0, 0.0, 0.0),
+            vs: Poly::new(3.200, 0.0, 0.0, 0.0),
+            q_mu: 600.0,
+            q_kappa: 57823.0,
+            ti: None,
+        },
+        Region {
+            r_in: OCEAN_FLOOR_M,
+            r_out: EARTH_RADIUS_M,
+            name: "ocean",
+            rho: Poly::new(1.020, 0.0, 0.0, 0.0),
+            vp: Poly::new(1.450, 0.0, 0.0, 0.0),
+            vs: Poly::new(0.0, 0.0, 0.0, 0.0),
+            q_mu: INF,
+            q_kappa: 57823.0,
+            ti: None,
+        },
+    ];
+    REGIONS
+}
+
+/// PREM configuration.
+#[derive(Debug, Clone)]
+pub struct Prem {
+    /// Replace the 3 km ocean layer with upper-crust material (what SPECFEM
+    /// calls running "without the ocean"; the real code models the ocean load
+    /// as an equivalent surface term rather than meshing water).
+    pub suppress_ocean: bool,
+    /// Use the transversely isotropic upper mantle.
+    pub transverse_isotropy: bool,
+    regions: Vec<Region>,
+}
+
+impl Default for Prem {
+    fn default() -> Self {
+        Self::new(true, true)
+    }
+}
+
+impl Prem {
+    /// Build PREM. `suppress_ocean` replaces the global ocean by crust (the
+    /// standard choice for meshing); `transverse_isotropy` enables the
+    /// anisotropic upper-mantle coefficients.
+    pub fn new(suppress_ocean: bool, transverse_isotropy: bool) -> Self {
+        Self {
+            suppress_ocean,
+            transverse_isotropy,
+            regions: regions().to_vec(),
+        }
+    }
+
+    /// Isotropic PREM without ocean — the common meshing target.
+    pub fn isotropic_no_ocean() -> Self {
+        Self::new(true, false)
+    }
+
+    /// The region containing radius `r`; `from_below` picks the deeper region
+    /// at exact boundaries.
+    pub fn region_at(&self, r: f64, from_below: bool) -> &Region {
+        let regs = &self.regions;
+        for (i, reg) in regs.iter().enumerate() {
+            let last = i + 1 == regs.len();
+            let hit = if from_below {
+                r > reg.r_in && (r <= reg.r_out || last)
+            } else {
+                r >= reg.r_in && (r < reg.r_out || last)
+            };
+            if hit || (from_below && i == 0 && r <= reg.r_out) {
+                return reg;
+            }
+        }
+        unreachable!("radius {r} outside model");
+    }
+
+    /// All regions (ascending radius).
+    pub fn regions(&self) -> &[Region] {
+        &self.regions
+    }
+}
+
+impl EarthModel for Prem {
+    fn material_at(&self, r: f64, from_below: bool) -> Material {
+        let r = r.clamp(0.0, EARTH_RADIUS_M);
+        let mut reg = *self.region_at(r, from_below);
+        if self.suppress_ocean && reg.name == "ocean" {
+            reg = *self.region_at(6_360_000.0, false); // upper crust
+        }
+        let x = r / EARTH_RADIUS_M;
+        // PREM polynomials are in g/cm³ and km/s → convert to SI.
+        let rho = reg.rho.eval(x) * 1000.0;
+        let vp = reg.vp.eval(x) * KM;
+        let vs = reg.vs.eval(x) * KM;
+        let ti = if self.transverse_isotropy {
+            reg.ti.map(|p| TransverseIsotropy {
+                vpv: p[0].eval(x) * KM,
+                vph: p[1].eval(x) * KM,
+                vsv: p[2].eval(x) * KM,
+                vsh: p[3].eval(x) * KM,
+                eta: p[4].eval(x),
+            })
+        } else {
+            None
+        };
+        Material {
+            rho,
+            vp,
+            vs,
+            q_mu: reg.q_mu,
+            q_kappa: reg.q_kappa,
+            ti,
+        }
+    }
+
+    fn discontinuities(&self) -> Vec<f64> {
+        let mut d: Vec<f64> = self
+            .regions
+            .iter()
+            .skip(1)
+            .map(|r| r.r_in)
+            .collect();
+        if self.suppress_ocean {
+            d.retain(|&r| r != OCEAN_FLOOR_M);
+        }
+        d
+    }
+
+    fn surface_radius(&self) -> f64 {
+        EARTH_RADIUS_M
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close_pct(a: f64, b: f64, pct: f64) {
+        assert!(
+            (a - b).abs() <= pct / 100.0 * b.abs().max(1.0),
+            "{a} vs {b}"
+        );
+    }
+
+    #[test]
+    fn surface_values_match_published_prem() {
+        let prem = Prem::isotropic_no_ocean();
+        let m = prem.material_at(EARTH_RADIUS_M, false);
+        close_pct(m.rho, 2600.0, 0.1);
+        close_pct(m.vp, 5800.0, 0.1);
+        close_pct(m.vs, 3200.0, 0.1);
+    }
+
+    #[test]
+    fn center_values_match_published_prem() {
+        let prem = Prem::default();
+        let m = prem.material_at(0.0, false);
+        close_pct(m.rho, 13088.5, 0.01);
+        close_pct(m.vp, 11262.2, 0.01);
+        close_pct(m.vs, 3667.8, 0.01);
+    }
+
+    #[test]
+    fn cmb_jump_is_sharp_and_correct_side() {
+        let prem = Prem::default();
+        let below = prem.material_at(CMB_RADIUS_M, true); // outer core side
+        let above = prem.material_at(CMB_RADIUS_M, false); // mantle side
+        assert!(below.is_fluid());
+        assert!(!above.is_fluid());
+        // Published PREM: rho jumps ~9903 → ~5566 kg/m³ across the CMB.
+        close_pct(below.rho, 9903.0, 0.5);
+        close_pct(above.rho, 5566.0, 0.5);
+    }
+
+    #[test]
+    fn icb_jump_matches_published() {
+        let prem = Prem::default();
+        let inner = prem.material_at(ICB_RADIUS_M, true);
+        let outer = prem.material_at(ICB_RADIUS_M, false);
+        assert!(!inner.is_fluid());
+        assert!(outer.is_fluid());
+        close_pct(inner.vp, 11028.0, 0.5); // PREM vp at ICB- ≈ 11.03 km/s
+        close_pct(outer.vp, 10355.7, 0.5); // PREM vp at ICB+ ≈ 10.36 km/s
+    }
+
+    #[test]
+    fn outer_core_is_fluid_throughout() {
+        let prem = Prem::default();
+        for i in 0..50 {
+            let r = ICB_RADIUS_M + (CMB_RADIUS_M - ICB_RADIUS_M) * (i as f64 + 0.5) / 50.0;
+            assert!(prem.material_at(r, false).is_fluid(), "r = {r}");
+        }
+        assert!(prem.is_fluid_shell(ICB_RADIUS_M, CMB_RADIUS_M));
+    }
+
+    #[test]
+    fn density_monotonically_decreases_with_radius_between_jumps() {
+        // Within each deep region density must decrease outward
+        // (hydrostatic). PREM's shallow LVZ/LID region is a documented
+        // exception (density rises slightly outward there), so only regions
+        // below 6151 km are checked.
+        let prem = Prem::default();
+        for reg in prem.regions() {
+            if reg.r_out > 6_151_000.0 || reg.r_out - reg.r_in < 10.0 * KM {
+                continue;
+            }
+            let n = 20;
+            let mut prev = f64::INFINITY;
+            for i in 0..n {
+                let r = reg.r_in + (reg.r_out - reg.r_in) * (i as f64 + 0.5) / n as f64;
+                let rho = prem.material_at(r, false).rho;
+                assert!(
+                    rho <= prev + 1e-9,
+                    "density inversion in {} at r={r}",
+                    reg.name
+                );
+                prev = rho;
+            }
+        }
+    }
+
+    #[test]
+    fn discontinuity_list_contains_major_boundaries() {
+        let prem = Prem::default();
+        let d = prem.discontinuities();
+        for &must in &[ICB_RADIUS_M, CMB_RADIUS_M, R670_M, MOHO_RADIUS_M] {
+            assert!(d.contains(&must), "missing {must}");
+        }
+        // ascending
+        for w in d.windows(2) {
+            assert!(w[0] < w[1]);
+        }
+    }
+
+    #[test]
+    fn anisotropic_region_has_ti_and_it_is_sane() {
+        let prem = Prem::new(true, true);
+        let m = prem.material_at(6_250_000.0, false);
+        let ti = m.ti.expect("LVZ must be TI in anisotropic PREM");
+        // PREM at 121 km depth: vsh > vsv (positive radial anisotropy).
+        assert!(ti.vsh > ti.vsv);
+        assert!(ti.eta < 1.0);
+        // Isotropic variant must not carry TI.
+        let iso = Prem::isotropic_no_ocean().material_at(6_250_000.0, false);
+        assert!(iso.ti.is_none());
+    }
+
+    #[test]
+    fn suppressed_ocean_is_crustal() {
+        let prem = Prem::isotropic_no_ocean();
+        let m = prem.material_at(6_370_000.0, false);
+        assert!(!m.is_fluid());
+        close_pct(m.vs, 3200.0, 0.1);
+        let with_ocean = Prem::new(false, false).material_at(6_370_000.0, false);
+        assert!(with_ocean.is_fluid());
+    }
+
+    #[test]
+    fn continuous_inside_regions() {
+        let prem = Prem::default();
+        for reg in prem.regions() {
+            let mid = 0.5 * (reg.r_in + reg.r_out);
+            let eps = 1.0; // 1 m
+            let a = prem.material_at(mid - eps, false);
+            let b = prem.material_at(mid + eps, false);
+            assert!((a.vp - b.vp).abs() < 1.0, "vp discontinuous inside {}", reg.name);
+        }
+    }
+}

@@ -1,0 +1,83 @@
+//! Property-based tests of the Earth-model crate.
+
+use proptest::prelude::*;
+use specfem_model::{
+    AttenuationFit, AttenuationSpec, EarthModel, Prem, EARTH_RADIUS_M,
+};
+
+proptest! {
+    /// PREM returns finite, positive density and non-negative velocities
+    /// everywhere inside the Earth, from both boundary sides.
+    #[test]
+    fn prem_is_physical_everywhere(
+        frac in 0.0f64..1.0,
+        from_below in any::<bool>(),
+        ti in any::<bool>(),
+    ) {
+        let prem = Prem::new(true, ti);
+        let m = prem.material_at(frac * EARTH_RADIUS_M, from_below);
+        prop_assert!(m.rho.is_finite() && m.rho > 900.0 && m.rho < 14000.0);
+        prop_assert!(m.vp.is_finite() && m.vp > 1000.0 && m.vp < 14000.0);
+        prop_assert!(m.vs.is_finite() && m.vs >= 0.0 && m.vs < 8000.0);
+        prop_assert!(m.kappa() > 0.0);
+        prop_assert!(m.mu() >= 0.0);
+        // vp > vs always (κ > 0).
+        prop_assert!(m.vp > m.vs);
+    }
+
+    /// Fluid regions are exactly where μ = 0, and they match `is_fluid`.
+    #[test]
+    fn fluid_iff_zero_shear(frac in 0.0f64..1.0) {
+        let prem = Prem::default();
+        let m = prem.material_at(frac * EARTH_RADIUS_M, false);
+        prop_assert_eq!(m.is_fluid(), m.mu() == 0.0);
+    }
+
+    /// The attenuation fit produces positive SLS coefficients and a valid
+    /// relaxed-modulus ratio for any physical Q and band.
+    #[test]
+    fn attenuation_fit_is_valid(
+        q in 40.0f64..1500.0,
+        t_min in 1.0f64..60.0,
+    ) {
+        let fit = AttenuationFit::fit(AttenuationSpec::for_shortest_period(q, t_min));
+        for &y in &fit.y {
+            prop_assert!(y.is_finite());
+            prop_assert!(y > 0.0, "y = {:?}", fit.y);
+        }
+        prop_assert!(fit.one_minus_sum_y > 0.0 && fit.one_minus_sum_y <= 1.0);
+        // 1/Q at band centre within 30 % of the target (3 SLS ripple bound).
+        let f_mid = (1.0 / t_min / 100.0 * (1.0 / t_min)).sqrt();
+        let inv_q = fit.inv_q_at(2.0 * std::f64::consts::PI * f_mid);
+        prop_assert!((inv_q * q - 1.0).abs() < 0.3, "Q error: {}", inv_q * q);
+    }
+
+    /// The fit is linear in 1/Q: doubling Q halves every coefficient.
+    #[test]
+    fn attenuation_fit_linear_in_inverse_q(q in 50.0f64..500.0) {
+        let a = AttenuationFit::fit(AttenuationSpec::for_shortest_period(q, 10.0));
+        let b = AttenuationFit::fit(AttenuationSpec::for_shortest_period(2.0 * q, 10.0));
+        for j in 0..specfem_model::N_SLS {
+            prop_assert!((a.y[j] - 2.0 * b.y[j]).abs() < 1e-9 * a.y[j].abs());
+        }
+    }
+
+    /// Source-time functions stay finite and bounded for random times.
+    #[test]
+    fn stf_bounded(
+        t in -10.0f64..1.0e4,
+        hdur in 0.5f64..100.0,
+    ) {
+        use specfem_model::{SourceTimeFunction, StfKind};
+        for kind in [StfKind::Gaussian, StfKind::Ricker, StfKind::SmoothedHeaviside] {
+            let stf = SourceTimeFunction::new(kind, hdur);
+            let v = stf.eval(t);
+            prop_assert!(v.is_finite());
+            let bound = match kind {
+                StfKind::Gaussian => 1.0 / hdur, // α/√π < 1.63/hdur/1.77
+                _ => 1.0 + 1e-9,
+            };
+            prop_assert!(v.abs() <= bound.max(1.0), "{kind:?}({t}) = {v}");
+        }
+    }
+}

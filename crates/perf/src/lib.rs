@@ -1,0 +1,109 @@
+//! Performance modeling (paper §5) — the measure-small / fit / extrapolate
+//! methodology that let the team predict 62K-core behaviour before running
+//! it, plus the machine profiles of the four systems of §5 and the
+//! large-run predictor that regenerates the §6 results table.
+
+pub mod comm_model;
+pub mod disk_model;
+pub mod flops_model;
+pub mod machines;
+pub mod runtime_model;
+
+pub use comm_model::CommTimeModel;
+pub use disk_model::DiskSpaceModel;
+pub use flops_model::{paper_runs as paper_runs_table, predict_run, RunPrediction};
+pub use machines::{MachineProfile, ALL_MACHINES};
+pub use runtime_model::RuntimeModel;
+
+/// A single (x, y) observation used by the fitted models.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Sample {
+    pub x: f64,
+    pub y: f64,
+}
+
+/// Least-squares power-law fit `y = c·x^p` shared by the models, with
+/// goodness-of-fit in log space.
+#[derive(Debug, Clone, Copy)]
+pub struct PowerLawFit {
+    /// Coefficient `c`.
+    pub coefficient: f64,
+    /// Exponent `p`.
+    pub exponent: f64,
+    /// R² of the fit in log-log space.
+    pub r_squared: f64,
+}
+
+impl PowerLawFit {
+    /// Fit the samples (all must be positive).
+    pub fn fit(samples: &[Sample]) -> PowerLawFit {
+        assert!(samples.len() >= 2, "need at least two samples");
+        let xs: Vec<f64> = samples.iter().map(|s| s.x).collect();
+        let ys: Vec<f64> = samples.iter().map(|s| s.y).collect();
+        let (c, p) = specfem_model::linalg::fit_power_law(&xs, &ys);
+        // R² in log space.
+        let mean_ly = ys.iter().map(|y| y.ln()).sum::<f64>() / ys.len() as f64;
+        let mut ss_res = 0.0;
+        let mut ss_tot = 0.0;
+        for s in samples {
+            let pred = (c * s.x.powf(p)).ln();
+            let ly = s.y.ln();
+            ss_res += (ly - pred).powi(2);
+            ss_tot += (ly - mean_ly).powi(2);
+        }
+        let r_squared = if ss_tot > 0.0 {
+            1.0 - ss_res / ss_tot
+        } else {
+            1.0
+        };
+        PowerLawFit {
+            coefficient: c,
+            exponent: p,
+            r_squared,
+        }
+    }
+
+    /// Evaluate the fitted law.
+    pub fn predict(&self, x: f64) -> f64 {
+        self.coefficient * x.powf(self.exponent)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn power_law_fit_recovers_exact_law() {
+        let samples: Vec<Sample> = (1..8)
+            .map(|i| {
+                let x = (i * 32) as f64;
+                Sample {
+                    x,
+                    y: 0.004 * x.powf(2.7),
+                }
+            })
+            .collect();
+        let fit = PowerLawFit::fit(&samples);
+        assert!((fit.exponent - 2.7).abs() < 1e-9);
+        assert!((fit.coefficient - 0.004).abs() < 1e-9);
+        assert!(fit.r_squared > 0.999999);
+    }
+
+    #[test]
+    fn noisy_fit_reports_lower_r2() {
+        let samples: Vec<Sample> = (1..10)
+            .map(|i| {
+                let x = i as f64;
+                let noise = if i % 2 == 0 { 1.6 } else { 0.6 };
+                Sample {
+                    x,
+                    y: 5.0 * x.powf(1.5) * noise,
+                }
+            })
+            .collect();
+        let fit = PowerLawFit::fit(&samples);
+        assert!(fit.r_squared < 0.99);
+        assert!(fit.r_squared > 0.3);
+    }
+}

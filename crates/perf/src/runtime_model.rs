@@ -1,0 +1,98 @@
+//! The Figure 7 model: totaled execution time for all cores vs resolution.
+//!
+//! The paper's key observation: "the overall execution time totaled for all
+//! computation cores is defined by the resolution used and is independent
+//! of the number of cores" — total work ∝ elements × steps ∝ NEX³ for the
+//! fixed-radial-layer production mesh. Figure 7's normalized range (1 →
+//! ~300 over NEX 96 → 640) is exactly that cubic.
+
+use crate::{PowerLawFit, Sample};
+
+/// Fitted total-core-seconds model `T(NEX) = c·NEX^p`.
+#[derive(Debug, Clone, Copy)]
+pub struct RuntimeModel {
+    fit: PowerLawFit,
+}
+
+impl RuntimeModel {
+    /// Fit from `(NEX, total core-seconds)` samples.
+    pub fn fit(samples: &[Sample]) -> Self {
+        Self {
+            fit: PowerLawFit::fit(samples),
+        }
+    }
+
+    /// Predicted total core-seconds at resolution `nex`.
+    pub fn predict_total(&self, nex: usize) -> f64 {
+        self.fit.predict(nex as f64)
+    }
+
+    /// Per-core seconds on `cores` cores (total work is core-count
+    /// independent).
+    pub fn predict_per_core(&self, nex: usize, cores: usize) -> f64 {
+        self.predict_total(nex) / cores as f64
+    }
+
+    /// Normalized curve over a resolution sweep (minimum = 1), the exact
+    /// form Figure 7 plots.
+    pub fn normalized_curve(&self, nexes: &[usize]) -> Vec<f64> {
+        let vals: Vec<f64> = nexes.iter().map(|&n| self.predict_total(n)).collect();
+        let min = vals.iter().cloned().fold(f64::INFINITY, f64::min);
+        vals.into_iter().map(|v| v / min).collect()
+    }
+
+    /// Fitted exponent.
+    pub fn exponent(&self) -> f64 {
+        self.fit.exponent
+    }
+
+    /// Relative prediction error against a held-out observation — the
+    /// paper validated its 12K-core NEX=1440 prediction "within 12% error".
+    pub fn relative_error(&self, nex: usize, observed_total: f64) -> f64 {
+        (self.predict_total(nex) - observed_total).abs() / observed_total
+    }
+}
+
+/// Figure 7's x axis.
+pub const FIG7_RESOLUTIONS: [usize; 6] = [96, 144, 288, 320, 512, 640];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cubic_samples() -> Vec<Sample> {
+        FIG7_RESOLUTIONS
+            .iter()
+            .map(|&n| Sample {
+                x: n as f64,
+                y: 3.1e-4 * (n as f64).powi(3),
+            })
+            .collect()
+    }
+
+    #[test]
+    fn figure7_normalized_range_is_about_300() {
+        let model = RuntimeModel::fit(&cubic_samples());
+        let curve = model.normalized_curve(&FIG7_RESOLUTIONS);
+        assert!((curve[0] - 1.0).abs() < 1e-9);
+        let last = *curve.last().unwrap();
+        // (640/96)³ ≈ 296 — the figure's "1 … 301" y range.
+        assert!((last - 296.0).abs() < 3.0, "normalized max {last}");
+    }
+
+    #[test]
+    fn total_time_is_core_count_independent() {
+        let model = RuntimeModel::fit(&cubic_samples());
+        let t1 = model.predict_per_core(320, 100) * 100.0;
+        let t2 = model.predict_per_core(320, 10_000) * 10_000.0;
+        assert!((t1 - t2).abs() < 1e-9 * t1);
+    }
+
+    #[test]
+    fn held_out_prediction_error_metric() {
+        let model = RuntimeModel::fit(&cubic_samples());
+        let truth = 3.1e-4 * 1440.0f64.powi(3);
+        assert!(model.relative_error(1440, truth) < 1e-9);
+        assert!((model.relative_error(1440, truth * 1.12) - 0.107).abs() < 0.01);
+    }
+}

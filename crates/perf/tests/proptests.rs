@@ -1,0 +1,66 @@
+//! Property-based tests of the performance models.
+
+use proptest::prelude::*;
+use specfem_perf::{CommTimeModel, DiskSpaceModel, PowerLawFit, RuntimeModel, Sample};
+
+fn power_samples(c: f64, p: f64, xs: &[f64]) -> Vec<Sample> {
+    xs.iter()
+        .map(|&x| Sample {
+            x,
+            y: c * x.powf(p),
+        })
+        .collect()
+}
+
+proptest! {
+    /// The power-law fit recovers exact laws over any positive range.
+    #[test]
+    fn fit_recovers_exact_power_laws(
+        c in 1.0e-6f64..1.0e6,
+        p in -2.0f64..4.0,
+        x0 in 1.0f64..100.0,
+    ) {
+        let xs: Vec<f64> = (1..=6).map(|i| x0 * i as f64).collect();
+        let fit = PowerLawFit::fit(&power_samples(c, p, &xs));
+        prop_assert!((fit.exponent - p).abs() < 1e-6);
+        prop_assert!((fit.coefficient / c - 1.0).abs() < 1e-6);
+        prop_assert!(fit.r_squared > 0.999);
+    }
+
+    /// Disk model predictions are monotone in NEX whenever the fitted
+    /// exponent is positive.
+    #[test]
+    fn disk_model_monotone(c in 1.0f64..1.0e4, p in 0.5f64..4.0) {
+        let xs: Vec<f64> = vec![8.0, 16.0, 32.0, 64.0];
+        let model = DiskSpaceModel::fit(&power_samples(c, p, &xs));
+        let mut prev = 0.0;
+        for nex in [96usize, 256, 640, 2176, 4352] {
+            let b = model.predict_bytes(nex);
+            prop_assert!(b > prev);
+            prev = b;
+        }
+    }
+
+    /// Comm model: per-core time decreases with P iff exponent < 1.
+    #[test]
+    fn comm_model_per_core_trend(alpha in 0.1f64..0.95) {
+        let xs: Vec<f64> = vec![24.0, 96.0, 384.0, 1536.0];
+        let model = CommTimeModel::fit(144, &power_samples(100.0, alpha, &xs));
+        prop_assert!(model.predict_per_core(62_000) < model.predict_per_core(1_000));
+        prop_assert!(model.predict_total(62_000) > model.predict_total(1_000));
+    }
+
+    /// Runtime model: normalized curve starts at 1 and is increasing for
+    /// positive exponents.
+    #[test]
+    fn runtime_normalized_curve_shape(c in 1.0e-6f64..1.0, p in 1.5f64..4.0) {
+        let xs: Vec<f64> = vec![96.0, 144.0, 288.0, 320.0];
+        let model = RuntimeModel::fit(&power_samples(c, p, &xs));
+        let res = [96usize, 144, 288, 320, 512, 640];
+        let curve = model.normalized_curve(&res);
+        prop_assert!((curve[0] - 1.0).abs() < 1e-9);
+        for w in curve.windows(2) {
+            prop_assert!(w[1] > w[0]);
+        }
+    }
+}

@@ -1,0 +1,204 @@
+//! Sensitivity kernels via the adjoint method (paper §1: "the capacity to
+//! compute sensitivity kernels for inverse problems in addition to forward
+//! problems", ref [13] Liu & Tromp).
+//!
+//! The shear-wave-speed (β) kernel is the time integral of the interaction
+//! of the forward deviatoric strain with the time-reversed adjoint
+//! deviatoric strain:
+//!
+//! `K_β(x) = −2 ∫ 2μ D[u†](x, T−t) : D[u](x, t) dt / (ρ β²)`
+//!
+//! Here both wavefields come from two forward runs of the same solver —
+//! the adjoint source is the (reversed) seismogram injected at the
+//! receiver — and the kernel is assembled from displacement snapshots.
+
+use specfem_gll::GllBasis;
+use specfem_kernels::{cutplane_derivatives, DerivOps, KernelVariant, NGLL3, NGLL3_PADDED};
+use specfem_mesh::LocalMesh;
+
+use crate::assemble::PrecomputedGeometry;
+
+/// Displacement snapshots of one run: `frames[f][point·3 + comp]`.
+#[derive(Debug, Clone, Default)]
+pub struct WavefieldSnapshots {
+    /// Snapshot cadence in steps.
+    pub every: usize,
+    /// Time step of the run (s).
+    pub dt: f64,
+    /// The frames, oldest first.
+    pub frames: Vec<Vec<f32>>,
+}
+
+impl WavefieldSnapshots {
+    /// Seconds between frames.
+    pub fn frame_dt(&self) -> f64 {
+        self.dt * self.every as f64
+    }
+}
+
+/// Deviatoric strain of one element at every GLL point, flattened
+/// `[point][comp]` with comps (xx, yy, xy, xz, yz).
+fn element_deviatoric_strain(
+    mesh: &LocalMesh,
+    geom: &PrecomputedGeometry,
+    ops: &DerivOps,
+    displ: &[f32],
+    e: usize,
+    out: &mut [[f32; 5]],
+) {
+    let n3 = mesh.points_per_element();
+    let ib = &mesh.ibool[e * n3..(e + 1) * n3];
+    let mut u = [[0.0f32; NGLL3_PADDED]; 3];
+    for (c, uc) in u.iter_mut().enumerate() {
+        for (l, &p) in ib.iter().enumerate() {
+            uc[l] = displ[p as usize * 3 + c];
+        }
+    }
+    let mut t = [[[0.0f32; NGLL3_PADDED]; 3]; 3];
+    for c in 0..3 {
+        let (t0, rest) = t[c].split_at_mut(1);
+        let (t1, t2) = rest.split_at_mut(1);
+        cutplane_derivatives(KernelVariant::Simd, &u[c], ops, &mut t0[0], &mut t1[0], &mut t2[0]);
+    }
+    let base = e * n3;
+    for l in 0..NGLL3 {
+        let idx = base + l;
+        let (xix, xiy, xiz) = (geom.xix[idx], geom.xiy[idx], geom.xiz[idx]);
+        let (etx, ety, etz) = (geom.etax[idx], geom.etay[idx], geom.etaz[idx]);
+        let (gax, gay, gaz) = (geom.gammax[idx], geom.gammay[idx], geom.gammaz[idx]);
+        let g = |c: usize, d: usize| -> f32 {
+            match d {
+                0 => t[c][0][l] * xix + t[c][1][l] * etx + t[c][2][l] * gax,
+                1 => t[c][0][l] * xiy + t[c][1][l] * ety + t[c][2][l] * gay,
+                _ => t[c][0][l] * xiz + t[c][1][l] * etz + t[c][2][l] * gaz,
+            }
+        };
+        let div3 = (g(0, 0) + g(1, 1) + g(2, 2)) / 3.0;
+        out[l] = [
+            g(0, 0) - div3,
+            g(1, 1) - div3,
+            0.5 * (g(0, 1) + g(1, 0)),
+            0.5 * (g(0, 2) + g(2, 0)),
+            0.5 * (g(1, 2) + g(2, 1)),
+        ];
+    }
+}
+
+/// Assemble the β (shear) sensitivity kernel on this rank from forward and
+/// adjoint snapshot sets. Returns one value per GLL point per element
+/// (`nspec·n³`), in s/m³-like relative units.
+pub fn shear_kernel(
+    mesh: &LocalMesh,
+    geom: &PrecomputedGeometry,
+    forward: &WavefieldSnapshots,
+    adjoint: &WavefieldSnapshots,
+) -> Vec<f32> {
+    assert_eq!(forward.frames.len(), adjoint.frames.len());
+    assert!(forward.every == adjoint.every);
+    let nframes = forward.frames.len();
+    let n3 = mesh.points_per_element();
+    assert_eq!(n3, NGLL3);
+    let ops = DerivOps::from_basis(&GllBasis::new(mesh.basis.degree));
+    let dt = forward.frame_dt() as f32;
+
+    let mut kernel = vec![0.0f32; mesh.nspec * n3];
+    let mut dev_f = [[0.0f32; 5]; NGLL3];
+    let mut dev_a = [[0.0f32; 5]; NGLL3];
+    for e in 0..mesh.nspec {
+        if mesh.region[e].is_fluid() {
+            continue; // no shear kernel in the fluid
+        }
+        for f in 0..nframes {
+            // Adjoint field is time-reversed: pair frame f with the
+            // adjoint frame (nframes−1−f).
+            element_deviatoric_strain(mesh, geom, &ops, &forward.frames[f], e, &mut dev_f);
+            element_deviatoric_strain(
+                mesh,
+                geom,
+                &ops,
+                &adjoint.frames[nframes - 1 - f],
+                e,
+                &mut dev_a,
+            );
+            for l in 0..NGLL3 {
+                let idx = e * n3 + l;
+                let mu = mesh.mu[idx];
+                // D:D with the off-diagonal double counting (xy, xz, yz
+                // appear twice in the full contraction) and the implicit
+                // zz = −(xx+yy) terms of both tensors.
+                let (f5, a5) = (&dev_f[l], &dev_a[l]);
+                let zz_f = -(f5[0] + f5[1]);
+                let zz_a = -(a5[0] + a5[1]);
+                let dd = f5[0] * a5[0]
+                    + f5[1] * a5[1]
+                    + zz_f * zz_a
+                    + 2.0 * (f5[2] * a5[2] + f5[3] * a5[3] + f5[4] * a5[4]);
+                kernel[idx] -= 2.0 * 2.0 * mu * dd * dt / (mesh.rho[idx]);
+            }
+        }
+    }
+    kernel
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::assemble::WaveFields;
+    use specfem_mesh::{GlobalMesh, MeshParams, Partition};
+    use specfem_model::Prem;
+
+    fn snapshots_from(fields: Vec<Vec<f32>>, dt: f64) -> WavefieldSnapshots {
+        WavefieldSnapshots {
+            every: 1,
+            dt,
+            frames: fields,
+        }
+    }
+
+    #[test]
+    fn zero_fields_give_zero_kernel() {
+        let params = MeshParams::new(4, 1);
+        let mesh = GlobalMesh::build(&params, &Prem::isotropic_no_ocean());
+        let local = Partition::serial(&mesh).extract(&mesh, 0);
+        let geom = PrecomputedGeometry::compute(&local, None);
+        let zero = WaveFields::zeros(local.nglob).displ;
+        let snaps = snapshots_from(vec![zero.clone(), zero], 1.0);
+        let k = shear_kernel(&local, &geom, &snaps, &snaps);
+        assert!(k.iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn identical_shear_fields_give_negative_kernel_in_solid() {
+        // K_β for u† = u is −4μ|D|²dt/ρ ≤ 0 — strictly negative wherever
+        // the field has deviatoric strain.
+        let params = MeshParams::new(4, 1);
+        let mesh = GlobalMesh::build(&params, &Prem::isotropic_no_ocean());
+        let local = Partition::serial(&mesh).extract(&mesh, 0);
+        let geom = PrecomputedGeometry::compute(&local, None);
+        let mut displ = vec![0.0f32; local.nglob * 3];
+        for (p, c) in local.coords.iter().enumerate() {
+            displ[p * 3] = (c[1] / 2.0e6).sin() as f32; // pure shear-ish
+        }
+        let snaps = snapshots_from(vec![displ.clone()], 1.0);
+        let k = shear_kernel(&local, &geom, &snaps, &snaps);
+        let n3 = local.points_per_element();
+        let mut negative = 0usize;
+        let mut positive = 0usize;
+        for e in 0..local.nspec {
+            for l in 0..n3 {
+                let v = k[e * n3 + l];
+                if v < 0.0 {
+                    negative += 1;
+                }
+                if v > 0.0 {
+                    positive += 1;
+                }
+                if local.region[e].is_fluid() {
+                    assert_eq!(v, 0.0, "fluid must have no shear kernel");
+                }
+            }
+        }
+        assert!(negative > 0);
+        assert_eq!(positive, 0, "self-correlation kernel must be ≤ 0");
+    }
+}

@@ -1,0 +1,118 @@
+//! The solver — the `specfem3D` analog (paper §3).
+//!
+//! Marches the global wave field forward in time with the explicit
+//! second-order Newmark scheme on the spectral-element mesh:
+//!
+//! * solid regions (crust-mantle, inner core, central cube) solve the
+//!   momentum equation with the two-stage cut-plane kernel of
+//!   `specfem-kernels` (the >70 % hotspot of paper §4.3);
+//! * the fluid outer core solves the acoustic potential equation
+//!   (`u = ∇χ/ρ`, `p = −χ̈`);
+//! * fluid and solid are coupled **non-iteratively through the displacement
+//!   vector** at the CMB and ICB (paper §1, ref [4]);
+//! * optional anelasticity via 3 standard-linear-solid memory variables
+//!   (the ~1.8× runtime factor of §6), Coriolis rotation, and
+//!   Cowling-approximation self-gravitation;
+//! * halo assembly over `specfem-comm` after each force computation —
+//!   the `assemble_MPI` step of §2.4;
+//! * earthquake sources as CMT moment tensors spread through the gradient
+//!   of the element basis, seismogram recording at located stations.
+//!
+//! The mesher and solver are *merged*: a run takes a `LocalMesh` directly
+//! from `specfem-mesh` in memory (paper §4.1's I/O-bottleneck fix); the
+//! legacy file-based handoff lives in `specfem-io` for the ablation.
+
+pub mod absorbing;
+pub mod adjoint;
+pub mod assemble;
+pub mod coupling;
+pub mod forces;
+pub mod source;
+pub mod surface;
+pub mod timeloop;
+
+pub use absorbing::AbsorbingSurface;
+pub use adjoint::{shear_kernel, WavefieldSnapshots};
+pub use assemble::{MassMatrices, PrecomputedGeometry, WaveFields};
+pub use coupling::CouplingSurface;
+pub use source::{ReceiverSet, Seismogram, SourceArrays, SourceSpec};
+pub use timeloop::{run_distributed, run_serial, RankResult, RankSolver};
+
+use specfem_kernels::KernelVariant;
+use specfem_model::{SourceTimeFunction, StfKind};
+
+/// Earth's rotation rate (rad/s).
+pub const EARTH_OMEGA_RAD_S: f64 = 7.292_115e-5;
+
+/// Solver configuration — the run-time half of the `Par_file`.
+#[derive(Debug, Clone)]
+pub struct SolverConfig {
+    /// Kernel implementation (paper §4.3 ablation).
+    pub variant: KernelVariant,
+    /// Anelastic attenuation with 3-SLS memory variables.
+    pub attenuation: bool,
+    /// Coriolis term in the solid regions.
+    pub rotation: bool,
+    /// Cowling-approximation self-gravitation.
+    pub gravity: bool,
+    /// Ocean load: the 3-km global water column approximated as extra mass
+    /// acting on the *normal* component of free-surface motion (exactly
+    /// SPECFEM's equivalent-load treatment — the ocean is never meshed).
+    pub ocean_load: bool,
+    /// Number of time steps.
+    pub nsteps: usize,
+    /// Explicit time step (s); `None` → Courant-stable dt from the mesh.
+    pub dt: Option<f64>,
+    /// Record seismograms every this many steps.
+    pub record_every: usize,
+    /// Compute global energy diagnostics every this many steps (0 = never).
+    pub energy_every: usize,
+    /// Record full displacement snapshots every this many steps (0 = off)
+    /// — the forward-wavefield storage adjoint kernels need (ref [13]).
+    pub snapshot_every: usize,
+    /// The source.
+    pub source: SourceSpec,
+    /// Locate stations with the exact nonlinear algorithm (true) or
+    /// nearest-grid-point (false) — paper §4.4-2.
+    pub exact_station_location: bool,
+}
+
+impl Default for SolverConfig {
+    fn default() -> Self {
+        Self {
+            variant: KernelVariant::default(),
+            attenuation: false,
+            rotation: false,
+            gravity: false,
+            ocean_load: false,
+            nsteps: 100,
+            dt: None,
+            record_every: 1,
+            energy_every: 0,
+            snapshot_every: 0,
+            source: SourceSpec::default(),
+            exact_station_location: false,
+        }
+    }
+}
+
+impl SolverConfig {
+    /// Default source-time function for a given shortest period: Ricker
+    /// with a half-duration that fits the resolution.
+    pub fn default_stf(shortest_period_s: f64) -> SourceTimeFunction {
+        SourceTimeFunction::new(StfKind::Ricker, shortest_period_s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_config_is_production_like() {
+        let c = SolverConfig::default();
+        assert_eq!(c.variant, KernelVariant::Reference);
+        assert!(!c.attenuation);
+        assert!(c.record_every >= 1);
+    }
+}

@@ -1,0 +1,99 @@
+//! Surface wavefield snapshots — the data behind SPECFEM's "movie" output
+//! (surface shaking maps rendered from production runs).
+
+use specfem_mesh::LocalMesh;
+use specfem_model::EARTH_RADIUS_M;
+
+use crate::assemble::WaveFields;
+
+/// Indices and positions of this rank's free-surface points.
+#[derive(Debug, Clone, Default)]
+pub struct SurfaceField {
+    /// Local point ids on the free surface.
+    pub points: Vec<u32>,
+    /// Their positions (m).
+    pub positions: Vec<[f64; 3]>,
+}
+
+impl SurfaceField {
+    /// Collect the free-surface points of `mesh`.
+    pub fn build(mesh: &LocalMesh) -> Self {
+        let mut points = Vec::new();
+        let mut positions = Vec::new();
+        for (p, c) in mesh.coords.iter().enumerate() {
+            let r = (c[0] * c[0] + c[1] * c[1] + c[2] * c[2]).sqrt();
+            if (r - EARTH_RADIUS_M).abs() < 1.0 {
+                points.push(p as u32);
+                positions.push(*c);
+            }
+        }
+        Self { points, positions }
+    }
+
+    /// Sample the velocity magnitude at every surface point — one movie
+    /// frame.
+    pub fn frame(&self, fields: &WaveFields) -> Vec<f32> {
+        self.points
+            .iter()
+            .map(|&p| {
+                let p = p as usize;
+                let (vx, vy, vz) = (
+                    fields.veloc[p * 3],
+                    fields.veloc[p * 3 + 1],
+                    fields.veloc[p * 3 + 2],
+                );
+                (vx * vx + vy * vy + vz * vz).sqrt()
+            })
+            .collect()
+    }
+
+    /// Geographic coordinates (lat°, lon°) of each surface point.
+    pub fn latlon(&self) -> Vec<(f64, f64)> {
+        self.positions
+            .iter()
+            .map(|p| {
+                let r = (p[0] * p[0] + p[1] * p[1] + p[2] * p[2]).sqrt();
+                let lat = (p[2] / r).asin().to_degrees();
+                let lon = p[1].atan2(p[0]).to_degrees();
+                (lat, lon)
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use specfem_mesh::{GlobalMesh, MeshParams, Partition};
+    use specfem_model::Prem;
+
+    #[test]
+    fn surface_points_cover_the_globe() {
+        let params = MeshParams::new(4, 1);
+        let mesh = GlobalMesh::build(&params, &Prem::isotropic_no_ocean());
+        let local = Partition::serial(&mesh).extract(&mesh, 0);
+        let surf = SurfaceField::build(&local);
+        // 6·NEX² surface elements × (N+1)² points, shared → 6·(4N)²+2 =
+        // 6·16·16+2 = 1538 unique points at degree 4, NEX 4.
+        assert_eq!(surf.points.len(), 6 * (4 * 4) * (4 * 4) + 2);
+        let ll = surf.latlon();
+        assert!(ll.iter().any(|&(lat, _)| lat > 80.0));
+        assert!(ll.iter().any(|&(lat, _)| lat < -80.0));
+        assert!(ll.iter().any(|&(_, lon)| lon > 170.0 || lon < -170.0));
+    }
+
+    #[test]
+    fn frame_reads_velocity_magnitude() {
+        let params = MeshParams::new(2, 1);
+        let mesh = GlobalMesh::build(&params, &Prem::isotropic_no_ocean());
+        let local = Partition::serial(&mesh).extract(&mesh, 0);
+        let surf = SurfaceField::build(&local);
+        let mut fields = WaveFields::zeros(local.nglob);
+        for &p in &surf.points {
+            fields.veloc[p as usize * 3] = 3.0;
+            fields.veloc[p as usize * 3 + 1] = 4.0;
+        }
+        let frame = surf.frame(&fields);
+        assert!(frame.iter().all(|&v| (v - 5.0).abs() < 1e-6));
+    }
+}

@@ -1,0 +1,708 @@
+//! The time-marching driver: Newmark predictor, fluid solve, fluid→solid
+//! coupling, solid solve, halo assembly, correctors — the "main loop of the
+//! solver component" whose communication share the paper measures at
+//! 1.9–4.2 % (§5).
+
+use std::time::Instant;
+
+use specfem_comm::{assemble_halo, tags, Communicator, NetworkProfile, SerialComm, StatsSnapshot, ThreadWorld};
+use specfem_kernels::{DerivOps, FlopCounter};
+use specfem_mesh::stations::Station;
+use specfem_mesh::{GlobalMesh, LocalMesh, Partition};
+
+use crate::absorbing::AbsorbingSurface;
+use crate::assemble::{region_masks, MassMatrices, PrecomputedGeometry, WaveFields};
+use crate::coupling::CouplingSurface;
+use crate::forces::{compute_fluid_forces, compute_solid_forces, AttenuationState};
+use crate::source::{ReceiverSet, Seismogram, SourceArrays};
+use crate::{SolverConfig, EARTH_OMEGA_RAD_S};
+
+/// Everything one rank returns from a run.
+#[derive(Debug, Clone)]
+pub struct RankResult {
+    /// Rank id.
+    pub rank: usize,
+    /// Seismograms recorded on this rank.
+    pub seismograms: Vec<Seismogram>,
+    /// `(step, kinetic, potential)` energy samples (global, identical on
+    /// all ranks).
+    pub energy: Vec<(usize, f64, f64)>,
+    /// Wall-clock seconds of the main loop.
+    pub elapsed_s: f64,
+    /// Communication statistics of the main loop (IPM analog).
+    pub comm: StatsSnapshot,
+    /// Total flops executed by this rank's kernels.
+    pub flops: u64,
+    /// Time step used (s).
+    pub dt: f64,
+    /// Steps taken.
+    pub nsteps: usize,
+    /// Local elements / points.
+    pub nspec: usize,
+    pub nglob: usize,
+    /// Worst station location error on this rank (m).
+    pub station_error_m: f64,
+    /// Displacement snapshots (when `snapshot_every > 0`).
+    pub snapshots: Option<crate::adjoint::WavefieldSnapshots>,
+}
+
+impl RankResult {
+    /// Sustained flop rate of this rank (flops/s of wall time).
+    pub fn flop_rate(&self) -> f64 {
+        self.flops as f64 / self.elapsed_s.max(1e-12)
+    }
+
+    /// Fraction of the main loop spent communicating (wall basis).
+    pub fn comm_fraction(&self) -> f64 {
+        self.comm.wall_time_s / self.elapsed_s.max(1e-12)
+    }
+}
+
+/// One rank's solver state.
+pub struct RankSolver {
+    /// The rank's mesh slice.
+    pub mesh: LocalMesh,
+    config: SolverConfig,
+    geom: PrecomputedGeometry,
+    ops: DerivOps,
+    mass: MassMatrices,
+    /// The wave fields (public for tests and custom initial conditions).
+    pub fields: WaveFields,
+    coupling: CouplingSurface,
+    absorbing: AbsorbingSurface,
+    /// Ocean-load table: `(point, M/(M+M_ocean), outward normal)` for every
+    /// free-surface point when the ocean load is on.
+    ocean: Vec<(u32, f32, [f32; 3])>,
+    atten: Option<AttenuationState>,
+    source: SourceArrays,
+    apply_source: bool,
+    receivers: ReceiverSet,
+    owned: Vec<bool>,
+    /// Time step (s).
+    pub dt: f64,
+    flops: FlopCounter,
+    energy: Vec<(usize, f64, f64)>,
+    snapshots: Vec<Vec<f32>>,
+}
+
+impl RankSolver {
+    /// Set up one rank: metric terms, assembled mass matrices, coupling
+    /// surface, source and receiver location (collective call).
+    pub fn new(
+        mesh: LocalMesh,
+        config: &SolverConfig,
+        stations: &[Station],
+        comm: &mut dyn Communicator,
+    ) -> Self {
+        let gravity_profile = if config.gravity {
+            Some(specfem_model::GravityProfile::new(
+                &specfem_model::Prem::isotropic_no_ocean(),
+                256,
+            ))
+        } else {
+            None
+        };
+        let geom = PrecomputedGeometry::compute(&mesh, gravity_profile.as_ref());
+        let ops = DerivOps::from_basis(&mesh.basis);
+        let mass = MassMatrices::build(&mesh, &geom, comm);
+        let coupling = CouplingSurface::build(&mesh);
+        // Artificial-boundary faces (regional meshes; empty for the globe).
+        let absorbing =
+            AbsorbingSurface::build(&mesh, specfem_model::EARTH_RADIUS_M);
+
+        // Ocean load (§3): extra water-column mass on the normal component
+        // of free-surface motion. Assemble the extra mass across ranks so
+        // shared edge points agree, then precompute M/(M+M_o).
+        let ocean = if config.ocean_load {
+            const RHO_WATER: f32 = 1020.0;
+            const OCEAN_DEPTH_M: f32 = 3000.0;
+            let all_faces = AbsorbingSurface::build_including_free_surface(&mesh);
+            let mut extra = vec![0.0f32; mesh.nglob];
+            let mut normals = vec![[0.0f32; 3]; mesh.nglob];
+            for ap in &all_faces.points {
+                let p = ap.point as usize;
+                let c = mesh.coords[p];
+                let r = (c[0] * c[0] + c[1] * c[1] + c[2] * c[2]).sqrt();
+                if (r - specfem_model::EARTH_RADIUS_M).abs() < 1.0 {
+                    extra[p] += RHO_WATER * OCEAN_DEPTH_M * ap.weight;
+                    normals[p] = ap.normal;
+                }
+            }
+            specfem_comm::assemble_halo(
+                comm,
+                &mesh.halo,
+                &mut extra,
+                1,
+                specfem_comm::tags::HALO_SOLID,
+            );
+            extra
+                .iter()
+                .enumerate()
+                .filter(|(_, &m)| m > 0.0)
+                .map(|(p, &mo)| {
+                    let m = mass.solid[p];
+                    (p as u32, m / (m + mo), normals[p])
+                })
+                .collect()
+        } else {
+            Vec::new()
+        };
+
+        // Collective dt: local Courant bound, reduced over ranks.
+        let quality = mesh.quality();
+        let dt = match config.dt {
+            Some(dt) => dt,
+            None => comm.allreduce_min(quality.dt_stable_s),
+        };
+
+        // Attenuation band centred on what the mesh resolves.
+        let atten = if config.attenuation {
+            let period = comm.allreduce_max(quality.shortest_period_s);
+            Some(AttenuationState::new(&mesh, dt, period))
+        } else {
+            None
+        };
+
+        // Source: every rank locates; the best fit applies it.
+        let source = SourceArrays::build(&mesh, &config.source);
+        let best = comm.allreduce_min(source.locate_cost());
+        let mine = if (source.locate_cost() - best).abs() <= 1e-9 * best.max(1.0) {
+            comm.rank() as f64
+        } else {
+            f64::INFINITY
+        };
+        let winner = comm.allreduce_min(mine);
+        let apply_source = best.is_finite() && winner == comm.rank() as f64;
+
+        // Receivers: per-station ownership by best location error.
+        let mut receivers = ReceiverSet::locate(&mesh, stations, config.exact_station_location);
+        let errors = receivers.errors();
+        let mut keep = vec![false; errors.len()];
+        for (s, &err) in errors.iter().enumerate() {
+            let best = comm.allreduce_min(err);
+            let mine = if (err - best).abs() <= 1e-9 * best.max(1.0) {
+                comm.rank() as f64
+            } else {
+                f64::INFINITY
+            };
+            let winner = comm.allreduce_min(mine);
+            keep[s] = winner == comm.rank() as f64;
+        }
+        receivers.retain(&keep);
+
+        // Point ownership (lowest sharing rank) for global reductions.
+        let mut owned = vec![true; mesh.nglob];
+        for n in &mesh.halo.neighbors {
+            if n.rank < mesh.rank {
+                for &p in &n.points {
+                    owned[p as usize] = false;
+                }
+            }
+        }
+
+        let fields = WaveFields::zeros(mesh.nglob);
+        Self {
+            fields,
+            config: config.clone(),
+            geom,
+            ops,
+            mass,
+            coupling,
+            absorbing,
+            ocean,
+            atten,
+            source,
+            apply_source,
+            receivers,
+            owned,
+            dt,
+            flops: FlopCounter::new(),
+            energy: Vec::new(),
+            snapshots: Vec::new(),
+            mesh,
+        }
+    }
+
+    /// Remove the absorbing surface (test hook: compare absorbing vs
+    /// reflecting behaviour on the same regional mesh).
+    pub fn disable_absorbing_for_tests(&mut self) {
+        self.absorbing = AbsorbingSurface::default();
+    }
+
+    /// Impose an initial solid displacement field (for source-free
+    /// validation runs): `f(x, y, z) → [ux, uy, uz]`.
+    pub fn set_initial_displacement(&mut self, f: impl Fn([f64; 3]) -> [f64; 3]) {
+        let (solid_mask, _) = region_masks(&self.mesh);
+        for (p, coord) in self.mesh.coords.iter().enumerate() {
+            if solid_mask[p] {
+                let u = f(*coord);
+                for c in 0..3 {
+                    self.fields.displ[p * 3 + c] = u[c] as f32;
+                }
+            }
+        }
+    }
+
+    /// Advance one time step. `istep` is 0-based; the source is evaluated
+    /// at `t = (istep + 1)·dt`.
+    pub fn step(&mut self, istep: usize, comm: &mut dyn Communicator) {
+        let dt = self.dt as f32;
+        let t = (istep + 1) as f64 * self.dt;
+
+        // 1. Newmark predictor on both media.
+        self.fields.predictor(dt);
+
+        // 2. Fluid outer core: stiffness + coupling from the *predicted
+        //    solid displacement* (the displacement-based scheme of [4]),
+        //    assemble, divide by mass.
+        compute_fluid_forces(
+            &self.mesh,
+            &self.geom,
+            &self.ops,
+            self.config.variant,
+            &mut self.fields,
+            &mut self.flops,
+        );
+        self.coupling
+            .add_solid_displacement_to_fluid(&mut self.fields);
+        assemble_halo(
+            comm,
+            &self.mesh.halo,
+            &mut self.fields.chi_ddot,
+            1,
+            tags::HALO_FLUID,
+        );
+        self.fields.corrector_fluid(&self.mass.fluid, dt);
+
+        // 3. Solid regions: stiffness (+ attenuation, gravity), coupling
+        //    from the fresh fluid acceleration, source, assemble.
+        compute_solid_forces(
+            &self.mesh,
+            &self.geom,
+            &self.ops,
+            self.config.variant,
+            &mut self.fields,
+            self.atten.as_mut(),
+            self.config.gravity,
+            &mut self.flops,
+        );
+        self.coupling.add_fluid_pressure_to_solid(&mut self.fields);
+        if !self.absorbing.is_empty() {
+            // Stacey condition on artificial boundaries (regional runs),
+            // driven by the predicted velocity.
+            self.absorbing.apply(&mut self.fields);
+        }
+        if self.apply_source {
+            self.source.apply(t, &mut self.fields);
+        }
+        assemble_halo(
+            comm,
+            &self.mesh.halo,
+            &mut self.fields.accel,
+            3,
+            tags::HALO_SOLID,
+        );
+
+        // Ocean load: scale the normal RHS component by M/(M+M_o) so the
+        // upcoming division by M yields F_n/(M+M_o) on the free surface.
+        for &(p, k, n) in &self.ocean {
+            let p = p as usize;
+            let fn_dot = self.fields.accel[p * 3] * n[0]
+                + self.fields.accel[p * 3 + 1] * n[1]
+                + self.fields.accel[p * 3 + 2] * n[2];
+            let delta = fn_dot * (k - 1.0);
+            self.fields.accel[p * 3] += delta * n[0];
+            self.fields.accel[p * 3 + 1] += delta * n[1];
+            self.fields.accel[p * 3 + 2] += delta * n[2];
+        }
+
+        // Energy diagnostic uses the assembled right-hand side (before the
+        // mass division) so PE = −½ uᵀ(−K u) is available.
+        if self.config.energy_every > 0 && istep % self.config.energy_every == 0 {
+            let (ke, pe) = self.energy_sample(comm);
+            self.energy.push((istep, ke, pe));
+        }
+
+        // 4. Solid corrector (with optional Coriolis term applied between
+        //    the mass division and the velocity half-update).
+        if self.config.rotation {
+            let half_dt = 0.5 * dt;
+            let om = EARTH_OMEGA_RAD_S as f32;
+            for (p, &m) in self.mass.solid.iter().enumerate() {
+                if m > 0.0 {
+                    let inv = 1.0 / m;
+                    let vx = self.fields.veloc[p * 3];
+                    let vy = self.fields.veloc[p * 3 + 1];
+                    // Ω = Ω ẑ ⇒ −2Ω×v = (2Ω v_y, −2Ω v_x, 0).
+                    let ax = self.fields.accel[p * 3] * inv + 2.0 * om * vy;
+                    let ay = self.fields.accel[p * 3 + 1] * inv - 2.0 * om * vx;
+                    let az = self.fields.accel[p * 3 + 2] * inv;
+                    self.fields.accel[p * 3] = ax;
+                    self.fields.accel[p * 3 + 1] = ay;
+                    self.fields.accel[p * 3 + 2] = az;
+                    self.fields.veloc[p * 3] += half_dt * ax;
+                    self.fields.veloc[p * 3 + 1] += half_dt * ay;
+                    self.fields.veloc[p * 3 + 2] += half_dt * az;
+                }
+            }
+        } else {
+            self.fields.corrector_solid(&self.mass.solid, dt);
+        }
+
+        // Bookkeeping flops for the update loops (≈ 50/point/step).
+        self.flops.add_raw(self.mesh.nglob as u64 * 50);
+
+        if istep % self.config.record_every == 0 {
+            self.receivers.record(&self.mesh, &self.fields);
+        }
+        if self.config.snapshot_every > 0 && istep % self.config.snapshot_every == 0 {
+            self.snapshots.push(self.fields.displ.clone());
+        }
+    }
+
+    /// Global kinetic and potential energy (collective).
+    fn energy_sample(&mut self, comm: &mut dyn Communicator) -> (f64, f64) {
+        let mut ke = 0.0f64;
+        let mut pe = 0.0f64;
+        for p in 0..self.mesh.nglob {
+            if !self.owned[p] {
+                continue;
+            }
+            let m = self.mass.solid[p] as f64;
+            if m > 0.0 {
+                let mut v2 = 0.0f64;
+                let mut ua = 0.0f64;
+                for c in 0..3 {
+                    let v = self.fields.veloc[p * 3 + c] as f64;
+                    v2 += v * v;
+                    ua += self.fields.displ[p * 3 + c] as f64
+                        * self.fields.accel[p * 3 + c] as f64;
+                }
+                ke += 0.5 * m * v2;
+                pe -= 0.5 * ua; // accel = −K u (before mass division)
+            }
+            let mf = self.mass.fluid[p] as f64;
+            if mf > 0.0 {
+                let cd = self.fields.chi_dot[p] as f64;
+                ke += 0.5 * mf * cd * cd;
+            }
+        }
+        (comm.allreduce_sum(ke), comm.allreduce_sum(pe))
+    }
+
+    /// Run the configured number of steps and package the result.
+    pub fn run(mut self, comm: &mut dyn Communicator) -> RankResult {
+        comm.barrier();
+        comm.reset_stats(); // main-loop statistics only, like IPM (§5)
+        let t0 = Instant::now();
+        for istep in 0..self.config.nsteps {
+            self.step(istep, comm);
+        }
+        comm.barrier();
+        let elapsed = t0.elapsed().as_secs_f64();
+        let station_error_m = self.receivers.worst_error_m();
+        let snapshots = if self.config.snapshot_every > 0 {
+            Some(crate::adjoint::WavefieldSnapshots {
+                every: self.config.snapshot_every,
+                dt: self.dt,
+                frames: std::mem::take(&mut self.snapshots),
+            })
+        } else {
+            None
+        };
+        RankResult {
+            rank: comm.rank(),
+            seismograms: self
+                .receivers
+                .into_seismograms(self.dt * self.config.record_every as f64),
+            energy: self.energy,
+            elapsed_s: elapsed,
+            comm: comm.stats(),
+            flops: self.flops.total(),
+            dt: self.dt,
+            nsteps: self.config.nsteps,
+            nspec: self.mesh.nspec,
+            nglob: self.mesh.nglob,
+            station_error_m,
+            snapshots,
+        }
+    }
+}
+
+/// Run serially (one rank, whole mesh) — the merged mesher+solver path.
+pub fn run_serial(
+    mesh: &GlobalMesh,
+    config: &SolverConfig,
+    stations: &[Station],
+) -> RankResult {
+    let local = Partition::serial(mesh).extract(mesh, 0);
+    let mut comm = SerialComm::new();
+    let solver = RankSolver::new(local, config, stations, &mut comm);
+    solver.run(&mut comm)
+}
+
+/// Run distributed over `6 × NPROC_XI²` thread-ranks (the `mpirun` analog).
+pub fn run_distributed(
+    mesh: &GlobalMesh,
+    config: &SolverConfig,
+    stations: &[Station],
+    profile: NetworkProfile,
+) -> Vec<RankResult> {
+    let partition = Partition::compute(mesh);
+    let nranks = partition.num_ranks;
+    ThreadWorld::run(nranks, profile, |mut comm| {
+        let local = partition.extract(mesh, comm.rank());
+        let solver = RankSolver::new(local, config, stations, &mut comm);
+        solver.run(&mut comm)
+    })
+}
+
+/// Merge per-rank seismograms into one station-ordered list.
+pub fn merge_seismograms(results: &[RankResult]) -> Vec<Seismogram> {
+    let mut all: Vec<Seismogram> = results
+        .iter()
+        .flat_map(|r| r.seismograms.iter().cloned())
+        .collect();
+    all.sort_by(|a, b| a.station.cmp(&b.station));
+    all
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::source::SourceSpec;
+    use specfem_mesh::MeshParams;
+    use specfem_model::{HomogeneousModel, Prem, SourceTimeFunction, StfKind};
+
+    fn prem_mesh(nex: usize, nproc: usize) -> GlobalMesh {
+        let params = MeshParams::new(nex, nproc);
+        GlobalMesh::build(&params, &Prem::isotropic_no_ocean())
+    }
+
+    fn small_config(nsteps: usize) -> SolverConfig {
+        SolverConfig {
+            nsteps,
+            source: SourceSpec::PointForce {
+                position: [0.0, 0.0, 5.8e6],
+                force: [0.0, 0.0, 1.0e18],
+                stf: SourceTimeFunction::new(StfKind::Ricker, 200.0),
+            },
+            ..SolverConfig::default()
+        }
+    }
+
+    #[test]
+    fn serial_run_produces_motion_and_stays_finite() {
+        let mesh = prem_mesh(4, 1);
+        let stations = specfem_mesh::stations::global_network(3);
+        let result = run_serial(&mesh, &small_config(30), &stations);
+        assert_eq!(result.nsteps, 30);
+        assert!(result.flops > 0);
+        assert!(result.dt > 0.0);
+        let max: f32 = result
+            .seismograms
+            .iter()
+            .flat_map(|s| s.data.iter())
+            .flat_map(|v| v.iter())
+            .fold(0.0f32, |m, &x| m.max(x.abs()));
+        assert!(max.is_finite());
+    }
+
+    #[test]
+    fn wave_reaches_nearby_station_before_antipode() {
+        // Source under the north pole; station near the pole must move
+        // long before one near the south pole.
+        let mesh = prem_mesh(4, 1);
+        let stations = vec![
+            Station {
+                name: "NEAR".into(),
+                lat_deg: 80.0,
+                lon_deg: 0.0,
+            },
+            Station {
+                name: "FAR".into(),
+                lat_deg: -80.0,
+                lon_deg: 0.0,
+            },
+        ];
+        let mut config = small_config(120);
+        config.record_every = 1;
+        let result = run_serial(&mesh, &config, &stations);
+        let first_motion = |name: &str| -> usize {
+            let s = result
+                .seismograms
+                .iter()
+                .find(|s| s.station == name)
+                .unwrap();
+            let peak: f32 = s
+                .data
+                .iter()
+                .flat_map(|v| v.iter())
+                .fold(0.0f32, |m, &x| m.max(x.abs()));
+            s.data
+                .iter()
+                .position(|v| v.iter().any(|&x| x.abs() > 0.05 * peak))
+                .unwrap_or(usize::MAX)
+        };
+        let near = first_motion("NEAR");
+        let far = first_motion("FAR");
+        assert!(
+            near < far,
+            "near station must move first (near {near}, far {far})"
+        );
+    }
+
+    #[test]
+    fn energy_is_conserved_without_attenuation_in_solid_ball() {
+        // Homogeneous solid Earth, no fluid, no source: initial bump, check
+        // total energy drift stays small over many steps.
+        let params = MeshParams::new(4, 1);
+        let model = HomogeneousModel::default();
+        let mesh = GlobalMesh::build(&params, &model);
+        let local = Partition::serial(&mesh).extract(&mesh, 0);
+        let config = SolverConfig {
+            nsteps: 200,
+            energy_every: 10,
+            source: SourceSpec::None,
+            ..SolverConfig::default()
+        };
+        let mut comm = SerialComm::new();
+        let mut solver = RankSolver::new(local, &config, &[], &mut comm);
+        let r0 = 5.0e6;
+        solver.set_initial_displacement(|p| {
+            let dx = (p[0] - r0) / 8.0e5;
+            let dy = p[1] / 8.0e5;
+            let dz = p[2] / 8.0e5;
+            let g = (-(dx * dx + dy * dy + dz * dz)).exp();
+            [0.0, 0.0, 100.0 * g]
+        });
+        let result = solver.run(&mut comm);
+        let totals: Vec<f64> = result.energy.iter().map(|(_, ke, pe)| ke + pe).collect();
+        assert!(totals.len() >= 10);
+        let e0 = totals[1]; // skip step 0 (velocity still zero)
+        assert!(e0 > 0.0);
+        for (i, &e) in totals.iter().enumerate().skip(2) {
+            let drift = (e - e0).abs() / e0;
+            assert!(drift < 0.05, "energy drift {drift} at sample {i}");
+        }
+    }
+
+    #[test]
+    fn attenuation_dissipates_energy() {
+        let params = MeshParams::new(4, 1);
+        // A strongly attenuating medium (Q = 20, inner-core-like): over a
+        // few hundred steps the Q=600 default would lose < 0.1 % (correct
+        // physics, but unmeasurable against f32 noise).
+        let model = HomogeneousModel {
+            q_mu: 20.0,
+            ..HomogeneousModel::default()
+        };
+        let mesh = GlobalMesh::build(&params, &model);
+        let run = |attenuation: bool| -> Vec<f64> {
+            let local = Partition::serial(&mesh).extract(&mesh, 0);
+            let config = SolverConfig {
+                nsteps: 400,
+                energy_every: 40,
+                attenuation,
+                source: SourceSpec::None,
+                ..SolverConfig::default()
+            };
+            let mut comm = SerialComm::new();
+            let mut solver = RankSolver::new(local, &config, &[], &mut comm);
+            solver.set_initial_displacement(|p| {
+                let dz = (p[2] - 4.0e6) / 1.0e6;
+                [0.0, 0.0, 100.0 * (-dz * dz).exp()]
+            });
+            solver
+                .run(&mut comm)
+                .energy
+                .iter()
+                .map(|(_, ke, pe)| ke + pe)
+                .collect()
+        };
+        let elastic = run(false);
+        let anelastic = run(true);
+        let last = elastic.len() - 1;
+        assert!(
+            anelastic[last] < 0.98 * elastic[last],
+            "attenuation must dissipate: {} vs {}",
+            anelastic[last],
+            elastic[last]
+        );
+        // Monotone-ish: the anelastic energy never exceeds the elastic one.
+        for (e, a) in elastic.iter().zip(&anelastic).skip(1) {
+            assert!(a <= &(e * 1.001), "anelastic {a} above elastic {e}");
+        }
+    }
+
+    #[test]
+    fn distributed_run_matches_serial_seismograms() {
+        // The same physical run on 1 rank and on 24 ranks must agree to
+        // f32 roundoff — the halo assembly correctness test.
+        let mesh = prem_mesh(4, 2);
+        let stations = vec![Station {
+            name: "CHK".into(),
+            lat_deg: 40.0,
+            lon_deg: -30.0,
+        }];
+        let config = small_config(40);
+        let serial = run_serial(&mesh, &config, &stations);
+        let distributed = run_distributed(
+            &mesh,
+            &config,
+            &stations,
+            specfem_comm::NetworkProfile::loopback(),
+        );
+        let merged = merge_seismograms(&distributed);
+        assert_eq!(merged.len(), 1);
+        let a = &serial.seismograms[0];
+        let b = &merged[0];
+        assert_eq!(a.data.len(), b.data.len());
+        let scale: f32 = a
+            .data
+            .iter()
+            .flat_map(|v| v.iter())
+            .fold(0.0f32, |m, &x| m.max(x.abs()))
+            .max(1e-20);
+        for (va, vb) in a.data.iter().zip(&b.data) {
+            for c in 0..3 {
+                assert!(
+                    (va[c] - vb[c]).abs() <= 2e-3 * scale,
+                    "serial {} vs distributed {} (scale {scale})",
+                    va[c],
+                    vb[c]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn rotation_and_gravity_flags_run_stable() {
+        let mesh = prem_mesh(4, 1);
+        let config = SolverConfig {
+            nsteps: 20,
+            rotation: true,
+            gravity: true,
+            ..small_config(20)
+        };
+        let result = run_serial(&mesh, &config, &[]);
+        assert!(result.flops > 0);
+        assert!(result.elapsed_s > 0.0);
+    }
+
+    #[test]
+    fn comm_stats_are_main_loop_only_and_nonzero_in_parallel() {
+        let mesh = prem_mesh(4, 2);
+        let config = small_config(10);
+        let results = run_distributed(
+            &mesh,
+            &config,
+            &[],
+            specfem_comm::NetworkProfile::loopback(),
+        );
+        for r in &results {
+            assert!(r.comm.bytes_sent > 0, "rank {} sent nothing", r.rank);
+            assert!(r.comm.modeled_time_s > 0.0);
+        }
+    }
+}

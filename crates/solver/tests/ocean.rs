@@ -1,0 +1,66 @@
+//! Ocean-load approximation (paper §3: benchmarks include "the effect of
+//! the ocean layer located at the surface of the Earth"): extra water
+//! mass on the normal component of free-surface motion.
+
+use specfem_mesh::{GlobalMesh, MeshParams};
+use specfem_model::{Prem, SourceTimeFunction, StfKind};
+use specfem_solver::{run_serial, SolverConfig, SourceSpec};
+
+fn surface_source_config(nsteps: usize, ocean_load: bool) -> SolverConfig {
+    SolverConfig {
+        nsteps,
+        ocean_load,
+        // Vertical force right at the surface: the ocean load acts on the
+        // normal (≈ vertical) component there.
+        source: SourceSpec::PointForce {
+            position: [0.0, 0.0, 6_370_000.0],
+            force: [0.0, 0.0, 1.0e17],
+            stf: SourceTimeFunction::new(StfKind::Gaussian, 150.0),
+        },
+        exact_station_location: true,
+        ..SolverConfig::default()
+    }
+}
+
+#[test]
+fn ocean_load_reduces_vertical_surface_motion() {
+    let params = MeshParams::new(4, 1);
+    let mesh = GlobalMesh::build(&params, &Prem::isotropic_no_ocean());
+    let station = vec![specfem_mesh::stations::Station {
+        name: "POLE".into(),
+        lat_deg: 88.0,
+        lon_deg: 0.0,
+    }];
+    let dry = run_serial(&mesh, &surface_source_config(120, false), &station);
+    let wet = run_serial(&mesh, &surface_source_config(120, true), &station);
+    let peak_z = |r: &specfem_solver::RankResult| {
+        r.seismograms[0]
+            .data
+            .iter()
+            .map(|v| v[2].abs())
+            .fold(0.0f32, f32::max)
+    };
+    let pd = peak_z(&dry);
+    let pw = peak_z(&wet);
+    assert!(pd > 0.0);
+    assert!(
+        pw < pd,
+        "water column must damp vertical surface motion: wet {pw} vs dry {pd}"
+    );
+    // …but only mildly: 3 km of water vs ~20+ km of rock-equivalent mass.
+    assert!(pw > 0.5 * pd, "ocean effect implausibly strong: {pw} vs {pd}");
+}
+
+#[test]
+fn ocean_load_runs_stable_with_other_physics() {
+    let params = MeshParams::new(4, 1);
+    let mesh = GlobalMesh::build(&params, &Prem::isotropic_no_ocean());
+    let config = SolverConfig {
+        ocean_load: true,
+        attenuation: true,
+        rotation: true,
+        ..surface_source_config(40, true)
+    };
+    let result = run_serial(&mesh, &config, &[]);
+    assert!(result.flops > 0);
+}

@@ -1,0 +1,168 @@
+//! Regional (single-chunk) simulations with Stacey absorbing boundaries —
+//! the "regional" mode of the mesher (paper §3) plus the artificial
+//! absorbing boundary Γ of Figure 1.
+
+use specfem_comm::SerialComm;
+use specfem_mesh::{GlobalMesh, MeshParams, Partition};
+use specfem_model::{Prem, SourceTimeFunction, StfKind, CMB_RADIUS_M, EARTH_RADIUS_M};
+use specfem_solver::absorbing::AbsorbingSurface;
+use specfem_solver::{RankSolver, SolverConfig, SourceSpec};
+
+fn regional_mesh(nex: usize, r_min: f64) -> GlobalMesh {
+    let params = MeshParams::regional(nex, 1, r_min);
+    GlobalMesh::build(&params, &Prem::isotropic_no_ocean())
+}
+
+#[test]
+fn regional_mesh_has_expected_structure() {
+    let r_min = 5_701_000.0; // 670-km discontinuity
+    let mesh = regional_mesh(6, r_min);
+    let plan = &mesh.layer_plan;
+    assert_eq!(
+        mesh.nspec,
+        GlobalMesh::expected_nspec(&mesh.params, plan),
+        "regional element count"
+    );
+    // All solid, no cube.
+    assert!(mesh
+        .region
+        .iter()
+        .all(|r| *r == specfem_mesh::MeshRegion::CrustMantle));
+    // Radii span [r_min, surface].
+    let mut r_lo = f64::INFINITY;
+    let mut r_hi: f64 = 0.0;
+    for p in &mesh.coords {
+        let r = (p[0] * p[0] + p[1] * p[1] + p[2] * p[2]).sqrt();
+        r_lo = r_lo.min(r);
+        r_hi = r_hi.max(r);
+    }
+    assert!((r_lo - r_min).abs() < 1.0);
+    assert!((r_hi - EARTH_RADIUS_M).abs() < 1.0);
+    // One chunk: ~1/4 of the sphere's solid angle → all z > 0 at surface
+    // centre direction... cheap check: every point has z above the cone of
+    // the +Z chunk extent (z ≥ r/√3 − ε at the corners).
+    for p in mesh.coords.iter().step_by(101) {
+        let r = (p[0] * p[0] + p[1] * p[1] + p[2] * p[2]).sqrt();
+        assert!(p[2] >= r / 3.0f64.sqrt() - 1.0, "point outside +Z chunk");
+    }
+}
+
+#[test]
+fn absorbing_surface_covers_sides_and_bottom_only() {
+    let r_min = 5_701_000.0;
+    let mesh = regional_mesh(4, r_min);
+    let local = Partition::serial(&mesh).extract(&mesh, 0);
+    let surf = AbsorbingSurface::build(&local, EARTH_RADIUS_M);
+    assert!(!surf.is_empty(), "regional mesh must have absorbing faces");
+    // Area: bottom cap (quarter-ish sphere at r_min: 4πr²/6) + 4 sides.
+    let bottom = 4.0 * std::f64::consts::PI * r_min * r_min / 6.0;
+    let area = surf.total_area();
+    assert!(
+        area > bottom && area < 4.0 * bottom,
+        "absorbing area {area:.3e} vs bottom cap {bottom:.3e}"
+    );
+    // The free surface itself must not be absorbed: points *at* the outer
+    // radius may only be the top edges of side faces (a small minority),
+    // never whole faces.
+    let at_surface = surf
+        .points
+        .iter()
+        .filter(|ap| {
+            let p = local.coords[ap.point as usize];
+            let r = (p[0] * p[0] + p[1] * p[1] + p[2] * p[2]).sqrt();
+            r >= EARTH_RADIUS_M - 1.0
+        })
+        .count();
+    assert!(
+        at_surface * 4 < surf.points.len(),
+        "{at_surface} of {} absorbing points on the free surface — the free \
+         surface is being absorbed",
+        surf.points.len()
+    );
+}
+
+#[test]
+fn global_mesh_has_no_absorbing_surface() {
+    let params = MeshParams::new(4, 1);
+    let mesh = GlobalMesh::build(&params, &Prem::isotropic_no_ocean());
+    let local = Partition::serial(&mesh).extract(&mesh, 0);
+    let surf = AbsorbingSurface::build(&local, EARTH_RADIUS_M);
+    assert!(
+        surf.is_empty(),
+        "the globe is closed: {} spurious absorbing points",
+        surf.points.len()
+    );
+}
+
+#[test]
+fn absorbing_boundaries_drain_energy_from_regional_runs() {
+    // Same regional run with and without the Stacey condition: once the
+    // wave hits the bottom boundary, the absorbing run must hold less
+    // energy (the reflecting run keeps it all, minus roundoff).
+    let r_min = 5_701_000.0;
+    let mesh = regional_mesh(4, r_min);
+    let run = |absorb: bool| -> Vec<f64> {
+        let local = Partition::serial(&mesh).extract(&mesh, 0);
+        let config = SolverConfig {
+            nsteps: 600,
+            energy_every: 50,
+            source: SourceSpec::None,
+            ..SolverConfig::default()
+        };
+        let mut comm = SerialComm::new();
+        let mut solver = RankSolver::new(local, &config, &[], &mut comm);
+        if !absorb {
+            solver.disable_absorbing_for_tests();
+        }
+        // Downward-travelling bump in the middle of the chunk.
+        solver.set_initial_displacement(|p| {
+            let dz = (p[2] - 6.1e6) / 2.0e5;
+            let dx = p[0] / 4.0e5;
+            let dy = p[1] / 4.0e5;
+            let g = (-(dx * dx + dy * dy + dz * dz)).exp();
+            [0.0, 0.0, 50.0 * g]
+        });
+        solver
+            .run(&mut comm)
+            .energy
+            .iter()
+            .map(|(_, k, p)| k + p)
+            .collect()
+    };
+    let absorbed = run(true);
+    let reflected = run(false);
+    let last = absorbed.len() - 1;
+    assert!(
+        absorbed[last] < 0.7 * reflected[last],
+        "absorbing {} vs reflecting {} at end",
+        absorbed[last],
+        reflected[last]
+    );
+}
+
+#[test]
+fn regional_run_with_source_is_stable() {
+    let mesh = regional_mesh(4, CMB_RADIUS_M);
+    let local = Partition::serial(&mesh).extract(&mesh, 0);
+    let config = SolverConfig {
+        nsteps: 200,
+        source: SourceSpec::PointForce {
+            position: [0.0, 0.0, 6.0e6],
+            force: [0.0, 0.0, 1.0e17],
+            stf: SourceTimeFunction::new(StfKind::Ricker, 100.0),
+        },
+        ..SolverConfig::default()
+    };
+    let mut comm = SerialComm::new();
+    let solver = RankSolver::new(local, &config, &[], &mut comm);
+    let result = solver.run(&mut comm);
+    assert!(result.flops > 0);
+    // Field stays finite.
+    assert!(result.elapsed_s.is_finite());
+}
+
+#[test]
+#[should_panic(expected = "above the fluid outer core")]
+fn regional_below_cmb_is_rejected() {
+    let _ = MeshParams::regional(4, 1, 2_000_000.0);
+}

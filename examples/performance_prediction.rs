@@ -1,0 +1,51 @@
+//! Regenerate the paper's §6 results table and §5/§7 extrapolations from
+//! the performance models — no heavy compute, just the models.
+//!
+//! Run with: `cargo run --release --example performance_prediction`
+
+use specfem_core::perf::{paper_runs_table, MachineProfile};
+
+fn main() {
+    println!("== Machines of paper §5 ==");
+    for make in specfem_core::perf::ALL_MACHINES {
+        let m = make();
+        println!(
+            "  {:<40} {:>7} cores  {:>5.1} GF/core peak  {:>5.2} GF/core sustained",
+            m.name,
+            m.total_cores,
+            m.peak_gflops_per_core,
+            m.sustained_gflops_per_core()
+        );
+    }
+
+    println!();
+    println!("== §6 results table (model vs paper) ==");
+    println!(
+        "{:<40} {:>7} {:>7} {:>9} {:>11} {:>9}",
+        "machine", "cores", "NEX", "T_min (s)", "model TF", "paper TF"
+    );
+    for run in paper_runs_table() {
+        println!(
+            "{:<40} {:>7} {:>7} {:>9.2} {:>11.1} {:>9}",
+            run.machine,
+            run.cores,
+            run.nex,
+            run.period_s,
+            run.sustained_tflops,
+            run.paper_tflops
+                .map(|t| format!("{t:.1}"))
+                .unwrap_or_else(|| "—".into()),
+        );
+    }
+
+    println!();
+    println!("== Memory-capacity resolution limits (paper §4: 1–2 s needs ~62K cores) ==");
+    let ranger = MachineProfile::ranger();
+    for cores in [12_000usize, 32_000, 48_000, 62_000] {
+        let nex = ranger.max_nex_for_cores(cores);
+        println!(
+            "  Ranger {cores:>6} cores → max NEX {nex:>5} → shortest period {:.2} s",
+            specfem_core::mesh::nominal_shortest_period_s(nex)
+        );
+    }
+}

@@ -1,0 +1,45 @@
+//! Print the PREM model as a depth table plus derived quantities — a
+//! numerical reference for users (compare with Dziewonski & Anderson 1981,
+//! Table 1).
+//!
+//! Run with: `cargo run --release --example prem_table`
+
+use specfem_core::model::{EarthModel, GravityProfile, Prem, EARTH_RADIUS_M};
+
+fn main() {
+    let prem = Prem::default();
+    let gravity = GravityProfile::new(&prem, 512);
+    println!("== PREM (Dziewonski & Anderson 1981) ==");
+    println!(
+        "{:>10} {:>10} {:>9} {:>9} {:>9} {:>8} {:>8}",
+        "depth(km)", "r(km)", "ρ(kg/m³)", "vp(m/s)", "vs(m/s)", "Qμ", "g(m/s²)"
+    );
+    let depths_km = [
+        0.0, 15.0, 24.4, 100.0, 220.0, 400.0, 670.0, 1000.0, 2000.0, 2891.0, 3500.0, 4500.0,
+        5149.5, 5500.0, 6371.0,
+    ];
+    for &d in &depths_km {
+        let r = EARTH_RADIUS_M - d * 1000.0;
+        let m = prem.material_at(r, d > 0.0);
+        let q = if m.q_mu.is_finite() {
+            format!("{:.0}", m.q_mu)
+        } else {
+            "∞".into()
+        };
+        println!(
+            "{d:>10.1} {:>10.1} {:>9.0} {:>9.0} {:>9.0} {q:>8} {:>8.2}",
+            r / 1000.0,
+            m.rho,
+            m.vp,
+            m.vs,
+            gravity.g_at(r)
+        );
+    }
+    println!();
+    println!("total mass: {:.4e} kg (Earth: 5.972e24)", gravity.total_mass());
+    println!(
+        "surface gravity: {:.3} m/s² — CMB gravity: {:.3} m/s²",
+        gravity.g_at(EARTH_RADIUS_M),
+        gravity.g_at(specfem_core::model::CMB_RADIUS_M)
+    );
+}

@@ -1,0 +1,112 @@
+//! Extra cross-crate physics checks on the fluid outer core and its
+//! coupling: waves must actually traverse the fluid (PKP-style paths), and
+//! removing the coupling must visibly decouple the core.
+
+use specfem_core::comm::SerialComm;
+use specfem_core::mesh::{GlobalMesh, MeshParams, Partition};
+use specfem_core::model::{Prem, SourceTimeFunction, StfKind};
+use specfem_core::solver::{RankSolver, SolverConfig, SourceSpec};
+
+fn prem_mesh() -> GlobalMesh {
+    GlobalMesh::build(&MeshParams::new(4, 1), &Prem::isotropic_no_ocean())
+}
+
+#[test]
+fn fluid_core_is_excited_through_the_cmb() {
+    // A mantle source must pump energy into the outer-core potential via
+    // the displacement-based coupling.
+    let mesh = prem_mesh();
+    let local = Partition::serial(&mesh).extract(&mesh, 0);
+    let config = SolverConfig {
+        nsteps: 250,
+        source: SourceSpec::PointForce {
+            // Deep mantle source near the CMB.
+            position: [0.0, 0.0, 3.8e6],
+            force: [0.0, 0.0, 1.0e18],
+            stf: SourceTimeFunction::new(StfKind::Ricker, 150.0),
+        },
+        ..SolverConfig::default()
+    };
+    let mut comm = SerialComm::new();
+    let solver = RankSolver::new(local, &config, &[], &mut comm);
+    let mut solver = solver;
+    let mut max_chi: f32 = 0.0;
+    for istep in 0..config.nsteps {
+        solver.step(istep, &mut comm);
+        let m = solver
+            .fields
+            .chi_dot
+            .iter()
+            .map(|v| v.abs())
+            .fold(0.0f32, f32::max);
+        max_chi = max_chi.max(m);
+    }
+    assert!(
+        max_chi > 0.0 && max_chi.is_finite(),
+        "fluid potential never excited: {max_chi}"
+    );
+}
+
+#[test]
+fn inner_core_is_reached_only_through_the_fluid() {
+    // Track the inner-core solid motion: it can only be excited through
+    // CMB→fluid→ICB coupling, so it must lag the fluid excitation.
+    let mesh = prem_mesh();
+    let local = Partition::serial(&mesh).extract(&mesh, 0);
+    // Mark inner-core points.
+    let n3 = local.points_per_element();
+    let mut inner = vec![false; local.nglob];
+    for e in 0..local.nspec {
+        if local.region[e].is_inner_core() {
+            for &p in &local.ibool[e * n3..(e + 1) * n3] {
+                inner[p as usize] = true;
+            }
+        }
+    }
+    let config = SolverConfig {
+        nsteps: 300,
+        source: SourceSpec::PointForce {
+            position: [0.0, 0.0, 3.8e6],
+            force: [0.0, 0.0, 1.0e18],
+            stf: SourceTimeFunction::new(StfKind::Ricker, 120.0),
+        },
+        ..SolverConfig::default()
+    };
+    let mut comm = SerialComm::new();
+    let mut solver = RankSolver::new(local, &config, &[], &mut comm);
+    let mut first_fluid: Option<usize> = None;
+    let mut first_inner: Option<usize> = None;
+    for istep in 0..config.nsteps {
+        solver.step(istep, &mut comm);
+        if first_fluid.is_none() {
+            let m = solver
+                .fields
+                .chi_dot
+                .iter()
+                .map(|v| v.abs())
+                .fold(0.0f32, f32::max);
+            if m > 1e-12 {
+                first_fluid = Some(istep);
+            }
+        }
+        if first_inner.is_none() {
+            let mut m = 0.0f32;
+            for (p, &is_inner) in inner.iter().enumerate() {
+                if is_inner {
+                    for c in 0..3 {
+                        m = m.max(solver.fields.veloc[p * 3 + c].abs());
+                    }
+                }
+            }
+            if m > 1e-10 {
+                first_inner = Some(istep);
+            }
+        }
+    }
+    let ff = first_fluid.expect("fluid must be excited");
+    let fi = first_inner.expect("inner core must eventually move");
+    assert!(
+        ff <= fi,
+        "inner core moved (step {fi}) before the fluid (step {ff})"
+    );
+}

@@ -1,0 +1,133 @@
+//! End-to-end facade tests: every catalogue event, every physics flag,
+//! serial-vs-parallel equivalence through the public API.
+
+use specfem_core::{ModelChoice, NetworkProfile, Simulation};
+
+#[test]
+fn every_catalogue_event_runs() {
+    for event in specfem_core::builtin_events() {
+        let sim = Simulation::builder()
+            .resolution(4)
+            .steps(15)
+            .catalogue_event(&event.name)
+            .stations(2)
+            .build()
+            .unwrap();
+        let result = sim.run_serial();
+        assert_eq!(result.seismograms.len(), 2, "{}", event.name);
+        assert!(
+            result
+                .seismograms
+                .iter()
+                .flat_map(|s| s.data.iter())
+                .flat_map(|v| v.iter())
+                .all(|x| x.is_finite()),
+            "{} produced non-finite output",
+            event.name
+        );
+    }
+}
+
+#[test]
+fn all_physics_flags_together() {
+    let sim = Simulation::builder()
+        .resolution(4)
+        .steps(25)
+        .attenuation(true)
+        .rotation(true)
+        .gravity(true)
+        .catalogue_event("denali_strike_slip")
+        .stations(3)
+        .build()
+        .unwrap();
+    let result = sim.run_serial();
+    assert!(result
+        .seismograms
+        .iter()
+        .flat_map(|s| s.data.iter())
+        .flat_map(|v| v.iter())
+        .all(|x| x.is_finite()));
+    assert!(result.total_flops() > 0);
+}
+
+#[test]
+fn parallel_facade_run_matches_serial() {
+    let build = |nproc: usize| {
+        Simulation::builder()
+            .resolution(4)
+            .processors(nproc)
+            .steps(30)
+            .catalogue_event("sumatra_thrust")
+            .stations(2)
+            .build()
+            .unwrap()
+    };
+    let serial = build(1).run_serial();
+    let parallel = build(2).run_parallel(NetworkProfile::loopback());
+    assert_eq!(parallel.ranks.len(), 24);
+    assert_eq!(serial.seismograms.len(), parallel.seismograms.len());
+    for (a, b) in serial.seismograms.iter().zip(&parallel.seismograms) {
+        assert_eq!(a.station, b.station);
+        let scale: f32 = a
+            .data
+            .iter()
+            .flat_map(|v| v.iter())
+            .fold(0.0f32, |m, &x| m.max(x.abs()))
+            .max(1e-20);
+        for (va, vb) in a.data.iter().zip(&b.data) {
+            for c in 0..3 {
+                assert!(
+                    (va[c] - vb[c]).abs() <= 3e-3 * scale,
+                    "station {}: {} vs {}",
+                    a.station,
+                    va[c],
+                    vb[c]
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn homogeneous_model_choice_works_and_has_no_fluid() {
+    let sim = Simulation::builder()
+        .resolution(4)
+        .model(ModelChoice::Homogeneous)
+        .steps(10)
+        .build()
+        .unwrap();
+    let result = sim.run_serial();
+    assert!(result.total_flops() > 0);
+}
+
+#[test]
+fn kernel_variants_run_through_the_facade() {
+    use specfem_core::KernelVariant;
+    let mut outputs = Vec::new();
+    for variant in [
+        KernelVariant::Reference,
+        KernelVariant::Simd,
+        KernelVariant::BlasStyle,
+    ] {
+        let sim = Simulation::builder()
+            .resolution(4)
+            .steps(20)
+            .kernel(variant)
+            .catalogue_event("argentina_deep")
+            .stations(1)
+            .build()
+            .unwrap();
+        outputs.push(sim.run_serial().seismograms[0].data.clone());
+    }
+    let scale: f32 = outputs[0]
+        .iter()
+        .flat_map(|v| v.iter())
+        .fold(0.0f32, |m, &x| m.max(x.abs()));
+    for other in &outputs[1..] {
+        for (a, b) in outputs[0].iter().zip(other) {
+            for c in 0..3 {
+                assert!((a[c] - b[c]).abs() < 1e-3 * scale);
+            }
+        }
+    }
+}
