@@ -35,7 +35,7 @@ fn bench_orders(c: &mut Criterion) {
             let mut comm = SerialComm::new();
             let mut solver = RankSolver::new(local.clone(), &config, &[], &mut comm);
             b.iter(|| {
-                solver.step(0, &mut comm);
+                solver.step(0, &mut comm).unwrap();
                 black_box(solver.fields.accel[0])
             })
         });

@@ -11,9 +11,7 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Through
 use std::hint::black_box;
 
 use specfem_gll::GllBasis;
-use specfem_kernels::{
-    blas_style, reference, simd, DerivOps, NGLL3, NGLL3_PADDED,
-};
+use specfem_kernels::{blas_style, reference, simd, DerivOps, NGLL3, NGLL3_PADDED};
 
 const BATCH: usize = 512; // elements per iteration — streams like the solver
 

@@ -27,7 +27,7 @@ fn bench_halo(c: &mut Criterion) {
                 let l = &locals[comm.rank()];
                 let mut field = vec![1.0f32; l.nglob * 3];
                 for _ in 0..10 {
-                    assemble_halo(&mut comm, &l.halo, &mut field, 3, 42);
+                    assemble_halo(&mut comm, &l.halo, &mut field, 3, 42).unwrap();
                 }
                 field[0]
             });

@@ -24,7 +24,10 @@ fn main() {
 
     let rate_off = elastic.flops as f64 / t_off / 1e9;
     let rate_on = anelastic.flops as f64 / t_on / 1e9;
-    println!("{:>14} {:>12} {:>14} {:>12}", "mode", "time (s)", "Gflop", "Gflop/s");
+    println!(
+        "{:>14} {:>12} {:>14} {:>12}",
+        "mode", "time (s)", "Gflop", "Gflop/s"
+    );
     println!(
         "{:>14} {:>12.3} {:>14.2} {:>12.2}",
         "elastic",
@@ -40,10 +43,7 @@ fn main() {
         rate_on
     );
     println!();
-    println!(
-        "runtime ratio: {:.2}× (paper: 1.8×)",
-        t_on / t_off
-    );
+    println!("runtime ratio: {:.2}× (paper: 1.8×)", t_on / t_off);
     println!(
         "flop-rate change: {:+.1} % (paper: 'almost imperceptible drop')",
         100.0 * (rate_on - rate_off) / rate_off

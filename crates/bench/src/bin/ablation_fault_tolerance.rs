@@ -1,0 +1,131 @@
+//! Fault-tolerance ablation: what checkpoint/restart costs and buys.
+//!
+//! Three measurements on a small thread-world run, plus the modeled answer
+//! at the paper's 62K-core scale:
+//!
+//!  1. checkpoint overhead — the same run with and without periodic
+//!     checkpointing, reported as a % of wall time;
+//!  2. kill-a-rank recovery — a deterministic `FaultPlan` kills one rank
+//!     mid-run, the survivors surface typed errors (no hang, thanks to the
+//!     recv deadline), and a resumed run finishes from the last complete
+//!     checkpoint producing *bit-identical* seismograms;
+//!  3. the Young/Daly optimal checkpoint interval for the four §5 machines
+//!     at 62K cores.
+
+use std::time::Instant;
+
+use specfem_core::{NetworkProfile, Simulation};
+use specfem_solver::merge_seismograms;
+
+fn build_sim(configure: impl FnOnce(&mut specfem_core::SolverConfig)) -> Simulation {
+    Simulation::builder()
+        .resolution(4)
+        .processors(1)
+        .steps(40)
+        .stations(4)
+        .catalogue_event("argentina_deep")
+        .configure(configure)
+        .build()
+        .expect("simulation config")
+}
+
+fn max_abs_diff_ulps(a: &[specfem_core::Seismogram], b: &[specfem_core::Seismogram]) -> u32 {
+    let mut worst = 0u32;
+    for (sa, sb) in a.iter().zip(b) {
+        assert_eq!(sa.station, sb.station, "station order mismatch");
+        for (va, vb) in sa.data.iter().zip(&sb.data) {
+            for c in 0..3 {
+                let ulps = (va[c].to_bits() as i64 - vb[c].to_bits() as i64).unsigned_abs() as u32;
+                worst = worst.max(ulps);
+            }
+        }
+    }
+    worst
+}
+
+fn main() {
+    let profile = NetworkProfile::loopback();
+    let dir = std::env::temp_dir().join("specfem_ft_ablation");
+    let _ = std::fs::remove_dir_all(&dir);
+
+    // 1. Checkpoint overhead: identical runs, one writing every 10 steps.
+    println!("== 1. checkpoint overhead (6 ranks, NEX 4, 40 steps) ==");
+    let clean = build_sim(|_| {});
+    let t0 = Instant::now();
+    let reference = clean.run_parallel(profile);
+    let t_clean = t0.elapsed().as_secs_f64();
+
+    let ckpt = build_sim(|c| c.checkpoint_every = 10);
+    let t0 = Instant::now();
+    let checkpointed = ckpt
+        .run_parallel_checkpointed(profile, &dir)
+        .expect("checkpointed run");
+    let t_ckpt = t0.elapsed().as_secs_f64();
+    let overhead = 100.0 * (t_ckpt - t_clean) / t_clean;
+    println!("no checkpoints : {t_clean:.3} s");
+    println!("every 10 steps : {t_ckpt:.3} s  → overhead {overhead:+.1} %");
+    assert_eq!(
+        max_abs_diff_ulps(&reference.seismograms, &checkpointed.seismograms),
+        0,
+        "checkpoint writing must not perturb the solution"
+    );
+    println!("checkpointed seismograms match the clean run bit-for-bit");
+    let _ = std::fs::remove_dir_all(&dir);
+
+    // 2. Kill a rank, restart, demand identical output.
+    println!();
+    println!("== 2. kill rank 3 at step 25 → restart from last checkpoint ==");
+    let faulty = build_sim(|c| {
+        c.checkpoint_every = 10;
+        c.recv_timeout = Some(std::time::Duration::from_secs(2));
+        c.fault_plan = Some(specfem_comm::FaultPlan::new(0xF417).kill(3, 25));
+    });
+    let t0 = Instant::now();
+    let crash = faulty.run_parallel_checkpointed(profile, &dir);
+    let t_crash = t0.elapsed().as_secs_f64();
+    let err = crash.expect_err("the killed run must fail");
+    println!("failed after {t_crash:.3} s with: {err}");
+
+    let resumed_sim = build_sim(|c| c.checkpoint_every = 10);
+    let t0 = Instant::now();
+    let resumed = resumed_sim
+        .resume_from_checkpoint(profile, &dir)
+        .expect("resume");
+    let t_recover = t0.elapsed().as_secs_f64();
+    let total = resumed.ranks.first().map(|r| r.nsteps).unwrap_or(0);
+    println!("recovery wall time: {t_recover:.3} s (carried the run to step {total})");
+    let ulps = max_abs_diff_ulps(&reference.seismograms, &resumed.seismograms);
+    println!("resumed vs uninterrupted seismograms: max {ulps} ULP difference");
+    assert_eq!(ulps, 0, "recovery must be bit-identical");
+    let _ = std::fs::remove_dir_all(&dir);
+
+    // Sanity: merged views agree in station count.
+    assert_eq!(
+        merge_seismograms(&resumed.ranks).len(),
+        reference.seismograms.len()
+    );
+
+    // 3. Modeled optimal checkpoint cadence at the paper's scale.
+    println!();
+    println!("== 3. Young/Daly optimal checkpoint interval, 62K cores ==");
+    println!(
+        "{:<34} {:>10} {:>10} {:>10} {:>10} {:>8}",
+        "machine", "MTBF", "δ write", "τ Young", "τ Daly", "waste"
+    );
+    for p in specfem_perf::survey_62k() {
+        println!(
+            "{:<34} {:>8.0} s {:>8.0} s {:>8.0} s {:>8.0} s {:>7.1} %",
+            p.machine,
+            p.system_mtbf_s,
+            p.checkpoint_write_s,
+            p.young_interval_s,
+            p.daly_interval_s,
+            100.0 * p.waste_fraction
+        );
+    }
+    println!();
+    println!("checkpointing is off the solver's critical path until τ drops toward");
+    println!("the per-step wall time; at 62K cores every machine above wants a");
+    println!("checkpoint every few thousand seconds, which the versioned CRC-guarded");
+    println!("per-rank files of specfem-io provide.");
+}

@@ -17,7 +17,10 @@ fn main() {
         ("BLAS-style sgemm", KernelVariant::BlasStyle),
     ];
     let mut reference_time = None;
-    println!("{:>18} {:>12} {:>12}", "variant", "time (s)", "vs reference");
+    println!(
+        "{:>18} {:>12} {:>12}",
+        "variant", "time (s)", "vs reference"
+    );
     for (name, variant) in variants {
         let config = SolverConfig {
             nsteps,

@@ -12,7 +12,10 @@ use specfem_perf::{DiskSpaceModel, Sample};
 
 fn main() {
     println!("== Figure 5: mesher→solver disk space vs resolution ==");
-    println!("{:>6} {:>12} {:>14} {:>10}", "NEX", "period (s)", "bytes", "files");
+    println!(
+        "{:>6} {:>12} {:>14} {:>10}",
+        "NEX", "period (s)", "bytes", "files"
+    );
 
     let mut samples = Vec::new();
     for nex in [4usize, 6, 8, 12, 16] {
@@ -38,7 +41,7 @@ fn main() {
     println!();
     println!(
         "fitted model: bytes = {:.3e} · NEX^{:.2}   (R² = {:.4})",
-        model.predict_bytes(1) as f64,
+        { model.predict_bytes(1) },
         model.exponent(),
         model.r_squared()
     );
@@ -52,8 +55,7 @@ fn main() {
             human_bytes(bytes)
         );
     }
-    let ratio =
-        model.predict_bytes_for_period(1.0) / model.predict_bytes_for_period(2.0);
+    let ratio = model.predict_bytes_for_period(1.0) / model.predict_bytes_for_period(2.0);
     println!("  1 s / 2 s volume ratio: {ratio:.1}× (paper: 108/14 ≈ 7.7×)");
 
     // File-count explosion (§4.1: >3.2 M files at 62K cores).

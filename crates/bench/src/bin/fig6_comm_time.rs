@@ -24,8 +24,10 @@ fn measure(nex: usize, nproc: usize, nsteps: usize) -> (usize, f64, f64) {
 fn main() {
     println!("== Figure 6: total communication time (all cores) vs processor count ==");
     let nsteps = 40;
-    for (label, nex, procs) in [("low res (NEX 8)", 8usize, vec![1usize, 2, 4]),
-                                ("high res (NEX 12)", 12, vec![1, 2, 3])] {
+    for (label, nex, procs) in [
+        ("low res (NEX 8)", 8usize, vec![1usize, 2, 4]),
+        ("high res (NEX 12)", 12, vec![1, 2, 3]),
+    ] {
         println!();
         println!("--- {label} ---");
         println!(
@@ -51,8 +53,16 @@ fn main() {
         );
         println!(
             "paper's observations: total grows with P{}; per-core time falls with P{}",
-            if model.exponent() > 0.0 { " ✓" } else { " ✗" },
-            if model.exponent() < 1.0 { " ✓" } else { " ✗" }
+            if model.exponent() > 0.0 {
+                " ✓"
+            } else {
+                " ✗"
+            },
+            if model.exponent() < 1.0 {
+                " ✓"
+            } else {
+                " ✗"
+            }
         );
         for p in [12_000usize, 62_000] {
             println!(

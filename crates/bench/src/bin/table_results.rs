@@ -2,7 +2,7 @@
 //! reported production run, from the machine model — plus the planned
 //! 48K/62K-core Ranger runs of §7.
 
-use specfem_perf::paper_runs_table;
+use specfem_perf::{paper_runs_table, runs_to_json};
 
 fn main() {
     println!("== Paper §6 results table: model vs reported ==");
@@ -14,10 +14,7 @@ fn main() {
         let (paper, err) = match run.paper_tflops {
             Some(p) => (
                 format!("{p:.1}"),
-                format!(
-                    "{:+.1}",
-                    100.0 * (run.sustained_tflops - p) / p
-                ),
+                format!("{:+.1}", 100.0 * (run.sustained_tflops - p) / p),
             ),
             None => ("—".into(), "—".into()),
         };
@@ -46,8 +43,14 @@ fn main() {
         .iter()
         .min_by(|a, b| a.period_s.partial_cmp(&b.period_s).unwrap())
         .unwrap();
-    println!("  flops record:      {} ({:.1} TF) — paper: Jaguar, 35.7 TF", flops_best.machine, flops_best.sustained_tflops);
-    println!("  resolution record: {} ({:.2} s) — paper: Ranger, 1.84 s", res_best.machine, res_best.period_s);
+    println!(
+        "  flops record:      {} ({:.1} TF) — paper: Jaguar, 35.7 TF",
+        flops_best.machine, flops_best.sustained_tflops
+    );
+    println!(
+        "  resolution record: {} ({:.2} s) — paper: Ranger, 1.84 s",
+        res_best.machine, res_best.period_s
+    );
     if let Some(pct) = runs[0].pct_rmax {
         println!(
             "  Franklin fraction of (scaled) Rmax: {:.0} % — paper: 44 %",
@@ -56,5 +59,5 @@ fn main() {
     }
 
     println!();
-    println!("machine-readable: {}", serde_json::to_string(&runs).unwrap());
+    println!("machine-readable: {}", runs_to_json(&runs));
 }

@@ -17,11 +17,7 @@ pub fn prem_mesh(nex: usize, nproc: usize) -> GlobalMesh {
 }
 
 /// Build a mesh with custom parameter tweaks.
-pub fn prem_mesh_with(
-    nex: usize,
-    nproc: usize,
-    tweak: impl FnOnce(&mut MeshParams),
-) -> GlobalMesh {
+pub fn prem_mesh_with(nex: usize, nproc: usize, tweak: impl FnOnce(&mut MeshParams)) -> GlobalMesh {
     let mut params = MeshParams::new(nex, nproc);
     tweak(&mut params);
     GlobalMesh::build(&params, &Prem::isotropic_no_ocean())

@@ -8,6 +8,7 @@
 //! partials, after which every copy of a shared point holds the full sum —
 //! exactly the `assemble_MPI_*` pattern of SPECFEM3D_GLOBE.
 
+use crate::error::CommError;
 use crate::Communicator;
 
 /// One neighbouring rank and the shared points with it.
@@ -72,8 +73,8 @@ pub fn assemble_halo(
     field: &mut [f32],
     ncomp: usize,
     tag: u32,
-) {
-    exchange_halo(comm, plan, field, ncomp, tag, |dst, src| *dst += src);
+) -> Result<(), CommError> {
+    exchange_halo(comm, plan, field, ncomp, tag, |dst, src| *dst += src)
 }
 
 /// Generic halo exchange with a custom combine function (`+=` for assembly,
@@ -85,9 +86,9 @@ pub fn exchange_halo(
     ncomp: usize,
     tag: u32,
     mut combine: impl FnMut(&mut f32, f32),
-) {
+) -> Result<(), CommError> {
     if plan.neighbors.is_empty() {
-        return;
+        return Ok(());
     }
     // Post all sends first (non-blocking semantics; avoids deadlock without
     // needing ordered pairwise exchanges).
@@ -99,17 +100,21 @@ pub fn exchange_halo(
             let base = p as usize * ncomp;
             sendbuf.extend_from_slice(&field[base..base + ncomp]);
         }
-        comm.send_f32(n.rank, tag, &sendbuf);
+        comm.send_f32(n.rank, tag, &sendbuf)?;
     }
     // Then receive from every neighbour and combine.
     for n in &plan.neighbors {
-        let recv = comm.recv_f32(n.rank, tag);
-        assert_eq!(
-            recv.len(),
-            n.points.len() * ncomp,
-            "halo size mismatch with rank {}",
-            n.rank
-        );
+        let recv = comm.recv_f32(n.rank, tag)?;
+        if recv.len() != n.points.len() * ncomp {
+            return Err(CommError::Protocol {
+                detail: format!(
+                    "halo size mismatch with rank {}: got {} values, expected {}",
+                    n.rank,
+                    recv.len(),
+                    n.points.len() * ncomp
+                ),
+            });
+        }
         for (i, &p) in n.points.iter().enumerate() {
             let base = p as usize * ncomp;
             for c in 0..ncomp {
@@ -117,6 +122,7 @@ pub fn exchange_halo(
             }
         }
     }
+    Ok(())
 }
 
 #[cfg(test)]
@@ -138,7 +144,7 @@ mod tests {
             };
             // 3 points, 1 component; point 2 is private.
             let mut field = vec![(rank + 1) as f32; 3];
-            assemble_halo(&mut comm, &plan, &mut field, 1, 42);
+            assemble_halo(&mut comm, &plan, &mut field, 1, 42).unwrap();
             field
         });
         // Shared points: 1 + 2 = 3 on both ranks; private points unchanged.
@@ -160,7 +166,7 @@ mod tests {
             let mut field = vec![0.0f32; 6];
             field[3] = rank as f32 + 1.0; // point 1, comp x
             field[5] = 10.0 * (rank as f32 + 1.0); // point 1, comp z
-            assemble_halo(&mut comm, &plan, &mut field, 3, 7);
+            assemble_halo(&mut comm, &plan, &mut field, 3, 7).unwrap();
             field
         });
         for r in &results {
@@ -186,7 +192,7 @@ mod tests {
                 .collect();
             let plan = HaloPlan { neighbors };
             let mut field = vec![2.0f32.powi(rank as i32)]; // 1,2,4,8
-            assemble_halo(&mut comm, &plan, &mut field, 1, 9);
+            assemble_halo(&mut comm, &plan, &mut field, 1, 9).unwrap();
             field[0]
         });
         for v in results {
@@ -247,7 +253,7 @@ mod tests {
         let mut comm = crate::serial::SerialComm::new();
         let plan = HaloPlan::default();
         let mut field = vec![1.0f32, 2.0];
-        assemble_halo(&mut comm, &plan, &mut field, 1, 0);
+        assemble_halo(&mut comm, &plan, &mut field, 1, 0).unwrap();
         assert_eq!(field, vec![1.0, 2.0]);
     }
 }

@@ -14,18 +14,29 @@
 //! * **modeled time** from a latency/bandwidth machine profile — the
 //!   deterministic analog used to extrapolate to machines we do not have
 //!   (62K-core Ranger and friends).
+//!
+//! All blocking operations are fallible: a stalled or dead peer surfaces as
+//! a typed [`CommError`] (with a configurable receive deadline) instead of
+//! an infinite hang, and [`fault::FaultyComm`] can deterministically inject
+//! the failures a 62K-core run would see in the wild.
 
+pub mod error;
+pub mod fault;
 pub mod halo;
 pub mod serial;
 pub mod stats;
 pub mod thread;
 pub mod virtual_net;
 
+pub use error::CommError;
+pub use fault::{FaultKind, FaultPlan, FaultSpec, FaultStats, FaultyComm};
 pub use halo::{assemble_halo, exchange_halo, HaloPlan, Neighbor};
 pub use serial::SerialComm;
 pub use stats::{CommStats, StatsSnapshot};
-pub use thread::{ThreadComm, ThreadWorld};
+pub use thread::{RankPanic, ThreadComm, ThreadWorld, DEFAULT_RECV_TIMEOUT};
 pub use virtual_net::NetworkProfile;
+
+use std::time::Duration;
 
 /// Message tags used by the solver (mirrors the handful of tags the Fortran
 /// code uses).
@@ -38,6 +49,9 @@ pub mod tags {
     pub const REDUCE: u32 = 200;
     /// Generic broadcast traffic.
     pub const BCAST: u32 = 201;
+    /// Barrier entry/release traffic (message-based so it honours the recv
+    /// deadline instead of hanging on a dead rank).
+    pub const BARRIER: u32 = 202;
     /// Mesher → solver handoff (legacy I/O replacement path).
     pub const MESH_HANDOFF: u32 = 300;
 }
@@ -46,8 +60,14 @@ pub mod tags {
 ///
 /// Semantics follow MPI two-sided messaging: `send` is asynchronous
 /// (buffered, never deadlocks at our message sizes), `recv` blocks until a
-/// matching `(src, tag)` message arrives. All collective operations must be
-/// entered by every rank.
+/// matching `(src, tag)` message arrives *or the configured deadline
+/// expires*. All collective operations must be entered by every rank.
+///
+/// Every blocking call is fallible. A backend that cannot fail (e.g. the
+/// serial world) simply always returns `Ok`; the thread backend reports
+/// stalls as [`CommError::Timeout`], vanished peers as
+/// [`CommError::Disconnected`], and fault injection adds
+/// [`CommError::RankDead`].
 pub trait Communicator: Send {
     /// This rank's id in `0..size()`.
     fn rank(&self) -> usize;
@@ -55,19 +75,31 @@ pub trait Communicator: Send {
     fn size(&self) -> usize;
 
     /// Asynchronous buffered send of an `f32` payload.
-    fn send_f32(&mut self, dest: usize, tag: u32, data: &[f32]);
-    /// Blocking receive matching `(src, tag)`.
-    fn recv_f32(&mut self, src: usize, tag: u32) -> Vec<f32>;
+    fn send_f32(&mut self, dest: usize, tag: u32, data: &[f32]) -> Result<(), CommError>;
+    /// Blocking receive matching `(src, tag)`, subject to the recv deadline.
+    fn recv_f32(&mut self, src: usize, tag: u32) -> Result<Vec<f32>, CommError>;
 
     /// Barrier across all ranks.
-    fn barrier(&mut self);
+    fn barrier(&mut self) -> Result<(), CommError>;
 
     /// Global sum of one `f64`.
-    fn allreduce_sum(&mut self, x: f64) -> f64;
+    fn allreduce_sum(&mut self, x: f64) -> Result<f64, CommError>;
     /// Global min of one `f64`.
-    fn allreduce_min(&mut self, x: f64) -> f64;
+    fn allreduce_min(&mut self, x: f64) -> Result<f64, CommError>;
     /// Global max of one `f64`.
-    fn allreduce_max(&mut self, x: f64) -> f64;
+    fn allreduce_max(&mut self, x: f64) -> Result<f64, CommError>;
+
+    /// Configure the deadline applied to blocking receives. `None` waits
+    /// forever (pre-fault-tolerance behaviour); backends without blocking
+    /// receives may ignore it.
+    fn set_recv_timeout(&mut self, _timeout: Option<Duration>) {}
+
+    /// Solver hook announcing the start of time step `istep`. Fault
+    /// injection uses it to trigger step-scheduled faults; plain backends
+    /// keep the default no-op.
+    fn on_time_step(&mut self, _istep: usize) -> Result<(), CommError> {
+        Ok(())
+    }
 
     /// Statistics snapshot for this rank.
     fn stats(&self) -> StatsSnapshot;
@@ -88,6 +120,7 @@ mod tests {
             tags::HALO_FLUID,
             tags::REDUCE,
             tags::BCAST,
+            tags::BARRIER,
             tags::MESH_HANDOFF,
         ];
         for i in 0..all.len() {

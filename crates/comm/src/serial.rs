@@ -1,10 +1,11 @@
 //! Single-rank communicator: the degenerate world used for serial runs and
 //! as the reference in parallel-vs-serial equivalence tests.
 
+use crate::error::CommError;
 use crate::stats::{CommStats, StatsSnapshot};
 use crate::Communicator;
 
-/// A world of one. Point-to-point messaging to *any* other rank is a logic
+/// A world of one. Point-to-point messaging to *any* other rank is a typed
 /// error; self-sends are buffered and receivable (matching MPI semantics for
 /// buffered self-communication).
 #[derive(Debug, Default)]
@@ -29,41 +30,56 @@ impl Communicator for SerialComm {
         1
     }
 
-    fn send_f32(&mut self, dest: usize, tag: u32, data: &[f32]) {
-        assert_eq!(dest, 0, "serial world has only rank 0");
+    fn send_f32(&mut self, dest: usize, tag: u32, data: &[f32]) -> Result<(), CommError> {
+        if dest != 0 {
+            return Err(CommError::InvalidRank {
+                rank: dest,
+                size: 1,
+            });
+        }
         self.stats.on_send(data.len() * 4);
         self.self_queue.push((tag, data.to_vec()));
+        Ok(())
     }
 
-    fn recv_f32(&mut self, src: usize, tag: u32) -> Vec<f32> {
-        assert_eq!(src, 0, "serial world has only rank 0");
-        let pos = self
-            .self_queue
-            .iter()
-            .position(|(t, _)| *t == tag)
-            .expect("no matching self-message buffered");
+    fn recv_f32(&mut self, src: usize, tag: u32) -> Result<Vec<f32>, CommError> {
+        if src != 0 {
+            return Err(CommError::InvalidRank { rank: src, size: 1 });
+        }
+        // A receive with no buffered self-message can never complete — in a
+        // world of one there is nobody else to send it.
+        let pos =
+            self.self_queue
+                .iter()
+                .position(|(t, _)| *t == tag)
+                .ok_or(CommError::Timeout {
+                    src,
+                    tag,
+                    waited: std::time::Duration::ZERO,
+                })?;
         let (_, data) = self.self_queue.remove(pos);
         self.stats.on_recv(data.len() * 4);
-        data
+        Ok(data)
     }
 
-    fn barrier(&mut self) {
+    fn barrier(&mut self) -> Result<(), CommError> {
         self.stats.collectives += 1;
+        Ok(())
     }
 
-    fn allreduce_sum(&mut self, x: f64) -> f64 {
+    fn allreduce_sum(&mut self, x: f64) -> Result<f64, CommError> {
         self.stats.collectives += 1;
-        x
+        Ok(x)
     }
 
-    fn allreduce_min(&mut self, x: f64) -> f64 {
+    fn allreduce_min(&mut self, x: f64) -> Result<f64, CommError> {
         self.stats.collectives += 1;
-        x
+        Ok(x)
     }
 
-    fn allreduce_max(&mut self, x: f64) -> f64 {
+    fn allreduce_max(&mut self, x: f64) -> Result<f64, CommError> {
         self.stats.collectives += 1;
-        x
+        Ok(x)
     }
 
     fn stats(&self) -> StatsSnapshot {
@@ -82,27 +98,38 @@ mod tests {
     #[test]
     fn collectives_are_identity() {
         let mut c = SerialComm::new();
-        assert_eq!(c.allreduce_sum(3.5), 3.5);
-        assert_eq!(c.allreduce_min(-1.0), -1.0);
-        assert_eq!(c.allreduce_max(7.0), 7.0);
-        c.barrier();
+        assert_eq!(c.allreduce_sum(3.5).unwrap(), 3.5);
+        assert_eq!(c.allreduce_min(-1.0).unwrap(), -1.0);
+        assert_eq!(c.allreduce_max(7.0).unwrap(), 7.0);
+        c.barrier().unwrap();
         assert_eq!(c.stats().collectives, 4);
     }
 
     #[test]
     fn self_send_recv_roundtrip() {
         let mut c = SerialComm::new();
-        c.send_f32(0, 3, &[1.0, 2.0]);
-        c.send_f32(0, 4, &[9.0]);
-        assert_eq!(c.recv_f32(0, 4), vec![9.0]);
-        assert_eq!(c.recv_f32(0, 3), vec![1.0, 2.0]);
+        c.send_f32(0, 3, &[1.0, 2.0]).unwrap();
+        c.send_f32(0, 4, &[9.0]).unwrap();
+        assert_eq!(c.recv_f32(0, 4).unwrap(), vec![9.0]);
+        assert_eq!(c.recv_f32(0, 3).unwrap(), vec![1.0, 2.0]);
         assert_eq!(c.stats().bytes_sent, 12);
     }
 
     #[test]
-    #[should_panic(expected = "serial world")]
-    fn send_to_other_rank_panics() {
+    fn send_to_other_rank_is_an_error() {
         let mut c = SerialComm::new();
-        c.send_f32(1, 0, &[0.0]);
+        assert_eq!(
+            c.send_f32(1, 0, &[0.0]).unwrap_err(),
+            CommError::InvalidRank { rank: 1, size: 1 }
+        );
+    }
+
+    #[test]
+    fn recv_with_no_buffered_message_is_a_timeout() {
+        let mut c = SerialComm::new();
+        assert!(matches!(
+            c.recv_f32(0, 8).unwrap_err(),
+            CommError::Timeout { src: 0, tag: 8, .. }
+        ));
     }
 }

@@ -1,26 +1,38 @@
 //! The thread-backed communicator: every rank is an OS thread, messages are
 //! buffers moved over crossbeam channels.
+//!
+//! Blocking receives honour a configurable deadline ([`DEFAULT_RECV_TIMEOUT`]
+//! unless overridden), so a stalled or dead peer surfaces as
+//! [`CommError::Timeout`] naming the `(src, tag)` pair instead of wedging the
+//! whole world. The barrier is message-based for the same reason: a
+//! `std::sync::Barrier` would hang forever on the first dead rank.
 
-use crossbeam_channel::{unbounded, Receiver, Sender};
-use std::sync::{Arc, Barrier};
-use std::time::Instant;
+use crossbeam_channel::{unbounded, Receiver, RecvTimeoutError, Sender};
+use std::fmt;
+use std::time::{Duration, Instant};
 
+use crate::error::CommError;
 use crate::stats::{CommStats, StatsSnapshot};
 use crate::virtual_net::NetworkProfile;
 use crate::{tags, Communicator};
 
+/// Deadline applied to blocking receives unless the caller overrides it with
+/// [`Communicator::set_recv_timeout`]. Generous enough for debug-build test
+/// worlds, short enough that a wedged run fails in bounded time.
+pub const DEFAULT_RECV_TIMEOUT: Duration = Duration::from_secs(30);
+
 /// One in-flight message.
 #[derive(Debug)]
-enum Payload {
+pub(crate) enum Payload {
     F32(Vec<f32>),
     F64(Vec<f64>),
 }
 
 #[derive(Debug)]
-struct Message {
-    src: usize,
-    tag: u32,
-    payload: Payload,
+pub(crate) struct Message {
+    pub(crate) src: usize,
+    pub(crate) tag: u32,
+    pub(crate) payload: Payload,
 }
 
 impl Message {
@@ -31,6 +43,23 @@ impl Message {
         }
     }
 }
+
+/// A rank whose thread panicked during [`ThreadWorld::try_run`].
+#[derive(Debug, Clone)]
+pub struct RankPanic {
+    /// The rank that died.
+    pub rank: usize,
+    /// Best-effort panic message.
+    pub message: String,
+}
+
+impl fmt::Display for RankPanic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "rank {} panicked: {}", self.rank, self.message)
+    }
+}
+
+impl std::error::Error for RankPanic {}
 
 /// Factory for a set of connected [`ThreadComm`]s — the "world".
 pub struct ThreadWorld;
@@ -46,7 +75,6 @@ impl ThreadWorld {
             senders.push(s);
             receivers.push(r);
         }
-        let barrier = Arc::new(Barrier::new(size));
         receivers
             .into_iter()
             .enumerate()
@@ -56,7 +84,7 @@ impl ThreadWorld {
                 senders: senders.clone(),
                 receiver,
                 pending: Vec::new(),
-                barrier: barrier.clone(),
+                recv_timeout: Some(DEFAULT_RECV_TIMEOUT),
                 profile,
                 stats: CommStats::default(),
             })
@@ -65,25 +93,53 @@ impl ThreadWorld {
 
     /// Run `f` on `size` ranks (one thread each) and collect the per-rank
     /// results in rank order. This is the `mpirun` analog used by tests,
-    /// examples and benchmarks.
+    /// examples and benchmarks. A rank panic propagates — use
+    /// [`ThreadWorld::try_run`] to get per-rank errors instead.
     pub fn run<R, F>(size: usize, profile: NetworkProfile, f: F) -> Vec<R>
     where
         R: Send,
         F: Fn(ThreadComm) -> R + Sync,
     {
+        Self::try_run(size, profile, f)
+            .into_iter()
+            .map(|r| r.unwrap_or_else(|p| panic!("rank panicked: {p}")))
+            .collect()
+    }
+
+    /// Like [`ThreadWorld::run`], but a panicking rank yields
+    /// `Err(RankPanic)` in its slot instead of tearing down the caller —
+    /// the driver can report which rank died and decide to restart.
+    pub fn try_run<R, F>(size: usize, profile: NetworkProfile, f: F) -> Vec<Result<R, RankPanic>>
+    where
+        R: Send,
+        F: Fn(ThreadComm) -> R + Sync,
+    {
         let comms = Self::create(size, profile);
-        let mut out: Vec<Option<R>> = (0..size).map(|_| None).collect();
+        let mut out: Vec<Option<Result<R, RankPanic>>> = (0..size).map(|_| None).collect();
         std::thread::scope(|scope| {
             let mut handles = Vec::new();
             for comm in comms {
                 let fref = &f;
                 handles.push(scope.spawn(move || fref(comm)));
             }
-            for (slot, h) in out.iter_mut().zip(handles) {
-                *slot = Some(h.join().expect("rank panicked"));
+            for (rank, (slot, h)) in out.iter_mut().zip(handles).enumerate() {
+                *slot = Some(h.join().map_err(|payload| RankPanic {
+                    rank,
+                    message: panic_message(payload.as_ref()),
+                }));
             }
         });
         out.into_iter().map(|r| r.unwrap()).collect()
+    }
+}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "<non-string panic payload>".to_string()
     }
 }
 
@@ -93,9 +149,11 @@ pub struct ThreadComm {
     size: usize,
     senders: Vec<Sender<Message>>,
     receiver: Receiver<Message>,
-    /// Out-of-order messages already pulled off the channel.
+    /// Out-of-order messages already pulled off the channel, in arrival
+    /// order — matching receives drain FIFO per `(src, tag)`.
     pending: Vec<Message>,
-    barrier: Arc<Barrier>,
+    /// Deadline for blocking receives; `None` waits forever.
+    recv_timeout: Option<Duration>,
     profile: NetworkProfile,
     stats: CommStats,
 }
@@ -106,68 +164,128 @@ impl ThreadComm {
         self.profile
     }
 
-    fn send_message(&mut self, dest: usize, tag: u32, payload: Payload) {
-        assert!(dest < self.size, "send to rank {dest} of {}", self.size);
+    /// The currently configured receive deadline.
+    pub fn recv_timeout(&self) -> Option<Duration> {
+        self.recv_timeout
+    }
+
+    /// Send without statistics accounting (collective-internal traffic: the
+    /// IPM methodology charges collectives once, not per internal message).
+    fn send_raw(&mut self, dest: usize, tag: u32, payload: Payload) -> Result<(), CommError> {
+        if dest >= self.size {
+            return Err(CommError::InvalidRank {
+                rank: dest,
+                size: self.size,
+            });
+        }
         let msg = Message {
             src: self.rank,
             tag,
             payload,
         };
-        let bytes = msg.len_bytes();
-        self.stats.on_send(bytes);
-        self.stats.on_modeled(self.profile.message_time(bytes));
-        self.senders[dest].send(msg).expect("world disconnected");
+        self.senders[dest]
+            .send(msg)
+            .map_err(|_| CommError::Disconnected { peer: dest })
     }
 
-    fn recv_message(&mut self, src: usize, tag: u32) -> Message {
-        // Check the out-of-order buffer first.
+    fn send_message(&mut self, dest: usize, tag: u32, payload: Payload) -> Result<(), CommError> {
+        let bytes = match &payload {
+            Payload::F32(v) => v.len() * 4,
+            Payload::F64(v) => v.len() * 8,
+        };
+        self.send_raw(dest, tag, payload)?;
+        self.stats.on_send(bytes);
+        self.stats.on_modeled(self.profile.message_time(bytes));
+        Ok(())
+    }
+
+    fn recv_message(&mut self, src: usize, tag: u32) -> Result<Message, CommError> {
+        if src >= self.size {
+            return Err(CommError::InvalidRank {
+                rank: src,
+                size: self.size,
+            });
+        }
+        // Check the out-of-order buffer first. `remove` (not `swap_remove`)
+        // keeps the buffer in arrival order, so repeated receives on the
+        // same `(src, tag)` drain FIFO — swap_remove would reorder messages
+        // behind the extracted one and deliver later sends first.
         if let Some(pos) = self
             .pending
             .iter()
             .position(|m| m.src == src && m.tag == tag)
         {
-            return self.pending.swap_remove(pos);
+            return Ok(self.pending.remove(pos));
         }
+        let started = Instant::now();
+        let deadline = self.recv_timeout.map(|t| started + t);
         loop {
-            let msg = self.receiver.recv().expect("world disconnected");
-            if msg.src == src && msg.tag == tag {
-                return msg;
+            let next = match deadline {
+                Some(d) => self.receiver.recv_deadline(d),
+                None => self
+                    .receiver
+                    .recv()
+                    .map_err(|_| RecvTimeoutError::Disconnected),
+            };
+            match next {
+                Ok(msg) if msg.src == src && msg.tag == tag => return Ok(msg),
+                Ok(msg) => self.pending.push(msg),
+                Err(RecvTimeoutError::Timeout) => {
+                    return Err(CommError::Timeout {
+                        src,
+                        tag,
+                        waited: started.elapsed(),
+                    })
+                }
+                Err(RecvTimeoutError::Disconnected) => {
+                    return Err(CommError::Disconnected { peer: src })
+                }
             }
-            self.pending.push(msg);
         }
     }
 
-    fn allreduce_with(&mut self, x: f64, op: fn(f64, f64) -> f64) -> f64 {
+    fn allreduce_with(&mut self, x: f64, op: fn(f64, f64) -> f64) -> Result<f64, CommError> {
         let t0 = Instant::now();
         self.stats.collectives += 1;
-        self.stats.on_modeled(self.profile.collective_time(self.size));
+        self.stats
+            .on_modeled(self.profile.collective_time(self.size));
         let result = if self.size == 1 {
             x
         } else if self.rank == 0 {
             // Deterministic reduction in rank order, then broadcast.
             let mut acc = x;
             for src in 1..self.size {
-                let msg = self.recv_message(src, tags::REDUCE);
+                let msg = self.recv_message(src, tags::REDUCE)?;
                 let v = match msg.payload {
-                    Payload::F64(v) => v[0],
-                    _ => unreachable!("reduce payload must be f64"),
+                    Payload::F64(v) if !v.is_empty() => v[0],
+                    _ => {
+                        return Err(CommError::PayloadType {
+                            src,
+                            tag: tags::REDUCE,
+                        })
+                    }
                 };
                 acc = op(acc, v);
             }
             for dest in 1..self.size {
-                self.send_message(dest, tags::BCAST, Payload::F64(vec![acc]));
+                self.send_raw(dest, tags::BCAST, Payload::F64(vec![acc]))?;
             }
             acc
         } else {
-            self.send_message(0, tags::REDUCE, Payload::F64(vec![x]));
-            let msg = self.recv_message(0, tags::BCAST);
+            self.send_raw(0, tags::REDUCE, Payload::F64(vec![x]))?;
+            let msg = self.recv_message(0, tags::BCAST)?;
             match msg.payload {
-                Payload::F64(v) => v[0],
-                _ => unreachable!(),
+                Payload::F64(v) if !v.is_empty() => v[0],
+                _ => {
+                    return Err(CommError::PayloadType {
+                        src: 0,
+                        tag: tags::BCAST,
+                    })
+                }
             }
         };
         self.stats.on_wall(t0.elapsed());
-        result
+        Ok(result)
     }
 }
 
@@ -180,43 +298,65 @@ impl Communicator for ThreadComm {
         self.size
     }
 
-    fn send_f32(&mut self, dest: usize, tag: u32, data: &[f32]) {
+    fn send_f32(&mut self, dest: usize, tag: u32, data: &[f32]) -> Result<(), CommError> {
         let t0 = Instant::now();
-        self.send_message(dest, tag, Payload::F32(data.to_vec()));
+        self.send_message(dest, tag, Payload::F32(data.to_vec()))?;
         self.stats.on_wall(t0.elapsed());
+        Ok(())
     }
 
-    fn recv_f32(&mut self, src: usize, tag: u32) -> Vec<f32> {
+    fn recv_f32(&mut self, src: usize, tag: u32) -> Result<Vec<f32>, CommError> {
         let t0 = Instant::now();
-        let msg = self.recv_message(src, tag);
+        let msg = self.recv_message(src, tag)?;
         let bytes = msg.len_bytes();
         self.stats.on_recv(bytes);
         self.stats.on_modeled(self.profile.message_time(bytes));
         self.stats.on_wall(t0.elapsed());
         match msg.payload {
-            Payload::F32(v) => v,
-            _ => panic!("expected f32 payload for tag {tag}"),
+            Payload::F32(v) => Ok(v),
+            _ => Err(CommError::PayloadType { src, tag }),
         }
     }
 
-    fn barrier(&mut self) {
+    fn barrier(&mut self) -> Result<(), CommError> {
+        // Message-based (gather to rank 0, then release) so the recv
+        // deadline applies: a dead rank turns the barrier into a Timeout
+        // naming the missing peer instead of an infinite hang.
         let t0 = Instant::now();
         self.stats.collectives += 1;
-        self.stats.on_modeled(self.profile.collective_time(self.size));
-        self.barrier.wait();
+        self.stats
+            .on_modeled(self.profile.collective_time(self.size));
+        if self.size > 1 {
+            if self.rank == 0 {
+                for src in 1..self.size {
+                    self.recv_message(src, tags::BARRIER)?;
+                }
+                for dest in 1..self.size {
+                    self.send_raw(dest, tags::BARRIER, Payload::F32(Vec::new()))?;
+                }
+            } else {
+                self.send_raw(0, tags::BARRIER, Payload::F32(Vec::new()))?;
+                self.recv_message(0, tags::BARRIER)?;
+            }
+        }
         self.stats.on_wall(t0.elapsed());
+        Ok(())
     }
 
-    fn allreduce_sum(&mut self, x: f64) -> f64 {
+    fn allreduce_sum(&mut self, x: f64) -> Result<f64, CommError> {
         self.allreduce_with(x, |a, b| a + b)
     }
 
-    fn allreduce_min(&mut self, x: f64) -> f64 {
+    fn allreduce_min(&mut self, x: f64) -> Result<f64, CommError> {
         self.allreduce_with(x, f64::min)
     }
 
-    fn allreduce_max(&mut self, x: f64) -> f64 {
+    fn allreduce_max(&mut self, x: f64) -> Result<f64, CommError> {
         self.allreduce_with(x, f64::max)
+    }
+
+    fn set_recv_timeout(&mut self, timeout: Option<Duration>) {
+        self.recv_timeout = timeout;
     }
 
     fn stats(&self) -> StatsSnapshot {
@@ -239,8 +379,8 @@ mod tests {
             let size = comm.size();
             let next = (rank + 1) % size;
             let prev = (rank + size - 1) % size;
-            comm.send_f32(next, 7, &[rank as f32; 3]);
-            let got = comm.recv_f32(prev, 7);
+            comm.send_f32(next, 7, &[rank as f32; 3]).unwrap();
+            let got = comm.recv_f32(prev, 7).unwrap();
             (prev, got)
         });
         for (rank, (prev, got)) in results.iter().enumerate() {
@@ -254,9 +394,9 @@ mod tests {
         let results = ThreadWorld::run(6, NetworkProfile::loopback(), |mut comm| {
             let x = comm.rank() as f64 + 1.0;
             (
-                comm.allreduce_sum(x),
-                comm.allreduce_min(x),
-                comm.allreduce_max(x),
+                comm.allreduce_sum(x).unwrap(),
+                comm.allreduce_min(x).unwrap(),
+                comm.allreduce_max(x).unwrap(),
             )
         });
         for (s, mn, mx) in results {
@@ -271,12 +411,12 @@ mod tests {
         let results = ThreadWorld::run(2, NetworkProfile::loopback(), |mut comm| {
             if comm.rank() == 0 {
                 // Send tag 2 first, then tag 1; receiver asks for 1 first.
-                comm.send_f32(1, 2, &[2.0]);
-                comm.send_f32(1, 1, &[1.0]);
+                comm.send_f32(1, 2, &[2.0]).unwrap();
+                comm.send_f32(1, 1, &[1.0]).unwrap();
                 vec![]
             } else {
-                let a = comm.recv_f32(0, 1);
-                let b = comm.recv_f32(0, 2);
+                let a = comm.recv_f32(0, 1).unwrap();
+                let b = comm.recv_f32(0, 2).unwrap();
                 vec![a[0], b[0]]
             }
         });
@@ -284,14 +424,126 @@ mod tests {
     }
 
     #[test]
+    fn pending_buffer_drains_fifo_per_src_tag() {
+        // Regression test for the swap_remove bug: two tags interleaved
+        // from the same source must each come out in send order, even when
+        // an interleaved receive forces everything through `pending`.
+        let results = ThreadWorld::run(2, NetworkProfile::loopback(), |mut comm| {
+            if comm.rank() == 0 {
+                // Interleave two tag streams; all of these get buffered on
+                // the receiver while it waits for the tag-9 flush marker.
+                comm.send_f32(1, 1, &[10.0]).unwrap();
+                comm.send_f32(1, 2, &[20.0]).unwrap();
+                comm.send_f32(1, 1, &[11.0]).unwrap();
+                comm.send_f32(1, 2, &[21.0]).unwrap();
+                comm.send_f32(1, 1, &[12.0]).unwrap();
+                comm.send_f32(1, 9, &[0.0]).unwrap();
+                vec![]
+            } else {
+                // Force every earlier message into `pending`...
+                let _ = comm.recv_f32(0, 9).unwrap();
+                // ...then drain both streams: order within each (src, tag)
+                // must be the send order.
+                let mut got = Vec::new();
+                for _ in 0..3 {
+                    got.push(comm.recv_f32(0, 1).unwrap()[0]);
+                }
+                for _ in 0..2 {
+                    got.push(comm.recv_f32(0, 2).unwrap()[0]);
+                }
+                got
+            }
+        });
+        assert_eq!(results[1], vec![10.0, 11.0, 12.0, 20.0, 21.0]);
+    }
+
+    #[test]
+    fn recv_times_out_naming_src_and_tag() {
+        let results = ThreadWorld::run(2, NetworkProfile::loopback(), |mut comm| {
+            if comm.rank() == 1 {
+                comm.set_recv_timeout(Some(Duration::from_millis(50)));
+                // Nobody ever sends on tag 77.
+                Some(comm.recv_f32(0, 77).unwrap_err())
+            } else {
+                None
+            }
+        });
+        match results[1].clone().unwrap() {
+            CommError::Timeout { src, tag, waited } => {
+                assert_eq!(src, 0);
+                assert_eq!(tag, 77);
+                assert!(waited >= Duration::from_millis(50));
+            }
+            other => panic!("expected Timeout, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn wrong_payload_type_is_reported_not_panicked() {
+        let results = ThreadWorld::run(2, NetworkProfile::loopback(), |mut comm| {
+            if comm.rank() == 0 {
+                // Hand-craft an f64 message on a tag the peer reads as f32.
+                comm.send_raw(1, 5, Payload::F64(vec![1.0])).unwrap();
+                None
+            } else {
+                Some(comm.recv_f32(0, 5))
+            }
+        });
+        assert_eq!(
+            results[1].clone().unwrap().unwrap_err(),
+            CommError::PayloadType { src: 0, tag: 5 }
+        );
+    }
+
+    #[test]
+    fn invalid_rank_is_an_error() {
+        let results = ThreadWorld::run(2, NetworkProfile::loopback(), |mut comm| {
+            comm.send_f32(9, 0, &[1.0]).unwrap_err()
+        });
+        assert_eq!(results[0], CommError::InvalidRank { rank: 9, size: 2 });
+    }
+
+    #[test]
+    fn try_run_reports_rank_panics_individually() {
+        let results = ThreadWorld::try_run(3, NetworkProfile::loopback(), |comm| {
+            if comm.rank() == 1 {
+                panic!("injected failure on rank 1");
+            }
+            comm.rank()
+        });
+        assert_eq!(*results[0].as_ref().unwrap(), 0);
+        assert_eq!(*results[2].as_ref().unwrap(), 2);
+        let err = results[1].as_ref().unwrap_err();
+        assert_eq!(err.rank, 1);
+        assert!(err.message.contains("injected failure"), "{}", err.message);
+    }
+
+    #[test]
+    fn barrier_times_out_when_a_rank_never_arrives() {
+        let results = ThreadWorld::run(3, NetworkProfile::loopback(), |mut comm| {
+            comm.set_recv_timeout(Some(Duration::from_millis(50)));
+            if comm.rank() == 2 {
+                // Rank 2 skips the barrier entirely (a "dead" rank).
+                return None;
+            }
+            Some(comm.barrier())
+        });
+        // Rank 0 gathers entries and must report the missing peer.
+        match results[0].clone().unwrap() {
+            Err(CommError::Timeout { src: 2, tag, .. }) => assert_eq!(tag, tags::BARRIER),
+            other => panic!("expected timeout on rank 2 entry, got {other:?}"),
+        }
+    }
+
+    #[test]
     fn stats_track_bytes_and_modeled_time() {
         let results = ThreadWorld::run(2, NetworkProfile::ranger_infiniband(), |mut comm| {
             if comm.rank() == 0 {
-                comm.send_f32(1, 5, &[0.0; 1000]);
+                comm.send_f32(1, 5, &[0.0; 1000]).unwrap();
             } else {
-                let _ = comm.recv_f32(0, 5);
+                let _ = comm.recv_f32(0, 5).unwrap();
             }
-            comm.barrier();
+            comm.barrier().unwrap();
             comm.stats()
         });
         assert_eq!(results[0].bytes_sent, 4000);
@@ -305,9 +557,9 @@ mod tests {
     fn reset_stats_clears() {
         let results = ThreadWorld::run(2, NetworkProfile::loopback(), |mut comm| {
             if comm.rank() == 0 {
-                comm.send_f32(1, 9, &[1.0]);
+                comm.send_f32(1, 9, &[1.0]).unwrap();
             } else {
-                let _ = comm.recv_f32(0, 9);
+                let _ = comm.recv_f32(0, 9).unwrap();
             }
             comm.reset_stats();
             comm.stats()
@@ -319,8 +571,8 @@ mod tests {
     #[test]
     fn single_rank_world_collectives_are_identity() {
         let results = ThreadWorld::run(1, NetworkProfile::loopback(), |mut comm| {
-            comm.barrier();
-            comm.allreduce_sum(42.0)
+            comm.barrier().unwrap();
+            comm.allreduce_sum(42.0).unwrap()
         });
         assert_eq!(results, vec![42.0]);
     }
@@ -333,13 +585,14 @@ mod tests {
             let rank = comm.rank();
             for dest in 0..n {
                 if dest != rank {
-                    comm.send_f32(dest, 50, &vec![rank as f32; rank + 1]);
+                    comm.send_f32(dest, 50, &vec![rank as f32; rank + 1])
+                        .unwrap();
                 }
             }
             let mut total = 0.0f32;
             for src in 0..n {
                 if src != rank {
-                    let v = comm.recv_f32(src, 50);
+                    let v = comm.recv_f32(src, 50).unwrap();
                     assert_eq!(v.len(), src + 1);
                     total += v.iter().sum::<f32>();
                 }

@@ -1,5 +1,6 @@
 //! Property-based tests of the message-passing substrate: assembly
 //! correctness on randomized topologies and payloads.
+#![allow(clippy::needless_range_loop)] // rank loops double as index and identity
 
 use proptest::prelude::*;
 use specfem_comm::{assemble_halo, Communicator, HaloPlan, Neighbor, NetworkProfile, ThreadWorld};
@@ -34,7 +35,7 @@ proptest! {
                 }],
             };
             let mut field = if rank == 0 { v0c.clone() } else { v1c.clone() };
-            assemble_halo(&mut comm, &plan, &mut field, 1, 5);
+            assemble_halo(&mut comm, &plan, &mut field, 1, 5).unwrap();
             field
         });
         for (i, (&a, &b)) in v0.iter().zip(&v1).enumerate() {
@@ -61,7 +62,7 @@ proptest! {
         let vals = values.clone();
         let results = ThreadWorld::run(n, NetworkProfile::loopback(), move |mut comm| {
             let x = vals[comm.rank()];
-            (comm.allreduce_sum(x), comm.allreduce_min(x), comm.allreduce_max(x))
+            (comm.allreduce_sum(x).unwrap(), comm.allreduce_min(x).unwrap(), comm.allreduce_max(x).unwrap())
         });
         let sum: f64 = values.iter().sum();
         let min = values.iter().cloned().fold(f64::INFINITY, f64::min);
@@ -87,13 +88,13 @@ proptest! {
                 if dest != rank {
                     let payload: Vec<f32> =
                         (0..len).map(|i| (rank * 1000 + i) as f32).collect();
-                    comm.send_f32(dest, base_tag + dest as u32, &payload);
+                    comm.send_f32(dest, base_tag + dest as u32, &payload).unwrap();
                 }
             }
             let mut ok = true;
             for src in 0..n {
                 if src != rank {
-                    let got = comm.recv_f32(src, base_tag + rank as u32);
+                    let got = comm.recv_f32(src, base_tag + rank as u32).unwrap();
                     ok &= got.len() == len
                         && got.iter().enumerate().all(|(i, &v)| v == (src * 1000 + i) as f32);
                 }

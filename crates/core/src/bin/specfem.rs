@@ -30,7 +30,9 @@ fn main() {
         }
     };
     let out_dir = std::path::PathBuf::from(
-        args.get(2).cloned().unwrap_or_else(|| "OUTPUT_FILES".into()),
+        args.get(2)
+            .cloned()
+            .unwrap_or_else(|| "OUTPUT_FILES".into()),
     );
 
     let sim = simulation_from_parfile(&text).unwrap_or_else(|e| panic!("Par_file error: {e}"));

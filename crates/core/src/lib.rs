@@ -134,14 +134,12 @@ impl Simulation {
             ModelChoice::IsotropicPrem => {
                 GlobalMesh::build(&self.params, &Prem::isotropic_no_ocean())
             }
-            ModelChoice::Prem3D => GlobalMesh::build(
-                &self.params,
-                &specfem_model::Prem3D::default_mantle(),
-            ),
-            ModelChoice::Homogeneous => GlobalMesh::build(
-                &self.params,
-                &specfem_model::HomogeneousModel::default(),
-            ),
+            ModelChoice::Prem3D => {
+                GlobalMesh::build(&self.params, &specfem_model::Prem3D::default_mantle())
+            }
+            ModelChoice::Homogeneous => {
+                GlobalMesh::build(&self.params, &specfem_model::HomogeneousModel::default())
+            }
         }
     }
 
@@ -160,8 +158,7 @@ impl Simulation {
     /// communication against `profile`.
     pub fn run_parallel(&self, profile: NetworkProfile) -> SimulationResult {
         let mesh = self.build_mesh();
-        let ranks =
-            specfem_solver::run_distributed(&mesh, &self.config, &self.stations, profile);
+        let ranks = specfem_solver::run_distributed(&mesh, &self.config, &self.stations, profile);
         let seismograms = specfem_solver::timeloop::merge_seismograms(&ranks);
         let dt = ranks.first().map(|r| r.dt).unwrap_or(0.0);
         SimulationResult {
@@ -169,6 +166,74 @@ impl Simulation {
             ranks,
             dt,
         }
+    }
+
+    /// Fault-tolerant parallel run: every rank writes a checkpoint to
+    /// `checkpoint_dir` each `config.checkpoint_every` steps, honors
+    /// `config.recv_timeout`, and injects `config.fault_plan` when set. A
+    /// failed rank surfaces as a typed [`solver::SolverError`] instead of a
+    /// process-wide panic.
+    pub fn run_parallel_checkpointed(
+        &self,
+        profile: NetworkProfile,
+        checkpoint_dir: &std::path::Path,
+    ) -> Result<SimulationResult, solver::SolverError> {
+        self.run_fault_tolerant(profile, checkpoint_dir, false)
+    }
+
+    /// Resume an interrupted run from the newest *complete* checkpoint in
+    /// `checkpoint_dir` (every rank's file present, CRC-valid) and carry it
+    /// to `config.nsteps`. The mesh, configuration, and rank count must
+    /// match the original run; the resumed run keeps checkpointing and its
+    /// seismograms are bit-identical to an uninterrupted run's. With no
+    /// checkpoint on disk this is a cold start.
+    pub fn resume_from_checkpoint(
+        &self,
+        profile: NetworkProfile,
+        checkpoint_dir: &std::path::Path,
+    ) -> Result<SimulationResult, solver::SolverError> {
+        self.run_fault_tolerant(profile, checkpoint_dir, true)
+    }
+
+    fn run_fault_tolerant(
+        &self,
+        profile: NetworkProfile,
+        checkpoint_dir: &std::path::Path,
+        resume: bool,
+    ) -> Result<SimulationResult, solver::SolverError> {
+        use specfem_solver::checkpoint::{CheckpointSink, CheckpointState};
+
+        let mesh = self.build_mesh();
+        let nranks = self.params.num_ranks();
+        let store = specfem_io::CheckpointStore::new(checkpoint_dir)
+            .map_err(solver::SolverError::Checkpoint)?;
+        let sink_factory = |rank: usize| -> Box<dyn CheckpointSink> { store.sink(rank) };
+        let restore_fn = store.restore_latest(nranks);
+        let opts = solver::FtOptions {
+            sink_factory: Some(&sink_factory),
+            restore: if resume {
+                Some(
+                    &restore_fn
+                        as &(dyn Fn(usize) -> Result<Option<CheckpointState>, solver::CheckpointError>
+                              + Sync),
+                )
+            } else {
+                None
+            },
+        };
+        let per_rank =
+            specfem_solver::try_run_distributed(&mesh, &self.config, &self.stations, profile, opts);
+        let mut ranks = Vec::with_capacity(per_rank.len());
+        for r in per_rank {
+            ranks.push(r?);
+        }
+        let seismograms = specfem_solver::timeloop::merge_seismograms(&ranks);
+        let dt = ranks.first().map(|r| r.dt).unwrap_or(0.0);
+        Ok(SimulationResult {
+            seismograms,
+            ranks,
+            dt,
+        })
     }
 }
 
@@ -302,7 +367,7 @@ impl SimulationBuilder {
         if self.nex < 2 {
             return Err("NEX_XI must be at least 2".into());
         }
-        if self.nproc == 0 || self.nex % self.nproc != 0 {
+        if self.nproc == 0 || !self.nex.is_multiple_of(self.nproc) {
             return Err(format!(
                 "NEX_XI ({}) must be divisible by NPROC_XI ({})",
                 self.nex, self.nproc
@@ -314,10 +379,8 @@ impl SimulationBuilder {
                 .find(|e| e.name == *name)
                 .ok_or_else(|| format!("unknown catalogue event '{name}'"))?;
             let period = specfem_mesh::nominal_shortest_period_s(self.nex);
-            let stf = SourceTimeFunction::new(
-                StfKind::Gaussian,
-                event.half_duration_s.max(period / 4.0),
-            );
+            let stf =
+                SourceTimeFunction::new(StfKind::Gaussian, event.half_duration_s.max(period / 4.0));
             self.config.source = SourceSpec::Cmt { event, stf };
         }
         let mut params = MeshParams::new(self.nex, self.nproc);

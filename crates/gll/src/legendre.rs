@@ -47,7 +47,11 @@ pub fn legendre_deriv2(n: usize, x: f64) -> f64 {
     let nf = n as f64;
     if (1.0 - x * x).abs() < 1e-12 {
         // limit value at x = ±1: P''_n(±1) = (±1)^n (n-1) n (n+1) (n+2) / 8
-        let sign = if x > 0.0 || n % 2 == 0 { 1.0 } else { -1.0 };
+        let sign = if x > 0.0 || n.is_multiple_of(2) {
+            1.0
+        } else {
+            -1.0
+        };
         return sign * (nf - 1.0) * nf * (nf + 1.0) * (nf + 2.0) / 8.0;
     }
     let (p, d) = legendre_pair(n, x);

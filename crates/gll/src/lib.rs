@@ -13,6 +13,9 @@
 //! and solver (which, like SPECFEM3D_GLOBE, run the wave propagation itself
 //! in single precision).
 
+// Numeric kernels index several arrays with one loop variable by design.
+#![allow(clippy::needless_range_loop)]
+
 pub mod lagrange;
 pub mod legendre;
 pub mod quadrature;

@@ -100,11 +100,7 @@ impl GllBasis {
     /// Integrate a sampled function (values at the GLL nodes) over `[-1, 1]`.
     pub fn integrate(&self, values: &[f64]) -> f64 {
         assert_eq!(values.len(), self.npoints());
-        values
-            .iter()
-            .zip(&self.weights)
-            .map(|(v, w)| v * w)
-            .sum()
+        values.iter().zip(&self.weights).map(|(v, w)| v * w).sum()
     }
 
     /// Differentiate a nodal function, returning the derivative sampled at
@@ -160,7 +156,11 @@ mod tests {
         for n in 2..9 {
             let (x, w) = gll_points_and_weights(n);
             for k in 0..=(2 * n - 1) {
-                let quad: f64 = x.iter().zip(&w).map(|(xi, wi)| wi * xi.powi(k as i32)).sum();
+                let quad: f64 = x
+                    .iter()
+                    .zip(&w)
+                    .map(|(xi, wi)| wi * xi.powi(k as i32))
+                    .sum();
                 let exact = if k % 2 == 1 {
                     0.0
                 } else {
@@ -177,7 +177,11 @@ mod tests {
         let n = 4;
         let (x, w) = gll_points_and_weights(n);
         let k = 2 * n;
-        let quad: f64 = x.iter().zip(&w).map(|(xi, wi)| wi * xi.powi(k as i32)).sum();
+        let quad: f64 = x
+            .iter()
+            .zip(&w)
+            .map(|(xi, wi)| wi * xi.powi(k as i32))
+            .sum();
         let exact = 2.0 / (k as f64 + 1.0);
         assert!((quad - exact).abs() > 1e-6);
     }

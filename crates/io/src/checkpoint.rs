@@ -1,0 +1,258 @@
+//! On-disk checkpoint storage for fault-tolerant runs.
+//!
+//! Each rank writes its serialized [`CheckpointState`] (the versioned,
+//! CRC-32-guarded binary format of `specfem_solver::checkpoint`) to its own
+//! file, `step{step:09}_rank{rank:06}.ckpt`. Writes are atomic: the bytes
+//! go to a `.tmp` sibling first and are renamed into place, so a rank
+//! killed mid-write never leaves a half-written checkpoint under the real
+//! name. Each rank keeps its two most recent checkpoints — if the world
+//! dies *during* a checkpoint (some ranks at step M, others still at N),
+//! the previous complete set at N is still restorable.
+//!
+//! A *complete* step is one for which all `nranks` files exist;
+//! [`CheckpointStore::latest_complete_step`] finds the newest one and
+//! restart resumes from there.
+
+use std::fs;
+use std::io::Write;
+use std::path::{Path, PathBuf};
+
+use specfem_solver::checkpoint::{CheckpointError, CheckpointSink, CheckpointState};
+
+/// How many checkpoints per rank survive pruning (≥ 2 so an interrupted
+/// checkpoint never destroys the last complete set).
+const KEEP_PER_RANK: usize = 2;
+
+/// A directory of per-rank checkpoint files.
+#[derive(Debug, Clone)]
+pub struct CheckpointStore {
+    dir: PathBuf,
+}
+
+fn file_name(step: usize, rank: usize) -> String {
+    format!("step{step:09}_rank{rank:06}.ckpt")
+}
+
+/// Parse `step{step:09}_rank{rank:06}.ckpt` back into `(step, rank)`.
+fn parse_name(name: &str) -> Option<(usize, usize)> {
+    let rest = name.strip_prefix("step")?.strip_suffix(".ckpt")?;
+    let (step, rank) = rest.split_once("_rank")?;
+    Some((step.parse().ok()?, rank.parse().ok()?))
+}
+
+fn io_err(context: &str, e: std::io::Error) -> CheckpointError {
+    CheckpointError(format!("{context}: {e}"))
+}
+
+impl CheckpointStore {
+    /// Open (creating if needed) a checkpoint directory.
+    pub fn new(dir: impl Into<PathBuf>) -> Result<Self, CheckpointError> {
+        let dir = dir.into();
+        fs::create_dir_all(&dir).map_err(|e| io_err("create checkpoint dir", e))?;
+        Ok(Self { dir })
+    }
+
+    /// The directory backing this store.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// A [`CheckpointSink`] one rank writes through.
+    pub fn sink(&self, rank: usize) -> Box<dyn CheckpointSink> {
+        Box::new(RankCheckpointWriter {
+            dir: self.dir.clone(),
+            rank,
+        })
+    }
+
+    /// Every `(step, rank)` pair currently on disk.
+    fn entries(&self) -> Result<Vec<(usize, usize)>, CheckpointError> {
+        let mut out = Vec::new();
+        for entry in fs::read_dir(&self.dir).map_err(|e| io_err("list checkpoint dir", e))? {
+            let entry = entry.map_err(|e| io_err("list checkpoint dir", e))?;
+            if let Some(pair) = entry.file_name().to_str().and_then(parse_name) {
+                out.push(pair);
+            }
+        }
+        Ok(out)
+    }
+
+    /// The newest step for which all `nranks` per-rank files exist
+    /// (`None` when no complete checkpoint is on disk).
+    pub fn latest_complete_step(&self, nranks: usize) -> Result<Option<usize>, CheckpointError> {
+        let mut per_step: std::collections::BTreeMap<usize, usize> =
+            std::collections::BTreeMap::new();
+        for (step, rank) in self.entries()? {
+            if rank < nranks {
+                *per_step.entry(step).or_insert(0) += 1;
+            }
+        }
+        Ok(per_step
+            .into_iter()
+            .rev()
+            .find(|&(_, count)| count == nranks)
+            .map(|(step, _)| step))
+    }
+
+    /// Load and validate one rank's checkpoint at `step` (CRC and format
+    /// checks happen in [`CheckpointState::decode`]).
+    pub fn load(&self, step: usize, rank: usize) -> Result<CheckpointState, CheckpointError> {
+        let path = self.dir.join(file_name(step, rank));
+        let bytes = fs::read(&path).map_err(|e| io_err(&format!("read {}", path.display()), e))?;
+        let state = CheckpointState::decode(&bytes)?;
+        if state.rank != rank || state.next_step != step {
+            return Err(CheckpointError(format!(
+                "checkpoint {} claims rank {} step {}, expected rank {rank} step {step}",
+                path.display(),
+                state.rank,
+                state.next_step
+            )));
+        }
+        Ok(state)
+    }
+
+    /// Restore closure for `try_run_distributed`: every rank resumes from
+    /// the newest *complete* step, or cold-starts when there is none.
+    pub fn restore_latest(
+        &self,
+        nranks: usize,
+    ) -> impl Fn(usize) -> Result<Option<CheckpointState>, CheckpointError> + Sync + '_ {
+        move |rank| match self.latest_complete_step(nranks)? {
+            Some(step) => Ok(Some(self.load(step, rank)?)),
+            None => Ok(None),
+        }
+    }
+}
+
+/// One rank's sink: atomic write (tmp + rename), then prune its own old
+/// checkpoints down to [`KEEP_PER_RANK`].
+struct RankCheckpointWriter {
+    dir: PathBuf,
+    rank: usize,
+}
+
+impl CheckpointSink for RankCheckpointWriter {
+    fn write(&mut self, state: &CheckpointState) -> Result<(), CheckpointError> {
+        let name = file_name(state.next_step, self.rank);
+        let tmp = self.dir.join(format!("{name}.tmp"));
+        let finals = self.dir.join(&name);
+        {
+            let mut f = fs::File::create(&tmp)
+                .map_err(|e| io_err(&format!("create {}", tmp.display()), e))?;
+            f.write_all(&state.encode())
+                .map_err(|e| io_err(&format!("write {}", tmp.display()), e))?;
+            f.sync_all()
+                .map_err(|e| io_err(&format!("sync {}", tmp.display()), e))?;
+        }
+        fs::rename(&tmp, &finals)
+            .map_err(|e| io_err(&format!("rename into {}", finals.display()), e))?;
+
+        // Prune this rank's older checkpoints, newest first.
+        let mut mine: Vec<usize> = fs::read_dir(&self.dir)
+            .map_err(|e| io_err("list checkpoint dir", e))?
+            .filter_map(|e| e.ok())
+            .filter_map(|e| e.file_name().to_str().and_then(parse_name))
+            .filter(|&(_, r)| r == self.rank)
+            .map(|(s, _)| s)
+            .collect();
+        mine.sort_unstable_by(|a, b| b.cmp(a));
+        for &old in mine.iter().skip(KEEP_PER_RANK) {
+            let _ = fs::remove_file(self.dir.join(file_name(old, self.rank)));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn state(rank: usize, nranks: usize, step: usize) -> CheckpointState {
+        CheckpointState {
+            rank,
+            nranks,
+            next_step: step,
+            dt: 0.25,
+            nglob: 2,
+            displ: vec![1.0; 6],
+            veloc: vec![2.0; 6],
+            accel: vec![3.0; 6],
+            chi: vec![4.0; 2],
+            chi_dot: vec![5.0; 2],
+            chi_ddot: vec![6.0; 2],
+            atten_memory: None,
+            records: vec![],
+            energy: vec![],
+            snapshots: vec![],
+            flops: 7,
+        }
+    }
+
+    fn tmp_store(tag: &str) -> CheckpointStore {
+        let dir = std::env::temp_dir().join(format!("specfem_ckpt_{tag}"));
+        let _ = fs::remove_dir_all(&dir);
+        CheckpointStore::new(dir).unwrap()
+    }
+
+    #[test]
+    fn write_load_roundtrip() {
+        let store = tmp_store("roundtrip");
+        store.sink(0).write(&state(0, 1, 10)).unwrap();
+        let back = store.load(10, 0).unwrap();
+        assert_eq!(back.next_step, 10);
+        assert_eq!(back.displ, vec![1.0; 6]);
+        let _ = fs::remove_dir_all(store.dir());
+    }
+
+    #[test]
+    fn latest_complete_requires_all_ranks() {
+        let store = tmp_store("complete");
+        // Step 10 complete on both ranks, step 20 only on rank 0.
+        store.sink(0).write(&state(0, 2, 10)).unwrap();
+        store.sink(1).write(&state(1, 2, 10)).unwrap();
+        store.sink(0).write(&state(0, 2, 20)).unwrap();
+        assert_eq!(store.latest_complete_step(2).unwrap(), Some(10));
+        store.sink(1).write(&state(1, 2, 20)).unwrap();
+        assert_eq!(store.latest_complete_step(2).unwrap(), Some(20));
+        let _ = fs::remove_dir_all(store.dir());
+    }
+
+    #[test]
+    fn pruning_keeps_two_newest_per_rank() {
+        let store = tmp_store("prune");
+        let mut sink = store.sink(0);
+        for step in [10, 20, 30, 40] {
+            sink.write(&state(0, 1, step)).unwrap();
+        }
+        let mut steps: Vec<usize> = store
+            .entries()
+            .unwrap()
+            .into_iter()
+            .map(|(s, _)| s)
+            .collect();
+        steps.sort_unstable();
+        assert_eq!(steps, vec![30, 40]);
+        let _ = fs::remove_dir_all(store.dir());
+    }
+
+    #[test]
+    fn corrupt_file_is_rejected() {
+        let store = tmp_store("corrupt");
+        store.sink(0).write(&state(0, 1, 10)).unwrap();
+        let path = store.dir().join(file_name(10, 0));
+        let mut bytes = fs::read(&path).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0xFF;
+        fs::write(&path, &bytes).unwrap();
+        assert!(store.load(10, 0).is_err());
+        let _ = fs::remove_dir_all(store.dir());
+    }
+
+    #[test]
+    fn restore_latest_cold_start_is_none() {
+        let store = tmp_store("cold");
+        let restore = store.restore_latest(2);
+        assert!(restore(0).unwrap().is_none());
+        let _ = fs::remove_dir_all(store.dir());
+    }
+}

@@ -13,7 +13,10 @@
 //! in-memory path (the paper's fix) is simply *not calling this crate* —
 //! `specfem-solver` takes the `LocalMesh` directly.
 
+pub mod checkpoint;
 pub mod seismograms;
+
+pub use checkpoint::CheckpointStore;
 
 use std::fs::{self, File};
 use std::io::{self, BufReader, BufWriter, Read, Write};
@@ -62,7 +65,11 @@ impl<W: Write> Write for CountingWriter<W> {
     }
 }
 
-fn write_file(dir: &Path, name: &str, body: impl FnOnce(&mut dyn Write) -> io::Result<()>) -> io::Result<u64> {
+fn write_file(
+    dir: &Path,
+    name: &str,
+    body: impl FnOnce(&mut dyn Write) -> io::Result<()>,
+) -> io::Result<u64> {
     let f = File::create(dir.join(name))?;
     let mut w = CountingWriter {
         inner: BufWriter::new(f),
@@ -167,23 +174,32 @@ pub fn write_local_mesh(dir: &Path, mesh: &LocalMesh) -> io::Result<IoReport> {
     let p = |name: &str| format!("proc{:06}_{name}.bin", mesh.rank);
     let mut bytes = 0u64;
     let mut files = 0usize;
-    let mut wf = |name: String, body: Box<dyn FnOnce(&mut dyn Write) -> io::Result<()> + '_>| -> io::Result<()> {
+    #[allow(clippy::type_complexity)]
+    let mut wf = |name: String,
+                  body: Box<dyn FnOnce(&mut dyn Write) -> io::Result<()> + '_>|
+     -> io::Result<()> {
         bytes += write_file(dir, &name, body)?;
         files += 1;
         Ok(())
     };
 
     // Header / sizes.
-    wf(p("header"), Box::new(|w| {
-        put_u64(w, mesh.rank as u64)?;
-        put_u64(w, mesh.nspec as u64)?;
-        put_u64(w, mesh.nglob as u64)?;
-        put_u64(w, mesh.basis.degree as u64)
-    }))?;
+    wf(
+        p("header"),
+        Box::new(|w| {
+            put_u64(w, mesh.rank as u64)?;
+            put_u64(w, mesh.nspec as u64)?;
+            put_u64(w, mesh.nglob as u64)?;
+            put_u64(w, mesh.basis.degree as u64)
+        }),
+    )?;
     // Connectivity and numbering.
     wf(p("ibool"), Box::new(|w| put_u32s(w, &mesh.ibool)))?;
     wf(p("global_ids"), Box::new(|w| put_u32s(w, &mesh.global_ids)))?;
-    wf(p("element_global"), Box::new(|w| put_u32s(w, &mesh.element_global)))?;
+    wf(
+        p("element_global"),
+        Box::new(|w| put_u32s(w, &mesh.element_global)),
+    )?;
     // Coordinates, one file per component (as the Fortran code did).
     for (c, name) in ["xstore", "ystore", "zstore"].iter().enumerate() {
         let comp: Vec<f64> = mesh.coords.iter().map(|p| p[c]).collect();
@@ -200,12 +216,22 @@ pub fn write_local_mesh(dir: &Path, mesh: &LocalMesh) -> io::Result<IoReport> {
     // Metric terms — the mesher precomputes and ships all ten arrays.
     {
         let n3 = mesh.points_per_element();
-        let mut metric: Vec<Vec<f32>> = vec![Vec::with_capacity(mesh.nspec * n3); 10];
+        let mut metric: Vec<Vec<f32>> = (0..10)
+            .map(|_| Vec::with_capacity(mesh.nspec * n3))
+            .collect();
         for e in 0..mesh.nspec {
             let g = mesh.element_geometry(e);
             for (slot, arr) in [
-                &g.xix, &g.xiy, &g.xiz, &g.etax, &g.etay, &g.etaz, &g.gammax, &g.gammay,
-                &g.gammaz, &g.jacobian,
+                &g.xix,
+                &g.xiy,
+                &g.xiz,
+                &g.etax,
+                &g.etay,
+                &g.etaz,
+                &g.gammax,
+                &g.gammay,
+                &g.gammaz,
+                &g.jacobian,
             ]
             .iter()
             .enumerate()
@@ -214,8 +240,16 @@ pub fn write_local_mesh(dir: &Path, mesh: &LocalMesh) -> io::Result<IoReport> {
             }
         }
         for (slot, name) in [
-            "xixstore", "xiystore", "xizstore", "etaxstore", "etaystore", "etazstore",
-            "gammaxstore", "gammaystore", "gammazstore", "jacobianstore",
+            "xixstore",
+            "xiystore",
+            "xizstore",
+            "etaxstore",
+            "etaystore",
+            "etazstore",
+            "gammaxstore",
+            "gammaystore",
+            "gammazstore",
+            "jacobianstore",
         ]
         .iter()
         .enumerate()
@@ -226,15 +260,19 @@ pub fn write_local_mesh(dir: &Path, mesh: &LocalMesh) -> io::Result<IoReport> {
     }
     // Halo (MPI interfaces): one file per neighbour, as the Fortran
     // `list_messages_*` files were.
-    wf(p("num_interfaces"), Box::new(|w| {
-        put_u64(w, mesh.halo.neighbors.len() as u64)
-    }))?;
+    wf(
+        p("num_interfaces"),
+        Box::new(|w| put_u64(w, mesh.halo.neighbors.len() as u64)),
+    )?;
     for (i, n) in mesh.halo.neighbors.iter().enumerate() {
         let name = format!("proc{:06}_interface{:03}.bin", mesh.rank, i);
-        wf(name, Box::new(move |w| {
-            put_u64(w, n.rank as u64)?;
-            put_u32s(w, &n.points)
-        }))?;
+        wf(
+            name,
+            Box::new(move |w| {
+                put_u64(w, n.rank as u64)?;
+                put_u32s(w, &n.points)
+            }),
+        )?;
     }
 
     Ok(IoReport {
@@ -287,8 +325,16 @@ pub fn read_local_mesh(dir: &Path, rank: usize) -> io::Result<(LocalMesh, IoRepo
     // Metric arrays are read (and counted) but recomputed by the solver in
     // this implementation; the legacy code consumed them directly.
     for name in [
-        "xixstore", "xiystore", "xizstore", "etaxstore", "etaystore", "etazstore",
-        "gammaxstore", "gammaystore", "gammazstore", "jacobianstore",
+        "xixstore",
+        "xiystore",
+        "xizstore",
+        "etaxstore",
+        "etaystore",
+        "etazstore",
+        "gammaxstore",
+        "gammaystore",
+        "gammazstore",
+        "jacobianstore",
     ] {
         let _ = get_f32s(&mut open(p(name))?)?;
     }
@@ -363,7 +409,11 @@ mod tests {
         assert_eq!(back.region, mesh.region);
         assert_eq!(back.halo, mesh.halo);
         assert_eq!(wrote.bytes, read.bytes, "write/read byte accounting");
-        assert!(wrote.files >= 25, "legacy path writes many files: {}", wrote.files);
+        assert!(
+            wrote.files >= 25,
+            "legacy path writes many files: {}",
+            wrote.files
+        );
         assert_eq!(wrote.files, read.files);
         let _ = fs::remove_dir_all(&dir);
     }

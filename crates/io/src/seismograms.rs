@@ -78,7 +78,12 @@ mod tests {
         };
         let paths = write_station(&dir, "GE", &rec).unwrap();
         assert_eq!(paths.len(), 3);
-        assert!(paths[0].file_name().unwrap().to_str().unwrap().contains("ANMO.GE.BXX"));
+        assert!(paths[0]
+            .file_name()
+            .unwrap()
+            .to_str()
+            .unwrap()
+            .contains("ANMO.GE.BXX"));
         let (t, v) = read_component(&paths[1]).unwrap();
         assert_eq!(t.len(), 50);
         assert!((t[4] - 1.0).abs() < 1e-12);

@@ -17,6 +17,7 @@ use crate::layout::{NGLL, NGLL2};
 /// Generic column-major-ish sgemm: `C ← A·B + βC` with runtime dimensions,
 /// `A` is `m×k` (row-major, lda), `B` is `k×n` (row-major, ldb), `C` `m×n`.
 #[inline(never)]
+#[allow(clippy::too_many_arguments)] // mirrors the BLAS sgemm signature
 pub fn sgemm(
     m: usize,
     n: usize,
@@ -75,7 +76,18 @@ pub fn cutplane_derivatives(
                 pack[l * NGLL + j] = u[(k * NGLL + j) * NGLL + l];
             }
         }
-        SGEMM(NGLL, NGLL, NGLL, &hf, NGLL, &pack, NGLL, 0.0, &mut packed_out, NGLL);
+        SGEMM(
+            NGLL,
+            NGLL,
+            NGLL,
+            &hf,
+            NGLL,
+            &pack,
+            NGLL,
+            0.0,
+            &mut packed_out,
+            NGLL,
+        );
         // unpack: t1(i,j,k) = out(i, j)
         for i in 0..NGLL {
             for j in 0..NGLL {
@@ -99,7 +111,18 @@ pub fn cutplane_derivatives(
                 pack[i * NGLL + l] = u[(k * NGLL + l) * NGLL + i];
             }
         }
-        SGEMM(NGLL, NGLL, NGLL, &pack, NGLL, &ht, NGLL, 0.0, &mut packed_out, NGLL);
+        SGEMM(
+            NGLL,
+            NGLL,
+            NGLL,
+            &pack,
+            NGLL,
+            &ht,
+            NGLL,
+            0.0,
+            &mut packed_out,
+            NGLL,
+        );
         for i in 0..NGLL {
             for j in 0..NGLL {
                 t2[(k * NGLL + j) * NGLL + i] = packed_out[i * NGLL + j];
@@ -122,7 +145,18 @@ pub fn cutplane_derivatives(
                 hkt[l * NGLL + kx] = h[kx][l];
             }
         }
-        SGEMM(NGLL, NGLL, NGLL, &pack, NGLL, &hkt, NGLL, 0.0, &mut packed_out, NGLL);
+        SGEMM(
+            NGLL,
+            NGLL,
+            NGLL,
+            &pack,
+            NGLL,
+            &hkt,
+            NGLL,
+            0.0,
+            &mut packed_out,
+            NGLL,
+        );
         for i in 0..NGLL {
             for kx in 0..NGLL {
                 t3[(kx * NGLL + j) * NGLL + i] = packed_out[i * NGLL + kx];

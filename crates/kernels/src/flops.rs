@@ -77,6 +77,11 @@ impl FlopCounter {
         self.total
     }
 
+    /// Overwrite the running total (checkpoint restore).
+    pub fn set_total(&mut self, total: u64) {
+        self.total = total;
+    }
+
     /// Sustained flop rate over `seconds`.
     pub fn rate(&self, seconds: f64) -> f64 {
         self.total as f64 / seconds

@@ -18,6 +18,9 @@
 //! The [`flops`] module is the PSiNSlight analog: analytic flop counts per
 //! element for sustained-FLOPS reporting.
 
+// Numeric kernels index several arrays with one loop variable by design.
+#![allow(clippy::needless_range_loop)]
+
 pub mod blas_style;
 pub mod flops;
 pub mod layout;
@@ -250,7 +253,14 @@ mod tests {
         let mut t1 = vec![0.0f32; NGLL3_PADDED];
         let mut t2 = vec![0.0f32; NGLL3_PADDED];
         let mut t3 = vec![0.0f32; NGLL3_PADDED];
-        cutplane_derivatives(KernelVariant::Reference, &u, &ops, &mut t1, &mut t2, &mut t3);
+        cutplane_derivatives(
+            KernelVariant::Reference,
+            &u,
+            &ops,
+            &mut t1,
+            &mut t2,
+            &mut t3,
+        );
         let w = &basis.weights;
         let mut lhs = 0.0f64;
         for k in 0..NGLL {

@@ -156,7 +156,11 @@ mod tests {
         for unit in 0..NGLL3 {
             let mut u = vec![0.0f32; NGLL3_PADDED];
             u[unit] = 1.0;
-            let mut r = (vec![0.0f32; NGLL3_PADDED], vec![0.0f32; NGLL3_PADDED], vec![0.0f32; NGLL3_PADDED]);
+            let mut r = (
+                vec![0.0f32; NGLL3_PADDED],
+                vec![0.0f32; NGLL3_PADDED],
+                vec![0.0f32; NGLL3_PADDED],
+            );
             let mut s = r.clone();
             reference::cutplane_derivatives(&u, &h, &mut r.0, &mut r.1, &mut r.2);
             cutplane_derivatives(&u, &h, &mut s.0, &mut s.1, &mut s.2);

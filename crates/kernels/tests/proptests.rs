@@ -3,9 +3,7 @@
 
 use proptest::prelude::*;
 use specfem_gll::GllBasis;
-use specfem_kernels::{
-    blas_style, reference, simd, DerivOps, NGLL3, NGLL3_PADDED,
-};
+use specfem_kernels::{blas_style, reference, simd, DerivOps, NGLL3, NGLL3_PADDED};
 
 fn padded(vals: &[f32]) -> Vec<f32> {
     let mut v = vec![0.0f32; NGLL3_PADDED];

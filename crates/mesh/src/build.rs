@@ -23,17 +23,9 @@ use specfem_model::{EarthModel, ICB_RADIUS_M};
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ElementHome {
     /// Shell element: chunk id and lateral tile indices at the surface grid.
-    Shell {
-        chunk: u8,
-        ix: u16,
-        iy: u16,
-    },
+    Shell { chunk: u8, ix: u16, iy: u16 },
     /// Central-cube element: lattice indices.
-    Cube {
-        i: u16,
-        j: u16,
-        k: u16,
-    },
+    Cube { i: u16, j: u16, k: u16 },
 }
 
 /// Timing and size report of one mesher run.
@@ -126,7 +118,12 @@ impl GlobalMesh {
             MeshMode::Global => (false, a),
             MeshMode::Regional { r_min } => (true, r_min),
         };
-        let plan = LayerPlan::new(model, radial_nex, r_base, params.honor_minor_discontinuities);
+        let plan = LayerPlan::new(
+            model,
+            radial_nex,
+            r_base,
+            params.honor_minor_discontinuities,
+        );
         let lattice = tan_lattice(nex);
         let np = basis.npoints();
         let n3 = np * np * np;
@@ -204,7 +201,11 @@ impl GlobalMesh {
         }
         let nspec = specs.len();
         let mut report = MesherReport {
-            passes: if params.legacy_two_pass_materials { 2 } else { 1 },
+            passes: if params.legacy_two_pass_materials {
+                2
+            } else {
+                1
+            },
             ..Default::default()
         };
         for s in &specs {
@@ -218,9 +219,8 @@ impl GlobalMesh {
         }
 
         // ---- geometry pass ----------------------------------------------
-        let gen_nodes = |spec: &ElementSpec| -> Vec<[f64; 3]> {
-            element_nodes(spec, &lattice, &frac, a, beta)
-        };
+        let gen_nodes =
+            |spec: &ElementSpec| -> Vec<[f64; 3]> { element_nodes(spec, &lattice, &frac, a, beta) };
         let t0 = Instant::now();
         let all_nodes: Vec<Vec<[f64; 3]>> = specs.par_iter().map(gen_nodes).collect();
         report.geometry_seconds = t0.elapsed().as_secs_f64();
@@ -308,9 +308,7 @@ impl GlobalMesh {
                 6 * params.nex_xi * params.nex_xi * plan.total_layers()
                     + params.nex_xi * params.nex_xi * params.nex_xi
             }
-            MeshMode::Regional { .. } => {
-                params.nex_xi * params.nex_xi * plan.total_layers()
-            }
+            MeshMode::Regional { .. } => params.nex_xi * params.nex_xi * plan.total_layers(),
         }
     }
 }
@@ -389,10 +387,10 @@ fn assign_materials(
     let mut mu = Vec::with_capacity(n);
     let mut qmu = Vec::with_capacity(n);
     let tiny = 1e-3; // metres
-    // Boundary points are pulled 1 cm *into* the shell before sampling:
-    // the model polynomials are continuous inside a region (error ~1e-9
-    // relative), and the recomputed radius of the scaled position can then
-    // never round across the discontinuity.
+                     // Boundary points are pulled 1 cm *into* the shell before sampling:
+                     // the model polynomials are continuous inside a region (error ~1e-9
+                     // relative), and the recomputed radius of the scaled position can then
+                     // never round across the discontinuity.
     let inset = 0.01;
     for p in nodes {
         let r = (p[0] * p[0] + p[1] * p[1] + p[2] * p[2]).sqrt();
@@ -536,9 +534,8 @@ mod tests {
             for k in 0..np {
                 for j in 0..np {
                     for i in 0..np {
-                        let w = mesh.basis.weights[i]
-                            * mesh.basis.weights[j]
-                            * mesh.basis.weights[k];
+                        let w =
+                            mesh.basis.weights[i] * mesh.basis.weights[j] * mesh.basis.weights[k];
                         vol += w * g.jacobian[(k * np + j) * np + i] as f64;
                     }
                 }

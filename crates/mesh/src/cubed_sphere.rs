@@ -19,18 +19,18 @@ pub fn tan_lattice(n: usize) -> Vec<f64> {
     assert!(n >= 1);
     let mut u: Vec<f64> = (0..=n)
         .map(|i| {
-            let xi = -std::f64::consts::FRAC_PI_4
-                + std::f64::consts::FRAC_PI_2 * i as f64 / n as f64;
+            let xi =
+                -std::f64::consts::FRAC_PI_4 + std::f64::consts::FRAC_PI_2 * i as f64 / n as f64;
             xi.tan()
         })
         .collect();
     u[0] = -1.0;
     u[n] = 1.0;
-    if n % 2 == 0 {
+    if n.is_multiple_of(2) {
         u[n / 2] = 0.0;
     }
     // Enforce exact antisymmetry.
-    for i in 0..(n + 1) / 2 {
+    for i in 0..n.div_ceil(2) {
         let s = 0.5 * (u[i] - u[n - i]);
         u[i] = s;
         u[n - i] = -s;
@@ -48,12 +48,12 @@ pub fn tan_lattice(n: usize) -> Vec<f64> {
 #[inline]
 pub fn chunk_face_vector(chunk: usize, u: f64, v: f64) -> [f64; 3] {
     match chunk {
-        0 => [u, v, 1.0],   // +Z
-        1 => [v, u, -1.0],  // -Z
-        2 => [v, 1.0, u],   // +Y
-        3 => [u, -1.0, v],  // -Y
-        4 => [1.0, u, v],   // +X
-        5 => [-1.0, v, u],  // -X
+        0 => [u, v, 1.0],  // +Z
+        1 => [v, u, -1.0], // -Z
+        2 => [v, 1.0, u],  // +Y
+        3 => [u, -1.0, v], // -Y
+        4 => [1.0, u, v],  // +X
+        5 => [-1.0, v, u], // -X
         _ => panic!("chunk index {chunk} out of range 0..6"),
     }
 }

@@ -78,9 +78,7 @@ impl ElementGeometry {
                         - dxi[1] * (deta[0] * dgam[2] - deta[2] * dgam[0])
                         + dxi[2] * (deta[0] * dgam[1] - deta[1] * dgam[0]);
                     if det <= 0.0 {
-                        return Err(format!(
-                            "non-positive Jacobian {det} at GLL ({i},{j},{k})"
-                        ));
+                        return Err(format!("non-positive Jacobian {det} at GLL ({i},{j},{k})"));
                     }
                     let inv = 1.0 / det;
                     // Inverse of the 3×3 [dxi deta dgam] matrix (rows are

@@ -29,7 +29,9 @@ impl Shell {
     /// Radii of the layer boundaries, ascending, `n_layers + 1` values.
     pub fn layer_radii(&self) -> Vec<f64> {
         (0..=self.n_layers)
-            .map(|i| crate::cubed_sphere::lerp(self.r_in, self.r_out, i as f64 / self.n_layers as f64))
+            .map(|i| {
+                crate::cubed_sphere::lerp(self.r_in, self.r_out, i as f64 / self.n_layers as f64)
+            })
             .collect()
     }
 }
@@ -147,11 +149,7 @@ mod tests {
         let fine = LayerPlan::new(&prem, 8, 550_000.0, true);
         assert!(fine.shells.len() > coarse.shells.len());
         // e.g. the 400-km discontinuity only in the fine plan
-        let has_400 = |p: &LayerPlan| {
-            p.shells
-                .iter()
-                .any(|s| (s.r_out - 5_971_000.0).abs() < 1.0)
-        };
+        let has_400 = |p: &LayerPlan| p.shells.iter().any(|s| (s.r_out - 5_971_000.0).abs() < 1.0);
         assert!(!has_400(&coarse));
         assert!(has_400(&fine));
     }

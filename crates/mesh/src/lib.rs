@@ -122,7 +122,7 @@ impl MeshParams {
     pub fn new(nex_xi: usize, nproc_xi: usize) -> Self {
         assert!(nex_xi >= 2, "NEX_XI must be at least 2");
         assert!(
-            nex_xi % nproc_xi == 0,
+            nex_xi.is_multiple_of(nproc_xi),
             "NEX_XI ({nex_xi}) must be divisible by NPROC_XI ({nproc_xi})"
         );
         Self {

@@ -112,11 +112,7 @@ pub enum ElementOrder {
 /// Compute the permutation `perm` such that processing elements in the
 /// order `perm[0], perm[1], …` realizes `order`. `adjacency(e)` must yield
 /// the neighbours of element `e` (elements sharing at least one point).
-pub fn element_permutation(
-    order: ElementOrder,
-    nspec: usize,
-    adjacency: &[Vec<u32>],
-) -> Vec<u32> {
+pub fn element_permutation(order: ElementOrder, nspec: usize, adjacency: &[Vec<u32>]) -> Vec<u32> {
     match order {
         ElementOrder::Natural => (0..nspec as u32).collect(),
         ElementOrder::Random(seed) => {

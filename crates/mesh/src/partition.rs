@@ -357,10 +357,7 @@ mod tests {
         let mesh = mesh_with(4, 2, CubeAssignment::TwoRanks);
         let part = Partition::compute(&mesh);
         let l0 = part.extract(&mesh, 0);
-        assert!(
-            !l0.halo.neighbors.is_empty(),
-            "rank 0 must have neighbours"
-        );
+        assert!(!l0.halo.neighbors.is_empty(), "rank 0 must have neighbours");
         let n3 = mesh.points_per_element();
         for n in &l0.halo.neighbors {
             for &p in n.points.iter().take(5) {

@@ -70,7 +70,7 @@ pub fn solver_bytes_for(nspec: usize, nglob: usize, n3: usize) -> u64 {
 pub fn estimate_global_solver_bytes(nex: usize, radial_layers: usize) -> u64 {
     let n3 = 125;
     let nspec = 6 * nex * nex * radial_layers + nex * nex * nex / 64; // coarse cube
-    // Conforming degree-4 meshes have ~0.55 global points per local point.
+                                                                      // Conforming degree-4 meshes have ~0.55 global points per local point.
     let nglob = (nspec as f64 * n3 as f64 * 0.55) as usize;
     solver_bytes_for(nspec, nglob, n3)
 }

@@ -69,9 +69,8 @@ impl StationLocation {
 fn nearest_point(mesh: &LocalMesh, target: [f64; 3]) -> (usize, f64) {
     let mut best = (0usize, f64::INFINITY);
     for (i, p) in mesh.coords.iter().enumerate() {
-        let d2 = (p[0] - target[0]).powi(2)
-            + (p[1] - target[1]).powi(2)
-            + (p[2] - target[2]).powi(2);
+        let d2 =
+            (p[0] - target[0]).powi(2) + (p[1] - target[1]).powi(2) + (p[2] - target[2]).powi(2);
         if d2 < best.1 {
             best = (i, d2);
         }
@@ -164,10 +163,9 @@ pub fn locate_point_exact(mesh: &LocalMesh, target: [f64; 3]) -> StationLocation
             .unwrap();
         let (i, j, k) = (l % np, (l / np) % np, l / (np * np));
         let q = mesh.coords[pid];
-        let err = ((q[0] - target[0]).powi(2)
-            + (q[1] - target[1]).powi(2)
-            + (q[2] - target[2]).powi(2))
-        .sqrt();
+        let err =
+            ((q[0] - target[0]).powi(2) + (q[1] - target[1]).powi(2) + (q[2] - target[2]).powi(2))
+                .sqrt();
         StationLocation {
             element: e,
             ref_coords: [
@@ -255,10 +253,9 @@ fn invert_mapping(
             let comp: Vec<f64> = elem_nodes.iter().map(|p| p[c]).collect();
             x[c] = ev.interpolate(&comp);
         }
-        let err = ((target[0] - x[0]).powi(2)
-            + (target[1] - x[1]).powi(2)
-            + (target[2] - x[2]).powi(2))
-        .sqrt();
+        let err =
+            ((target[0] - x[0]).powi(2) + (target[1] - x[1]).powi(2) + (target[2] - x[2]).powi(2))
+                .sqrt();
         Some((xi, err))
     } else {
         None

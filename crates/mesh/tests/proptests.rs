@@ -2,8 +2,7 @@
 
 use proptest::prelude::*;
 use specfem_mesh::numbering::{
-    element_permutation, graph_bandwidth, renumber_points_first_touch, ElementOrder,
-    PointRegistry,
+    element_permutation, graph_bandwidth, renumber_points_first_touch, ElementOrder, PointRegistry,
 };
 
 /// A random undirected graph as adjacency lists.

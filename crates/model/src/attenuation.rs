@@ -60,8 +60,7 @@ impl AttenuationFit {
         let mut tau_sigma = [0.0; N_SLS];
         for (j, t) in tau_sigma.iter_mut().enumerate() {
             // log-spaced relaxation frequencies across the band
-            let f = spec.f_min
-                * (spec.f_max / spec.f_min).powf(j as f64 / (N_SLS as f64 - 1.0));
+            let f = spec.f_min * (spec.f_max / spec.f_min).powf(j as f64 / (N_SLS as f64 - 1.0));
             *t = 1.0 / (2.0 * std::f64::consts::PI * f);
         }
         // Sample the band at M log-spaced frequencies; rows of the design
@@ -70,8 +69,7 @@ impl AttenuationFit {
         let mut a = vec![0.0; M * N_SLS];
         let mut b = vec![0.0; M];
         for r in 0..M {
-            let f = spec.f_min
-                * (spec.f_max / spec.f_min).powf(r as f64 / (M as f64 - 1.0));
+            let f = spec.f_min * (spec.f_max / spec.f_min).powf(r as f64 / (M as f64 - 1.0));
             let w = 2.0 * std::f64::consts::PI * f;
             for j in 0..N_SLS {
                 let wt = w * tau_sigma[j];

@@ -18,6 +18,9 @@
 //!   the usual source-time functions, including a deep Argentina-like event
 //!   matching the science runs of §6.
 
+// Numeric kernels index several arrays with one loop variable by design.
+#![allow(clippy::needless_range_loop)]
+
 pub mod attenuation;
 pub mod catalogue;
 pub mod gravity;

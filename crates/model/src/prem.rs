@@ -318,12 +318,7 @@ impl EarthModel for Prem {
     }
 
     fn discontinuities(&self) -> Vec<f64> {
-        let mut d: Vec<f64> = self
-            .regions
-            .iter()
-            .skip(1)
-            .map(|r| r.r_in)
-            .collect();
+        let mut d: Vec<f64> = self.regions.iter().skip(1).map(|r| r.r_in).collect();
         if self.suppress_ocean {
             d.retain(|&r| r != OCEAN_FLOOR_M);
         }
@@ -467,7 +462,11 @@ mod tests {
             let eps = 1.0; // 1 m
             let a = prem.material_at(mid - eps, false);
             let b = prem.material_at(mid + eps, false);
-            assert!((a.vp - b.vp).abs() < 1.0, "vp discontinuous inside {}", reg.name);
+            assert!(
+                (a.vp - b.vp).abs() < 1.0,
+                "vp discontinuous inside {}",
+                reg.name
+            );
         }
     }
 }

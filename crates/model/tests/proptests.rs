@@ -1,9 +1,7 @@
 //! Property-based tests of the Earth-model crate.
 
 use proptest::prelude::*;
-use specfem_model::{
-    AttenuationFit, AttenuationSpec, EarthModel, Prem, EARTH_RADIUS_M,
-};
+use specfem_model::{AttenuationFit, AttenuationSpec, EarthModel, Prem, EARTH_RADIUS_M};
 
 proptest! {
     /// PREM returns finite, positive density and non-negative velocities

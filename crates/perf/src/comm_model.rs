@@ -60,8 +60,7 @@ pub fn analytic_total_comm_seconds(
     let neighbors = 4.0; // interior slices: 4 lateral neighbours
     let bytes_per_msg = edge_points_per_rank * 4 * 3; // f32 × 3 components
     let msgs_per_step = neighbors * 2.0; // solid + fluid passes
-    let per_rank_per_step =
-        msgs_per_step * profile.message_time(bytes_per_msg);
+    let per_rank_per_step = msgs_per_step * profile.message_time(bytes_per_msg);
     ranks as f64 * per_rank_per_step * nsteps as f64
 }
 
@@ -108,12 +107,11 @@ mod tests {
         // where comm stays a minority share (same qualitative conclusion).
         let profile = NetworkProfile::ranger_infiniband();
         // A full science run is ~100k steps at this resolution.
-        let per_core = analytic_total_comm_seconds(4848, 101, 100_000, 100, &profile)
-            / (6.0 * 101.0 * 101.0);
+        let per_core =
+            analytic_total_comm_seconds(4848, 101, 100_000, 100, &profile) / (6.0 * 101.0 * 101.0);
         // Computation per core: elements/rank × flops/element × steps /
         // sustained rate ≈ (6·4848²·100/61206)·37250·1e5 / 0.9e9 ≈ 9.5e5 s.
-        let compute_per_core = (6.0 * 4848.0f64.powi(2) * 100.0 / 61206.0) * 37_250.0 * 1e5
-            / 0.9e9;
+        let compute_per_core = (6.0 * 4848.0f64.powi(2) * 100.0 / 61206.0) * 37_250.0 * 1e5 / 0.9e9;
         let frac = per_core / (per_core + compute_per_core);
         // The pure latency/bandwidth model is a lower bound — IPM's 4.7 %
         // also counts synchronization waits — but the qualitative

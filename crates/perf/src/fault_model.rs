@@ -1,0 +1,219 @@
+//! Checkpoint-interval modeling for fault-tolerant production runs.
+//!
+//! The paper's 62K-core target is exactly the regime where the system-wide
+//! mean time between failures drops below the wall time of one
+//! high-frequency run, so a production campaign must checkpoint. This
+//! module applies the classic Young (1974) first-order optimum
+//! `τ ≈ sqrt(2·δ·M)` and Daly's (2006) higher-order refinement to the four
+//! §5 machines, using each machine's node count, a per-node MTBF, and the
+//! checkpoint volume the solver state actually occupies.
+
+use crate::machines::MachineProfile;
+
+/// Fault-tolerance parameters of one machine at one scale.
+#[derive(Debug, Clone, Copy)]
+pub struct FaultToleranceModel {
+    /// The machine.
+    pub machine: MachineProfile,
+    /// Cores used by the run.
+    pub cores: usize,
+    /// Cores per node (failure unit) on this machine.
+    pub cores_per_node: usize,
+    /// Per-node mean time between failures (hours).
+    pub node_mtbf_hours: f64,
+    /// Checkpoint volume per core (GB) — the solver's evolving state
+    /// (wavefields, attenuation memory, seismogram buffers).
+    pub checkpoint_gb_per_core: f64,
+    /// Aggregate parallel-filesystem bandwidth (GB/s).
+    pub io_bandwidth_gbs: f64,
+    /// Fixed restart cost (s): relaunch, remesh, read the checkpoint back.
+    pub restart_overhead_s: f64,
+}
+
+/// One machine's modeled answer.
+#[derive(Debug, Clone)]
+pub struct FtPrediction {
+    /// Machine name.
+    pub machine: &'static str,
+    /// Cores modeled.
+    pub cores: usize,
+    /// System-wide MTBF at that scale (s).
+    pub system_mtbf_s: f64,
+    /// Seconds to write one checkpoint (δ).
+    pub checkpoint_write_s: f64,
+    /// Young's optimal interval `sqrt(2·δ·M)` (s).
+    pub young_interval_s: f64,
+    /// Daly's higher-order optimal interval (s).
+    pub daly_interval_s: f64,
+    /// Expected fraction of wall time lost to checkpointing + rework +
+    /// restarts at the Daly interval.
+    pub waste_fraction: f64,
+}
+
+impl FaultToleranceModel {
+    /// Canonical 62K-core model for one of the §5 machines: node
+    /// architecture from the published specs, a 25-year per-node MTBF (the
+    /// usual planning figure for commodity Opteron nodes of that era —
+    /// which still means a node dies every few hours somewhere in a
+    /// 62K-core partition), and the solver's evolving state as checkpoint
+    /// volume.
+    pub fn at_62k(machine: MachineProfile) -> Self {
+        let cores_per_node = match machine.name {
+            n if n.starts_with("Ranger") => 16,  // 4-socket quad-core blades
+            n if n.starts_with("Franklin") => 2, // XT4 dual-core nodes
+            _ => 4,                              // XT4 quad-core nodes
+        };
+        // Scratch-filesystem aggregate bandwidth of the era (GB/s).
+        let io_bandwidth_gbs = match machine.name {
+            n if n.starts_with("Ranger") => 50.0,   // Lustre /scratch
+            n if n.starts_with("Franklin") => 17.0, // Lustre, XT4
+            n if n.starts_with("Kraken") => 30.0,
+            _ => 42.0, // Jaguar's Spider precursor
+        };
+        Self {
+            machine,
+            cores: 62_000,
+            cores_per_node,
+            node_mtbf_hours: 25.0 * 8760.0,
+            // The evolving state is a fraction of the ~1.85 GB/core mesh +
+            // fields footprint: 9 wavefield components + 5×3 attenuation
+            // memory variables in f32 ≈ 0.4 GB at production resolution.
+            checkpoint_gb_per_core: 0.4,
+            io_bandwidth_gbs,
+            restart_overhead_s: 300.0,
+        }
+    }
+
+    /// System-wide MTBF (s): node MTBF divided by the node count in use.
+    pub fn system_mtbf_s(&self) -> f64 {
+        let nodes = (self.cores as f64 / self.cores_per_node as f64).ceil();
+        self.node_mtbf_hours * 3600.0 / nodes
+    }
+
+    /// Seconds to write one full checkpoint (δ): total volume over the
+    /// aggregate filesystem bandwidth.
+    pub fn checkpoint_write_s(&self) -> f64 {
+        self.cores as f64 * self.checkpoint_gb_per_core / self.io_bandwidth_gbs
+    }
+
+    /// Young's first-order optimal interval `τ = sqrt(2·δ·M)`.
+    pub fn young_interval_s(&self) -> f64 {
+        (2.0 * self.checkpoint_write_s() * self.system_mtbf_s()).sqrt()
+    }
+
+    /// Daly's higher-order optimum, valid when δ < 2M:
+    /// `τ = sqrt(2·δ·M)·[1 + ⅓·sqrt(δ/(2M)) + (1/9)·(δ/(2M))] − δ`.
+    pub fn daly_interval_s(&self) -> f64 {
+        let delta = self.checkpoint_write_s();
+        let m = self.system_mtbf_s();
+        if delta >= 2.0 * m {
+            return m; // degenerate regime: checkpoint as fast as you fail
+        }
+        let x = delta / (2.0 * m);
+        (2.0 * delta * m).sqrt() * (1.0 + x.sqrt() / 3.0 + x / 9.0) - delta
+    }
+
+    /// Expected fraction of wall time wasted when checkpointing every
+    /// `tau` seconds: checkpoint overhead `δ/τ`, plus the expected rework
+    /// of half an interval (and the restart cost) per failure.
+    pub fn waste_fraction(&self, tau: f64) -> f64 {
+        let delta = self.checkpoint_write_s();
+        let m = self.system_mtbf_s();
+        delta / tau + (0.5 * (tau + delta) + self.restart_overhead_s) / m
+    }
+
+    /// Package the model's answers.
+    pub fn predict(&self) -> FtPrediction {
+        let daly = self.daly_interval_s();
+        FtPrediction {
+            machine: self.machine.name,
+            cores: self.cores,
+            system_mtbf_s: self.system_mtbf_s(),
+            checkpoint_write_s: self.checkpoint_write_s(),
+            young_interval_s: self.young_interval_s(),
+            daly_interval_s: daly,
+            waste_fraction: self.waste_fraction(daly),
+        }
+    }
+}
+
+/// The four §5 machines, each modeled at the paper's 62K-core scale.
+pub fn survey_62k() -> Vec<FtPrediction> {
+    crate::machines::ALL_MACHINES
+        .iter()
+        .map(|m| FaultToleranceModel::at_62k(m()).predict())
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn young_formula_is_exact() {
+        let mut m = FaultToleranceModel::at_62k(MachineProfile::ranger());
+        // Force round numbers: δ = 50 s, M = 10 000 s → τ = 1000 s.
+        // 62 400 cores / 16 per node = exactly 3 900 nodes (no ceil slack).
+        m.cores = 62_400;
+        m.checkpoint_gb_per_core = 50.0 * m.io_bandwidth_gbs / m.cores as f64;
+        m.node_mtbf_hours = 10_000.0 * (m.cores as f64 / m.cores_per_node as f64) / 3600.0;
+        assert!((m.checkpoint_write_s() - 50.0).abs() < 1e-9);
+        assert!((m.system_mtbf_s() - 10_000.0).abs() < 1e-6);
+        assert!((m.young_interval_s() - 1000.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn daly_interval_is_near_youngs_when_delta_is_small() {
+        let m = FaultToleranceModel::at_62k(MachineProfile::jaguar());
+        let young = m.young_interval_s();
+        let daly = m.daly_interval_s();
+        let rel = (daly - young).abs() / young;
+        assert!(rel < 0.25, "daly {daly} vs young {young}");
+    }
+
+    #[test]
+    fn daly_interval_is_close_to_the_waste_minimum() {
+        // Scan τ and check nothing beats the Daly interval by much.
+        let m = FaultToleranceModel::at_62k(MachineProfile::franklin());
+        let daly = m.daly_interval_s();
+        let at_daly = m.waste_fraction(daly);
+        let mut best = f64::INFINITY;
+        let mut tau = daly / 10.0;
+        while tau < daly * 10.0 {
+            best = best.min(m.waste_fraction(tau));
+            tau *= 1.01;
+        }
+        assert!(
+            at_daly <= best * 1.02,
+            "daly waste {at_daly} vs scanned minimum {best}"
+        );
+    }
+
+    #[test]
+    fn more_nodes_mean_shorter_intervals() {
+        // Franklin's 2-core nodes put ~31K failure units under a 62K-core
+        // run — far more than Ranger's 16-core blades — so its system MTBF
+        // and optimal interval must both be shorter.
+        let franklin = FaultToleranceModel::at_62k(MachineProfile::franklin());
+        let ranger = FaultToleranceModel::at_62k(MachineProfile::ranger());
+        assert!(franklin.system_mtbf_s() < ranger.system_mtbf_s());
+        assert!(franklin.young_interval_s() < ranger.young_interval_s());
+    }
+
+    #[test]
+    fn survey_is_physical() {
+        let rows = survey_62k();
+        assert_eq!(rows.len(), 4);
+        for r in &rows {
+            assert!(r.system_mtbf_s > 0.0, "{}", r.machine);
+            assert!(r.checkpoint_write_s > 0.0);
+            assert!(r.young_interval_s > r.checkpoint_write_s);
+            assert!(
+                r.waste_fraction > 0.0 && r.waste_fraction < 0.5,
+                "{}: waste {}",
+                r.machine,
+                r.waste_fraction
+            );
+        }
+    }
+}

@@ -1,12 +1,10 @@
 //! The large-run predictor that regenerates the paper's §6 results table:
 //! sustained Tflops and shortest seismic period for each reported run.
 
-use serde::Serialize;
-
 use crate::machines::MachineProfile;
 
 /// One large-run configuration and its model prediction.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct RunPrediction {
     /// Machine name.
     pub machine: &'static str,
@@ -24,6 +22,34 @@ pub struct RunPrediction {
     pub memory_feasible: bool,
     /// The paper's reported sustained Tflops, for comparison.
     pub paper_tflops: Option<f64>,
+}
+
+impl RunPrediction {
+    /// Hand-rolled JSON (serde is unavailable offline; the schema is flat).
+    pub fn to_json(&self) -> String {
+        let opt = |v: Option<f64>| v.map_or("null".to_string(), |x| format!("{x}"));
+        format!(
+            concat!(
+                "{{\"machine\":{:?},\"cores\":{},\"nex\":{},\"period_s\":{},",
+                "\"sustained_tflops\":{},\"pct_rmax\":{},\"memory_feasible\":{},",
+                "\"paper_tflops\":{}}}"
+            ),
+            self.machine,
+            self.cores,
+            self.nex,
+            self.period_s,
+            self.sustained_tflops,
+            opt(self.pct_rmax),
+            self.memory_feasible,
+            opt(self.paper_tflops),
+        )
+    }
+}
+
+/// JSON array of predictions (machine-readable table output).
+pub fn runs_to_json(runs: &[RunPrediction]) -> String {
+    let body: Vec<String> = runs.iter().map(RunPrediction::to_json).collect();
+    format!("[{}]", body.join(","))
 }
 
 /// Predict one run: `cores` of `machine` at resolution `nex`.
@@ -101,12 +127,20 @@ mod tests {
             .iter()
             .max_by(|a, b| a.sustained_tflops.partial_cmp(&b.sustained_tflops).unwrap())
             .unwrap();
-        assert!(flops_winner.machine.contains("Jaguar"), "{}", flops_winner.machine);
+        assert!(
+            flops_winner.machine.contains("Jaguar"),
+            "{}",
+            flops_winner.machine
+        );
         let res_winner = reported
             .iter()
             .min_by(|a, b| a.period_s.partial_cmp(&b.period_s).unwrap())
             .unwrap();
-        assert!(res_winner.machine.contains("Ranger"), "{}", res_winner.machine);
+        assert!(
+            res_winner.machine.contains("Ranger"),
+            "{}",
+            res_winner.machine
+        );
     }
 
     #[test]

@@ -5,13 +5,15 @@
 
 pub mod comm_model;
 pub mod disk_model;
+pub mod fault_model;
 pub mod flops_model;
 pub mod machines;
 pub mod runtime_model;
 
 pub use comm_model::CommTimeModel;
 pub use disk_model::DiskSpaceModel;
-pub use flops_model::{paper_runs as paper_runs_table, predict_run, RunPrediction};
+pub use fault_model::{survey_62k, FaultToleranceModel, FtPrediction};
+pub use flops_model::{paper_runs as paper_runs_table, predict_run, runs_to_json, RunPrediction};
 pub use machines::{MachineProfile, ALL_MACHINES};
 pub use runtime_model::RuntimeModel;
 

@@ -1,10 +1,8 @@
 //! Profiles of the four HPC systems of paper §5, with the published
 //! specifications.
 
-use serde::Serialize;
-
 /// An HPC system profile.
-#[derive(Debug, Clone, Copy, Serialize)]
+#[derive(Debug, Clone, Copy)]
 pub struct MachineProfile {
     /// System name.
     pub name: &'static str,

@@ -117,26 +117,11 @@ impl AbsorbingSurface {
                         for m in 0..np {
                             let (pa, h1, pb, h2) = match fixed {
                                 // ξ fixed → tangents ∂x/∂η and ∂x/∂γ.
-                                0 => (
-                                    at(pi, m, pk),
-                                    h[pj * np + m],
-                                    at(pi, pj, m),
-                                    h[pk * np + m],
-                                ),
+                                0 => (at(pi, m, pk), h[pj * np + m], at(pi, pj, m), h[pk * np + m]),
                                 // η fixed → ∂x/∂ξ and ∂x/∂γ.
-                                1 => (
-                                    at(m, pj, pk),
-                                    h[pi * np + m],
-                                    at(pi, pj, m),
-                                    h[pk * np + m],
-                                ),
+                                1 => (at(m, pj, pk), h[pi * np + m], at(pi, pj, m), h[pk * np + m]),
                                 // γ fixed → ∂x/∂ξ and ∂x/∂η.
-                                _ => (
-                                    at(m, pj, pk),
-                                    h[pi * np + m],
-                                    at(pi, m, pk),
-                                    h[pj * np + m],
-                                ),
+                                _ => (at(m, pj, pk), h[pi * np + m], at(pi, m, pk), h[pj * np + m]),
                             };
                             for c in 0..3 {
                                 t1[c] += h1 * pa[c];

@@ -58,7 +58,14 @@ fn element_deviatoric_strain(
     for c in 0..3 {
         let (t0, rest) = t[c].split_at_mut(1);
         let (t1, t2) = rest.split_at_mut(1);
-        cutplane_derivatives(KernelVariant::Simd, &u[c], ops, &mut t0[0], &mut t1[0], &mut t2[0]);
+        cutplane_derivatives(
+            KernelVariant::Simd,
+            &u[c],
+            ops,
+            &mut t0[0],
+            &mut t1[0],
+            &mut t2[0],
+        );
     }
     let base = e * n3;
     for l in 0..NGLL3 {

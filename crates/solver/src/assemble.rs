@@ -1,7 +1,7 @@
 //! Solver setup: precomputed metric arrays, assembled (diagonal) mass
 //! matrices, and the global wave-field storage.
 
-use specfem_comm::{assemble_halo, tags, Communicator};
+use specfem_comm::{assemble_halo, tags, CommError, Communicator};
 use specfem_mesh::{LocalMesh, MeshRegion};
 
 /// Metric terms and material constants of every local element, flattened
@@ -94,7 +94,7 @@ impl MassMatrices {
         mesh: &LocalMesh,
         geom: &PrecomputedGeometry,
         comm: &mut dyn Communicator,
-    ) -> Self {
+    ) -> Result<Self, CommError> {
         let np = mesh.basis.npoints();
         let n3 = mesh.points_per_element();
         let w = &mesh.basis.weights;
@@ -120,9 +120,9 @@ impl MassMatrices {
             }
         }
         // Sum shared-point contributions across ranks once, at startup.
-        assemble_halo(comm, &mesh.halo, &mut solid, 1, tags::HALO_SOLID);
-        assemble_halo(comm, &mesh.halo, &mut fluid, 1, tags::HALO_FLUID);
-        Self { solid, fluid }
+        assemble_halo(comm, &mesh.halo, &mut solid, 1, tags::HALO_SOLID)?;
+        assemble_halo(comm, &mesh.halo, &mut fluid, 1, tags::HALO_FLUID)?;
+        Ok(Self { solid, fluid })
     }
 }
 
@@ -246,7 +246,7 @@ mod tests {
         let mesh = serial_mesh();
         let geom = PrecomputedGeometry::compute(&mesh, None);
         let mut comm = SerialComm::new();
-        let mass = MassMatrices::build(&mesh, &geom, &mut comm);
+        let mass = MassMatrices::build(&mesh, &geom, &mut comm).unwrap();
         let (solid_mask, fluid_mask) = region_masks(&mesh);
         for p in 0..mesh.nglob {
             assert_eq!(mass.solid[p] > 0.0, solid_mask[p], "solid mass at {p}");
@@ -265,7 +265,7 @@ mod tests {
         let mesh = serial_mesh();
         let geom = PrecomputedGeometry::compute(&mesh, None);
         let mut comm = SerialComm::new();
-        let mass = MassMatrices::build(&mesh, &geom, &mut comm);
+        let mass = MassMatrices::build(&mesh, &geom, &mut comm).unwrap();
         let total: f64 = mass.solid.iter().map(|&m| m as f64).sum();
         // Earth minus outer core ≈ 5.97e24 − 1.84e24 ≈ 4.1e24 kg. The
         // NEX=4 mesh is crude; accept 5 %.

@@ -171,7 +171,8 @@ mod tests {
         let surf = CouplingSurface::build(&mesh);
         assert!(!surf.points.is_empty());
         let area = surf.total_area();
-        let expect = 4.0 * std::f64::consts::PI
+        let expect = 4.0
+            * std::f64::consts::PI
             * (CMB_RADIUS_M * CMB_RADIUS_M + ICB_RADIUS_M * ICB_RADIUS_M);
         let rel = (area - expect).abs() / expect;
         assert!(rel < 0.02, "area {area:.4e} vs {expect:.4e} (rel {rel})");

@@ -51,12 +51,7 @@ impl AttenuationState {
 }
 
 #[inline(always)]
-fn gather_component(
-    ibool: &[u32],
-    field: &[f32],
-    comp: usize,
-    out: &mut [f32; NGLL3_PADDED],
-) {
+fn gather_component(ibool: &[u32], field: &[f32], comp: usize, out: &mut [f32; NGLL3_PADDED]) {
     for (l, &p) in ibool.iter().enumerate() {
         out[l] = field[p as usize * 3 + comp];
     }
@@ -202,12 +197,9 @@ pub fn compute_solid_forces(
                         let rho = mesh.rho[idx];
                         let wjac = (wf[i] * wf[j] * wf[k]) * jac;
                         // u·g = −g·u_r; ∇(u·g)_i ≈ −g Σ_j rh_j ∂u_j/∂x_i.
-                        let gx =
-                            -g * (rh[0] * dux_dx + rh[1] * duy_dx + rh[2] * duz_dx);
-                        let gy =
-                            -g * (rh[0] * dux_dy + rh[1] * duy_dy + rh[2] * duz_dy);
-                        let gz =
-                            -g * (rh[0] * dux_dz + rh[1] * duy_dz + rh[2] * duz_dz);
+                        let gx = -g * (rh[0] * dux_dx + rh[1] * duy_dx + rh[2] * duz_dx);
+                        let gy = -g * (rh[0] * dux_dy + rh[1] * duy_dy + rh[2] * duz_dy);
+                        let gz = -g * (rh[0] * dux_dz + rh[1] * duy_dz + rh[2] * duz_dz);
                         body[0][l] = rho * wjac * (gx + g * rh[0] * div);
                         body[1][l] = rho * wjac * (gy + g * rh[1] * div);
                         body[2][l] = rho * wjac * (gz + g * rh[2] * div);
@@ -398,7 +390,14 @@ mod tests {
             }
             let mut flops = FlopCounter::new();
             compute_solid_forces(
-                &mesh, &geom, &ops, variant, &mut fields, None, false, &mut flops,
+                &mesh,
+                &geom,
+                &ops,
+                variant,
+                &mut fields,
+                None,
+                false,
+                &mut flops,
             );
             results.push(fields.accel);
         }
@@ -410,7 +409,10 @@ mod tests {
                 .zip(other)
                 .map(|(a, b)| (a - b).abs())
                 .fold(0.0f32, f32::max);
-            assert!(maxdiff < 1e-4 * norm, "variants differ: {maxdiff} vs {norm}");
+            assert!(
+                maxdiff < 1e-4 * norm,
+                "variants differ: {maxdiff} vs {norm}"
+            );
         }
     }
 

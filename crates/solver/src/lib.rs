@@ -22,9 +22,13 @@
 //! from `specfem-mesh` in memory (paper §4.1's I/O-bottleneck fix); the
 //! legacy file-based handoff lives in `specfem-io` for the ablation.
 
+// Numeric kernels index several arrays with one loop variable by design.
+#![allow(clippy::needless_range_loop)]
+
 pub mod absorbing;
 pub mod adjoint;
 pub mod assemble;
+pub mod checkpoint;
 pub mod coupling;
 pub mod forces;
 pub mod source;
@@ -34,12 +38,18 @@ pub mod timeloop;
 pub use absorbing::AbsorbingSurface;
 pub use adjoint::{shear_kernel, WavefieldSnapshots};
 pub use assemble::{MassMatrices, PrecomputedGeometry, WaveFields};
+pub use checkpoint::{CheckpointError, CheckpointSink, CheckpointState, MemorySink};
 pub use coupling::CouplingSurface;
 pub use source::{ReceiverSet, Seismogram, SourceArrays, SourceSpec};
-pub use timeloop::{run_distributed, run_serial, RankResult, RankSolver};
+pub use timeloop::{
+    merge_seismograms, run_distributed, run_serial, try_run_distributed, FtOptions, RankResult,
+    RankSolver, SolverError,
+};
 
+use specfem_comm::FaultPlan;
 use specfem_kernels::KernelVariant;
 use specfem_model::{SourceTimeFunction, StfKind};
+use std::time::Duration;
 
 /// Earth's rotation rate (rad/s).
 pub const EARTH_OMEGA_RAD_S: f64 = 7.292_115e-5;
@@ -75,6 +85,17 @@ pub struct SolverConfig {
     /// Locate stations with the exact nonlinear algorithm (true) or
     /// nearest-grid-point (false) — paper §4.4-2.
     pub exact_station_location: bool,
+    /// Write a checkpoint every this many steps (0 = never). Only takes
+    /// effect on the fault-tolerant run paths that supply a checkpoint
+    /// store.
+    pub checkpoint_every: usize,
+    /// Deadline for blocking receives in the main loop; a stalled peer
+    /// surfaces as `CommError::Timeout` naming `(src, tag)` instead of
+    /// hanging the world. `None` waits forever.
+    pub recv_timeout: Option<Duration>,
+    /// Deterministic fault-injection schedule (delays, drops, corruption,
+    /// rank death); `None` runs clean.
+    pub fault_plan: Option<FaultPlan>,
 }
 
 impl Default for SolverConfig {
@@ -92,6 +113,9 @@ impl Default for SolverConfig {
             snapshot_every: 0,
             source: SourceSpec::default(),
             exact_station_location: false,
+            checkpoint_every: 0,
+            recv_timeout: Some(Duration::from_secs(30)),
+            fault_plan: None,
         }
     }
 }

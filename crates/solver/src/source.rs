@@ -66,6 +66,7 @@ pub struct SourceArrays {
     pub stf: Option<SourceTimeFunction>,
     /// Sampled drive: `(per-node interpolation weights, samples, dt)` for
     /// the adjoint/trace source.
+    #[allow(clippy::type_complexity)]
     pub trace: Option<(Vec<(u32, f32)>, Vec<[f32; 3]>, f64)>,
     /// Distance between requested and located source position (m).
     pub location_error_m: f64,
@@ -363,6 +364,38 @@ impl ReceiverSet {
             }
             rec.push(v);
         }
+    }
+
+    /// Station names in located order (checkpoint identity check).
+    pub fn station_names(&self) -> Vec<String> {
+        self.located.iter().map(|(s, _)| s.name.clone()).collect()
+    }
+
+    /// The accumulated velocity records, one series per station.
+    pub fn records(&self) -> &[Vec<[f32; 3]>] {
+        &self.records
+    }
+
+    /// Replace the accumulated records (checkpoint restore). The station
+    /// names must match this set's stations exactly, in order.
+    pub fn restore_records(&mut self, named: Vec<(String, Vec<[f32; 3]>)>) -> Result<(), String> {
+        if named.len() != self.located.len() {
+            return Err(format!(
+                "checkpoint has {} stations, solver has {}",
+                named.len(),
+                self.located.len()
+            ));
+        }
+        for ((name, _), (station, _)) in named.iter().zip(&self.located) {
+            if *name != station.name {
+                return Err(format!(
+                    "station mismatch: checkpoint '{}' vs solver '{}'",
+                    name, station.name
+                ));
+            }
+        }
+        self.records = named.into_iter().map(|(_, rec)| rec).collect();
+        Ok(())
     }
 
     /// Finish: package the records as seismograms with sample spacing

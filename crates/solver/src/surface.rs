@@ -79,7 +79,7 @@ mod tests {
         let ll = surf.latlon();
         assert!(ll.iter().any(|&(lat, _)| lat > 80.0));
         assert!(ll.iter().any(|&(lat, _)| lat < -80.0));
-        assert!(ll.iter().any(|&(_, lon)| lon > 170.0 || lon < -170.0));
+        assert!(ll.iter().any(|&(_, lon)| !(-170.0..=170.0).contains(&lon)));
     }
 
     #[test]

@@ -3,19 +3,67 @@
 //! solver component" whose communication share the paper measures at
 //! 1.9–4.2 % (§5).
 
+use std::fmt;
 use std::time::Instant;
 
-use specfem_comm::{assemble_halo, tags, Communicator, NetworkProfile, SerialComm, StatsSnapshot, ThreadWorld};
+use specfem_comm::{
+    assemble_halo, tags, CommError, Communicator, FaultyComm, NetworkProfile, SerialComm,
+    StatsSnapshot, ThreadWorld,
+};
 use specfem_kernels::{DerivOps, FlopCounter};
 use specfem_mesh::stations::Station;
 use specfem_mesh::{GlobalMesh, LocalMesh, Partition};
 
 use crate::absorbing::AbsorbingSurface;
 use crate::assemble::{region_masks, MassMatrices, PrecomputedGeometry, WaveFields};
+use crate::checkpoint::{CheckpointError, CheckpointSink, CheckpointState};
 use crate::coupling::CouplingSurface;
 use crate::forces::{compute_fluid_forces, compute_solid_forces, AttenuationState};
 use crate::source::{ReceiverSet, Seismogram, SourceArrays};
 use crate::{SolverConfig, EARTH_OMEGA_RAD_S};
+
+/// Why a rank's run failed.
+#[derive(Debug, Clone)]
+pub enum SolverError {
+    /// A communication operation failed (timeout, dead peer, injected
+    /// fault, …).
+    Comm(CommError),
+    /// Checkpoint capture, storage, or restore failed.
+    Checkpoint(CheckpointError),
+    /// The rank's thread panicked.
+    RankPanicked {
+        /// The rank that died.
+        rank: usize,
+        /// Best-effort panic message.
+        message: String,
+    },
+}
+
+impl fmt::Display for SolverError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SolverError::Comm(e) => write!(f, "communication failure: {e}"),
+            SolverError::Checkpoint(e) => write!(f, "{e}"),
+            SolverError::RankPanicked { rank, message } => {
+                write!(f, "rank {rank} panicked: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SolverError {}
+
+impl From<CommError> for SolverError {
+    fn from(e: CommError) -> Self {
+        SolverError::Comm(e)
+    }
+}
+
+impl From<CheckpointError> for SolverError {
+    fn from(e: CheckpointError) -> Self {
+        SolverError::Checkpoint(e)
+    }
+}
 
 /// Everything one rank returns from a run.
 #[derive(Debug, Clone)]
@@ -83,6 +131,15 @@ pub struct RankSolver {
     flops: FlopCounter,
     energy: Vec<(usize, f64, f64)>,
     snapshots: Vec<Vec<f32>>,
+    /// First step the time loop executes (nonzero after a checkpoint
+    /// restore).
+    start_step: usize,
+}
+
+/// Unwrap a setup-phase collective: failures before the first step are
+/// fatal (there is no earlier checkpoint to fall back to).
+fn setup<T>(r: Result<T, CommError>) -> T {
+    r.unwrap_or_else(|e| panic!("collective failed during solver setup: {e}"))
 }
 
 impl RankSolver {
@@ -104,11 +161,13 @@ impl RankSolver {
         };
         let geom = PrecomputedGeometry::compute(&mesh, gravity_profile.as_ref());
         let ops = DerivOps::from_basis(&mesh.basis);
-        let mass = MassMatrices::build(&mesh, &geom, comm);
+        // Setup-phase comm failures are fatal: there is no earlier state to
+        // fall back to, so a clear panic beats a half-built solver.
+        let mass = MassMatrices::build(&mesh, &geom, comm)
+            .unwrap_or_else(|e| panic!("mass-matrix assembly failed: {e}"));
         let coupling = CouplingSurface::build(&mesh);
         // Artificial-boundary faces (regional meshes; empty for the globe).
-        let absorbing =
-            AbsorbingSurface::build(&mesh, specfem_model::EARTH_RADIUS_M);
+        let absorbing = AbsorbingSurface::build(&mesh, specfem_model::EARTH_RADIUS_M);
 
         // Ocean load (§3): extra water-column mass on the normal component
         // of free-surface motion. Assemble the extra mass across ranks so
@@ -134,7 +193,8 @@ impl RankSolver {
                 &mut extra,
                 1,
                 specfem_comm::tags::HALO_SOLID,
-            );
+            )
+            .unwrap_or_else(|e| panic!("ocean-load assembly failed: {e}"));
             extra
                 .iter()
                 .enumerate()
@@ -152,12 +212,12 @@ impl RankSolver {
         let quality = mesh.quality();
         let dt = match config.dt {
             Some(dt) => dt,
-            None => comm.allreduce_min(quality.dt_stable_s),
+            None => setup(comm.allreduce_min(quality.dt_stable_s)),
         };
 
         // Attenuation band centred on what the mesh resolves.
         let atten = if config.attenuation {
-            let period = comm.allreduce_max(quality.shortest_period_s);
+            let period = setup(comm.allreduce_max(quality.shortest_period_s));
             Some(AttenuationState::new(&mesh, dt, period))
         } else {
             None
@@ -165,13 +225,13 @@ impl RankSolver {
 
         // Source: every rank locates; the best fit applies it.
         let source = SourceArrays::build(&mesh, &config.source);
-        let best = comm.allreduce_min(source.locate_cost());
+        let best = setup(comm.allreduce_min(source.locate_cost()));
         let mine = if (source.locate_cost() - best).abs() <= 1e-9 * best.max(1.0) {
             comm.rank() as f64
         } else {
             f64::INFINITY
         };
-        let winner = comm.allreduce_min(mine);
+        let winner = setup(comm.allreduce_min(mine));
         let apply_source = best.is_finite() && winner == comm.rank() as f64;
 
         // Receivers: per-station ownership by best location error.
@@ -179,13 +239,13 @@ impl RankSolver {
         let errors = receivers.errors();
         let mut keep = vec![false; errors.len()];
         for (s, &err) in errors.iter().enumerate() {
-            let best = comm.allreduce_min(err);
+            let best = setup(comm.allreduce_min(err));
             let mine = if (err - best).abs() <= 1e-9 * best.max(1.0) {
                 comm.rank() as f64
             } else {
                 f64::INFINITY
             };
-            let winner = comm.allreduce_min(mine);
+            let winner = setup(comm.allreduce_min(mine));
             keep[s] = winner == comm.rank() as f64;
         }
         receivers.retain(&keep);
@@ -219,6 +279,7 @@ impl RankSolver {
             flops: FlopCounter::new(),
             energy: Vec::new(),
             snapshots: Vec::new(),
+            start_step: 0,
             mesh,
         }
     }
@@ -245,7 +306,8 @@ impl RankSolver {
 
     /// Advance one time step. `istep` is 0-based; the source is evaluated
     /// at `t = (istep + 1)·dt`.
-    pub fn step(&mut self, istep: usize, comm: &mut dyn Communicator) {
+    pub fn step(&mut self, istep: usize, comm: &mut dyn Communicator) -> Result<(), SolverError> {
+        comm.on_time_step(istep)?;
         let dt = self.dt as f32;
         let t = (istep + 1) as f64 * self.dt;
 
@@ -271,7 +333,7 @@ impl RankSolver {
             &mut self.fields.chi_ddot,
             1,
             tags::HALO_FLUID,
-        );
+        )?;
         self.fields.corrector_fluid(&self.mass.fluid, dt);
 
         // 3. Solid regions: stiffness (+ attenuation, gravity), coupling
@@ -301,7 +363,7 @@ impl RankSolver {
             &mut self.fields.accel,
             3,
             tags::HALO_SOLID,
-        );
+        )?;
 
         // Ocean load: scale the normal RHS component by M/(M+M_o) so the
         // upcoming division by M yields F_n/(M+M_o) on the free surface.
@@ -318,8 +380,8 @@ impl RankSolver {
 
         // Energy diagnostic uses the assembled right-hand side (before the
         // mass division) so PE = −½ uᵀ(−K u) is available.
-        if self.config.energy_every > 0 && istep % self.config.energy_every == 0 {
-            let (ke, pe) = self.energy_sample(comm);
+        if self.config.energy_every > 0 && istep.is_multiple_of(self.config.energy_every) {
+            let (ke, pe) = self.energy_sample(comm)?;
             self.energy.push((istep, ke, pe));
         }
 
@@ -352,16 +414,17 @@ impl RankSolver {
         // Bookkeeping flops for the update loops (≈ 50/point/step).
         self.flops.add_raw(self.mesh.nglob as u64 * 50);
 
-        if istep % self.config.record_every == 0 {
+        if istep.is_multiple_of(self.config.record_every) {
             self.receivers.record(&self.mesh, &self.fields);
         }
-        if self.config.snapshot_every > 0 && istep % self.config.snapshot_every == 0 {
+        if self.config.snapshot_every > 0 && istep.is_multiple_of(self.config.snapshot_every) {
             self.snapshots.push(self.fields.displ.clone());
         }
+        Ok(())
     }
 
     /// Global kinetic and potential energy (collective).
-    fn energy_sample(&mut self, comm: &mut dyn Communicator) -> (f64, f64) {
+    fn energy_sample(&mut self, comm: &mut dyn Communicator) -> Result<(f64, f64), CommError> {
         let mut ke = 0.0f64;
         let mut pe = 0.0f64;
         for p in 0..self.mesh.nglob {
@@ -375,8 +438,7 @@ impl RankSolver {
                 for c in 0..3 {
                     let v = self.fields.veloc[p * 3 + c] as f64;
                     v2 += v * v;
-                    ua += self.fields.displ[p * 3 + c] as f64
-                        * self.fields.accel[p * 3 + c] as f64;
+                    ua += self.fields.displ[p * 3 + c] as f64 * self.fields.accel[p * 3 + c] as f64;
                 }
                 ke += 0.5 * m * v2;
                 pe -= 0.5 * ua; // accel = −K u (before mass division)
@@ -387,18 +449,143 @@ impl RankSolver {
                 ke += 0.5 * mf * cd * cd;
             }
         }
-        (comm.allreduce_sum(ke), comm.allreduce_sum(pe))
+        Ok((comm.allreduce_sum(ke)?, comm.allreduce_sum(pe)?))
     }
 
-    /// Run the configured number of steps and package the result.
-    pub fn run(mut self, comm: &mut dyn Communicator) -> RankResult {
-        comm.barrier();
+    /// Capture the complete time-loop state at a step boundary:
+    /// `next_step` is the first step the resumed loop will execute.
+    pub fn capture_checkpoint(
+        &self,
+        rank: usize,
+        nranks: usize,
+        next_step: usize,
+    ) -> CheckpointState {
+        CheckpointState {
+            rank,
+            nranks,
+            next_step,
+            dt: self.dt,
+            nglob: self.mesh.nglob,
+            displ: self.fields.displ.clone(),
+            veloc: self.fields.veloc.clone(),
+            accel: self.fields.accel.clone(),
+            chi: self.fields.chi.clone(),
+            chi_dot: self.fields.chi_dot.clone(),
+            chi_ddot: self.fields.chi_ddot.clone(),
+            atten_memory: self.atten.as_ref().map(|a| a.memory.clone()),
+            records: self
+                .receivers
+                .station_names()
+                .into_iter()
+                .zip(self.receivers.records().iter().cloned())
+                .collect(),
+            energy: self.energy.clone(),
+            snapshots: self.snapshots.clone(),
+            flops: self.flops.total(),
+        }
+    }
+
+    /// Restore the time-loop state from a checkpoint. The solver must have
+    /// been rebuilt with the same mesh, config, and world size; every
+    /// consistency check failure is a typed error, never a silent
+    /// mis-restore.
+    pub fn restore_from(&mut self, state: CheckpointState) -> Result<(), SolverError> {
+        let fail = |msg: String| Err(SolverError::Checkpoint(CheckpointError(msg)));
+        if state.nglob != self.mesh.nglob {
+            return fail(format!(
+                "nglob mismatch: checkpoint {} vs mesh {}",
+                state.nglob, self.mesh.nglob
+            ));
+        }
+        if state.rank != self.mesh.rank {
+            return fail(format!(
+                "rank mismatch: checkpoint {} vs solver {}",
+                state.rank, self.mesh.rank
+            ));
+        }
+        if state.dt.to_bits() != self.dt.to_bits() {
+            return fail(format!(
+                "dt mismatch: checkpoint {} vs recomputed {} — different mesh or config?",
+                state.dt, self.dt
+            ));
+        }
+        let n3 = self.mesh.nglob * 3;
+        for (name, len, expect) in [
+            ("displ", state.displ.len(), n3),
+            ("veloc", state.veloc.len(), n3),
+            ("accel", state.accel.len(), n3),
+            ("chi", state.chi.len(), self.mesh.nglob),
+            ("chi_dot", state.chi_dot.len(), self.mesh.nglob),
+            ("chi_ddot", state.chi_ddot.len(), self.mesh.nglob),
+        ] {
+            if len != expect {
+                return fail(format!("{name} length {len}, expected {expect}"));
+            }
+        }
+        match (&mut self.atten, state.atten_memory) {
+            (Some(att), Some(mem)) => {
+                if mem.len() != att.memory.len() {
+                    return fail(format!(
+                        "attenuation memory length {} vs {}",
+                        mem.len(),
+                        att.memory.len()
+                    ));
+                }
+                att.memory = mem;
+            }
+            (None, None) => {}
+            (a, m) => {
+                return fail(format!(
+                    "attenuation mismatch: solver {}, checkpoint {}",
+                    a.is_some(),
+                    m.is_some()
+                ))
+            }
+        }
+        self.receivers
+            .restore_records(state.records)
+            .map_err(|e| SolverError::Checkpoint(CheckpointError(e)))?;
+        self.fields.displ = state.displ;
+        self.fields.veloc = state.veloc;
+        self.fields.accel = state.accel;
+        self.fields.chi = state.chi;
+        self.fields.chi_dot = state.chi_dot;
+        self.fields.chi_ddot = state.chi_ddot;
+        self.energy = state.energy;
+        self.snapshots = state.snapshots;
+        self.flops.set_total(state.flops);
+        self.start_step = state.next_step;
+        Ok(())
+    }
+
+    /// Run the configured number of steps and package the result. Failures
+    /// panic — use [`RankSolver::try_run`] for typed errors and
+    /// checkpointing.
+    pub fn run(self, comm: &mut dyn Communicator) -> RankResult {
+        self.try_run(comm, None)
+            .unwrap_or_else(|e| panic!("solver rank failed: {e}"))
+    }
+
+    /// Run the time loop (from `start_step` after a restore), writing a
+    /// checkpoint to `sink` every `config.checkpoint_every` steps.
+    pub fn try_run(
+        mut self,
+        comm: &mut dyn Communicator,
+        mut sink: Option<&mut dyn CheckpointSink>,
+    ) -> Result<RankResult, SolverError> {
+        comm.barrier()?;
         comm.reset_stats(); // main-loop statistics only, like IPM (§5)
         let t0 = Instant::now();
-        for istep in 0..self.config.nsteps {
-            self.step(istep, comm);
+        for istep in self.start_step..self.config.nsteps {
+            self.step(istep, comm)?;
+            if self.config.checkpoint_every > 0 && (istep + 1) % self.config.checkpoint_every == 0 {
+                if let Some(sink) = sink.as_mut() {
+                    let state = self.capture_checkpoint(comm.rank(), comm.size(), istep + 1);
+                    sink.write(&state)?;
+                }
+            }
         }
-        comm.barrier();
+        comm.barrier()?;
         let elapsed = t0.elapsed().as_secs_f64();
         let station_error_m = self.receivers.worst_error_m();
         let snapshots = if self.config.snapshot_every > 0 {
@@ -410,7 +597,7 @@ impl RankSolver {
         } else {
             None
         };
-        RankResult {
+        Ok(RankResult {
             rank: comm.rank(),
             seismograms: self
                 .receivers
@@ -425,16 +612,12 @@ impl RankSolver {
             nglob: self.mesh.nglob,
             station_error_m,
             snapshots,
-        }
+        })
     }
 }
 
 /// Run serially (one rank, whole mesh) — the merged mesher+solver path.
-pub fn run_serial(
-    mesh: &GlobalMesh,
-    config: &SolverConfig,
-    stations: &[Station],
-) -> RankResult {
+pub fn run_serial(mesh: &GlobalMesh, config: &SolverConfig, stations: &[Station]) -> RankResult {
     let local = Partition::serial(mesh).extract(mesh, 0);
     let mut comm = SerialComm::new();
     let solver = RankSolver::new(local, config, stations, &mut comm);
@@ -442,19 +625,78 @@ pub fn run_serial(
 }
 
 /// Run distributed over `6 × NPROC_XI²` thread-ranks (the `mpirun` analog).
+/// Any rank failure panics; use [`try_run_distributed`] for typed errors.
 pub fn run_distributed(
     mesh: &GlobalMesh,
     config: &SolverConfig,
     stations: &[Station],
     profile: NetworkProfile,
 ) -> Vec<RankResult> {
+    try_run_distributed(mesh, config, stations, profile, FtOptions::default())
+        .into_iter()
+        .map(|r| r.unwrap_or_else(|e| panic!("solver rank failed: {e}")))
+        .collect()
+}
+
+/// Per-rank fault-tolerance hooks for [`try_run_distributed`].
+#[derive(Default)]
+pub struct FtOptions<'a> {
+    /// Build the checkpoint sink a rank writes to every
+    /// `checkpoint_every` steps (`None` disables writing).
+    pub sink_factory: Option<&'a (dyn Fn(usize) -> Box<dyn CheckpointSink> + Sync)>,
+    /// Load the checkpoint a rank resumes from; `Ok(None)` is a cold start.
+    #[allow(clippy::type_complexity)]
+    pub restore:
+        Option<&'a (dyn Fn(usize) -> Result<Option<CheckpointState>, CheckpointError> + Sync)>,
+}
+
+/// The fault-tolerant `mpirun` analog: per-rank typed results instead of a
+/// world-wide panic. Honors `config.recv_timeout` (a stalled peer surfaces
+/// as `CommError::Timeout` naming the `(src, tag)` it waited on),
+/// `config.fault_plan` (deterministic injection), and `config.checkpoint_every`
+/// together with the [`FtOptions`] hooks.
+pub fn try_run_distributed(
+    mesh: &GlobalMesh,
+    config: &SolverConfig,
+    stations: &[Station],
+    profile: NetworkProfile,
+    opts: FtOptions<'_>,
+) -> Vec<Result<RankResult, SolverError>> {
     let partition = Partition::compute(mesh);
     let nranks = partition.num_ranks;
-    ThreadWorld::run(nranks, profile, |mut comm| {
-        let local = partition.extract(mesh, comm.rank());
-        let solver = RankSolver::new(local, config, stations, &mut comm);
-        solver.run(&mut comm)
+    let opts = &opts;
+    ThreadWorld::try_run(nranks, profile, |mut base| {
+        base.set_recv_timeout(config.recv_timeout);
+        let rank = base.rank();
+        let mut comm: Box<dyn Communicator> = match &config.fault_plan {
+            Some(plan) => Box::new(FaultyComm::new(base, plan)),
+            None => Box::new(base),
+        };
+        let local = partition.extract(mesh, rank);
+        let mut solver = RankSolver::new(local, config, stations, comm.as_mut());
+        if let Some(restore) = opts.restore {
+            match restore(rank) {
+                Ok(Some(state)) => solver.restore_from(state)?,
+                Ok(None) => {}
+                Err(e) => return Err(SolverError::Checkpoint(e)),
+            }
+        }
+        let mut sink = opts.sink_factory.map(|f| f(rank));
+        let sink_ref: Option<&mut dyn CheckpointSink> = match sink.as_mut() {
+            Some(b) => Some(&mut **b),
+            None => None,
+        };
+        solver.try_run(comm.as_mut(), sink_ref)
     })
+    .into_iter()
+    .map(|r| match r {
+        Ok(inner) => inner,
+        Err(p) => Err(SolverError::RankPanicked {
+            rank: p.rank,
+            message: p.message,
+        }),
+    })
+    .collect()
 }
 
 /// Merge per-rank seismograms into one station-ordered list.

@@ -48,7 +48,10 @@ fn ocean_load_reduces_vertical_surface_motion() {
         "water column must damp vertical surface motion: wet {pw} vs dry {pd}"
     );
     // …but only mildly: 3 km of water vs ~20+ km of rock-equivalent mass.
-    assert!(pw > 0.5 * pd, "ocean effect implausibly strong: {pw} vs {pd}");
+    assert!(
+        pw > 0.5 * pd,
+        "ocean effect implausibly strong: {pw} vs {pd}"
+    );
 }
 
 #[test]

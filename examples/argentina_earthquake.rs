@@ -10,7 +10,10 @@ use specfem_core::{NetworkProfile, Simulation};
 fn main() {
     let nex = 8;
     let nproc = 2; // 6 × 2² = 24 ranks
-    println!("== Argentina deep-slab event, attenuation on, {} ranks ==", 6 * nproc * nproc);
+    println!(
+        "== Argentina deep-slab event, attenuation on, {} ranks ==",
+        6 * nproc * nproc
+    );
 
     let sim = Simulation::builder()
         .resolution(nex)
@@ -27,10 +30,7 @@ fn main() {
 
     // Load balance (abstract: "excellent load balancing").
     let loads: Vec<usize> = result.ranks.iter().map(|r| r.nspec).collect();
-    let (min, max) = (
-        loads.iter().min().unwrap(),
-        loads.iter().max().unwrap(),
-    );
+    let (min, max) = (loads.iter().min().unwrap(), loads.iter().max().unwrap());
     println!(
         "load balance: {min}–{max} elements/rank (imbalance {:.1} %)",
         100.0 * (*max as f64 - *min as f64) / *max as f64

@@ -5,9 +5,9 @@
 //!
 //! Run with: `cargo run --release --example attenuation_study`
 
-use specfem_core::{Simulation, StfKind};
-use specfem_core::{SourceTimeFunction};
 use specfem_core::solver::SourceSpec;
+use specfem_core::SourceTimeFunction;
+use specfem_core::{Simulation, StfKind};
 
 fn run(attenuation: bool) -> (f64, f64, Vec<f32>) {
     let sim = Simulation::builder()

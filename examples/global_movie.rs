@@ -39,7 +39,7 @@ fn main() {
     std::fs::create_dir_all(&out).expect("movie dir");
     let mut frame_no = 0;
     for istep in 0..config.nsteps {
-        solver.step(istep, &mut comm);
+        solver.step(istep, &mut comm).expect("time step failed");
         if istep % 40 == 39 {
             let frame = surface.frame(&solver.fields);
             let path = out.join(format!("frame_{frame_no:03}.csv"));

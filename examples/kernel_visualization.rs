@@ -34,7 +34,7 @@ fn main() {
             exact_station_location: true,
             ..SolverConfig::default()
         },
-        &[station.clone()],
+        std::slice::from_ref(&station),
     );
     let seis = &fwd.seismograms[0];
     println!("== adjoint run (time-reversed receiver trace) ==");
@@ -88,7 +88,11 @@ fn main() {
         ));
     }
     std::fs::write(&out, body).expect("write kernel csv");
-    println!("kernel peak |K_β| = {peak:.3e}; {} element centres → {}", local.nspec, out.display());
+    println!(
+        "kernel peak |K_β| = {peak:.3e}; {} element centres → {}",
+        local.nspec,
+        out.display()
+    );
 
     // Crude concentration readout.
     let (mut near, mut far) = (0.0f64, 0.0f64);

@@ -36,7 +36,10 @@ fn main() {
         );
     }
     println!();
-    println!("total mass: {:.4e} kg (Earth: 5.972e24)", gravity.total_mass());
+    println!(
+        "total mass: {:.4e} kg (Earth: 5.972e24)",
+        gravity.total_mass()
+    );
     println!(
         "surface gravity: {:.3} m/s² — CMB gravity: {:.3} m/s²",
         gravity.g_at(EARTH_RADIUS_M),

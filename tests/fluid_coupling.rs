@@ -32,7 +32,7 @@ fn fluid_core_is_excited_through_the_cmb() {
     let mut solver = solver;
     let mut max_chi: f32 = 0.0;
     for istep in 0..config.nsteps {
-        solver.step(istep, &mut comm);
+        solver.step(istep, &mut comm).unwrap();
         let m = solver
             .fields
             .chi_dot
@@ -77,7 +77,7 @@ fn inner_core_is_reached_only_through_the_fluid() {
     let mut first_fluid: Option<usize> = None;
     let mut first_inner: Option<usize> = None;
     for istep in 0..config.nsteps {
-        solver.step(istep, &mut comm);
+        solver.step(istep, &mut comm).unwrap();
         if first_fluid.is_none() {
             let m = solver
                 .fields

@@ -58,11 +58,11 @@ fn element_loop_order_changes_only_roundoff() {
         // ... but they are genuinely different summation orders, so exact
         // bitwise equality would indicate the permutation was not applied.
         if name == "random" {
-            let identical = natural
-                .iter()
-                .zip(other.iter())
-                .all(|(a, b)| a == b);
-            assert!(!identical, "random order produced bitwise-identical output — permutation not applied?");
+            let identical = natural.iter().zip(other.iter()).all(|(a, b)| a == b);
+            assert!(
+                !identical,
+                "random order produced bitwise-identical output — permutation not applied?"
+            );
         }
     }
 }

@@ -22,7 +22,11 @@ fn legacy_file_handoff_reproduces_merged_results_exactly() {
     let _ = std::fs::remove_dir_all(&dir);
 
     // A serial rank has no interface files; still ~23 per-array files.
-    assert!(wrote.files >= 20, "legacy writes many files: {}", wrote.files);
+    assert!(
+        wrote.files >= 20,
+        "legacy writes many files: {}",
+        wrote.files
+    );
     assert!(wrote.bytes > 1_000_000, "real data volume: {}", wrote.bytes);
     assert_eq!(read.bytes, wrote.bytes);
 
@@ -44,7 +48,10 @@ fn legacy_file_handoff_reproduces_merged_results_exactly() {
     };
     let merged = run(local);
     let legacy = run(from_disk);
-    assert_eq!(merged.seismograms[0].data.len(), legacy.seismograms[0].data.len());
+    assert_eq!(
+        merged.seismograms[0].data.len(),
+        legacy.seismograms[0].data.len()
+    );
     for (a, b) in merged.seismograms[0]
         .data
         .iter()

@@ -144,7 +144,9 @@ fn doubling_the_force_doubles_the_response_linearity() {
             lat_deg: 60.0,
             lon_deg: 45.0,
         }];
-        run_serial(&mesh, &config, &stations).seismograms[0].data.clone()
+        run_serial(&mesh, &config, &stations).seismograms[0]
+            .data
+            .clone()
     };
     let one = run(1.0);
     let two = run(2.0);

@@ -1,0 +1,149 @@
+//! Offline stand-in for the `crossbeam-channel` crate.
+//!
+//! The build environment has no access to crates.io, so this vendored crate
+//! provides the (small) subset of the API the workspace uses, backed by
+//! `std::sync::mpsc`. Semantics match what the comm substrate relies on:
+//! unbounded MPSC channels, cloneable senders, blocking and deadline-bounded
+//! receives, and disconnect errors once every sender is dropped.
+
+use std::sync::mpsc;
+use std::time::{Duration, Instant};
+
+/// Sending half of an unbounded channel.
+pub struct Sender<T> {
+    inner: mpsc::Sender<T>,
+}
+
+impl<T> Clone for Sender<T> {
+    fn clone(&self) -> Self {
+        Self {
+            inner: self.inner.clone(),
+        }
+    }
+}
+
+/// Receiving half of an unbounded channel.
+pub struct Receiver<T> {
+    inner: mpsc::Receiver<T>,
+}
+
+/// Error returned by [`Sender::send`] when the receiver is gone.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SendError<T>(pub T);
+
+/// Error returned by [`Receiver::recv`] when all senders are gone.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RecvError;
+
+/// Error returned by [`Receiver::recv_timeout`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RecvTimeoutError {
+    /// No message arrived within the timeout.
+    Timeout,
+    /// All senders disconnected and the buffer is drained.
+    Disconnected,
+}
+
+/// Error returned by [`Receiver::try_recv`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TryRecvError {
+    /// No message currently buffered.
+    Empty,
+    /// All senders disconnected and the buffer is drained.
+    Disconnected,
+}
+
+impl<T> Sender<T> {
+    /// Send a message, failing only if the receiver was dropped.
+    pub fn send(&self, msg: T) -> Result<(), SendError<T>> {
+        self.inner
+            .send(msg)
+            .map_err(|mpsc::SendError(m)| SendError(m))
+    }
+}
+
+impl<T> Receiver<T> {
+    /// Block until a message arrives or every sender disconnects.
+    pub fn recv(&self) -> Result<T, RecvError> {
+        self.inner.recv().map_err(|_| RecvError)
+    }
+
+    /// Block until a message arrives, the timeout elapses, or every sender
+    /// disconnects.
+    pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
+        match self.inner.recv_timeout(timeout) {
+            Ok(m) => Ok(m),
+            Err(mpsc::RecvTimeoutError::Timeout) => Err(RecvTimeoutError::Timeout),
+            Err(mpsc::RecvTimeoutError::Disconnected) => Err(RecvTimeoutError::Disconnected),
+        }
+    }
+
+    /// Block until a message arrives or `deadline` passes.
+    pub fn recv_deadline(&self, deadline: Instant) -> Result<T, RecvTimeoutError> {
+        let now = Instant::now();
+        let timeout = deadline.saturating_duration_since(now);
+        self.recv_timeout(timeout)
+    }
+
+    /// Non-blocking receive.
+    pub fn try_recv(&self) -> Result<T, TryRecvError> {
+        match self.inner.try_recv() {
+            Ok(m) => Ok(m),
+            Err(mpsc::TryRecvError::Empty) => Err(TryRecvError::Empty),
+            Err(mpsc::TryRecvError::Disconnected) => Err(TryRecvError::Disconnected),
+        }
+    }
+}
+
+/// Create an unbounded channel.
+pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+    let (s, r) = mpsc::channel();
+    (Sender { inner: s }, Receiver { inner: r })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn send_recv_roundtrip() {
+        let (s, r) = unbounded();
+        s.send(5i32).unwrap();
+        assert_eq!(r.recv(), Ok(5));
+    }
+
+    #[test]
+    fn timeout_fires_on_empty_channel() {
+        let (_s, r) = unbounded::<i32>();
+        assert_eq!(
+            r.recv_timeout(Duration::from_millis(10)),
+            Err(RecvTimeoutError::Timeout)
+        );
+    }
+
+    #[test]
+    fn disconnect_surfaces_after_drain() {
+        let (s, r) = unbounded();
+        s.send(1u8).unwrap();
+        drop(s);
+        assert_eq!(r.recv(), Ok(1));
+        assert_eq!(r.recv(), Err(RecvError));
+        assert_eq!(
+            r.recv_timeout(Duration::from_millis(1)),
+            Err(RecvTimeoutError::Disconnected)
+        );
+    }
+
+    #[test]
+    fn cloned_senders_feed_one_receiver() {
+        let (s, r) = unbounded();
+        let s2 = s.clone();
+        std::thread::spawn(move || s2.send(7i64).unwrap())
+            .join()
+            .unwrap();
+        s.send(8).unwrap();
+        let mut got = vec![r.recv().unwrap(), r.recv().unwrap()];
+        got.sort();
+        assert_eq!(got, vec![7, 8]);
+    }
+}

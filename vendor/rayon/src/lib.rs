@@ -1,0 +1,112 @@
+//! Offline stand-in for the `rayon` crate.
+//!
+//! The build environment has no crates.io access. This vendored crate keeps
+//! the workspace compiling by making `par_iter()` return the *standard
+//! sequential iterator*: every downstream adapter (`map`, `zip`, `collect`,
+//! …) then resolves to the `std::iter` machinery unchanged. Data-parallel
+//! speedup is deliberately traded for a zero-dependency build; all in-repo
+//! uses are correctness-neutral under sequential execution (pure per-element
+//! maps in the mesher's geometry/material passes).
+
+/// `use rayon::prelude::*` — the only entry point the workspace uses.
+pub mod prelude {
+    /// `.par_iter()` on slice-like containers (sequential fallback).
+    pub trait IntoParallelRefIterator<'data> {
+        /// The iterator type (here: the plain sequential one).
+        type Iter: Iterator<Item = Self::Item>;
+        /// Item yielded by the iterator.
+        type Item: 'data;
+        /// Return the "parallel" iterator.
+        fn par_iter(&'data self) -> Self::Iter;
+    }
+
+    impl<'data, T: 'data + Sync> IntoParallelRefIterator<'data> for [T] {
+        type Iter = std::slice::Iter<'data, T>;
+        type Item = &'data T;
+        fn par_iter(&'data self) -> Self::Iter {
+            self.iter()
+        }
+    }
+
+    impl<'data, T: 'data + Sync> IntoParallelRefIterator<'data> for Vec<T> {
+        type Iter = std::slice::Iter<'data, T>;
+        type Item = &'data T;
+        fn par_iter(&'data self) -> Self::Iter {
+            self.iter()
+        }
+    }
+
+    /// `.par_iter_mut()` on slice-like containers (sequential fallback).
+    pub trait IntoParallelRefMutIterator<'data> {
+        /// The iterator type (here: the plain sequential one).
+        type Iter: Iterator<Item = Self::Item>;
+        /// Item yielded by the iterator.
+        type Item: 'data;
+        /// Return the "parallel" iterator.
+        fn par_iter_mut(&'data mut self) -> Self::Iter;
+    }
+
+    impl<'data, T: 'data + Send> IntoParallelRefMutIterator<'data> for [T] {
+        type Iter = std::slice::IterMut<'data, T>;
+        type Item = &'data mut T;
+        fn par_iter_mut(&'data mut self) -> Self::Iter {
+            self.iter_mut()
+        }
+    }
+
+    impl<'data, T: 'data + Send> IntoParallelRefMutIterator<'data> for Vec<T> {
+        type Iter = std::slice::IterMut<'data, T>;
+        type Item = &'data mut T;
+        fn par_iter_mut(&'data mut self) -> Self::Iter {
+            self.iter_mut()
+        }
+    }
+
+    /// `.into_par_iter()` (sequential fallback).
+    pub trait IntoParallelIterator {
+        /// The iterator type (here: the plain sequential one).
+        type Iter: Iterator<Item = Self::Item>;
+        /// Item yielded by the iterator.
+        type Item;
+        /// Return the "parallel" iterator.
+        fn into_par_iter(self) -> Self::Iter;
+    }
+
+    impl<T: Send> IntoParallelIterator for Vec<T> {
+        type Iter = std::vec::IntoIter<T>;
+        type Item = T;
+        fn into_par_iter(self) -> Self::Iter {
+            self.into_iter()
+        }
+    }
+
+    impl IntoParallelIterator for std::ops::Range<usize> {
+        type Iter = std::ops::Range<usize>;
+        type Item = usize;
+        fn into_par_iter(self) -> Self::Iter {
+            self
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn par_iter_behaves_like_iter() {
+        let v = vec![1, 2, 3, 4];
+        let doubled: Vec<i32> = v.par_iter().map(|x| x * 2).collect();
+        assert_eq!(doubled, vec![2, 4, 6, 8]);
+        let zipped: Vec<i32> = v.par_iter().zip(&doubled).map(|(a, b)| a + b).collect();
+        assert_eq!(zipped, vec![3, 6, 9, 12]);
+    }
+
+    #[test]
+    fn into_par_iter_on_range_and_vec() {
+        let s: usize = (0usize..5).into_par_iter().sum();
+        assert_eq!(s, 10);
+        let v: Vec<usize> = vec![5usize, 6].into_par_iter().collect();
+        assert_eq!(v, vec![5, 6]);
+    }
+}
