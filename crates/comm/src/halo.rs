@@ -90,6 +90,7 @@ pub fn exchange_halo(
     if plan.neighbors.is_empty() {
         return Ok(());
     }
+    let _span = specfem_obs::span("comm.halo");
     // Post all sends first (non-blocking semantics; avoids deadlock without
     // needing ordered pairwise exchanges).
     let mut sendbuf = Vec::new();

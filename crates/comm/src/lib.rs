@@ -35,6 +35,9 @@ pub use serial::SerialComm;
 pub use stats::{CommStats, StatsSnapshot};
 pub use thread::{RankPanic, ThreadComm, ThreadWorld, DEFAULT_RECV_TIMEOUT};
 pub use virtual_net::NetworkProfile;
+// Re-exported so downstream crates can consume `StatsSnapshot`'s per-tag
+// traffic and size histogram without a direct specfem-obs dependency.
+pub use specfem_obs::{LogHistogram, TagTraffic};
 
 use std::time::Duration;
 

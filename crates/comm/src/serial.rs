@@ -37,7 +37,7 @@ impl Communicator for SerialComm {
                 size: 1,
             });
         }
-        self.stats.on_send(data.len() * 4);
+        self.stats.on_send(tag, data.len() * 4);
         self.self_queue.push((tag, data.to_vec()));
         Ok(())
     }

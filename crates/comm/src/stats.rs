@@ -1,6 +1,9 @@
 //! Per-rank communication statistics — the IPM analog (paper §5).
 
+use std::collections::BTreeMap;
 use std::time::Duration;
+
+use specfem_obs::{LogHistogram, TagTraffic};
 
 /// Mutable accumulator owned by one rank's communicator.
 #[derive(Debug, Default, Clone)]
@@ -18,13 +21,26 @@ pub struct CommStats {
     /// Deterministic modeled communication time (seconds) from the
     /// latency/bandwidth network profile.
     pub modeled_time_s: f64,
+    /// Sent traffic keyed by message tag (see [`crate::tags`]).
+    per_tag: BTreeMap<u32, TagTraffic>,
+    /// Distribution of sent message sizes in bytes — IPM's message-size
+    /// histogram.
+    size_hist: LogHistogram,
 }
 
 impl CommStats {
-    /// Record a sent message of `bytes` bytes.
-    pub fn on_send(&mut self, bytes: usize) {
+    /// Record a message of `bytes` bytes sent with `tag`.
+    pub fn on_send(&mut self, tag: u32, bytes: usize) {
         self.bytes_sent += bytes as u64;
         self.messages_sent += 1;
+        let t = self.per_tag.entry(tag).or_insert(TagTraffic {
+            tag,
+            messages: 0,
+            bytes: 0,
+        });
+        t.messages += 1;
+        t.bytes += bytes as u64;
+        self.size_hist.record(bytes as u64);
     }
 
     /// Record a received message.
@@ -51,6 +67,8 @@ impl CommStats {
             collectives: self.collectives,
             wall_time_s: self.wall_time.as_secs_f64(),
             modeled_time_s: self.modeled_time_s,
+            per_tag: self.per_tag.values().copied().collect(),
+            size_hist: self.size_hist.clone(),
         }
     }
 
@@ -61,7 +79,7 @@ impl CommStats {
 }
 
 /// Immutable copy of one rank's statistics.
-#[derive(Debug, Clone, Copy, Default, PartialEq)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct StatsSnapshot {
     pub bytes_sent: u64,
     pub bytes_received: u64,
@@ -69,6 +87,10 @@ pub struct StatsSnapshot {
     pub collectives: u64,
     pub wall_time_s: f64,
     pub modeled_time_s: f64,
+    /// Sent traffic per message tag, ascending tag order.
+    pub per_tag: Vec<TagTraffic>,
+    /// Sent message-size distribution (log₂ buckets).
+    pub size_hist: LogHistogram,
 }
 
 impl StatsSnapshot {
@@ -76,6 +98,7 @@ impl StatsSnapshot {
     /// the quantity Figures 6/7 of the paper plot.
     pub fn total(all: &[StatsSnapshot]) -> StatsSnapshot {
         let mut out = StatsSnapshot::default();
+        let mut tags: BTreeMap<u32, TagTraffic> = BTreeMap::new();
         for s in all {
             out.bytes_sent += s.bytes_sent;
             out.bytes_received += s.bytes_received;
@@ -83,7 +106,18 @@ impl StatsSnapshot {
             out.collectives += s.collectives;
             out.wall_time_s += s.wall_time_s;
             out.modeled_time_s += s.modeled_time_s;
+            for t in &s.per_tag {
+                let e = tags.entry(t.tag).or_insert(TagTraffic {
+                    tag: t.tag,
+                    messages: 0,
+                    bytes: 0,
+                });
+                e.messages += t.messages;
+                e.bytes += t.bytes;
+            }
+            out.size_hist.merge(&s.size_hist);
         }
+        out.per_tag = tags.into_values().collect();
         out
     }
 }
@@ -95,8 +129,8 @@ mod tests {
     #[test]
     fn accumulates_and_resets() {
         let mut s = CommStats::default();
-        s.on_send(100);
-        s.on_send(50);
+        s.on_send(100, 100);
+        s.on_send(101, 50);
         s.on_recv(100);
         s.on_wall(Duration::from_millis(5));
         s.on_modeled(1.5e-6);
@@ -108,6 +142,25 @@ mod tests {
         assert!((snap.modeled_time_s - 1.5e-6).abs() < 1e-12);
         s.reset();
         assert_eq!(s.snapshot(), StatsSnapshot::default());
+    }
+
+    #[test]
+    fn tracks_per_tag_and_size_distribution() {
+        let mut s = CommStats::default();
+        s.on_send(100, 4096);
+        s.on_send(100, 4096);
+        s.on_send(200, 8);
+        let snap = s.snapshot();
+        assert_eq!(snap.per_tag.len(), 2);
+        assert_eq!(snap.per_tag[0].tag, 100);
+        assert_eq!(snap.per_tag[0].messages, 2);
+        assert_eq!(snap.per_tag[0].bytes, 8192);
+        assert_eq!(snap.per_tag[1].tag, 200);
+        assert_eq!(snap.per_tag[1].bytes, 8);
+        assert_eq!(snap.size_hist.count(), 3);
+        assert_eq!(snap.size_hist.sum(), 8200);
+        // 4096 = 2^12 lands in the [4096, 8191] bucket, twice.
+        assert_eq!(snap.size_hist.top_k(1), vec![(4096, 8191, 2)]);
     }
 
     #[test]
@@ -128,5 +181,20 @@ mod tests {
         assert_eq!(t.bytes_sent, 30);
         assert_eq!(t.messages_sent, 3);
         assert!((t.modeled_time_s - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn total_merges_tags_and_histograms() {
+        let mut s1 = CommStats::default();
+        s1.on_send(100, 64);
+        s1.on_send(200, 8);
+        let mut s2 = CommStats::default();
+        s2.on_send(100, 64);
+        let t = StatsSnapshot::total(&[s1.snapshot(), s2.snapshot()]);
+        assert_eq!(t.per_tag.len(), 2);
+        assert_eq!(t.per_tag[0].tag, 100);
+        assert_eq!(t.per_tag[0].messages, 2);
+        assert_eq!(t.per_tag[0].bytes, 128);
+        assert_eq!(t.size_hist.count(), 3);
     }
 }

@@ -194,7 +194,7 @@ impl ThreadComm {
             Payload::F64(v) => v.len() * 8,
         };
         self.send_raw(dest, tag, payload)?;
-        self.stats.on_send(bytes);
+        self.stats.on_send(tag, bytes);
         self.stats.on_modeled(self.profile.message_time(bytes));
         Ok(())
     }
@@ -245,10 +245,12 @@ impl ThreadComm {
     }
 
     fn allreduce_with(&mut self, x: f64, op: fn(f64, f64) -> f64) -> Result<f64, CommError> {
+        let _span = specfem_obs::span("comm.allreduce");
         let t0 = Instant::now();
         self.stats.collectives += 1;
+        // One f64 travels per hop of the reduction tree.
         self.stats
-            .on_modeled(self.profile.collective_time(self.size));
+            .on_modeled(self.profile.collective_time(self.size, 8));
         let result = if self.size == 1 {
             x
         } else if self.rank == 0 {
@@ -299,6 +301,7 @@ impl Communicator for ThreadComm {
     }
 
     fn send_f32(&mut self, dest: usize, tag: u32, data: &[f32]) -> Result<(), CommError> {
+        let _span = specfem_obs::span("comm.send");
         let t0 = Instant::now();
         self.send_message(dest, tag, Payload::F32(data.to_vec()))?;
         self.stats.on_wall(t0.elapsed());
@@ -306,12 +309,15 @@ impl Communicator for ThreadComm {
     }
 
     fn recv_f32(&mut self, src: usize, tag: u32) -> Result<Vec<f32>, CommError> {
+        let _span = specfem_obs::span("comm.recv");
         let t0 = Instant::now();
         let msg = self.recv_message(src, tag)?;
+        let waited = t0.elapsed();
         let bytes = msg.len_bytes();
         self.stats.on_recv(bytes);
         self.stats.on_modeled(self.profile.message_time(bytes));
-        self.stats.on_wall(t0.elapsed());
+        self.stats.on_wall(waited);
+        specfem_obs::hist_record("comm.recv_wait_ns", waited.as_nanos() as u64);
         match msg.payload {
             Payload::F32(v) => Ok(v),
             _ => Err(CommError::PayloadType { src, tag }),
@@ -322,10 +328,11 @@ impl Communicator for ThreadComm {
         // Message-based (gather to rank 0, then release) so the recv
         // deadline applies: a dead rank turns the barrier into a Timeout
         // naming the missing peer instead of an infinite hang.
+        let _span = specfem_obs::span("comm.barrier");
         let t0 = Instant::now();
         self.stats.collectives += 1;
         self.stats
-            .on_modeled(self.profile.collective_time(self.size));
+            .on_modeled(self.profile.collective_time(self.size, 0));
         if self.size > 1 {
             if self.rank == 0 {
                 for src in 1..self.size {

@@ -28,12 +28,13 @@ impl NetworkProfile {
         self.latency_s + self.topology_penalty_s + bytes as f64 / self.bandwidth_bps
     }
 
-    /// Time for a barrier/reduction over `p` ranks (log-tree of small
-    /// messages).
+    /// Time for a barrier/reduction over `p` ranks: a log-tree where each
+    /// round moves `payload_bytes`. Control-only collectives (barriers)
+    /// pass 0 and still pay at least a minimal 8-byte packet per round.
     #[inline]
-    pub fn collective_time(&self, p: usize) -> f64 {
+    pub fn collective_time(&self, p: usize, payload_bytes: usize) -> f64 {
         let rounds = (p.max(2) as f64).log2().ceil();
-        rounds * self.message_time(8)
+        rounds * self.message_time(payload_bytes.max(8))
     }
 
     /// TACC Ranger: full-CLOS InfiniBand (paper §5).
@@ -92,8 +93,17 @@ mod tests {
     #[test]
     fn collective_time_grows_logarithmically() {
         let p = NetworkProfile::ranger_infiniband();
-        let t64 = p.collective_time(64);
-        let t4096 = p.collective_time(4096);
+        let t64 = p.collective_time(64, 8);
+        let t4096 = p.collective_time(4096, 8);
         assert!((t4096 / t64 - 2.0).abs() < 0.01); // log2: 6 rounds vs 12
+    }
+
+    #[test]
+    fn collective_time_scales_with_payload() {
+        let p = NetworkProfile::ranger_infiniband();
+        // Same rank count, bigger payload per round → strictly slower.
+        assert!(p.collective_time(64, 1 << 20) > p.collective_time(64, 8));
+        // Sub-minimum payloads are clamped to the 8-byte control packet.
+        assert_eq!(p.collective_time(64, 0), p.collective_time(64, 8));
     }
 }

@@ -44,6 +44,7 @@ pub use specfem_kernels::KernelVariant;
 pub use specfem_mesh::stations::{global_network, Station};
 pub use specfem_mesh::{ElementOrder, GlobalMesh, MeshMode, MeshParams, Partition};
 pub use specfem_model::{builtin_events, CmtSource, Prem, SourceTimeFunction, StfKind};
+pub use specfem_obs as obs;
 pub use specfem_solver::{RankResult, Seismogram, SolverConfig, SourceSpec};
 
 /// Which Earth model fills the mesh.
@@ -83,6 +84,10 @@ pub struct SimulationResult {
     pub ranks: Vec<RankResult>,
     /// Time step used (s).
     pub dt: f64,
+    /// Spans and metrics recorded while *meshing* on the driver thread
+    /// (`Some` only when `config.trace` is set). Solver-phase profiles
+    /// live on the individual [`RankResult`]s.
+    pub mesher_profile: Option<obs::RankProfile>,
 }
 
 impl SimulationResult {
@@ -120,6 +125,80 @@ impl SimulationResult {
     pub fn total_core_seconds(&self) -> f64 {
         self.ranks.iter().map(|r| r.elapsed_s).sum()
     }
+
+    /// Build the IPM-style cross-rank report (paper §5) from this run's
+    /// per-rank communication statistics and span traces. Works on
+    /// untraced runs too — the phase table is simply empty.
+    pub fn ipm_report(&self) -> obs::IpmReport {
+        let inputs: Vec<obs::IpmRankInput> = self
+            .ranks
+            .iter()
+            .map(|r| obs::IpmRankInput {
+                rank: r.rank,
+                elapsed_s: r.elapsed_s,
+                comm_wall_s: r.comm.wall_time_s,
+                modeled_comm_s: r.comm.modeled_time_s,
+                bytes_sent: r.comm.bytes_sent,
+                bytes_received: r.comm.bytes_received,
+                messages_sent: r.comm.messages_sent,
+                collectives: r.comm.collectives,
+                per_tag: r.comm.per_tag.clone(),
+                size_hist: r.comm.size_hist.clone(),
+                phase_seconds: r
+                    .profile
+                    .as_ref()
+                    .map(|p| p.trace.phase_seconds())
+                    .unwrap_or_default(),
+            })
+            .collect();
+        obs::IpmReport::build(&inputs)
+    }
+
+    /// Merge every recorded trace (solver ranks + the mesher pseudo-rank)
+    /// into one Chrome/Perfetto `trace_event` JSON document. `None` when
+    /// the run was untraced.
+    pub fn perfetto_json(&self) -> Option<String> {
+        let mut traces: Vec<obs::RankTrace> = self
+            .ranks
+            .iter()
+            .filter_map(|r| r.profile.as_ref().map(|p| p.trace.clone()))
+            .collect();
+        if let Some(m) = &self.mesher_profile {
+            traces.push(m.trace.clone());
+        }
+        if traces.is_empty() {
+            return None;
+        }
+        Some(obs::perfetto_json(&traces))
+    }
+
+    /// Write the run's observability artifacts into `dir` (created if
+    /// missing): `ipm_report.txt`, `ipm_report.json`, and — when traces
+    /// were recorded — `trace.perfetto.json`.
+    pub fn write_observability(&self, dir: &std::path::Path) -> std::io::Result<()> {
+        std::fs::create_dir_all(dir)?;
+        let report = self.ipm_report();
+        std::fs::write(dir.join("ipm_report.txt"), report.render_text())?;
+        std::fs::write(dir.join("ipm_report.json"), report.to_json())?;
+        if let Some(json) = self.perfetto_json() {
+            std::fs::write(dir.join("trace.perfetto.json"), json)?;
+        }
+        Ok(())
+    }
+
+    /// Honor `config.trace_dir`: write artifacts there, warning (not
+    /// failing) on I/O errors — observability must never sink a finished
+    /// simulation.
+    fn autowrite_observability(&self, config: &SolverConfig) {
+        if let Some(dir) = &config.trace_dir {
+            if let Err(e) = self.write_observability(dir) {
+                eprintln!(
+                    "warning: could not write observability artifacts to {}: {e}",
+                    dir.display()
+                );
+            }
+        }
+    }
 }
 
 impl Simulation {
@@ -128,8 +207,15 @@ impl Simulation {
         SimulationBuilder::default()
     }
 
-    fn build_mesh(&self) -> GlobalMesh {
-        match &self.model {
+    /// Build the global mesh, recording mesher spans on the driver thread
+    /// (as a pseudo-rank numbered one past the solver ranks, so its
+    /// Perfetto timeline row never collides with a real rank) when
+    /// tracing is on.
+    fn build_mesh(&self) -> (GlobalMesh, Option<obs::RankProfile>) {
+        if self.config.trace {
+            obs::init_rank(self.params.num_ranks(), &obs::TraceConfig::default());
+        }
+        let mesh = match &self.model {
             ModelChoice::Prem => GlobalMesh::build(&self.params, &Prem::default()),
             ModelChoice::IsotropicPrem => {
                 GlobalMesh::build(&self.params, &Prem::isotropic_no_ocean())
@@ -140,32 +226,44 @@ impl Simulation {
             ModelChoice::Homogeneous => {
                 GlobalMesh::build(&self.params, &specfem_model::HomogeneousModel::default())
             }
-        }
+        };
+        let profile = if self.config.trace {
+            obs::finish_rank()
+        } else {
+            None
+        };
+        (mesh, profile)
     }
 
     /// Run on a single rank (merged mesher+solver, no MPI).
     pub fn run_serial(&self) -> SimulationResult {
-        let mesh = self.build_mesh();
+        let (mesh, mesher_profile) = self.build_mesh();
         let result = specfem_solver::run_serial(&mesh, &self.config, &self.stations);
-        SimulationResult {
+        let out = SimulationResult {
             seismograms: result.seismograms.clone(),
             dt: result.dt,
             ranks: vec![result],
-        }
+            mesher_profile,
+        };
+        out.autowrite_observability(&self.config);
+        out
     }
 
     /// Run on the full `6 × NPROC_XI²`-rank thread world, charging
     /// communication against `profile`.
     pub fn run_parallel(&self, profile: NetworkProfile) -> SimulationResult {
-        let mesh = self.build_mesh();
+        let (mesh, mesher_profile) = self.build_mesh();
         let ranks = specfem_solver::run_distributed(&mesh, &self.config, &self.stations, profile);
         let seismograms = specfem_solver::timeloop::merge_seismograms(&ranks);
         let dt = ranks.first().map(|r| r.dt).unwrap_or(0.0);
-        SimulationResult {
+        let out = SimulationResult {
             seismograms,
             ranks,
             dt,
-        }
+            mesher_profile,
+        };
+        out.autowrite_observability(&self.config);
+        out
     }
 
     /// Fault-tolerant parallel run: every rank writes a checkpoint to
@@ -203,7 +301,7 @@ impl Simulation {
     ) -> Result<SimulationResult, solver::SolverError> {
         use specfem_solver::checkpoint::{CheckpointSink, CheckpointState};
 
-        let mesh = self.build_mesh();
+        let (mesh, mesher_profile) = self.build_mesh();
         let nranks = self.params.num_ranks();
         let store = specfem_io::CheckpointStore::new(checkpoint_dir)
             .map_err(solver::SolverError::Checkpoint)?;
@@ -229,11 +327,14 @@ impl Simulation {
         }
         let seismograms = specfem_solver::timeloop::merge_seismograms(&ranks);
         let dt = ranks.first().map(|r| r.dt).unwrap_or(0.0);
-        Ok(SimulationResult {
+        let out = SimulationResult {
             seismograms,
             ranks,
             dt,
-        })
+            mesher_profile,
+        };
+        out.autowrite_observability(&self.config);
+        Ok(out)
     }
 }
 
@@ -353,6 +454,28 @@ impl SimulationBuilder {
     /// Energy diagnostics cadence (0 = off).
     pub fn energy_every(mut self, every: usize) -> Self {
         self.config.energy_every = every;
+        self
+    }
+
+    /// Record span traces and metrics on every rank (paper §5
+    /// instrumentation). Off by default; disabled runs pay one relaxed
+    /// atomic load per would-be span.
+    pub fn trace(mut self, on: bool) -> Self {
+        self.config.trace = on;
+        self
+    }
+
+    /// Enable tracing *and* write the artifacts (Perfetto trace, IPM
+    /// report) into `dir` when the run finishes.
+    pub fn trace_dir(mut self, dir: impl Into<std::path::PathBuf>) -> Self {
+        self.config.trace = true;
+        self.config.trace_dir = Some(dir.into());
+        self
+    }
+
+    /// Step-timing sample cadence while tracing (0 = no step sampling).
+    pub fn metrics_every(mut self, every: usize) -> Self {
+        self.config.metrics_every = every;
         self
     }
 

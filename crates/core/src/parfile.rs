@@ -22,6 +22,10 @@
 //! RECORD_LENGTH_STEPS    = 1
 //! EVENT                  = argentina_deep
 //! NSTATIONS              = 12
+//! # observability
+//! TRACE                  = .false.     # record spans + metrics per rank
+//! TRACE_DIR              = OUTPUT_FILES/trace  # write artifacts here
+//! METRICS_EVERY          = 10          # step-timing sample cadence
 //! ```
 
 use crate::{ModelChoice, Simulation, SimulationBuilder};
@@ -115,6 +119,15 @@ pub fn simulation_from_parfile(text: &str) -> Result<Simulation, String> {
     if let Some(v) = get("NSTATIONS") {
         builder = builder.stations(parse_num("NSTATIONS", v)? as usize);
     }
+    if let Some(v) = get("TRACE") {
+        builder = builder.trace(parse_bool(v)?);
+    }
+    if let Some(v) = get("TRACE_DIR") {
+        builder = builder.trace_dir(v);
+    }
+    if let Some(v) = get("METRICS_EVERY") {
+        builder = builder.metrics_every(parse_num("METRICS_EVERY", v)? as usize);
+    }
     let dt = get("DT")
         .map(|v| parse_num("DT", v))
         .transpose()?
@@ -184,6 +197,22 @@ NSTATIONS    = 4
         assert!(simulation_from_parfile("MODEL = marsquake\n").is_err());
         assert!(simulation_from_parfile("ATTENUATION = maybe\n").is_err());
         assert!(simulation_from_parfile("NEX_XI = 8\nNPROC_XI = 3\n").is_err());
+    }
+
+    #[test]
+    fn observability_keys() {
+        let text =
+            "NEX_XI = 4\nNSTEP = 5\nTRACE = .true.\nTRACE_DIR = out/trace\nMETRICS_EVERY = 3\n";
+        let sim = simulation_from_parfile(text).unwrap();
+        assert!(sim.config.trace);
+        assert_eq!(
+            sim.config.trace_dir.as_deref(),
+            Some(std::path::Path::new("out/trace"))
+        );
+        assert_eq!(sim.config.metrics_every, 3);
+        // TRACE_DIR alone implies tracing.
+        let sim = simulation_from_parfile("NEX_XI = 4\nTRACE_DIR = out\n").unwrap();
+        assert!(sim.config.trace);
     }
 
     #[test]

@@ -133,6 +133,7 @@ struct RankCheckpointWriter {
 
 impl CheckpointSink for RankCheckpointWriter {
     fn write(&mut self, state: &CheckpointState) -> Result<(), CheckpointError> {
+        let _span = specfem_obs::span("io.checkpoint.write");
         let name = file_name(state.next_step, self.rank);
         let tmp = self.dir.join(format!("{name}.tmp"));
         let finals = self.dir.join(&name);

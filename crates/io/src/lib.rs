@@ -169,6 +169,7 @@ fn region_from_tag(t: u32) -> MeshRegion {
 /// Write one rank's mesh to `dir` as the legacy per-array file set
 /// (`proc<rank>_<array>.bin`). Returns the accounting.
 pub fn write_local_mesh(dir: &Path, mesh: &LocalMesh) -> io::Result<IoReport> {
+    let _span = specfem_obs::span("io.write_mesh");
     fs::create_dir_all(dir)?;
     let t0 = Instant::now();
     let p = |name: &str| format!("proc{:06}_{name}.bin", mesh.rank);
@@ -275,6 +276,8 @@ pub fn write_local_mesh(dir: &Path, mesh: &LocalMesh) -> io::Result<IoReport> {
         )?;
     }
 
+    specfem_obs::counter_add("io.files_written", files as u64);
+    specfem_obs::counter_add("io.bytes_written", bytes);
     Ok(IoReport {
         files,
         bytes,
@@ -284,6 +287,7 @@ pub fn write_local_mesh(dir: &Path, mesh: &LocalMesh) -> io::Result<IoReport> {
 
 /// Read one rank's mesh back (the "solver side" of the legacy path).
 pub fn read_local_mesh(dir: &Path, rank: usize) -> io::Result<(LocalMesh, IoReport)> {
+    let _span = specfem_obs::span("io.read_mesh");
     let t0 = Instant::now();
     let mut bytes = 0u64;
     let mut files = 0usize;
@@ -366,6 +370,8 @@ pub fn read_local_mesh(dir: &Path, rank: usize) -> io::Result<(LocalMesh, IoRepo
         qmu,
         halo: HaloPlan { neighbors },
     };
+    specfem_obs::counter_add("io.files_read", files as u64);
+    specfem_obs::counter_add("io.bytes_read", bytes);
     Ok((
         mesh,
         IoReport {

@@ -109,6 +109,7 @@ impl GlobalMesh {
 
     /// Build the global mesh for `params` over `model`.
     pub fn build(params: &MeshParams, model: &dyn EarthModel) -> GlobalMesh {
+        let _span = specfem_obs::span("mesh.build");
         let basis = GllBasis::new(params.degree);
         let nex = params.nex_xi;
         let a = params.cube_half_width_fraction * ICB_RADIUS_M;
@@ -140,6 +141,7 @@ impl GlobalMesh {
         }
 
         // ---- enumerate element specs -----------------------------------
+        let span_enumerate = specfem_obs::span("mesh.enumerate");
         let mut specs: Vec<ElementSpec> = Vec::new();
         // Central cube (global mode only).
         for k in 0..if regional { 0 } else { nex } {
@@ -218,14 +220,19 @@ impl GlobalMesh {
             report.elements_per_region[slot] += 1;
         }
 
+        drop(span_enumerate);
+
         // ---- geometry pass ----------------------------------------------
+        let span_geometry = specfem_obs::span("mesh.geometry");
         let gen_nodes =
             |spec: &ElementSpec| -> Vec<[f64; 3]> { element_nodes(spec, &lattice, &frac, a, beta) };
         let t0 = Instant::now();
         let all_nodes: Vec<Vec<[f64; 3]>> = specs.par_iter().map(gen_nodes).collect();
         report.geometry_seconds = t0.elapsed().as_secs_f64();
+        drop(span_geometry);
 
         // ---- material assignment ----------------------------------------
+        let span_materials = specfem_obs::span("mesh.materials");
         let t0 = Instant::now();
         let materials: Vec<[Vec<f32>; 4]> = if params.legacy_two_pass_materials {
             // Legacy mode: the mesher runs again — geometry is regenerated
@@ -245,8 +252,10 @@ impl GlobalMesh {
                 .collect()
         };
         report.material_seconds = t0.elapsed().as_secs_f64();
+        drop(span_materials);
 
         // ---- global numbering -------------------------------------------
+        let span_numbering = specfem_obs::span("mesh.numbering");
         let t0 = Instant::now();
         // Tolerance far below the smallest GLL spacing: even a NEX=512 crust
         // layer has ~50 m spacing; roundoff differences are nanometres.
@@ -260,6 +269,7 @@ impl GlobalMesh {
         let nglob = registry.len();
         let coords = registry.into_coords();
         report.numbering_seconds = t0.elapsed().as_secs_f64();
+        drop(span_numbering);
 
         // ---- flatten materials ------------------------------------------
         let mut rho = Vec::with_capacity(nspec * n3);

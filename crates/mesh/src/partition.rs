@@ -36,6 +36,7 @@ pub struct Partition {
 impl Partition {
     /// Compute the assignment from the mesh parameters.
     pub fn compute(mesh: &GlobalMesh) -> Partition {
+        let _span = specfem_obs::span("mesh.partition");
         let nproc = mesh.params.nproc_xi;
         let nex_per = mesh.params.nex_xi / nproc;
         let num_ranks = mesh.params.num_ranks();
@@ -89,6 +90,7 @@ impl Partition {
     /// Extract the local mesh of `rank`, applying the element ordering from
     /// the mesh parameters and building the halo plan.
     pub fn extract(&self, mesh: &GlobalMesh, rank: usize) -> LocalMesh {
+        let _span = specfem_obs::span("mesh.extract");
         let n3 = mesh.points_per_element();
         // ---- elements of this rank, natural order ------------------------
         let mine: Vec<u32> = (0..mesh.nspec as u32)

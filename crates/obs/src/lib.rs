@@ -1,0 +1,266 @@
+//! `specfem-obs` — the observability subsystem (paper §5 methodology).
+//!
+//! The paper's scaling story rests on two instruments: **IPM**, which
+//! reports per-rank communication time, byte counts, and message-size
+//! distributions for the solver main loop, and the **PMaC** trace-driven
+//! framework, which replays captured traces through machine models. This
+//! crate is their in-process analog, shared by every other crate in the
+//! workspace:
+//!
+//! * a **span tracer** ([`span`]) — scoped RAII timers with parent/child
+//!   nesting, recorded into a fixed-capacity per-rank ring buffer;
+//! * a **metrics registry** ([`metrics`]) — named counters, gauges, and
+//!   log₂-bucketed histograms (message sizes, halo waits, step times);
+//! * **exporters** — a Chrome/Perfetto `trace_event` JSON file per run
+//!   ([`perfetto`]) and an IPM-style cross-rank report ([`report`]) with
+//!   per-phase min/mean/max/imbalance, communication fractions, per-tag
+//!   traffic, and top-k message sizes.
+//!
+//! # Threading model
+//!
+//! The workspace simulates MPI with one OS thread per rank, so all
+//! recording state is **thread-local**: a rank thread calls
+//! [`init_rank`] once, records spans and metrics while it works, and
+//! harvests everything with [`finish_rank`], which returns the rank's
+//! [`RankProfile`]. Threads that never call [`init_rank`] pay a single
+//! relaxed atomic load per would-be span — the zero-cost-when-disabled
+//! contract the hot kernels rely on.
+//!
+//! ```
+//! use specfem_obs as obs;
+//!
+//! obs::init_rank(0, &obs::TraceConfig::default());
+//! {
+//!     let _outer = obs::span("timeloop");
+//!     let _inner = obs::span("forces.solid");
+//!     obs::hist_record("msg_bytes", 4096);
+//!     obs::counter_add("steps", 1);
+//! }
+//! let profile = obs::finish_rank().unwrap();
+//! assert_eq!(profile.rank, 0);
+//! assert_eq!(profile.trace.events.len(), 2);
+//! ```
+
+pub mod metrics;
+pub mod perfetto;
+pub mod report;
+pub mod span;
+
+pub use metrics::{LogHistogram, MetricsRegistry, MetricsSnapshot};
+pub use perfetto::perfetto_json;
+pub use report::{IpmRankInput, IpmReport, PhaseRow, RankRow, TagTraffic};
+pub use span::{RankTrace, Span, SpanEvent};
+
+use std::cell::RefCell;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::OnceLock;
+use std::time::Instant;
+
+/// Configuration for one rank's tracer.
+#[derive(Debug, Clone)]
+pub struct TraceConfig {
+    /// Ring-buffer capacity in completed spans; when full, the oldest
+    /// events are overwritten (the most recent window survives, like a
+    /// flight recorder).
+    pub capacity: usize,
+}
+
+impl Default for TraceConfig {
+    fn default() -> Self {
+        Self { capacity: 8192 }
+    }
+}
+
+/// Everything one rank recorded: its trace and its metrics.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct RankProfile {
+    /// The rank id given to [`init_rank`].
+    pub rank: usize,
+    /// Completed spans (oldest first) and drop accounting.
+    pub trace: RankTrace,
+    /// Counter/gauge/histogram values at harvest time.
+    pub metrics: MetricsSnapshot,
+}
+
+/// Number of threads with a live tracer — the global fast-path gate. A
+/// relaxed load of this is the *entire* cost of a span on an
+/// uninstrumented run.
+static ACTIVE_TRACERS: AtomicUsize = AtomicUsize::new(0);
+
+/// Common epoch for all ranks, so cross-rank timestamps line up in the
+/// merged Perfetto timeline.
+static EPOCH: OnceLock<Instant> = OnceLock::new();
+
+/// Nanoseconds since the process-wide trace epoch.
+pub(crate) fn now_ns() -> u64 {
+    EPOCH.get_or_init(Instant::now).elapsed().as_nanos() as u64
+}
+
+pub(crate) struct RankObs {
+    pub(crate) rank: usize,
+    pub(crate) spans: span::SpanRecorder,
+    pub(crate) metrics: MetricsRegistry,
+}
+
+thread_local! {
+    static RANK_OBS: RefCell<Option<RankObs>> = const { RefCell::new(None) };
+}
+
+/// Start recording on the current thread as `rank`. A second call on the
+/// same thread replaces the previous recorder (its data is discarded).
+pub fn init_rank(rank: usize, config: &TraceConfig) {
+    // Pin the epoch before the first span so ts 0 ≈ run start.
+    let _ = now_ns();
+    RANK_OBS.with(|slot| {
+        let mut slot = slot.borrow_mut();
+        if slot.is_none() {
+            ACTIVE_TRACERS.fetch_add(1, Ordering::Relaxed);
+        }
+        *slot = Some(RankObs {
+            rank,
+            spans: span::SpanRecorder::new(config.capacity),
+            metrics: MetricsRegistry::default(),
+        });
+    });
+}
+
+/// Stop recording on the current thread and return everything it
+/// captured. Returns `None` when [`init_rank`] was never called (the
+/// disabled path), so callers can write
+/// `profile: specfem_obs::finish_rank()` unconditionally.
+pub fn finish_rank() -> Option<RankProfile> {
+    RANK_OBS.with(|slot| {
+        let taken = slot.borrow_mut().take();
+        taken.map(|obs| {
+            ACTIVE_TRACERS.fetch_sub(1, Ordering::Relaxed);
+            RankProfile {
+                rank: obs.rank,
+                trace: obs.spans.finish(obs.rank),
+                metrics: obs.metrics.snapshot(),
+            }
+        })
+    })
+}
+
+/// Whether the current thread has a live tracer.
+pub fn is_active() -> bool {
+    if ACTIVE_TRACERS.load(Ordering::Relaxed) == 0 {
+        return false;
+    }
+    RANK_OBS.with(|slot| slot.borrow().is_some())
+}
+
+/// Run `f` against the current thread's recorder, if any.
+pub(crate) fn with_obs<R>(f: impl FnOnce(&mut RankObs) -> R) -> Option<R> {
+    if ACTIVE_TRACERS.load(Ordering::Relaxed) == 0 {
+        return None;
+    }
+    RANK_OBS.with(|slot| slot.borrow_mut().as_mut().map(f))
+}
+
+/// Open a scoped span; it closes (and is recorded) when the returned
+/// guard drops. On an uninstrumented thread this is one relaxed atomic
+/// load and returns an inert guard.
+#[inline]
+pub fn span(name: &'static str) -> Span {
+    if ACTIVE_TRACERS.load(Ordering::Relaxed) == 0 {
+        return Span::inert();
+    }
+    Span::open(name)
+}
+
+/// Add `delta` to the named counter (no-op without a live tracer).
+#[inline]
+pub fn counter_add(name: &'static str, delta: u64) {
+    with_obs(|o| o.metrics.counter_add(name, delta));
+}
+
+/// Set the named gauge (no-op without a live tracer).
+#[inline]
+pub fn gauge_set(name: &'static str, value: f64) {
+    with_obs(|o| o.metrics.gauge_set(name, value));
+}
+
+/// Record `value` into the named log₂ histogram (no-op without a live
+/// tracer).
+#[inline]
+pub fn hist_record(name: &'static str, value: u64) {
+    with_obs(|o| o.metrics.hist_record(name, value));
+}
+
+/// Escape a string for inclusion in a JSON string literal (shared by the
+/// exporters; kept public so downstream report embedders reuse it).
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_thread_records_nothing() {
+        assert!(!is_active());
+        {
+            let _s = span("ignored");
+            counter_add("ignored", 1);
+            hist_record("ignored", 2);
+            gauge_set("ignored", 3.0);
+        }
+        assert!(finish_rank().is_none());
+    }
+
+    #[test]
+    fn init_record_finish_roundtrip() {
+        init_rank(7, &TraceConfig::default());
+        assert!(is_active());
+        {
+            let _outer = span("outer");
+            let _inner = span("inner");
+            counter_add("n", 2);
+            counter_add("n", 3);
+            gauge_set("g", 1.5);
+            hist_record("h", 1024);
+        }
+        let p = finish_rank().unwrap();
+        assert!(!is_active());
+        assert_eq!(p.rank, 7);
+        assert_eq!(p.trace.events.len(), 2);
+        assert_eq!(p.metrics.counters.get("n"), Some(&5));
+        assert_eq!(p.metrics.gauges.get("g"), Some(&1.5));
+        assert_eq!(p.metrics.histograms.get("h").unwrap().count(), 1);
+        p.trace.check_well_formed().unwrap();
+    }
+
+    #[test]
+    fn reinit_replaces_previous_recorder() {
+        init_rank(0, &TraceConfig::default());
+        {
+            let _s = span("a");
+        }
+        init_rank(1, &TraceConfig::default());
+        let p = finish_rank().unwrap();
+        assert_eq!(p.rank, 1);
+        assert!(p.trace.events.is_empty());
+        assert!(finish_rank().is_none());
+    }
+
+    #[test]
+    fn json_escape_handles_specials() {
+        assert_eq!(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(json_escape("\u{1}"), "\\u0001");
+        assert_eq!(json_escape("plain"), "plain");
+    }
+}

@@ -1,0 +1,267 @@
+//! Named counters, gauges, and log₂-bucketed histograms.
+//!
+//! The histogram is the IPM message-size distribution analog: 65 buckets
+//! where bucket 0 holds exact zeros and bucket *i* ≥ 1 holds values in
+//! `[2^(i−1), 2^i)` (bucket 64 tops out at `u64::MAX`). Recording is an
+//! `ilog2` and an array increment — cheap enough for per-message use.
+
+use std::collections::BTreeMap;
+
+/// Number of histogram buckets: zeros + one per bit position.
+pub const HIST_BUCKETS: usize = 65;
+
+/// A log₂-scale histogram over `u64` values.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LogHistogram {
+    /// Per-bucket counts; see [`LogHistogram::bucket_index`].
+    pub counts: [u64; HIST_BUCKETS],
+    /// Number of recorded values.
+    count: u64,
+    /// Saturating sum of recorded values.
+    sum: u64,
+    /// Smallest recorded value (`u64::MAX` when empty).
+    min: u64,
+    /// Largest recorded value (0 when empty).
+    max: u64,
+}
+
+impl Default for LogHistogram {
+    fn default() -> Self {
+        Self {
+            counts: [0; HIST_BUCKETS],
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+}
+
+impl LogHistogram {
+    /// The bucket a value lands in: 0 for 0, else `ilog2(v) + 1`.
+    #[inline]
+    pub fn bucket_index(value: u64) -> usize {
+        if value == 0 {
+            0
+        } else {
+            (64 - value.leading_zeros()) as usize
+        }
+    }
+
+    /// Inclusive `(lo, hi)` value range of bucket `i`.
+    pub fn bucket_bounds(i: usize) -> (u64, u64) {
+        assert!(i < HIST_BUCKETS, "bucket {i} out of range");
+        if i == 0 {
+            (0, 0)
+        } else if i == HIST_BUCKETS - 1 {
+            (1 << (i - 1), u64::MAX)
+        } else {
+            (1 << (i - 1), (1 << i) - 1)
+        }
+    }
+
+    /// Record one value.
+    #[inline]
+    pub fn record(&mut self, value: u64) {
+        self.counts[Self::bucket_index(value)] += 1;
+        self.count += 1;
+        self.sum = self.sum.saturating_add(value);
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+    }
+
+    /// Number of recorded values.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Saturating sum of recorded values.
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Smallest recorded value, if any.
+    pub fn min(&self) -> Option<u64> {
+        (self.count > 0).then_some(self.min)
+    }
+
+    /// Largest recorded value, if any.
+    pub fn max(&self) -> Option<u64> {
+        (self.count > 0).then_some(self.max)
+    }
+
+    /// Mean of recorded values (0 when empty; saturated sums bias low).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Fold another histogram into this one.
+    pub fn merge(&mut self, other: &LogHistogram) {
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// The `k` most-populated buckets as `(lo, hi, count)`, ordered by
+    /// descending count then ascending lower bound — the IPM "top
+    /// message sizes" table.
+    pub fn top_k(&self, k: usize) -> Vec<(u64, u64, u64)> {
+        let mut occupied: Vec<(usize, u64)> = self
+            .counts
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(i, &c)| (i, c))
+            .collect();
+        occupied.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        occupied
+            .into_iter()
+            .take(k)
+            .map(|(i, c)| {
+                let (lo, hi) = Self::bucket_bounds(i);
+                (lo, hi, c)
+            })
+            .collect()
+    }
+}
+
+/// Per-rank registry of named metrics. Keys are `&'static str` so
+/// recording never allocates.
+#[derive(Debug, Default)]
+pub struct MetricsRegistry {
+    counters: BTreeMap<&'static str, u64>,
+    gauges: BTreeMap<&'static str, f64>,
+    histograms: BTreeMap<&'static str, LogHistogram>,
+}
+
+impl MetricsRegistry {
+    /// Add `delta` to a counter (created at 0 on first use).
+    pub fn counter_add(&mut self, name: &'static str, delta: u64) {
+        *self.counters.entry(name).or_default() += delta;
+    }
+
+    /// Set a gauge to its latest value.
+    pub fn gauge_set(&mut self, name: &'static str, value: f64) {
+        self.gauges.insert(name, value);
+    }
+
+    /// Record into a histogram (created empty on first use).
+    pub fn hist_record(&mut self, name: &'static str, value: u64) {
+        self.histograms.entry(name).or_default().record(value);
+    }
+
+    /// Immutable copy with owned keys (deterministic `BTreeMap` order).
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        MetricsSnapshot {
+            counters: self
+                .counters
+                .iter()
+                .map(|(k, v)| (k.to_string(), *v))
+                .collect(),
+            gauges: self
+                .gauges
+                .iter()
+                .map(|(k, v)| (k.to_string(), *v))
+                .collect(),
+            histograms: self
+                .histograms
+                .iter()
+                .map(|(k, v)| (k.to_string(), v.clone()))
+                .collect(),
+        }
+    }
+}
+
+/// Immutable copy of a [`MetricsRegistry`].
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MetricsSnapshot {
+    /// Monotonic counts.
+    pub counters: BTreeMap<String, u64>,
+    /// Last-set values.
+    pub gauges: BTreeMap<String, f64>,
+    /// Log₂ distributions.
+    pub histograms: BTreeMap<String, LogHistogram>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_edges() {
+        assert_eq!(LogHistogram::bucket_index(0), 0);
+        assert_eq!(LogHistogram::bucket_index(1), 1);
+        assert_eq!(LogHistogram::bucket_index(2), 2);
+        assert_eq!(LogHistogram::bucket_index(3), 2);
+        assert_eq!(LogHistogram::bucket_index(4), 3);
+        assert_eq!(LogHistogram::bucket_index(u64::MAX), 64);
+        assert_eq!(LogHistogram::bucket_bounds(0), (0, 0));
+        assert_eq!(LogHistogram::bucket_bounds(1), (1, 1));
+        assert_eq!(LogHistogram::bucket_bounds(2), (2, 3));
+        assert_eq!(LogHistogram::bucket_bounds(64).1, u64::MAX);
+    }
+
+    #[test]
+    fn record_zero_and_max() {
+        let mut h = LogHistogram::default();
+        h.record(0);
+        h.record(u64::MAX);
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.counts[0], 1);
+        assert_eq!(h.counts[64], 1);
+        assert_eq!(h.min(), Some(0));
+        assert_eq!(h.max(), Some(u64::MAX));
+        assert_eq!(h.sum(), u64::MAX); // saturated
+    }
+
+    #[test]
+    fn merge_and_top_k() {
+        let mut a = LogHistogram::default();
+        let mut b = LogHistogram::default();
+        for _ in 0..5 {
+            a.record(1000); // bucket 10
+        }
+        for _ in 0..3 {
+            b.record(1000);
+        }
+        b.record(7); // bucket 3
+        a.merge(&b);
+        assert_eq!(a.count(), 9);
+        let top = a.top_k(2);
+        assert_eq!(top.len(), 2);
+        assert_eq!(top[0], (512, 1023, 8));
+        assert_eq!(top[1], (4, 7, 1));
+    }
+
+    #[test]
+    fn empty_histogram_reports_nothing() {
+        let h = LogHistogram::default();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.min(), None);
+        assert_eq!(h.max(), None);
+        assert_eq!(h.mean(), 0.0);
+        assert!(h.top_k(3).is_empty());
+    }
+
+    #[test]
+    fn registry_snapshot_is_deterministic() {
+        let mut r = MetricsRegistry::default();
+        r.counter_add("z", 1);
+        r.counter_add("a", 2);
+        r.gauge_set("g", 9.0);
+        r.hist_record("h", 33);
+        let s1 = r.snapshot();
+        let s2 = r.snapshot();
+        assert_eq!(s1, s2);
+        let keys: Vec<&String> = s1.counters.keys().collect();
+        assert_eq!(keys, vec!["a", "z"]);
+    }
+}

@@ -1,0 +1,112 @@
+//! Chrome/Perfetto `trace_event` JSON export.
+//!
+//! Emits the legacy JSON trace format (`{"traceEvents": [...]}`) that
+//! both `chrome://tracing` and [ui.perfetto.dev](https://ui.perfetto.dev)
+//! load directly. Every rank becomes a timeline row (`tid` = rank,
+//! `pid` = 1) named via an `"M"` metadata event; every completed span
+//! becomes an `"X"` complete event. Timestamps and durations are in
+//! microseconds per the format spec, derived from the shared trace
+//! epoch, so rank rows align on a single wall-clock axis.
+
+use crate::json_escape;
+use crate::span::RankTrace;
+
+/// Serialize rank traces as a Perfetto-loadable JSON string.
+///
+/// Traces are emitted in ascending rank order regardless of input order,
+/// so the output is deterministic for a given set of traces.
+pub fn perfetto_json(traces: &[RankTrace]) -> String {
+    let mut sorted: Vec<&RankTrace> = traces.iter().collect();
+    sorted.sort_by_key(|t| t.rank);
+
+    let total_events: usize = sorted.iter().map(|t| t.events.len()).sum();
+    let mut out = String::with_capacity(128 + 96 * (total_events + sorted.len()));
+    out.push_str("{\"displayTimeUnit\":\"ns\",\"traceEvents\":[");
+    let mut first = true;
+    let mut push = |out: &mut String, item: &str| {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        out.push_str(item);
+    };
+    for t in &sorted {
+        push(
+            &mut out,
+            &format!(
+                "{{\"ph\":\"M\",\"pid\":1,\"tid\":{},\"name\":\"thread_name\",\
+                 \"args\":{{\"name\":\"rank {}\"}}}}",
+                t.rank, t.rank
+            ),
+        );
+        for e in &t.events {
+            push(
+                &mut out,
+                &format!(
+                    "{{\"ph\":\"X\",\"pid\":1,\"tid\":{},\"name\":\"{}\",\
+                     \"ts\":{:.3},\"dur\":{:.3},\"args\":{{\"depth\":{}}}}}",
+                    t.rank,
+                    json_escape(e.name),
+                    e.start_ns as f64 / 1e3,
+                    e.dur_ns as f64 / 1e3,
+                    e.depth
+                ),
+            );
+        }
+    }
+    out.push_str("]}");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::span::SpanEvent;
+
+    fn trace(rank: usize, events: Vec<SpanEvent>) -> RankTrace {
+        RankTrace {
+            rank,
+            events,
+            dropped: 0,
+        }
+    }
+
+    fn ev(name: &'static str, start_ns: u64, dur_ns: u64, depth: u16) -> SpanEvent {
+        SpanEvent {
+            name,
+            start_ns,
+            dur_ns,
+            depth,
+        }
+    }
+
+    #[test]
+    fn emits_metadata_and_complete_events() {
+        let json = perfetto_json(&[trace(0, vec![ev("halo", 1500, 2500, 1)])]);
+        assert!(json.starts_with("{\"displayTimeUnit\":\"ns\",\"traceEvents\":["));
+        assert!(json.contains("\"ph\":\"M\""));
+        assert!(json.contains("\"name\":\"rank 0\""));
+        assert!(json.contains("\"ph\":\"X\""));
+        assert!(json.contains("\"name\":\"halo\""));
+        // 1500 ns -> 1.5 us, 2500 ns -> 2.5 us.
+        assert!(json.contains("\"ts\":1.500"));
+        assert!(json.contains("\"dur\":2.500"));
+        assert!(json.ends_with("]}"));
+    }
+
+    #[test]
+    fn rank_order_is_canonical() {
+        let a = perfetto_json(&[trace(1, vec![]), trace(0, vec![])]);
+        let b = perfetto_json(&[trace(0, vec![]), trace(1, vec![])]);
+        assert_eq!(a, b);
+        assert!(a.find("rank 0").unwrap() < a.find("rank 1").unwrap());
+    }
+
+    #[test]
+    fn empty_input_yields_valid_shell() {
+        assert_eq!(
+            perfetto_json(&[]),
+            "{\"displayTimeUnit\":\"ns\",\"traceEvents\":[]}"
+        );
+    }
+}

@@ -1,0 +1,271 @@
+//! Scoped spans with parent/child nesting and a per-rank ring buffer.
+//!
+//! A [`Span`] is an RAII timer: opening pushes onto the rank's span
+//! stack, dropping pops and records a completed [`SpanEvent`]. Guards may
+//! be dropped out of order (e.g. held in collections); closing a span
+//! that still has open children closes the children at the same instant,
+//! so the recorded event set always forms a well-formed tree — verified
+//! by [`RankTrace::check_well_formed`] and the crate's proptests.
+
+use crate::{now_ns, with_obs};
+
+/// One completed span.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SpanEvent {
+    /// Static span name (e.g. `"forces.solid"`).
+    pub name: &'static str,
+    /// Start, nanoseconds since the process trace epoch.
+    pub start_ns: u64,
+    /// Duration in nanoseconds.
+    pub dur_ns: u64,
+    /// Nesting depth at open (0 = top level).
+    pub depth: u16,
+}
+
+impl SpanEvent {
+    /// End timestamp (ns since epoch).
+    pub fn end_ns(&self) -> u64 {
+        self.start_ns + self.dur_ns
+    }
+}
+
+/// An open span on the stack.
+struct OpenSpan {
+    id: u64,
+    name: &'static str,
+    start_ns: u64,
+}
+
+/// Fixed-capacity ring of completed spans: when full, the oldest events
+/// are overwritten so the most recent window survives (flight-recorder
+/// semantics — on a 100k-step run you want the steady state, not the
+/// first second).
+pub(crate) struct SpanRecorder {
+    capacity: usize,
+    buf: Vec<SpanEvent>,
+    /// Index of the oldest event once the ring has wrapped.
+    head: usize,
+    /// Events overwritten after the ring filled.
+    dropped: u64,
+    stack: Vec<OpenSpan>,
+    next_id: u64,
+}
+
+impl SpanRecorder {
+    pub(crate) fn new(capacity: usize) -> Self {
+        Self {
+            capacity: capacity.max(1),
+            buf: Vec::new(),
+            head: 0,
+            dropped: 0,
+            stack: Vec::new(),
+            next_id: 0,
+        }
+    }
+
+    fn push_event(&mut self, e: SpanEvent) {
+        if self.buf.len() < self.capacity {
+            self.buf.push(e);
+        } else {
+            self.buf[self.head] = e;
+            self.head = (self.head + 1) % self.capacity;
+            self.dropped += 1;
+        }
+    }
+
+    fn open(&mut self, name: &'static str) -> u64 {
+        let id = self.next_id;
+        self.next_id += 1;
+        self.stack.push(OpenSpan {
+            id,
+            name,
+            start_ns: now_ns(),
+        });
+        id
+    }
+
+    /// Close span `id` and any of its still-open children (they all end
+    /// at the same instant, preserving tree shape under out-of-order
+    /// guard drops). Ignores ids already closed by a parent.
+    fn close(&mut self, id: u64) {
+        let Some(pos) = self.stack.iter().rposition(|s| s.id == id) else {
+            return;
+        };
+        let end = now_ns();
+        while self.stack.len() > pos {
+            let open = self.stack.pop().unwrap();
+            let depth = self.stack.len() as u16;
+            self.push_event(SpanEvent {
+                name: open.name,
+                start_ns: open.start_ns,
+                dur_ns: end.saturating_sub(open.start_ns),
+                depth,
+            });
+        }
+    }
+
+    /// Close anything still open and return the trace, oldest event
+    /// first.
+    pub(crate) fn finish(mut self, rank: usize) -> RankTrace {
+        if let Some(bottom) = self.stack.first().map(|s| s.id) {
+            self.close(bottom);
+        }
+        let mut events = self.buf;
+        events.rotate_left(self.head);
+        RankTrace {
+            rank,
+            events,
+            dropped: self.dropped,
+        }
+    }
+}
+
+/// RAII guard returned by [`crate::span`].
+pub struct Span {
+    id: Option<u64>,
+}
+
+impl Span {
+    pub(crate) fn inert() -> Self {
+        Span { id: None }
+    }
+
+    pub(crate) fn open(name: &'static str) -> Self {
+        Span {
+            id: with_obs(|o| o.spans.open(name)),
+        }
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        if let Some(id) = self.id {
+            with_obs(|o| o.spans.close(id));
+        }
+    }
+}
+
+/// One rank's completed trace.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct RankTrace {
+    /// The rank that recorded it.
+    pub rank: usize,
+    /// Completed spans, oldest first. Children are recorded before their
+    /// parents (a span completes only after everything inside it).
+    pub events: Vec<SpanEvent>,
+    /// Events overwritten because the ring buffer was full.
+    pub dropped: u64,
+}
+
+impl RankTrace {
+    /// Total seconds per span name (durations summed over all
+    /// occurrences). Nested spans contribute to their own name only, so
+    /// phase names should not nest within themselves.
+    pub fn phase_seconds(&self) -> Vec<(String, f64)> {
+        let mut per: std::collections::BTreeMap<&'static str, f64> = Default::default();
+        for e in &self.events {
+            *per.entry(e.name).or_default() += e.dur_ns as f64 * 1e-9;
+        }
+        per.into_iter().map(|(k, v)| (k.to_string(), v)).collect()
+    }
+
+    /// Verify the events form a well-formed forest: any two spans are
+    /// either disjoint in time or properly nested (with the inner one
+    /// deeper). Quadratic — a test/debug aid, not a hot path.
+    pub fn check_well_formed(&self) -> Result<(), String> {
+        for (i, a) in self.events.iter().enumerate() {
+            for b in self.events.iter().skip(i + 1) {
+                let disjoint = a.end_ns() <= b.start_ns || b.end_ns() <= a.start_ns;
+                let a_in_b = a.start_ns >= b.start_ns && a.end_ns() <= b.end_ns();
+                let b_in_a = b.start_ns >= a.start_ns && b.end_ns() <= a.end_ns();
+                if !(disjoint || a_in_b || b_in_a) {
+                    return Err(format!("spans overlap without nesting: {a:?} vs {b:?}"));
+                }
+                // Equal-interval spans arise when a parent closes its
+                // children at the same instant; depth still orders them.
+                if (a_in_b && b_in_a) && a.depth == b.depth && a.name != b.name {
+                    continue; // zero-length siblings at one instant are fine
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{finish_rank, init_rank, span, TraceConfig};
+
+    #[test]
+    fn nesting_depths_are_recorded() {
+        init_rank(0, &TraceConfig::default());
+        {
+            let _a = span("a");
+            {
+                let _b = span("b");
+                let _c = span("c");
+            }
+        }
+        let t = finish_rank().unwrap().trace;
+        let depth_of = |n: &str| t.events.iter().find(|e| e.name == n).unwrap().depth;
+        assert_eq!(depth_of("a"), 0);
+        assert_eq!(depth_of("b"), 1);
+        assert_eq!(depth_of("c"), 2);
+        t.check_well_formed().unwrap();
+    }
+
+    #[test]
+    fn out_of_order_drop_closes_children() {
+        init_rank(0, &TraceConfig::default());
+        let a = span("a");
+        let _b = span("b"); // child of a, dropped after a below
+        drop(a); // closes both a and b
+        let t = finish_rank().unwrap().trace;
+        assert_eq!(t.events.len(), 2);
+        t.check_well_formed().unwrap();
+        // b must be contained in a.
+        let ea = t.events.iter().find(|e| e.name == "a").unwrap();
+        let eb = t.events.iter().find(|e| e.name == "b").unwrap();
+        assert!(eb.start_ns >= ea.start_ns && eb.end_ns() <= ea.end_ns());
+    }
+
+    #[test]
+    fn ring_overwrites_oldest_and_counts_drops() {
+        init_rank(0, &TraceConfig { capacity: 4 });
+        for i in 0..10u64 {
+            let _s = span(if i % 2 == 0 { "even" } else { "odd" });
+        }
+        let t = finish_rank().unwrap().trace;
+        assert_eq!(t.events.len(), 4);
+        assert_eq!(t.dropped, 6);
+        // Oldest-first ordering survives the wrap.
+        for w in t.events.windows(2) {
+            assert!(w[0].start_ns <= w[1].start_ns);
+        }
+    }
+
+    #[test]
+    fn unclosed_spans_are_closed_at_finish() {
+        init_rank(3, &TraceConfig::default());
+        let _leak = span("leaked");
+        std::mem::forget(_leak);
+        let t = finish_rank().unwrap().trace;
+        assert_eq!(t.events.len(), 1);
+        assert_eq!(t.events[0].name, "leaked");
+    }
+
+    #[test]
+    fn phase_seconds_sums_by_name() {
+        init_rank(0, &TraceConfig::default());
+        for _ in 0..3 {
+            let _s = span("x");
+        }
+        {
+            let _s = span("y");
+        }
+        let t = finish_rank().unwrap().trace;
+        let phases = t.phase_seconds();
+        let names: Vec<&str> = phases.iter().map(|(n, _)| n.as_str()).collect();
+        assert_eq!(names, vec!["x", "y"]);
+    }
+}

@@ -1,0 +1,150 @@
+//! Property-based tests for the observability crate: arbitrary span
+//! open/close interleavings must yield well-formed trees, histogram
+//! bucketing must be consistent at all edges, and the cross-rank report
+//! must be input-order independent.
+
+use proptest::prelude::*;
+use specfem_obs::{
+    finish_rank, init_rank, span, IpmRankInput, IpmReport, LogHistogram, Span, TagTraffic,
+    TraceConfig,
+};
+
+/// Names for randomly opened spans.
+const NAMES: [&str; 4] = ["alpha", "beta", "gamma", "delta"];
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Arbitrary interleavings of opens and (possibly out-of-order)
+    /// guard drops always produce a well-formed span forest, and every
+    /// opened span is eventually recorded exactly once.
+    #[test]
+    fn random_open_close_yields_well_formed_tree(
+        ops in prop::collection::vec(0u8..=255, 1..60),
+    ) {
+        init_rank(0, &TraceConfig { capacity: 4096 });
+        let mut opened = 0usize;
+        let mut held: Vec<Span> = Vec::new();
+        for op in &ops {
+            if *op % 2 == 0 || held.is_empty() {
+                held.push(span(NAMES[(*op as usize / 2) % NAMES.len()]));
+                opened += 1;
+            } else {
+                // Drop an arbitrary held guard — possibly out of order.
+                let idx = (*op as usize) % held.len();
+                drop(held.swap_remove(idx));
+            }
+        }
+        drop(held);
+        let trace = finish_rank().unwrap().trace;
+        prop_assert_eq!(trace.events.len(), opened);
+        prop_assert_eq!(trace.dropped, 0);
+        if let Err(msg) = trace.check_well_formed() {
+            prop_assert!(false, "{}", msg);
+        }
+        // Events are reported oldest-completed first.
+        for w in trace.events.windows(2) {
+            prop_assert!(w[0].end_ns() <= w[1].end_ns());
+        }
+    }
+
+    /// Every value lands in a bucket whose bounds contain it, including
+    /// 0 and u64::MAX, and bucket counts always sum to the total count.
+    #[test]
+    fn histogram_buckets_contain_their_values(
+        values in prop::collection::vec(any::<u64>(), 0..40),
+        edge_zero in any::<bool>(),
+        edge_max in any::<bool>(),
+    ) {
+        let mut values = values;
+        if edge_zero {
+            values.push(0);
+        }
+        if edge_max {
+            values.push(u64::MAX);
+        }
+        let mut h = LogHistogram::default();
+        for &v in &values {
+            let i = LogHistogram::bucket_index(v);
+            let (lo, hi) = LogHistogram::bucket_bounds(i);
+            prop_assert!(lo <= v && v <= hi, "{v} outside bucket {i} = [{lo}, {hi}]");
+            h.record(v);
+        }
+        prop_assert_eq!(h.count(), values.len() as u64);
+        prop_assert_eq!(h.counts.iter().sum::<u64>(), values.len() as u64);
+        prop_assert_eq!(h.min(), values.iter().min().copied());
+        prop_assert_eq!(h.max(), values.iter().max().copied());
+    }
+
+    /// Merging histograms is equivalent to recording the concatenation.
+    #[test]
+    fn histogram_merge_matches_concatenation(
+        a in prop::collection::vec(any::<u64>(), 0..30),
+        b in prop::collection::vec(any::<u64>(), 0..30),
+    ) {
+        let mut ha = LogHistogram::default();
+        let mut hb = LogHistogram::default();
+        let mut hall = LogHistogram::default();
+        for &v in &a {
+            ha.record(v);
+            hall.record(v);
+        }
+        for &v in &b {
+            hb.record(v);
+            hall.record(v);
+        }
+        ha.merge(&hb);
+        prop_assert_eq!(ha, hall);
+    }
+
+    /// The cross-rank report is deterministic and independent of the
+    /// order ranks are supplied in, and totals match a direct sum.
+    #[test]
+    fn report_is_order_independent(
+        ranks in prop::collection::vec(
+            (0.001f64..10.0, 0.0f64..1.0, 0u64..1_000_000, 1u64..100),
+            1..8,
+        ),
+    ) {
+        let inputs: Vec<IpmRankInput> = ranks
+            .iter()
+            .enumerate()
+            .map(|(rank, &(elapsed, comm_frac, bytes, msgs))| {
+                let mut size_hist = LogHistogram::default();
+                size_hist.record(bytes);
+                IpmRankInput {
+                    rank,
+                    elapsed_s: elapsed,
+                    comm_wall_s: elapsed * comm_frac,
+                    modeled_comm_s: elapsed * comm_frac * 0.5,
+                    bytes_sent: bytes,
+                    bytes_received: bytes,
+                    messages_sent: msgs,
+                    collectives: 1,
+                    per_tag: vec![TagTraffic { tag: 100, messages: msgs, bytes }],
+                    size_hist,
+                    phase_seconds: vec![("halo".into(), elapsed * comm_frac)],
+                }
+            })
+            .collect();
+        let forward = IpmReport::build(&inputs);
+        let mut reversed = inputs.clone();
+        reversed.reverse();
+        let backward = IpmReport::build(&reversed);
+        prop_assert_eq!(&forward, &backward);
+        prop_assert_eq!(forward.render_text(), backward.render_text());
+        prop_assert_eq!(forward.to_json(), backward.to_json());
+
+        let bytes_sum: u64 = inputs.iter().map(|i| i.bytes_sent).sum();
+        let msgs_sum: u64 = inputs.iter().map(|i| i.messages_sent).sum();
+        prop_assert_eq!(forward.total_bytes_sent, bytes_sum);
+        prop_assert_eq!(forward.total_messages, msgs_sum);
+        prop_assert_eq!(forward.ranks, inputs.len());
+        prop_assert_eq!(forward.tags.len(), 1);
+        prop_assert_eq!(forward.tags[0].bytes, bytes_sum);
+        // Per-rank rows come back sorted by rank.
+        for w in forward.per_rank.windows(2) {
+            prop_assert!(w[0].rank < w[1].rank);
+        }
+    }
+}

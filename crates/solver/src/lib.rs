@@ -96,6 +96,17 @@ pub struct SolverConfig {
     /// Deterministic fault-injection schedule (delays, drops, corruption,
     /// rank death); `None` runs clean.
     pub fault_plan: Option<FaultPlan>,
+    /// Record span traces and metrics on every rank (the IPM/PMaC-style
+    /// instrumentation of paper §5). Off by default: with tracing off a
+    /// would-be span costs a single relaxed atomic load.
+    pub trace: bool,
+    /// Where the run's observability artifacts (Perfetto trace, IPM
+    /// report) are written by the facade; `None` keeps them in memory
+    /// on the `RankResult`s only.
+    pub trace_dir: Option<std::path::PathBuf>,
+    /// Sample per-step timing metrics every this many steps when tracing
+    /// (0 disables step sampling; spans are unaffected).
+    pub metrics_every: usize,
 }
 
 impl Default for SolverConfig {
@@ -116,6 +127,9 @@ impl Default for SolverConfig {
             checkpoint_every: 0,
             recv_timeout: Some(Duration::from_secs(30)),
             fault_plan: None,
+            trace: false,
+            trace_dir: None,
+            metrics_every: 10,
         }
     }
 }

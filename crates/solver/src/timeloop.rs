@@ -92,6 +92,9 @@ pub struct RankResult {
     pub station_error_m: f64,
     /// Displacement snapshots (when `snapshot_every > 0`).
     pub snapshots: Option<crate::adjoint::WavefieldSnapshots>,
+    /// Span trace and metrics captured on this rank's thread
+    /// (`Some` only when `config.trace` enabled the recorder).
+    pub profile: Option<specfem_obs::RankProfile>,
 }
 
 impl RankResult {
@@ -151,6 +154,7 @@ impl RankSolver {
         stations: &[Station],
         comm: &mut dyn Communicator,
     ) -> Self {
+        let _span = specfem_obs::span("solver.setup");
         let gravity_profile = if config.gravity {
             Some(specfem_model::GravityProfile::new(
                 &specfem_model::Prem::isotropic_no_ocean(),
@@ -308,36 +312,47 @@ impl RankSolver {
     /// at `t = (istep + 1)·dt`.
     pub fn step(&mut self, istep: usize, comm: &mut dyn Communicator) -> Result<(), SolverError> {
         comm.on_time_step(istep)?;
+        let _span = specfem_obs::span("step");
         let dt = self.dt as f32;
         let t = (istep + 1) as f64 * self.dt;
 
         // 1. Newmark predictor on both media.
-        self.fields.predictor(dt);
+        {
+            let _s = specfem_obs::span("step.predictor");
+            self.fields.predictor(dt);
+        }
 
         // 2. Fluid outer core: stiffness + coupling from the *predicted
         //    solid displacement* (the displacement-based scheme of [4]),
         //    assemble, divide by mass.
-        compute_fluid_forces(
-            &self.mesh,
-            &self.geom,
-            &self.ops,
-            self.config.variant,
-            &mut self.fields,
-            &mut self.flops,
-        );
-        self.coupling
-            .add_solid_displacement_to_fluid(&mut self.fields);
-        assemble_halo(
-            comm,
-            &self.mesh.halo,
-            &mut self.fields.chi_ddot,
-            1,
-            tags::HALO_FLUID,
-        )?;
+        {
+            let _s = specfem_obs::span("forces.fluid");
+            compute_fluid_forces(
+                &self.mesh,
+                &self.geom,
+                &self.ops,
+                self.config.variant,
+                &mut self.fields,
+                &mut self.flops,
+            );
+            self.coupling
+                .add_solid_displacement_to_fluid(&mut self.fields);
+        }
+        {
+            let _s = specfem_obs::span("assemble.fluid");
+            assemble_halo(
+                comm,
+                &self.mesh.halo,
+                &mut self.fields.chi_ddot,
+                1,
+                tags::HALO_FLUID,
+            )?;
+        }
         self.fields.corrector_fluid(&self.mass.fluid, dt);
 
         // 3. Solid regions: stiffness (+ attenuation, gravity), coupling
         //    from the fresh fluid acceleration, source, assemble.
+        let span_solid = specfem_obs::span("forces.solid");
         compute_solid_forces(
             &self.mesh,
             &self.geom,
@@ -357,13 +372,17 @@ impl RankSolver {
         if self.apply_source {
             self.source.apply(t, &mut self.fields);
         }
-        assemble_halo(
-            comm,
-            &self.mesh.halo,
-            &mut self.fields.accel,
-            3,
-            tags::HALO_SOLID,
-        )?;
+        drop(span_solid);
+        {
+            let _s = specfem_obs::span("assemble.solid");
+            assemble_halo(
+                comm,
+                &self.mesh.halo,
+                &mut self.fields.accel,
+                3,
+                tags::HALO_SOLID,
+            )?;
+        }
 
         // Ocean load: scale the normal RHS component by M/(M+M_o) so the
         // upcoming division by M yields F_n/(M+M_o) on the free surface.
@@ -381,12 +400,14 @@ impl RankSolver {
         // Energy diagnostic uses the assembled right-hand side (before the
         // mass division) so PE = −½ uᵀ(−K u) is available.
         if self.config.energy_every > 0 && istep.is_multiple_of(self.config.energy_every) {
+            let _s = specfem_obs::span("diag.energy");
             let (ke, pe) = self.energy_sample(comm)?;
             self.energy.push((istep, ke, pe));
         }
 
         // 4. Solid corrector (with optional Coriolis term applied between
         //    the mass division and the velocity half-update).
+        let span_corrector = specfem_obs::span("step.corrector");
         if self.config.rotation {
             let half_dt = 0.5 * dt;
             let om = EARTH_OMEGA_RAD_S as f32;
@@ -413,8 +434,10 @@ impl RankSolver {
 
         // Bookkeeping flops for the update loops (≈ 50/point/step).
         self.flops.add_raw(self.mesh.nglob as u64 * 50);
+        drop(span_corrector);
 
         if istep.is_multiple_of(self.config.record_every) {
+            let _s = specfem_obs::span("step.record");
             self.receivers.record(&self.mesh, &self.fields);
         }
         if self.config.snapshot_every > 0 && istep.is_multiple_of(self.config.snapshot_every) {
@@ -575,9 +598,22 @@ impl RankSolver {
     ) -> Result<RankResult, SolverError> {
         comm.barrier()?;
         comm.reset_stats(); // main-loop statistics only, like IPM (§5)
+        let span_timeloop = specfem_obs::span("timeloop");
+        // Per-step timing samples: only while a tracer is live, and only
+        // every `metrics_every`-th step so sampling stays cheap.
+        let sample_every = if specfem_obs::is_active() {
+            self.config.metrics_every
+        } else {
+            0
+        };
         let t0 = Instant::now();
         for istep in self.start_step..self.config.nsteps {
+            let t_step =
+                (sample_every > 0 && istep.is_multiple_of(sample_every)).then(Instant::now);
             self.step(istep, comm)?;
+            if let Some(t) = t_step {
+                specfem_obs::hist_record("solver.step_ns", t.elapsed().as_nanos() as u64);
+            }
             if self.config.checkpoint_every > 0 && (istep + 1) % self.config.checkpoint_every == 0 {
                 if let Some(sink) = sink.as_mut() {
                     let state = self.capture_checkpoint(comm.rank(), comm.size(), istep + 1);
@@ -586,7 +622,14 @@ impl RankSolver {
             }
         }
         comm.barrier()?;
+        drop(span_timeloop);
         let elapsed = t0.elapsed().as_secs_f64();
+        specfem_obs::counter_add(
+            "solver.steps",
+            (self.config.nsteps - self.start_step) as u64,
+        );
+        specfem_obs::gauge_set("solver.nspec", self.mesh.nspec as f64);
+        specfem_obs::gauge_set("solver.nglob", self.mesh.nglob as f64);
         let station_error_m = self.receivers.worst_error_m();
         let snapshots = if self.config.snapshot_every > 0 {
             Some(crate::adjoint::WavefieldSnapshots {
@@ -612,12 +655,16 @@ impl RankSolver {
             nglob: self.mesh.nglob,
             station_error_m,
             snapshots,
+            profile: specfem_obs::finish_rank(),
         })
     }
 }
 
 /// Run serially (one rank, whole mesh) — the merged mesher+solver path.
 pub fn run_serial(mesh: &GlobalMesh, config: &SolverConfig, stations: &[Station]) -> RankResult {
+    if config.trace {
+        specfem_obs::init_rank(0, &specfem_obs::TraceConfig::default());
+    }
     let local = Partition::serial(mesh).extract(mesh, 0);
     let mut comm = SerialComm::new();
     let solver = RankSolver::new(local, config, stations, &mut comm);
@@ -668,25 +715,38 @@ pub fn try_run_distributed(
     ThreadWorld::try_run(nranks, profile, |mut base| {
         base.set_recv_timeout(config.recv_timeout);
         let rank = base.rank();
+        if config.trace {
+            // Before extraction so mesh-extract and setup spans land in
+            // the trace too.
+            specfem_obs::init_rank(rank, &specfem_obs::TraceConfig::default());
+        }
         let mut comm: Box<dyn Communicator> = match &config.fault_plan {
             Some(plan) => Box::new(FaultyComm::new(base, plan)),
             None => Box::new(base),
         };
         let local = partition.extract(mesh, rank);
         let mut solver = RankSolver::new(local, config, stations, comm.as_mut());
-        if let Some(restore) = opts.restore {
-            match restore(rank) {
-                Ok(Some(state)) => solver.restore_from(state)?,
-                Ok(None) => {}
-                Err(e) => return Err(SolverError::Checkpoint(e)),
+        let out = (move || {
+            if let Some(restore) = opts.restore {
+                match restore(rank) {
+                    Ok(Some(state)) => solver.restore_from(state)?,
+                    Ok(None) => {}
+                    Err(e) => return Err(SolverError::Checkpoint(e)),
+                }
             }
+            let mut sink = opts.sink_factory.map(|f| f(rank));
+            let sink_ref: Option<&mut dyn CheckpointSink> = match sink.as_mut() {
+                Some(b) => Some(&mut **b),
+                None => None,
+            };
+            solver.try_run(comm.as_mut(), sink_ref)
+        })();
+        if out.is_err() {
+            // A failed rank never reached the harvest in `try_run`; drop
+            // its recorder so the global tracer gate is released.
+            let _ = specfem_obs::finish_rank();
         }
-        let mut sink = opts.sink_factory.map(|f| f(rank));
-        let sink_ref: Option<&mut dyn CheckpointSink> = match sink.as_mut() {
-            Some(b) => Some(&mut **b),
-            None => None,
-        };
-        solver.try_run(comm.as_mut(), sink_ref)
+        out
     })
     .into_iter()
     .map(|r| match r {

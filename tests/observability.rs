@@ -1,0 +1,120 @@
+//! End-to-end observability: a traced run must yield well-formed span
+//! trees on every rank, a Perfetto export that actually parses as JSON,
+//! and an IPM report whose per-rank bytes agree exactly with the
+//! communicator's own accounting.
+
+use specfem_core::{NetworkProfile, Simulation};
+
+#[test]
+fn traced_run_produces_profiles_and_parseable_artifacts() {
+    let dir = std::env::temp_dir().join("specfem_obs_integration");
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let sim = Simulation::builder()
+        .resolution(4)
+        .processors(1) // 6 ranks
+        .steps(8)
+        .stations(2)
+        .trace_dir(&dir)
+        .metrics_every(2)
+        .build()
+        .unwrap();
+    let result = sim.run_parallel(NetworkProfile::loopback());
+    assert_eq!(result.ranks.len(), 6);
+
+    // Every rank recorded a well-formed trace covering the main loop.
+    for r in &result.ranks {
+        let p = r.profile.as_ref().expect("traced rank has a profile");
+        assert_eq!(p.rank, r.rank);
+        p.trace.check_well_formed().unwrap();
+        assert!(p.trace.events.iter().any(|e| e.name == "timeloop"));
+        assert!(p.trace.events.iter().any(|e| e.name == "forces.solid"));
+        assert!(p.metrics.histograms.contains_key("solver.step_ns"));
+    }
+    let mesher = result.mesher_profile.as_ref().expect("mesher profile");
+    assert!(mesher.trace.events.iter().any(|e| e.name == "mesh.build"));
+
+    // The Perfetto export is valid JSON with metadata and span events.
+    let json = result.perfetto_json().expect("traced run exports a trace");
+    let v = serde_json::from_str(&json).expect("Perfetto JSON parses");
+    assert_eq!(v["displayTimeUnit"].as_str(), Some("ns"));
+    let events = v["traceEvents"].as_array().unwrap();
+    assert!(events.iter().any(|e| e["ph"].as_str() == Some("M")));
+    assert!(events.iter().any(|e| e["ph"].as_str() == Some("X")));
+
+    // IPM per-rank rows reproduce CommStats byte-for-byte.
+    let report = result.ipm_report();
+    let rj = serde_json::from_str(&report.to_json()).expect("report JSON parses");
+    let per_rank = rj["per_rank"].as_array().unwrap();
+    assert_eq!(per_rank.len(), result.ranks.len());
+    for r in &result.ranks {
+        let row = per_rank
+            .iter()
+            .find(|row| row["rank"].as_u64() == Some(r.rank as u64))
+            .expect("every rank has a report row");
+        assert_eq!(row["bytes_sent"].as_u64(), Some(r.comm.bytes_sent));
+        assert_eq!(row["bytes_received"].as_u64(), Some(r.comm.bytes_received));
+        assert_eq!(row["messages_sent"].as_u64(), Some(r.comm.messages_sent));
+    }
+    let total_sent: u64 = result.ranks.iter().map(|r| r.comm.bytes_sent).sum();
+    assert_eq!(rj["totals"]["bytes_sent"].as_u64(), Some(total_sent));
+    assert!(!report.phases.is_empty());
+    assert!(report.phases.iter().any(|p| p.name == "comm.halo"));
+
+    // `trace_dir` auto-wrote all three artifacts.
+    for f in ["ipm_report.txt", "ipm_report.json", "trace.perfetto.json"] {
+        assert!(dir.join(f).is_file(), "{f} missing from {}", dir.display());
+    }
+    let text = std::fs::read_to_string(dir.join("ipm_report.txt")).unwrap();
+    assert!(text.contains("IPM-style report"));
+    let on_disk = std::fs::read_to_string(dir.join("trace.perfetto.json")).unwrap();
+    assert!(serde_json::from_str(&on_disk).is_ok());
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn untraced_run_records_nothing_but_still_reports() {
+    let sim = Simulation::builder()
+        .resolution(4)
+        .steps(5)
+        .stations(1)
+        .build()
+        .unwrap();
+    let result = sim.run_serial();
+    assert!(result.ranks[0].profile.is_none());
+    assert!(result.mesher_profile.is_none());
+    assert!(result.perfetto_json().is_none());
+
+    // The IPM report still works from communication counters alone.
+    let report = result.ipm_report();
+    assert_eq!(report.ranks, 1);
+    assert!(report.phases.is_empty());
+    assert!(serde_json::from_str(&report.to_json()).is_ok());
+}
+
+#[test]
+fn traced_serial_and_parallel_report_identical_physics() {
+    // Tracing must not perturb the simulation: seismograms of a traced
+    // run are bit-identical to an untraced one.
+    let base = Simulation::builder()
+        .resolution(4)
+        .steps(6)
+        .stations(2)
+        .build()
+        .unwrap();
+    let traced = Simulation::builder()
+        .resolution(4)
+        .steps(6)
+        .stations(2)
+        .trace(true)
+        .build()
+        .unwrap();
+    let a = base.run_serial();
+    let b = traced.run_serial();
+    assert_eq!(a.seismograms.len(), b.seismograms.len());
+    for (sa, sb) in a.seismograms.iter().zip(&b.seismograms) {
+        assert_eq!(sa.station, sb.station);
+        assert_eq!(sa.data, sb.data);
+    }
+    assert!(b.ranks[0].profile.is_some());
+}

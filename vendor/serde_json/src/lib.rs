@@ -1,0 +1,510 @@
+//! Offline stand-in for `serde_json`.
+//!
+//! The build environment has no crates.io access, so this crate
+//! reimplements the slice of the `serde_json` API the workspace uses:
+//! [`from_str`] parsing into a [`Value`] tree, the accessor methods on
+//! `Value` (`get`, indexing, `as_*`), and [`Error`] with a line/column
+//! position. It is a strict parser — trailing garbage, unterminated
+//! strings, bad escapes, and malformed numbers are errors — which is
+//! exactly what the CI smoke test needs to validate exported Perfetto
+//! traces and IPM reports.
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::ops::Index;
+
+/// A parsed JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// Any JSON number (stored as `f64`, like `serde_json`'s lossy view).
+    Number(f64),
+    /// A string.
+    String(String),
+    /// An array.
+    Array(Vec<Value>),
+    /// An object. `BTreeMap` keeps key iteration deterministic.
+    Object(BTreeMap<String, Value>),
+}
+
+impl Value {
+    /// Member access by key (objects) — `None` for other variants.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Object(m) => m.get(key),
+            _ => None,
+        }
+    }
+
+    /// Element access by index (arrays) — `None` for other variants.
+    pub fn get_index(&self, i: usize) -> Option<&Value> {
+        match self {
+            Value::Array(v) => v.get(i),
+            _ => None,
+        }
+    }
+
+    /// The string slice, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The number as `f64`, if this is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Number(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The number as `u64`, if it is a non-negative integer.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::Number(n) if *n >= 0.0 && n.fract() == 0.0 && *n <= u64::MAX as f64 => {
+                Some(*n as u64)
+            }
+            _ => None,
+        }
+    }
+
+    /// The number as `i64`, if it is an integer in range.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::Number(n)
+                if n.fract() == 0.0 && *n >= i64::MIN as f64 && *n <= i64::MAX as f64 =>
+            {
+                Some(*n as i64)
+            }
+            _ => None,
+        }
+    }
+
+    /// The boolean, if this is a boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The elements, if this is an array.
+    pub fn as_array(&self) -> Option<&Vec<Value>> {
+        match self {
+            Value::Array(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// The members, if this is an object.
+    pub fn as_object(&self) -> Option<&BTreeMap<String, Value>> {
+        match self {
+            Value::Object(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    /// Whether this is `null`.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+}
+
+impl Index<&str> for Value {
+    type Output = Value;
+
+    /// Panics with a clear message when the key is absent — matches the
+    /// upstream convenience behavior used in tests.
+    fn index(&self, key: &str) -> &Value {
+        self.get(key)
+            .unwrap_or_else(|| panic!("no member {key:?} in {self:?}"))
+    }
+}
+
+impl Index<usize> for Value {
+    type Output = Value;
+
+    fn index(&self, i: usize) -> &Value {
+        self.get_index(i)
+            .unwrap_or_else(|| panic!("no index {i} in JSON value"))
+    }
+}
+
+/// A parse error with 1-based line/column position.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error {
+    msg: String,
+    line: usize,
+    column: usize,
+}
+
+impl Error {
+    /// 1-based line of the error.
+    pub fn line(&self) -> usize {
+        self.line
+    }
+
+    /// 1-based column of the error.
+    pub fn column(&self) -> usize {
+        self.column
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} at line {} column {}",
+            self.msg, self.line, self.column
+        )
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Parse alias mirroring `serde_json::Result`.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Parse a complete JSON document. Trailing non-whitespace is an error.
+pub fn from_str(s: &str) -> Result<Value> {
+    let mut p = Parser {
+        bytes: s.as_bytes(),
+        pos: 0,
+        depth: 0,
+    };
+    p.skip_ws();
+    let v = p.value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(p.err("trailing characters"));
+    }
+    Ok(v)
+}
+
+/// Nesting guard: deeper than this is rejected rather than overflowing
+/// the stack on adversarial input.
+const MAX_DEPTH: usize = 128;
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+    depth: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn err(&self, msg: &str) -> Error {
+        let mut line = 1;
+        let mut column = 1;
+        for &b in &self.bytes[..self.pos.min(self.bytes.len())] {
+            if b == b'\n' {
+                line += 1;
+                column = 1;
+            } else {
+                column += 1;
+            }
+        }
+        Error {
+            msg: msg.to_string(),
+            line,
+            column,
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, b: u8) -> Result<()> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected {:?}", b as char)))
+        }
+    }
+
+    fn value(&mut self) -> Result<Value> {
+        if self.depth >= MAX_DEPTH {
+            return Err(self.err("recursion limit exceeded"));
+        }
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => Ok(Value::String(self.string()?)),
+            Some(b't') => self.literal("true", Value::Bool(true)),
+            Some(b'f') => self.literal("false", Value::Bool(false)),
+            Some(b'n') => self.literal("null", Value::Null),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            Some(_) => Err(self.err("unexpected character")),
+            None => Err(self.err("unexpected end of input")),
+        }
+    }
+
+    fn literal(&mut self, word: &str, v: Value) -> Result<Value> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(v)
+        } else {
+            Err(self.err(&format!("expected {word}")))
+        }
+    }
+
+    fn object(&mut self) -> Result<Value> {
+        self.expect(b'{')?;
+        self.depth += 1;
+        let mut map = BTreeMap::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            self.depth -= 1;
+            return Ok(Value::Object(map));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let val = self.value()?;
+            map.insert(key, val);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    self.depth -= 1;
+                    return Ok(Value::Object(map));
+                }
+                _ => return Err(self.err("expected ',' or '}'")),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Value> {
+        self.expect(b'[')?;
+        self.depth += 1;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            self.depth -= 1;
+            return Ok(Value::Array(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    self.depth -= 1;
+                    return Ok(Value::Array(items));
+                }
+                _ => return Err(self.err("expected ',' or ']'")),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(self.err("unterminated string")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'u') => {
+                            self.pos += 1;
+                            let cp = self.hex4()?;
+                            // Surrogate pairs: a high surrogate must be
+                            // followed by \uXXXX low surrogate.
+                            let c = if (0xD800..0xDC00).contains(&cp) {
+                                if self.peek() == Some(b'\\') {
+                                    self.pos += 1;
+                                    self.expect(b'u')?;
+                                    let lo = self.hex4()?;
+                                    if !(0xDC00..0xE000).contains(&lo) {
+                                        return Err(self.err("invalid low surrogate"));
+                                    }
+                                    let combined = 0x10000 + ((cp - 0xD800) << 10) + (lo - 0xDC00);
+                                    char::from_u32(combined)
+                                        .ok_or_else(|| self.err("invalid surrogate pair"))?
+                                } else {
+                                    return Err(self.err("unpaired high surrogate"));
+                                }
+                            } else if (0xDC00..0xE000).contains(&cp) {
+                                return Err(self.err("unpaired low surrogate"));
+                            } else {
+                                char::from_u32(cp).ok_or_else(|| self.err("invalid codepoint"))?
+                            };
+                            out.push(c);
+                            continue; // hex4 advanced pos already
+                        }
+                        _ => return Err(self.err("invalid escape")),
+                    }
+                    self.pos += 1;
+                }
+                Some(b) if b < 0x20 => return Err(self.err("control character in string")),
+                Some(_) => {
+                    // Consume one UTF-8 scalar (input is a &str, so the
+                    // bytes are valid UTF-8; find the char boundary).
+                    let start = self.pos;
+                    self.pos += 1;
+                    while self.pos < self.bytes.len() && (self.bytes[self.pos] & 0xC0) == 0x80 {
+                        self.pos += 1;
+                    }
+                    out.push_str(std::str::from_utf8(&self.bytes[start..self.pos]).unwrap());
+                }
+            }
+        }
+    }
+
+    fn hex4(&mut self) -> Result<u32> {
+        if self.pos + 4 > self.bytes.len() {
+            return Err(self.err("truncated \\u escape"));
+        }
+        let hex = std::str::from_utf8(&self.bytes[self.pos..self.pos + 4])
+            .map_err(|_| self.err("invalid \\u escape"))?;
+        let cp = u32::from_str_radix(hex, 16).map_err(|_| self.err("invalid \\u escape"))?;
+        self.pos += 4;
+        Ok(cp)
+    }
+
+    fn number(&mut self) -> Result<Value> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        // Integer part: one zero, or a nonzero digit followed by digits.
+        match self.peek() {
+            Some(b'0') => self.pos += 1,
+            Some(b'1'..=b'9') => {
+                while matches!(self.peek(), Some(b'0'..=b'9')) {
+                    self.pos += 1;
+                }
+            }
+            _ => return Err(self.err("invalid number")),
+        }
+        if self.peek() == Some(b'.') {
+            self.pos += 1;
+            if !matches!(self.peek(), Some(b'0'..=b'9')) {
+                return Err(self.err("expected digit after decimal point"));
+            }
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.pos += 1;
+            }
+            if !matches!(self.peek(), Some(b'0'..=b'9')) {
+                return Err(self.err("expected digit in exponent"));
+            }
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).unwrap();
+        text.parse::<f64>()
+            .map(Value::Number)
+            .map_err(|_| self.err("invalid number"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_scalars() {
+        assert_eq!(from_str("null").unwrap(), Value::Null);
+        assert_eq!(from_str("true").unwrap(), Value::Bool(true));
+        assert_eq!(from_str(" false ").unwrap(), Value::Bool(false));
+        assert_eq!(from_str("42").unwrap(), Value::Number(42.0));
+        assert_eq!(from_str("-1.5e3").unwrap(), Value::Number(-1500.0));
+        assert_eq!(from_str("\"hi\"").unwrap(), Value::String("hi".into()));
+    }
+
+    #[test]
+    fn parses_nested_structures() {
+        let v = from_str(r#"{"a": [1, {"b": "c"}], "d": null}"#).unwrap();
+        assert_eq!(v["a"][0].as_f64(), Some(1.0));
+        assert_eq!(v["a"][1]["b"].as_str(), Some("c"));
+        assert!(v["d"].is_null());
+        assert_eq!(v.as_object().unwrap().len(), 2);
+    }
+
+    #[test]
+    fn parses_escapes_and_unicode() {
+        let v = from_str(r#""a\n\t\"\\\u0041\uD83D\uDE00""#).unwrap();
+        assert_eq!(v.as_str(), Some("a\n\t\"\\A😀"));
+        let v = from_str("\"é\"").unwrap();
+        assert_eq!(v.as_str(), Some("é"));
+    }
+
+    #[test]
+    fn rejects_malformed_input() {
+        assert!(from_str("").is_err());
+        assert!(from_str("{").is_err());
+        assert!(from_str("[1,]").is_err());
+        assert!(from_str("{\"a\":}").is_err());
+        assert!(from_str("01").is_err());
+        assert!(from_str("1.").is_err());
+        assert!(from_str("\"abc").is_err());
+        assert!(from_str("\"\\x\"").is_err());
+        assert!(from_str("true false").is_err());
+        assert!(from_str("nul").is_err());
+    }
+
+    #[test]
+    fn error_reports_position() {
+        let e = from_str("{\n  \"a\": !\n}").unwrap_err();
+        assert_eq!(e.line(), 2);
+        assert!(e.column() > 1);
+        assert!(e.to_string().contains("line 2"));
+    }
+
+    #[test]
+    fn integer_accessors_respect_range() {
+        assert_eq!(from_str("7").unwrap().as_u64(), Some(7));
+        assert_eq!(from_str("-7").unwrap().as_u64(), None);
+        assert_eq!(from_str("-7").unwrap().as_i64(), Some(-7));
+        assert_eq!(from_str("1.5").unwrap().as_u64(), None);
+        assert_eq!(from_str("\"7\"").unwrap().as_u64(), None);
+    }
+
+    #[test]
+    fn deep_nesting_is_bounded() {
+        let deep = "[".repeat(200) + &"]".repeat(200);
+        assert!(from_str(&deep).is_err());
+        let ok = "[".repeat(100) + &"]".repeat(100);
+        assert!(from_str(&ok).is_ok());
+    }
+}
