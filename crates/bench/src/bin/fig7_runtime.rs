@@ -3,7 +3,8 @@
 //! *fixed* radial layering, fitted, and validated on a held-out resolution
 //! (the paper validated its NEX=1440 prediction "within 12 %").
 
-use specfem_bench::{prem_mesh_with, timed};
+use specfem_bench::{prem_mesh_cached, timed};
+use specfem_campaign::MeshCache;
 use specfem_perf::{RuntimeModel, Sample};
 use specfem_solver::{run_serial, SolverConfig};
 
@@ -13,8 +14,10 @@ fn steps_for(nex: usize) -> usize {
     6 * nex
 }
 
-fn total_core_seconds(nex: usize) -> f64 {
-    let mesh = prem_mesh_with(nex, 1, |p| {
+fn total_core_seconds(cache: &MeshCache, nex: usize) -> f64 {
+    // Meshes come through the campaign cache, so any resolution measured
+    // more than once (validation re-runs, repeated sweeps) meshes once.
+    let mesh = prem_mesh_cached(cache, nex, 1, |p| {
         p.radial_layer_nex = Some(6); // fixed radial layering (production style)
     });
     let config = SolverConfig {
@@ -27,11 +30,12 @@ fn total_core_seconds(nex: usize) -> f64 {
 
 fn main() {
     println!("== Figure 7: totaled execution time vs resolution (normalized) ==");
+    let cache = MeshCache::new(0, None);
     let nexes = [4usize, 6, 8, 10, 12];
     let mut samples = Vec::new();
     println!("{:>6} {:>12} {:>14}", "NEX", "steps", "core-sec");
     for &nex in &nexes {
-        let t = total_core_seconds(nex);
+        let t = total_core_seconds(&cache, nex);
         println!("{nex:>6} {:>12} {t:>14.3}", steps_for(nex));
         samples.push(Sample {
             x: nex as f64,

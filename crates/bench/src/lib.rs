@@ -5,9 +5,11 @@
 //! mapping is in DESIGN.md §3 and the measured-vs-paper record in
 //! EXPERIMENTS.md.
 
+use std::sync::Arc;
 use std::time::Instant;
 
-use specfem_mesh::{GlobalMesh, MeshParams};
+use specfem_campaign::MeshCache;
+use specfem_mesh::{GlobalMesh, MeshKey, MeshParams};
 use specfem_model::Prem;
 
 /// Build an isotropic-PREM mesh with standard options.
@@ -21,6 +23,28 @@ pub fn prem_mesh_with(nex: usize, nproc: usize, tweak: impl FnOnce(&mut MeshPara
     let mut params = MeshParams::new(nex, nproc);
     tweak(&mut params);
     GlobalMesh::build(&params, &Prem::isotropic_no_ocean())
+}
+
+/// Fetch an isotropic-PREM mesh through a campaign [`MeshCache`]: each
+/// geometry is built once per cache, and decomposition variants (same
+/// `nex`, different `nproc`) are served as derived hits instead of
+/// rebuilt — so a rank-count sweep at one resolution meshes exactly once.
+pub fn prem_mesh_cached(
+    cache: &MeshCache,
+    nex: usize,
+    nproc: usize,
+    tweak: impl FnOnce(&mut MeshParams),
+) -> Arc<GlobalMesh> {
+    let mut params = MeshParams::new(nex, nproc);
+    tweak(&mut params);
+    let key = MeshKey::new(&params, "prem_iso");
+    let model = Prem::isotropic_no_ocean();
+    let estimated = specfem_mesh::estimated_mesh_bytes(&params, &model);
+    let build_params = params.clone();
+    let (mesh, _) = cache.get_or_build(&key, &params, estimated, move || {
+        GlobalMesh::build(&build_params, &model)
+    });
+    mesh
 }
 
 /// Time a closure, returning `(result, seconds)`.

@@ -1,0 +1,375 @@
+//! The content-addressed mesh cache.
+//!
+//! Meshing is the campaign's amortizable fixed cost: a catalogue sweep
+//! runs many events against one Earth discretization, and §4.1 of the
+//! paper exists precisely because rebuilding (or re-reading) the mesh
+//! per run dominated everything else. The cache keys built
+//! [`GlobalMesh`]es by their [`MeshKey`] fingerprint so concurrent jobs
+//! that share a mesh build it once and share it through an `Arc`.
+//!
+//! Three kinds of hit:
+//!
+//! * **exact** — same full key, the `Arc` is handed out as-is;
+//! * **derived** — same *geometry* fingerprint, different decomposition
+//!   knobs (`NPROC_XI`, cube assignment, element order). The mesher
+//!   provably never reads those during geometry/numbering/materials, so
+//!   the cached mesh is cloned and re-stamped with the requester's
+//!   parameters instead of rebuilt — this is what lets the Figure 6
+//!   harness build one mesh per resolution and sweep rank counts;
+//! * **disk** — a CRC-validated artifact from a previous process via
+//!   [`MeshArtifactStore`].
+//!
+//! Admission control enforces a byte budget: a build waits until evicting
+//! idle (`Arc` refcount 1) entries frees room, with a progress guarantee —
+//! when the cache is empty, an oversized mesh is admitted anyway rather
+//! than deadlocking the campaign.
+
+use std::collections::HashMap;
+use std::sync::{Arc, Condvar, Mutex};
+
+use specfem_io::MeshArtifactStore;
+use specfem_mesh::{GlobalMesh, MeshKey, MeshParams};
+
+/// How a job's mesh request was satisfied.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CacheOutcome {
+    /// Same full key already resident.
+    Hit,
+    /// Same geometry resident under different decomposition knobs;
+    /// cloned and re-stamped instead of rebuilt.
+    DerivedHit,
+    /// Loaded from the on-disk artifact tier.
+    DiskHit,
+    /// Built from scratch.
+    Miss,
+}
+
+impl CacheOutcome {
+    /// Stable lowercase label for reports.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            CacheOutcome::Hit => "hit",
+            CacheOutcome::DerivedHit => "derived_hit",
+            CacheOutcome::DiskHit => "disk_hit",
+            CacheOutcome::Miss => "miss",
+        }
+    }
+}
+
+/// Counters accumulated over a campaign.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Exact-key hits.
+    pub hits: u64,
+    /// Geometry hits served by clone + re-stamp.
+    pub derived_hits: u64,
+    /// Hits served from the disk artifact tier.
+    pub disk_hits: u64,
+    /// Full builds.
+    pub misses: u64,
+    /// Entries evicted to satisfy the byte budget.
+    pub evictions: u64,
+}
+
+impl CacheStats {
+    /// Every request that avoided a full mesh build.
+    pub fn total_hits(&self) -> u64 {
+        self.hits + self.derived_hits + self.disk_hits
+    }
+}
+
+struct Entry {
+    mesh: Arc<GlobalMesh>,
+    bytes: usize,
+    last_used: u64,
+}
+
+#[derive(Default)]
+struct Inner {
+    entries: HashMap<MeshKey, Entry>,
+    /// Keys with an in-flight build; later requesters wait instead of
+    /// building the same mesh twice.
+    building: Vec<MeshKey>,
+    resident_bytes: usize,
+    tick: u64,
+    stats: CacheStats,
+}
+
+impl Inner {
+    /// Evict idle LRU entries until `need` more bytes fit in `budget`.
+    /// Returns whether they do. Entries still referenced by a running job
+    /// (`Arc` refcount > 1) are never evicted.
+    fn evict_idle_until(&mut self, need: usize, budget: usize) -> bool {
+        if budget == 0 {
+            return true; // unbounded
+        }
+        while self.resident_bytes + need > budget {
+            let victim = self
+                .entries
+                .iter()
+                .filter(|(_, e)| Arc::strong_count(&e.mesh) == 1)
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(k, _)| k.clone());
+            match victim {
+                Some(k) => {
+                    let e = self.entries.remove(&k).unwrap();
+                    self.resident_bytes -= e.bytes;
+                    self.stats.evictions += 1;
+                }
+                None => return false,
+            }
+        }
+        true
+    }
+
+    fn insert(&mut self, key: MeshKey, mesh: Arc<GlobalMesh>, bytes: usize) {
+        self.tick += 1;
+        self.resident_bytes += bytes;
+        self.entries.insert(
+            key,
+            Entry {
+                mesh,
+                bytes,
+                last_used: self.tick,
+            },
+        );
+    }
+}
+
+/// A concurrent, byte-budgeted, content-addressed cache of built meshes.
+pub struct MeshCache {
+    inner: Mutex<Inner>,
+    cond: Condvar,
+    /// Resident-byte ceiling; 0 = unbounded.
+    budget: usize,
+    disk: Option<MeshArtifactStore>,
+}
+
+impl MeshCache {
+    /// An in-memory cache with the given byte budget (0 = unbounded) and
+    /// an optional on-disk artifact tier.
+    pub fn new(budget_bytes: usize, disk: Option<MeshArtifactStore>) -> Self {
+        Self {
+            inner: Mutex::new(Inner::default()),
+            cond: Condvar::new(),
+            budget: budget_bytes,
+            disk,
+        }
+    }
+
+    /// Counters so far.
+    pub fn stats(&self) -> CacheStats {
+        self.inner.lock().unwrap().stats.clone()
+    }
+
+    /// Bytes currently resident.
+    pub fn resident_bytes(&self) -> usize {
+        self.inner.lock().unwrap().resident_bytes
+    }
+
+    /// Whether a mesh with this geometry fingerprint is resident or being
+    /// built — the mesh-affinity scheduling signal.
+    pub fn contains_geometry(&self, geometry_fingerprint: u64) -> bool {
+        let inner = self.inner.lock().unwrap();
+        inner
+            .entries
+            .keys()
+            .chain(inner.building.iter())
+            .any(|k| k.geometry_fingerprint() == geometry_fingerprint)
+    }
+
+    /// Wake admission-control waiters; the campaign calls this whenever a
+    /// job finishes and drops its mesh `Arc` (the cache cannot observe
+    /// refcount changes itself).
+    pub fn notify_released(&self) {
+        self.cond.notify_all();
+    }
+
+    /// Get the mesh for `key`, building it with `build` on a miss.
+    /// `params` are the requester's mesh parameters (used to re-stamp a
+    /// derived hit); `estimated_bytes` is the admission-control size
+    /// estimate for a build.
+    ///
+    /// Blocks while another worker builds the same key, and while the
+    /// byte budget requires a running job to release a mesh.
+    pub fn get_or_build(
+        &self,
+        key: &MeshKey,
+        params: &MeshParams,
+        estimated_bytes: usize,
+        build: impl FnOnce() -> GlobalMesh,
+    ) -> (Arc<GlobalMesh>, CacheOutcome) {
+        let mut inner = self.inner.lock().unwrap();
+        loop {
+            if inner.entries.contains_key(key) {
+                inner.tick += 1;
+                let tick = inner.tick;
+                let e = inner.entries.get_mut(key).unwrap();
+                e.last_used = tick;
+                let mesh = e.mesh.clone();
+                inner.stats.hits += 1;
+                return (mesh, CacheOutcome::Hit);
+            }
+            // Derived hit: same geometry under different decomposition
+            // knobs — clone and re-stamp instead of rebuilding.
+            let geo = key.geometry_fingerprint();
+            let donor = inner
+                .entries
+                .iter()
+                .filter(|(k, _)| k.geometry_fingerprint() == geo)
+                .max_by_key(|(_, e)| e.last_used)
+                .map(|(k, _)| k.clone());
+            if let Some(donor_key) = donor {
+                let src = inner.entries[&donor_key].mesh.clone();
+                let mut derived = (*src).clone();
+                derived.params = params.clone();
+                let bytes = derived.approx_bytes();
+                // Best effort: the clone is far cheaper than a rebuild, so
+                // admit it even when only idle eviction can make room.
+                inner.evict_idle_until(bytes, self.budget);
+                let mesh = Arc::new(derived);
+                inner.insert(key.clone(), mesh.clone(), bytes);
+                inner.stats.derived_hits += 1;
+                self.cond.notify_all();
+                return (mesh, CacheOutcome::DerivedHit);
+            }
+            if inner.building.contains(key) {
+                inner = self.cond.wait(inner).unwrap();
+                continue;
+            }
+            // Miss: claim the build slot, then enforce admission control.
+            inner.building.push(key.clone());
+            while !inner.evict_idle_until(estimated_bytes, self.budget) {
+                if inner.entries.is_empty() {
+                    break; // progress guarantee: oversized mesh, admit it
+                }
+                inner = self.cond.wait(inner).unwrap();
+            }
+            drop(inner);
+
+            let (mesh, outcome) = self.load_or_build(key, build);
+            let bytes = mesh.approx_bytes();
+            let mesh = Arc::new(mesh);
+            let mut inner = self.inner.lock().unwrap();
+            inner.building.retain(|k| k != key);
+            inner.insert(key.clone(), mesh.clone(), bytes);
+            match outcome {
+                CacheOutcome::DiskHit => inner.stats.disk_hits += 1,
+                _ => inner.stats.misses += 1,
+            }
+            self.cond.notify_all();
+            return (mesh, outcome);
+        }
+    }
+
+    /// The slow path, run without the lock: disk tier first, else build
+    /// (persisting the result back to disk, best-effort).
+    fn load_or_build(
+        &self,
+        key: &MeshKey,
+        build: impl FnOnce() -> GlobalMesh,
+    ) -> (GlobalMesh, CacheOutcome) {
+        if let Some(store) = &self.disk {
+            match store.load(key) {
+                Ok(Some(mesh)) => return (mesh, CacheOutcome::DiskHit),
+                Ok(None) => {}
+                Err(_) => store.evict(key), // corrupt artifact: rebuild
+            }
+        }
+        let mesh = build();
+        if let Some(store) = &self.disk {
+            let _ = store.save(key, &mesh);
+        }
+        (mesh, CacheOutcome::Miss)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use specfem_core::model::Prem;
+
+    fn build_params(nex: usize, nproc: usize) -> (MeshKey, MeshParams) {
+        let params = MeshParams::new(nex, nproc);
+        let key = MeshKey::new(&params, "prem_iso");
+        (key, params)
+    }
+
+    fn build_mesh(params: &MeshParams) -> GlobalMesh {
+        GlobalMesh::build(params, &Prem::isotropic_no_ocean())
+    }
+
+    #[test]
+    fn exact_hit_shares_one_arc() {
+        let cache = MeshCache::new(0, None);
+        let (key, params) = build_params(4, 1);
+        let (m1, o1) = cache.get_or_build(&key, &params, 0, || build_mesh(&params));
+        let (m2, o2) = cache.get_or_build(&key, &params, 0, || panic!("must not rebuild"));
+        assert_eq!(o1, CacheOutcome::Miss);
+        assert_eq!(o2, CacheOutcome::Hit);
+        assert!(Arc::ptr_eq(&m1, &m2));
+        let s = cache.stats();
+        assert_eq!((s.misses, s.hits), (1, 1));
+    }
+
+    #[test]
+    fn different_nproc_is_a_derived_hit_with_restamped_params() {
+        let cache = MeshCache::new(0, None);
+        let (k1, p1) = build_params(4, 1);
+        let (k2, p2) = build_params(4, 2);
+        assert_ne!(k1.fingerprint(), k2.fingerprint());
+        assert_eq!(k1.geometry_fingerprint(), k2.geometry_fingerprint());
+        let (m1, _) = cache.get_or_build(&k1, &p1, 0, || build_mesh(&p1));
+        let (m2, o2) = cache.get_or_build(&k2, &p2, 0, || panic!("must not rebuild"));
+        assert_eq!(o2, CacheOutcome::DerivedHit);
+        assert_eq!(m2.params.nproc_xi, 2);
+        assert_eq!(
+            specfem_mesh::content_hash(&m1).ibool,
+            specfem_mesh::content_hash(&m2).ibool
+        );
+    }
+
+    #[test]
+    fn budget_evicts_idle_lru() {
+        let (k1, p1) = build_params(4, 1);
+        let (k2, p2) = build_params(6, 1);
+        let m1 = build_mesh(&p1);
+        let m2 = build_mesh(&p2);
+        // Room for the bigger of the two, never both.
+        let budget = m1.approx_bytes().max(m2.approx_bytes()) + 1024;
+        let cache = MeshCache::new(budget, None);
+        let (a1, _) = cache.get_or_build(&k1, &p1, m1.approx_bytes(), || build_mesh(&p1));
+        drop(a1); // idle → evictable
+        cache.notify_released();
+        let (_a2, o2) = cache.get_or_build(&k2, &p2, m2.approx_bytes(), || build_mesh(&p2));
+        assert_eq!(o2, CacheOutcome::Miss);
+        let s = cache.stats();
+        assert_eq!(s.evictions, 1);
+        // First key is gone: requesting it again is a fresh miss.
+        assert!(!cache.contains_geometry(k1.geometry_fingerprint()));
+        assert!(cache.contains_geometry(k2.geometry_fingerprint()));
+    }
+
+    #[test]
+    fn disk_tier_round_trips_across_cache_instances() {
+        let dir = std::env::temp_dir().join("specfem_campaign_disk_tier");
+        let _ = std::fs::remove_dir_all(&dir);
+        let (key, params) = build_params(4, 1);
+        {
+            let store = MeshArtifactStore::new(&dir).unwrap();
+            let cache = MeshCache::new(0, Some(store));
+            let (_, o) = cache.get_or_build(&key, &params, 0, || build_mesh(&params));
+            assert_eq!(o, CacheOutcome::Miss);
+        }
+        // A new process (fresh cache) finds the artifact on disk.
+        let store = MeshArtifactStore::new(&dir).unwrap();
+        let cache = MeshCache::new(0, Some(store));
+        let (mesh, o) = cache.get_or_build(&key, &params, 0, || panic!("must hit disk"));
+        assert_eq!(o, CacheOutcome::DiskHit);
+        assert_eq!(
+            specfem_mesh::content_hash(&mesh),
+            specfem_mesh::content_hash(&build_mesh(&params))
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

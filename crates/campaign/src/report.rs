@@ -1,0 +1,197 @@
+//! The campaign's cross-job report — per-job wall time, queue wait,
+//! cache outcome, retries, and an aggregate element·steps/s throughput
+//! number, in the same text + hand-rolled-JSON style as
+//! `specfem_obs::IpmReport`. A merged Perfetto timeline with one track
+//! per worker comes from [`crate::CampaignResult::perfetto_json`].
+
+use specfem_obs::json_escape;
+
+use crate::cache::CacheStats;
+use crate::JobOutcome;
+
+/// One job's row in the report.
+#[derive(Debug, Clone)]
+pub struct JobRow {
+    /// Job name (as submitted).
+    pub name: String,
+    /// Submission index.
+    pub index: usize,
+    /// Worker that ran it.
+    pub worker: usize,
+    /// Total attempts (1 = no retry).
+    pub attempts: usize,
+    /// Seconds between submit and dispatch.
+    pub queue_wait_s: f64,
+    /// Seconds in the worker (mesh acquisition + all attempts).
+    pub run_s: f64,
+    /// How the mesh was obtained ([`crate::CacheOutcome::as_str`]).
+    pub cache: &'static str,
+    /// Global elements × time steps advanced.
+    pub element_steps: u64,
+    /// Whether the job ultimately succeeded.
+    pub ok: bool,
+    /// Error message of a failed job.
+    pub error: Option<String>,
+}
+
+/// Aggregated campaign statistics.
+#[derive(Debug, Clone)]
+pub struct CampaignReport {
+    /// Worker-pool size used.
+    pub workers: usize,
+    /// Campaign wall time, submit of the first job to completion of the
+    /// last (s).
+    pub total_wall_s: f64,
+    /// Per-job rows, submission order.
+    pub jobs: Vec<JobRow>,
+    /// Mesh-cache counters.
+    pub cache: CacheStats,
+    /// Σ element·steps over successful jobs.
+    pub total_element_steps: u64,
+    /// `total_element_steps / total_wall_s` — the campaign throughput
+    /// number the `campaign_throughput` harness compares against a
+    /// serial loop.
+    pub element_steps_per_s: f64,
+    /// Σ (attempts − 1).
+    pub total_retries: u64,
+    /// Jobs that exhausted their retries.
+    pub failed_jobs: usize,
+}
+
+impl CampaignReport {
+    /// Build the report from finished job outcomes.
+    pub fn build(
+        outcomes: &[JobOutcome],
+        workers: usize,
+        total_wall_s: f64,
+        cache: CacheStats,
+    ) -> Self {
+        let jobs: Vec<JobRow> = outcomes
+            .iter()
+            .map(|o| JobRow {
+                name: o.name.clone(),
+                index: o.index,
+                worker: o.worker,
+                attempts: o.attempts,
+                queue_wait_s: o.queue_wait_s,
+                run_s: o.run_s,
+                cache: o.cache.as_str(),
+                element_steps: o.element_steps,
+                ok: o.result.is_ok(),
+                error: o.result.as_ref().err().cloned(),
+            })
+            .collect();
+        let total_element_steps = outcomes
+            .iter()
+            .filter(|o| o.result.is_ok())
+            .map(|o| o.element_steps)
+            .sum();
+        let total_retries = outcomes.iter().map(|o| (o.attempts - 1) as u64).sum();
+        let failed_jobs = outcomes.iter().filter(|o| o.result.is_err()).count();
+        CampaignReport {
+            workers,
+            total_wall_s,
+            jobs,
+            cache,
+            total_element_steps,
+            element_steps_per_s: total_element_steps as f64 / total_wall_s.max(1e-12),
+            total_retries,
+            failed_jobs,
+        }
+    }
+
+    /// Human-readable table.
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "campaign report: {} jobs on {} workers, {:.3} s wall\n",
+            self.jobs.len(),
+            self.workers,
+            self.total_wall_s
+        ));
+        out.push_str(&format!(
+            "  throughput      : {:.3e} element*steps/s ({} element*steps)\n",
+            self.element_steps_per_s, self.total_element_steps
+        ));
+        out.push_str(&format!(
+            "  mesh cache      : {} hit / {} derived / {} disk / {} miss / {} evicted\n",
+            self.cache.hits,
+            self.cache.derived_hits,
+            self.cache.disk_hits,
+            self.cache.misses,
+            self.cache.evictions
+        ));
+        out.push_str(&format!(
+            "  retries, failed : {}, {}\n",
+            self.total_retries, self.failed_jobs
+        ));
+        out.push_str(
+            "  job                        wkr  att  cache         queue_s    run_s  status\n",
+        );
+        for j in &self.jobs {
+            out.push_str(&format!(
+                "  {:<26} {:>3} {:>4}  {:<12} {:>8.3} {:>8.3}  {}\n",
+                j.name,
+                j.worker,
+                j.attempts,
+                j.cache,
+                j.queue_wait_s,
+                j.run_s,
+                if j.ok { "ok" } else { "FAILED" }
+            ));
+        }
+        out
+    }
+
+    /// Machine-readable JSON (hand-rolled, like `IpmReport::to_json` —
+    /// no serde in the offline workspace).
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(256 + 160 * self.jobs.len());
+        out.push_str("{\n");
+        out.push_str(&format!("  \"workers\": {},\n", self.workers));
+        out.push_str(&format!("  \"total_wall_s\": {:.6},\n", self.total_wall_s));
+        out.push_str(&format!(
+            "  \"total_element_steps\": {},\n",
+            self.total_element_steps
+        ));
+        out.push_str(&format!(
+            "  \"element_steps_per_s\": {:.3},\n",
+            self.element_steps_per_s
+        ));
+        out.push_str(&format!("  \"total_retries\": {},\n", self.total_retries));
+        out.push_str(&format!("  \"failed_jobs\": {},\n", self.failed_jobs));
+        out.push_str(&format!(
+            "  \"cache\": {{\"hits\": {}, \"derived_hits\": {}, \"disk_hits\": {}, \
+             \"misses\": {}, \"evictions\": {}}},\n",
+            self.cache.hits,
+            self.cache.derived_hits,
+            self.cache.disk_hits,
+            self.cache.misses,
+            self.cache.evictions
+        ));
+        out.push_str("  \"jobs\": [\n");
+        for (i, j) in self.jobs.iter().enumerate() {
+            out.push_str(&format!(
+                "    {{\"name\": \"{}\", \"index\": {}, \"worker\": {}, \"attempts\": {}, \
+                 \"queue_wait_s\": {:.6}, \"run_s\": {:.6}, \"cache\": \"{}\", \
+                 \"element_steps\": {}, \"ok\": {}{}}}{}\n",
+                json_escape(&j.name),
+                j.index,
+                j.worker,
+                j.attempts,
+                j.queue_wait_s,
+                j.run_s,
+                j.cache,
+                j.element_steps,
+                j.ok,
+                match &j.error {
+                    Some(e) => format!(", \"error\": \"{}\"", json_escape(e)),
+                    None => String::new(),
+                },
+                if i + 1 < self.jobs.len() { "," } else { "" }
+            ));
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+}

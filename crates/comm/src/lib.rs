@@ -59,6 +59,19 @@ pub mod tags {
     pub const MESH_HANDOFF: u32 = 300;
 }
 
+/// How many rank-worlds of `ranks_per_job` threads each can run
+/// concurrently on this machine without oversubscribing it: at least 1,
+/// at most `jobs` (no point spinning up idle workers), and otherwise
+/// `available_parallelism / ranks_per_job`. This is the campaign
+/// runtime's default worker-pool size.
+pub fn recommended_workers(ranks_per_job: usize, jobs: usize) -> usize {
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let fit = cores / ranks_per_job.max(1);
+    fit.clamp(1, jobs.max(1))
+}
+
 /// The MPI-like interface the solver programs against.
 ///
 /// Semantics follow MPI two-sided messaging: `send` is asynchronous
@@ -115,6 +128,14 @@ pub trait Communicator: Send {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn recommended_workers_is_bounded() {
+        assert_eq!(recommended_workers(1_000_000, 8), 1);
+        assert_eq!(recommended_workers(1, 1), 1);
+        assert!(recommended_workers(1, 4) <= 4);
+        assert!(recommended_workers(0, 0) >= 1);
+    }
 
     #[test]
     fn tags_are_distinct() {

@@ -61,6 +61,83 @@ pub enum ModelChoice {
     Homogeneous,
 }
 
+impl ModelChoice {
+    /// Stable identifier used in mesh fingerprints and artifact names.
+    /// Changing a model's physics must change its id — cached meshes are
+    /// addressed by it.
+    pub fn id(&self) -> &'static str {
+        match self {
+            ModelChoice::Prem => "prem",
+            ModelChoice::IsotropicPrem => "prem_iso",
+            ModelChoice::Prem3D => "prem_3d",
+            ModelChoice::Homogeneous => "homogeneous",
+        }
+    }
+
+    /// Instantiate the Earth model.
+    fn instantiate(&self) -> Box<dyn specfem_model::EarthModel> {
+        match self {
+            ModelChoice::Prem => Box::new(Prem::default()),
+            ModelChoice::IsotropicPrem => Box::new(Prem::isotropic_no_ocean()),
+            ModelChoice::Prem3D => Box::new(specfem_model::Prem3D::default_mantle()),
+            ModelChoice::Homogeneous => Box::new(specfem_model::HomogeneousModel::default()),
+        }
+    }
+}
+
+/// Why [`SimulationBuilder::build`] rejected a configuration. Typed (not
+/// `String`) so schedulers and retry logic can match on the cause, in the
+/// same direction as the typed `CommError`/`SolverError` hierarchy.
+#[derive(Debug, Clone, PartialEq)]
+pub enum BuildError {
+    /// `NEX_XI` below the minimum meshable resolution.
+    ResolutionTooLow {
+        /// The rejected `NEX_XI`.
+        nex: usize,
+    },
+    /// `NEX_XI` not divisible by `NPROC_XI` (or `NPROC_XI` is zero).
+    IndivisibleDecomposition {
+        /// `NEX_XI`.
+        nex: usize,
+        /// `NPROC_XI`.
+        nproc: usize,
+    },
+    /// The requested catalogue event does not exist.
+    UnknownEvent {
+        /// The unmatched event name.
+        name: String,
+    },
+    /// A regional mesh may not descend into the fluid outer core.
+    RegionalBelowCmb {
+        /// The rejected inner radius (m).
+        r_min_m: f64,
+    },
+}
+
+impl std::fmt::Display for BuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BuildError::ResolutionTooLow { nex } => {
+                write!(f, "NEX_XI must be at least 2 (got {nex})")
+            }
+            BuildError::IndivisibleDecomposition { nex, nproc } => {
+                write!(f, "NEX_XI ({nex}) must be divisible by NPROC_XI ({nproc})")
+            }
+            BuildError::UnknownEvent { name } => {
+                write!(f, "unknown catalogue event '{name}'")
+            }
+            BuildError::RegionalBelowCmb { r_min_m } => {
+                write!(
+                    f,
+                    "regional meshes must stay above the fluid outer core (r_min = {r_min_m} m)"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for BuildError {}
+
 /// A configured simulation: mesh parameters + solver configuration +
 /// station network.
 #[derive(Debug, Clone)]
@@ -207,26 +284,29 @@ impl Simulation {
         SimulationBuilder::default()
     }
 
+    /// The content-addressed identity of the mesh this simulation would
+    /// build: model id plus every mesh-affecting parameter. Simulations
+    /// with equal keys can share one built [`GlobalMesh`] — the campaign
+    /// runtime's cache is addressed by this.
+    pub fn mesh_key(&self) -> mesh::MeshKey {
+        mesh::MeshKey::new(&self.params, self.model.id())
+    }
+
+    /// Estimated resident bytes of the mesh this simulation would build
+    /// (without building it) — the cache's admission-control input.
+    pub fn estimated_mesh_bytes(&self) -> usize {
+        mesh::estimated_mesh_bytes(&self.params, self.model.instantiate().as_ref())
+    }
+
     /// Build the global mesh, recording mesher spans on the driver thread
     /// (as a pseudo-rank numbered one past the solver ranks, so its
     /// Perfetto timeline row never collides with a real rank) when
     /// tracing is on.
-    fn build_mesh(&self) -> (GlobalMesh, Option<obs::RankProfile>) {
+    pub fn build_mesh(&self) -> (GlobalMesh, Option<obs::RankProfile>) {
         if self.config.trace {
             obs::init_rank(self.params.num_ranks(), &obs::TraceConfig::default());
         }
-        let mesh = match &self.model {
-            ModelChoice::Prem => GlobalMesh::build(&self.params, &Prem::default()),
-            ModelChoice::IsotropicPrem => {
-                GlobalMesh::build(&self.params, &Prem::isotropic_no_ocean())
-            }
-            ModelChoice::Prem3D => {
-                GlobalMesh::build(&self.params, &specfem_model::Prem3D::default_mantle())
-            }
-            ModelChoice::Homogeneous => {
-                GlobalMesh::build(&self.params, &specfem_model::HomogeneousModel::default())
-            }
-        };
+        let mesh = GlobalMesh::build(&self.params, self.model.instantiate().as_ref());
         let profile = if self.config.trace {
             obs::finish_rank()
         } else {
@@ -235,10 +315,56 @@ impl Simulation {
         (mesh, profile)
     }
 
+    /// Check that a caller-supplied mesh actually is the mesh this
+    /// simulation would build. The mesh cannot prove which Earth model
+    /// filled it, so model identity is the caller's responsibility (the
+    /// campaign cache guarantees it by addressing meshes with
+    /// [`Simulation::mesh_key`]).
+    fn check_mesh_compatible(&self, mesh: &GlobalMesh, distributed: bool) {
+        let ours = self.mesh_key();
+        let theirs = mesh::MeshKey::new(&mesh.params, self.model.id());
+        if distributed {
+            assert_eq!(
+                ours.fingerprint(),
+                theirs.fingerprint(),
+                "mesh/simulation mismatch: the supplied mesh was built for different \
+                 parameters or decomposition (mesh key {} vs simulation key {})",
+                theirs.hex(),
+                ours.hex(),
+            );
+        } else {
+            // The serial path ignores the decomposition knobs.
+            assert_eq!(
+                ours.geometry_fingerprint(),
+                theirs.geometry_fingerprint(),
+                "mesh/simulation mismatch: the supplied mesh has different geometry \
+                 (mesh geometry {} vs simulation geometry {})",
+                theirs.geometry_hex(),
+                ours.geometry_hex(),
+            );
+        }
+    }
+
     /// Run on a single rank (merged mesher+solver, no MPI).
     pub fn run_serial(&self) -> SimulationResult {
         let (mesh, mesher_profile) = self.build_mesh();
-        let result = specfem_solver::run_serial(&mesh, &self.config, &self.stations);
+        self.run_serial_inner(&mesh, mesher_profile)
+    }
+
+    /// [`Simulation::run_serial`] against a prebuilt (typically cached and
+    /// shared) mesh. The mesh must match this simulation's geometry; the
+    /// decomposition knobs are ignored on the serial path.
+    pub fn run_serial_with_mesh(&self, mesh: &GlobalMesh) -> SimulationResult {
+        self.check_mesh_compatible(mesh, false);
+        self.run_serial_inner(mesh, None)
+    }
+
+    fn run_serial_inner(
+        &self,
+        mesh: &GlobalMesh,
+        mesher_profile: Option<obs::RankProfile>,
+    ) -> SimulationResult {
+        let result = specfem_solver::run_serial(mesh, &self.config, &self.stations);
         let out = SimulationResult {
             seismograms: result.seismograms.clone(),
             dt: result.dt,
@@ -253,7 +379,27 @@ impl Simulation {
     /// communication against `profile`.
     pub fn run_parallel(&self, profile: NetworkProfile) -> SimulationResult {
         let (mesh, mesher_profile) = self.build_mesh();
-        let ranks = specfem_solver::run_distributed(&mesh, &self.config, &self.stations, profile);
+        self.run_parallel_inner(&mesh, profile, mesher_profile)
+    }
+
+    /// [`Simulation::run_parallel`] against a prebuilt mesh. The mesh must
+    /// match this simulation's full key, decomposition included.
+    pub fn run_parallel_with_mesh(
+        &self,
+        mesh: &GlobalMesh,
+        profile: NetworkProfile,
+    ) -> SimulationResult {
+        self.check_mesh_compatible(mesh, true);
+        self.run_parallel_inner(mesh, profile, None)
+    }
+
+    fn run_parallel_inner(
+        &self,
+        mesh: &GlobalMesh,
+        profile: NetworkProfile,
+        mesher_profile: Option<obs::RankProfile>,
+    ) -> SimulationResult {
+        let ranks = specfem_solver::run_distributed(mesh, &self.config, &self.stations, profile);
         let seismograms = specfem_solver::timeloop::merge_seismograms(&ranks);
         let dt = ranks.first().map(|r| r.dt).unwrap_or(0.0);
         let out = SimulationResult {
@@ -264,6 +410,87 @@ impl Simulation {
         };
         out.autowrite_observability(&self.config);
         out
+    }
+
+    /// Fault-tolerant run against a prebuilt mesh with typed errors — the
+    /// campaign runtime's entry point. `opts.profile = None` runs the whole
+    /// mesh on one in-process rank (the merged serial path, fault plan and
+    /// checkpoints honored); `Some(profile)` runs the full thread world.
+    /// With `opts.checkpoint_dir` set, ranks checkpoint every
+    /// `config.checkpoint_every` steps and `opts.resume` restarts from the
+    /// newest complete checkpoint (cold start when none exists).
+    pub fn try_run_with_mesh(
+        &self,
+        mesh: &GlobalMesh,
+        opts: RunOptions<'_>,
+    ) -> Result<SimulationResult, solver::SolverError> {
+        self.check_mesh_compatible(mesh, opts.profile.is_some());
+        self.try_run_inner(mesh, opts, None)
+    }
+
+    fn try_run_inner(
+        &self,
+        mesh: &GlobalMesh,
+        opts: RunOptions<'_>,
+        mesher_profile: Option<obs::RankProfile>,
+    ) -> Result<SimulationResult, solver::SolverError> {
+        use specfem_solver::checkpoint::{CheckpointSink, CheckpointState};
+
+        let serial = opts.profile.is_none();
+        let nranks = if serial { 1 } else { self.params.num_ranks() };
+        let store = match opts.checkpoint_dir {
+            Some(dir) => Some(
+                specfem_io::CheckpointStore::new(dir).map_err(solver::SolverError::Checkpoint)?,
+            ),
+            None => None,
+        };
+        let sink_factory;
+        let restore_fn;
+        let mut ft = solver::FtOptions::default();
+        if let Some(store) = &store {
+            sink_factory = move |rank: usize| -> Box<dyn CheckpointSink> { store.sink(rank) };
+            ft.sink_factory = Some(&sink_factory);
+            if opts.resume {
+                restore_fn = store.restore_latest(nranks);
+                ft.restore = Some(
+                    &restore_fn
+                        as &(dyn Fn(usize) -> Result<Option<CheckpointState>, solver::CheckpointError>
+                              + Sync),
+                );
+            }
+        }
+        let ranks: Vec<RankResult> = match opts.profile {
+            None => vec![specfem_solver::try_run_serial(
+                mesh,
+                &self.config,
+                &self.stations,
+                ft,
+            )?],
+            Some(profile) => {
+                let per_rank = specfem_solver::try_run_distributed(
+                    mesh,
+                    &self.config,
+                    &self.stations,
+                    profile,
+                    ft,
+                );
+                let mut ranks = Vec::with_capacity(per_rank.len());
+                for r in per_rank {
+                    ranks.push(r?);
+                }
+                ranks
+            }
+        };
+        let seismograms = specfem_solver::timeloop::merge_seismograms(&ranks);
+        let dt = ranks.first().map(|r| r.dt).unwrap_or(0.0);
+        let out = SimulationResult {
+            seismograms,
+            ranks,
+            dt,
+            mesher_profile,
+        };
+        out.autowrite_observability(&self.config);
+        Ok(out)
     }
 
     /// Fault-tolerant parallel run: every rank writes a checkpoint to
@@ -299,43 +526,30 @@ impl Simulation {
         checkpoint_dir: &std::path::Path,
         resume: bool,
     ) -> Result<SimulationResult, solver::SolverError> {
-        use specfem_solver::checkpoint::{CheckpointSink, CheckpointState};
-
         let (mesh, mesher_profile) = self.build_mesh();
-        let nranks = self.params.num_ranks();
-        let store = specfem_io::CheckpointStore::new(checkpoint_dir)
-            .map_err(solver::SolverError::Checkpoint)?;
-        let sink_factory = |rank: usize| -> Box<dyn CheckpointSink> { store.sink(rank) };
-        let restore_fn = store.restore_latest(nranks);
-        let opts = solver::FtOptions {
-            sink_factory: Some(&sink_factory),
-            restore: if resume {
-                Some(
-                    &restore_fn
-                        as &(dyn Fn(usize) -> Result<Option<CheckpointState>, solver::CheckpointError>
-                              + Sync),
-                )
-            } else {
-                None
+        self.try_run_inner(
+            &mesh,
+            RunOptions {
+                profile: Some(profile),
+                checkpoint_dir: Some(checkpoint_dir),
+                resume,
             },
-        };
-        let per_rank =
-            specfem_solver::try_run_distributed(&mesh, &self.config, &self.stations, profile, opts);
-        let mut ranks = Vec::with_capacity(per_rank.len());
-        for r in per_rank {
-            ranks.push(r?);
-        }
-        let seismograms = specfem_solver::timeloop::merge_seismograms(&ranks);
-        let dt = ranks.first().map(|r| r.dt).unwrap_or(0.0);
-        let out = SimulationResult {
-            seismograms,
-            ranks,
-            dt,
             mesher_profile,
-        };
-        out.autowrite_observability(&self.config);
-        Ok(out)
+        )
     }
+}
+
+/// Options for [`Simulation::try_run_with_mesh`].
+#[derive(Debug, Clone, Default)]
+pub struct RunOptions<'a> {
+    /// Network model for a distributed thread-world run; `None` runs the
+    /// whole mesh on one in-process rank (the merged serial path).
+    pub profile: Option<NetworkProfile>,
+    /// Directory for checkpoint files; `None` disables checkpointing.
+    pub checkpoint_dir: Option<&'a std::path::Path>,
+    /// Restore from the newest complete checkpoint in `checkpoint_dir`
+    /// before running (a cold start when the directory is empty).
+    pub resume: bool,
 }
 
 /// Builder for [`Simulation`].
@@ -485,22 +699,23 @@ impl SimulationBuilder {
         self
     }
 
-    /// Validate and build.
-    pub fn build(mut self) -> Result<Simulation, String> {
+    /// Validate and build. Rejections are typed ([`BuildError`]) so
+    /// schedulers and retry logic can match on the cause.
+    pub fn build(mut self) -> Result<Simulation, BuildError> {
         if self.nex < 2 {
-            return Err("NEX_XI must be at least 2".into());
+            return Err(BuildError::ResolutionTooLow { nex: self.nex });
         }
         if self.nproc == 0 || !self.nex.is_multiple_of(self.nproc) {
-            return Err(format!(
-                "NEX_XI ({}) must be divisible by NPROC_XI ({})",
-                self.nex, self.nproc
-            ));
+            return Err(BuildError::IndivisibleDecomposition {
+                nex: self.nex,
+                nproc: self.nproc,
+            });
         }
         if let Some(name) = &self.event {
             let event = builtin_events()
                 .into_iter()
                 .find(|e| e.name == *name)
-                .ok_or_else(|| format!("unknown catalogue event '{name}'"))?;
+                .ok_or_else(|| BuildError::UnknownEvent { name: name.clone() })?;
             let period = specfem_mesh::nominal_shortest_period_s(self.nex);
             let stf =
                 SourceTimeFunction::new(StfKind::Gaussian, event.half_duration_s.max(period / 4.0));
@@ -509,7 +724,7 @@ impl SimulationBuilder {
         let mut params = MeshParams::new(self.nex, self.nproc);
         if let MeshMode::Regional { r_min } = self.mode {
             if r_min < specfem_model::CMB_RADIUS_M {
-                return Err("regional meshes must stay above the fluid outer core".into());
+                return Err(BuildError::RegionalBelowCmb { r_min_m: r_min });
             }
             params.mode = self.mode;
         }

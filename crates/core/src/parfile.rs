@@ -26,6 +26,9 @@
 //! TRACE                  = .false.     # record spans + metrics per rank
 //! TRACE_DIR              = OUTPUT_FILES/trace  # write artifacts here
 //! METRICS_EVERY          = 10          # step-timing sample cadence
+//! # campaign runtime (read via [`campaign_knobs_from_parfile`])
+//! CAMPAIGN_WORKERS       = 0           # worker pool size, 0 = auto
+//! MESH_CACHE_BYTES       = 512M        # cache ceiling, 0 = unbounded (K/M/G ok)
 //! ```
 
 use crate::{ModelChoice, Simulation, SimulationBuilder};
@@ -54,6 +57,77 @@ fn parse_bool(v: &str) -> Result<bool, String> {
         ".false." | "false" | "0" | "no" => Ok(false),
         other => Err(format!("not a boolean: {other}")),
     }
+}
+
+/// Campaign-runtime knobs carried in the same Par_file. Kept apart from
+/// [`Simulation`] because they configure the scheduler around many
+/// simulations, not any single one; `specfem-campaign` builds its
+/// `CampaignConfig` from these.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CampaignKnobs {
+    /// `CAMPAIGN_WORKERS`: worker-pool size; 0 (the default) = auto.
+    pub workers: usize,
+    /// `MESH_CACHE_BYTES`: mesh-cache resident-byte ceiling; 0 (the
+    /// default) = unbounded. Accepts `K`/`M`/`G` suffixes.
+    pub mesh_cache_bytes: usize,
+}
+
+impl CampaignKnobs {
+    /// Render as Par_file lines (the inverse of
+    /// [`campaign_knobs_from_parfile`]).
+    pub fn to_parfile(&self) -> String {
+        format!(
+            "CAMPAIGN_WORKERS = {}\nMESH_CACHE_BYTES = {}\n",
+            self.workers, self.mesh_cache_bytes
+        )
+    }
+}
+
+/// Parse a byte count with an optional `K`/`M`/`G` (or `KB`/`MB`/`GB`)
+/// suffix, case-insensitive: `512M` → 536870912.
+fn parse_bytes(key: &str, v: &str) -> Result<usize, String> {
+    let upper = v.trim().to_uppercase();
+    let (digits, shift) = match upper.strip_suffix("KB").or(upper.strip_suffix('K')) {
+        Some(d) => (d, 10),
+        None => match upper.strip_suffix("MB").or(upper.strip_suffix('M')) {
+            Some(d) => (d, 20),
+            None => match upper.strip_suffix("GB").or(upper.strip_suffix('G')) {
+                Some(d) => (d, 30),
+                None => (upper.as_str(), 0),
+            },
+        },
+    };
+    let n: usize = digits
+        .trim()
+        .parse()
+        .map_err(|_| format!("{key}: not a byte count: {v}"))?;
+    n.checked_shl(shift)
+        .ok_or_else(|| format!("{key}: byte count overflows: {v}"))
+}
+
+/// Extract the campaign-runtime knobs from Par_file text. Both keys are
+/// optional; absent keys keep the `Default` (auto workers, unbounded
+/// cache). Unrelated keys are ignored, so one file can configure both
+/// the simulations and the campaign around them.
+pub fn campaign_knobs_from_parfile(text: &str) -> Result<CampaignKnobs, String> {
+    let pairs = parse_pairs(text);
+    let get = |key: &str| -> Option<&str> {
+        pairs
+            .iter()
+            .rev()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+    };
+    let mut knobs = CampaignKnobs::default();
+    if let Some(v) = get("CAMPAIGN_WORKERS") {
+        knobs.workers = v
+            .parse()
+            .map_err(|_| format!("CAMPAIGN_WORKERS: not a count: {v}"))?;
+    }
+    if let Some(v) = get("MESH_CACHE_BYTES") {
+        knobs.mesh_cache_bytes = parse_bytes("MESH_CACHE_BYTES", v)?;
+    }
+    Ok(knobs)
 }
 
 /// Build a [`Simulation`] from Par_file text.
@@ -142,7 +216,7 @@ pub fn simulation_from_parfile(text: &str) -> Result<Simulation, String> {
         }
         c.record_every = record.max(1);
     });
-    builder.build()
+    builder.build().map_err(|e| e.to_string())
 }
 
 #[cfg(test)]
@@ -213,6 +287,44 @@ NSTATIONS    = 4
         // TRACE_DIR alone implies tracing.
         let sim = simulation_from_parfile("NEX_XI = 4\nTRACE_DIR = out\n").unwrap();
         assert!(sim.config.trace);
+    }
+
+    #[test]
+    fn campaign_knobs_parse_and_round_trip() {
+        let text = "NEX_XI = 8\nCAMPAIGN_WORKERS = 4\nMESH_CACHE_BYTES = 512M\n";
+        let knobs = campaign_knobs_from_parfile(text).unwrap();
+        assert_eq!(knobs.workers, 4);
+        assert_eq!(knobs.mesh_cache_bytes, 512 << 20);
+        // Defaults when absent; unrelated keys ignored.
+        assert_eq!(
+            campaign_knobs_from_parfile("NEX_XI = 8\n").unwrap(),
+            CampaignKnobs::default()
+        );
+        // Round trip: render → parse → identical.
+        let exact = CampaignKnobs {
+            workers: 3,
+            mesh_cache_bytes: 1_234_567,
+        };
+        assert_eq!(
+            campaign_knobs_from_parfile(&exact.to_parfile()).unwrap(),
+            exact
+        );
+        let suffixed = campaign_knobs_from_parfile("MESH_CACHE_BYTES = 2G\n").unwrap();
+        assert_eq!(suffixed.mesh_cache_bytes, 2usize << 30);
+        assert_eq!(
+            campaign_knobs_from_parfile(&suffixed.to_parfile()).unwrap(),
+            suffixed
+        );
+        // Suffix variants and case-insensitivity.
+        assert_eq!(
+            campaign_knobs_from_parfile("MESH_CACHE_BYTES = 16kb\n")
+                .unwrap()
+                .mesh_cache_bytes,
+            16 << 10
+        );
+        // Errors are reported, not swallowed.
+        assert!(campaign_knobs_from_parfile("CAMPAIGN_WORKERS = many\n").is_err());
+        assert!(campaign_knobs_from_parfile("MESH_CACHE_BYTES = 1T\n").is_err());
     }
 
     #[test]

@@ -14,9 +14,11 @@
 //! `specfem-solver` takes the `LocalMesh` directly.
 
 pub mod checkpoint;
+pub mod mesh_artifact;
 pub mod seismograms;
 
 pub use checkpoint::CheckpointStore;
+pub use mesh_artifact::{ArtifactError, MeshArtifactStore};
 
 use std::fs::{self, File};
 use std::io::{self, BufReader, BufWriter, Read, Write};

@@ -1,0 +1,622 @@
+//! On-disk mesh artifacts — the campaign cache's persistent tier.
+//!
+//! A built [`GlobalMesh`] is the amortizable fixed cost of every run in a
+//! campaign; this module makes it a first-class, checksummed artifact (in
+//! the spirit of Hapla et al.'s checkpointed DMPlex meshes) so separate
+//! campaign processes can share builds through the filesystem.
+//!
+//! The format follows the checkpoint codec conventions of
+//! `specfem_solver::checkpoint`: `"SFMA"` magic, a format version, a
+//! little-endian body, and a trailing CRC-32 (IEEE, the same `crc32`) over
+//! everything before it. Files are named by the [`MeshKey`]'s fingerprint
+//! hex and carry the fingerprint in the header, so a stale or mis-filed
+//! artifact can never be silently loaded for the wrong configuration.
+//! Writes are atomic (tmp + rename), matching [`super::CheckpointStore`].
+
+use std::fmt;
+use std::fs;
+use std::io::Write;
+use std::path::{Path, PathBuf};
+
+use specfem_gll::GllBasis;
+use specfem_mesh::build::ElementHome;
+use specfem_mesh::{
+    CubeAssignment, ElementOrder, GlobalMesh, LayerPlan, MeshKey, MeshMode, MeshParams, MeshRegion,
+    MesherReport, Shell,
+};
+use specfem_solver::checkpoint::crc32;
+
+/// Current mesh-artifact format version.
+pub const MESH_FORMAT_VERSION: u32 = 1;
+
+/// File magic: "SFMA" = SpecFem Mesh Artifact.
+pub const MESH_MAGIC: [u8; 4] = *b"SFMA";
+
+/// A mesh-artifact failure (encode, decode, I/O, or key mismatch).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ArtifactError(pub String);
+
+impl fmt::Display for ArtifactError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "mesh artifact error: {}", self.0)
+    }
+}
+
+impl std::error::Error for ArtifactError {}
+
+fn io_err(context: &str, e: std::io::Error) -> ArtifactError {
+    ArtifactError(format!("{context}: {e}"))
+}
+
+// ---- scalar / slice encoding helpers (checkpoint codec conventions) ----
+
+fn put_u8(out: &mut Vec<u8>, v: u8) {
+    out.push(v);
+}
+
+fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_f64(out: &mut Vec<u8>, v: f64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_f32_slice(out: &mut Vec<u8>, v: &[f32]) {
+    put_u64(out, v.len() as u64);
+    for &x in v {
+        out.extend_from_slice(&x.to_le_bytes());
+    }
+}
+
+fn put_u32_slice(out: &mut Vec<u8>, v: &[u32]) {
+    put_u64(out, v.len() as u64);
+    for &x in v {
+        out.extend_from_slice(&x.to_le_bytes());
+    }
+}
+
+struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], ArtifactError> {
+        if self.pos + n > self.buf.len() {
+            return Err(ArtifactError(format!(
+                "truncated mesh artifact: need {} bytes at offset {}, have {}",
+                n,
+                self.pos,
+                self.buf.len() - self.pos
+            )));
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    fn u8(&mut self) -> Result<u8, ArtifactError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u32(&mut self) -> Result<u32, ArtifactError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    fn u64(&mut self) -> Result<u64, ArtifactError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    fn f64(&mut self) -> Result<f64, ArtifactError> {
+        Ok(f64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    fn f32_vec(&mut self) -> Result<Vec<f32>, ArtifactError> {
+        let n = self.u64()? as usize;
+        let raw = self.take(n * 4)?;
+        Ok(raw
+            .chunks_exact(4)
+            .map(|c| f32::from_le_bytes(c.try_into().unwrap()))
+            .collect())
+    }
+
+    fn u32_vec(&mut self) -> Result<Vec<u32>, ArtifactError> {
+        let n = self.u64()? as usize;
+        let raw = self.take(n * 4)?;
+        Ok(raw
+            .chunks_exact(4)
+            .map(|c| u32::from_le_bytes(c.try_into().unwrap()))
+            .collect())
+    }
+}
+
+fn region_tag(r: MeshRegion) -> u8 {
+    match r {
+        MeshRegion::CrustMantle => 0,
+        MeshRegion::OuterCore => 1,
+        MeshRegion::InnerCore => 2,
+        MeshRegion::CentralCube => 3,
+    }
+}
+
+fn region_from_tag(t: u8) -> Result<MeshRegion, ArtifactError> {
+    Ok(match t {
+        0 => MeshRegion::CrustMantle,
+        1 => MeshRegion::OuterCore,
+        2 => MeshRegion::InnerCore,
+        3 => MeshRegion::CentralCube,
+        _ => return Err(ArtifactError(format!("bad region tag {t}"))),
+    })
+}
+
+fn encode_params(out: &mut Vec<u8>, p: &MeshParams) {
+    match p.mode {
+        MeshMode::Global => {
+            put_u8(out, 0);
+            put_f64(out, 0.0);
+        }
+        MeshMode::Regional { r_min } => {
+            put_u8(out, 1);
+            put_f64(out, r_min);
+        }
+    }
+    put_u64(out, p.nex_xi as u64);
+    put_u64(out, p.nproc_xi as u64);
+    put_u64(out, p.degree as u64);
+    put_f64(out, p.cube_inflation);
+    put_f64(out, p.cube_half_width_fraction);
+    put_u8(out, p.honor_minor_discontinuities as u8);
+    match p.radial_layer_nex {
+        Some(n) => {
+            put_u8(out, 1);
+            put_u64(out, n as u64);
+        }
+        None => {
+            put_u8(out, 0);
+            put_u64(out, 0);
+        }
+    }
+    put_u8(
+        out,
+        match p.cube_assignment {
+            CubeAssignment::SingleRank => 0,
+            CubeAssignment::TwoRanks => 1,
+        },
+    );
+    match p.element_order {
+        ElementOrder::Natural => {
+            put_u8(out, 0);
+            put_u64(out, 0);
+        }
+        ElementOrder::Random(seed) => {
+            put_u8(out, 1);
+            put_u64(out, seed);
+        }
+        ElementOrder::CuthillMcKee => {
+            put_u8(out, 2);
+            put_u64(out, 0);
+        }
+        ElementOrder::MultilevelCuthillMcKee { block } => {
+            put_u8(out, 3);
+            put_u64(out, block as u64);
+        }
+    }
+    put_u8(out, p.legacy_two_pass_materials as u8);
+}
+
+fn decode_params(r: &mut Reader<'_>) -> Result<MeshParams, ArtifactError> {
+    let mode_tag = r.u8()?;
+    let r_min = r.f64()?;
+    let mode = match mode_tag {
+        0 => MeshMode::Global,
+        1 => MeshMode::Regional { r_min },
+        t => return Err(ArtifactError(format!("bad mode tag {t}"))),
+    };
+    let nex_xi = r.u64()? as usize;
+    let nproc_xi = r.u64()? as usize;
+    let degree = r.u64()? as usize;
+    let cube_inflation = r.f64()?;
+    let cube_half_width_fraction = r.f64()?;
+    let honor_minor_discontinuities = r.u8()? != 0;
+    let has_radial = r.u8()? != 0;
+    let radial = r.u64()? as usize;
+    let radial_layer_nex = has_radial.then_some(radial);
+    let cube_assignment = match r.u8()? {
+        0 => CubeAssignment::SingleRank,
+        1 => CubeAssignment::TwoRanks,
+        t => return Err(ArtifactError(format!("bad cube-assignment tag {t}"))),
+    };
+    let order_tag = r.u8()?;
+    let order_arg = r.u64()?;
+    let element_order = match order_tag {
+        0 => ElementOrder::Natural,
+        1 => ElementOrder::Random(order_arg),
+        2 => ElementOrder::CuthillMcKee,
+        3 => ElementOrder::MultilevelCuthillMcKee {
+            block: order_arg as usize,
+        },
+        t => return Err(ArtifactError(format!("bad element-order tag {t}"))),
+    };
+    let legacy_two_pass_materials = r.u8()? != 0;
+    Ok(MeshParams {
+        mode,
+        nex_xi,
+        nproc_xi,
+        degree,
+        cube_inflation,
+        cube_half_width_fraction,
+        honor_minor_discontinuities,
+        radial_layer_nex,
+        cube_assignment,
+        element_order,
+        legacy_two_pass_materials,
+    })
+}
+
+/// Serialize a built mesh to the versioned, checksummed artifact format.
+/// `fingerprint` is the full [`MeshKey`] fingerprint the artifact is filed
+/// under; it is stored in the header and re-verified at load.
+pub fn encode_mesh(mesh: &GlobalMesh, fingerprint: u64) -> Vec<u8> {
+    let mut out = Vec::new();
+    out.extend_from_slice(&MESH_MAGIC);
+    put_u32(&mut out, MESH_FORMAT_VERSION);
+    put_u64(&mut out, fingerprint);
+    encode_params(&mut out, &mesh.params);
+    put_u64(&mut out, mesh.nspec as u64);
+    put_u64(&mut out, mesh.nglob as u64);
+    put_u32_slice(&mut out, &mesh.ibool);
+    put_u64(&mut out, mesh.coords.len() as u64);
+    for p in &mesh.coords {
+        for &x in p {
+            put_f64(&mut out, x);
+        }
+    }
+    put_u64(&mut out, mesh.region.len() as u64);
+    for &reg in &mesh.region {
+        put_u8(&mut out, region_tag(reg));
+    }
+    put_u64(&mut out, mesh.home.len() as u64);
+    for &h in &mesh.home {
+        match h {
+            ElementHome::Shell { chunk, ix, iy } => {
+                put_u8(&mut out, 0);
+                put_u8(&mut out, chunk);
+                out.extend_from_slice(&ix.to_le_bytes());
+                out.extend_from_slice(&iy.to_le_bytes());
+                out.extend_from_slice(&0u16.to_le_bytes());
+            }
+            ElementHome::Cube { i, j, k } => {
+                put_u8(&mut out, 1);
+                put_u8(&mut out, 0);
+                out.extend_from_slice(&i.to_le_bytes());
+                out.extend_from_slice(&j.to_le_bytes());
+                out.extend_from_slice(&k.to_le_bytes());
+            }
+        }
+    }
+    put_f32_slice(&mut out, &mesh.rho);
+    put_f32_slice(&mut out, &mesh.kappa);
+    put_f32_slice(&mut out, &mesh.mu);
+    put_f32_slice(&mut out, &mesh.qmu);
+    // Layer plan.
+    put_u64(&mut out, mesh.layer_plan.shells.len() as u64);
+    for s in &mesh.layer_plan.shells {
+        put_f64(&mut out, s.r_in);
+        put_f64(&mut out, s.r_out);
+        put_u8(&mut out, region_tag(s.region));
+        put_u64(&mut out, s.n_layers as u64);
+    }
+    put_f64(&mut out, mesh.layer_plan.cube_half_width);
+    // Mesher report (provenance: what the original build cost).
+    put_f64(&mut out, mesh.report.geometry_seconds);
+    put_f64(&mut out, mesh.report.material_seconds);
+    put_f64(&mut out, mesh.report.numbering_seconds);
+    put_u8(&mut out, mesh.report.passes);
+    for &n in &mesh.report.elements_per_region {
+        put_u64(&mut out, n as u64);
+    }
+    let crc = crc32(&out);
+    put_u32(&mut out, crc);
+    out
+}
+
+/// Deserialize an artifact, rejecting bad magic, unknown versions,
+/// truncation, checksum mismatches, and — when `expect_fingerprint` is
+/// given — artifacts filed under a different mesh key.
+pub fn decode_mesh(
+    buf: &[u8],
+    expect_fingerprint: Option<u64>,
+) -> Result<GlobalMesh, ArtifactError> {
+    if buf.len() < MESH_MAGIC.len() + 8 {
+        return Err(ArtifactError(format!(
+            "file too short ({} bytes) to be a mesh artifact",
+            buf.len()
+        )));
+    }
+    let (body, crc_bytes) = buf.split_at(buf.len() - 4);
+    let stored = u32::from_le_bytes(crc_bytes.try_into().unwrap());
+    let computed = crc32(body);
+    if stored != computed {
+        return Err(ArtifactError(format!(
+            "checksum mismatch: stored {stored:#010x}, computed {computed:#010x}"
+        )));
+    }
+    let mut r = Reader { buf: body, pos: 0 };
+    let magic = r.take(4)?;
+    if magic != MESH_MAGIC {
+        return Err(ArtifactError(format!("bad magic {magic:?}")));
+    }
+    let version = r.u32()?;
+    if version != MESH_FORMAT_VERSION {
+        return Err(ArtifactError(format!(
+            "unsupported mesh format version {version} (this build reads {MESH_FORMAT_VERSION})"
+        )));
+    }
+    let fingerprint = r.u64()?;
+    if let Some(expect) = expect_fingerprint {
+        if fingerprint != expect {
+            return Err(ArtifactError(format!(
+                "mesh key mismatch: artifact {fingerprint:016x}, expected {expect:016x}"
+            )));
+        }
+    }
+    let params = decode_params(&mut r)?;
+    let nspec = r.u64()? as usize;
+    let nglob = r.u64()? as usize;
+    let ibool = r.u32_vec()?;
+    let ncoords = r.u64()? as usize;
+    let raw = r.take(ncoords * 24)?;
+    let coords: Vec<[f64; 3]> = raw
+        .chunks_exact(24)
+        .map(|c| {
+            [
+                f64::from_le_bytes(c[0..8].try_into().unwrap()),
+                f64::from_le_bytes(c[8..16].try_into().unwrap()),
+                f64::from_le_bytes(c[16..24].try_into().unwrap()),
+            ]
+        })
+        .collect();
+    let nregion = r.u64()? as usize;
+    let mut region = Vec::with_capacity(nregion);
+    for _ in 0..nregion {
+        region.push(region_from_tag(r.u8()?)?);
+    }
+    let nhome = r.u64()? as usize;
+    let mut home = Vec::with_capacity(nhome);
+    for _ in 0..nhome {
+        let tag = r.u8()?;
+        let b = r.u8()?;
+        let raw = r.take(6)?;
+        let a = u16::from_le_bytes(raw[0..2].try_into().unwrap());
+        let c = u16::from_le_bytes(raw[2..4].try_into().unwrap());
+        let d = u16::from_le_bytes(raw[4..6].try_into().unwrap());
+        home.push(match tag {
+            0 => ElementHome::Shell {
+                chunk: b,
+                ix: a,
+                iy: c,
+            },
+            1 => ElementHome::Cube { i: a, j: c, k: d },
+            t => return Err(ArtifactError(format!("bad element-home tag {t}"))),
+        });
+    }
+    let rho = r.f32_vec()?;
+    let kappa = r.f32_vec()?;
+    let mu = r.f32_vec()?;
+    let qmu = r.f32_vec()?;
+    let nshells = r.u64()? as usize;
+    let mut shells = Vec::with_capacity(nshells);
+    for _ in 0..nshells {
+        let r_in = r.f64()?;
+        let r_out = r.f64()?;
+        let reg = region_from_tag(r.u8()?)?;
+        let n_layers = r.u64()? as usize;
+        shells.push(Shell {
+            r_in,
+            r_out,
+            region: reg,
+            n_layers,
+        });
+    }
+    let cube_half_width = r.f64()?;
+    let geometry_seconds = r.f64()?;
+    let material_seconds = r.f64()?;
+    let numbering_seconds = r.f64()?;
+    let passes = r.u8()?;
+    let mut elements_per_region = [0usize; 4];
+    for slot in &mut elements_per_region {
+        *slot = r.u64()? as usize;
+    }
+    if r.pos != body.len() {
+        return Err(ArtifactError(format!(
+            "{} trailing bytes after mesh artifact body",
+            body.len() - r.pos
+        )));
+    }
+    let basis = GllBasis::new(params.degree);
+    Ok(GlobalMesh {
+        basis,
+        params,
+        nspec,
+        nglob,
+        ibool,
+        coords,
+        region,
+        home,
+        rho,
+        kappa,
+        mu,
+        qmu,
+        layer_plan: LayerPlan {
+            shells,
+            cube_half_width,
+        },
+        report: MesherReport {
+            geometry_seconds,
+            material_seconds,
+            numbering_seconds,
+            passes,
+            elements_per_region,
+        },
+    })
+}
+
+/// A directory of content-addressed mesh artifacts, one file per
+/// [`MeshKey`]: `mesh_<fingerprint hex>.sfma`.
+#[derive(Debug, Clone)]
+pub struct MeshArtifactStore {
+    dir: PathBuf,
+}
+
+impl MeshArtifactStore {
+    /// Open (creating if needed) an artifact directory.
+    pub fn new(dir: impl Into<PathBuf>) -> Result<Self, ArtifactError> {
+        let dir = dir.into();
+        fs::create_dir_all(&dir).map_err(|e| io_err("create mesh artifact dir", e))?;
+        Ok(Self { dir })
+    }
+
+    /// The directory backing this store.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Path the artifact for `key` lives at.
+    pub fn path_for(&self, key: &MeshKey) -> PathBuf {
+        self.dir.join(format!("mesh_{}.sfma", key.hex()))
+    }
+
+    /// Persist a built mesh under its key (atomic tmp + rename).
+    pub fn save(&self, key: &MeshKey, mesh: &GlobalMesh) -> Result<PathBuf, ArtifactError> {
+        let _span = specfem_obs::span("io.mesh_artifact.save");
+        let bytes = encode_mesh(mesh, key.fingerprint());
+        let path = self.path_for(key);
+        let tmp = path.with_extension("sfma.tmp");
+        {
+            let mut f = fs::File::create(&tmp)
+                .map_err(|e| io_err(&format!("create {}", tmp.display()), e))?;
+            f.write_all(&bytes)
+                .map_err(|e| io_err(&format!("write {}", tmp.display()), e))?;
+            f.sync_all()
+                .map_err(|e| io_err(&format!("sync {}", tmp.display()), e))?;
+        }
+        fs::rename(&tmp, &path)
+            .map_err(|e| io_err(&format!("rename into {}", path.display()), e))?;
+        specfem_obs::counter_add("io.mesh_artifacts_written", 1);
+        specfem_obs::counter_add("io.bytes_written", bytes.len() as u64);
+        Ok(path)
+    }
+
+    /// Load the mesh filed under `key`. `Ok(None)` when no artifact exists;
+    /// corrupt or mis-keyed artifacts are a typed error (callers usually
+    /// [`MeshArtifactStore::evict`] and rebuild).
+    pub fn load(&self, key: &MeshKey) -> Result<Option<GlobalMesh>, ArtifactError> {
+        let _span = specfem_obs::span("io.mesh_artifact.load");
+        let path = self.path_for(key);
+        let bytes = match fs::read(&path) {
+            Ok(b) => b,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
+            Err(e) => return Err(io_err(&format!("read {}", path.display()), e)),
+        };
+        specfem_obs::counter_add("io.bytes_read", bytes.len() as u64);
+        decode_mesh(&bytes, Some(key.fingerprint())).map(Some)
+    }
+
+    /// Remove the artifact for `key`, if present.
+    pub fn evict(&self, key: &MeshKey) {
+        let _ = fs::remove_file(self.path_for(key));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use specfem_model::Prem;
+
+    fn small_mesh() -> GlobalMesh {
+        let params = MeshParams::new(4, 2);
+        GlobalMesh::build(&params, &Prem::isotropic_no_ocean())
+    }
+
+    fn tmp_store(tag: &str) -> MeshArtifactStore {
+        let dir = std::env::temp_dir().join(format!("specfem_mesh_artifact_{tag}"));
+        let _ = fs::remove_dir_all(&dir);
+        MeshArtifactStore::new(dir).unwrap()
+    }
+
+    #[test]
+    fn roundtrip_is_bit_identical() {
+        let mesh = small_mesh();
+        let key = MeshKey::new(&mesh.params, "prem_iso");
+        let store = tmp_store("roundtrip");
+        store.save(&key, &mesh).unwrap();
+        let back = store.load(&key).unwrap().expect("artifact present");
+        assert_eq!(back.nspec, mesh.nspec);
+        assert_eq!(back.nglob, mesh.nglob);
+        assert_eq!(back.ibool, mesh.ibool);
+        assert_eq!(back.coords, mesh.coords);
+        assert_eq!(back.rho, mesh.rho);
+        assert_eq!(back.kappa, mesh.kappa);
+        assert_eq!(back.mu, mesh.mu);
+        assert_eq!(back.qmu, mesh.qmu);
+        assert_eq!(back.region, mesh.region);
+        assert_eq!(back.home, mesh.home);
+        assert_eq!(back.params.nex_xi, mesh.params.nex_xi);
+        assert_eq!(back.params.element_order, mesh.params.element_order);
+        assert_eq!(back.layer_plan.shells.len(), mesh.layer_plan.shells.len());
+        assert_eq!(
+            specfem_mesh::content_hash(&back),
+            specfem_mesh::content_hash(&mesh)
+        );
+        let _ = fs::remove_dir_all(store.dir());
+    }
+
+    #[test]
+    fn missing_artifact_is_none() {
+        let store = tmp_store("missing");
+        let key = MeshKey::new(&MeshParams::new(4, 1), "prem_iso");
+        assert_eq!(store.load(&key).unwrap().map(|m| m.nspec), None);
+        let _ = fs::remove_dir_all(store.dir());
+    }
+
+    #[test]
+    fn corruption_and_key_mismatch_are_rejected() {
+        let mesh = small_mesh();
+        let key = MeshKey::new(&mesh.params, "prem_iso");
+        let store = tmp_store("corrupt");
+        let path = store.save(&key, &mesh).unwrap();
+        // Bit flip → checksum error.
+        let mut bytes = fs::read(&path).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x01;
+        fs::write(&path, &bytes).unwrap();
+        let err = store.load(&key).unwrap_err();
+        assert!(err.0.contains("checksum"), "{err}");
+        // Valid bytes filed under the wrong key → key mismatch.
+        store.evict(&key);
+        let other = MeshKey::new(&MeshParams::new(8, 2), "prem_iso");
+        let valid = encode_mesh(&mesh, key.fingerprint());
+        fs::write(store.path_for(&other), &valid).unwrap();
+        let err = store.load(&other).unwrap_err();
+        assert!(err.0.contains("key mismatch"), "{err}");
+        let _ = fs::remove_dir_all(store.dir());
+    }
+
+    #[test]
+    fn evict_removes_the_file() {
+        let mesh = small_mesh();
+        let key = MeshKey::new(&mesh.params, "prem_iso");
+        let store = tmp_store("evict");
+        let path = store.save(&key, &mesh).unwrap();
+        assert!(path.exists());
+        store.evict(&key);
+        assert!(!path.exists());
+        assert!(store.load(&key).unwrap().is_none());
+        let _ = fs::remove_dir_all(store.dir());
+    }
+}

@@ -1,0 +1,282 @@
+//! Content-addressed mesh identity (campaign runtime support).
+//!
+//! A [`MeshKey`] is a deterministic fingerprint over every knob that can
+//! change the bits of a built [`GlobalMesh`] — `(nex, nproc, mode, model,
+//! dtype-affecting parameters)`. Jobs whose simulations hash to the same
+//! key can share one mesh build; the campaign scheduler uses the key for
+//! cache addressing and mesh-affinity ordering, and `specfem-io` uses its
+//! hex form to name on-disk mesh artifacts.
+//!
+//! Two fingerprints are exposed:
+//!
+//! * [`MeshKey::fingerprint`] — the full identity, including the
+//!   decomposition (`nproc_xi`, cube assignment, element order).
+//! * [`MeshKey::geometry_fingerprint`] — masks the *partition-time* knobs.
+//!   The global mesh geometry, numbering and materials provably do not
+//!   depend on `nproc_xi`/`cube_assignment`/`element_order` (only
+//!   `Partition::compute` and `Partition::extract` read them), so a cached
+//!   mesh built for one decomposition can serve a request for another by
+//!   cloning and re-stamping `params` — a "derived hit" in cache terms.
+
+use crate::numbering::ElementOrder;
+use crate::partition::CubeAssignment;
+use crate::{GlobalMesh, LayerPlan, MeshMode, MeshParams};
+use specfem_model::EarthModel;
+
+/// Deterministic identity of a mesh build: the model plus every
+/// `MeshParams` field that influences the built mesh or its partition.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct MeshKey {
+    /// Stable identifier of the Earth model (e.g. `"prem"`).
+    pub model_id: String,
+    /// Mode tag: 0 = global, 1 = regional.
+    mode_tag: u8,
+    /// Bit pattern of the regional inner radius (0 for global mode).
+    r_min_bits: u64,
+    /// `NEX_XI`.
+    pub nex_xi: usize,
+    /// `NPROC_XI` (masked by [`Self::geometry_fingerprint`]).
+    pub nproc_xi: usize,
+    /// Polynomial degree.
+    pub degree: usize,
+    cube_inflation_bits: u64,
+    cube_half_width_bits: u64,
+    honor_minor: bool,
+    /// `radial_layer_nex`, with `usize::MAX` standing in for `None`.
+    radial_layer_nex: usize,
+    cube_assignment_tag: u8,
+    element_order_tag: u8,
+    element_order_arg: u64,
+    legacy_two_pass: bool,
+}
+
+impl MeshKey {
+    /// Build the key for `params` over the model named `model_id`.
+    pub fn new(params: &MeshParams, model_id: &str) -> MeshKey {
+        let (mode_tag, r_min_bits) = match params.mode {
+            MeshMode::Global => (0u8, 0u64),
+            MeshMode::Regional { r_min } => (1u8, r_min.to_bits()),
+        };
+        let (cube_assignment_tag,) = match params.cube_assignment {
+            CubeAssignment::SingleRank => (0u8,),
+            CubeAssignment::TwoRanks => (1u8,),
+        };
+        let (element_order_tag, element_order_arg) = match params.element_order {
+            ElementOrder::Natural => (0u8, 0u64),
+            ElementOrder::Random(seed) => (1u8, seed),
+            ElementOrder::CuthillMcKee => (2u8, 0u64),
+            ElementOrder::MultilevelCuthillMcKee { block } => (3u8, block as u64),
+        };
+        MeshKey {
+            model_id: model_id.to_string(),
+            mode_tag,
+            r_min_bits,
+            nex_xi: params.nex_xi,
+            nproc_xi: params.nproc_xi,
+            degree: params.degree,
+            cube_inflation_bits: params.cube_inflation.to_bits(),
+            cube_half_width_bits: params.cube_half_width_fraction.to_bits(),
+            honor_minor: params.honor_minor_discontinuities,
+            radial_layer_nex: params.radial_layer_nex.unwrap_or(usize::MAX),
+            cube_assignment_tag,
+            element_order_tag,
+            element_order_arg,
+            legacy_two_pass: params.legacy_two_pass_materials,
+        }
+    }
+
+    fn hash_fields(&self, mask_partition_knobs: bool) -> u64 {
+        let mut h = Fnv::new();
+        h.write(self.model_id.as_bytes());
+        h.write(&[self.mode_tag]);
+        h.write(&self.r_min_bits.to_le_bytes());
+        h.write(&(self.nex_xi as u64).to_le_bytes());
+        h.write(&(self.degree as u64).to_le_bytes());
+        h.write(&self.cube_inflation_bits.to_le_bytes());
+        h.write(&self.cube_half_width_bits.to_le_bytes());
+        h.write(&[self.honor_minor as u8]);
+        h.write(&(self.radial_layer_nex as u64).to_le_bytes());
+        h.write(&[self.legacy_two_pass as u8]);
+        if !mask_partition_knobs {
+            h.write(&(self.nproc_xi as u64).to_le_bytes());
+            h.write(&[self.cube_assignment_tag]);
+            h.write(&[self.element_order_tag]);
+            h.write(&self.element_order_arg.to_le_bytes());
+        }
+        h.finish()
+    }
+
+    /// Full 64-bit fingerprint, including the decomposition knobs.
+    pub fn fingerprint(&self) -> u64 {
+        self.hash_fields(false)
+    }
+
+    /// Fingerprint of the *built* mesh only: masks `nproc_xi`,
+    /// `cube_assignment` and `element_order`, which affect only
+    /// partitioning/extraction, never the global mesh bits.
+    pub fn geometry_fingerprint(&self) -> u64 {
+        self.hash_fields(true)
+    }
+
+    /// Lower-case hex form of the full fingerprint — used as the artifact
+    /// file stem by the on-disk mesh cache.
+    pub fn hex(&self) -> String {
+        format!("{:016x}", self.fingerprint())
+    }
+
+    /// Lower-case hex form of the geometry fingerprint.
+    pub fn geometry_hex(&self) -> String {
+        format!("{:016x}", self.geometry_fingerprint())
+    }
+}
+
+/// Content hashes of a built mesh: one digest per constituent array.
+/// Bit-identical meshes (the determinism contract the mesh cache relies
+/// on) have equal hashes; the proptest suite checks this across repeated
+/// builds and worker counts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MeshContentHash {
+    /// FNV-1a over the `ibool` local→global mapping.
+    pub ibool: u64,
+    /// FNV-1a over the bit patterns of global point coordinates.
+    pub coords: u64,
+    /// FNV-1a over the bit patterns of rho/kappa/mu/qmu.
+    pub materials: u64,
+}
+
+/// Digest the arrays of a built mesh.
+pub fn content_hash(mesh: &GlobalMesh) -> MeshContentHash {
+    let mut hi = Fnv::new();
+    for &g in &mesh.ibool {
+        hi.write(&g.to_le_bytes());
+    }
+    let mut hc = Fnv::new();
+    for p in &mesh.coords {
+        for &x in p {
+            hc.write(&x.to_bits().to_le_bytes());
+        }
+    }
+    let mut hm = Fnv::new();
+    for arr in [&mesh.rho, &mesh.kappa, &mesh.mu, &mesh.qmu] {
+        for &v in arr.iter() {
+            hm.write(&v.to_bits().to_le_bytes());
+        }
+    }
+    MeshContentHash {
+        ibool: hi.finish(),
+        coords: hc.finish(),
+        materials: hm.finish(),
+    }
+}
+
+impl GlobalMesh {
+    /// Approximate resident size of this mesh in bytes (heap arrays only;
+    /// used by the campaign cache's byte-budget admission control).
+    pub fn approx_bytes(&self) -> usize {
+        self.ibool.len() * 4
+            + self.coords.len() * 24
+            + (self.rho.len() + self.kappa.len() + self.mu.len() + self.qmu.len()) * 4
+            + self.region.len()
+            + self.home.len() * 8
+    }
+}
+
+/// Estimate the resident bytes of the mesh `params` would build, without
+/// building it. Uses the (cheap) radial layer plan and the structured
+/// element-count formula; accurate to a few percent, which is all that
+/// byte-budget admission control needs.
+pub fn estimated_mesh_bytes(params: &MeshParams, model: &dyn EarthModel) -> usize {
+    let radial_nex = params.radial_layer_nex.unwrap_or(params.nex_xi);
+    let r_base = match params.mode {
+        MeshMode::Global => params.cube_half_width_fraction * specfem_model::ICB_RADIUS_M,
+        MeshMode::Regional { r_min } => r_min,
+    };
+    let plan = LayerPlan::new(
+        model,
+        radial_nex,
+        r_base,
+        params.honor_minor_discontinuities,
+    );
+    let nspec = GlobalMesh::expected_nspec(params, &plan);
+    let np = params.degree + 1;
+    let n3 = np * np * np;
+    // nglob/nloc for conforming degree-4 hexahedral meshes sits near 0.6.
+    let nglob = (nspec as f64 * n3 as f64 * 0.62) as usize;
+    nspec * n3 * (4 + 16) + nglob * 24 + nspec * 9
+}
+
+/// Minimal FNV-1a 64-bit hasher — deterministic across platforms and runs,
+/// with no dependency on `std::hash`'s unspecified per-process seeding.
+struct Fnv(u64);
+
+impl Fnv {
+    fn new() -> Fnv {
+        Fnv(0xcbf2_9ce4_8422_2325)
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= b as u64;
+            self.0 = self.0.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+
+    fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use specfem_model::Prem;
+
+    #[test]
+    fn key_is_stable_and_nproc_sensitive() {
+        let p1 = MeshParams::new(8, 2);
+        let p2 = MeshParams::new(8, 4);
+        let k1 = MeshKey::new(&p1, "prem");
+        let k1b = MeshKey::new(&p1, "prem");
+        let k2 = MeshKey::new(&p2, "prem");
+        assert_eq!(k1, k1b);
+        assert_eq!(k1.fingerprint(), k1b.fingerprint());
+        assert_ne!(k1.fingerprint(), k2.fingerprint());
+        // Geometry identity ignores the decomposition.
+        assert_eq!(k1.geometry_fingerprint(), k2.geometry_fingerprint());
+    }
+
+    #[test]
+    fn key_distinguishes_models_and_resolution() {
+        let p = MeshParams::new(8, 2);
+        let a = MeshKey::new(&p, "prem");
+        let b = MeshKey::new(&p, "prem3d");
+        assert_ne!(a.fingerprint(), b.fingerprint());
+        let mut hi = p.clone();
+        hi.nex_xi = 16;
+        assert_ne!(MeshKey::new(&hi, "prem").fingerprint(), a.fingerprint());
+    }
+
+    #[test]
+    fn content_hash_detects_bit_flips() {
+        let prem = Prem::isotropic_no_ocean();
+        let params = MeshParams::new(4, 2);
+        let mesh = GlobalMesh::build(&params, &prem);
+        let h0 = content_hash(&mesh);
+        assert_eq!(h0, content_hash(&mesh));
+        let mut tweaked = mesh.clone();
+        tweaked.rho[0] += 1.0;
+        assert_ne!(h0.materials, content_hash(&tweaked).materials);
+        assert_eq!(h0.ibool, content_hash(&tweaked).ibool);
+    }
+
+    #[test]
+    fn byte_estimate_tracks_actual_size() {
+        let prem = Prem::isotropic_no_ocean();
+        let params = MeshParams::new(4, 2);
+        let mesh = GlobalMesh::build(&params, &prem);
+        let actual = mesh.approx_bytes();
+        let est = estimated_mesh_bytes(&params, &prem);
+        let rel = (est as f64 - actual as f64).abs() / actual as f64;
+        assert!(rel < 0.10, "estimate {est} vs actual {actual} (rel {rel})");
+    }
+}

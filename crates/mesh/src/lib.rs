@@ -15,6 +15,7 @@
 
 pub mod build;
 pub mod cubed_sphere;
+pub mod fingerprint;
 pub mod geometry;
 pub mod layers;
 pub mod local;
@@ -25,6 +26,7 @@ pub mod stations;
 
 pub use build::{GlobalMesh, MesherReport};
 pub use cubed_sphere::{chunk_direction, cube_node, tan_lattice, NCHUNKS};
+pub use fingerprint::{content_hash, estimated_mesh_bytes, MeshContentHash, MeshKey};
 pub use geometry::{ElementGeometry, QualityReport};
 pub use layers::{LayerPlan, Shell};
 pub use local::LocalMesh;

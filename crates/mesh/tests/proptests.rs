@@ -126,3 +126,100 @@ proptest! {
         prop_assert_ne!(a, c);
     }
 }
+
+// ---------------------------------------------------------------------------
+// Mesh fingerprint determinism (the campaign cache's correctness contract).
+// Builds are expensive, so this block runs few cases over small meshes.
+// ---------------------------------------------------------------------------
+
+mod fingerprint_props {
+    use proptest::prelude::*;
+    use specfem_mesh::{content_hash, GlobalMesh, MeshKey, MeshParams};
+    use specfem_model::Prem;
+
+    /// Draw a small valid `(nex, nproc)` pair (nex divisible by nproc).
+    fn draw_params(nex_half: usize, nproc_choice: usize, honor: bool) -> MeshParams {
+        let nex = 2 * nex_half.clamp(1, 3); // 2, 4, 6
+        let nproc = if nproc_choice.is_multiple_of(2) || !nex.is_multiple_of(2) {
+            1
+        } else {
+            2
+        };
+        let mut p = MeshParams::new(nex, nproc);
+        p.honor_minor_discontinuities = honor;
+        p
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(6))]
+
+        /// Same config → bit-identical key, and bit-identical mesh content
+        /// (ibool / coordinate / material hashes) across repeated builds —
+        /// including builds racing on different worker threads, which is
+        /// exactly what the campaign cache assumes when any worker's build
+        /// may be the one every other job shares.
+        #[test]
+        fn same_config_same_key_and_content(
+            nex_half in 1usize..4,
+            nproc_choice in 0usize..4,
+            honor in any::<bool>(),
+            workers in 2usize..4,
+        ) {
+            let params = draw_params(nex_half, nproc_choice, honor);
+            let key_a = MeshKey::new(&params, "prem_iso");
+            let key_b = MeshKey::new(&params, "prem_iso");
+            prop_assert_eq!(&key_a, &key_b);
+            prop_assert_eq!(key_a.fingerprint(), key_b.fingerprint());
+
+            let reference = content_hash(&GlobalMesh::build(&params, &Prem::isotropic_no_ocean()));
+            let built: Vec<_> = std::thread::scope(|s| {
+                let handles: Vec<_> = (0..workers)
+                    .map(|_| {
+                        let p = params.clone();
+                        s.spawn(move || {
+                            content_hash(&GlobalMesh::build(&p, &Prem::isotropic_no_ocean()))
+                        })
+                    })
+                    .collect();
+                handles.into_iter().map(|h| h.join().unwrap()).collect()
+            });
+            for h in built {
+                prop_assert_eq!(h, reference);
+            }
+        }
+
+        /// Distinct configs → distinct full fingerprints, and the geometry
+        /// fingerprint masks exactly the decomposition knobs.
+        #[test]
+        fn distinct_configs_distinct_keys(
+            a_half in 1usize..4,
+            b_half in 1usize..4,
+            honor_a in any::<bool>(),
+            honor_b in any::<bool>(),
+        ) {
+            let pa = draw_params(a_half, 0, honor_a);
+            let pb = draw_params(b_half, 0, honor_b);
+            let ka = MeshKey::new(&pa, "prem_iso");
+            let kb = MeshKey::new(&pb, "prem_iso");
+            let same = (pa.nex_xi, pa.nproc_xi, pa.honor_minor_discontinuities)
+                == (pb.nex_xi, pb.nproc_xi, pb.honor_minor_discontinuities);
+            if same {
+                prop_assert_eq!(ka.fingerprint(), kb.fingerprint());
+            } else {
+                prop_assert_ne!(ka.fingerprint(), kb.fingerprint());
+            }
+            // nproc is decomposition-only: same geometry fingerprint,
+            // different full fingerprint.
+            if pa.nex_xi.is_multiple_of(2) {
+                let mut pc = pa.clone();
+                pc.nproc_xi = if pa.nproc_xi == 1 { 2 } else { 1 };
+                let kc = MeshKey::new(&pc, "prem_iso");
+                prop_assert_ne!(ka.fingerprint(), kc.fingerprint());
+                prop_assert_eq!(ka.geometry_fingerprint(), kc.geometry_fingerprint());
+            }
+            // Model identity is part of the key.
+            let k3d = MeshKey::new(&pa, "prem_3d");
+            prop_assert_ne!(ka.fingerprint(), k3d.fingerprint());
+        }
+    }
+}

@@ -47,7 +47,7 @@ pub mod report;
 pub mod span;
 
 pub use metrics::{LogHistogram, MetricsRegistry, MetricsSnapshot};
-pub use perfetto::perfetto_json;
+pub use perfetto::{perfetto_json, perfetto_tracks, Track, TrackEvent};
 pub use report::{IpmRankInput, IpmReport, PhaseRow, RankRow, TagTraffic};
 pub use span::{RankTrace, Span, SpanEvent};
 
@@ -94,6 +94,13 @@ static EPOCH: OnceLock<Instant> = OnceLock::new();
 /// Nanoseconds since the process-wide trace epoch.
 pub(crate) fn now_ns() -> u64 {
     EPOCH.get_or_init(Instant::now).elapsed().as_nanos() as u64
+}
+
+/// Nanoseconds since the process-wide trace epoch, for callers that
+/// build their own timelines (e.g. the campaign runtime's per-worker
+/// tracks) and need timestamps on the same axis as rank spans.
+pub fn timestamp_ns() -> u64 {
+    now_ns()
 }
 
 pub(crate) struct RankObs {

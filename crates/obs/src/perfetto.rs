@@ -58,6 +58,81 @@ pub fn perfetto_json(traces: &[RankTrace]) -> String {
     out
 }
 
+/// One event on a named [`Track`] — like [`crate::SpanEvent`] but with an
+/// owned name, for timelines whose labels are built at runtime (job
+/// names, event ids) rather than `'static` span literals.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TrackEvent {
+    /// Event label, e.g. `"job quake_07 (run)"`.
+    pub name: String,
+    /// Start, in ns since the shared trace epoch ([`crate::timestamp_ns`]).
+    pub start_ns: u64,
+    /// Duration in ns.
+    pub dur_ns: u64,
+    /// Nesting depth (0 = top level) — carried into `args` like rank spans.
+    pub depth: u16,
+}
+
+/// A named timeline row — e.g. one campaign worker — rendered with the
+/// same `pid`/`tid` scheme as rank traces so both merge on one axis.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Track {
+    /// Row label (`"worker 0"`, `"scheduler"`, …).
+    pub name: String,
+    /// Thread id for the row; keep these unique across one export.
+    pub tid: usize,
+    /// Events on the row, any order (emitted as given).
+    pub events: Vec<TrackEvent>,
+}
+
+/// Serialize named tracks as a Perfetto-loadable JSON string.
+///
+/// Tracks are emitted in ascending `tid` order regardless of input
+/// order, so the output is deterministic for a given set of tracks.
+pub fn perfetto_tracks(tracks: &[Track]) -> String {
+    let mut sorted: Vec<&Track> = tracks.iter().collect();
+    sorted.sort_by_key(|t| t.tid);
+
+    let total_events: usize = sorted.iter().map(|t| t.events.len()).sum();
+    let mut out = String::with_capacity(128 + 96 * (total_events + sorted.len()));
+    out.push_str("{\"displayTimeUnit\":\"ns\",\"traceEvents\":[");
+    let mut first = true;
+    let mut push = |out: &mut String, item: &str| {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        out.push_str(item);
+    };
+    for t in &sorted {
+        push(
+            &mut out,
+            &format!(
+                "{{\"ph\":\"M\",\"pid\":1,\"tid\":{},\"name\":\"thread_name\",\
+                 \"args\":{{\"name\":\"{}\"}}}}",
+                t.tid,
+                json_escape(&t.name)
+            ),
+        );
+        for e in &t.events {
+            push(
+                &mut out,
+                &format!(
+                    "{{\"ph\":\"X\",\"pid\":1,\"tid\":{},\"name\":\"{}\",\
+                     \"ts\":{:.3},\"dur\":{:.3},\"args\":{{\"depth\":{}}}}}",
+                    t.tid,
+                    json_escape(&e.name),
+                    e.start_ns as f64 / 1e3,
+                    e.dur_ns as f64 / 1e3,
+                    e.depth
+                ),
+            );
+        }
+    }
+    out.push_str("]}");
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -106,6 +181,37 @@ mod tests {
     fn empty_input_yields_valid_shell() {
         assert_eq!(
             perfetto_json(&[]),
+            "{\"displayTimeUnit\":\"ns\",\"traceEvents\":[]}"
+        );
+    }
+
+    #[test]
+    fn named_tracks_emit_owned_labels_in_tid_order() {
+        let tracks = vec![
+            Track {
+                name: "worker 1".into(),
+                tid: 1,
+                events: vec![],
+            },
+            Track {
+                name: "worker 0".into(),
+                tid: 0,
+                events: vec![TrackEvent {
+                    name: "job \"q7\"".into(),
+                    start_ns: 2000,
+                    dur_ns: 3000,
+                    depth: 0,
+                }],
+            },
+        ];
+        let json = perfetto_tracks(&tracks);
+        assert!(json.contains("\"name\":\"worker 0\""));
+        assert!(json.contains("\"name\":\"worker 1\""));
+        assert!(json.find("worker 0").unwrap() < json.find("worker 1").unwrap());
+        assert!(json.contains("job \\\"q7\\\""));
+        assert!(json.contains("\"ts\":2.000"));
+        assert_eq!(
+            perfetto_tracks(&[]),
             "{\"displayTimeUnit\":\"ns\",\"traceEvents\":[]}"
         );
     }

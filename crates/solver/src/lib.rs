@@ -42,8 +42,8 @@ pub use checkpoint::{CheckpointError, CheckpointSink, CheckpointState, MemorySin
 pub use coupling::CouplingSurface;
 pub use source::{ReceiverSet, Seismogram, SourceArrays, SourceSpec};
 pub use timeloop::{
-    merge_seismograms, run_distributed, run_serial, try_run_distributed, FtOptions, RankResult,
-    RankSolver, SolverError,
+    merge_seismograms, run_distributed, run_serial, try_run_distributed, try_run_serial, FtOptions,
+    RankResult, RankSolver, SolverError,
 };
 
 use specfem_comm::FaultPlan;

@@ -661,14 +661,55 @@ impl RankSolver {
 }
 
 /// Run serially (one rank, whole mesh) — the merged mesher+solver path.
+/// Any failure (including an injected fault) panics; use
+/// [`try_run_serial`] for typed errors, checkpointing and resume.
 pub fn run_serial(mesh: &GlobalMesh, config: &SolverConfig, stations: &[Station]) -> RankResult {
+    try_run_serial(mesh, config, stations, FtOptions::default())
+        .unwrap_or_else(|e| panic!("solver rank failed: {e}"))
+}
+
+/// The fault-tolerant serial path: one rank, whole mesh, typed errors.
+/// Honors `config.fault_plan` (wrapping the in-process communicator in a
+/// [`FaultyComm`]) and the [`FtOptions`] checkpoint sink/restore hooks —
+/// the single-rank analog of [`try_run_distributed`], which the campaign
+/// runtime uses so a killed job can resume from its latest checkpoint.
+pub fn try_run_serial(
+    mesh: &GlobalMesh,
+    config: &SolverConfig,
+    stations: &[Station],
+    opts: FtOptions<'_>,
+) -> Result<RankResult, SolverError> {
     if config.trace {
         specfem_obs::init_rank(0, &specfem_obs::TraceConfig::default());
     }
     let local = Partition::serial(mesh).extract(mesh, 0);
-    let mut comm = SerialComm::new();
-    let solver = RankSolver::new(local, config, stations, &mut comm);
-    solver.run(&mut comm)
+    let base = SerialComm::new();
+    let mut comm: Box<dyn Communicator> = match &config.fault_plan {
+        Some(plan) => Box::new(FaultyComm::new(base, plan)),
+        None => Box::new(base),
+    };
+    let mut solver = RankSolver::new(local, config, stations, comm.as_mut());
+    let out = (move || {
+        if let Some(restore) = opts.restore {
+            match restore(0) {
+                Ok(Some(state)) => solver.restore_from(state)?,
+                Ok(None) => {}
+                Err(e) => return Err(SolverError::Checkpoint(e)),
+            }
+        }
+        let mut sink = opts.sink_factory.map(|f| f(0));
+        let sink_ref: Option<&mut dyn CheckpointSink> = match sink.as_mut() {
+            Some(b) => Some(&mut **b),
+            None => None,
+        };
+        solver.try_run(comm.as_mut(), sink_ref)
+    })();
+    if out.is_err() {
+        // A failed run never reached the harvest in `try_run`; drop the
+        // recorder so the global tracer gate is released.
+        let _ = specfem_obs::finish_rank();
+    }
+    out
 }
 
 /// Run distributed over `6 × NPROC_XI²` thread-ranks (the `mpirun` analog).
