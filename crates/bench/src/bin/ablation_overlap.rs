@@ -1,0 +1,162 @@
+//! Overlap ablation: the non-blocking halo exchange (outer elements →
+//! post → inner elements → wait) against the blocking oracle, on the same
+//! mesh and source. Verifies the two paths are bit-identical, measures
+//! the wall-clock difference at 24 ranks, and regenerates the §5 62K-core
+//! extrapolation with and without overlap. Writes a JSON artifact
+//! (default `OUTPUT_FILES/ablation_overlap.json`, override with `--out`).
+
+use specfem_bench::{prem_mesh, timed};
+use specfem_comm::NetworkProfile;
+use specfem_perf::predict_overlap;
+use specfem_solver::{merge_seismograms, run_distributed, RankResult, Seismogram, SolverConfig};
+
+fn run_once(
+    mesh: &specfem_mesh::GlobalMesh,
+    overlap: bool,
+    nsteps: usize,
+) -> (Vec<Seismogram>, Vec<RankResult>, f64) {
+    let config = SolverConfig {
+        nsteps,
+        overlap,
+        ..SolverConfig::default()
+    };
+    let stations = specfem_mesh::stations::global_network(4);
+    let (results, t) =
+        timed(|| run_distributed(mesh, &config, &stations, NetworkProfile::xt4_seastar2()));
+    (merge_seismograms(&results), results, t)
+}
+
+/// Largest ULP distance over all paired samples (0 = bit-identical).
+fn max_ulp_diff(a: &[Seismogram], b: &[Seismogram]) -> u32 {
+    let mut worst = 0u32;
+    for (sa, sb) in a.iter().zip(b) {
+        assert_eq!(sa.station, sb.station);
+        assert_eq!(sa.data.len(), sb.data.len());
+        for (va, vb) in sa.data.iter().zip(&sb.data) {
+            for c in 0..3 {
+                let d = (va[c].to_bits() as i64 - vb[c].to_bits() as i64).unsigned_abs() as u32;
+                worst = worst.max(d);
+            }
+        }
+    }
+    worst
+}
+
+fn main() {
+    let out_path = {
+        let args: Vec<String> = std::env::args().collect();
+        args.iter()
+            .position(|a| a == "--out")
+            .and_then(|i| args.get(i + 1).cloned())
+            .unwrap_or_else(|| "OUTPUT_FILES/ablation_overlap.json".into())
+    };
+
+    println!("== Communication/computation overlap ablation ==");
+    let nsteps = 50;
+    let mesh = prem_mesh(8, 2); // 24 ranks
+                                // Two timed runs per mode, keep the faster to damp scheduler noise.
+    let (seis_block, ranks_block, tb1) = run_once(&mesh, false, nsteps);
+    let (_, _, tb2) = run_once(&mesh, false, nsteps);
+    let (seis_over, ranks_over, to1) = run_once(&mesh, true, nsteps);
+    let (_, _, to2) = run_once(&mesh, true, nsteps);
+    let t_blocking = tb1.min(tb2);
+    let t_overlap = to1.min(to2);
+
+    let ulp = max_ulp_diff(&seis_block, &seis_over);
+    assert_eq!(
+        ulp, 0,
+        "overlapped seismograms must be bit-identical to the blocking oracle"
+    );
+
+    let win_pct = 100.0 * (t_blocking - t_overlap) / t_blocking;
+    let mean = |f: &dyn Fn(&RankResult) -> f64, rs: &[RankResult]| -> f64 {
+        rs.iter().map(f).sum::<f64>() / rs.len() as f64
+    };
+    let blocked_over = mean(&|r| r.comm.wait_time_s, &ranks_over);
+    let window_over = mean(&|r| r.comm.overlap_time_s, &ranks_over);
+    println!(
+        "{:>12} {:>12} {:>12} {:>10}",
+        "path", "time (s)", "ulp diff", "ranks"
+    );
+    println!(
+        "{:>12} {t_blocking:>12.3} {:>12} {:>10}",
+        "blocking", "—", 24
+    );
+    println!(
+        "{:>12} {t_overlap:>12.3} {ulp:>12} {:>10}",
+        "overlapped", 24
+    );
+    println!(
+        "measured wall-clock change: {win_pct:+.1} % (oversubscribed thread world; \
+         mean in-flight window {window_over:.3} s, mean blocked wait {blocked_over:.3} s)"
+    );
+
+    // §5 extrapolation: NEX 4848 on 6·101² = 61206 cores. Per-rank compute
+    // per step from the paper's flop accounting at 0.9 Gflop/s sustained.
+    let profile = NetworkProfile::ranger_infiniband();
+    let compute_step_s = (6.0 * 4848.0f64.powi(2) * 100.0 / 61206.0) * 37_250.0 / 0.9e9;
+    let p62k = predict_overlap(4848, 101, 100, &profile, compute_step_s);
+    println!();
+    println!("62K-core extrapolation (NEX 4848, 61206 ranks):");
+    println!(
+        "  blocking:   step {:.3} s, comm fraction {:.3} %",
+        p62k.blocking_step_s,
+        100.0 * p62k.comm_fraction_blocking
+    );
+    println!(
+        "  overlapped: step {:.3} s, exposed comm fraction {:.3} % (outer fraction {:.1} %)",
+        p62k.overlapped_step_s,
+        100.0 * p62k.comm_fraction_overlapped,
+        100.0 * p62k.outer_fraction
+    );
+    println!("  predicted overlap speedup: {:.4}×", p62k.speedup());
+
+    // The vendored serde_json is parse-only, so the artifact is rendered
+    // by hand (same approach as the obs reports); the round-trip test in
+    // CI parses it back.
+    let artifact = format!(
+        r#"{{
+  "bench": "ablation_overlap",
+  "config": {{ "nex": 8, "nproc_xi": 2, "ranks": 24, "nsteps": {nsteps} }},
+  "measured": {{
+    "blocking_s": {t_blocking},
+    "overlapped_s": {t_overlap},
+    "improvement_pct": {win_pct},
+    "max_ulp_diff": {ulp},
+    "mean_overlap_window_s": {window_over},
+    "mean_blocked_wait_s": {blocked_over},
+    "mean_comm_fraction_blocking": {cfb},
+    "mean_comm_fraction_overlapped": {cfo}
+  }},
+  "extrapolation_62k": {{
+    "nex": 4848,
+    "ranks": 61206,
+    "blocking_step_s": {bstep},
+    "overlapped_step_s": {ostep},
+    "comm_fraction_blocking": {p62b},
+    "comm_fraction_overlapped": {p62o},
+    "outer_fraction": {outer},
+    "speedup": {speedup}
+  }}
+}}
+"#,
+        cfb = mean(&|r| r.comm_fraction(), &ranks_block),
+        cfo = mean(&|r| r.comm_fraction(), &ranks_over),
+        bstep = p62k.blocking_step_s,
+        ostep = p62k.overlapped_step_s,
+        p62b = p62k.comm_fraction_blocking,
+        p62o = p62k.comm_fraction_overlapped,
+        outer = p62k.outer_fraction,
+        speedup = p62k.speedup(),
+    );
+    serde_json::from_str(&artifact).expect("artifact JSON must parse");
+    if let Some(dir) = std::path::Path::new(&out_path).parent() {
+        std::fs::create_dir_all(dir).expect("create artifact directory");
+    }
+    std::fs::write(&out_path, artifact).expect("write JSON artifact");
+    println!();
+    println!("artifact: {out_path}");
+    println!("paper §5: comm is 1.9–4.2 % of the main loop; overlapping hides most of");
+    println!("it behind the inner-element stiffness loop, and at 62K cores the model");
+    println!("predicts the exchange disappears entirely into the compute window.");
+}

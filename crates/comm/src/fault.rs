@@ -12,6 +12,7 @@
 use std::time::Duration;
 
 use crate::error::CommError;
+use crate::request::Request;
 use crate::stats::StatsSnapshot;
 use crate::Communicator;
 
@@ -319,6 +320,57 @@ impl<C: Communicator> Communicator for FaultyComm<C> {
         self.inner.recv_f32(src, tag)
     }
 
+    fn isend_f32(&mut self, dest: usize, tag: u32, data: &[f32]) -> Result<Request, CommError> {
+        // Post-time fault site: a dead rank cannot post, and active
+        // drop/delay/corrupt faults hit the outgoing payload exactly as
+        // they do on the blocking path.
+        if let Some(e) = self.dead_error() {
+            return Err(e);
+        }
+        match self.outgoing_action() {
+            None => Ok(Request::send(dest, tag)), // dropped on the wire
+            Some((delay, corrupt)) => {
+                if !delay.is_zero() {
+                    std::thread::sleep(delay);
+                }
+                if corrupt {
+                    let mut bad = data.to_vec();
+                    if !bad.is_empty() {
+                        let idx = (self.rng.next_u64() as usize) % bad.len();
+                        bad[idx] = f32::from_bits(bad[idx].to_bits() ^ 0x8040_0001);
+                    }
+                    self.inner.isend_f32(dest, tag, &bad)
+                } else {
+                    self.inner.isend_f32(dest, tag, data)
+                }
+            }
+        }
+    }
+
+    fn irecv_f32(&mut self, src: usize, tag: u32) -> Result<Request, CommError> {
+        if let Some(e) = self.dead_error() {
+            return Err(e);
+        }
+        self.inner.irecv_f32(src, tag)
+    }
+
+    fn wait(&mut self, req: Request) -> Result<Option<Vec<f32>>, CommError> {
+        // Wait-time fault site: a rank killed *between* post and wait (the
+        // overlap window is where deaths land in practice) surfaces the
+        // typed error here instead of hanging on the inner receive.
+        if let Some(e) = self.dead_error() {
+            return Err(e);
+        }
+        self.inner.wait(req)
+    }
+
+    fn wait_all(&mut self, reqs: Vec<Request>) -> Result<Vec<Option<Vec<f32>>>, CommError> {
+        if let Some(e) = self.dead_error() {
+            return Err(e);
+        }
+        self.inner.wait_all(reqs)
+    }
+
     fn barrier(&mut self) -> Result<(), CommError> {
         if let Some(e) = self.dead_error() {
             return Err(e);
@@ -523,6 +575,81 @@ mod tests {
         // And the 0.5 drop rate actually dropped a nontrivial subset.
         let dropped = a[0].0.messages_dropped;
         assert!(dropped > 5 && dropped < 60, "dropped = {dropped}");
+    }
+
+    #[test]
+    fn death_between_post_and_wait_is_typed_not_a_hang() {
+        // Rank 1 posts its receives at step 2, then advances to step 3 where
+        // the plan kills it — the wait on the already-posted request must
+        // surface RankDead immediately rather than blocking on the channel.
+        let plan = FaultPlan::new(11).kill(1, 3);
+        let results = ThreadWorld::run(2, NetworkProfile::loopback(), |comm| {
+            let rank = comm.rank();
+            let mut comm = FaultyComm::new(comm, &plan);
+            comm.set_recv_timeout(Some(Duration::from_secs(10)));
+            if rank == 0 {
+                comm.on_time_step(2).unwrap();
+                None
+            } else {
+                comm.on_time_step(2).unwrap();
+                let req = comm.irecv_f32(0, 7).unwrap();
+                let _ = comm.on_time_step(3); // death fires here
+                let t0 = std::time::Instant::now();
+                let err = comm.wait(req).unwrap_err();
+                assert!(t0.elapsed() < Duration::from_secs(5), "wait hung");
+                Some(err)
+            }
+        });
+        assert_eq!(
+            results[1].clone().unwrap(),
+            CommError::RankDead { rank: 1, step: 3 }
+        );
+    }
+
+    #[test]
+    fn dead_rank_cannot_post() {
+        let plan = FaultPlan::new(3).kill(0, 1);
+        let results = ThreadWorld::run(2, NetworkProfile::loopback(), |comm| {
+            let rank = comm.rank();
+            let mut comm = FaultyComm::new(comm, &plan);
+            if rank == 0 {
+                let _ = comm.on_time_step(1);
+                (
+                    Some(comm.isend_f32(1, 5, &[1.0]).unwrap_err()),
+                    Some(comm.irecv_f32(1, 5).unwrap_err()),
+                )
+            } else {
+                (None, None)
+            }
+        });
+        let dead = CommError::RankDead { rank: 0, step: 1 };
+        assert_eq!(results[0].0.clone().unwrap(), dead);
+        assert_eq!(results[0].1.clone().unwrap(), dead);
+    }
+
+    #[test]
+    fn faulty_nonblocking_drop_loses_the_message() {
+        let plan = FaultPlan::new(21).drop_messages(0, 0, 10, 1.0);
+        let results = ThreadWorld::run(2, NetworkProfile::loopback(), |comm| {
+            let rank = comm.rank();
+            let mut comm = FaultyComm::new(comm, &plan);
+            comm.set_recv_timeout(Some(Duration::from_millis(50)));
+            comm.on_time_step(0).unwrap();
+            if rank == 0 {
+                // isend "succeeds" locally but the wire eats the payload.
+                let req = comm.isend_f32(1, 6, &[3.0]).unwrap();
+                comm.wait(req).unwrap();
+                (comm.fault_stats().messages_dropped, None)
+            } else {
+                let req = comm.irecv_f32(0, 6).unwrap();
+                (0, Some(comm.wait(req).unwrap_err()))
+            }
+        });
+        assert_eq!(results[0].0, 1);
+        assert!(matches!(
+            results[1].1,
+            Some(CommError::Timeout { src: 0, tag: 6, .. })
+        ));
     }
 
     #[test]

@@ -9,6 +9,7 @@
 //! exactly the `assemble_MPI_*` pattern of SPECFEM3D_GLOBE.
 
 use crate::error::CommError;
+use crate::request::Request;
 use crate::Communicator;
 
 /// One neighbouring rank and the shared points with it.
@@ -120,6 +121,83 @@ pub fn exchange_halo(
             let base = p as usize * ncomp;
             for c in 0..ncomp {
                 combine(&mut field[base + c], recv[i * ncomp + c]);
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Post the halo exchange for `field` without completing it: pack and
+/// isend this rank's partials to every neighbour, post matching irecvs,
+/// and return the receive requests (one per neighbour, ascending rank
+/// order — the order [`finish_halo_assembly`] completes them in).
+///
+/// Between `post` and `finish` the caller may do arbitrary computation —
+/// the overlap window — **provided it does not write the shared points of
+/// `field`**: their partial sums were already captured into the send
+/// buffers, so later writes would diverge from what the neighbours see.
+pub fn post_halo_exchange(
+    comm: &mut dyn Communicator,
+    plan: &HaloPlan,
+    field: &[f32],
+    ncomp: usize,
+    tag: u32,
+) -> Result<Vec<Request>, CommError> {
+    if plan.neighbors.is_empty() {
+        return Ok(Vec::new());
+    }
+    let _span = specfem_obs::span("comm.halo.post");
+    let mut sendbuf = Vec::new();
+    for n in &plan.neighbors {
+        sendbuf.clear();
+        sendbuf.reserve(n.points.len() * ncomp);
+        for &p in &n.points {
+            let base = p as usize * ncomp;
+            sendbuf.extend_from_slice(&field[base..base + ncomp]);
+        }
+        comm.isend_f32(n.rank, tag, &sendbuf)?;
+    }
+    let mut reqs = Vec::with_capacity(plan.neighbors.len());
+    for n in &plan.neighbors {
+        reqs.push(comm.irecv_f32(n.rank, tag)?);
+    }
+    Ok(reqs)
+}
+
+/// Complete a posted halo exchange: wait for each neighbour's partials in
+/// ascending rank order and add them into `field`. The combine order is
+/// identical to the blocking [`assemble_halo`], which is what keeps the
+/// overlapped solver bit-identical to the reference path.
+pub fn finish_halo_assembly(
+    comm: &mut dyn Communicator,
+    plan: &HaloPlan,
+    field: &mut [f32],
+    ncomp: usize,
+    reqs: Vec<Request>,
+) -> Result<(), CommError> {
+    debug_assert_eq!(reqs.len(), plan.neighbors.len());
+    if reqs.is_empty() {
+        return Ok(());
+    }
+    let _span = specfem_obs::span("comm.halo.wait");
+    for (n, req) in plan.neighbors.iter().zip(reqs) {
+        let recv = comm
+            .wait(req)?
+            .expect("halo receive request must yield data");
+        if recv.len() != n.points.len() * ncomp {
+            return Err(CommError::Protocol {
+                detail: format!(
+                    "halo size mismatch with rank {}: got {} values, expected {}",
+                    n.rank,
+                    recv.len(),
+                    n.points.len() * ncomp
+                ),
+            });
+        }
+        for (i, &p) in n.points.iter().enumerate() {
+            let base = p as usize * ncomp;
+            for c in 0..ncomp {
+                field[base + c] += recv[i * ncomp + c];
             }
         }
     }
@@ -256,5 +334,82 @@ mod tests {
         let mut field = vec![1.0f32, 2.0];
         assemble_halo(&mut comm, &plan, &mut field, 1, 0).unwrap();
         assert_eq!(field, vec![1.0, 2.0]);
+    }
+
+    #[test]
+    fn split_halo_matches_blocking_bitwise() {
+        // Same 4-rank corner exchange, run blocking and split (with fake
+        // "inner computation" on private points during the window); the
+        // assembled fields must agree bit-for-bit.
+        let run = |split: bool| {
+            ThreadWorld::run(4, NetworkProfile::loopback(), move |mut comm| {
+                let rank = comm.rank();
+                let neighbors = (0..4)
+                    .filter(|&r| r != rank)
+                    .map(|r| Neighbor {
+                        rank: r,
+                        points: vec![0],
+                    })
+                    .collect();
+                let plan = HaloPlan { neighbors };
+                // Point 0 shared, point 1 private.
+                let mut field = vec![0.1f32 * (rank as f32 + 1.0), 0.0];
+                if split {
+                    let reqs = post_halo_exchange(&mut comm, &plan, &field, 1, 9).unwrap();
+                    field[1] += 7.0; // private work inside the window
+                    finish_halo_assembly(&mut comm, &plan, &mut field, 1, reqs).unwrap();
+                } else {
+                    assemble_halo(&mut comm, &plan, &mut field, 1, 9).unwrap();
+                    field[1] += 7.0;
+                }
+                field
+            })
+        };
+        let blocking = run(false);
+        let split = run(true);
+        for (b, s) in blocking.iter().zip(&split) {
+            assert_eq!(b[0].to_bits(), s[0].to_bits());
+            assert_eq!(b[1].to_bits(), s[1].to_bits());
+        }
+    }
+
+    #[test]
+    fn split_halo_empty_plan_is_noop() {
+        let mut comm = crate::serial::SerialComm::new();
+        let plan = HaloPlan::default();
+        let mut field = vec![3.0f32];
+        let reqs = post_halo_exchange(&mut comm, &plan, &field, 1, 0).unwrap();
+        assert!(reqs.is_empty());
+        finish_halo_assembly(&mut comm, &plan, &mut field, 1, reqs).unwrap();
+        assert_eq!(field, vec![3.0]);
+    }
+
+    #[test]
+    fn split_halo_length_mismatch_is_protocol_error() {
+        let results = ThreadWorld::run(2, NetworkProfile::loopback(), |mut comm| {
+            let rank = comm.rank();
+            if rank == 0 {
+                // Send a wrong-length buffer by hand on the halo tag, then
+                // stay alive until rank 1's post arrives so its isend never
+                // sees a torn-down endpoint.
+                comm.send_f32(1, 9, &[1.0, 2.0, 3.0]).unwrap();
+                let _ = comm.recv_f32(1, 9).unwrap();
+                None
+            } else {
+                let plan = HaloPlan {
+                    neighbors: vec![Neighbor {
+                        rank: 0,
+                        points: vec![0],
+                    }],
+                };
+                let mut field = vec![0.0f32];
+                let reqs = post_halo_exchange(&mut comm, &plan, &field, 1, 9).unwrap();
+                Some(finish_halo_assembly(&mut comm, &plan, &mut field, 1, reqs).unwrap_err())
+            }
+        });
+        assert!(matches!(
+            results[1].clone().unwrap(),
+            CommError::Protocol { .. }
+        ));
     }
 }

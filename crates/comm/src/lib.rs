@@ -23,6 +23,7 @@
 pub mod error;
 pub mod fault;
 pub mod halo;
+pub mod request;
 pub mod serial;
 pub mod stats;
 pub mod thread;
@@ -30,7 +31,10 @@ pub mod virtual_net;
 
 pub use error::CommError;
 pub use fault::{FaultKind, FaultPlan, FaultSpec, FaultStats, FaultyComm};
-pub use halo::{assemble_halo, exchange_halo, HaloPlan, Neighbor};
+pub use halo::{
+    assemble_halo, exchange_halo, finish_halo_assembly, post_halo_exchange, HaloPlan, Neighbor,
+};
+pub use request::{Request, RequestKind};
 pub use serial::SerialComm;
 pub use stats::{CommStats, StatsSnapshot};
 pub use thread::{RankPanic, ThreadComm, ThreadWorld, DEFAULT_RECV_TIMEOUT};
@@ -94,6 +98,53 @@ pub trait Communicator: Send {
     fn send_f32(&mut self, dest: usize, tag: u32, data: &[f32]) -> Result<(), CommError>;
     /// Blocking receive matching `(src, tag)`, subject to the recv deadline.
     fn recv_f32(&mut self, src: usize, tag: u32) -> Result<Vec<f32>, CommError>;
+
+    /// Non-blocking send: post the message and return immediately with a
+    /// [`Request`]. Because sends are buffered, the default completes the
+    /// transfer at post time; the request only tracks completion semantics.
+    /// Faulty backends may fail *at post* (e.g. the local rank is dead).
+    fn isend_f32(&mut self, dest: usize, tag: u32, data: &[f32]) -> Result<Request, CommError> {
+        self.send_f32(dest, tag, data)?;
+        Ok(Request::send(dest, tag))
+    }
+
+    /// Non-blocking receive: register interest in the next `(src, tag)`
+    /// message and return a [`Request`] without blocking. The message is
+    /// delivered by `wait`. Matching follows MPI semantics: requests for
+    /// the same `(src, tag)` complete in the order the messages were sent
+    /// (FIFO per channel).
+    fn irecv_f32(&mut self, src: usize, tag: u32) -> Result<Request, CommError> {
+        if src >= self.size() {
+            return Err(CommError::InvalidRank {
+                rank: src,
+                size: self.size(),
+            });
+        }
+        Ok(Request::recv(src, tag))
+    }
+
+    /// Complete a non-blocking operation, subject to the recv deadline.
+    /// Send requests resolve to `Ok(None)`; receive requests block until
+    /// the matching message arrives and resolve to `Ok(Some(data))`. A
+    /// stalled peer surfaces as [`CommError::Timeout`], a dead one as
+    /// [`CommError::RankDead`] — `wait` never hangs forever while a
+    /// deadline is configured.
+    fn wait(&mut self, req: Request) -> Result<Option<Vec<f32>>, CommError> {
+        match req.kind() {
+            RequestKind::Send { .. } => Ok(None),
+            RequestKind::Recv { src, tag } => self.recv_f32(src, tag).map(Some),
+        }
+    }
+
+    /// Complete a batch of requests in order, failing fast on the first
+    /// error. Results line up index-for-index with `reqs`.
+    fn wait_all(&mut self, reqs: Vec<Request>) -> Result<Vec<Option<Vec<f32>>>, CommError> {
+        let mut out = Vec::with_capacity(reqs.len());
+        for req in reqs {
+            out.push(self.wait(req)?);
+        }
+        Ok(out)
+    }
 
     /// Barrier across all ranks.
     fn barrier(&mut self) -> Result<(), CommError>;

@@ -2,8 +2,10 @@
 //! as the reference in parallel-vs-serial equivalence tests.
 
 use crate::error::CommError;
+use crate::request::{Request, RequestKind};
 use crate::stats::{CommStats, StatsSnapshot};
 use crate::Communicator;
+use std::time::Duration;
 
 /// A world of one. Point-to-point messaging to *any* other rank is a typed
 /// error; self-sends are buffered and receivable (matching MPI semantics for
@@ -60,6 +62,35 @@ impl Communicator for SerialComm {
         let (_, data) = self.self_queue.remove(pos);
         self.stats.on_recv(data.len() * 4);
         Ok(data)
+    }
+
+    fn isend_f32(&mut self, dest: usize, tag: u32, data: &[f32]) -> Result<Request, CommError> {
+        self.send_f32(dest, tag, data)?;
+        self.stats.on_post(Duration::ZERO);
+        Ok(Request::send(dest, tag))
+    }
+
+    fn irecv_f32(&mut self, src: usize, tag: u32) -> Result<Request, CommError> {
+        if src != 0 {
+            return Err(CommError::InvalidRank { rank: src, size: 1 });
+        }
+        self.stats.on_post(Duration::ZERO);
+        Ok(Request::recv(src, tag))
+    }
+
+    fn wait(&mut self, req: Request) -> Result<Option<Vec<f32>>, CommError> {
+        let overlap = req.age();
+        match req.kind() {
+            RequestKind::Send { .. } => {
+                self.stats.on_wait(overlap, Duration::ZERO);
+                Ok(None)
+            }
+            RequestKind::Recv { src, tag } => {
+                let data = self.recv_f32(src, tag)?;
+                self.stats.on_wait(overlap, Duration::ZERO);
+                Ok(Some(data))
+            }
+        }
     }
 
     fn barrier(&mut self) -> Result<(), CommError> {
@@ -130,6 +161,26 @@ mod tests {
         assert!(matches!(
             c.recv_f32(0, 8).unwrap_err(),
             CommError::Timeout { src: 0, tag: 8, .. }
+        ));
+    }
+
+    #[test]
+    fn nonblocking_self_roundtrip() {
+        let mut c = SerialComm::new();
+        let sreq = c.isend_f32(0, 3, &[4.0, 5.0]).unwrap();
+        let rreq = c.irecv_f32(0, 3).unwrap();
+        assert_eq!(c.wait(rreq).unwrap(), Some(vec![4.0, 5.0]));
+        assert!(c.wait(sreq).unwrap().is_none());
+        assert_eq!(c.stats().posts, 2);
+    }
+
+    #[test]
+    fn wait_on_unmatched_recv_is_a_timeout() {
+        let mut c = SerialComm::new();
+        let req = c.irecv_f32(0, 9).unwrap();
+        assert!(matches!(
+            c.wait(req).unwrap_err(),
+            CommError::Timeout { src: 0, tag: 9, .. }
         ));
     }
 }

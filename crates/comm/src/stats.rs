@@ -21,6 +21,17 @@ pub struct CommStats {
     /// Deterministic modeled communication time (seconds) from the
     /// latency/bandwidth network profile.
     pub modeled_time_s: f64,
+    /// Non-blocking operations posted (`isend` + `irecv`).
+    pub posts: u64,
+    /// Wall time spent posting non-blocking operations (the cheap part —
+    /// should stay near zero if overlap works).
+    pub post_time: Duration,
+    /// Cumulative overlap window: time between posting a request and
+    /// entering `wait` on it — the computation hidden behind the wire.
+    pub overlap_time: Duration,
+    /// Wall time blocked inside `wait`/`wait_all` — the *exposed*
+    /// communication cost an overlapped solver actually pays.
+    pub wait_time: Duration,
     /// Sent traffic keyed by message tag (see [`crate::tags`]).
     per_tag: BTreeMap<u32, TagTraffic>,
     /// Distribution of sent message sizes in bytes — IPM's message-size
@@ -58,6 +69,20 @@ impl CommStats {
         self.modeled_time_s += seconds;
     }
 
+    /// Record the posting of a non-blocking operation.
+    pub fn on_post(&mut self, d: Duration) {
+        self.posts += 1;
+        self.post_time += d;
+    }
+
+    /// Record the completion of a waited request: `overlap` is the window
+    /// between post and `wait` entry, `blocked` the time spent inside
+    /// `wait` itself.
+    pub fn on_wait(&mut self, overlap: Duration, blocked: Duration) {
+        self.overlap_time += overlap;
+        self.wait_time += blocked;
+    }
+
     /// Snapshot for reporting.
     pub fn snapshot(&self) -> StatsSnapshot {
         StatsSnapshot {
@@ -67,6 +92,10 @@ impl CommStats {
             collectives: self.collectives,
             wall_time_s: self.wall_time.as_secs_f64(),
             modeled_time_s: self.modeled_time_s,
+            posts: self.posts,
+            post_time_s: self.post_time.as_secs_f64(),
+            overlap_time_s: self.overlap_time.as_secs_f64(),
+            wait_time_s: self.wait_time.as_secs_f64(),
             per_tag: self.per_tag.values().copied().collect(),
             size_hist: self.size_hist.clone(),
         }
@@ -87,6 +116,14 @@ pub struct StatsSnapshot {
     pub collectives: u64,
     pub wall_time_s: f64,
     pub modeled_time_s: f64,
+    /// Non-blocking operations posted.
+    pub posts: u64,
+    /// Seconds spent posting non-blocking operations.
+    pub post_time_s: f64,
+    /// Cumulative post→wait overlap window (seconds).
+    pub overlap_time_s: f64,
+    /// Seconds blocked inside `wait`/`wait_all`.
+    pub wait_time_s: f64,
     /// Sent traffic per message tag, ascending tag order.
     pub per_tag: Vec<TagTraffic>,
     /// Sent message-size distribution (log₂ buckets).
@@ -106,6 +143,10 @@ impl StatsSnapshot {
             out.collectives += s.collectives;
             out.wall_time_s += s.wall_time_s;
             out.modeled_time_s += s.modeled_time_s;
+            out.posts += s.posts;
+            out.post_time_s += s.post_time_s;
+            out.overlap_time_s += s.overlap_time_s;
+            out.wait_time_s += s.wait_time_s;
             for t in &s.per_tag {
                 let e = tags.entry(t.tag).or_insert(TagTraffic {
                     tag: t.tag,
@@ -142,6 +183,24 @@ mod tests {
         assert!((snap.modeled_time_s - 1.5e-6).abs() < 1e-12);
         s.reset();
         assert_eq!(s.snapshot(), StatsSnapshot::default());
+    }
+
+    #[test]
+    fn tracks_nonblocking_phases() {
+        let mut s = CommStats::default();
+        s.on_post(Duration::from_micros(3));
+        s.on_post(Duration::from_micros(2));
+        s.on_wait(Duration::from_millis(4), Duration::from_millis(1));
+        let snap = s.snapshot();
+        assert_eq!(snap.posts, 2);
+        assert!(snap.post_time_s >= 5e-6);
+        assert!(snap.overlap_time_s >= 4e-3);
+        assert!(snap.wait_time_s >= 1e-3);
+        let t = StatsSnapshot::total(&[snap.clone(), snap.clone()]);
+        assert_eq!(t.posts, 4);
+        assert!((t.overlap_time_s - 2.0 * snap.overlap_time_s).abs() < 1e-12);
+        s.reset();
+        assert_eq!(s.snapshot().posts, 0);
     }
 
     #[test]

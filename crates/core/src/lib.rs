@@ -640,6 +640,14 @@ impl SimulationBuilder {
         self
     }
 
+    /// Overlap halo communication with inner-element computation
+    /// (`Par_file` key `OVERLAP_COMM`). On by default; the blocking path is
+    /// the bit-identical oracle for the differential harness.
+    pub fn overlap(mut self, on: bool) -> Self {
+        self.config.overlap = on;
+        self
+    }
+
     /// Use a built-in catalogue event by name.
     pub fn catalogue_event(mut self, name: &str) -> Self {
         self.event = Some(name.to_string());

@@ -16,6 +16,8 @@
 //! ROTATION               = .false.
 //! GRAVITY                = .false.
 //! OCEANS                 = .false.
+//! # communication
+//! OVERLAP_COMM           = .true.      # overlap halo exchange with inner elements
 //! # run
 //! NSTEP                  = 400
 //! DT                     = 0.0          # 0 = automatic (Courant)
@@ -184,6 +186,9 @@ pub fn simulation_from_parfile(text: &str) -> Result<Simulation, String> {
     if let Some(v) = get("OCEANS") {
         builder = builder.ocean_load(parse_bool(v)?);
     }
+    if let Some(v) = get("OVERLAP_COMM") {
+        builder = builder.overlap(parse_bool(v)?);
+    }
     if let Some(v) = get("NSTEP") {
         builder = builder.steps(parse_num("NSTEP", v)? as usize);
     }
@@ -325,6 +330,24 @@ NSTATIONS    = 4
         // Errors are reported, not swallowed.
         assert!(campaign_knobs_from_parfile("CAMPAIGN_WORKERS = many\n").is_err());
         assert!(campaign_knobs_from_parfile("MESH_CACHE_BYTES = 1T\n").is_err());
+    }
+
+    #[test]
+    fn overlap_comm_key_round_trips() {
+        // Default on; the key can turn it off and back on (last wins).
+        assert!(
+            simulation_from_parfile("NEX_XI = 4\n")
+                .unwrap()
+                .config
+                .overlap
+        );
+        let off = simulation_from_parfile("NEX_XI = 4\nOVERLAP_COMM = .false.\n").unwrap();
+        assert!(!off.config.overlap);
+        let on =
+            simulation_from_parfile("NEX_XI = 4\nOVERLAP_COMM = .false.\nOVERLAP_COMM = .true.\n")
+                .unwrap();
+        assert!(on.config.overlap);
+        assert!(simulation_from_parfile("NEX_XI = 4\nOVERLAP_COMM = maybe\n").is_err());
     }
 
     #[test]

@@ -356,10 +356,36 @@ pub fn read_local_mesh(dir: &Path, rank: usize) -> io::Result<(LocalMesh, IoRepo
         });
     }
 
+    // The legacy format predates the outer/inner element split, so
+    // reconstruct it from the halo plan: the outer prefix ends at the last
+    // element touching a halo point. Any halo-free elements trapped before
+    // it are conservatively treated as outer — correct (the solver merely
+    // overlaps a little less), and exact for meshes written after the
+    // extraction started ordering outer elements first.
+    let n3 = {
+        let np = degree + 1;
+        np * np * np
+    };
+    let mut is_halo_point = vec![false; nglob];
+    for n in &neighbors {
+        for &p in &n.points {
+            is_halo_point[p as usize] = true;
+        }
+    }
+    let nspec_outer = (0..nspec)
+        .rev()
+        .find(|&e| {
+            ibool[e * n3..(e + 1) * n3]
+                .iter()
+                .any(|&p| is_halo_point[p as usize])
+        })
+        .map_or(0, |e| e + 1);
+
     let mesh = LocalMesh {
         rank,
         basis: GllBasis::new(degree),
         nspec,
+        nspec_outer,
         nglob,
         ibool,
         coords,

@@ -16,6 +16,12 @@ pub struct LocalMesh {
     pub basis: GllBasis,
     /// Number of local elements.
     pub nspec: usize,
+    /// Number of *outer* elements — elements touching at least one halo
+    /// (inter-rank shared) point. The extraction orders outer elements
+    /// first, so `0..nspec_outer` are outer and `nspec_outer..nspec` are
+    /// inner; the solver uses the split to overlap halo communication with
+    /// inner-element computation.
+    pub nspec_outer: usize,
     /// Number of local points.
     pub nglob: usize,
     /// Local connectivity: `ibool[e·n³ + …] → local point id`.
@@ -45,6 +51,18 @@ impl LocalMesh {
     pub fn points_per_element(&self) -> usize {
         let np = self.basis.npoints();
         np * np * np
+    }
+
+    /// The outer elements (touch a halo point) — computed *before* posting
+    /// the halo exchange.
+    pub fn outer_elements(&self) -> std::ops::Range<usize> {
+        0..self.nspec_outer
+    }
+
+    /// The inner elements (touch no halo point) — computable while halo
+    /// messages are in flight.
+    pub fn inner_elements(&self) -> std::ops::Range<usize> {
+        self.nspec_outer..self.nspec
     }
 
     /// Nodal coordinates of local element `e`.

@@ -128,6 +128,99 @@ proptest! {
 }
 
 // ---------------------------------------------------------------------------
+// Outer/inner element split (the overlap optimisation's correctness
+// contract). Builds are expensive, so few cases over small meshes.
+// ---------------------------------------------------------------------------
+
+mod split_props {
+    use proptest::prelude::*;
+    use specfem_mesh::{GlobalMesh, MeshKey, MeshParams, Partition};
+    use specfem_model::Prem;
+
+    /// Small valid `(nex, nproc)` pair (nex divisible by nproc).
+    fn draw_params(nex_half: usize, two_proc: bool) -> MeshParams {
+        let nex = 2 * nex_half.clamp(1, 3); // 2, 4, 6
+        MeshParams::new(nex, if two_proc { 2 } else { 1 })
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(5))]
+
+        /// Every element is classified exactly once (outer prefix, inner
+        /// suffix), every halo point belongs to an outer element, and no
+        /// inner element touches a halo point.
+        #[test]
+        fn split_classifies_exactly_once_and_covers_halo(
+            nex_half in 1usize..4,
+            two_proc in any::<bool>(),
+        ) {
+            let params = draw_params(nex_half, two_proc);
+            let mesh = GlobalMesh::build(&params, &Prem::isotropic_no_ocean());
+            let part = Partition::compute(&mesh);
+            for l in part.extract_all(&mesh) {
+                let n3 = l.points_per_element();
+                // Exactly-once: the two ranges tile 0..nspec.
+                prop_assert_eq!(l.outer_elements().len() + l.inner_elements().len(), l.nspec);
+                prop_assert_eq!(l.outer_elements().end, l.inner_elements().start);
+                let mut is_halo = vec![false; l.nglob];
+                for n in &l.halo.neighbors {
+                    for &p in &n.points {
+                        is_halo[p as usize] = true;
+                    }
+                }
+                let touches_halo = |e: usize| {
+                    l.ibool[e * n3..(e + 1) * n3].iter().any(|&p| is_halo[p as usize])
+                };
+                for e in l.outer_elements() {
+                    prop_assert!(touches_halo(e), "rank {} outer {e} halo-free", l.rank);
+                }
+                for e in l.inner_elements() {
+                    prop_assert!(!touches_halo(e), "rank {} inner {e} on halo", l.rank);
+                }
+                // Halo coverage: every halo point is in some outer element.
+                let mut covered = vec![false; l.nglob];
+                for e in l.outer_elements() {
+                    for &p in &l.ibool[e * n3..(e + 1) * n3] {
+                        covered[p as usize] = true;
+                    }
+                }
+                for p in 0..l.nglob {
+                    if is_halo[p] {
+                        prop_assert!(covered[p], "rank {} halo point {p} uncovered", l.rank);
+                    }
+                }
+            }
+        }
+
+        /// The split is deterministic, and invariant under the mesh
+        /// fingerprint: two builds with identical keys produce identical
+        /// orderings and identical outer counts on every rank.
+        #[test]
+        fn split_is_deterministic_and_fingerprint_invariant(
+            nex_half in 1usize..4,
+            two_proc in any::<bool>(),
+        ) {
+            let pa = draw_params(nex_half, two_proc);
+            let pb = pa.clone();
+            prop_assert_eq!(
+                MeshKey::new(&pa, "prem_iso").fingerprint(),
+                MeshKey::new(&pb, "prem_iso").fingerprint()
+            );
+            let ma = GlobalMesh::build(&pa, &Prem::isotropic_no_ocean());
+            let mb = GlobalMesh::build(&pb, &Prem::isotropic_no_ocean());
+            let la = Partition::compute(&ma).extract_all(&ma);
+            let lb = Partition::compute(&mb).extract_all(&mb);
+            prop_assert_eq!(la.len(), lb.len());
+            for (a, b) in la.iter().zip(&lb) {
+                prop_assert_eq!(&a.element_global, &b.element_global);
+                prop_assert_eq!(a.nspec_outer, b.nspec_outer);
+                prop_assert_eq!(&a.global_ids, &b.global_ids);
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
 // Mesh fingerprint determinism (the campaign cache's correctness contract).
 // Builds are expensive, so this block runs few cases over small meshes.
 // ---------------------------------------------------------------------------

@@ -64,6 +64,87 @@ pub fn analytic_total_comm_seconds(
     ranks as f64 * per_rank_per_step * nsteps as f64
 }
 
+/// One rank's halo-exchange time for a single step (s) — the per-step,
+/// per-rank slice of [`analytic_total_comm_seconds`].
+pub fn per_rank_step_comm_seconds(
+    nex: usize,
+    nproc_xi: usize,
+    radial_layers: usize,
+    profile: &specfem_comm::NetworkProfile,
+) -> f64 {
+    let edge_points_per_rank = (nex / nproc_xi) * radial_layers * 5; // GLL-width band
+    let neighbors = 4.0; // interior slices: 4 lateral neighbours
+    let bytes_per_msg = edge_points_per_rank * 4 * 3; // f32 × 3 components
+    let msgs_per_step = neighbors * 2.0; // solid + fluid passes
+    msgs_per_step * profile.message_time(bytes_per_msg)
+}
+
+/// Fraction of a slice's elements that touch an inter-rank boundary.
+///
+/// A slice is an `m × m` lateral block of elements (`m = NEX/NPROC_XI`)
+/// through all radial layers; the outer elements are the one-element-wide
+/// lateral ring, so the fraction is `1 − ((m−2)/m)²`. Slices of width ≤ 2
+/// are all ring — no inner elements to hide communication behind.
+pub fn outer_element_fraction(nex: usize, nproc_xi: usize) -> f64 {
+    let m = (nex / nproc_xi).max(1) as f64;
+    if m <= 2.0 {
+        1.0
+    } else {
+        1.0 - ((m - 2.0) / m).powi(2)
+    }
+}
+
+/// Step-time prediction with and without communication/computation
+/// overlap, per rank.
+#[derive(Debug, Clone, Copy)]
+pub struct OverlapPrediction {
+    /// Blocking step time: `compute + comm` (s).
+    pub blocking_step_s: f64,
+    /// Overlapped step time: `outer_compute + max(inner_compute, comm)` (s).
+    pub overlapped_step_s: f64,
+    /// Comm share of the blocking step.
+    pub comm_fraction_blocking: f64,
+    /// *Exposed* comm share of the overlapped step — only the part of the
+    /// exchange that outlasts the inner-element computation is charged.
+    pub comm_fraction_overlapped: f64,
+    /// Fraction of elements classified outer (not overlappable).
+    pub outer_fraction: f64,
+}
+
+impl OverlapPrediction {
+    /// Predicted step-time speedup from overlapping (≥ 1).
+    pub fn speedup(&self) -> f64 {
+        self.blocking_step_s / self.overlapped_step_s.max(1e-300)
+    }
+}
+
+/// The overlap-aware network model: the blocking path pays
+/// `compute + comm` per step, the overlapped path pays
+/// `outer_compute + max(inner_compute, comm)` — communication is hidden
+/// behind the inner-element loop and only the exposed remainder counts.
+/// `compute_step_s` is one rank's full force-computation time per step.
+pub fn predict_overlap(
+    nex: usize,
+    nproc_xi: usize,
+    radial_layers: usize,
+    profile: &specfem_comm::NetworkProfile,
+    compute_step_s: f64,
+) -> OverlapPrediction {
+    let comm = per_rank_step_comm_seconds(nex, nproc_xi, radial_layers, profile);
+    let outer_fraction = outer_element_fraction(nex, nproc_xi);
+    let outer_compute = compute_step_s * outer_fraction;
+    let inner_compute = compute_step_s - outer_compute;
+    let blocking = compute_step_s + comm;
+    let overlapped = outer_compute + inner_compute.max(comm);
+    OverlapPrediction {
+        blocking_step_s: blocking,
+        overlapped_step_s: overlapped,
+        comm_fraction_blocking: comm / blocking,
+        comm_fraction_overlapped: (comm - inner_compute).max(0.0) / overlapped,
+        outer_fraction,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -118,5 +199,38 @@ mod tests {
         // conclusion (comm is a small minority) must hold.
         assert!(frac < 0.15, "comm fraction {frac} must stay a minority");
         assert!(frac > 1e-4, "comm fraction {frac} unrealistically small");
+    }
+
+    #[test]
+    fn overlap_never_slower_and_hides_comm_at_62k() {
+        let profile = NetworkProfile::ranger_infiniband();
+        // Per-rank compute per step at the paper's 62K configuration
+        // (NEX 4848, 6·101² ranks): elements/rank × flops/element /
+        // sustained rate ≈ (6·4848²·100/61206)·37250 / 0.9e9 ≈ 9.5 s.
+        let compute = (6.0 * 4848.0f64.powi(2) * 100.0 / 61206.0) * 37_250.0 / 0.9e9;
+        let p = predict_overlap(4848, 101, 100, &profile, compute);
+        assert!(p.overlapped_step_s <= p.blocking_step_s);
+        assert!(
+            p.comm_fraction_overlapped < p.comm_fraction_blocking,
+            "overlap must drop the exposed comm fraction ({} vs {})",
+            p.comm_fraction_overlapped,
+            p.comm_fraction_blocking
+        );
+        assert!(p.speedup() >= 1.0);
+        // A 48-wide slice is mostly inner: the ring is 1−(46/48)² ≈ 8 %.
+        assert!(p.outer_fraction > 0.0 && p.outer_fraction < 0.2);
+        // At 62K the exchange is small enough that inner compute hides it
+        // entirely.
+        assert!(p.comm_fraction_overlapped < 1e-12);
+    }
+
+    #[test]
+    fn outer_fraction_shrinks_with_slice_width() {
+        // Wider slices → thinner relative ring → more comm hidden.
+        assert_eq!(outer_element_fraction(8, 4), 1.0); // 2-wide: all ring
+        let f4 = outer_element_fraction(16, 4); // 4-wide
+        let f16 = outer_element_fraction(64, 4); // 16-wide
+        assert!(f4 > f16);
+        assert!((outer_element_fraction(48, 1) - (1.0 - (46.0f64 / 48.0).powi(2))).abs() < 1e-12);
     }
 }

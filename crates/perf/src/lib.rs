@@ -10,7 +10,10 @@ pub mod flops_model;
 pub mod machines;
 pub mod runtime_model;
 
-pub use comm_model::CommTimeModel;
+pub use comm_model::{
+    analytic_total_comm_seconds, outer_element_fraction, per_rank_step_comm_seconds,
+    predict_overlap, CommTimeModel, OverlapPrediction,
+};
 pub use disk_model::DiskSpaceModel;
 pub use fault_model::{survey_62k, FaultToleranceModel, FtPrediction};
 pub use flops_model::{paper_runs as paper_runs_table, predict_run, runs_to_json, RunPrediction};

@@ -66,9 +66,40 @@ pub fn compute_solid_forces(
     ops: &DerivOps,
     variant: KernelVariant,
     fields: &mut WaveFields,
+    atten: Option<&mut AttenuationState>,
+    gravity: bool,
+    flops: &mut FlopCounter,
+) {
+    compute_solid_forces_range(
+        mesh,
+        geom,
+        ops,
+        variant,
+        fields,
+        atten,
+        gravity,
+        flops,
+        0..mesh.nspec,
+    );
+}
+
+/// Solid internal forces restricted to the local elements in `elems` —
+/// the overlap building block: the solver runs it on the outer range,
+/// posts the halo exchange, then runs it on the inner range. Iterating
+/// `0..nspec` in one call is bit-identical to any split of the range into
+/// consecutive calls, because per-point accumulation order only depends
+/// on the element ordering.
+#[allow(clippy::too_many_arguments)]
+pub fn compute_solid_forces_range(
+    mesh: &LocalMesh,
+    geom: &PrecomputedGeometry,
+    ops: &DerivOps,
+    variant: KernelVariant,
+    fields: &mut WaveFields,
     mut atten: Option<&mut AttenuationState>,
     gravity: bool,
     flops: &mut FlopCounter,
+    elems: std::ops::Range<usize>,
 ) {
     let n3 = mesh.points_per_element();
     assert_eq!(n3, NGLL3, "solver kernels are specialized to degree 4");
@@ -85,7 +116,7 @@ pub fn compute_solid_forces(
     let mut accum = [0.0f32; NGLL3_PADDED];
 
     let mut nsolid = 0usize;
-    for e in 0..mesh.nspec {
+    for e in elems {
         if mesh.region[e].is_fluid() {
             continue;
         }
@@ -234,6 +265,20 @@ pub fn compute_fluid_forces(
     fields: &mut WaveFields,
     flops: &mut FlopCounter,
 ) {
+    compute_fluid_forces_range(mesh, geom, ops, variant, fields, flops, 0..mesh.nspec);
+}
+
+/// Fluid internal forces restricted to the local elements in `elems` —
+/// see [`compute_solid_forces_range`] for the overlap contract.
+pub fn compute_fluid_forces_range(
+    mesh: &LocalMesh,
+    geom: &PrecomputedGeometry,
+    ops: &DerivOps,
+    variant: KernelVariant,
+    fields: &mut WaveFields,
+    flops: &mut FlopCounter,
+    elems: std::ops::Range<usize>,
+) {
     let n3 = mesh.points_per_element();
     let w = &mesh.basis.weights;
     let mut wf = [0.0f32; NGLL];
@@ -250,7 +295,7 @@ pub fn compute_fluid_forces(
     let mut accum = [0.0f32; NGLL3_PADDED];
 
     let mut nfluid = 0usize;
-    for e in 0..mesh.nspec {
+    for e in elems {
         if !mesh.region[e].is_fluid() {
             continue;
         }
@@ -444,6 +489,94 @@ mod tests {
             }
         }
         assert!(energy > 0.0, "strain energy {energy} must be positive");
+    }
+
+    #[test]
+    fn split_range_forces_are_bit_identical_to_full_pass() {
+        // Computing 0..k then k..nspec must reproduce 0..nspec exactly —
+        // the property the overlapped time loop's bit-identity rests on.
+        let (mesh, geom, ops) = serial_setup();
+        let seed_fields = |fields: &mut WaveFields| {
+            for (p, c) in mesh.coords.iter().enumerate() {
+                fields.displ[p * 3] = (c[0] / 1.5e6).sin() as f32;
+                fields.displ[p * 3 + 2] = (c[1] / 2.5e6).cos() as f32;
+                fields.chi[p] = (c[2] / 2.0e6).sin() as f32;
+            }
+        };
+        let mut full = WaveFields::zeros(mesh.nglob);
+        seed_fields(&mut full);
+        let mut flops = FlopCounter::new();
+        compute_solid_forces(
+            &mesh,
+            &geom,
+            &ops,
+            KernelVariant::Simd,
+            &mut full,
+            None,
+            false,
+            &mut flops,
+        );
+        compute_fluid_forces(
+            &mesh,
+            &geom,
+            &ops,
+            KernelVariant::Simd,
+            &mut full,
+            &mut flops,
+        );
+
+        for split in [0, 1, mesh.nspec / 3, mesh.nspec / 2, mesh.nspec] {
+            let mut halves = WaveFields::zeros(mesh.nglob);
+            seed_fields(&mut halves);
+            let mut flops2 = FlopCounter::new();
+            compute_solid_forces_range(
+                &mesh,
+                &geom,
+                &ops,
+                KernelVariant::Simd,
+                &mut halves,
+                None,
+                false,
+                &mut flops2,
+                0..split,
+            );
+            compute_solid_forces_range(
+                &mesh,
+                &geom,
+                &ops,
+                KernelVariant::Simd,
+                &mut halves,
+                None,
+                false,
+                &mut flops2,
+                split..mesh.nspec,
+            );
+            compute_fluid_forces_range(
+                &mesh,
+                &geom,
+                &ops,
+                KernelVariant::Simd,
+                &mut halves,
+                &mut flops2,
+                0..split,
+            );
+            compute_fluid_forces_range(
+                &mesh,
+                &geom,
+                &ops,
+                KernelVariant::Simd,
+                &mut halves,
+                &mut flops2,
+                split..mesh.nspec,
+            );
+            for (a, b) in full.accel.iter().zip(&halves.accel) {
+                assert_eq!(a.to_bits(), b.to_bits(), "split at {split}");
+            }
+            for (a, b) in full.chi_ddot.iter().zip(&halves.chi_ddot) {
+                assert_eq!(a.to_bits(), b.to_bits(), "split at {split}");
+            }
+            assert_eq!(flops.total(), flops2.total());
+        }
     }
 
     #[test]

@@ -107,6 +107,13 @@ pub struct SolverConfig {
     /// Sample per-step timing metrics every this many steps when tracing
     /// (0 disables step sampling; spans are unaffected).
     pub metrics_every: usize,
+    /// Overlap halo communication with inner-element computation: compute
+    /// the outer elements, post the exchange, compute the inner elements
+    /// while messages are in flight, then wait and combine. Bit-identical
+    /// to the blocking path (the differential harness in
+    /// `tests/overlap_equivalence.rs` enforces it), so this defaults on;
+    /// turn it off to use the blocking path as the oracle.
+    pub overlap: bool,
 }
 
 impl Default for SolverConfig {
@@ -130,6 +137,7 @@ impl Default for SolverConfig {
             trace: false,
             trace_dir: None,
             metrics_every: 10,
+            overlap: true,
         }
     }
 }

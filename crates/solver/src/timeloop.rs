@@ -7,8 +7,8 @@ use std::fmt;
 use std::time::Instant;
 
 use specfem_comm::{
-    assemble_halo, tags, CommError, Communicator, FaultyComm, NetworkProfile, SerialComm,
-    StatsSnapshot, ThreadWorld,
+    assemble_halo, finish_halo_assembly, post_halo_exchange, tags, CommError, Communicator,
+    FaultyComm, NetworkProfile, SerialComm, StatsSnapshot, ThreadWorld,
 };
 use specfem_kernels::{DerivOps, FlopCounter};
 use specfem_mesh::stations::Station;
@@ -18,7 +18,7 @@ use crate::absorbing::AbsorbingSurface;
 use crate::assemble::{region_masks, MassMatrices, PrecomputedGeometry, WaveFields};
 use crate::checkpoint::{CheckpointError, CheckpointSink, CheckpointState};
 use crate::coupling::CouplingSurface;
-use crate::forces::{compute_fluid_forces, compute_solid_forces, AttenuationState};
+use crate::forces::{compute_fluid_forces_range, compute_solid_forces_range, AttenuationState};
 use crate::source::{ReceiverSet, Seismogram, SourceArrays};
 use crate::{SolverConfig, EARTH_OMEGA_RAD_S};
 
@@ -322,23 +322,69 @@ impl RankSolver {
             self.fields.predictor(dt);
         }
 
-        // 2. Fluid outer core: stiffness + coupling from the *predicted
-        //    solid displacement* (the displacement-based scheme of [4]),
-        //    assemble, divide by mass.
+        // 2. Fluid outer core: coupling from the *predicted solid
+        //    displacement* (the displacement-based scheme of [4]), then
+        //    stiffness, assemble, divide by mass.
+        //
+        //    The coupling term is applied *before* the element loop so the
+        //    per-point accumulation order — boundary terms, outer elements,
+        //    inner elements, received halo partials — is identical whether
+        //    the exchange is blocking or overlapped: float addition is not
+        //    associative, and this ordering is what keeps the two paths
+        //    bit-identical (enforced by `tests/overlap_equivalence.rs`).
         {
             let _s = specfem_obs::span("forces.fluid");
-            compute_fluid_forces(
-                &self.mesh,
-                &self.geom,
-                &self.ops,
-                self.config.variant,
-                &mut self.fields,
-                &mut self.flops,
-            );
             self.coupling
                 .add_solid_displacement_to_fluid(&mut self.fields);
         }
-        {
+        if self.config.overlap {
+            // Outer elements first, post the halo exchange, fill the
+            // in-flight window with the inner elements, then wait/combine.
+            {
+                let _s = specfem_obs::span("forces.fluid.outer");
+                compute_fluid_forces_range(
+                    &self.mesh,
+                    &self.geom,
+                    &self.ops,
+                    self.config.variant,
+                    &mut self.fields,
+                    &mut self.flops,
+                    self.mesh.outer_elements(),
+                );
+            }
+            let reqs = post_halo_exchange(
+                comm,
+                &self.mesh.halo,
+                &self.fields.chi_ddot,
+                1,
+                tags::HALO_FLUID,
+            )?;
+            {
+                let _s = specfem_obs::span("forces.fluid.inner");
+                compute_fluid_forces_range(
+                    &self.mesh,
+                    &self.geom,
+                    &self.ops,
+                    self.config.variant,
+                    &mut self.fields,
+                    &mut self.flops,
+                    self.mesh.inner_elements(),
+                );
+            }
+            finish_halo_assembly(comm, &self.mesh.halo, &mut self.fields.chi_ddot, 1, reqs)?;
+        } else {
+            {
+                let _s = specfem_obs::span("forces.fluid");
+                compute_fluid_forces_range(
+                    &self.mesh,
+                    &self.geom,
+                    &self.ops,
+                    self.config.variant,
+                    &mut self.fields,
+                    &mut self.flops,
+                    0..self.mesh.nspec,
+                );
+            }
             let _s = specfem_obs::span("assemble.fluid");
             assemble_halo(
                 comm,
@@ -350,30 +396,76 @@ impl RankSolver {
         }
         self.fields.corrector_fluid(&self.mass.fluid, dt);
 
-        // 3. Solid regions: stiffness (+ attenuation, gravity), coupling
-        //    from the fresh fluid acceleration, source, assemble.
-        let span_solid = specfem_obs::span("forces.solid");
-        compute_solid_forces(
-            &self.mesh,
-            &self.geom,
-            &self.ops,
-            self.config.variant,
-            &mut self.fields,
-            self.atten.as_mut(),
-            self.config.gravity,
-            &mut self.flops,
-        );
-        self.coupling.add_fluid_pressure_to_solid(&mut self.fields);
-        if !self.absorbing.is_empty() {
-            // Stacey condition on artificial boundaries (regional runs),
-            // driven by the predicted velocity.
-            self.absorbing.apply(&mut self.fields);
-        }
-        if self.apply_source {
-            self.source.apply(t, &mut self.fields);
-        }
-        drop(span_solid);
+        // 3. Solid regions: coupling from the fresh fluid acceleration,
+        //    absorbing boundaries and the source — all *before* the
+        //    stiffness loop (same bit-identity rationale as the fluid
+        //    phase; every one of these terms only adds into `accel` from
+        //    fields the stiffness loop does not write) — then stiffness
+        //    (+ attenuation, gravity) and assembly.
         {
+            let _s = specfem_obs::span("forces.solid");
+            self.coupling.add_fluid_pressure_to_solid(&mut self.fields);
+            if !self.absorbing.is_empty() {
+                // Stacey condition on artificial boundaries (regional
+                // runs), driven by the predicted velocity.
+                self.absorbing.apply(&mut self.fields);
+            }
+            if self.apply_source {
+                self.source.apply(t, &mut self.fields);
+            }
+        }
+        if self.config.overlap {
+            {
+                let _s = specfem_obs::span("forces.solid.outer");
+                compute_solid_forces_range(
+                    &self.mesh,
+                    &self.geom,
+                    &self.ops,
+                    self.config.variant,
+                    &mut self.fields,
+                    self.atten.as_mut(),
+                    self.config.gravity,
+                    &mut self.flops,
+                    self.mesh.outer_elements(),
+                );
+            }
+            let reqs = post_halo_exchange(
+                comm,
+                &self.mesh.halo,
+                &self.fields.accel,
+                3,
+                tags::HALO_SOLID,
+            )?;
+            {
+                let _s = specfem_obs::span("forces.solid.inner");
+                compute_solid_forces_range(
+                    &self.mesh,
+                    &self.geom,
+                    &self.ops,
+                    self.config.variant,
+                    &mut self.fields,
+                    self.atten.as_mut(),
+                    self.config.gravity,
+                    &mut self.flops,
+                    self.mesh.inner_elements(),
+                );
+            }
+            finish_halo_assembly(comm, &self.mesh.halo, &mut self.fields.accel, 3, reqs)?;
+        } else {
+            {
+                let _s = specfem_obs::span("forces.solid");
+                compute_solid_forces_range(
+                    &self.mesh,
+                    &self.geom,
+                    &self.ops,
+                    self.config.variant,
+                    &mut self.fields,
+                    self.atten.as_mut(),
+                    self.config.gravity,
+                    &mut self.flops,
+                    0..self.mesh.nspec,
+                );
+            }
             let _s = specfem_obs::span("assemble.solid");
             assemble_halo(
                 comm,

@@ -183,7 +183,10 @@ fn test_stations() -> Vec<Station> {
 
 /// The acceptance test: a run killed at step 17 by a deterministic fault
 /// plan, restarted from the last complete checkpoint, must reproduce the
-/// uninterrupted run's seismograms bit-for-bit.
+/// uninterrupted run's seismograms bit-for-bit. The reference runs the
+/// *blocking* halo path while the killed and resumed runs use the default
+/// overlapped path — so the comparison also proves a checkpointed job
+/// retried through the overlapped path reproduces the blocking oracle.
 #[test]
 fn killed_run_resumes_bit_identical() {
     let mesh = test_mesh();
@@ -191,10 +194,12 @@ fn killed_run_resumes_bit_identical() {
     let nranks = 6; // 6 cubed-sphere chunks at NPROC_XI = 1
     let nsteps = 30;
 
-    // Reference: uninterrupted.
+    // Reference: uninterrupted, blocking halo exchange (the oracle).
+    let mut reference_config = test_config(nsteps);
+    reference_config.overlap = false;
     let reference = run_distributed(
         &mesh,
-        &test_config(nsteps),
+        &reference_config,
         &stations,
         NetworkProfile::loopback(),
     );
