@@ -7,7 +7,14 @@
 //! The binary also self-checks the pipeline: the report JSON is parsed
 //! back and every per-rank row must reproduce the communicator's own
 //! byte accounting exactly, and the Perfetto export must be valid JSON.
+//!
+//! Each run additionally appends one schema-versioned record per rank
+//! count to the run-over-run performance ledger
+//! (`BENCH_ipm_profile.json`, see `specfem_obs::ledger`); the
+//! `perf_ledger` binary diffs the latest records against the committed
+//! baseline and fails CI on regression.
 
+use specfem_bench::{append_ledger, ledger_dir, ledger_record};
 use specfem_core::{NetworkProfile, Simulation};
 
 fn main() {
@@ -61,6 +68,13 @@ fn main() {
             .iter()
             .filter(|e| e["ph"].as_str() == Some("X"))
             .count();
+
+        // Append this run to the performance ledger (one record per rank
+        // count, shared BENCH_ipm_profile.json file).
+        let record = ledger_record(&format!("ipm_profile_nproc{nproc}"), &result, "loopback");
+        let path = append_ledger(&ledger_dir(), "ipm_profile", &record)
+            .expect("ledger append must succeed");
+        assert!(path.exists());
 
         // The modeled share is the dedicated-machine estimate; the wall
         // share on an oversubscribed host is dominated by recv() waits.

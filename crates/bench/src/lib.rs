@@ -5,10 +5,13 @@
 //! mapping is in DESIGN.md §3 and the measured-vs-paper record in
 //! EXPERIMENTS.md.
 
+use std::path::{Path, PathBuf};
 use std::sync::Arc;
 use std::time::Instant;
 
 use specfem_campaign::MeshCache;
+use specfem_core::obs::ledger::{self, LedgerRecord};
+use specfem_core::SimulationResult;
 use specfem_mesh::{GlobalMesh, MeshKey, MeshParams};
 use specfem_model::Prem;
 
@@ -57,6 +60,35 @@ pub fn timed<T>(f: impl FnOnce() -> T) -> (T, f64) {
 /// Render a markdown-ish table row.
 pub fn row(cells: &[String]) -> String {
     cells.join("  |  ")
+}
+
+/// Where harness ledgers (`BENCH_<harness>.json`) are appended:
+/// `$SPECFEM_LEDGER_DIR` when set, else `OUTPUT_FILES/ledger`.
+pub fn ledger_dir() -> PathBuf {
+    std::env::var_os("SPECFEM_LEDGER_DIR")
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from("OUTPUT_FILES/ledger"))
+}
+
+/// Build the schema-versioned run-ledger record for one harness run:
+/// wall/comm/imbalance and per-phase timings from the run's IPM report,
+/// deterministic traffic counters, Σ element·steps, and the machine
+/// profile wall-clock comparability is gated on.
+pub fn ledger_record(harness: &str, result: &SimulationResult, profile: &str) -> LedgerRecord {
+    let element_steps = result
+        .ranks
+        .iter()
+        .map(|r| r.nspec as u64 * r.nsteps as u64)
+        .sum();
+    LedgerRecord::from_report(harness, &result.ipm_report(), element_steps, profile)
+}
+
+/// Append `record` to `<dir>/BENCH_<stem>.json` (atomic rewrite), returning
+/// the file path.
+pub fn append_ledger(dir: &Path, stem: &str, record: &LedgerRecord) -> Result<PathBuf, String> {
+    let path = dir.join(format!("BENCH_{stem}.json"));
+    ledger::append(&path, record)?;
+    Ok(path)
 }
 
 /// Pretty bytes.

@@ -39,7 +39,7 @@ pub mod cache;
 pub mod report;
 
 pub use cache::{CacheOutcome, CacheStats, MeshCache};
-pub use report::{CampaignReport, JobRow};
+pub use report::{CampaignReport, JobRow, JobTelemetry};
 
 use std::cmp::Reverse;
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -207,6 +207,8 @@ pub struct JobOutcome {
     pub end_ns: u64,
     /// The run's merged result, or the final error.
     pub result: Result<SimulationResult, String>,
+    /// Comm/health/watchdog rollup across the job's ranks and attempts.
+    pub telemetry: JobTelemetry,
 }
 
 struct QueuedJob {
@@ -463,6 +465,7 @@ fn run_job(shared: &Shared, worker: usize, queued: QueuedJob) -> JobOutcome {
             .as_ref()
             .map(|root| root.join(sanitize(&job.name)));
         let mut attempts = 0;
+        let mut telemetry = JobTelemetry::default();
         let result = loop {
             attempts += 1;
             let mut sim = job.sim.clone();
@@ -480,8 +483,12 @@ fn run_job(shared: &Shared, worker: usize, queued: QueuedJob) -> JobOutcome {
                 resume: checkpoint_dir.is_some(),
             };
             match sim.try_run_with_mesh(&mesh, opts) {
-                Ok(res) => break Ok(res),
+                Ok(res) => {
+                    roll_up_result(&mut telemetry, &res);
+                    break Ok(res);
+                }
                 Err(e) => {
+                    roll_up_error(&mut telemetry, &e);
                     if attempts <= shared.cfg.retry.max_retries {
                         std::thread::sleep(shared.cfg.retry.backoff * attempts as u32);
                         continue;
@@ -495,10 +502,10 @@ fn run_job(shared: &Shared, worker: usize, queued: QueuedJob) -> JobOutcome {
         } else {
             0
         };
-        (cache_outcome, attempts, element_steps, result)
+        (cache_outcome, attempts, element_steps, result, telemetry)
     }));
 
-    let (cache_outcome, attempts, element_steps, result) = match attempted {
+    let (cache_outcome, attempts, element_steps, result, telemetry) = match attempted {
         Ok(parts) => parts,
         Err(panic) => {
             let msg = panic
@@ -511,6 +518,7 @@ fn run_job(shared: &Shared, worker: usize, queued: QueuedJob) -> JobOutcome {
                 1,
                 0,
                 Err(format!("job panicked: {msg}")),
+                JobTelemetry::default(),
             )
         }
     };
@@ -527,6 +535,50 @@ fn run_job(shared: &Shared, worker: usize, queued: QueuedJob) -> JobOutcome {
         start_ns,
         end_ns: specfem_obs::timestamp_ns(),
         result,
+        telemetry,
+    }
+}
+
+/// Fold a finished run's comm counters, per-tag traffic, recv-wait
+/// histogram, and watchdog report into the job's telemetry rollup.
+fn roll_up_result(t: &mut JobTelemetry, res: &SimulationResult) {
+    for r in &res.ranks {
+        t.bytes_sent += r.comm.bytes_sent;
+        t.bytes_received += r.comm.bytes_received;
+        t.messages_sent += r.comm.messages_sent;
+        t.collectives += r.comm.collectives;
+        t.merge_tags(&r.comm.per_tag);
+        if let Some(profile) = &r.profile {
+            if let Some(h) = profile.metrics.histograms.get("comm.recv_wait_ns") {
+                t.recv_wait_ns.get_or_insert_with(Default::default).merge(h);
+            }
+        }
+    }
+    if let Some(wd) = &res.watchdog {
+        t.watchdog_max_skew_steps = Some(wd.max_skew_steps);
+        for s in &wd.stalls {
+            if !t.watchdog_stalled_ranks.contains(&s.rank) {
+                t.watchdog_stalled_ranks.push(s.rank);
+            }
+        }
+    }
+}
+
+/// Record the structured cause of a failed attempt (health trip, watchdog
+/// stall) before it is flattened to the outcome's error string.
+fn roll_up_error(t: &mut JobTelemetry, e: &specfem_core::solver::SolverError) {
+    use specfem_core::comm::CommError;
+    use specfem_core::solver::SolverError;
+    match e {
+        SolverError::Health(report) if t.health_trip.is_none() => {
+            t.health_trip = Some(report.to_string());
+        }
+        SolverError::Comm(CommError::Stalled { rank, .. })
+            if !t.watchdog_stalled_ranks.contains(rank) =>
+        {
+            t.watchdog_stalled_ranks.push(*rank);
+        }
+        _ => {}
     }
 }
 
@@ -574,15 +626,33 @@ mod tests {
         for i in 0..5 {
             campaign.submit(Job::new(format!("event_{i}"), tiny_sim(4, 5, i)));
         }
+        // A distributed job exercises the telemetry rollup with real
+        // inter-rank traffic (serial jobs legitimately report 0 bytes).
+        campaign.submit(Job::new("event_dist", tiny_sim(4, 5, 5)).distributed());
         let result = campaign.finish();
         assert!(result.all_ok(), "{:#?}", result.report.render_text());
-        assert_eq!(result.outcomes.len(), 5);
+        assert_eq!(result.outcomes.len(), 6);
         assert_eq!(result.cache.misses, 1);
-        assert_eq!(result.cache.hits, 4);
+        assert_eq!(result.cache.hits, 5);
         assert!(result.report.total_element_steps > 0);
         let json = result.report.to_json();
         assert!(json.contains("\"element_steps_per_s\""));
         assert!(json.contains("\"cache\""));
+        // Per-job comm telemetry rides along in the campaign JSON.
+        assert!(json.contains("\"comm\""));
+        assert!(json.contains("\"per_tag\""));
+        let first = result.outcomes[0].result.as_ref().unwrap();
+        let expect_bytes: u64 = first.ranks.iter().map(|r| r.comm.bytes_sent).sum();
+        assert_eq!(result.outcomes[0].telemetry.bytes_sent, expect_bytes);
+        let dist = &result.outcomes[5];
+        let dist_res = dist.result.as_ref().unwrap();
+        let dist_bytes: u64 = dist_res.ranks.iter().map(|r| r.comm.bytes_sent).sum();
+        assert!(dist_bytes > 0, "distributed job must move halo bytes");
+        assert_eq!(dist.telemetry.bytes_sent, dist_bytes);
+        assert!(
+            !dist.telemetry.per_tag.is_empty(),
+            "per-tag traffic must roll up for distributed jobs"
+        );
         let perfetto = result.perfetto_json();
         assert!(perfetto.contains("worker 0"));
         assert!(perfetto.contains("event_0"));
@@ -649,6 +719,38 @@ mod tests {
             assert_eq!(g.data, e.data, "station {} diverged", g.station);
         }
         let _ = std::fs::remove_dir_all(&ckpt);
+    }
+
+    #[test]
+    fn unstable_dt_trips_the_health_monitor_and_rolls_up() {
+        // A dt far past the Courant bound makes the explicit scheme blow
+        // up; the health monitor must abort the job and the campaign
+        // report must carry the structured trip.
+        let mut sim = tiny_sim(4, 500, 0);
+        sim.config.dt = Some(1000.0);
+        sim.config.health_every = 5;
+        let mut campaign = Campaign::new(CampaignConfig {
+            workers: 1,
+            retry: RetryPolicy {
+                max_retries: 0,
+                backoff: Duration::from_millis(1),
+            },
+            ..CampaignConfig::default()
+        });
+        campaign.submit(Job::new("unstable", sim));
+        let result = campaign.finish();
+        assert!(!result.all_ok());
+        assert_eq!(result.report.health_trips, 1);
+        let trip = result.outcomes[0]
+            .telemetry
+            .health_trip
+            .as_ref()
+            .expect("the health monitor must have tripped");
+        assert!(trip.contains("rank 0"), "{trip}");
+        assert!(trip.contains("step"), "{trip}");
+        let json = result.report.to_json();
+        assert!(json.contains("\"health_trips\": 1"));
+        assert!(json.contains("\"health_trip\""));
     }
 
     #[test]

@@ -4,10 +4,55 @@
 //! `specfem_obs::IpmReport`. A merged Perfetto timeline with one track
 //! per worker comes from [`crate::CampaignResult::perfetto_json`].
 
-use specfem_obs::json_escape;
+use specfem_obs::{json_escape, LogHistogram, TagTraffic};
 
 use crate::cache::CacheStats;
 use crate::JobOutcome;
+
+/// Per-job communication and in-flight health telemetry, rolled up
+/// across the job's ranks (and across retry attempts for the failure
+/// fields). Comm counters are zero for jobs that never produced a
+/// result.
+#[derive(Debug, Clone, Default)]
+pub struct JobTelemetry {
+    /// Σ bytes sent over the job's ranks.
+    pub bytes_sent: u64,
+    /// Σ bytes received.
+    pub bytes_received: u64,
+    /// Σ point-to-point messages sent.
+    pub messages_sent: u64,
+    /// Σ collective operations entered.
+    pub collectives: u64,
+    /// Sent traffic per message tag, merged across ranks.
+    pub per_tag: Vec<TagTraffic>,
+    /// Distribution of blocking-receive wait times (ns) merged across
+    /// ranks — recorded only on traced runs.
+    pub recv_wait_ns: Option<LogHistogram>,
+    /// Display of the numerical-health trip that aborted an attempt
+    /// (`None` = no trip on any attempt; a retried job can succeed and
+    /// still carry the trip that killed its first attempt).
+    pub health_trip: Option<String>,
+    /// Watchdog cross-rank step skew from the run's final report.
+    pub watchdog_max_skew_steps: Option<u64>,
+    /// Ranks the watchdog flagged as stalled across all attempts.
+    pub watchdog_stalled_ranks: Vec<usize>,
+}
+
+impl JobTelemetry {
+    /// Merge one rank's sent-traffic tags into the rollup.
+    pub fn merge_tags(&mut self, tags: &[TagTraffic]) {
+        for t in tags {
+            match self.per_tag.iter_mut().find(|p| p.tag == t.tag) {
+                Some(p) => {
+                    p.messages += t.messages;
+                    p.bytes += t.bytes;
+                }
+                None => self.per_tag.push(*t),
+            }
+        }
+        self.per_tag.sort_by_key(|t| t.tag);
+    }
+}
 
 /// One job's row in the report.
 #[derive(Debug, Clone)]
@@ -32,6 +77,8 @@ pub struct JobRow {
     pub ok: bool,
     /// Error message of a failed job.
     pub error: Option<String>,
+    /// Comm/health/watchdog rollup for this job.
+    pub telemetry: JobTelemetry,
 }
 
 /// Aggregated campaign statistics.
@@ -56,6 +103,10 @@ pub struct CampaignReport {
     pub total_retries: u64,
     /// Jobs that exhausted their retries.
     pub failed_jobs: usize,
+    /// Jobs whose numerical-health monitor tripped on any attempt.
+    pub health_trips: usize,
+    /// Jobs on which the straggler watchdog flagged a stall.
+    pub stalled_jobs: usize,
 }
 
 impl CampaignReport {
@@ -79,6 +130,7 @@ impl CampaignReport {
                 element_steps: o.element_steps,
                 ok: o.result.is_ok(),
                 error: o.result.as_ref().err().cloned(),
+                telemetry: o.telemetry.clone(),
             })
             .collect();
         let total_element_steps = outcomes
@@ -88,6 +140,14 @@ impl CampaignReport {
             .sum();
         let total_retries = outcomes.iter().map(|o| (o.attempts - 1) as u64).sum();
         let failed_jobs = outcomes.iter().filter(|o| o.result.is_err()).count();
+        let health_trips = outcomes
+            .iter()
+            .filter(|o| o.telemetry.health_trip.is_some())
+            .count();
+        let stalled_jobs = outcomes
+            .iter()
+            .filter(|o| !o.telemetry.watchdog_stalled_ranks.is_empty())
+            .count();
         CampaignReport {
             workers,
             total_wall_s,
@@ -97,6 +157,8 @@ impl CampaignReport {
             element_steps_per_s: total_element_steps as f64 / total_wall_s.max(1e-12),
             total_retries,
             failed_jobs,
+            health_trips,
+            stalled_jobs,
         }
     }
 
@@ -125,6 +187,12 @@ impl CampaignReport {
             "  retries, failed : {}, {}\n",
             self.total_retries, self.failed_jobs
         ));
+        if self.health_trips > 0 || self.stalled_jobs > 0 {
+            out.push_str(&format!(
+                "  health, stalls  : {} health trip(s), {} stalled job(s)\n",
+                self.health_trips, self.stalled_jobs
+            ));
+        }
         out.push_str(
             "  job                        wkr  att  cache         queue_s    run_s  status\n",
         );
@@ -139,6 +207,15 @@ impl CampaignReport {
                 j.run_s,
                 if j.ok { "ok" } else { "FAILED" }
             ));
+            if let Some(trip) = &j.telemetry.health_trip {
+                out.push_str(&format!("    health: {trip}\n"));
+            }
+            if !j.telemetry.watchdog_stalled_ranks.is_empty() {
+                out.push_str(&format!(
+                    "    watchdog: stalled ranks {:?}\n",
+                    j.telemetry.watchdog_stalled_ranks
+                ));
+            }
         }
         out
     }
@@ -160,6 +237,8 @@ impl CampaignReport {
         ));
         out.push_str(&format!("  \"total_retries\": {},\n", self.total_retries));
         out.push_str(&format!("  \"failed_jobs\": {},\n", self.failed_jobs));
+        out.push_str(&format!("  \"health_trips\": {},\n", self.health_trips));
+        out.push_str(&format!("  \"stalled_jobs\": {},\n", self.stalled_jobs));
         out.push_str(&format!(
             "  \"cache\": {{\"hits\": {}, \"derived_hits\": {}, \"disk_hits\": {}, \
              \"misses\": {}, \"evictions\": {}}},\n",
@@ -174,7 +253,7 @@ impl CampaignReport {
             out.push_str(&format!(
                 "    {{\"name\": \"{}\", \"index\": {}, \"worker\": {}, \"attempts\": {}, \
                  \"queue_wait_s\": {:.6}, \"run_s\": {:.6}, \"cache\": \"{}\", \
-                 \"element_steps\": {}, \"ok\": {}{}}}{}\n",
+                 \"element_steps\": {}, \"ok\": {}{}{}}}{}\n",
                 json_escape(&j.name),
                 j.index,
                 j.worker,
@@ -188,10 +267,62 @@ impl CampaignReport {
                     Some(e) => format!(", \"error\": \"{}\"", json_escape(e)),
                     None => String::new(),
                 },
+                telemetry_json(&j.telemetry),
                 if i + 1 < self.jobs.len() { "," } else { "" }
             ));
         }
         out.push_str("  ]\n}\n");
         out
     }
+}
+
+/// Render a job's telemetry rollup as `, "comm": {...}` (plus optional
+/// `"health_trip"` / `"watchdog"` members) for embedding in the job row.
+fn telemetry_json(t: &JobTelemetry) -> String {
+    let tags: Vec<String> = t
+        .per_tag
+        .iter()
+        .map(|tag| {
+            format!(
+                "{{\"tag\": {}, \"messages\": {}, \"bytes\": {}}}",
+                tag.tag, tag.messages, tag.bytes
+            )
+        })
+        .collect();
+    let recv_wait = match &t.recv_wait_ns {
+        Some(h) => format!(
+            ", \"recv_wait_ns\": {{\"count\": {}, \"min\": {}, \"max\": {}, \"mean\": {:.1}}}",
+            h.count(),
+            h.min().unwrap_or(0),
+            h.max().unwrap_or(0),
+            h.mean()
+        ),
+        None => String::new(),
+    };
+    let mut out = format!(
+        ", \"comm\": {{\"bytes_sent\": {}, \"bytes_received\": {}, \"messages_sent\": {}, \
+         \"collectives\": {}, \"per_tag\": [{}]{}}}",
+        t.bytes_sent,
+        t.bytes_received,
+        t.messages_sent,
+        t.collectives,
+        tags.join(", "),
+        recv_wait
+    );
+    if let Some(trip) = &t.health_trip {
+        out.push_str(&format!(", \"health_trip\": \"{}\"", json_escape(trip)));
+    }
+    if t.watchdog_max_skew_steps.is_some() || !t.watchdog_stalled_ranks.is_empty() {
+        let ranks: Vec<String> = t
+            .watchdog_stalled_ranks
+            .iter()
+            .map(|r| r.to_string())
+            .collect();
+        out.push_str(&format!(
+            ", \"watchdog\": {{\"max_skew_steps\": {}, \"stalled_ranks\": [{}]}}",
+            t.watchdog_max_skew_steps.unwrap_or(0),
+            ranks.join(", ")
+        ));
+    }
+    out
 }

@@ -46,6 +46,18 @@ pub enum CommError {
         /// Time step at which it died.
         step: usize,
     },
+    /// The watchdog flagged `rank` as stalled (heartbeat older than the
+    /// configured timeout) and escalated, so the healthy ranks abort
+    /// with a typed error instead of blocking until their receive
+    /// deadlines fire one by one.
+    Stalled {
+        /// The straggling rank the watchdog flagged.
+        rank: usize,
+        /// Its last completed step (`None` = stalled before step 0).
+        last_step: Option<u64>,
+        /// Heartbeat age when flagged.
+        age: Duration,
+    },
     /// Destination or source rank outside `0..size`.
     InvalidRank {
         /// The offending rank id.
@@ -77,6 +89,22 @@ impl fmt::Display for CommError {
             CommError::RankDead { rank, step } => {
                 write!(f, "rank {rank} is dead (killed at step {step})")
             }
+            CommError::Stalled {
+                rank,
+                last_step,
+                age,
+            } => match last_step {
+                Some(s) => write!(
+                    f,
+                    "watchdog: rank {rank} stalled at step {s} (heartbeat age {:.3}s)",
+                    age.as_secs_f64()
+                ),
+                None => write!(
+                    f,
+                    "watchdog: rank {rank} stalled before its first step (heartbeat age {:.3}s)",
+                    age.as_secs_f64()
+                ),
+            },
             CommError::InvalidRank { rank, size } => {
                 write!(f, "rank {rank} outside world of size {size}")
             }
@@ -101,6 +129,24 @@ mod tests {
         let s = e.to_string();
         assert!(s.contains("src 7"), "{s}");
         assert!(s.contains("tag 100"), "{s}");
+    }
+
+    #[test]
+    fn stalled_display_names_rank_and_step() {
+        let e = CommError::Stalled {
+            rank: 4,
+            last_step: Some(17),
+            age: Duration::from_millis(1500),
+        };
+        let s = e.to_string();
+        assert!(s.contains("rank 4"), "{s}");
+        assert!(s.contains("step 17"), "{s}");
+        let never = CommError::Stalled {
+            rank: 2,
+            last_step: None,
+            age: Duration::from_millis(10),
+        };
+        assert!(never.to_string().contains("before its first step"));
     }
 
     #[test]

@@ -28,6 +28,7 @@ pub mod serial;
 pub mod stats;
 pub mod thread;
 pub mod virtual_net;
+pub mod watchdog;
 
 pub use error::CommError;
 pub use fault::{FaultKind, FaultPlan, FaultSpec, FaultStats, FaultyComm};
@@ -39,6 +40,7 @@ pub use serial::SerialComm;
 pub use stats::{CommStats, StatsSnapshot};
 pub use thread::{RankPanic, ThreadComm, ThreadWorld, DEFAULT_RECV_TIMEOUT};
 pub use virtual_net::NetworkProfile;
+pub use watchdog::{Heartbeats, StallEvent, WatchdogConfig, WatchdogReport};
 // Re-exported so downstream crates can consume `StatsSnapshot`'s per-tag
 // traffic and size histogram without a direct specfem-obs dependency.
 pub use specfem_obs::{LogHistogram, TagTraffic};

@@ -9,12 +9,15 @@
 
 use crossbeam_channel::{unbounded, Receiver, RecvTimeoutError, Sender};
 use std::fmt;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use crate::error::CommError;
 use crate::request::{Request, RequestKind};
 use crate::stats::{CommStats, StatsSnapshot};
 use crate::virtual_net::NetworkProfile;
+use crate::watchdog::{monitor_loop, Heartbeats, WatchdogConfig, WatchdogReport};
 use crate::{tags, Communicator};
 
 /// Deadline applied to blocking receives unless the caller overrides it with
@@ -88,8 +91,27 @@ impl ThreadWorld {
                 recv_timeout: Some(DEFAULT_RECV_TIMEOUT),
                 profile,
                 stats: CommStats::default(),
+                watchdog: None,
             })
             .collect()
+    }
+
+    /// Like [`ThreadWorld::create`], but every endpoint shares a
+    /// [`Heartbeats`] board for the straggler watchdog: each rank's
+    /// `on_time_step` advances its heartbeat (two relaxed stores) and
+    /// checks the escalation flag. Pair with
+    /// [`crate::watchdog::WatchdogConfig`] and a monitor (see
+    /// [`ThreadWorld::try_run_watched`]).
+    pub fn create_watched(
+        size: usize,
+        profile: NetworkProfile,
+    ) -> (Vec<ThreadComm>, Arc<Heartbeats>) {
+        let hb = Arc::new(Heartbeats::new(size));
+        let mut comms = Self::create(size, profile);
+        for c in &mut comms {
+            c.watchdog = Some(Arc::clone(&hb));
+        }
+        (comms, hb)
     }
 
     /// Run `f` on `size` ranks (one thread each) and collect the per-rank
@@ -132,6 +154,51 @@ impl ThreadWorld {
         });
         out.into_iter().map(|r| r.unwrap()).collect()
     }
+
+    /// Like [`ThreadWorld::try_run`], but with the straggler watchdog
+    /// armed: a monitor thread polls every rank's heartbeat, tracks
+    /// cross-rank step skew, flags ranks whose heartbeat age exceeds
+    /// `config.timeout`, and (when `config.escalate`) makes every
+    /// healthy rank's next `on_time_step` fail with
+    /// [`CommError::Stalled`] naming the straggler. Returns the per-rank
+    /// results plus the monitor's [`WatchdogReport`].
+    pub fn try_run_watched<R, F>(
+        size: usize,
+        profile: NetworkProfile,
+        config: WatchdogConfig,
+        f: F,
+    ) -> (Vec<Result<R, RankPanic>>, WatchdogReport)
+    where
+        R: Send,
+        F: Fn(ThreadComm) -> R + Sync,
+    {
+        let (comms, hb) = Self::create_watched(size, profile);
+        let mut out: Vec<Option<Result<R, RankPanic>>> = (0..size).map(|_| None).collect();
+        let stop = AtomicBool::new(false);
+        let mut report = WatchdogReport::default();
+        std::thread::scope(|scope| {
+            let monitor = {
+                let hb = &hb;
+                let config = &config;
+                let stop = &stop;
+                scope.spawn(move || monitor_loop(hb, config, stop))
+            };
+            let mut handles = Vec::new();
+            for comm in comms {
+                let fref = &f;
+                handles.push(scope.spawn(move || fref(comm)));
+            }
+            for (rank, (slot, h)) in out.iter_mut().zip(handles).enumerate() {
+                *slot = Some(h.join().map_err(|payload| RankPanic {
+                    rank,
+                    message: panic_message(payload.as_ref()),
+                }));
+            }
+            stop.store(true, Ordering::Release);
+            report = monitor.join().expect("watchdog monitor must not panic");
+        });
+        (out.into_iter().map(|r| r.unwrap()).collect(), report)
+    }
 }
 
 fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
@@ -157,6 +224,21 @@ pub struct ThreadComm {
     recv_timeout: Option<Duration>,
     profile: NetworkProfile,
     stats: CommStats,
+    /// Shared heartbeat board when this endpoint belongs to a watched
+    /// world; `None` (unwatched, the default) keeps `on_time_step` a
+    /// no-op, preserving the zero-cost-when-disabled contract.
+    watchdog: Option<Arc<Heartbeats>>,
+}
+
+impl Drop for ThreadComm {
+    fn drop(&mut self) {
+        // A dropped endpoint means the rank's closure returned (success
+        // or error): tell the monitor so a finished rank is never
+        // flagged as a straggler while slower ranks keep stepping.
+        if let Some(hb) = &self.watchdog {
+            hb.mark_done(self.rank);
+        }
+    }
 }
 
 impl ThreadComm {
@@ -417,6 +499,19 @@ impl Communicator for ThreadComm {
 
     fn set_recv_timeout(&mut self, timeout: Option<Duration>) {
         self.recv_timeout = timeout;
+    }
+
+    fn on_time_step(&mut self, istep: usize) -> Result<(), CommError> {
+        if let Some(hb) = &self.watchdog {
+            // Escalated stall anywhere in the world: abort this rank
+            // with the typed error instead of letting it block on a
+            // halo receive from the straggler until the deadline.
+            if let Some(err) = hb.stall_error() {
+                return Err(err);
+            }
+            hb.beat(self.rank, istep);
+        }
+        Ok(())
     }
 
     fn stats(&self) -> StatsSnapshot {
@@ -733,6 +828,76 @@ mod tests {
             "{:?}",
             results[1]
         );
+    }
+
+    #[test]
+    fn watched_healthy_world_reports_no_stall() {
+        let config = WatchdogConfig {
+            timeout: Duration::from_secs(5),
+            poll_interval: Some(Duration::from_millis(2)),
+            escalate: true,
+        };
+        let (results, report) =
+            ThreadWorld::try_run_watched(3, NetworkProfile::loopback(), config, |mut comm| {
+                for istep in 0..20 {
+                    comm.on_time_step(istep)?;
+                    comm.barrier()?;
+                }
+                Ok::<usize, CommError>(comm.rank())
+            });
+        for (rank, r) in results.iter().enumerate() {
+            assert_eq!(*r.as_ref().unwrap().as_ref().unwrap(), rank);
+        }
+        assert!(!report.stalled(), "{report:?}");
+        assert_eq!(report.last_steps, vec![Some(19), Some(19), Some(19)]);
+        // The barrier keeps ranks in lockstep: skew stays tiny.
+        assert!(report.max_skew_steps <= 1, "{report:?}");
+    }
+
+    #[test]
+    fn watched_world_escalates_a_stalled_rank() {
+        let config = WatchdogConfig {
+            timeout: Duration::from_millis(40),
+            poll_interval: Some(Duration::from_millis(5)),
+            escalate: true,
+        };
+        let (results, report) =
+            ThreadWorld::try_run_watched(3, NetworkProfile::loopback(), config, |mut comm| {
+                let rank = comm.rank();
+                for istep in 0..1000 {
+                    comm.on_time_step(istep)?;
+                    // Healthy ranks step at a steady cadence; rank 1 is
+                    // two hundred times slower — a wedged straggler.
+                    let step_time = if rank == 1 { 200 } else { 1 };
+                    std::thread::sleep(Duration::from_millis(step_time));
+                }
+                Ok::<usize, CommError>(rank)
+            });
+        assert!(report.stalled(), "{report:?}");
+        assert_eq!(report.stalls[0].rank, 1);
+        // The healthy ranks abort with the typed stall error naming the
+        // straggler instead of running to completion or hanging.
+        for rank in [0, 2] {
+            match results[rank].as_ref().unwrap() {
+                Err(CommError::Stalled { rank: culprit, .. }) => assert_eq!(*culprit, 1),
+                other => panic!("rank {rank}: expected Stalled, got {other:?}"),
+            }
+        }
+        assert!(
+            report.metrics.gauges["watchdog.stalled_ranks"] >= 1.0,
+            "{report:?}"
+        );
+    }
+
+    #[test]
+    fn unwatched_comm_on_time_step_is_a_no_op() {
+        let results = ThreadWorld::run(2, NetworkProfile::loopback(), |mut comm| {
+            for istep in 0..5 {
+                comm.on_time_step(istep).unwrap();
+            }
+            comm.rank()
+        });
+        assert_eq!(results, vec![0, 1]);
     }
 
     #[test]

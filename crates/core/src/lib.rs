@@ -165,6 +165,10 @@ pub struct SimulationResult {
     /// (`Some` only when `config.trace` is set). Solver-phase profiles
     /// live on the individual [`RankResult`]s.
     pub mesher_profile: Option<obs::RankProfile>,
+    /// Straggler-watchdog telemetry (skew gauges, per-rank last steps,
+    /// stall flags) — `Some` only on distributed runs with
+    /// `config.watchdog_timeout` set.
+    pub watchdog: Option<comm::WatchdogReport>,
 }
 
 impl SimulationResult {
@@ -370,6 +374,7 @@ impl Simulation {
             dt: result.dt,
             ranks: vec![result],
             mesher_profile,
+            watchdog: None,
         };
         out.autowrite_observability(&self.config);
         out
@@ -399,7 +404,17 @@ impl Simulation {
         profile: NetworkProfile,
         mesher_profile: Option<obs::RankProfile>,
     ) -> SimulationResult {
-        let ranks = specfem_solver::run_distributed(mesh, &self.config, &self.stations, profile);
+        let (per_rank, watchdog) = specfem_solver::try_run_distributed_watched(
+            mesh,
+            &self.config,
+            &self.stations,
+            profile,
+            solver::FtOptions::default(),
+        );
+        let ranks: Vec<RankResult> = per_rank
+            .into_iter()
+            .map(|r| r.unwrap_or_else(|e| panic!("solver rank failed: {e}")))
+            .collect();
         let seismograms = specfem_solver::timeloop::merge_seismograms(&ranks);
         let dt = ranks.first().map(|r| r.dt).unwrap_or(0.0);
         let out = SimulationResult {
@@ -407,6 +422,7 @@ impl Simulation {
             ranks,
             dt,
             mesher_profile,
+            watchdog,
         };
         out.autowrite_observability(&self.config);
         out
@@ -459,15 +475,19 @@ impl Simulation {
                 );
             }
         }
-        let ranks: Vec<RankResult> = match opts.profile {
-            None => vec![specfem_solver::try_run_serial(
-                mesh,
-                &self.config,
-                &self.stations,
-                ft,
-            )?],
+        let (ranks, watchdog): (Vec<RankResult>, Option<comm::WatchdogReport>) = match opts.profile
+        {
+            None => (
+                vec![specfem_solver::try_run_serial(
+                    mesh,
+                    &self.config,
+                    &self.stations,
+                    ft,
+                )?],
+                None,
+            ),
             Some(profile) => {
-                let per_rank = specfem_solver::try_run_distributed(
+                let (per_rank, watchdog) = specfem_solver::try_run_distributed_watched(
                     mesh,
                     &self.config,
                     &self.stations,
@@ -478,7 +498,7 @@ impl Simulation {
                 for r in per_rank {
                     ranks.push(r?);
                 }
-                ranks
+                (ranks, watchdog)
             }
         };
         let seismograms = specfem_solver::timeloop::merge_seismograms(&ranks);
@@ -488,6 +508,7 @@ impl Simulation {
             ranks,
             dt,
             mesher_profile,
+            watchdog,
         };
         out.autowrite_observability(&self.config);
         Ok(out)
@@ -698,6 +719,27 @@ impl SimulationBuilder {
     /// Step-timing sample cadence while tracing (0 = no step sampling).
     pub fn metrics_every(mut self, every: usize) -> Self {
         self.config.metrics_every = every;
+        self
+    }
+
+    /// Numerical-health sampling cadence (`Par_file` key `HEALTH_EVERY`;
+    /// 0 = off, the default): every `every` steps each rank scans its wave
+    /// fields for NaN/Inf and sustained exponential growth and aborts the
+    /// run with a structured [`obs::HealthReport`] on a trip. Disabled, the
+    /// fields are never read, so output is bit-identical to a monitor-free
+    /// build.
+    pub fn health_every(mut self, every: usize) -> Self {
+        self.config.health_every = every;
+        self
+    }
+
+    /// Arm the straggler watchdog on distributed runs (`Par_file` key
+    /// `WATCHDOG_TIMEOUT_MS`; off by default): a monitor thread flags any
+    /// rank whose step heartbeat ages past `timeout`, publishes skew
+    /// gauges, and escalates a genuine stall to
+    /// [`comm::CommError::Stalled`] instead of letting the world hang.
+    pub fn watchdog_timeout(mut self, timeout: std::time::Duration) -> Self {
+        self.config.watchdog_timeout = Some(timeout);
         self
     }
 

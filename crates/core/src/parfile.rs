@@ -28,6 +28,8 @@
 //! TRACE                  = .false.     # record spans + metrics per rank
 //! TRACE_DIR              = OUTPUT_FILES/trace  # write artifacts here
 //! METRICS_EVERY          = 10          # step-timing sample cadence
+//! HEALTH_EVERY           = 0           # numerical-health sample cadence, 0 = off
+//! WATCHDOG_TIMEOUT_MS    = 0           # straggler watchdog heartbeat deadline, 0 = off
 //! # campaign runtime (read via [`campaign_knobs_from_parfile`])
 //! CAMPAIGN_WORKERS       = 0           # worker pool size, 0 = auto
 //! MESH_CACHE_BYTES       = 512M        # cache ceiling, 0 = unbounded (K/M/G ok)
@@ -207,6 +209,18 @@ pub fn simulation_from_parfile(text: &str) -> Result<Simulation, String> {
     if let Some(v) = get("METRICS_EVERY") {
         builder = builder.metrics_every(parse_num("METRICS_EVERY", v)? as usize);
     }
+    if let Some(v) = get("HEALTH_EVERY") {
+        builder = builder.health_every(parse_num("HEALTH_EVERY", v)? as usize);
+    }
+    if let Some(v) = get("WATCHDOG_TIMEOUT_MS") {
+        let ms = parse_num("WATCHDOG_TIMEOUT_MS", v)?;
+        if ms < 0.0 {
+            return Err(format!("WATCHDOG_TIMEOUT_MS: must be >= 0, got {v}"));
+        }
+        if ms > 0.0 {
+            builder = builder.watchdog_timeout(std::time::Duration::from_millis(ms as u64));
+        }
+    }
     let dt = get("DT")
         .map(|v| parse_num("DT", v))
         .transpose()?
@@ -292,6 +306,27 @@ NSTATIONS    = 4
         // TRACE_DIR alone implies tracing.
         let sim = simulation_from_parfile("NEX_XI = 4\nTRACE_DIR = out\n").unwrap();
         assert!(sim.config.trace);
+    }
+
+    #[test]
+    fn health_and_watchdog_keys() {
+        // Both default off.
+        let sim = simulation_from_parfile("NEX_XI = 4\n").unwrap();
+        assert_eq!(sim.config.health_every, 0);
+        assert_eq!(sim.config.watchdog_timeout, None);
+        let text = "NEX_XI = 4\nHEALTH_EVERY = 25\nWATCHDOG_TIMEOUT_MS = 5000\n";
+        let sim = simulation_from_parfile(text).unwrap();
+        assert_eq!(sim.config.health_every, 25);
+        assert_eq!(
+            sim.config.watchdog_timeout,
+            Some(std::time::Duration::from_millis(5000))
+        );
+        // Explicit zero keeps the watchdog off.
+        let sim = simulation_from_parfile("NEX_XI = 4\nWATCHDOG_TIMEOUT_MS = 0\n").unwrap();
+        assert_eq!(sim.config.watchdog_timeout, None);
+        // Errors are reported, not swallowed.
+        assert!(simulation_from_parfile("NEX_XI = 4\nHEALTH_EVERY = often\n").is_err());
+        assert!(simulation_from_parfile("NEX_XI = 4\nWATCHDOG_TIMEOUT_MS = -5\n").is_err());
     }
 
     #[test]

@@ -1,0 +1,389 @@
+//! Numerical-health monitoring — in-flight NaN/Inf and blow-up detection.
+//!
+//! At 62K cores a single rank whose wave field goes non-finite (bad
+//! heterogeneity sampling, a CFL violation after a restart, a flipped
+//! bit) poisons every neighbour within a handful of halo exchanges and
+//! the run burns its full allocation producing garbage. The
+//! [`HealthMonitor`] is the cheap in-flight guard: every `HEALTH_EVERY`
+//! steps the solver hands it the displacement and velocity fields, it
+//! scans for non-finite entries and for sustained exponential growth
+//! (the signature of a CFL instability, which doubles every few steps
+//! long before it overflows), and on a trip it returns a structured
+//! [`HealthReport`] so the step loop can abort *naming the culprit* —
+//! rank, step, field, flat point index, and (once the solver maps the
+//! point through `ibool`) the spectral element.
+//!
+//! The monitor is deliberately dependency-free and branch-cheap: with
+//! `every == 0` (the default) [`HealthMonitor::should_check`] is a
+//! single integer compare and the solver never touches the fields, so
+//! the disabled path is bit-identical to a build without the monitor.
+
+/// What tripped the monitor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HealthTrip {
+    /// A NaN entry in the scanned field.
+    Nan,
+    /// A ±Inf entry in the scanned field.
+    Inf,
+    /// Sustained exponential growth: the max-abs norm grew by more than
+    /// [`GROWTH_FACTOR`] on [`GROWTH_STREAK`] consecutive samples (or
+    /// exceeded [`HARD_CEILING`] outright).
+    Growth,
+}
+
+impl std::fmt::Display for HealthTrip {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            HealthTrip::Nan => write!(f, "NaN"),
+            HealthTrip::Inf => write!(f, "Inf"),
+            HealthTrip::Growth => write!(f, "exponential growth"),
+        }
+    }
+}
+
+/// Structured abort report: who blew up, where, and how.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HealthReport {
+    /// Rank whose field tripped the monitor.
+    pub rank: usize,
+    /// Time step at which the sample was taken.
+    pub step: usize,
+    /// Field name (`"displ"`, `"veloc"`, `"chi"`, …).
+    pub field: &'static str,
+    /// Flat index of the offending entry in the field array.
+    pub point: usize,
+    /// Local spectral element containing the point, once the solver has
+    /// mapped `point` through `ibool`; `None` straight from the monitor.
+    pub element: Option<usize>,
+    /// The offending value (NaN/Inf for non-finite trips, the max-abs
+    /// entry for growth trips).
+    pub value: f64,
+    /// Max-abs norm of the field at the sample.
+    pub norm: f64,
+    /// Trip classification.
+    pub trip: HealthTrip,
+}
+
+impl std::fmt::Display for HealthReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "numerical-health trip ({}) on rank {} at step {}: field {}",
+            self.trip, self.rank, self.step, self.field
+        )?;
+        match self.element {
+            Some(e) => write!(f, " element {} point {}", e, self.point)?,
+            None => write!(f, " point {}", self.point)?,
+        }
+        write!(f, " value {:e} (field max-abs {:e})", self.value, self.norm)
+    }
+}
+
+impl HealthReport {
+    /// Render as a JSON object (for campaign rollups and artifacts).
+    pub fn to_json(&self) -> String {
+        let element = match self.element {
+            Some(e) => e.to_string(),
+            None => "null".to_string(),
+        };
+        format!(
+            concat!(
+                "{{\"rank\":{},\"step\":{},\"field\":\"{}\",\"point\":{},",
+                "\"element\":{},\"value\":\"{:e}\",\"norm\":\"{:e}\",\"trip\":\"{}\"}}"
+            ),
+            self.rank,
+            self.step,
+            crate::json_escape(self.field),
+            self.point,
+            element,
+            self.value,
+            self.norm,
+            self.trip,
+        )
+    }
+}
+
+/// Norm growth factor between consecutive samples that counts as one
+/// step of a blow-up streak (a CFL instability grows by far more).
+pub const GROWTH_FACTOR: f64 = 10.0;
+
+/// Number of consecutive growing samples before a [`HealthTrip::Growth`]
+/// trip — a single transient (e.g. the source ramp) never trips.
+pub const GROWTH_STREAK: u32 = 3;
+
+/// Norm below which growth is ignored: ramping up from numerical zero at
+/// source onset is expected, not an instability.
+pub const GROWTH_FLOOR: f64 = 1.0;
+
+/// Absolute norm ceiling that trips immediately, streak or no streak —
+/// f32 overflows to Inf at ~3.4e38, so 1e30 means the field is already
+/// physically meaningless.
+pub const HARD_CEILING: f64 = 1e30;
+
+/// Per-rank in-flight health monitor. Create one per run with the
+/// sampling cadence; feed it field slices from the step loop.
+#[derive(Debug, Clone, Default)]
+pub struct HealthMonitor {
+    every: usize,
+    prev_norm: Option<f64>,
+    streak: u32,
+}
+
+impl HealthMonitor {
+    /// A monitor sampling every `every` steps; `every == 0` disables it.
+    pub fn new(every: usize) -> Self {
+        Self {
+            every,
+            prev_norm: None,
+            streak: 0,
+        }
+    }
+
+    /// Whether the monitor is enabled at all.
+    #[inline]
+    pub fn enabled(&self) -> bool {
+        self.every != 0
+    }
+
+    /// Whether step `istep` is a sampling step. This is the *entire*
+    /// disabled-path cost: one compare.
+    #[inline]
+    pub fn should_check(&self, istep: usize) -> bool {
+        self.every != 0 && istep.is_multiple_of(self.every)
+    }
+
+    /// Re-arm after a checkpoint restore: drop the growth history so a
+    /// resumed run cannot trip on the jump from zero fields to the
+    /// restored amplitude.
+    pub fn re_arm(&mut self) {
+        self.prev_norm = None;
+        self.streak = 0;
+    }
+
+    /// Scan `fields` (name, slice) pairs at step `istep`. Returns a
+    /// report (with `element: None`; the caller attributes the element)
+    /// on a trip, `None` when the sample is healthy. Growth tracking
+    /// uses the max-abs norm across *all* scanned fields so a blow-up
+    /// in any field advances one shared streak.
+    pub fn check(
+        &mut self,
+        rank: usize,
+        istep: usize,
+        fields: &[(&'static str, &[f32])],
+    ) -> Option<HealthReport> {
+        let mut overall_norm = 0.0f64;
+        let mut worst: Option<(&'static str, usize, f64, f64)> = None; // field, point, value, norm
+        for &(name, data) in fields {
+            let mut max_abs = 0.0f32;
+            let mut max_idx = 0usize;
+            for (i, &v) in data.iter().enumerate() {
+                if !v.is_finite() {
+                    let trip = if v.is_nan() {
+                        HealthTrip::Nan
+                    } else {
+                        HealthTrip::Inf
+                    };
+                    return Some(HealthReport {
+                        rank,
+                        step: istep,
+                        field: name,
+                        point: i,
+                        element: None,
+                        value: v as f64,
+                        norm: f64::from(max_abs),
+                        trip,
+                    });
+                }
+                let a = v.abs();
+                if a > max_abs {
+                    max_abs = a;
+                    max_idx = i;
+                }
+            }
+            let norm = f64::from(max_abs);
+            if norm > overall_norm {
+                overall_norm = norm;
+            }
+            if worst.is_none_or(|w| norm > w.3) {
+                let v = f64::from(data.get(max_idx).copied().unwrap_or(0.0));
+                worst = Some((name, max_idx, v, norm));
+            }
+        }
+        let (field, point, value, _) = worst.unwrap_or(("<empty>", 0, 0.0, 0.0));
+        // Hard ceiling: the field is already astrophysical.
+        if overall_norm > HARD_CEILING {
+            return Some(HealthReport {
+                rank,
+                step: istep,
+                field,
+                point,
+                element: None,
+                value,
+                norm: overall_norm,
+                trip: HealthTrip::Growth,
+            });
+        }
+        // Streak-based drift: GROWTH_STREAK consecutive samples each
+        // more than GROWTH_FACTOR above the last, all above the floor.
+        match self.prev_norm {
+            Some(prev) if prev > GROWTH_FLOOR && overall_norm > GROWTH_FACTOR * prev => {
+                self.streak += 1;
+            }
+            _ => self.streak = 0,
+        }
+        self.prev_norm = Some(overall_norm);
+        if self.streak >= GROWTH_STREAK {
+            return Some(HealthReport {
+                rank,
+                step: istep,
+                field,
+                point,
+                element: None,
+                value,
+                norm: overall_norm,
+                trip: HealthTrip::Growth,
+            });
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_monitor_never_samples() {
+        let m = HealthMonitor::new(0);
+        assert!(!m.enabled());
+        for istep in 0..100 {
+            assert!(!m.should_check(istep));
+        }
+    }
+
+    #[test]
+    fn cadence_matches_every() {
+        let m = HealthMonitor::new(5);
+        let steps: Vec<usize> = (0..20).filter(|&i| m.should_check(i)).collect();
+        assert_eq!(steps, vec![0, 5, 10, 15]);
+    }
+
+    #[test]
+    fn nan_trips_with_point_and_field() {
+        let mut m = HealthMonitor::new(1);
+        let mut displ = vec![0.5f32; 8];
+        displ[5] = f32::NAN;
+        let veloc = vec![0.1f32; 8];
+        let r = m
+            .check(3, 7, &[("displ", &displ), ("veloc", &veloc)])
+            .expect("NaN must trip");
+        assert_eq!(r.trip, HealthTrip::Nan);
+        assert_eq!(r.rank, 3);
+        assert_eq!(r.step, 7);
+        assert_eq!(r.field, "displ");
+        assert_eq!(r.point, 5);
+        assert!(r.value.is_nan());
+        let msg = r.to_string();
+        assert!(msg.contains("rank 3") && msg.contains("step 7") && msg.contains("displ"));
+    }
+
+    #[test]
+    fn inf_trips_as_inf() {
+        let mut m = HealthMonitor::new(1);
+        let veloc = vec![0.0f32, f32::NEG_INFINITY];
+        let r = m.check(0, 0, &[("veloc", &veloc)]).unwrap();
+        assert_eq!(r.trip, HealthTrip::Inf);
+        assert_eq!(r.field, "veloc");
+        assert_eq!(r.point, 1);
+    }
+
+    #[test]
+    fn healthy_fields_pass() {
+        let mut m = HealthMonitor::new(1);
+        let displ = vec![1e-3f32; 16];
+        for istep in 0..10 {
+            assert!(m.check(0, istep, &[("displ", &displ)]).is_none());
+        }
+    }
+
+    #[test]
+    fn sustained_growth_trips_after_streak() {
+        let mut m = HealthMonitor::new(1);
+        // Norm sequence: 2, 40, 800, 16000 — three consecutive >10× jumps.
+        let mut trip = None;
+        for (istep, norm) in [2.0f32, 40.0, 800.0, 16000.0].iter().enumerate() {
+            let field = vec![*norm; 4];
+            trip = m.check(1, istep, &[("displ", &field)]);
+            if trip.is_some() {
+                break;
+            }
+        }
+        let r = trip.expect("three 10x jumps must trip");
+        assert_eq!(r.trip, HealthTrip::Growth);
+        assert_eq!(r.step, 3);
+    }
+
+    #[test]
+    fn single_jump_does_not_trip() {
+        let mut m = HealthMonitor::new(1);
+        // One big jump then plateau: a source onset, not an instability.
+        for (istep, norm) in [0.0f32, 50.0, 55.0, 60.0, 58.0].iter().enumerate() {
+            let field = vec![*norm; 4];
+            assert!(m.check(0, istep, &[("displ", &field)]).is_none());
+        }
+    }
+
+    #[test]
+    fn growth_from_numerical_zero_is_ignored() {
+        let mut m = HealthMonitor::new(1);
+        // Each sample 100x the last but all below the floor until late:
+        // the sub-floor samples must not count toward the streak.
+        for (istep, norm) in [1e-9f32, 1e-7, 1e-5, 1e-3, 1e-1].iter().enumerate() {
+            let field = vec![*norm; 4];
+            assert!(m.check(0, istep, &[("displ", &field)]).is_none());
+        }
+    }
+
+    #[test]
+    fn hard_ceiling_trips_immediately() {
+        let mut m = HealthMonitor::new(1);
+        let field = vec![1e31f32; 4];
+        let r = m.check(0, 0, &[("displ", &field)]).unwrap();
+        assert_eq!(r.trip, HealthTrip::Growth);
+    }
+
+    #[test]
+    fn re_arm_clears_growth_history() {
+        let mut m = HealthMonitor::new(1);
+        let a = vec![2.0f32; 4];
+        let b = vec![40.0f32; 4];
+        let c = vec![800.0f32; 4];
+        assert!(m.check(0, 0, &[("displ", &a)]).is_none());
+        assert!(m.check(0, 1, &[("displ", &b)]).is_none());
+        assert!(m.check(0, 2, &[("displ", &c)]).is_none());
+        // Without re-arm the next 10x jump would trip; after re-arm the
+        // restored amplitude is a fresh reference point.
+        m.re_arm();
+        let d = vec![16000.0f32; 4];
+        assert!(m.check(0, 3, &[("displ", &d)]).is_none());
+    }
+
+    #[test]
+    fn report_json_shape() {
+        let r = HealthReport {
+            rank: 2,
+            step: 40,
+            field: "veloc",
+            point: 17,
+            element: Some(3),
+            value: f64::INFINITY,
+            norm: 1.5,
+            trip: HealthTrip::Inf,
+        };
+        let j = r.to_json();
+        assert!(j.contains("\"rank\":2"));
+        assert!(j.contains("\"step\":40"));
+        assert!(j.contains("\"element\":3"));
+        assert!(j.contains("\"trip\":\"Inf\""));
+    }
+}

@@ -41,11 +41,15 @@
 //! assert_eq!(profile.trace.events.len(), 2);
 //! ```
 
+pub mod health;
+pub mod ledger;
 pub mod metrics;
 pub mod perfetto;
 pub mod report;
 pub mod span;
 
+pub use health::{HealthMonitor, HealthReport, HealthTrip};
+pub use ledger::{LedgerDiff, LedgerMachine, LedgerPhase, LedgerRecord, LEDGER_SCHEMA_VERSION};
 pub use metrics::{LogHistogram, MetricsRegistry, MetricsSnapshot};
 pub use perfetto::{perfetto_json, perfetto_tracks, Track, TrackEvent};
 pub use report::{IpmRankInput, IpmReport, PhaseRow, RankRow, TagTraffic};

@@ -3,8 +3,9 @@
 //! Emits the legacy JSON trace format (`{"traceEvents": [...]}`) that
 //! both `chrome://tracing` and [ui.perfetto.dev](https://ui.perfetto.dev)
 //! load directly. Every rank becomes a timeline row (`tid` = rank,
-//! `pid` = 1) named via an `"M"` metadata event; every completed span
-//! becomes an `"X"` complete event. Timestamps and durations are in
+//! `pid` = 1) named via a `thread_name` `"M"` metadata event, the shared
+//! process gets one `process_name` metadata event so the UI labels the
+//! group; every completed span becomes an `"X"` complete event. Timestamps and durations are in
 //! microseconds per the format spec, derived from the shared trace
 //! epoch, so rank rows align on a single wall-clock axis.
 
@@ -30,6 +31,15 @@ pub fn perfetto_json(traces: &[RankTrace]) -> String {
         first = false;
         out.push_str(item);
     };
+    if !sorted.is_empty() {
+        // Label the shared pid so the Perfetto UI shows a named process
+        // group instead of a bare "Process 1".
+        push(
+            &mut out,
+            "{\"ph\":\"M\",\"pid\":1,\"name\":\"process_name\",\
+             \"args\":{\"name\":\"specfem solver ranks\"}}",
+        );
+    }
     for t in &sorted {
         push(
             &mut out,
@@ -104,6 +114,13 @@ pub fn perfetto_tracks(tracks: &[Track]) -> String {
         first = false;
         out.push_str(item);
     };
+    if !sorted.is_empty() {
+        push(
+            &mut out,
+            "{\"ph\":\"M\",\"pid\":1,\"name\":\"process_name\",\
+             \"args\":{\"name\":\"specfem campaign\"}}",
+        );
+    }
     for t in &sorted {
         push(
             &mut out,
@@ -175,6 +192,22 @@ mod tests {
         let b = perfetto_json(&[trace(0, vec![]), trace(1, vec![])]);
         assert_eq!(a, b);
         assert!(a.find("rank 0").unwrap() < a.find("rank 1").unwrap());
+    }
+
+    #[test]
+    fn process_name_metadata_labels_the_group() {
+        let json = perfetto_json(&[trace(0, vec![])]);
+        assert!(json.contains("\"name\":\"process_name\""));
+        assert!(json.contains("\"name\":\"specfem solver ranks\""));
+        // process_name comes first, before any thread_name row.
+        assert!(json.find("process_name").unwrap() < json.find("thread_name").unwrap());
+        let tracks = perfetto_tracks(&[Track {
+            name: "worker 0".into(),
+            tid: 0,
+            events: vec![],
+        }]);
+        assert!(tracks.contains("\"name\":\"process_name\""));
+        assert!(tracks.contains("\"name\":\"specfem campaign\""));
     }
 
     #[test]

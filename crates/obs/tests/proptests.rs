@@ -97,6 +97,74 @@ proptest! {
         prop_assert_eq!(ha, hall);
     }
 
+    /// Merge is commutative: a⊕b == b⊕a for all value sets, including
+    /// the 0 and u64::MAX edge buckets. The ledger's cross-rank rollup
+    /// merges in nondeterministic worker order, so this is load-bearing.
+    #[test]
+    fn histogram_merge_is_commutative(
+        a in prop::collection::vec(any::<u64>(), 0..30),
+        b in prop::collection::vec(any::<u64>(), 0..30),
+        edges in any::<u8>(),
+    ) {
+        let mut a = a;
+        let mut b = b;
+        if edges & 1 != 0 { a.push(0); }
+        if edges & 2 != 0 { a.push(u64::MAX); }
+        if edges & 4 != 0 { b.push(0); }
+        if edges & 8 != 0 { b.push(u64::MAX); }
+        let record_all = |vals: &[u64]| {
+            let mut h = LogHistogram::default();
+            for &v in vals { h.record(v); }
+            h
+        };
+        let (ha, hb) = (record_all(&a), record_all(&b));
+        let mut ab = ha.clone();
+        ab.merge(&hb);
+        let mut ba = hb.clone();
+        ba.merge(&ha);
+        prop_assert_eq!(&ab, &ba);
+        prop_assert_eq!(ab.count(), (a.len() + b.len()) as u64);
+    }
+
+    /// Merge is associative: (a⊕b)⊕c == a⊕(b⊕c), and the merged total
+    /// count is the sum of the parts (no value lost or double-counted).
+    #[test]
+    fn histogram_merge_is_associative_and_preserves_count(
+        a in prop::collection::vec(any::<u64>(), 0..20),
+        b in prop::collection::vec(any::<u64>(), 0..20),
+        c in prop::collection::vec(any::<u64>(), 0..20),
+        edges in any::<u8>(),
+    ) {
+        let mut a = a;
+        let mut b = b;
+        let mut c = c;
+        if edges & 1 != 0 { a.push(0); }
+        if edges & 2 != 0 { b.push(u64::MAX); }
+        if edges & 4 != 0 { c.push(0); }
+        if edges & 8 != 0 { c.push(u64::MAX); }
+        let record_all = |vals: &[u64]| {
+            let mut h = LogHistogram::default();
+            for &v in vals { h.record(v); }
+            h
+        };
+        let (ha, hb, hc) = (record_all(&a), record_all(&b), record_all(&c));
+        // (a ⊕ b) ⊕ c
+        let mut left = ha.clone();
+        left.merge(&hb);
+        left.merge(&hc);
+        // a ⊕ (b ⊕ c)
+        let mut bc = hb.clone();
+        bc.merge(&hc);
+        let mut right = ha.clone();
+        right.merge(&bc);
+        prop_assert_eq!(&left, &right);
+        let total = (a.len() + b.len() + c.len()) as u64;
+        prop_assert_eq!(left.count(), total);
+        prop_assert_eq!(left.counts.iter().sum::<u64>(), total);
+        prop_assert_eq!(left.min(), a.iter().chain(&b).chain(&c).min().copied());
+        prop_assert_eq!(left.max(), a.iter().chain(&b).chain(&c).max().copied());
+    }
+
     /// The cross-rank report is deterministic and independent of the
     /// order ranks are supplied in, and totals match a direct sum.
     #[test]

@@ -42,9 +42,12 @@ pub use checkpoint::{CheckpointError, CheckpointSink, CheckpointState, MemorySin
 pub use coupling::CouplingSurface;
 pub use source::{ReceiverSet, Seismogram, SourceArrays, SourceSpec};
 pub use timeloop::{
-    merge_seismograms, run_distributed, run_serial, try_run_distributed, try_run_serial, FtOptions,
-    RankResult, RankSolver, SolverError,
+    merge_seismograms, run_distributed, run_serial, try_run_distributed,
+    try_run_distributed_watched, try_run_serial, FtOptions, RankResult, RankSolver, SolverError,
 };
+// In-flight telemetry types surfaced through the solver's API.
+pub use specfem_comm::{WatchdogConfig, WatchdogReport};
+pub use specfem_obs::{HealthMonitor, HealthReport, HealthTrip};
 
 use specfem_comm::FaultPlan;
 use specfem_kernels::KernelVariant;
@@ -114,6 +117,20 @@ pub struct SolverConfig {
     /// `tests/overlap_equivalence.rs` enforces it), so this defaults on;
     /// turn it off to use the blocking path as the oracle.
     pub overlap: bool,
+    /// Sample the numerical-health monitor every this many steps (0, the
+    /// default, disables it): scans displacement/velocity/fluid fields
+    /// for NaN/Inf and sustained exponential growth and aborts the run
+    /// with a structured [`specfem_obs::HealthReport`] naming rank,
+    /// step, element, and field. The disabled path never reads the
+    /// fields, so output is bit-identical with the monitor off.
+    pub health_every: usize,
+    /// Arm the straggler watchdog on distributed runs: a monitor thread
+    /// flags any rank whose heartbeat age exceeds this, emits skew
+    /// gauges, and escalates a genuine stall to
+    /// [`specfem_comm::CommError::Stalled`] instead of hanging. `None`
+    /// (the default) leaves the watchdog off — the step hook stays a
+    /// no-op.
+    pub watchdog_timeout: Option<Duration>,
 }
 
 impl Default for SolverConfig {
@@ -138,6 +155,8 @@ impl Default for SolverConfig {
             trace_dir: None,
             metrics_every: 10,
             overlap: true,
+            health_every: 0,
+            watchdog_timeout: None,
         }
     }
 }

@@ -30,6 +30,10 @@ pub enum SolverError {
     Comm(CommError),
     /// Checkpoint capture, storage, or restore failed.
     Checkpoint(CheckpointError),
+    /// The numerical-health monitor tripped (NaN/Inf or sustained
+    /// exponential growth in a wave field); the report names rank, step,
+    /// field, and element so the operator knows where the blow-up started.
+    Health(specfem_obs::HealthReport),
     /// The rank's thread panicked.
     RankPanicked {
         /// The rank that died.
@@ -44,6 +48,7 @@ impl fmt::Display for SolverError {
         match self {
             SolverError::Comm(e) => write!(f, "communication failure: {e}"),
             SolverError::Checkpoint(e) => write!(f, "{e}"),
+            SolverError::Health(r) => write!(f, "{r}"),
             SolverError::RankPanicked { rank, message } => {
                 write!(f, "rank {rank} panicked: {message}")
             }
@@ -56,6 +61,12 @@ impl std::error::Error for SolverError {}
 impl From<CommError> for SolverError {
     fn from(e: CommError) -> Self {
         SolverError::Comm(e)
+    }
+}
+
+impl From<specfem_obs::HealthReport> for SolverError {
+    fn from(r: specfem_obs::HealthReport) -> Self {
+        SolverError::Health(r)
     }
 }
 
@@ -137,12 +148,29 @@ pub struct RankSolver {
     /// First step the time loop executes (nonzero after a checkpoint
     /// restore).
     start_step: usize,
+    /// Numerical-health monitor (disabled when `config.health_every == 0`;
+    /// the disabled path never touches the fields).
+    health: specfem_obs::HealthMonitor,
 }
 
 /// Unwrap a setup-phase collective: failures before the first step are
 /// fatal (there is no earlier checkpoint to fall back to).
 fn setup<T>(r: Result<T, CommError>) -> T {
     r.unwrap_or_else(|e| panic!("collective failed during solver setup: {e}"))
+}
+
+/// Map a health trip's flat field index back to the local element holding
+/// the offending grid point. Vector fields (`displ`, `veloc`) interleave
+/// `[x, y, z]` per point; the fluid potentials are scalar. The
+/// O(nspec·NGLL³) `ibool` scan only runs on the (fatal) trip path.
+fn attribute_element(mesh: &LocalMesh, field: &str, point: usize) -> Option<usize> {
+    let pid = if matches!(field, "chi" | "chi_dot" | "chi_ddot") {
+        point
+    } else {
+        point / 3
+    } as u32;
+    let npe = mesh.points_per_element();
+    mesh.ibool.chunks(npe).position(|elem| elem.contains(&pid))
 }
 
 impl RankSolver {
@@ -284,6 +312,7 @@ impl RankSolver {
             energy: Vec::new(),
             snapshots: Vec::new(),
             start_step: 0,
+            health: specfem_obs::HealthMonitor::new(config.health_every),
             mesh,
         }
     }
@@ -670,6 +699,9 @@ impl RankSolver {
         self.snapshots = state.snapshots;
         self.flops.set_total(state.flops);
         self.start_step = state.next_step;
+        // Restored fields have a fresh (possibly large) baseline norm; the
+        // growth tracker must not read the jump from zero as a blow-up.
+        self.health.re_arm();
         Ok(())
     }
 
@@ -705,6 +737,20 @@ impl RankSolver {
             self.step(istep, comm)?;
             if let Some(t) = t_step {
                 specfem_obs::hist_record("solver.step_ns", t.elapsed().as_nanos() as u64);
+            }
+            if self.health.should_check(istep) {
+                let _s = specfem_obs::span("health.check");
+                let fields: [(&'static str, &[f32]); 3] = [
+                    ("displ", &self.fields.displ),
+                    ("veloc", &self.fields.veloc),
+                    ("chi_dot", &self.fields.chi_dot),
+                ];
+                if let Some(mut report) = self.health.check(comm.rank(), istep, &fields) {
+                    report.element = attribute_element(&self.mesh, report.field, report.point);
+                    specfem_obs::counter_add("health.trips", 1);
+                    return Err(SolverError::Health(report));
+                }
+                specfem_obs::counter_add("health.samples", 1);
             }
             if self.config.checkpoint_every > 0 && (istep + 1) % self.config.checkpoint_every == 0 {
                 if let Some(sink) = sink.as_mut() {
@@ -842,10 +888,30 @@ pub fn try_run_distributed(
     profile: NetworkProfile,
     opts: FtOptions<'_>,
 ) -> Vec<Result<RankResult, SolverError>> {
+    try_run_distributed_watched(mesh, config, stations, profile, opts).0
+}
+
+/// [`try_run_distributed`] plus the straggler watchdog: when
+/// `config.watchdog_timeout` is set, a monitor thread samples every rank's
+/// step heartbeat, publishes skew gauges, and escalates a stall to
+/// [`CommError::Stalled`] on the healthy ranks; the returned
+/// [`specfem_comm::WatchdogReport`] carries the skew/stall telemetry.
+/// With the watchdog off the report is `None` and the run is identical to
+/// [`try_run_distributed`].
+pub fn try_run_distributed_watched(
+    mesh: &GlobalMesh,
+    config: &SolverConfig,
+    stations: &[Station],
+    profile: NetworkProfile,
+    opts: FtOptions<'_>,
+) -> (
+    Vec<Result<RankResult, SolverError>>,
+    Option<specfem_comm::WatchdogReport>,
+) {
     let partition = Partition::compute(mesh);
     let nranks = partition.num_ranks;
     let opts = &opts;
-    ThreadWorld::try_run(nranks, profile, |mut base| {
+    let rank_main = |mut base: specfem_comm::ThreadComm| {
         base.set_recv_timeout(config.recv_timeout);
         let rank = base.rank();
         if config.trace {
@@ -880,16 +946,26 @@ pub fn try_run_distributed(
             let _ = specfem_obs::finish_rank();
         }
         out
-    })
-    .into_iter()
-    .map(|r| match r {
-        Ok(inner) => inner,
-        Err(p) => Err(SolverError::RankPanicked {
-            rank: p.rank,
-            message: p.message,
-        }),
-    })
-    .collect()
+    };
+    let (raw, watchdog) = match config.watchdog_timeout {
+        Some(timeout) => {
+            let wd = specfem_comm::WatchdogConfig::new(timeout);
+            let (raw, report) = ThreadWorld::try_run_watched(nranks, profile, wd, rank_main);
+            (raw, Some(report))
+        }
+        None => (ThreadWorld::try_run(nranks, profile, rank_main), None),
+    };
+    let results = raw
+        .into_iter()
+        .map(|r| match r {
+            Ok(inner) => inner,
+            Err(p) => Err(SolverError::RankPanicked {
+                rank: p.rank,
+                message: p.message,
+            }),
+        })
+        .collect();
+    (results, watchdog)
 }
 
 /// Merge per-rank seismograms into one station-ordered list.
