@@ -1,0 +1,284 @@
+//! Elastic-recovery smoke harness (CI job `elastic`): kill a rank of a
+//! distributed campaign job mid-run, let shrink-to-survive re-admit the
+//! survivors on a smaller world from the merged (rank-count-independent)
+//! checkpoint container, and gate on:
+//!
+//! * the job completes on the shrunken world (report records the shrink),
+//! * its seismograms match a clean oracle inside the cross-decomposition
+//!   roundoff envelope (DESIGN.md §3h),
+//! * the on-disk container parses and matches the published schema
+//!   (magic, schema version, kind, payload version, chunk inventory).
+//!
+//! ```text
+//! elastic_smoke [--nex N] [--steps S] [--out-dir DIR]
+//! ```
+//!
+//! Writes `campaign_report.json`, `container_schema.json`, and
+//! `seismogram_diff.json` into `--out-dir` (default
+//! `OUTPUT_FILES/elastic/`); exits nonzero when any acceptance check
+//! fails.
+
+use specfem_bench::{append_ledger, ledger_dir, ledger_record};
+use specfem_campaign::{Campaign, CampaignConfig, Job};
+use specfem_core::comm::FaultPlan;
+use specfem_core::model::builtin_events;
+use specfem_core::{Simulation, SourceSpec, SourceTimeFunction, StfKind};
+use specfem_io::ContainerReader;
+
+struct Args {
+    nex: usize,
+    steps: usize,
+    out_dir: String,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        nex: 4,
+        steps: 20,
+        out_dir: "OUTPUT_FILES/elastic".into(),
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut val = || {
+            it.next()
+                .unwrap_or_else(|| panic!("missing value for {flag}"))
+        };
+        match flag.as_str() {
+            "--nex" => args.nex = val().parse().expect("--nex"),
+            "--steps" => args.steps = val().parse().expect("--steps"),
+            "--out-dir" => args.out_dir = val(),
+            other => panic!("unknown flag {other}"),
+        }
+    }
+    args
+}
+
+fn smoke_sim(nex: usize, steps: usize) -> Simulation {
+    let event = builtin_events()[0].clone();
+    Simulation::builder()
+        .resolution(nex)
+        .steps(steps)
+        .stations(4)
+        .source(SourceSpec::Cmt {
+            event,
+            stf: SourceTimeFunction::new(StfKind::Ricker, 250.0),
+        })
+        .configure(|c| c.checkpoint_every = 5)
+        .build()
+        .expect("valid smoke simulation")
+}
+
+fn main() {
+    let args = parse_args();
+    let out = std::path::Path::new(&args.out_dir);
+    std::fs::create_dir_all(out).expect("create out dir");
+    let mut failures = Vec::new();
+
+    println!(
+        "== elastic-resume smoke: NEX {}, {} steps ==",
+        args.nex, args.steps
+    );
+
+    // --- clean oracle: the same physics, uninterrupted, serial path.
+    let clean = smoke_sim(args.nex, args.steps).run_serial();
+
+    // --- fault-injected distributed job: one rank dies mid-run; the
+    // retry must shrink the world and resume from the merged container.
+    let ckpt = std::env::temp_dir().join("specfem_elastic_smoke_ckpt");
+    let _ = std::fs::remove_dir_all(&ckpt);
+    let mut faulty = smoke_sim(args.nex, args.steps);
+    let native_world = faulty.params.num_ranks();
+    faulty.config.fault_plan = Some(FaultPlan::new(62_000).kill(1, args.steps * 3 / 5));
+    let mut campaign = Campaign::new(CampaignConfig {
+        workers: 1,
+        checkpoint_root: Some(ckpt.clone()),
+        ..CampaignConfig::default()
+    });
+    campaign.submit(Job::new("elastic_smoke", faulty).distributed());
+    let result = campaign.finish();
+    let report = &result.report;
+    println!("{}", report.render_text());
+
+    let outcome = &result.outcomes[0];
+    if !result.all_ok() {
+        failures.push(format!(
+            "job failed: {}",
+            outcome.result.as_ref().err().cloned().unwrap_or_default()
+        ));
+    }
+    if outcome.attempts < 2 {
+        failures.push("injected kill never fired (no retry recorded)".into());
+    }
+    if report.shrunk_jobs != 1 {
+        failures.push(format!(
+            "expected 1 shrunken job, report says {}",
+            report.shrunk_jobs
+        ));
+    }
+    match outcome.telemetry.final_world {
+        Some(w) if w < native_world => {
+            println!("elastic: world shrank {native_world} -> {w} and completed");
+        }
+        other => failures.push(format!(
+            "expected a shrunken final world below {native_world}, got {other:?}"
+        )),
+    }
+
+    // --- perf ledger: the degradation is a first-class run-over-run
+    // metric, not just a line in the report.
+    if let Ok(got) = outcome.result.as_ref() {
+        let mut record = ledger_record("elastic_smoke", got, "loopback");
+        record
+            .extra
+            .insert("native_world".into(), outcome.telemetry.native_world as f64);
+        record.extra.insert(
+            "final_world".into(),
+            outcome
+                .telemetry
+                .final_world
+                .unwrap_or(outcome.telemetry.native_world) as f64,
+        );
+        record.extra.insert(
+            "world_shrinks".into(),
+            outcome.telemetry.shrink_path.len() as f64,
+        );
+        match append_ledger(&ledger_dir(), "elastic_smoke", &record) {
+            Ok(path) => println!("ledger   : {}", path.display()),
+            Err(e) => failures.push(format!("ledger append failed: {e}")),
+        }
+    }
+
+    // --- seismogram differential vs the clean oracle.
+    let mut diff_rows = Vec::new();
+    let mut max_rel = 0.0f64;
+    if let Ok(got) = outcome.result.as_ref() {
+        if got.seismograms.len() != clean.seismograms.len() {
+            failures.push("station count diverged from the oracle".into());
+        }
+        for (e, g) in clean.seismograms.iter().zip(&got.seismograms) {
+            let scale = e
+                .data
+                .iter()
+                .flat_map(|v| v.iter())
+                .fold(0.0f32, |m, &x| m.max(x.abs()))
+                .max(1e-20);
+            let mut max_abs = 0.0f32;
+            for (ve, vg) in e.data.iter().zip(&g.data) {
+                for c in 0..3 {
+                    max_abs = max_abs.max((ve[c] - vg[c]).abs());
+                }
+            }
+            let rel = f64::from(max_abs) / f64::from(scale);
+            max_rel = max_rel.max(rel);
+            diff_rows.push(format!(
+                "    {{\"station\": \"{}\", \"max_abs_diff\": {:e}, \"scale\": {:e}, \
+                 \"max_rel_diff\": {rel:e}}}",
+                e.station, max_abs, scale
+            ));
+            if rel > 2e-3 {
+                failures.push(format!(
+                    "station {}: relative diff {rel:.2e} above the 2e-3 envelope",
+                    e.station
+                ));
+            }
+        }
+        println!("seismogram diff vs oracle: max relative {max_rel:.2e} (gate 2e-3)");
+    }
+    let diff_json = format!(
+        "{{\n  \"tolerance_rel\": 2e-3,\n  \"max_rel_diff\": {max_rel:e},\n  \
+         \"stations\": [\n{}\n  ]\n}}\n",
+        diff_rows.join(",\n")
+    );
+
+    // --- container schema: open the newest merged checkpoint container
+    // actually written by the run and publish its layout.
+    let job_dir = ckpt.join("elastic_smoke");
+    let mut containers: Vec<_> = std::fs::read_dir(&job_dir)
+        .map(|rd| {
+            rd.filter_map(|e| e.ok())
+                .map(|e| e.path())
+                .filter(|p| p.extension().is_some_and(|x| x == "sfcc"))
+                .collect()
+        })
+        .unwrap_or_default();
+    containers.sort();
+    let schema_json = match containers.last() {
+        None => {
+            failures.push("no merged checkpoint container on disk".into());
+            String::new()
+        }
+        Some(path) => match ContainerReader::open(path) {
+            Err(e) => {
+                failures.push(format!("container does not parse: {e}"));
+                String::new()
+            }
+            Ok(r) => {
+                if r.kind() != specfem_io::checkpoint::CHECKPOINT_KIND {
+                    failures.push(format!("unexpected container kind {:?}", r.kind()));
+                }
+                if r.payload_version() != specfem_io::checkpoint::CHECKPOINT_PAYLOAD_VERSION {
+                    failures.push(format!(
+                        "unexpected payload version {}",
+                        r.payload_version()
+                    ));
+                }
+                let chunks: Vec<String> = r
+                    .chunk_names()
+                    .iter()
+                    .map(|n| {
+                        format!(
+                            "    {{\"name\": \"{n}\", \"bytes\": {}}}",
+                            r.chunk_len(n).unwrap_or(0)
+                        )
+                    })
+                    .collect();
+                for required in ["meta", "displ", "veloc", "accel", "records"] {
+                    if r.chunk_len(required).is_none() {
+                        failures.push(format!("container misses required chunk '{required}'"));
+                    }
+                }
+                println!(
+                    "container: {} ({} chunks, per-chunk CRC-32)",
+                    path.file_name().unwrap().to_string_lossy(),
+                    chunks.len()
+                );
+                format!(
+                    "{{\n  \"magic\": \"SFCN\",\n  \"schema_version\": {},\n  \
+                     \"kind\": \"CKPT\",\n  \"payload_version\": {},\n  \
+                     \"file\": \"{}\",\n  \"chunks\": [\n{}\n  ]\n}}\n",
+                    specfem_io::container::CONTAINER_SCHEMA_VERSION,
+                    specfem_io::checkpoint::CHECKPOINT_PAYLOAD_VERSION,
+                    path.file_name().unwrap().to_string_lossy(),
+                    chunks.join(",\n")
+                )
+            }
+        },
+    };
+
+    // --- artifacts; every JSON must parse (vendored serde_json check).
+    let writes = [
+        ("campaign_report.json", report.to_json()),
+        ("seismogram_diff.json", diff_json),
+        ("container_schema.json", schema_json),
+    ];
+    for (name, body) in &writes {
+        if body.is_empty() {
+            continue;
+        }
+        if let Err(e) = serde_json::from_str(body) {
+            failures.push(format!("{name} is not valid JSON: {e}"));
+        }
+        std::fs::write(out.join(name), body).expect("write artifact");
+        println!("artifact : {}", out.join(name).display());
+    }
+    let _ = std::fs::remove_dir_all(&ckpt);
+
+    if failures.is_empty() {
+        println!("PASS: elastic recovery smoke checks hold");
+    } else {
+        for f in &failures {
+            eprintln!("FAIL: {f}");
+        }
+        std::process::exit(1);
+    }
+}

@@ -71,6 +71,14 @@ pub struct RetryPolicy {
     pub max_retries: usize,
     /// Sleep before attempt `n + 1` is `backoff × n` (linear).
     pub backoff: Duration,
+    /// Elastic recovery for distributed jobs: when an attempt dies of a
+    /// dead or stalled rank, re-admit the next attempt on a world one
+    /// rank smaller (floor 1) instead of replaying the same doomed
+    /// decomposition. Checkpoints are rank-count independent, so the
+    /// shrunken world resumes from the last good generation; the
+    /// degradation is recorded in [`JobTelemetry`] and the
+    /// [`CampaignReport`]. On by default; serial jobs are unaffected.
+    pub shrink_to_survive: bool,
 }
 
 impl Default for RetryPolicy {
@@ -78,8 +86,30 @@ impl Default for RetryPolicy {
         Self {
             max_retries: 1,
             backoff: Duration::from_millis(10),
+            shrink_to_survive: true,
         }
     }
+}
+
+/// Whether a failed attempt is the kind elastic recovery can route
+/// around by shrinking the world: a rank that died or wedged. A dead
+/// peer presents to survivors as `RankDead`, `Stalled`, `Disconnected`,
+/// or — when the receive deadline fires before the dead rank's channel
+/// drops — a plain `Timeout`; from the receiver's seat those are the
+/// same event, so all four shrink. Health trips, protocol corruption,
+/// and checkpoint-store failures would fail on any world size.
+fn shrinkable(e: &specfem_core::solver::SolverError) -> bool {
+    use specfem_core::comm::CommError;
+    use specfem_core::solver::SolverError;
+    matches!(
+        e,
+        SolverError::Comm(
+            CommError::RankDead { .. }
+                | CommError::Stalled { .. }
+                | CommError::Disconnected { .. }
+                | CommError::Timeout { .. }
+        ) | SolverError::RankPanicked { .. }
+    )
 }
 
 /// How a job's solver runs.
@@ -466,6 +496,11 @@ fn run_job(shared: &Shared, worker: usize, queued: QueuedJob) -> JobOutcome {
             .map(|root| root.join(sanitize(&job.name)));
         let mut attempts = 0;
         let mut telemetry = JobTelemetry::default();
+        let native_world = match job.mode {
+            JobMode::Serial => 1,
+            JobMode::Distributed => job.sim.params.num_ranks(),
+        };
+        let mut world_override: Option<usize> = None;
         let result = loop {
             attempts += 1;
             let mut sim = job.sim.clone();
@@ -481,6 +516,7 @@ fn run_job(shared: &Shared, worker: usize, queued: QueuedJob) -> JobOutcome {
                 },
                 checkpoint_dir: checkpoint_dir.as_deref(),
                 resume: checkpoint_dir.is_some(),
+                world: world_override,
             };
             match sim.try_run_with_mesh(&mesh, opts) {
                 Ok(res) => {
@@ -490,6 +526,23 @@ fn run_job(shared: &Shared, worker: usize, queued: QueuedJob) -> JobOutcome {
                 Err(e) => {
                     roll_up_error(&mut telemetry, &e);
                     if attempts <= shared.cfg.retry.max_retries {
+                        if shared.cfg.retry.shrink_to_survive
+                            && job.mode == JobMode::Distributed
+                            && shrinkable(&e)
+                        {
+                            // Shrink-to-survive: one rank is gone, so
+                            // re-admit the survivors on a world one rank
+                            // smaller. The merged checkpoint container is
+                            // rank-count independent — the shrunken world
+                            // resumes from the last good generation.
+                            let cur = world_override.unwrap_or(native_world);
+                            let next = cur.saturating_sub(1).max(1);
+                            if next < cur {
+                                world_override = Some(next);
+                                telemetry.shrink_path.push(next);
+                                specfem_obs::counter_add("campaign.world_shrinks", 1);
+                            }
+                        }
                         std::thread::sleep(shared.cfg.retry.backoff * attempts as u32);
                         continue;
                     }
@@ -497,6 +550,8 @@ fn run_job(shared: &Shared, worker: usize, queued: QueuedJob) -> JobOutcome {
                 }
             }
         };
+        telemetry.native_world = native_world;
+        telemetry.final_world = world_override;
         let element_steps = if result.is_ok() {
             mesh.nspec as u64 * job.sim.config.nsteps as u64
         } else {
@@ -722,6 +777,66 @@ mod tests {
     }
 
     #[test]
+    fn dead_rank_shrinks_the_world_and_finishes() {
+        // A distributed job loses a rank mid-run; shrink-to-survive must
+        // re-admit the retry on a world one rank smaller, resume it from
+        // the merged (rank-count-independent) checkpoint, and record the
+        // degradation in the telemetry and report.
+        let ckpt = std::env::temp_dir().join("specfem_campaign_shrink_ckpt");
+        let _ = std::fs::remove_dir_all(&ckpt);
+        let clean = tiny_sim(4, 20, 0);
+        let expected = clean.run_serial();
+
+        let mut faulty = clean.clone();
+        faulty.config.checkpoint_every = 5;
+        faulty.config.fault_plan = Some(FaultPlan::new(11).kill(2, 12));
+        let mut campaign = Campaign::new(CampaignConfig {
+            workers: 1,
+            checkpoint_root: Some(ckpt.clone()),
+            ..CampaignConfig::default()
+        });
+        campaign.submit(Job::new("elastic", faulty).distributed());
+        let result = campaign.finish();
+        assert!(result.all_ok(), "{}", result.report.render_text());
+        let outcome = &result.outcomes[0];
+        assert_eq!(outcome.attempts, 2, "the kill must actually fire");
+        let t = &outcome.telemetry;
+        assert_eq!(t.native_world, 6);
+        assert_eq!(t.final_world, Some(5), "retry must re-admit on 5 ranks");
+        assert_eq!(t.shrink_path, vec![5]);
+        assert_eq!(result.report.shrunk_jobs, 1);
+        let got = outcome.result.as_ref().unwrap();
+        assert_eq!(got.ranks.len(), 5, "final attempt ran the shrunken world");
+        assert_eq!(got.seismograms.len(), expected.seismograms.len());
+        for (e, g) in expected.seismograms.iter().zip(&got.seismograms) {
+            assert_eq!(e.station, g.station);
+            let scale = e
+                .data
+                .iter()
+                .flat_map(|v| v.iter())
+                .fold(0.0f32, |m, &x| m.max(x.abs()))
+                .max(1e-20);
+            for (ve, vg) in e.data.iter().zip(&g.data) {
+                for c in 0..3 {
+                    assert!(
+                        (ve[c] - vg[c]).abs() <= 2e-3 * scale,
+                        "station {}: serial {} vs shrunken {} (scale {scale})",
+                        e.station,
+                        ve[c],
+                        vg[c]
+                    );
+                }
+            }
+        }
+        let json = result.report.to_json();
+        assert!(json.contains("\"shrunk_jobs\": 1"));
+        assert!(json.contains("\"elastic\""));
+        assert!(json.contains("\"final_world\": 5"));
+        assert!(result.report.render_text().contains("shrunken world"));
+        let _ = std::fs::remove_dir_all(&ckpt);
+    }
+
+    #[test]
     fn unstable_dt_trips_the_health_monitor_and_rolls_up() {
         // A dt far past the Courant bound makes the explicit scheme blow
         // up; the health monitor must abort the job and the campaign
@@ -734,6 +849,7 @@ mod tests {
             retry: RetryPolicy {
                 max_retries: 0,
                 backoff: Duration::from_millis(1),
+                ..RetryPolicy::default()
             },
             ..CampaignConfig::default()
         });
@@ -764,6 +880,7 @@ mod tests {
             retry: RetryPolicy {
                 max_retries: 0,
                 backoff: Duration::from_millis(1),
+                ..RetryPolicy::default()
             },
             ..CampaignConfig::default()
         });

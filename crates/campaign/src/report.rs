@@ -36,6 +36,14 @@ pub struct JobTelemetry {
     pub watchdog_max_skew_steps: Option<u64>,
     /// Ranks the watchdog flagged as stalled across all attempts.
     pub watchdog_stalled_ranks: Vec<usize>,
+    /// The job's native world size (1 for serial jobs).
+    pub native_world: usize,
+    /// World sizes adopted by shrink-to-survive retries, in order; empty
+    /// when the job never shrank.
+    pub shrink_path: Vec<usize>,
+    /// World size of the final attempt when elastic retry shrank it below
+    /// the native decomposition (`None` = ran at native size).
+    pub final_world: Option<usize>,
 }
 
 impl JobTelemetry {
@@ -107,6 +115,8 @@ pub struct CampaignReport {
     pub health_trips: usize,
     /// Jobs on which the straggler watchdog flagged a stall.
     pub stalled_jobs: usize,
+    /// Jobs that finished on a shrunken world (elastic recovery engaged).
+    pub shrunk_jobs: usize,
 }
 
 impl CampaignReport {
@@ -148,6 +158,10 @@ impl CampaignReport {
             .iter()
             .filter(|o| !o.telemetry.watchdog_stalled_ranks.is_empty())
             .count();
+        let shrunk_jobs = outcomes
+            .iter()
+            .filter(|o| o.telemetry.final_world.is_some())
+            .count();
         CampaignReport {
             workers,
             total_wall_s,
@@ -159,6 +173,7 @@ impl CampaignReport {
             failed_jobs,
             health_trips,
             stalled_jobs,
+            shrunk_jobs,
         }
     }
 
@@ -193,6 +208,12 @@ impl CampaignReport {
                 self.health_trips, self.stalled_jobs
             ));
         }
+        if self.shrunk_jobs > 0 {
+            out.push_str(&format!(
+                "  elastic         : {} job(s) finished on a shrunken world\n",
+                self.shrunk_jobs
+            ));
+        }
         out.push_str(
             "  job                        wkr  att  cache         queue_s    run_s  status\n",
         );
@@ -214,6 +235,12 @@ impl CampaignReport {
                 out.push_str(&format!(
                     "    watchdog: stalled ranks {:?}\n",
                     j.telemetry.watchdog_stalled_ranks
+                ));
+            }
+            if let Some(final_world) = j.telemetry.final_world {
+                out.push_str(&format!(
+                    "    elastic: shrank {} -> {} ranks (path {:?})\n",
+                    j.telemetry.native_world, final_world, j.telemetry.shrink_path
                 ));
             }
         }
@@ -239,6 +266,7 @@ impl CampaignReport {
         out.push_str(&format!("  \"failed_jobs\": {},\n", self.failed_jobs));
         out.push_str(&format!("  \"health_trips\": {},\n", self.health_trips));
         out.push_str(&format!("  \"stalled_jobs\": {},\n", self.stalled_jobs));
+        out.push_str(&format!("  \"shrunk_jobs\": {},\n", self.shrunk_jobs));
         out.push_str(&format!(
             "  \"cache\": {{\"hits\": {}, \"derived_hits\": {}, \"disk_hits\": {}, \
              \"misses\": {}, \"evictions\": {}}},\n",
@@ -322,6 +350,15 @@ fn telemetry_json(t: &JobTelemetry) -> String {
             ", \"watchdog\": {{\"max_skew_steps\": {}, \"stalled_ranks\": [{}]}}",
             t.watchdog_max_skew_steps.unwrap_or(0),
             ranks.join(", ")
+        ));
+    }
+    if t.final_world.is_some() || !t.shrink_path.is_empty() {
+        let path: Vec<String> = t.shrink_path.iter().map(|w| w.to_string()).collect();
+        out.push_str(&format!(
+            ", \"elastic\": {{\"native_world\": {}, \"final_world\": {}, \"shrink_path\": [{}]}}",
+            t.native_world,
+            t.final_world.unwrap_or(t.native_world),
+            path.join(", ")
         ));
     }
     out

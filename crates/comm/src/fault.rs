@@ -65,6 +65,28 @@ impl FaultSpec {
     }
 }
 
+/// How an on-disk artifact (checkpoint/mesh container) gets damaged.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ArtifactFaultKind {
+    /// Flip one bit in the middle of the file — a chunk CRC must catch it.
+    BitFlip,
+    /// Cut the file short — the footer parse must reject it.
+    Truncate,
+    /// Scribble over the leading magic/version words.
+    TornHeader,
+}
+
+/// One scheduled artifact fault, keyed by write sequence number: the
+/// `nth_write`-th artifact (0-based) a store completes gets damaged
+/// immediately after it lands on disk.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ArtifactFaultSpec {
+    /// Which completed artifact write the fault hits (0-based).
+    pub nth_write: usize,
+    /// The damage applied.
+    pub kind: ArtifactFaultKind,
+}
+
 /// A deterministic schedule of faults for a whole world.
 #[derive(Debug, Clone, PartialEq)]
 pub struct FaultPlan {
@@ -72,6 +94,9 @@ pub struct FaultPlan {
     pub seed: u64,
     /// The scheduled faults.
     pub faults: Vec<FaultSpec>,
+    /// Scheduled artifact (storage) faults, applied by the stores in
+    /// `specfem-io` rather than the communicator.
+    pub artifact_faults: Vec<ArtifactFaultSpec>,
 }
 
 impl Default for FaultPlan {
@@ -79,6 +104,7 @@ impl Default for FaultPlan {
         Self {
             seed: 0x5eed_f417,
             faults: Vec::new(),
+            artifact_faults: Vec::new(),
         }
     }
 }
@@ -89,6 +115,7 @@ impl FaultPlan {
         Self {
             seed,
             faults: Vec::new(),
+            artifact_faults: Vec::new(),
         }
     }
 
@@ -147,6 +174,17 @@ impl FaultPlan {
         self
     }
 
+    /// Damage the `nth_write`-th artifact a store completes (builder
+    /// style). The stores in `specfem-io` consult the plan after each
+    /// atomic write and apply the damage to the just-landed file, so the
+    /// recovery path (typed error + fall back to the previous good
+    /// generation) is exercised end to end.
+    pub fn corrupt_artifact(mut self, nth_write: usize, kind: ArtifactFaultKind) -> Self {
+        self.artifact_faults
+            .push(ArtifactFaultSpec { nth_write, kind });
+        self
+    }
+
     /// The faults that apply to `rank`.
     pub fn for_rank(&self, rank: usize) -> Vec<FaultSpec> {
         self.faults
@@ -154,6 +192,15 @@ impl FaultPlan {
             .filter(|f| f.rank == rank)
             .cloned()
             .collect()
+    }
+
+    /// The artifact fault scheduled for completed write number `seq`
+    /// (0-based), if any.
+    pub fn artifact_fault(&self, seq: usize) -> Option<ArtifactFaultKind> {
+        self.artifact_faults
+            .iter()
+            .find(|f| f.nth_write == seq)
+            .map(|f| f.kind)
     }
 }
 
@@ -456,6 +503,18 @@ mod tests {
             ..f
         };
         assert!(forever.active_at(1_000_000));
+    }
+
+    #[test]
+    fn artifact_faults_are_keyed_by_write_sequence() {
+        let plan = FaultPlan::new(1)
+            .corrupt_artifact(0, ArtifactFaultKind::BitFlip)
+            .corrupt_artifact(2, ArtifactFaultKind::Truncate);
+        assert_eq!(plan.artifact_fault(0), Some(ArtifactFaultKind::BitFlip));
+        assert_eq!(plan.artifact_fault(1), None);
+        assert_eq!(plan.artifact_fault(2), Some(ArtifactFaultKind::Truncate));
+        // Comm-side faulting is unaffected by artifact faults.
+        assert!(plan.for_rank(0).is_empty());
     }
 
     #[test]

@@ -31,7 +31,9 @@ pub mod virtual_net;
 pub mod watchdog;
 
 pub use error::CommError;
-pub use fault::{FaultKind, FaultPlan, FaultSpec, FaultStats, FaultyComm};
+pub use fault::{
+    ArtifactFaultKind, ArtifactFaultSpec, FaultKind, FaultPlan, FaultSpec, FaultStats, FaultyComm,
+};
 pub use halo::{
     assemble_halo, exchange_halo, finish_halo_assembly, post_halo_exchange, HaloPlan, Neighbor,
 };

@@ -164,6 +164,11 @@ pub struct StallEvent {
 /// What the monitor observed over the run.
 #[derive(Debug, Clone, Default)]
 pub struct WatchdogReport {
+    /// The world size the monitor actually watched. On an elastic
+    /// (shrink-to-survive) resume this is the *post-shrink* world — the
+    /// heartbeat table is rebuilt per attempt, so the report and the
+    /// `watchdog.*` gauges never echo the original world size.
+    pub world_size: usize,
     /// Largest cross-rank step skew seen on any poll (max − min over
     /// ranks still running).
     pub max_skew_steps: u64,
@@ -202,9 +207,11 @@ pub(crate) fn monitor_loop(
         .collect();
     let mut metrics = MetricsRegistry::default();
     let mut report = WatchdogReport {
+        world_size: size,
         last_steps: vec![None; size],
         ..WatchdogReport::default()
     };
+    metrics.gauge_set("watchdog.world_size", size as f64);
     let poll = config.effective_poll();
     let timeout_ns = config.timeout.as_nanos() as u64;
     let mut flagged = vec![false; size];
@@ -305,6 +312,8 @@ mod tests {
             h.join().unwrap()
         });
         assert!(report.max_skew_steps > 0, "{report:?}");
+        assert_eq!(report.world_size, 2);
+        assert_eq!(report.metrics.gauges["watchdog.world_size"], 2.0);
         assert!(report.stalled());
         assert_eq!(report.stalls[0].rank, 1);
         assert_eq!(report.stalls[0].last_step, Some(0));

@@ -450,10 +450,9 @@ impl Simulation {
         opts: RunOptions<'_>,
         mesher_profile: Option<obs::RankProfile>,
     ) -> Result<SimulationResult, solver::SolverError> {
+        use specfem_mesh::LocalMesh;
         use specfem_solver::checkpoint::{CheckpointSink, CheckpointState};
 
-        let serial = opts.profile.is_none();
-        let nranks = if serial { 1 } else { self.params.num_ranks() };
         let store = match opts.checkpoint_dir {
             Some(dir) => Some(
                 specfem_io::CheckpointStore::new(dir).map_err(solver::SolverError::Checkpoint)?,
@@ -464,13 +463,25 @@ impl Simulation {
         let restore_fn;
         let mut ft = solver::FtOptions::default();
         if let Some(store) = &store {
+            store.set_keep(self.config.checkpoint_keep);
+            if let Some(plan) = &self.config.fault_plan {
+                store.set_fault_plan(plan.clone());
+            }
             sink_factory = move |rank: usize| -> Box<dyn CheckpointSink> { store.sink(rank) };
             ft.sink_factory = Some(&sink_factory);
             if opts.resume {
-                restore_fn = store.restore_latest(nranks);
+                // The store scatters merged global state onto whatever
+                // decomposition this run uses — the checkpoint's writer
+                // world size does not have to match ours (elastic resume).
+                restore_fn =
+                    move |rank: usize, local: &LocalMesh| store.restore_latest_for(rank, local);
                 ft.restore = Some(
                     &restore_fn
-                        as &(dyn Fn(usize) -> Result<Option<CheckpointState>, solver::CheckpointError>
+                        as &(dyn Fn(
+                            usize,
+                            &LocalMesh,
+                        )
+                            -> Result<Option<CheckpointState>, solver::CheckpointError>
                               + Sync),
                 );
             }
@@ -487,13 +498,29 @@ impl Simulation {
                 None,
             ),
             Some(profile) => {
-                let (per_rank, watchdog) = specfem_solver::try_run_distributed_watched(
-                    mesh,
-                    &self.config,
-                    &self.stations,
-                    profile,
-                    ft,
-                );
+                let (per_rank, watchdog) = match opts.world {
+                    // Elastic world override: a balanced contiguous
+                    // partition works for any rank count, not just the
+                    // mesher's native 6·NPROC² decomposition.
+                    Some(world) => {
+                        let partition = Partition::balanced(mesh, world.max(1));
+                        specfem_solver::try_run_partitioned(
+                            mesh,
+                            &self.config,
+                            &self.stations,
+                            profile,
+                            ft,
+                            &partition,
+                        )
+                    }
+                    None => specfem_solver::try_run_distributed_watched(
+                        mesh,
+                        &self.config,
+                        &self.stations,
+                        profile,
+                        ft,
+                    ),
+                };
                 let mut ranks = Vec::with_capacity(per_rank.len());
                 for r in per_rank {
                     ranks.push(r?);
@@ -541,6 +568,30 @@ impl Simulation {
         self.run_fault_tolerant(profile, checkpoint_dir, true)
     }
 
+    /// [`Simulation::resume_from_checkpoint`] at a *different* world size:
+    /// the elastic-recovery entry point. The merged checkpoint container is
+    /// rank-count independent, so a run checkpointed at `6 × NPROC_XI²`
+    /// ranks can be re-admitted on `world` survivors (the campaign
+    /// runtime's shrink-to-survive path) or grown onto a larger world.
+    pub fn resume_elastic(
+        &self,
+        profile: NetworkProfile,
+        checkpoint_dir: &std::path::Path,
+        world: usize,
+    ) -> Result<SimulationResult, solver::SolverError> {
+        let (mesh, mesher_profile) = self.build_mesh();
+        self.try_run_inner(
+            &mesh,
+            RunOptions {
+                profile: Some(profile),
+                checkpoint_dir: Some(checkpoint_dir),
+                resume: true,
+                world: Some(world),
+            },
+            mesher_profile,
+        )
+    }
+
     fn run_fault_tolerant(
         &self,
         profile: NetworkProfile,
@@ -554,6 +605,7 @@ impl Simulation {
                 profile: Some(profile),
                 checkpoint_dir: Some(checkpoint_dir),
                 resume,
+                world: None,
             },
             mesher_profile,
         )
@@ -571,6 +623,13 @@ pub struct RunOptions<'a> {
     /// Restore from the newest complete checkpoint in `checkpoint_dir`
     /// before running (a cold start when the directory is empty).
     pub resume: bool,
+    /// Override the distributed world size (elastic resume): partition the
+    /// mesh into this many balanced contiguous slices instead of the native
+    /// `6 × NPROC_XI²` decomposition. Checkpoints are rank-count
+    /// independent, so a run checkpointed at one world size can resume at
+    /// another. Ignored on the serial path (`profile = None`); clamped to
+    /// at least 1.
+    pub world: Option<usize>,
 }
 
 /// Builder for [`Simulation`].
@@ -730,6 +789,16 @@ impl SimulationBuilder {
     /// build.
     pub fn health_every(mut self, every: usize) -> Self {
         self.config.health_every = every;
+        self
+    }
+
+    /// Checkpoint generations retained on disk (`Par_file` key
+    /// `CHECKPOINT_KEEP`, default 2, clamped to at least 1). Older merged
+    /// containers are pruned after each successful write; keeping more than
+    /// one generation is what lets resume fall back past a corrupt latest
+    /// artifact.
+    pub fn checkpoint_keep(mut self, keep: usize) -> Self {
+        self.config.checkpoint_keep = keep.max(1);
         self
     }
 

@@ -30,6 +30,7 @@
 //! METRICS_EVERY          = 10          # step-timing sample cadence
 //! HEALTH_EVERY           = 0           # numerical-health sample cadence, 0 = off
 //! WATCHDOG_TIMEOUT_MS    = 0           # straggler watchdog heartbeat deadline, 0 = off
+//! CHECKPOINT_KEEP        = 2           # merged checkpoint generations kept on disk (>= 1)
 //! # campaign runtime (read via [`campaign_knobs_from_parfile`])
 //! CAMPAIGN_WORKERS       = 0           # worker pool size, 0 = auto
 //! MESH_CACHE_BYTES       = 512M        # cache ceiling, 0 = unbounded (K/M/G ok)
@@ -221,6 +222,13 @@ pub fn simulation_from_parfile(text: &str) -> Result<Simulation, String> {
             builder = builder.watchdog_timeout(std::time::Duration::from_millis(ms as u64));
         }
     }
+    if let Some(v) = get("CHECKPOINT_KEEP") {
+        let keep = parse_num("CHECKPOINT_KEEP", v)?;
+        if keep < 1.0 {
+            return Err(format!("CHECKPOINT_KEEP: must be >= 1, got {v}"));
+        }
+        builder = builder.checkpoint_keep(keep as usize);
+    }
     let dt = get("DT")
         .map(|v| parse_num("DT", v))
         .transpose()?
@@ -327,6 +335,19 @@ NSTATIONS    = 4
         // Errors are reported, not swallowed.
         assert!(simulation_from_parfile("NEX_XI = 4\nHEALTH_EVERY = often\n").is_err());
         assert!(simulation_from_parfile("NEX_XI = 4\nWATCHDOG_TIMEOUT_MS = -5\n").is_err());
+    }
+
+    #[test]
+    fn checkpoint_keep_key() {
+        // Default is two generations (fallback depth 1).
+        let sim = simulation_from_parfile("NEX_XI = 4\n").unwrap();
+        assert_eq!(sim.config.checkpoint_keep, 2);
+        let sim = simulation_from_parfile("NEX_XI = 4\nCHECKPOINT_KEEP = 5\n").unwrap();
+        assert_eq!(sim.config.checkpoint_keep, 5);
+        // Zero/negative/garbage are rejected, not clamped silently.
+        assert!(simulation_from_parfile("NEX_XI = 4\nCHECKPOINT_KEEP = 0\n").is_err());
+        assert!(simulation_from_parfile("NEX_XI = 4\nCHECKPOINT_KEEP = -1\n").is_err());
+        assert!(simulation_from_parfile("NEX_XI = 4\nCHECKPOINT_KEEP = lots\n").is_err());
     }
 
     #[test]

@@ -14,11 +14,13 @@
 //! `specfem-solver` takes the `LocalMesh` directly.
 
 pub mod checkpoint;
+pub mod container;
 pub mod mesh_artifact;
 pub mod seismograms;
 
-pub use checkpoint::CheckpointStore;
-pub use mesh_artifact::{ArtifactError, MeshArtifactStore};
+pub use checkpoint::{scatter_state, CheckpointStore, GlobalCheckpoint};
+pub use container::{ArtifactError, ContainerReader, ContainerWriter};
+pub use mesh_artifact::{decode_mesh, encode_mesh, MeshArtifactStore};
 
 use std::fs::{self, File};
 use std::io::{self, BufReader, BufWriter, Read, Write};

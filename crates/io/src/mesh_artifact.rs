@@ -5,135 +5,38 @@
 //! the spirit of Hapla et al.'s checkpointed DMPlex meshes) so separate
 //! campaign processes can share builds through the filesystem.
 //!
-//! The format follows the checkpoint codec conventions of
-//! `specfem_solver::checkpoint`: `"SFMA"` magic, a format version, a
-//! little-endian body, and a trailing CRC-32 (IEEE, the same `crc32`) over
-//! everything before it. Files are named by the [`MeshKey`]'s fingerprint
-//! hex and carry the fingerprint in the header, so a stale or mis-filed
-//! artifact can never be silently loaded for the wrong configuration.
-//! Writes are atomic (tmp + rename), matching [`super::CheckpointStore`].
+//! Since the container unification the payload lives in the shared `"SFCN"`
+//! chunk format of [`crate::container`] (kind `"MESH"`): each mesh array is
+//! its own CRC-guarded chunk, so a bit flip is pinned to a named chunk with
+//! expected-vs-actual checksums. Files are named by the [`MeshKey`]'s
+//! fingerprint hex and carry the fingerprint in the `meta` chunk, so a
+//! stale or mis-filed artifact can never be silently loaded for the wrong
+//! configuration. Writes are atomic (tmp + fsync + rename), matching
+//! [`super::CheckpointStore`].
 
-use std::fmt;
 use std::fs;
-use std::io::Write;
+use std::io::Cursor;
 use std::path::{Path, PathBuf};
+use std::sync::{Arc, Mutex};
 
+use specfem_comm::{ArtifactFaultKind, FaultPlan};
 use specfem_gll::GllBasis;
 use specfem_mesh::build::ElementHome;
 use specfem_mesh::{
     CubeAssignment, ElementOrder, GlobalMesh, LayerPlan, MeshKey, MeshMode, MeshParams, MeshRegion,
     MesherReport, Shell,
 };
-use specfem_solver::checkpoint::crc32;
 
-/// Current mesh-artifact format version.
-pub const MESH_FORMAT_VERSION: u32 = 1;
+use crate::container::{
+    io_err, put_f64, put_u64, put_u8, write_container_atomic, ArtifactError, ByteReader,
+    ContainerReader, ContainerWriter,
+};
 
-/// File magic: "SFMA" = SpecFem Mesh Artifact.
-pub const MESH_MAGIC: [u8; 4] = *b"SFMA";
+/// Container kind tag for mesh artifacts.
+pub const MESH_KIND: [u8; 4] = *b"MESH";
 
-/// A mesh-artifact failure (encode, decode, I/O, or key mismatch).
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct ArtifactError(pub String);
-
-impl fmt::Display for ArtifactError {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "mesh artifact error: {}", self.0)
-    }
-}
-
-impl std::error::Error for ArtifactError {}
-
-fn io_err(context: &str, e: std::io::Error) -> ArtifactError {
-    ArtifactError(format!("{context}: {e}"))
-}
-
-// ---- scalar / slice encoding helpers (checkpoint codec conventions) ----
-
-fn put_u8(out: &mut Vec<u8>, v: u8) {
-    out.push(v);
-}
-
-fn put_u32(out: &mut Vec<u8>, v: u32) {
-    out.extend_from_slice(&v.to_le_bytes());
-}
-
-fn put_u64(out: &mut Vec<u8>, v: u64) {
-    out.extend_from_slice(&v.to_le_bytes());
-}
-
-fn put_f64(out: &mut Vec<u8>, v: f64) {
-    out.extend_from_slice(&v.to_le_bytes());
-}
-
-fn put_f32_slice(out: &mut Vec<u8>, v: &[f32]) {
-    put_u64(out, v.len() as u64);
-    for &x in v {
-        out.extend_from_slice(&x.to_le_bytes());
-    }
-}
-
-fn put_u32_slice(out: &mut Vec<u8>, v: &[u32]) {
-    put_u64(out, v.len() as u64);
-    for &x in v {
-        out.extend_from_slice(&x.to_le_bytes());
-    }
-}
-
-struct Reader<'a> {
-    buf: &'a [u8],
-    pos: usize,
-}
-
-impl<'a> Reader<'a> {
-    fn take(&mut self, n: usize) -> Result<&'a [u8], ArtifactError> {
-        if self.pos + n > self.buf.len() {
-            return Err(ArtifactError(format!(
-                "truncated mesh artifact: need {} bytes at offset {}, have {}",
-                n,
-                self.pos,
-                self.buf.len() - self.pos
-            )));
-        }
-        let s = &self.buf[self.pos..self.pos + n];
-        self.pos += n;
-        Ok(s)
-    }
-
-    fn u8(&mut self) -> Result<u8, ArtifactError> {
-        Ok(self.take(1)?[0])
-    }
-
-    fn u32(&mut self) -> Result<u32, ArtifactError> {
-        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
-    }
-
-    fn u64(&mut self) -> Result<u64, ArtifactError> {
-        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
-    }
-
-    fn f64(&mut self) -> Result<f64, ArtifactError> {
-        Ok(f64::from_le_bytes(self.take(8)?.try_into().unwrap()))
-    }
-
-    fn f32_vec(&mut self) -> Result<Vec<f32>, ArtifactError> {
-        let n = self.u64()? as usize;
-        let raw = self.take(n * 4)?;
-        Ok(raw
-            .chunks_exact(4)
-            .map(|c| f32::from_le_bytes(c.try_into().unwrap()))
-            .collect())
-    }
-
-    fn u32_vec(&mut self) -> Result<Vec<u32>, ArtifactError> {
-        let n = self.u64()? as usize;
-        let raw = self.take(n * 4)?;
-        Ok(raw
-            .chunks_exact(4)
-            .map(|c| u32::from_le_bytes(c.try_into().unwrap()))
-            .collect())
-    }
-}
+/// Version of the mesh payload layout.
+pub const MESH_FORMAT_VERSION: u32 = 2;
 
 fn region_tag(r: MeshRegion) -> u8 {
     match r {
@@ -144,13 +47,13 @@ fn region_tag(r: MeshRegion) -> u8 {
     }
 }
 
-fn region_from_tag(t: u8) -> Result<MeshRegion, ArtifactError> {
+fn region_from_tag(r: &ByteReader<'_>, t: u8) -> Result<MeshRegion, ArtifactError> {
     Ok(match t {
         0 => MeshRegion::CrustMantle,
         1 => MeshRegion::OuterCore,
         2 => MeshRegion::InnerCore,
         3 => MeshRegion::CentralCube,
-        _ => return Err(ArtifactError(format!("bad region tag {t}"))),
+        _ => return Err(r.format_err(format!("bad region tag {t}"))),
     })
 }
 
@@ -209,13 +112,13 @@ fn encode_params(out: &mut Vec<u8>, p: &MeshParams) {
     put_u8(out, p.legacy_two_pass_materials as u8);
 }
 
-fn decode_params(r: &mut Reader<'_>) -> Result<MeshParams, ArtifactError> {
+fn decode_params(r: &mut ByteReader<'_>) -> Result<MeshParams, ArtifactError> {
     let mode_tag = r.u8()?;
     let r_min = r.f64()?;
     let mode = match mode_tag {
         0 => MeshMode::Global,
         1 => MeshMode::Regional { r_min },
-        t => return Err(ArtifactError(format!("bad mode tag {t}"))),
+        t => return Err(r.format_err(format!("bad mode tag {t}"))),
     };
     let nex_xi = r.u64()? as usize;
     let nproc_xi = r.u64()? as usize;
@@ -229,7 +132,7 @@ fn decode_params(r: &mut Reader<'_>) -> Result<MeshParams, ArtifactError> {
     let cube_assignment = match r.u8()? {
         0 => CubeAssignment::SingleRank,
         1 => CubeAssignment::TwoRanks,
-        t => return Err(ArtifactError(format!("bad cube-assignment tag {t}"))),
+        t => return Err(r.format_err(format!("bad cube-assignment tag {t}"))),
     };
     let order_tag = r.u8()?;
     let order_arg = r.u64()?;
@@ -240,7 +143,7 @@ fn decode_params(r: &mut Reader<'_>) -> Result<MeshParams, ArtifactError> {
         3 => ElementOrder::MultilevelCuthillMcKee {
             block: order_arg as usize,
         },
-        t => return Err(ArtifactError(format!("bad element-order tag {t}"))),
+        t => return Err(r.format_err(format!("bad element-order tag {t}"))),
     };
     let legacy_two_pass_materials = r.u8()? != 0;
     Ok(MeshParams {
@@ -258,120 +161,196 @@ fn decode_params(r: &mut Reader<'_>) -> Result<MeshParams, ArtifactError> {
     })
 }
 
-/// Serialize a built mesh to the versioned, checksummed artifact format.
-/// `fingerprint` is the full [`MeshKey`] fingerprint the artifact is filed
-/// under; it is stored in the header and re-verified at load.
-pub fn encode_mesh(mesh: &GlobalMesh, fingerprint: u64) -> Vec<u8> {
-    let mut out = Vec::new();
-    out.extend_from_slice(&MESH_MAGIC);
-    put_u32(&mut out, MESH_FORMAT_VERSION);
-    put_u64(&mut out, fingerprint);
-    encode_params(&mut out, &mesh.params);
-    put_u64(&mut out, mesh.nspec as u64);
-    put_u64(&mut out, mesh.nglob as u64);
-    put_u32_slice(&mut out, &mesh.ibool);
-    put_u64(&mut out, mesh.coords.len() as u64);
-    for p in &mesh.coords {
-        for &x in p {
-            put_f64(&mut out, x);
-        }
+fn raw_f32s(v: &[f32]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(v.len() * 4);
+    for &x in v {
+        out.extend_from_slice(&x.to_le_bytes());
     }
-    put_u64(&mut out, mesh.region.len() as u64);
-    for &reg in &mesh.region {
-        put_u8(&mut out, region_tag(reg));
-    }
-    put_u64(&mut out, mesh.home.len() as u64);
-    for &h in &mesh.home {
-        match h {
-            ElementHome::Shell { chunk, ix, iy } => {
-                put_u8(&mut out, 0);
-                put_u8(&mut out, chunk);
-                out.extend_from_slice(&ix.to_le_bytes());
-                out.extend_from_slice(&iy.to_le_bytes());
-                out.extend_from_slice(&0u16.to_le_bytes());
-            }
-            ElementHome::Cube { i, j, k } => {
-                put_u8(&mut out, 1);
-                put_u8(&mut out, 0);
-                out.extend_from_slice(&i.to_le_bytes());
-                out.extend_from_slice(&j.to_le_bytes());
-                out.extend_from_slice(&k.to_le_bytes());
-            }
-        }
-    }
-    put_f32_slice(&mut out, &mesh.rho);
-    put_f32_slice(&mut out, &mesh.kappa);
-    put_f32_slice(&mut out, &mesh.mu);
-    put_f32_slice(&mut out, &mesh.qmu);
-    // Layer plan.
-    put_u64(&mut out, mesh.layer_plan.shells.len() as u64);
-    for s in &mesh.layer_plan.shells {
-        put_f64(&mut out, s.r_in);
-        put_f64(&mut out, s.r_out);
-        put_u8(&mut out, region_tag(s.region));
-        put_u64(&mut out, s.n_layers as u64);
-    }
-    put_f64(&mut out, mesh.layer_plan.cube_half_width);
-    // Mesher report (provenance: what the original build cost).
-    put_f64(&mut out, mesh.report.geometry_seconds);
-    put_f64(&mut out, mesh.report.material_seconds);
-    put_f64(&mut out, mesh.report.numbering_seconds);
-    put_u8(&mut out, mesh.report.passes);
-    for &n in &mesh.report.elements_per_region {
-        put_u64(&mut out, n as u64);
-    }
-    let crc = crc32(&out);
-    put_u32(&mut out, crc);
     out
 }
 
-/// Deserialize an artifact, rejecting bad magic, unknown versions,
-/// truncation, checksum mismatches, and — when `expect_fingerprint` is
-/// given — artifacts filed under a different mesh key.
-pub fn decode_mesh(
-    buf: &[u8],
-    expect_fingerprint: Option<u64>,
-) -> Result<GlobalMesh, ArtifactError> {
-    if buf.len() < MESH_MAGIC.len() + 8 {
-        return Err(ArtifactError(format!(
-            "file too short ({} bytes) to be a mesh artifact",
-            buf.len()
-        )));
+fn raw_u32s(v: &[u32]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(v.len() * 4);
+    for &x in v {
+        out.extend_from_slice(&x.to_le_bytes());
     }
-    let (body, crc_bytes) = buf.split_at(buf.len() - 4);
-    let stored = u32::from_le_bytes(crc_bytes.try_into().unwrap());
-    let computed = crc32(body);
-    if stored != computed {
-        return Err(ArtifactError(format!(
-            "checksum mismatch: stored {stored:#010x}, computed {computed:#010x}"
-        )));
+    out
+}
+
+fn from_raw_f32s(buf: &[u8], file: &str, name: &str) -> Result<Vec<f32>, ArtifactError> {
+    if !buf.len().is_multiple_of(4) {
+        return Err(ArtifactError::Format {
+            file: file.to_string(),
+            detail: format!("chunk '{name}' length {} is not f32-aligned", buf.len()),
+        });
     }
-    let mut r = Reader { buf: body, pos: 0 };
-    let magic = r.take(4)?;
-    if magic != MESH_MAGIC {
-        return Err(ArtifactError(format!("bad magic {magic:?}")));
+    Ok(buf
+        .chunks_exact(4)
+        .map(|c| f32::from_le_bytes(c.try_into().unwrap()))
+        .collect())
+}
+
+fn from_raw_u32s(buf: &[u8], file: &str, name: &str) -> Result<Vec<u32>, ArtifactError> {
+    if !buf.len().is_multiple_of(4) {
+        return Err(ArtifactError::Format {
+            file: file.to_string(),
+            detail: format!("chunk '{name}' length {} is not u32-aligned", buf.len()),
+        });
     }
-    let version = r.u32()?;
-    if version != MESH_FORMAT_VERSION {
-        return Err(ArtifactError(format!(
-            "unsupported mesh format version {version} (this build reads {MESH_FORMAT_VERSION})"
-        )));
-    }
-    let fingerprint = r.u64()?;
-    if let Some(expect) = expect_fingerprint {
-        if fingerprint != expect {
-            return Err(ArtifactError(format!(
-                "mesh key mismatch: artifact {fingerprint:016x}, expected {expect:016x}"
-            )));
+    Ok(buf
+        .chunks_exact(4)
+        .map(|c| u32::from_le_bytes(c.try_into().unwrap()))
+        .collect())
+}
+
+/// Emit every chunk of a mesh payload through `w`.
+fn write_chunks<W: std::io::Write>(
+    w: &mut ContainerWriter<W>,
+    mesh: &GlobalMesh,
+    fingerprint: u64,
+) -> Result<(), ArtifactError> {
+    let mut meta = Vec::new();
+    put_u64(&mut meta, fingerprint);
+    put_u64(&mut meta, mesh.nspec as u64);
+    put_u64(&mut meta, mesh.nglob as u64);
+    w.chunk("meta", &meta)?;
+
+    let mut params = Vec::new();
+    encode_params(&mut params, &mesh.params);
+    w.chunk("params", &params)?;
+
+    w.chunk("ibool", &raw_u32s(&mesh.ibool))?;
+
+    let mut coords = Vec::with_capacity(mesh.coords.len() * 24);
+    for p in &mesh.coords {
+        for &x in p {
+            coords.extend_from_slice(&x.to_le_bytes());
         }
     }
-    let params = decode_params(&mut r)?;
-    let nspec = r.u64()? as usize;
-    let nglob = r.u64()? as usize;
-    let ibool = r.u32_vec()?;
-    let ncoords = r.u64()? as usize;
-    let raw = r.take(ncoords * 24)?;
-    let coords: Vec<[f64; 3]> = raw
+    w.chunk("coords", &coords)?;
+
+    let region: Vec<u8> = mesh.region.iter().map(|&r| region_tag(r)).collect();
+    w.chunk("region", &region)?;
+
+    let mut home = Vec::with_capacity(mesh.home.len() * 8);
+    for &h in &mesh.home {
+        match h {
+            ElementHome::Shell { chunk, ix, iy } => {
+                home.push(0);
+                home.push(chunk);
+                home.extend_from_slice(&ix.to_le_bytes());
+                home.extend_from_slice(&iy.to_le_bytes());
+                home.extend_from_slice(&0u16.to_le_bytes());
+            }
+            ElementHome::Cube { i, j, k } => {
+                home.push(1);
+                home.push(0);
+                home.extend_from_slice(&i.to_le_bytes());
+                home.extend_from_slice(&j.to_le_bytes());
+                home.extend_from_slice(&k.to_le_bytes());
+            }
+        }
+    }
+    w.chunk("home", &home)?;
+
+    w.chunk("rho", &raw_f32s(&mesh.rho))?;
+    w.chunk("kappa", &raw_f32s(&mesh.kappa))?;
+    w.chunk("mu", &raw_f32s(&mesh.mu))?;
+    w.chunk("qmu", &raw_f32s(&mesh.qmu))?;
+
+    let mut layers = Vec::new();
+    put_u64(&mut layers, mesh.layer_plan.shells.len() as u64);
+    for s in &mesh.layer_plan.shells {
+        put_f64(&mut layers, s.r_in);
+        put_f64(&mut layers, s.r_out);
+        put_u8(&mut layers, region_tag(s.region));
+        put_u64(&mut layers, s.n_layers as u64);
+    }
+    put_f64(&mut layers, mesh.layer_plan.cube_half_width);
+    w.chunk("layers", &layers)?;
+
+    // Mesher report (provenance: what the original build cost).
+    let mut report = Vec::new();
+    put_f64(&mut report, mesh.report.geometry_seconds);
+    put_f64(&mut report, mesh.report.material_seconds);
+    put_f64(&mut report, mesh.report.numbering_seconds);
+    put_u8(&mut report, mesh.report.passes);
+    for &n in &mesh.report.elements_per_region {
+        put_u64(&mut report, n as u64);
+    }
+    w.chunk("report", &report)?;
+    Ok(())
+}
+
+/// Serialize a built mesh to an in-memory container (kind `"MESH"`).
+/// `fingerprint` is the full [`MeshKey`] fingerprint the artifact is filed
+/// under; it lives in the `meta` chunk and is re-verified at load.
+pub fn encode_mesh(mesh: &GlobalMesh, fingerprint: u64) -> Vec<u8> {
+    let mut w = ContainerWriter::new(
+        Cursor::new(Vec::new()),
+        "<memory>",
+        MESH_KIND,
+        MESH_FORMAT_VERSION,
+    )
+    .expect("in-memory container");
+    write_chunks(&mut w, mesh, fingerprint).expect("in-memory container");
+    let (cur, _) = w.finish().expect("in-memory container");
+    cur.into_inner()
+}
+
+/// Deserialize a mesh from an already-opened container reader.
+fn read_mesh<R: std::io::Read + std::io::Seek>(
+    r: &mut ContainerReader<R>,
+    expect_fingerprint: Option<u64>,
+) -> Result<GlobalMesh, ArtifactError> {
+    if r.kind() != MESH_KIND {
+        return Err(ArtifactError::Format {
+            file: r.file().to_string(),
+            detail: format!("container kind {:?} is not a mesh artifact", r.kind()),
+        });
+    }
+    if r.payload_version() != MESH_FORMAT_VERSION {
+        return Err(ArtifactError::Version {
+            file: r.file().to_string(),
+            found: r.payload_version(),
+            supported: MESH_FORMAT_VERSION,
+        });
+    }
+    let file = r.file().to_string();
+    let meta = r.chunk("meta")?;
+    let mut m = ByteReader::new(&meta, &file, "meta");
+    let fingerprint = m.u64()?;
+    let nspec = m.u64()? as usize;
+    let nglob = m.u64()? as usize;
+    m.finished()?;
+    if let Some(expect) = expect_fingerprint {
+        if fingerprint != expect {
+            return Err(ArtifactError::KeyMismatch {
+                file,
+                found: fingerprint,
+                expected: expect,
+            });
+        }
+    }
+
+    let params_buf = r.chunk("params")?;
+    let mut pr = ByteReader::new(&params_buf, &file, "params");
+    let params = decode_params(&mut pr)?;
+    pr.finished()?;
+
+    let ibool = from_raw_u32s(&r.chunk("ibool")?, &file, "ibool")?;
+
+    let coords_buf = r.chunk("coords")?;
+    if !coords_buf.len().is_multiple_of(24) {
+        return Err(ArtifactError::Format {
+            file,
+            detail: format!(
+                "chunk 'coords' length {} is not [f64; 3]-aligned",
+                coords_buf.len()
+            ),
+        });
+    }
+    let coords: Vec<[f64; 3]> = coords_buf
         .chunks_exact(24)
         .map(|c| {
             [
@@ -381,17 +360,21 @@ pub fn decode_mesh(
             ]
         })
         .collect();
-    let nregion = r.u64()? as usize;
-    let mut region = Vec::with_capacity(nregion);
-    for _ in 0..nregion {
-        region.push(region_from_tag(r.u8()?)?);
+
+    let region_buf = r.chunk("region")?;
+    let rr = ByteReader::new(&region_buf, &file, "region");
+    let mut region = Vec::with_capacity(region_buf.len());
+    for &t in &region_buf {
+        region.push(region_from_tag(&rr, t)?);
     }
-    let nhome = r.u64()? as usize;
-    let mut home = Vec::with_capacity(nhome);
-    for _ in 0..nhome {
-        let tag = r.u8()?;
-        let b = r.u8()?;
-        let raw = r.take(6)?;
+
+    let home_buf = r.chunk("home")?;
+    let mut hr = ByteReader::new(&home_buf, &file, "home");
+    let mut home = Vec::with_capacity(home_buf.len() / 8);
+    while hr.finished().is_err() {
+        let tag = hr.u8()?;
+        let b = hr.u8()?;
+        let raw = hr.take(6)?;
         let a = u16::from_le_bytes(raw[0..2].try_into().unwrap());
         let c = u16::from_le_bytes(raw[2..4].try_into().unwrap());
         let d = u16::from_le_bytes(raw[4..6].try_into().unwrap());
@@ -402,20 +385,25 @@ pub fn decode_mesh(
                 iy: c,
             },
             1 => ElementHome::Cube { i: a, j: c, k: d },
-            t => return Err(ArtifactError(format!("bad element-home tag {t}"))),
+            t => return Err(hr.format_err(format!("bad element-home tag {t}"))),
         });
     }
-    let rho = r.f32_vec()?;
-    let kappa = r.f32_vec()?;
-    let mu = r.f32_vec()?;
-    let qmu = r.f32_vec()?;
-    let nshells = r.u64()? as usize;
+
+    let rho = from_raw_f32s(&r.chunk("rho")?, &file, "rho")?;
+    let kappa = from_raw_f32s(&r.chunk("kappa")?, &file, "kappa")?;
+    let mu = from_raw_f32s(&r.chunk("mu")?, &file, "mu")?;
+    let qmu = from_raw_f32s(&r.chunk("qmu")?, &file, "qmu")?;
+
+    let layers_buf = r.chunk("layers")?;
+    let mut lr = ByteReader::new(&layers_buf, &file, "layers");
+    let nshells = lr.u64()? as usize;
     let mut shells = Vec::with_capacity(nshells);
     for _ in 0..nshells {
-        let r_in = r.f64()?;
-        let r_out = r.f64()?;
-        let reg = region_from_tag(r.u8()?)?;
-        let n_layers = r.u64()? as usize;
+        let r_in = lr.f64()?;
+        let r_out = lr.f64()?;
+        let reg_tag = lr.u8()?;
+        let reg = region_from_tag(&lr, reg_tag)?;
+        let n_layers = lr.u64()? as usize;
         shells.push(Shell {
             r_in,
             r_out,
@@ -423,21 +411,21 @@ pub fn decode_mesh(
             n_layers,
         });
     }
-    let cube_half_width = r.f64()?;
-    let geometry_seconds = r.f64()?;
-    let material_seconds = r.f64()?;
-    let numbering_seconds = r.f64()?;
-    let passes = r.u8()?;
+    let cube_half_width = lr.f64()?;
+    lr.finished()?;
+
+    let report_buf = r.chunk("report")?;
+    let mut rp = ByteReader::new(&report_buf, &file, "report");
+    let geometry_seconds = rp.f64()?;
+    let material_seconds = rp.f64()?;
+    let numbering_seconds = rp.f64()?;
+    let passes = rp.u8()?;
     let mut elements_per_region = [0usize; 4];
     for slot in &mut elements_per_region {
-        *slot = r.u64()? as usize;
+        *slot = rp.u64()? as usize;
     }
-    if r.pos != body.len() {
-        return Err(ArtifactError(format!(
-            "{} trailing bytes after mesh artifact body",
-            body.len() - r.pos
-        )));
-    }
+    rp.finished()?;
+
     let basis = GllBasis::new(params.degree);
     Ok(GlobalMesh {
         basis,
@@ -466,19 +454,35 @@ pub fn decode_mesh(
     })
 }
 
+/// Deserialize an artifact from bytes, rejecting bad magic, unknown
+/// versions, truncation, per-chunk checksum mismatches, and — when
+/// `expect_fingerprint` is given — artifacts filed under a different key.
+pub fn decode_mesh(
+    buf: &[u8],
+    expect_fingerprint: Option<u64>,
+) -> Result<GlobalMesh, ArtifactError> {
+    let mut r = ContainerReader::new(Cursor::new(buf), "<memory>")?;
+    read_mesh(&mut r, expect_fingerprint)
+}
+
 /// A directory of content-addressed mesh artifacts, one file per
 /// [`MeshKey`]: `mesh_<fingerprint hex>.sfma`.
 #[derive(Debug, Clone)]
 pub struct MeshArtifactStore {
     dir: PathBuf,
+    faults: Arc<Mutex<(Option<FaultPlan>, usize)>>,
 }
 
 impl MeshArtifactStore {
     /// Open (creating if needed) an artifact directory.
     pub fn new(dir: impl Into<PathBuf>) -> Result<Self, ArtifactError> {
         let dir = dir.into();
-        fs::create_dir_all(&dir).map_err(|e| io_err("create mesh artifact dir", e))?;
-        Ok(Self { dir })
+        fs::create_dir_all(&dir)
+            .map_err(|e| io_err(&dir.display().to_string(), "create mesh artifact dir", e))?;
+        Ok(Self {
+            dir,
+            faults: Arc::new(Mutex::new((None, 0))),
+        })
     }
 
     /// The directory backing this store.
@@ -486,29 +490,33 @@ impl MeshArtifactStore {
         &self.dir
     }
 
+    /// Arm artifact-corruption injection, mirroring
+    /// [`super::CheckpointStore::set_fault_plan`]: the n-th completed save
+    /// is damaged after it lands.
+    pub fn set_fault_plan(&self, plan: FaultPlan) {
+        self.faults.lock().unwrap().0 = Some(plan);
+    }
+
     /// Path the artifact for `key` lives at.
     pub fn path_for(&self, key: &MeshKey) -> PathBuf {
         self.dir.join(format!("mesh_{}.sfma", key.hex()))
     }
 
-    /// Persist a built mesh under its key (atomic tmp + rename).
+    /// Persist a built mesh under its key (atomic tmp + fsync + rename).
     pub fn save(&self, key: &MeshKey, mesh: &GlobalMesh) -> Result<PathBuf, ArtifactError> {
         let _span = specfem_obs::span("io.mesh_artifact.save");
-        let bytes = encode_mesh(mesh, key.fingerprint());
         let path = self.path_for(key);
-        let tmp = path.with_extension("sfma.tmp");
-        {
-            let mut f = fs::File::create(&tmp)
-                .map_err(|e| io_err(&format!("create {}", tmp.display()), e))?;
-            f.write_all(&bytes)
-                .map_err(|e| io_err(&format!("write {}", tmp.display()), e))?;
-            f.sync_all()
-                .map_err(|e| io_err(&format!("sync {}", tmp.display()), e))?;
-        }
-        fs::rename(&tmp, &path)
-            .map_err(|e| io_err(&format!("rename into {}", path.display()), e))?;
+        let bytes = write_container_atomic(&path, MESH_KIND, MESH_FORMAT_VERSION, |w| {
+            write_chunks(w, mesh, key.fingerprint())
+        })?;
         specfem_obs::counter_add("io.mesh_artifacts_written", 1);
-        specfem_obs::counter_add("io.bytes_written", bytes.len() as u64);
+        specfem_obs::counter_add("io.bytes_written", bytes);
+        let mut faults = self.faults.lock().unwrap();
+        let seq = faults.1;
+        faults.1 += 1;
+        if let Some(kind) = faults.0.as_ref().and_then(|p| p.artifact_fault(seq)) {
+            crate::checkpoint::apply_artifact_fault(&path, kind);
+        }
         Ok(path)
     }
 
@@ -518,18 +526,25 @@ impl MeshArtifactStore {
     pub fn load(&self, key: &MeshKey) -> Result<Option<GlobalMesh>, ArtifactError> {
         let _span = specfem_obs::span("io.mesh_artifact.load");
         let path = self.path_for(key);
-        let bytes = match fs::read(&path) {
-            Ok(b) => b,
-            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
-            Err(e) => return Err(io_err(&format!("read {}", path.display()), e)),
-        };
-        specfem_obs::counter_add("io.bytes_read", bytes.len() as u64);
-        decode_mesh(&bytes, Some(key.fingerprint())).map(Some)
+        if !path.exists() {
+            return Ok(None);
+        }
+        let mut r = ContainerReader::open(&path)?;
+        specfem_obs::counter_add(
+            "io.bytes_read",
+            fs::metadata(&path).map(|m| m.len()).unwrap_or(0),
+        );
+        read_mesh(&mut r, Some(key.fingerprint())).map(Some)
     }
 
     /// Remove the artifact for `key`, if present.
     pub fn evict(&self, key: &MeshKey) {
         let _ = fs::remove_file(self.path_for(key));
+    }
+
+    /// Apply an [`ArtifactFaultKind`] to the artifact on disk (test hook).
+    pub fn damage(&self, key: &MeshKey, kind: ArtifactFaultKind) {
+        crate::checkpoint::apply_artifact_fault(&self.path_for(key), kind);
     }
 }
 
@@ -590,21 +605,60 @@ mod tests {
         let key = MeshKey::new(&mesh.params, "prem_iso");
         let store = tmp_store("corrupt");
         let path = store.save(&key, &mesh).unwrap();
-        // Bit flip → checksum error.
+        // Bit flip → per-chunk checksum error naming the chunk.
         let mut bytes = fs::read(&path).unwrap();
         let mid = bytes.len() / 2;
         bytes[mid] ^= 0x01;
         fs::write(&path, &bytes).unwrap();
         let err = store.load(&key).unwrap_err();
-        assert!(err.0.contains("checksum"), "{err}");
+        match &err {
+            ArtifactError::Corrupt {
+                chunk,
+                expected,
+                actual,
+                ..
+            } => {
+                assert!(!chunk.is_empty());
+                assert_ne!(expected, actual);
+            }
+            other => panic!("expected Corrupt, got {other}"),
+        }
+        assert!(err.to_string().contains("checksum"), "{err}");
         // Valid bytes filed under the wrong key → key mismatch.
         store.evict(&key);
         let other = MeshKey::new(&MeshParams::new(8, 2), "prem_iso");
         let valid = encode_mesh(&mesh, key.fingerprint());
         fs::write(store.path_for(&other), &valid).unwrap();
         let err = store.load(&other).unwrap_err();
-        assert!(err.0.contains("key mismatch"), "{err}");
+        assert!(matches!(err, ArtifactError::KeyMismatch { .. }), "{err:?}");
+        assert!(err.to_string().contains("key mismatch"), "{err}");
         let _ = fs::remove_dir_all(store.dir());
+    }
+
+    #[test]
+    fn injected_faults_are_typed_per_kind() {
+        let mesh = small_mesh();
+        let key = MeshKey::new(&mesh.params, "prem_iso");
+        for (kind, tag) in [
+            (ArtifactFaultKind::BitFlip, "bitflip"),
+            (ArtifactFaultKind::Truncate, "trunc"),
+            (ArtifactFaultKind::TornHeader, "torn"),
+        ] {
+            let store = tmp_store(&format!("inject_{tag}"));
+            store.set_fault_plan(FaultPlan::new(3).corrupt_artifact(0, kind));
+            store.save(&key, &mesh).unwrap();
+            let err = store.load(&key).unwrap_err();
+            match kind {
+                ArtifactFaultKind::BitFlip => {
+                    assert!(matches!(err, ArtifactError::Corrupt { .. }), "{err}")
+                }
+                _ => assert!(matches!(err, ArtifactError::Format { .. }), "{err}"),
+            }
+            // The campaign cache's recovery: evict and rebuild.
+            store.evict(&key);
+            assert!(store.load(&key).unwrap().is_none());
+            let _ = fs::remove_dir_all(store.dir());
+        }
     }
 
     #[test]

@@ -1,0 +1,209 @@
+//! Property tests for the rank-count-independent container: a checkpoint
+//! generation written by W ranks, scattered onto R ranks, and re-written
+//! from the R-rank states must reproduce the original global state
+//! bit-for-bit — redecomposition is lossless in both directions. The mesh
+//! artifact side rides along: an encode/decode round trip preserves the
+//! mesh's geometry fingerprint.
+
+use std::sync::OnceLock;
+
+use proptest::prelude::*;
+use specfem_io::{CheckpointStore, GlobalCheckpoint, MeshArtifactStore};
+use specfem_mesh::{GlobalMesh, MeshKey, MeshParams, Partition};
+use specfem_model::Prem;
+use specfem_solver::checkpoint::CheckpointState;
+
+fn gm() -> &'static GlobalMesh {
+    static MESH: OnceLock<GlobalMesh> = OnceLock::new();
+    MESH.get_or_init(|| GlobalMesh::build(&MeshParams::new(4, 1), &Prem::isotropic_no_ocean()))
+}
+
+/// Deterministic pseudo-random f32 keyed by (seed, slot) — the same
+/// global point gets the same value on every rank that shares it, which
+/// is exactly the invariant real halo-assembled fields satisfy.
+fn val(seed: u64, slot: u64) -> f32 {
+    let mut x = seed ^ slot.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    x ^= x >> 33;
+    x = x.wrapping_mul(0xFF51_AFD7_ED55_8CCD);
+    x ^= x >> 29;
+    // Keep values finite and spread over a wide magnitude range.
+    ((x as i32) as f32) * 1e-3
+}
+
+const ATTEN_PER: usize = 3;
+
+fn synth(mesh: &specfem_mesh::LocalMesh, world: usize, seed: u64, atten: bool) -> CheckpointState {
+    let v3 = |field: u64| -> Vec<f32> {
+        let mut out = vec![0.0; mesh.nglob * 3];
+        for (p, &g) in mesh.global_ids.iter().enumerate() {
+            for c in 0..3 {
+                out[p * 3 + c] = val(seed, field << 40 | (g as u64) << 2 | c as u64);
+            }
+        }
+        out
+    };
+    let v1 = |field: u64| -> Vec<f32> {
+        mesh.global_ids
+            .iter()
+            .map(|&g| val(seed, field << 40 | (g as u64) << 2))
+            .collect()
+    };
+    let atten_memory = atten.then(|| {
+        mesh.element_global
+            .iter()
+            .flat_map(|&ge| {
+                (0..ATTEN_PER as u64).map(move |i| val(seed, (99 << 40) | ((ge as u64) * 8 + i)))
+            })
+            .collect()
+    });
+    CheckpointState {
+        rank: mesh.rank,
+        nranks: world,
+        next_step: 42,
+        dt: 0.125,
+        nglob: mesh.nglob,
+        global_ids: mesh.global_ids.clone(),
+        element_global: mesh.element_global.clone(),
+        displ: v3(1),
+        veloc: v3(2),
+        accel: v3(3),
+        chi: v1(4),
+        chi_dot: v1(5),
+        chi_ddot: v1(6),
+        atten_memory,
+        records: vec![
+            ("STA".into(), vec![[val(seed, 7), 0.5, -2.0]; 3]),
+            ("STB".into(), vec![[1.0, val(seed, 8), 0.0]; 2]),
+        ],
+        energy: vec![(0, 1.5, 2.5), (10, f64::from(val(seed, 9)), 0.0)],
+        snapshots: vec![v3(10), v3(11)],
+        flops: 1000 + mesh.rank as u64,
+    }
+}
+
+fn tmp_store(tag: &str) -> CheckpointStore {
+    let dir = std::env::temp_dir().join(format!("specfem_redecomp_{tag}_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    CheckpointStore::new(dir).unwrap()
+}
+
+/// Write one generation from per-rank states on a `world`-way balanced
+/// decomposition and return the merged global container.
+fn write_and_load(
+    store: &CheckpointStore,
+    states: Vec<CheckpointState>,
+) -> std::sync::Arc<GlobalCheckpoint> {
+    for state in &states {
+        store.sink(state.rank).write(state).unwrap();
+    }
+    store.load_global(42).unwrap()
+}
+
+fn assert_bitwise_equal(a: &GlobalCheckpoint, b: &GlobalCheckpoint) {
+    let bits = |v: &[f32]| -> Vec<u32> { v.iter().map(|x| x.to_bits()).collect() };
+    assert_eq!(a.next_step, b.next_step);
+    assert_eq!(a.dt.to_bits(), b.dt.to_bits());
+    assert_eq!(a.nglob, b.nglob);
+    assert_eq!(a.nspec, b.nspec);
+    assert_eq!(bits(&a.displ), bits(&b.displ));
+    assert_eq!(bits(&a.veloc), bits(&b.veloc));
+    assert_eq!(bits(&a.accel), bits(&b.accel));
+    assert_eq!(bits(&a.chi), bits(&b.chi));
+    assert_eq!(bits(&a.chi_dot), bits(&b.chi_dot));
+    assert_eq!(bits(&a.chi_ddot), bits(&b.chi_ddot));
+    match (&a.atten, &b.atten) {
+        (Some(x), Some(y)) => assert_eq!(bits(x), bits(y)),
+        (None, None) => {}
+        other => panic!("attenuation presence diverged: {other:?}"),
+    }
+    assert_eq!(a.records.len(), b.records.len());
+    for ((an, av), (bn, bv)) in a.records.iter().zip(&b.records) {
+        assert_eq!(an, bn);
+        assert_eq!(av.len(), bv.len());
+        for (x, y) in av.iter().zip(bv) {
+            for c in 0..3 {
+                assert_eq!(x[c].to_bits(), y[c].to_bits());
+            }
+        }
+    }
+    assert_eq!(a.energy.len(), b.energy.len());
+    for ((s1, k1, p1), (s2, k2, p2)) in a.energy.iter().zip(&b.energy) {
+        assert_eq!(s1, s2);
+        assert_eq!(k1.to_bits(), k2.to_bits());
+        assert_eq!(p1.to_bits(), p2.to_bits());
+    }
+    assert_eq!(a.snapshots.len(), b.snapshots.len());
+    for (x, y) in a.snapshots.iter().zip(&b.snapshots) {
+        assert_eq!(bits(x), bits(y));
+    }
+    assert_eq!(a.flops, b.flops, "flops are conserved across scatter");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// W-rank write -> global -> scatter onto R ranks -> re-write ->
+    /// global: the two merged containers agree bit-for-bit, for any
+    /// (W, R) pair — including growing past and shrinking below the
+    /// writer's world size.
+    #[test]
+    fn redecomposition_round_trip_is_bit_identical(
+        w in 1usize..6,
+        r in 1usize..9,
+        seed in any::<u64>(),
+        with_atten in any::<bool>(),
+    ) {
+        let gm = gm();
+        let store_w = tmp_store("w");
+        let part_w = Partition::balanced(gm, w);
+        let states_w: Vec<CheckpointState> = (0..w)
+            .map(|rank| synth(&part_w.extract(gm, rank), w, seed, with_atten))
+            .collect();
+        let g1 = write_and_load(&store_w, states_w);
+        prop_assert_eq!(g1.world_written, w);
+
+        // Scatter onto R local meshes, as an R-rank resume would, then
+        // re-write the generation from those states (the solver stamps
+        // the new world size on its next capture; mirror that here).
+        let part_r = Partition::balanced(gm, r);
+        let store_r = tmp_store("r");
+        let states_r: Vec<CheckpointState> = (0..r)
+            .map(|rank| {
+                let local = part_r.extract(gm, rank);
+                let mut s = specfem_io::scatter_state(&g1, rank, &local).unwrap();
+                s.nranks = r;
+                s
+            })
+            .collect();
+        let g2 = write_and_load(&store_r, states_r);
+        prop_assert_eq!(g2.world_written, r);
+        assert_bitwise_equal(&g1, &g2);
+
+        let _ = std::fs::remove_dir_all(store_w.dir());
+        let _ = std::fs::remove_dir_all(store_r.dir());
+    }
+
+    /// Mesh artifact round trip preserves the content-addressed identity:
+    /// the reloaded mesh re-derives the same geometry fingerprint (and
+    /// full mesh key) it was stored under.
+    #[test]
+    fn mesh_artifact_round_trip_preserves_geometry_fingerprint(big in any::<bool>()) {
+        let nex = if big { 6usize } else { 4 };
+        let mesh = GlobalMesh::build(&MeshParams::new(nex, 1), &Prem::isotropic_no_ocean());
+        let key = MeshKey::new(&mesh.params, "prem_iso");
+        let dir = std::env::temp_dir()
+            .join(format!("specfem_redecomp_mesh_{}_{nex}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let store = MeshArtifactStore::new(&dir).unwrap();
+        store.save(&key, &mesh).unwrap();
+        let loaded = store.load(&key).unwrap().expect("artifact present");
+        let rekey = MeshKey::new(&loaded.params, "prem_iso");
+        prop_assert_eq!(rekey.geometry_fingerprint(), key.geometry_fingerprint());
+        prop_assert_eq!(rekey.fingerprint(), key.fingerprint());
+        prop_assert_eq!(
+            specfem_mesh::content_hash(&loaded),
+            specfem_mesh::content_hash(&mesh)
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

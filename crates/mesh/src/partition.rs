@@ -77,6 +77,31 @@ impl Partition {
         }
     }
 
+    /// A balanced partition into an *arbitrary* world size: contiguous,
+    /// near-equal blocks of the global element ordering. The cubed-sphere
+    /// assignment of [`Partition::compute`] only exists for `6 × nproc²`
+    /// ranks; elastic (shrink-to-survive) resume needs every world size in
+    /// between, and the global Cuthill-McKee-style ordering keeps the
+    /// blocks spatially coherent so halos stay small.
+    ///
+    /// # Panics
+    /// When `nranks` is zero or exceeds the element count (a rank with no
+    /// elements has no stable `dt` and no work).
+    pub fn balanced(mesh: &GlobalMesh, nranks: usize) -> Partition {
+        assert!(nranks >= 1, "balanced partition needs at least one rank");
+        assert!(
+            nranks <= mesh.nspec,
+            "balanced partition of {} elements cannot fill {nranks} ranks",
+            mesh.nspec
+        );
+        let n = mesh.nspec;
+        let rank_of = (0..n).map(|e| ((e * nranks) / n) as u32).collect();
+        Partition {
+            num_ranks: nranks,
+            rank_of,
+        }
+    }
+
     /// Elements per rank — the load-balance view ("excellent load
     /// balancing", paper abstract).
     pub fn load(&self) -> Vec<usize> {
@@ -501,6 +526,25 @@ mod tests {
         all.sort_unstable();
         all.dedup();
         assert_eq!(all.len(), a.nspec);
+    }
+
+    #[test]
+    fn balanced_partition_works_at_arbitrary_world_sizes() {
+        let mesh = mesh_with(4, 1, CubeAssignment::TwoRanks);
+        for nranks in [1usize, 2, 3, 4, 5, 7, 8] {
+            let part = Partition::balanced(&mesh, nranks);
+            assert_eq!(part.num_ranks, nranks);
+            let load = part.load();
+            assert_eq!(load.iter().sum::<usize>(), mesh.nspec);
+            let (lo, hi) = (*load.iter().min().unwrap(), *load.iter().max().unwrap());
+            assert!(lo > 0, "empty rank at nranks={nranks}: {load:?}");
+            assert!(hi - lo <= 1, "imbalance at nranks={nranks}: {load:?}");
+            // Every element appears on exactly one rank and halos validate
+            // (extract() panics on an inconsistent plan).
+            let locals = part.extract_all(&mesh);
+            let total: usize = locals.iter().map(|l| l.nspec).sum();
+            assert_eq!(total, mesh.nspec);
+        }
     }
 
     #[test]

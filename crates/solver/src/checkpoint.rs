@@ -21,8 +21,10 @@
 
 use std::fmt;
 
-/// Current on-disk format version.
-pub const FORMAT_VERSION: u32 = 1;
+/// Current on-disk format version. Version 2 added the local→global point
+/// and element maps, making every state self-describing enough for a
+/// *different* world size to consume it (rank-count-independent restart).
+pub const FORMAT_VERSION: u32 = 2;
 
 /// File magic: "SFCK" = SpecFem ChecKpoint.
 pub const MAGIC: [u8; 4] = *b"SFCK";
@@ -54,6 +56,13 @@ pub struct CheckpointState {
     /// Local global-point count (consistency check against the rebuilt
     /// mesh).
     pub nglob: usize,
+    /// Local point id → global point id (`LocalMesh::global_ids`) — the
+    /// index that lets a merged, rank-count-independent container gather
+    /// this state and scatter it back onto any decomposition.
+    pub global_ids: Vec<u32>,
+    /// Local element id → global element id (`LocalMesh::element_global`),
+    /// the element-major analog for attenuation memory remapping.
+    pub element_global: Vec<u32>,
     /// Solid displacement `[p·3 + c]`.
     pub displ: Vec<f32>,
     /// Solid velocity.
@@ -111,6 +120,13 @@ fn put_f32_slice(out: &mut Vec<u8>, v: &[f32]) {
     }
 }
 
+fn put_u32_slice(out: &mut Vec<u8>, v: &[u32]) {
+    put_u64(out, v.len() as u64);
+    for &x in v {
+        out.extend_from_slice(&x.to_le_bytes());
+    }
+}
+
 struct Reader<'a> {
     buf: &'a [u8],
     pos: usize,
@@ -151,6 +167,15 @@ impl<'a> Reader<'a> {
             .map(|c| f32::from_le_bytes(c.try_into().unwrap()))
             .collect())
     }
+
+    fn u32_vec(&mut self) -> Result<Vec<u32>, CheckpointError> {
+        let n = self.u64()? as usize;
+        let raw = self.take(n * 4)?;
+        Ok(raw
+            .chunks_exact(4)
+            .map(|c| u32::from_le_bytes(c.try_into().unwrap()))
+            .collect())
+    }
 }
 
 impl CheckpointState {
@@ -164,6 +189,8 @@ impl CheckpointState {
         put_u64(&mut out, self.next_step as u64);
         put_f64(&mut out, self.dt);
         put_u64(&mut out, self.nglob as u64);
+        put_u32_slice(&mut out, &self.global_ids);
+        put_u32_slice(&mut out, &self.element_global);
         put_f32_slice(&mut out, &self.displ);
         put_f32_slice(&mut out, &self.veloc);
         put_f32_slice(&mut out, &self.accel);
@@ -237,6 +264,8 @@ impl CheckpointState {
         let next_step = r.u64()? as usize;
         let dt = r.f64()?;
         let nglob = r.u64()? as usize;
+        let global_ids = r.u32_vec()?;
+        let element_global = r.u32_vec()?;
         let displ = r.f32_vec()?;
         let veloc = r.f32_vec()?;
         let accel = r.f32_vec()?;
@@ -294,6 +323,8 @@ impl CheckpointState {
             next_step,
             dt,
             nglob,
+            global_ids,
+            element_global,
             displ,
             veloc,
             accel,
@@ -344,6 +375,8 @@ mod tests {
             next_step: 500,
             dt: 0.1625,
             nglob: 4,
+            global_ids: vec![12, 7, 3, 40],
+            element_global: vec![5, 9],
             displ: vec![
                 1.0,
                 -2.5,

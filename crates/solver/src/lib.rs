@@ -43,7 +43,8 @@ pub use coupling::CouplingSurface;
 pub use source::{ReceiverSet, Seismogram, SourceArrays, SourceSpec};
 pub use timeloop::{
     merge_seismograms, run_distributed, run_serial, try_run_distributed,
-    try_run_distributed_watched, try_run_serial, FtOptions, RankResult, RankSolver, SolverError,
+    try_run_distributed_watched, try_run_partitioned, try_run_serial, FtOptions, RankResult,
+    RankSolver, SolverError,
 };
 // In-flight telemetry types surfaced through the solver's API.
 pub use specfem_comm::{WatchdogConfig, WatchdogReport};
@@ -92,6 +93,11 @@ pub struct SolverConfig {
     /// effect on the fault-tolerant run paths that supply a checkpoint
     /// store.
     pub checkpoint_every: usize,
+    /// How many complete checkpoint generations the on-disk store keeps
+    /// (`CHECKPOINT_KEEP`, min 1). Older generations are pruned after each
+    /// successful write; the extras are the fallback when the newest
+    /// container turns out corrupt.
+    pub checkpoint_keep: usize,
     /// Deadline for blocking receives in the main loop; a stalled peer
     /// surfaces as `CommError::Timeout` naming `(src, tag)` instead of
     /// hanging the world. `None` waits forever.
@@ -149,6 +155,7 @@ impl Default for SolverConfig {
             source: SourceSpec::default(),
             exact_station_location: false,
             checkpoint_every: 0,
+            checkpoint_keep: 2,
             recv_timeout: Some(Duration::from_secs(30)),
             fault_plan: None,
             trace: false,

@@ -376,25 +376,26 @@ impl ReceiverSet {
         &self.records
     }
 
-    /// Replace the accumulated records (checkpoint restore). The station
-    /// names must match this set's stations exactly, in order.
+    /// Replace the accumulated records (checkpoint restore). The checkpoint
+    /// may carry a superset of this set's stations — a merged container
+    /// written at a different world size holds every rank's stations — but
+    /// every station this set owns must be present by name.
     pub fn restore_records(&mut self, named: Vec<(String, Vec<[f32; 3]>)>) -> Result<(), String> {
-        if named.len() != self.located.len() {
-            return Err(format!(
-                "checkpoint has {} stations, solver has {}",
-                named.len(),
-                self.located.len()
-            ));
-        }
-        for ((name, _), (station, _)) in named.iter().zip(&self.located) {
-            if *name != station.name {
-                return Err(format!(
-                    "station mismatch: checkpoint '{}' vs solver '{}'",
-                    name, station.name
-                ));
+        let mut by_name: std::collections::HashMap<String, Vec<[f32; 3]>> =
+            named.into_iter().collect();
+        let mut records = Vec::with_capacity(self.located.len());
+        for (station, _) in &self.located {
+            match by_name.remove(&station.name) {
+                Some(rec) => records.push(rec),
+                None => {
+                    return Err(format!(
+                    "station mismatch: solver owns '{}' but the checkpoint has no record for it",
+                    station.name
+                ))
+                }
             }
         }
-        self.records = named.into_iter().map(|(_, rec)| rec).collect();
+        self.records = records;
         Ok(())
     }
 

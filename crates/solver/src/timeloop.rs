@@ -610,6 +610,8 @@ impl RankSolver {
             next_step,
             dt: self.dt,
             nglob: self.mesh.nglob,
+            global_ids: self.mesh.global_ids.clone(),
+            element_global: self.mesh.element_global.clone(),
             displ: self.fields.displ.clone(),
             veloc: self.fields.veloc.clone(),
             accel: self.fields.accel.clone(),
@@ -629,9 +631,11 @@ impl RankSolver {
         }
     }
 
-    /// Restore the time-loop state from a checkpoint. The solver must have
-    /// been rebuilt with the same mesh, config, and world size; every
-    /// consistency check failure is a typed error, never a silent
+    /// Restore the time-loop state from a checkpoint. The state must
+    /// describe *this* rank of *this* decomposition — the rank-count-
+    /// independent store scatters a merged container onto the current
+    /// world before calling this, so the writing world size may differ.
+    /// Every consistency check failure is a typed error, never a silent
     /// mis-restore.
     pub fn restore_from(&mut self, state: CheckpointState) -> Result<(), SolverError> {
         let fail = |msg: String| Err(SolverError::Checkpoint(CheckpointError(msg)));
@@ -829,7 +833,7 @@ pub fn try_run_serial(
     let mut solver = RankSolver::new(local, config, stations, comm.as_mut());
     let out = (move || {
         if let Some(restore) = opts.restore {
-            match restore(0) {
+            match restore(0, &solver.mesh) {
                 Ok(Some(state)) => solver.restore_from(state)?,
                 Ok(None) => {}
                 Err(e) => return Err(SolverError::Checkpoint(e)),
@@ -870,10 +874,14 @@ pub struct FtOptions<'a> {
     /// Build the checkpoint sink a rank writes to every
     /// `checkpoint_every` steps (`None` disables writing).
     pub sink_factory: Option<&'a (dyn Fn(usize) -> Box<dyn CheckpointSink> + Sync)>,
-    /// Load the checkpoint a rank resumes from; `Ok(None)` is a cold start.
+    /// Load the checkpoint a rank resumes from; `Ok(None)` is a cold
+    /// start. The rank's freshly extracted [`LocalMesh`] is passed so a
+    /// rank-count-independent store can scatter merged global state onto
+    /// *this* decomposition (which may differ from the one that wrote it).
     #[allow(clippy::type_complexity)]
-    pub restore:
-        Option<&'a (dyn Fn(usize) -> Result<Option<CheckpointState>, CheckpointError> + Sync)>,
+    pub restore: Option<
+        &'a (dyn Fn(usize, &LocalMesh) -> Result<Option<CheckpointState>, CheckpointError> + Sync),
+    >,
 }
 
 /// The fault-tolerant `mpirun` analog: per-rank typed results instead of a
@@ -909,6 +917,27 @@ pub fn try_run_distributed_watched(
     Option<specfem_comm::WatchdogReport>,
 ) {
     let partition = Partition::compute(mesh);
+    try_run_partitioned(mesh, config, stations, profile, opts, &partition)
+}
+
+/// [`try_run_distributed_watched`] over an *explicit* partition — the
+/// elastic-recovery entry point. The cubed-sphere assignment of
+/// [`Partition::compute`] only exists for `6 × nproc²` worlds; a
+/// shrink-to-survive resume passes [`Partition::balanced`] here to run the
+/// same global mesh on any world size. The watchdog (when armed) is built
+/// for `partition.num_ranks`, so its report and gauges always reflect the
+/// world actually running — not the one that wrote the checkpoint.
+pub fn try_run_partitioned(
+    mesh: &GlobalMesh,
+    config: &SolverConfig,
+    stations: &[Station],
+    profile: NetworkProfile,
+    opts: FtOptions<'_>,
+    partition: &Partition,
+) -> (
+    Vec<Result<RankResult, SolverError>>,
+    Option<specfem_comm::WatchdogReport>,
+) {
     let nranks = partition.num_ranks;
     let opts = &opts;
     let rank_main = |mut base: specfem_comm::ThreadComm| {
@@ -927,7 +956,7 @@ pub fn try_run_distributed_watched(
         let mut solver = RankSolver::new(local, config, stations, comm.as_mut());
         let out = (move || {
             if let Some(restore) = opts.restore {
-                match restore(rank) {
+                match restore(rank, &solver.mesh) {
                     Ok(Some(state)) => solver.restore_from(state)?,
                     Ok(None) => {}
                     Err(e) => return Err(SolverError::Checkpoint(e)),

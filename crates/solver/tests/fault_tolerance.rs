@@ -8,7 +8,7 @@ use std::sync::{Arc, Mutex};
 use proptest::prelude::*;
 use specfem_comm::{FaultPlan, NetworkProfile};
 use specfem_mesh::stations::Station;
-use specfem_mesh::{GlobalMesh, MeshParams};
+use specfem_mesh::{GlobalMesh, LocalMesh, MeshParams};
 use specfem_model::{Prem, SourceTimeFunction, StfKind};
 use specfem_solver::checkpoint::{CheckpointError, CheckpointSink, CheckpointState};
 use specfem_solver::timeloop::merge_seismograms;
@@ -42,6 +42,8 @@ proptest! {
             next_step,
             dt,
             nglob,
+            global_ids: (0..nglob as u32).rev().collect(),
+            element_global: vec![nglob as u32, 0],
             displ: v(1.0, nglob * 3),
             veloc: v(0.5, nglob * 3),
             accel: v(-2.0, nglob * 3),
@@ -73,6 +75,8 @@ proptest! {
             f32::MIN_POSITIVE.to_bits());
         prop_assert_eq!(decoded.energy, state.energy);
         prop_assert_eq!(decoded.flops, state.flops);
+        prop_assert_eq!(decoded.global_ids, state.global_ids);
+        prop_assert_eq!(decoded.element_global, state.element_global);
     }
 
     /// Flipping any single byte of an encoded checkpoint is detected.
@@ -87,6 +91,8 @@ proptest! {
             next_step: 50,
             dt: 0.125,
             nglob: 3,
+            global_ids: vec![2, 0, 1],
+            element_global: vec![4],
             displ: vec![1.0; 9],
             veloc: vec![2.0; 9],
             accel: vec![3.0; 9],
@@ -250,14 +256,15 @@ fn killed_run_resumes_bit_identical() {
     let mut resume_config = test_config(nsteps);
     resume_config.checkpoint_every = 10;
     let restore_store = store.clone();
-    let restore = move |rank: usize| -> Result<Option<CheckpointState>, CheckpointError> {
-        let step = restore_store
-            .latest_complete(nranks)
-            .ok_or_else(|| CheckpointError("no complete checkpoint".into()))?;
-        Ok(Some(restore_store.load(step, rank).ok_or_else(|| {
-            CheckpointError(format!("missing rank {rank} at step {step}"))
-        })?))
-    };
+    let restore =
+        move |rank: usize, _mesh: &LocalMesh| -> Result<Option<CheckpointState>, CheckpointError> {
+            let step = restore_store
+                .latest_complete(nranks)
+                .ok_or_else(|| CheckpointError("no complete checkpoint".into()))?;
+            Ok(Some(restore_store.load(step, rank).ok_or_else(|| {
+                CheckpointError(format!("missing rank {rank} at step {step}"))
+            })?))
+        };
     let sink_store = store.clone();
     let sink_factory = move |rank: usize| -> Box<dyn CheckpointSink> {
         Box::new(SharedSink {
@@ -310,7 +317,9 @@ fn mismatched_checkpoint_is_rejected() {
     let mesh = test_mesh();
     let mut config = test_config(5);
     config.checkpoint_every = 0;
-    let restore = move |_rank: usize| -> Result<Option<CheckpointState>, CheckpointError> {
+    let restore = move |_rank: usize,
+                        _mesh: &LocalMesh|
+          -> Result<Option<CheckpointState>, CheckpointError> {
         // Hand every rank a checkpoint claiming to be rank 0's.
         Ok(Some(CheckpointState {
             rank: 0,
@@ -318,6 +327,8 @@ fn mismatched_checkpoint_is_rejected() {
             next_step: 2,
             dt: 1.0, // wrong dt too
             nglob: 1,
+            global_ids: vec![0],
+            element_global: vec![0],
             displ: vec![0.0; 3],
             veloc: vec![0.0; 3],
             accel: vec![0.0; 3],

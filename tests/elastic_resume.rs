@@ -1,0 +1,215 @@
+//! Elastic recovery differential oracle: a run checkpointed at W=4 ranks
+//! and killed mid-flight must resume at R=2 *and* R=8 from the same merged
+//! (rank-count-independent) checkpoint container, reproducing the
+//! uninterrupted W=4 run — the restored seismogram prefix bit-identical,
+//! the recomputed tail inside the cross-decomposition f32-roundoff
+//! envelope, and `dt` bit-equal (see DESIGN.md §3h).
+
+use specfem_core::comm::FaultPlan;
+use specfem_core::{NetworkProfile, RunOptions, Simulation, SimulationResult};
+
+const NSTEPS: usize = 20;
+const CHECKPOINT_EVERY: usize = 5;
+/// The kill lands here, so the newest complete generation precedes it.
+const KILL_STEP: usize = 12;
+
+fn base_sim() -> Simulation {
+    Simulation::builder()
+        .resolution(4)
+        .steps(NSTEPS)
+        .stations(3)
+        .catalogue_event("argentina_deep")
+        .configure(|c| c.checkpoint_every = CHECKPOINT_EVERY)
+        .build()
+        .unwrap()
+}
+
+fn tmp_dir(name: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(name);
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn copy_dir(src: &std::path::Path, dst: &std::path::Path) {
+    std::fs::create_dir_all(dst).unwrap();
+    for entry in std::fs::read_dir(src).unwrap() {
+        let entry = entry.unwrap();
+        std::fs::copy(entry.path(), dst.join(entry.file_name())).unwrap();
+    }
+}
+
+/// Longest shared bit-identical seismogram prefix between two runs,
+/// minimized over stations.
+fn bit_identical_prefix(a: &SimulationResult, b: &SimulationResult) -> usize {
+    let mut prefix = usize::MAX;
+    for (sa, sb) in a.seismograms.iter().zip(&b.seismograms) {
+        let mut p = 0;
+        for (va, vb) in sa.data.iter().zip(&sb.data) {
+            if (0..3).all(|c| va[c].to_bits() == vb[c].to_bits()) {
+                p += 1;
+            } else {
+                break;
+            }
+        }
+        prefix = prefix.min(p);
+    }
+    prefix
+}
+
+fn assert_matches_oracle(oracle: &SimulationResult, got: &SimulationResult, label: &str) {
+    assert_eq!(
+        oracle.dt.to_bits(),
+        got.dt.to_bits(),
+        "{label}: dt must survive resume bit-exactly"
+    );
+    assert_eq!(oracle.seismograms.len(), got.seismograms.len());
+    // Samples recorded before the restore point were carried inside the
+    // container verbatim — they must be bit-identical to the oracle's.
+    let restored = bit_identical_prefix(oracle, got);
+    assert!(
+        restored >= CHECKPOINT_EVERY,
+        "{label}: restored prefix must be bit-identical \
+         (got only {restored} matching samples)"
+    );
+    // The recomputed tail runs on a different decomposition, so halo
+    // assembly order differs: f32 roundoff, not bit identity (same
+    // envelope as distributed_run_matches_serial_seismograms).
+    for (so, sg) in oracle.seismograms.iter().zip(&got.seismograms) {
+        assert_eq!(so.station, sg.station);
+        let scale = so
+            .data
+            .iter()
+            .flat_map(|v| v.iter())
+            .fold(0.0f32, |m, &x| m.max(x.abs()))
+            .max(1e-20);
+        for (vo, vg) in so.data.iter().zip(&sg.data) {
+            for c in 0..3 {
+                assert!(
+                    (vo[c] - vg[c]).abs() <= 2e-3 * scale,
+                    "{label}, station {}: oracle {} vs resumed {} (scale {scale})",
+                    so.station,
+                    vo[c],
+                    vg[c]
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn checkpoint_at_w4_resumes_at_r2_and_r8() {
+    let sim = base_sim();
+    let (mesh, _) = sim.build_mesh();
+    let profile = NetworkProfile::loopback();
+
+    // Uninterrupted W=4 oracle.
+    let oracle_dir = tmp_dir("specfem_elastic_oracle");
+    let oracle = sim
+        .try_run_with_mesh(
+            &mesh,
+            RunOptions {
+                profile: Some(profile),
+                checkpoint_dir: Some(&oracle_dir),
+                resume: false,
+                world: Some(4),
+            },
+        )
+        .unwrap();
+    assert_eq!(oracle.ranks.len(), 4);
+
+    // The same W=4 run, killed mid-flight after at least one complete
+    // merged generation landed.
+    let ckpt = tmp_dir("specfem_elastic_ckpt");
+    let mut faulty = sim.clone();
+    faulty.config.fault_plan = Some(FaultPlan::new(5).kill(1, KILL_STEP));
+    let err = faulty.try_run_with_mesh(
+        &mesh,
+        RunOptions {
+            profile: Some(profile),
+            checkpoint_dir: Some(&ckpt),
+            resume: false,
+            world: Some(4),
+        },
+    );
+    assert!(err.is_err(), "the injected kill must abort the run");
+
+    // One merged container per generation — O(1) files, not O(ranks).
+    let files: Vec<String> = std::fs::read_dir(&ckpt)
+        .unwrap()
+        .map(|e| e.unwrap().file_name().to_string_lossy().into_owned())
+        .collect();
+    assert!(!files.is_empty());
+    assert!(
+        files.len() <= specfem_core::io::checkpoint::DEFAULT_KEEP,
+        "kept generations bound the file count: {files:?}"
+    );
+    assert!(
+        files
+            .iter()
+            .all(|f| f.starts_with("step") && f.ends_with(".sfcc")),
+        "{files:?}"
+    );
+
+    // Resume the survivors on a SMALLER world (shrink-to-survive)...
+    let ckpt8 = tmp_dir("specfem_elastic_ckpt_r8");
+    copy_dir(&ckpt, &ckpt8);
+    let r2 = sim
+        .try_run_with_mesh(
+            &mesh,
+            RunOptions {
+                profile: Some(profile),
+                checkpoint_dir: Some(&ckpt),
+                resume: true,
+                world: Some(2),
+            },
+        )
+        .unwrap();
+    assert_eq!(r2.ranks.len(), 2);
+    assert_matches_oracle(&oracle, &r2, "W=4 -> R=2");
+
+    // ...and on a LARGER one (grow) from the very same container bytes.
+    let r8 = sim
+        .try_run_with_mesh(
+            &mesh,
+            RunOptions {
+                profile: Some(profile),
+                checkpoint_dir: Some(&ckpt8),
+                resume: true,
+                world: Some(8),
+            },
+        )
+        .unwrap();
+    assert_eq!(r8.ranks.len(), 8);
+    assert_matches_oracle(&oracle, &r8, "W=4 -> R=8");
+
+    for d in [&oracle_dir, &ckpt, &ckpt8] {
+        let _ = std::fs::remove_dir_all(d);
+    }
+}
+
+#[test]
+fn resume_elastic_entry_point_runs_cold_and_warm() {
+    // The facade-level API: `resume_elastic` is a cold start on an empty
+    // directory and a true resume once a generation exists.
+    let sim = base_sim();
+    let dir = tmp_dir("specfem_elastic_api");
+    let cold = sim
+        .resume_elastic(NetworkProfile::loopback(), &dir, 3)
+        .unwrap();
+    assert_eq!(cold.ranks.len(), 3);
+    // The cold run checkpointed; resuming at a different world size picks
+    // those generations up and finishes immediately-comparable output.
+    let warm = sim
+        .resume_elastic(NetworkProfile::loopback(), &dir, 5)
+        .unwrap();
+    assert_eq!(warm.ranks.len(), 5);
+    assert_eq!(cold.dt.to_bits(), warm.dt.to_bits());
+    assert_eq!(cold.seismograms.len(), warm.seismograms.len());
+    // The warm run restored a finished state (next_step = nsteps): its
+    // records come straight out of the container, bit-identical.
+    for (a, b) in cold.seismograms.iter().zip(&warm.seismograms) {
+        assert_eq!(a.station, b.station);
+        assert_eq!(a.data.len(), b.data.len());
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
