@@ -270,10 +270,10 @@ impl MeshCache {
         build: impl FnOnce() -> GlobalMesh,
     ) -> (GlobalMesh, CacheOutcome) {
         if let Some(store) = &self.disk {
-            match store.load(key) {
-                Ok(Some(mesh)) => return (mesh, CacheOutcome::DiskHit),
-                Ok(None) => {}
-                Err(_) => store.evict(key), // corrupt artifact: rebuild
+            // Corrupt artifacts are evicted and counted by the shared
+            // fallback walk inside `load_or_evict`; a miss means rebuild.
+            if let Some(mesh) = store.load_or_evict(key) {
+                return (mesh, CacheOutcome::DiskHit);
             }
         }
         let mesh = build();

@@ -253,11 +253,16 @@ struct QueueState {
     outcomes: Vec<JobOutcome>,
 }
 
+/// Job-completion hook: runs on the worker thread, with no campaign lock
+/// held, right before the outcome lands in the drainable backlog.
+type CompletionCallback = Arc<dyn Fn(&JobOutcome) + Send + Sync>;
+
 struct Shared {
     cfg: CampaignConfig,
     cache: MeshCache,
     state: Mutex<QueueState>,
     cond: Condvar,
+    on_complete: Mutex<Option<CompletionCallback>>,
 }
 
 /// The campaign runtime: submit jobs, then [`Campaign::finish`].
@@ -265,6 +270,7 @@ pub struct Campaign {
     shared: Arc<Shared>,
     handles: Vec<JoinHandle<()>>,
     submitted: usize,
+    drained: usize,
     widest_job_threads: usize,
     started: Instant,
 }
@@ -286,9 +292,11 @@ impl Campaign {
                     outcomes: Vec::new(),
                 }),
                 cond: Condvar::new(),
+                on_complete: Mutex::new(None),
             }),
             handles: Vec::new(),
             submitted: 0,
+            drained: 0,
             widest_job_threads: 1,
             started: Instant::now(),
         }
@@ -297,6 +305,35 @@ impl Campaign {
     /// The worker-pool size the campaign has scaled to so far.
     pub fn workers(&self) -> usize {
         self.handles.len()
+    }
+
+    /// Install (or replace) a job-completion callback. It runs on the
+    /// worker thread that finished the job, with no campaign lock held,
+    /// *before* the outcome joins the drainable backlog — a long-running
+    /// caller (the serve daemon) uses it to answer a waiting connection
+    /// the instant its job completes, instead of polling
+    /// [`Campaign::drain`].
+    pub fn on_completion(&self, f: impl Fn(&JobOutcome) + Send + Sync + 'static) {
+        *self.shared.on_complete.lock().unwrap() = Some(Arc::new(f));
+    }
+
+    /// Collect finished outcomes **without** ending the campaign: the
+    /// worker pool stays up and more jobs may be submitted afterwards.
+    /// Returns everything completed since the previous drain, in
+    /// submission order. Outcomes taken here no longer appear in the
+    /// [`CampaignResult`] that [`Campaign::finish`] eventually builds —
+    /// a daemon drains continuously and builds its own rollups.
+    pub fn drain(&mut self) -> Vec<JobOutcome> {
+        let mut out = std::mem::take(&mut self.shared.state.lock().unwrap().outcomes);
+        out.sort_by_key(|o| o.index);
+        self.drained += out.len();
+        out
+    }
+
+    /// Jobs submitted but not yet finished (queued or running).
+    pub fn in_flight(&self) -> usize {
+        let st = self.shared.state.lock().unwrap();
+        self.submitted - self.drained - st.outcomes.len()
     }
 
     /// Enqueue a job. Blocks while the queue is at
@@ -338,7 +375,8 @@ impl Campaign {
     }
 
     /// Declare the job stream closed, wait for every job to finish, and
-    /// return outcomes (submission order) plus the campaign report.
+    /// return outcomes (submission order) plus the campaign report. Only
+    /// outcomes not already taken by [`Campaign::drain`] appear here.
     pub fn finish(self) -> CampaignResult {
         {
             let mut st = self.shared.state.lock().unwrap();
@@ -467,6 +505,13 @@ fn worker_loop(shared: Arc<Shared>, worker_id: usize) {
             }
         };
         let outcome = run_job(&shared, worker_id, queued);
+        // Completion hook first (lock dropped before the call), so a
+        // waiting daemon connection is answered before the outcome even
+        // reaches the drainable backlog.
+        let cb = shared.on_complete.lock().unwrap().clone();
+        if let Some(cb) = cb {
+            cb(&outcome);
+        }
         shared.state.lock().unwrap().outcomes.push(outcome);
         // The job's mesh Arc is dropped: admission-control waiters may
         // now be able to evict it.
@@ -913,6 +958,49 @@ mod tests {
         // Outcomes come back in submission order regardless of execution.
         let idx: Vec<usize> = result.outcomes.iter().map(|o| o.index).collect();
         assert_eq!(idx, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn drain_and_callback_keep_the_pool_alive() {
+        // The daemon's usage pattern: collect outcomes while the worker
+        // pool stays up, submit more afterwards, never call finish()
+        // until shutdown.
+        let completed: Arc<Mutex<Vec<String>>> = Arc::new(Mutex::new(Vec::new()));
+        let mut campaign = Campaign::new(CampaignConfig {
+            workers: 1,
+            ..CampaignConfig::default()
+        });
+        let sink = completed.clone();
+        campaign.on_completion(move |o| sink.lock().unwrap().push(o.name.clone()));
+        campaign.submit(Job::new("d0", tiny_sim(4, 3, 0)));
+        campaign.submit(Job::new("d1", tiny_sim(4, 3, 1)));
+        let wait_for = |campaign: &Campaign, n: usize| {
+            let t0 = Instant::now();
+            while campaign.in_flight() > 0 {
+                assert!(t0.elapsed() < Duration::from_secs(120), "jobs wedged");
+                std::thread::sleep(Duration::from_millis(20));
+            }
+            let _ = n;
+        };
+        wait_for(&campaign, 2);
+        assert_eq!(completed.lock().unwrap().len(), 2);
+        let first = campaign.drain();
+        assert_eq!(first.len(), 2);
+        assert_eq!(first[0].name, "d0");
+        assert_eq!(first[1].name, "d1");
+        assert!(first.iter().all(|o| o.result.is_ok()));
+        assert!(campaign.drain().is_empty(), "drain must not re-deliver");
+        // The pool is still alive: a third job runs on the same workers.
+        campaign.submit(Job::new("d2", tiny_sim(4, 3, 2)));
+        wait_for(&campaign, 3);
+        let second = campaign.drain();
+        assert_eq!(second.len(), 1);
+        assert_eq!(second[0].name, "d2");
+        assert_eq!(completed.lock().unwrap().len(), 3);
+        // finish() still works and reports only undrained outcomes.
+        let result = campaign.finish();
+        assert!(result.outcomes.is_empty());
+        assert!(result.all_ok());
     }
 
     #[test]

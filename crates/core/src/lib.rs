@@ -302,6 +302,59 @@ impl Simulation {
         mesh::estimated_mesh_bytes(&self.params, self.model.instantiate().as_ref())
     }
 
+    /// The content address of this simulation's *answer*: a fingerprint
+    /// over everything that determines the output seismograms — the mesh
+    /// geometry fingerprint (model id + every geometry knob, decomposition
+    /// masked, because the bits are decomposition-independent), the
+    /// source, the station set, and the answer-affecting solver knobs.
+    ///
+    /// Pure ops knobs are deliberately **excluded** — checkpoint cadence,
+    /// receive/watchdog deadlines, fault plans, tracing — so a request
+    /// served under a different deadline or with telemetry armed still
+    /// hits the same cached result. The serve daemon keys its result
+    /// cache (`specfem_io::ResultCache`) with this.
+    pub fn result_key(&self) -> io::ResultKey {
+        let mut h = ResultFnv::new();
+        h.bytes(b"specfem-result-v1");
+        h.u64(self.mesh_key().geometry_fingerprint());
+        // Station set, order included (results are station-ordered).
+        h.u64(self.stations.len() as u64);
+        for s in &self.stations {
+            h.u64(s.name.len() as u64);
+            h.bytes(s.name.as_bytes());
+            h.f64(s.lat_deg);
+            h.f64(s.lon_deg);
+        }
+        let c = &self.config;
+        h.u8(c.exact_station_location as u8);
+        h.u8(match c.variant {
+            KernelVariant::Reference => 0,
+            KernelVariant::Simd => 1,
+            KernelVariant::BlasStyle => 2,
+        });
+        h.u8(c.attenuation as u8);
+        h.u8(c.rotation as u8);
+        h.u8(c.gravity as u8);
+        h.u8(c.ocean_load as u8);
+        h.u8(c.overlap as u8);
+        h.u64(c.nsteps as u64);
+        match c.dt {
+            Some(dt) => {
+                h.u8(1);
+                h.f64(dt);
+            }
+            None => {
+                h.u8(0);
+                h.f64(0.0);
+            }
+        }
+        h.u64(c.record_every as u64);
+        h.u64(c.energy_every as u64);
+        h.u64(c.snapshot_every as u64);
+        hash_source(&mut h, &c.source);
+        io::ResultKey(h.finish())
+    }
+
     /// Build the global mesh, recording mesher spans on the driver thread
     /// (as a pseudo-rank numbered one past the solver ranks, so its
     /// Perfetto timeline row never collides with a real rank) when
@@ -612,6 +665,97 @@ impl Simulation {
     }
 }
 
+/// FNV-1a for [`Simulation::result_key`]. Same constants as the mesh
+/// fingerprint hasher; kept separate because the result key hashes a
+/// different universe (sources, stations, solver knobs) under its own
+/// version salt.
+struct ResultFnv(u64);
+
+impl ResultFnv {
+    fn new() -> Self {
+        Self(0xcbf2_9ce4_8422_2325)
+    }
+    fn bytes(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= b as u64;
+            self.0 = self.0.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+    fn u8(&mut self, v: u8) {
+        self.bytes(&[v]);
+    }
+    fn u64(&mut self, v: u64) {
+        self.bytes(&v.to_le_bytes());
+    }
+    fn f64(&mut self, v: f64) {
+        self.u64(v.to_bits());
+    }
+    fn f32(&mut self, v: f32) {
+        self.bytes(&v.to_bits().to_le_bytes());
+    }
+    fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+fn hash_stf(h: &mut ResultFnv, stf: &SourceTimeFunction) {
+    h.u8(match stf.kind {
+        StfKind::Gaussian => 0,
+        StfKind::Ricker => 1,
+        StfKind::SmoothedHeaviside => 2,
+    });
+    h.f64(stf.half_duration);
+    h.f64(stf.t_shift);
+}
+
+fn hash_source(h: &mut ResultFnv, source: &SourceSpec) {
+    match source {
+        SourceSpec::None => h.u8(0),
+        SourceSpec::Cmt { event, stf } => {
+            h.u8(1);
+            h.u64(event.name.len() as u64);
+            h.bytes(event.name.as_bytes());
+            h.f64(event.lat_deg);
+            h.f64(event.lon_deg);
+            h.f64(event.depth_km);
+            let t = &event.tensor;
+            for m in [t.m_rr, t.m_tt, t.m_pp, t.m_rt, t.m_rp, t.m_tp] {
+                h.f64(m);
+            }
+            h.f64(event.half_duration_s);
+            hash_stf(h, stf);
+        }
+        SourceSpec::PointForce {
+            position,
+            force,
+            stf,
+        } => {
+            h.u8(2);
+            for v in position.iter().chain(force.iter()) {
+                h.f64(*v);
+            }
+            hash_stf(h, stf);
+        }
+        SourceSpec::Trace {
+            position,
+            trace,
+            trace_dt,
+        } => {
+            h.u8(3);
+            for v in position {
+                h.f64(*v);
+            }
+            h.f64(*trace_dt);
+            h.u64(trace.len() as u64);
+            for sample in trace {
+                for &c in sample {
+                    h.f32(c);
+                }
+            }
+        }
+    }
+}
+
 /// Options for [`Simulation::try_run_with_mesh`].
 #[derive(Debug, Clone, Default)]
 pub struct RunOptions<'a> {
@@ -910,5 +1054,65 @@ mod tests {
         assert!(r.total_flop_rate() > 0.0);
         assert!(r.total_core_seconds() > 0.0);
         assert!(r.mean_comm_fraction() >= 0.0);
+    }
+
+    fn keyed_sim() -> SimulationBuilder {
+        Simulation::builder()
+            .resolution(8)
+            .steps(20)
+            .catalogue_event("argentina_deep")
+            .stations(3)
+    }
+
+    #[test]
+    fn result_key_is_stable_and_answer_sensitive() {
+        let base = keyed_sim().build().unwrap().result_key();
+        // Deterministic: rebuilding the same simulation re-derives it.
+        assert_eq!(base, keyed_sim().build().unwrap().result_key());
+
+        // Anything that changes the seismograms changes the key.
+        let variants = [
+            keyed_sim().resolution(16).build().unwrap(),
+            keyed_sim().steps(21).build().unwrap(),
+            keyed_sim().stations(4).build().unwrap(),
+            keyed_sim()
+                .catalogue_event("sumatra_thrust")
+                .build()
+                .unwrap(),
+            keyed_sim().model(ModelChoice::Prem).build().unwrap(),
+            keyed_sim().kernel(KernelVariant::Simd).build().unwrap(),
+            keyed_sim().attenuation(true).build().unwrap(),
+            keyed_sim()
+                .configure(|c| c.record_every = 2)
+                .build()
+                .unwrap(),
+        ];
+        let mut keys: Vec<u64> = variants.iter().map(|s| s.result_key().0).collect();
+        keys.push(base.0);
+        keys.sort_unstable();
+        keys.dedup();
+        assert_eq!(keys.len(), variants.len() + 1, "result keys collided");
+    }
+
+    #[test]
+    fn result_key_ignores_ops_knobs() {
+        let base = keyed_sim().build().unwrap().result_key();
+        // Deadlines, checkpoint cadence, and telemetry change how a run is
+        // supervised, not what it computes — a request with a different
+        // deadline must still hit the cache.
+        let ops = keyed_sim()
+            .watchdog_timeout(std::time::Duration::from_millis(123))
+            .configure(|c| {
+                c.checkpoint_every = 5;
+                c.trace = true;
+                c.metrics_every = 1;
+                c.health_every = 2;
+            })
+            .build()
+            .unwrap();
+        assert_eq!(base, ops.result_key());
+        // Decomposition doesn't change the answer either.
+        let wide = keyed_sim().processors(2).build().unwrap();
+        assert_eq!(base, wide.result_key());
     }
 }

@@ -34,6 +34,10 @@
 //! # campaign runtime (read via [`campaign_knobs_from_parfile`])
 //! CAMPAIGN_WORKERS       = 0           # worker pool size, 0 = auto
 //! MESH_CACHE_BYTES       = 512M        # cache ceiling, 0 = unbounded (K/M/G ok)
+//! # serve daemon (read via [`serve_knobs_from_parfile`])
+//! SERVE_ADDR             = 127.0.0.1:7460  # daemon listen address
+//! RESULT_CACHE_BYTES     = 64M         # result-cache memory tier (K/M/G ok)
+//! REQUEST_DEADLINE_MS    = 30000       # per-request deadline, 0 = none
 //! ```
 
 use crate::{ModelChoice, Simulation, SimulationBuilder};
@@ -108,6 +112,68 @@ fn parse_bytes(key: &str, v: &str) -> Result<usize, String> {
         .map_err(|_| format!("{key}: not a byte count: {v}"))?;
     n.checked_shl(shift)
         .ok_or_else(|| format!("{key}: byte count overflows: {v}"))
+}
+
+/// Serve-daemon knobs carried in the same Par_file. Like
+/// [`CampaignKnobs`], these configure the runtime *around* simulations —
+/// `specfem-serve` builds its listener and result cache from them.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServeKnobs {
+    /// `SERVE_ADDR`: TCP listen address for the daemon.
+    pub addr: String,
+    /// `RESULT_CACHE_BYTES`: memory-tier budget for the content-addressed
+    /// result cache. Accepts `K`/`M`/`G` suffixes.
+    pub result_cache_bytes: usize,
+    /// `REQUEST_DEADLINE_MS`: per-request deadline; 0 disables it.
+    pub request_deadline_ms: u64,
+}
+
+impl Default for ServeKnobs {
+    fn default() -> Self {
+        Self {
+            addr: "127.0.0.1:7460".to_string(),
+            result_cache_bytes: 64 << 20,
+            request_deadline_ms: 30_000,
+        }
+    }
+}
+
+impl ServeKnobs {
+    /// Render as Par_file lines (the inverse of [`serve_knobs_from_parfile`]).
+    pub fn to_parfile(&self) -> String {
+        format!(
+            "SERVE_ADDR = {}\nRESULT_CACHE_BYTES = {}\nREQUEST_DEADLINE_MS = {}\n",
+            self.addr, self.result_cache_bytes, self.request_deadline_ms
+        )
+    }
+}
+
+/// Extract the serve-daemon knobs from Par_file text. All keys are
+/// optional; absent keys keep the `Default`. Unrelated keys are ignored,
+/// so one file can configure the simulations, the campaign, and the
+/// daemon serving them.
+pub fn serve_knobs_from_parfile(text: &str) -> Result<ServeKnobs, String> {
+    let pairs = parse_pairs(text);
+    let get = |key: &str| -> Option<&str> {
+        pairs
+            .iter()
+            .rev()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+    };
+    let mut knobs = ServeKnobs::default();
+    if let Some(v) = get("SERVE_ADDR") {
+        knobs.addr = v.to_string();
+    }
+    if let Some(v) = get("RESULT_CACHE_BYTES") {
+        knobs.result_cache_bytes = parse_bytes("RESULT_CACHE_BYTES", v)?;
+    }
+    if let Some(v) = get("REQUEST_DEADLINE_MS") {
+        knobs.request_deadline_ms = v
+            .parse()
+            .map_err(|_| format!("REQUEST_DEADLINE_MS: not a millisecond count: {v}"))?;
+    }
+    Ok(knobs)
 }
 
 /// Extract the campaign-runtime knobs from Par_file text. Both keys are
@@ -386,6 +452,29 @@ NSTATIONS    = 4
         // Errors are reported, not swallowed.
         assert!(campaign_knobs_from_parfile("CAMPAIGN_WORKERS = many\n").is_err());
         assert!(campaign_knobs_from_parfile("MESH_CACHE_BYTES = 1T\n").is_err());
+    }
+
+    #[test]
+    fn serve_knobs_parse_and_round_trip() {
+        let text =
+            "SERVE_ADDR = 0.0.0.0:8080\nRESULT_CACHE_BYTES = 16M\nREQUEST_DEADLINE_MS = 500\n";
+        let knobs = serve_knobs_from_parfile(text).unwrap();
+        assert_eq!(knobs.addr, "0.0.0.0:8080");
+        assert_eq!(knobs.result_cache_bytes, 16 << 20);
+        assert_eq!(knobs.request_deadline_ms, 500);
+        // Defaults when absent; unrelated keys ignored.
+        assert_eq!(
+            serve_knobs_from_parfile("NEX_XI = 8\n").unwrap(),
+            ServeKnobs::default()
+        );
+        // Round trip: render → parse → identical.
+        assert_eq!(
+            serve_knobs_from_parfile(&knobs.to_parfile()).unwrap(),
+            knobs
+        );
+        // Errors are reported, not swallowed.
+        assert!(serve_knobs_from_parfile("RESULT_CACHE_BYTES = big\n").is_err());
+        assert!(serve_knobs_from_parfile("REQUEST_DEADLINE_MS = soon\n").is_err());
     }
 
     #[test]

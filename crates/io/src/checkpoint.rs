@@ -650,21 +650,16 @@ impl CheckpointStore {
         mesh: &LocalMesh,
     ) -> Result<Option<CheckpointState>, CheckpointError> {
         let steps = self.steps()?;
-        let mut last_err: Option<ArtifactError> = None;
-        for &step in steps.iter().rev() {
-            match self.load_global(step) {
-                Ok(global) => {
-                    if last_err.is_some() {
-                        specfem_obs::counter_add("io.checkpoint_fallbacks", 1);
-                    }
-                    return scatter_state(&global, rank, mesh).map(Some);
-                }
-                Err(e) => last_err = Some(e),
-            }
-        }
-        match last_err {
-            None => Ok(None),
-            Some(e) => Err(CheckpointError(format!(
+        let scan = crate::generation::load_latest_good(
+            steps.into_iter().rev(),
+            "io.checkpoint_fallbacks",
+            |&step| self.load_global(step).map(Some),
+            |_, _| {},
+        );
+        match scan.into_result() {
+            Ok(Some(global)) => scatter_state(&global, rank, mesh).map(Some),
+            Ok(None) => Ok(None),
+            Err(e) => Err(CheckpointError(format!(
                 "no readable checkpoint generation: {e}"
             ))),
         }

@@ -1,0 +1,155 @@
+//! Shared "load latest good generation" fallback logic.
+//!
+//! Three stores walk content-addressed artifacts newest-first and must
+//! survive a bad one: the merged checkpoint store (skip a torn generation,
+//! restore from the previous), the mesh artifact store (evict the corrupt
+//! file, rebuild from scratch), and the result cache (evict, re-solve).
+//! Before this module each reimplemented the same loop — remember the last
+//! [`ArtifactError`], keep walking, count the fallback — with subtly
+//! different bookkeeping. [`load_latest_good`] is that loop, once.
+
+use crate::container::ArtifactError;
+
+/// Outcome of walking candidate generations newest-first.
+#[derive(Debug)]
+pub struct GenerationScan<T> {
+    /// The newest candidate that loaded cleanly, if any.
+    pub value: Option<T>,
+    /// How many newer candidates failed validation and were skipped
+    /// before `value` (or before giving up).
+    pub skipped: usize,
+    /// The most recent load failure. `value == None` with `last_error`
+    /// set means every candidate on disk failed validation — a harder
+    /// condition than "nothing there" (`value == None`, no error).
+    pub last_error: Option<ArtifactError>,
+}
+
+impl<T> GenerationScan<T> {
+    /// Collapse the scan for callers that treat "all generations bad" as
+    /// a typed error and "nothing on disk" as a clean miss.
+    pub fn into_result(self) -> Result<Option<T>, ArtifactError> {
+        match (self.value, self.last_error) {
+            (Some(v), _) => Ok(Some(v)),
+            (None, Some(e)) => Err(e),
+            (None, None) => Ok(None),
+        }
+    }
+}
+
+/// Walk `candidates` (ordered newest-first), loading each until one
+/// succeeds.
+///
+/// * `load` returns `Ok(Some(v))` for a good generation, `Ok(None)` when
+///   the candidate simply isn't on disk (skipped silently), and `Err` for
+///   a corrupt / torn / mis-keyed artifact.
+/// * `on_bad` runs for every failed candidate — stores hook their evict
+///   here so a bad artifact can't poison the next scan.
+/// * When at least one candidate failed before the scan settled,
+///   `fallback_counter` is bumped once (the store *fell back*, however
+///   many generations it had to skip).
+pub fn load_latest_good<C, T>(
+    candidates: impl IntoIterator<Item = C>,
+    fallback_counter: &'static str,
+    mut load: impl FnMut(&C) -> Result<Option<T>, ArtifactError>,
+    mut on_bad: impl FnMut(&C, &ArtifactError),
+) -> GenerationScan<T> {
+    let mut skipped = 0usize;
+    let mut last_error: Option<ArtifactError> = None;
+    let mut value = None;
+    for cand in candidates {
+        match load(&cand) {
+            Ok(Some(v)) => {
+                value = Some(v);
+                break;
+            }
+            Ok(None) => {}
+            Err(e) => {
+                on_bad(&cand, &e);
+                skipped += 1;
+                last_error = Some(e);
+            }
+        }
+    }
+    if skipped > 0 {
+        specfem_obs::counter_add(fallback_counter, 1);
+    }
+    GenerationScan {
+        value,
+        skipped,
+        last_error,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn format_err(tag: &str) -> ArtifactError {
+        ArtifactError::Format {
+            file: format!("{tag}.sfcc"),
+            detail: "torn header".into(),
+        }
+    }
+
+    #[test]
+    fn newest_good_wins_without_fallback() {
+        let scan = load_latest_good(
+            [3usize, 2, 1],
+            "test.generation_fallbacks",
+            |&step| Ok(Some(step * 10)),
+            |_, _| panic!("no candidate should fail"),
+        );
+        assert_eq!(scan.value, Some(30));
+        assert_eq!(scan.skipped, 0);
+        assert!(scan.last_error.is_none());
+    }
+
+    #[test]
+    fn skips_bad_generations_and_reports_the_count() {
+        let mut evicted = Vec::new();
+        let scan = load_latest_good(
+            [4usize, 3, 2, 1],
+            "test.generation_fallbacks",
+            |&step| {
+                if step >= 3 {
+                    Err(format_err(&format!("step{step}")))
+                } else {
+                    Ok(Some(step))
+                }
+            },
+            |&step, _| evicted.push(step),
+        );
+        assert_eq!(scan.value, Some(2));
+        assert_eq!(scan.skipped, 2);
+        assert_eq!(evicted, vec![4, 3]);
+        assert!(scan.last_error.is_some());
+        assert_eq!(scan.into_result().unwrap(), Some(2));
+    }
+
+    #[test]
+    fn missing_candidates_are_not_fallbacks() {
+        let scan = load_latest_good(
+            [2usize, 1],
+            "test.generation_fallbacks",
+            |_| Ok(None::<usize>),
+            |_, _| panic!("missing is not bad"),
+        );
+        assert!(scan.value.is_none());
+        assert_eq!(scan.skipped, 0);
+        assert!(scan.last_error.is_none());
+        assert!(scan.into_result().unwrap().is_none());
+    }
+
+    #[test]
+    fn all_bad_is_a_typed_error() {
+        let scan = load_latest_good(
+            [2usize, 1],
+            "test.generation_fallbacks",
+            |&step| Err::<Option<usize>, _>(format_err(&format!("step{step}"))),
+            |_, _| {},
+        );
+        assert_eq!(scan.skipped, 2);
+        let err = scan.into_result().unwrap_err();
+        assert!(matches!(err, ArtifactError::Format { .. }), "{err}");
+    }
+}

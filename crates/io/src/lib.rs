@@ -15,12 +15,18 @@
 
 pub mod checkpoint;
 pub mod container;
+pub mod generation;
 pub mod mesh_artifact;
+pub mod result_cache;
 pub mod seismograms;
 
 pub use checkpoint::{scatter_state, CheckpointStore, GlobalCheckpoint};
 pub use container::{ArtifactError, ContainerReader, ContainerWriter};
+pub use generation::{load_latest_good, GenerationScan};
 pub use mesh_artifact::{decode_mesh, encode_mesh, MeshArtifactStore};
+pub use result_cache::{
+    CachedResult, ResultCache, ResultCacheOutcome, ResultCacheStats, ResultKey,
+};
 
 use std::fs::{self, File};
 use std::io::{self, BufReader, BufWriter, Read, Write};

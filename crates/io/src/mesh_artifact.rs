@@ -537,6 +537,22 @@ impl MeshArtifactStore {
         read_mesh(&mut r, Some(key.fingerprint())).map(Some)
     }
 
+    /// Fallback-aware load: a corrupt, torn, or mis-keyed artifact is
+    /// evicted (so it can't poison the next scan), counted under
+    /// `io.mesh_artifact_fallbacks`, and reported as a clean miss — the
+    /// caller rebuilds, exactly as it would on a cold cache. Shares the
+    /// generation-walk logic with [`super::CheckpointStore`] and the
+    /// result cache via [`crate::generation::load_latest_good`].
+    pub fn load_or_evict(&self, key: &MeshKey) -> Option<GlobalMesh> {
+        crate::generation::load_latest_good(
+            [key],
+            "io.mesh_artifact_fallbacks",
+            |k| self.load(k),
+            |k, _| self.evict(k),
+        )
+        .value
+    }
+
     /// Remove the artifact for `key`, if present.
     pub fn evict(&self, key: &MeshKey) {
         let _ = fs::remove_file(self.path_for(key));
@@ -659,6 +675,28 @@ mod tests {
             assert!(store.load(&key).unwrap().is_none());
             let _ = fs::remove_dir_all(store.dir());
         }
+    }
+
+    #[test]
+    fn torn_header_falls_back_to_rebuild() {
+        let mesh = small_mesh();
+        let key = MeshKey::new(&mesh.params, "prem_iso");
+        let store = tmp_store("torn_fallback");
+        let path = store.save(&key, &mesh).unwrap();
+        store.damage(&key, ArtifactFaultKind::TornHeader);
+        // The fallback-aware path reports a miss (rebuild) and evicts the
+        // damaged file so the plain load can't trip over it either.
+        assert!(store.load_or_evict(&key).is_none());
+        assert!(!path.exists(), "torn artifact must be evicted");
+        assert!(store.load(&key).unwrap().is_none());
+        // A healthy artifact still round-trips through the same path.
+        store.save(&key, &mesh).unwrap();
+        let back = store.load_or_evict(&key).expect("good artifact loads");
+        assert_eq!(
+            specfem_mesh::content_hash(&back),
+            specfem_mesh::content_hash(&mesh)
+        );
+        let _ = fs::remove_dir_all(store.dir());
     }
 
     #[test]

@@ -1,0 +1,172 @@
+//! Process-wide metrics for long-running daemons.
+//!
+//! The per-rank registry is thread-local by design — solver threads
+//! record into it lock-free and hand their numbers back at
+//! [`finish_rank`](crate::finish_rank). A daemon serving many requests
+//! over many worker threads needs the opposite: one registry that every
+//! thread updates and an HTTP handler can snapshot at any moment. This
+//! module is that registry — a mutex around the same
+//! [`MetricsRegistry`], plus a JSON renderer for `/metrics` endpoints.
+//!
+//! Contention is not a concern at daemon scale: the lock is held for a
+//! `BTreeMap` bump, and requests touch it a handful of times each,
+//! orders of magnitude below the per-message cadence the thread-local
+//! path exists for.
+
+use std::sync::{Mutex, OnceLock};
+
+use crate::json_escape;
+use crate::metrics::{MetricsRegistry, MetricsSnapshot};
+
+static GLOBAL: OnceLock<Mutex<MetricsRegistry>> = OnceLock::new();
+
+fn global() -> &'static Mutex<MetricsRegistry> {
+    GLOBAL.get_or_init(|| Mutex::new(MetricsRegistry::default()))
+}
+
+/// Add `delta` to the named process-global counter.
+pub fn global_counter_add(name: &'static str, delta: u64) {
+    global().lock().unwrap().counter_add(name, delta);
+}
+
+/// Set the named process-global gauge.
+pub fn global_gauge_set(name: &'static str, value: f64) {
+    global().lock().unwrap().gauge_set(name, value);
+}
+
+/// Record `value` into the named process-global log₂ histogram.
+pub fn global_hist_record(name: &'static str, value: u64) {
+    global().lock().unwrap().hist_record(name, value);
+}
+
+/// Immutable copy of the process-global registry.
+pub fn global_snapshot() -> MetricsSnapshot {
+    global().lock().unwrap().snapshot()
+}
+
+/// Reset the process-global registry to empty (test isolation; also
+/// useful after a daemon reload).
+pub fn global_reset() {
+    *global().lock().unwrap() = MetricsRegistry::default();
+}
+
+/// Render a metrics snapshot as a JSON object:
+///
+/// ```json
+/// {
+///   "counters": {"serve.requests": 12},
+///   "gauges": {"serve.mem_bytes": 1048576.0},
+///   "histograms": {
+///     "serve.latency_ms": {"count": 12, "sum": 340, "min": 3, "max": 91, "mean": 28.3}
+///   }
+/// }
+/// ```
+///
+/// Deterministic (`BTreeMap` order), allocation-light, and hand-rolled
+/// like every other exporter in this crate.
+pub fn metrics_json(snap: &MetricsSnapshot) -> String {
+    let mut out = String::from("{\"counters\":{");
+    for (i, (k, v)) in snap.counters.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!("\"{}\":{}", json_escape(k), v));
+    }
+    out.push_str("},\"gauges\":{");
+    for (i, (k, v)) in snap.gauges.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!("\"{}\":{}", json_escape(k), fmt_f64(*v)));
+    }
+    out.push_str("},\"histograms\":{");
+    for (i, (k, h)) in snap.histograms.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "\"{}\":{{\"count\":{},\"sum\":{},\"min\":{},\"max\":{},\"mean\":{}}}",
+            json_escape(k),
+            h.count(),
+            h.sum(),
+            h.min().unwrap_or(0),
+            h.max().unwrap_or(0),
+            fmt_f64(h.mean()),
+        ));
+    }
+    out.push_str("}}");
+    out
+}
+
+/// `f64` as JSON: finite values via `Display` (always round-trippable),
+/// non-finite mapped to `null` since JSON has no NaN/Inf.
+fn fmt_f64(v: f64) -> String {
+    if v.is_finite() {
+        let s = format!("{v}");
+        // Bare integers are valid JSON numbers, but keep the float-ness
+        // explicit so schema-typed readers see a consistent shape.
+        if s.contains('.') || s.contains('e') || s.contains('E') {
+            s
+        } else {
+            format!("{s}.0")
+        }
+    } else {
+        "null".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn global_registry_accumulates_across_threads() {
+        global_reset();
+        let threads: Vec<_> = (0..4)
+            .map(|_| {
+                std::thread::spawn(|| {
+                    for _ in 0..100 {
+                        global_counter_add("test.global_hits", 1);
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        global_gauge_set("test.global_level", 0.5);
+        global_hist_record("test.global_sizes", 4096);
+        let snap = global_snapshot();
+        assert_eq!(snap.counters.get("test.global_hits"), Some(&400));
+        assert_eq!(snap.gauges.get("test.global_level"), Some(&0.5));
+        assert_eq!(snap.histograms.get("test.global_sizes").unwrap().count(), 1);
+        global_reset();
+        assert!(global_snapshot().counters.is_empty());
+    }
+
+    #[test]
+    fn metrics_json_shape() {
+        let mut r = MetricsRegistry::default();
+        r.counter_add("b", 2);
+        r.counter_add("a", 1);
+        r.gauge_set("g", 1.5);
+        r.gauge_set("whole", 3.0);
+        r.hist_record("h", 10);
+        r.hist_record("h", 20);
+        let json = metrics_json(&r.snapshot());
+        assert_eq!(
+            json,
+            "{\"counters\":{\"a\":1,\"b\":2},\
+             \"gauges\":{\"g\":1.5,\"whole\":3.0},\
+             \"histograms\":{\"h\":{\"count\":2,\"sum\":30,\"min\":10,\"max\":20,\"mean\":15.0}}}"
+        );
+    }
+
+    #[test]
+    fn empty_snapshot_renders_empty_object() {
+        assert_eq!(
+            metrics_json(&MetricsSnapshot::default()),
+            "{\"counters\":{},\"gauges\":{},\"histograms\":{}}"
+        );
+    }
+}

@@ -41,6 +41,7 @@
 //! assert_eq!(profile.trace.events.len(), 2);
 //! ```
 
+pub mod global;
 pub mod health;
 pub mod ledger;
 pub mod metrics;
@@ -48,6 +49,10 @@ pub mod perfetto;
 pub mod report;
 pub mod span;
 
+pub use global::{
+    global_counter_add, global_gauge_set, global_hist_record, global_reset, global_snapshot,
+    metrics_json,
+};
 pub use health::{HealthMonitor, HealthReport, HealthTrip};
 pub use ledger::{LedgerDiff, LedgerMachine, LedgerPhase, LedgerRecord, LEDGER_SCHEMA_VERSION};
 pub use metrics::{LogHistogram, MetricsRegistry, MetricsSnapshot};

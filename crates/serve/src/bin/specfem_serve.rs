@@ -1,0 +1,73 @@
+//! `specfem_serve` — the synthetics daemon.
+//!
+//! ```text
+//! specfem_serve [--parfile PATH] [--addr HOST:PORT] [--data-dir DIR]
+//!               [--workers N] [--ledger-dir DIR] [--ledger-batch N]
+//! ```
+//!
+//! Knobs come from the Par_file (`SERVE_ADDR`, `RESULT_CACHE_BYTES`,
+//! `REQUEST_DEADLINE_MS`; see `specfem_core::parfile::ServeKnobs`) with
+//! flags overriding. The process prints the bound address on stdout
+//! (`SERVE_LISTENING <addr>`) and blocks until `POST /shutdown`.
+
+use std::path::PathBuf;
+
+use specfem_core::parfile::serve_knobs_from_parfile;
+use specfem_serve::{serve, ServeConfig};
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let mut parfile: Option<PathBuf> = None;
+    let mut addr: Option<String> = None;
+    let mut data_dir = PathBuf::from("OUTPUT_FILES/serve");
+    let mut workers = 0usize;
+    let mut ledger_dir: Option<PathBuf> = None;
+    let mut ledger_batch = 32usize;
+    while let Some(arg) = args.next() {
+        let mut value = |name: &str| {
+            args.next()
+                .unwrap_or_else(|| panic!("{name} requires a value"))
+        };
+        match arg.as_str() {
+            "--parfile" => parfile = Some(PathBuf::from(value("--parfile"))),
+            "--addr" => addr = Some(value("--addr")),
+            "--data-dir" => data_dir = PathBuf::from(value("--data-dir")),
+            "--workers" => {
+                workers = value("--workers")
+                    .parse()
+                    .expect("--workers must be a count")
+            }
+            "--ledger-dir" => ledger_dir = Some(PathBuf::from(value("--ledger-dir"))),
+            "--ledger-batch" => {
+                ledger_batch = value("--ledger-batch")
+                    .parse()
+                    .expect("--ledger-batch must be a count")
+            }
+            other => {
+                eprintln!("unknown flag: {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let knobs = match &parfile {
+        Some(path) => {
+            let text = std::fs::read_to_string(path)
+                .unwrap_or_else(|e| panic!("cannot read {}: {e}", path.display()));
+            serve_knobs_from_parfile(&text).unwrap_or_else(|e| panic!("bad Par_file: {e}"))
+        }
+        None => Default::default(),
+    };
+    let mut cfg = ServeConfig::from_knobs(&knobs, data_dir);
+    if let Some(addr) = addr {
+        cfg.addr = addr;
+    }
+    cfg.workers = workers;
+    cfg.ledger_dir = ledger_dir;
+    cfg.ledger_batch = ledger_batch;
+
+    let handle = serve(cfg).unwrap_or_else(|e| panic!("cannot start daemon: {e}"));
+    println!("SERVE_LISTENING {}", handle.addr());
+    handle.join();
+    println!("SERVE_STOPPED");
+}

@@ -1,0 +1,678 @@
+//! `specfem-serve` — synthetics as a service.
+//!
+//! The paper's workflow is batch: configure, mesh, solve, collect
+//! seismograms. This crate wraps the same [`Simulation`] pipeline in a
+//! long-running daemon so repeated queries — the common case for
+//! catalogue events and fixed station networks — are answered from a
+//! **content-addressed result cache** instead of re-solved:
+//!
+//! * requests arrive over plain HTTP/1.1 ([`http`]) as JSON bodies,
+//!   validated into typed 4xx errors ([`request`]) — no payload panics
+//!   the daemon or silently defaults;
+//! * each request is keyed by [`Simulation::result_key`] — a fingerprint
+//!   of everything that determines the answer (geometry, model, source,
+//!   stations, solver knobs) and nothing that doesn't (deadlines,
+//!   checkpoint cadence, telemetry);
+//! * misses are admitted through `specfem-campaign`'s priority scheduler
+//!   and worker pool; identical concurrent requests **single-flight**
+//!   into one solve, and every waiter is answered from the same cached
+//!   value;
+//! * results land in a two-tier [`ResultCache`] (LRU memory + SFCN disk
+//!   containers), so repeats are O(1) and survive daemon restarts;
+//! * per-request deadlines bound the wait: the connection gets a typed
+//!   `504 {"error":{"code":"deadline"}}` instead of hanging, and cold
+//!   solves carry the deadline into the solver's straggler watchdog;
+//! * `/health` and `/metrics` expose liveness, cache counters, and the
+//!   process-global `specfem-obs` registry; completed solves are
+//!   batched into run-ledger records.
+//!
+//! The protocol walkthrough lives in the workspace README ("Serving");
+//! the load-test harness is `specfem-bench`'s `serve_load` binary
+//! (EXPERIMENTS.md E-SERVE).
+
+pub mod http;
+pub mod request;
+
+pub use request::{parse_request, ServeError, SimRequest};
+
+use std::collections::HashMap;
+use std::io::{BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use crossbeam_channel::{unbounded, Receiver, RecvTimeoutError, Sender};
+use specfem_campaign::{Campaign, CampaignConfig, Job};
+use specfem_core::obs::ledger::{self, LedgerMachine, LedgerRecord, LEDGER_SCHEMA_VERSION};
+use specfem_core::parfile::ServeKnobs;
+use specfem_core::Simulation;
+use specfem_io::{CachedResult, ResultCache, ResultCacheOutcome, ResultKey};
+use specfem_obs::{global_counter_add, global_hist_record, global_snapshot, metrics_json};
+
+/// Daemon configuration. [`ServeConfig::from_knobs`] maps the Par_file
+/// knobs (`SERVE_ADDR`, `RESULT_CACHE_BYTES`, `REQUEST_DEADLINE_MS`)
+/// onto it.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// TCP listen address; `127.0.0.1:0` picks a free port.
+    pub addr: String,
+    /// Memory-tier budget for the result cache.
+    pub result_cache_bytes: usize,
+    /// Default per-request deadline (`None` = wait forever); requests
+    /// can override it with `deadline_ms`.
+    pub request_deadline: Option<Duration>,
+    /// Campaign worker-pool size; 0 = auto.
+    pub workers: usize,
+    /// Root for on-disk state; the result cache lives in
+    /// `<data_dir>/results`.
+    pub data_dir: PathBuf,
+    /// Append a run-ledger record here after every
+    /// [`ServeConfig::ledger_batch`] solves (and at shutdown); `None`
+    /// disables the ledger.
+    pub ledger_dir: Option<PathBuf>,
+    /// Solves per ledger record.
+    pub ledger_batch: usize,
+}
+
+impl ServeConfig {
+    /// Build from parsed Par_file knobs plus a state directory.
+    pub fn from_knobs(knobs: &ServeKnobs, data_dir: impl Into<PathBuf>) -> Self {
+        Self {
+            addr: knobs.addr.clone(),
+            result_cache_bytes: knobs.result_cache_bytes,
+            request_deadline: match knobs.request_deadline_ms {
+                0 => None,
+                ms => Some(Duration::from_millis(ms)),
+            },
+            workers: 0,
+            data_dir: data_dir.into(),
+            ledger_dir: None,
+            ledger_batch: 32,
+        }
+    }
+}
+
+/// What a waiter on an in-flight solve receives.
+type WaitReply = Result<Arc<CachedResult>, String>;
+
+/// Outcome of admission: a cache hit that raced in (`Ok`), or the
+/// channel this request must wait on (`Err`).
+type Admission = Result<(Arc<CachedResult>, ResultCacheOutcome), Receiver<WaitReply>>;
+
+/// Batched ledger accounting for completed solves.
+struct LedgerSink {
+    dir: PathBuf,
+    batch: usize,
+    state: Mutex<LedgerBatch>,
+}
+
+struct LedgerBatch {
+    started: Instant,
+    solves: u64,
+    failures: u64,
+    element_steps: u64,
+}
+
+/// Shared daemon state: the cache, the single-flight table, and the
+/// pipe into the scheduler thread.
+struct Engine {
+    cache: ResultCache,
+    inflight: Mutex<HashMap<u64, Vec<Sender<WaitReply>>>>,
+    jobs_tx: Mutex<Option<Sender<Job>>>,
+    default_deadline: Option<Duration>,
+    shutdown: AtomicBool,
+    started: Instant,
+    requests: AtomicU64,
+    solves: AtomicU64,
+    solve_errors: AtomicU64,
+    workers: usize,
+    ledger: Option<LedgerSink>,
+}
+
+impl Engine {
+    /// Answer every waiter registered for `key` with `reply`.
+    fn notify_waiters(&self, key: ResultKey, reply: &WaitReply) {
+        let waiters = self
+            .inflight
+            .lock()
+            .unwrap()
+            .remove(&key.0)
+            .unwrap_or_default();
+        for tx in waiters {
+            // A waiter that already timed out dropped its receiver; that
+            // is its business, not an error here.
+            let _ = tx.send(reply.clone());
+        }
+    }
+
+    /// Completion hook, called from campaign worker threads: publish the
+    /// outcome to the cache and wake the connections waiting on it.
+    fn complete(&self, key: ResultKey, result: &Result<CachedResult, String>) {
+        let reply = match result {
+            Ok(cached) => {
+                self.solves.fetch_add(1, Ordering::Relaxed);
+                global_counter_add("serve.solves", 1);
+                match self.cache.put(key, cached.clone()) {
+                    Ok(arc) => Ok(arc),
+                    // A full disk must not fail the request: serve the
+                    // fresh result and let the next query re-solve.
+                    Err(e) => {
+                        global_counter_add("serve.cache_put_errors", 1);
+                        eprintln!("serve: result cache put failed for {}: {e}", key.hex());
+                        Ok(Arc::new(cached.clone()))
+                    }
+                }
+            }
+            Err(msg) => {
+                self.solve_errors.fetch_add(1, Ordering::Relaxed);
+                global_counter_add("serve.solve_errors", 1);
+                Err(msg.clone())
+            }
+        };
+        self.notify_waiters(key, &reply);
+    }
+
+    /// Fold one drained job outcome into the current ledger batch,
+    /// flushing a record when the batch is full.
+    fn record_outcome(&self, outcome: &specfem_campaign::JobOutcome) {
+        let Some(sink) = &self.ledger else { return };
+        let mut st = sink.state.lock().unwrap();
+        st.solves += 1;
+        st.element_steps += outcome.element_steps;
+        if outcome.result.is_err() {
+            st.failures += 1;
+        }
+        if st.solves >= sink.batch as u64 {
+            self.flush_locked(sink, &mut st);
+        }
+    }
+
+    /// Write any partial batch (shutdown path).
+    fn flush_ledger(&self) {
+        let Some(sink) = &self.ledger else { return };
+        let mut st = sink.state.lock().unwrap();
+        if st.solves > 0 {
+            self.flush_locked(sink, &mut st);
+        }
+    }
+
+    fn flush_locked(&self, sink: &LedgerSink, st: &mut LedgerBatch) {
+        let mut extra = std::collections::BTreeMap::new();
+        extra.insert("solve_failures".to_string(), st.failures as f64);
+        let stats = self.cache.stats();
+        extra.insert("cache_mem_hits".to_string(), stats.mem_hits as f64);
+        extra.insert("cache_disk_hits".to_string(), stats.disk_hits as f64);
+        extra.insert("cache_misses".to_string(), stats.misses as f64);
+        extra.insert(
+            "requests".to_string(),
+            self.requests.load(Ordering::Relaxed) as f64,
+        );
+        let record = LedgerRecord {
+            schema_version: LEDGER_SCHEMA_VERSION,
+            harness: "serve_daemon".to_string(),
+            ranks: self.workers.max(1),
+            wall_s: st.started.elapsed().as_secs_f64(),
+            comm_fraction: 0.0,
+            imbalance: 0.0,
+            bytes_sent: 0,
+            bytes_received: 0,
+            messages: 0,
+            collectives: st.solves,
+            element_steps: st.element_steps,
+            phases: Vec::new(),
+            machine: LedgerMachine::detect("none"),
+            extra,
+        };
+        let path = sink.dir.join("BENCH_serve_daemon.json");
+        if let Err(e) = ledger::append(&path, &record) {
+            eprintln!("serve: ledger append failed: {e}");
+        }
+        *st = LedgerBatch {
+            started: Instant::now(),
+            solves: 0,
+            failures: 0,
+            element_steps: 0,
+        };
+    }
+
+    /// Register for `key`'s in-flight solve (submitting the job when
+    /// this is the first waiter), or return the cached value if the
+    /// solve completed in the window since the caller's cache miss.
+    fn wait_or_submit(
+        &self,
+        key: ResultKey,
+        mut sim: Simulation,
+        priority: i32,
+        deadline: Option<Duration>,
+    ) -> Result<Admission, ServeError> {
+        let mut map = self.inflight.lock().unwrap();
+        // Re-check under the lock: `complete` puts into the cache
+        // *before* taking the waiter list, so either we see the value
+        // here or our sender makes it into the list in time.
+        let (hit, outcome) = self.cache.get(key);
+        if let Some(value) = hit {
+            return Ok(Ok((value, outcome)));
+        }
+        let entry = map.entry(key.0).or_default();
+        let first = entry.is_empty();
+        let (tx, rx) = unbounded();
+        entry.push(tx);
+        drop(map);
+        if first {
+            // Wire the request deadline into the solver's straggler
+            // watchdog; the result key deliberately ignores it.
+            sim.config.watchdog_timeout = deadline;
+            let job = Job::new(format!("req_{}", key.hex()), sim).priority(priority);
+            let sent = match &*self.jobs_tx.lock().unwrap() {
+                Some(tx) => tx.send(job).is_ok(),
+                None => false,
+            };
+            if !sent {
+                self.inflight.lock().unwrap().remove(&key.0);
+                return Err(ServeError {
+                    status: 500,
+                    code: "shutting_down",
+                    message: "daemon is shutting down".to_string(),
+                });
+            }
+        }
+        Ok(Err(rx))
+    }
+
+    /// Handle `POST /simulate`: returns `(status, reason, body)`.
+    fn simulate(&self, body: &[u8]) -> (u16, &'static str, String) {
+        self.requests.fetch_add(1, Ordering::Relaxed);
+        global_counter_add("serve.requests", 1);
+        let t0 = Instant::now();
+        let reply = self.simulate_inner(body);
+        global_hist_record("serve.latency_ms", t0.elapsed().as_millis() as u64);
+        match reply {
+            Ok(body) => (200, "OK", body),
+            Err(e) => {
+                global_counter_add("serve.request_errors", 1);
+                (e.status, e.reason(), e.to_json())
+            }
+        }
+    }
+
+    fn simulate_inner(&self, body: &[u8]) -> Result<String, ServeError> {
+        let req = parse_request(body)?;
+        let sim = req.build()?;
+        let key = sim.result_key();
+        let (hit, outcome) = self.cache.get(key);
+        if let Some(value) = hit {
+            global_counter_add(outcome_counter(outcome), 1);
+            return Ok(result_json(key, outcome.as_str(), &value));
+        }
+        let deadline = req
+            .deadline_ms
+            .map(Duration::from_millis)
+            .or(self.default_deadline);
+        let rx = match self.wait_or_submit(key, sim, req.priority, deadline)? {
+            Ok((value, outcome)) => {
+                global_counter_add(outcome_counter(outcome), 1);
+                return Ok(result_json(key, outcome.as_str(), &value));
+            }
+            Err(rx) => rx,
+        };
+        let received = match deadline {
+            Some(d) => rx.recv_timeout(d).map_err(|e| match e {
+                RecvTimeoutError::Timeout => {
+                    global_counter_add("serve.deadline_timeouts", 1);
+                    ServeError {
+                        status: 504,
+                        code: "deadline",
+                        message: format!("no result within {} ms", d.as_millis()),
+                    }
+                }
+                RecvTimeoutError::Disconnected => shutdown_error(),
+            })?,
+            None => rx.recv().map_err(|_| shutdown_error())?,
+        };
+        match received {
+            Ok(value) => {
+                global_counter_add("serve.cache_misses_solved", 1);
+                Ok(result_json(key, ResultCacheOutcome::Miss.as_str(), &value))
+            }
+            Err(msg) => {
+                // A watchdog trip is the deadline surfacing from inside
+                // the solver — report it as the same typed timeout.
+                if msg.contains("watchdog") || msg.contains("Stalled") {
+                    Err(ServeError {
+                        status: 504,
+                        code: "deadline",
+                        message: msg,
+                    })
+                } else {
+                    Err(ServeError {
+                        status: 500,
+                        code: "solver",
+                        message: msg,
+                    })
+                }
+            }
+        }
+    }
+
+    /// Handle `GET /health`.
+    fn health_json(&self) -> String {
+        let stats = self.cache.stats();
+        format!(
+            "{{\"status\":\"ok\",\"uptime_s\":{:.3},\"requests\":{},\"solves\":{},\
+             \"solve_errors\":{},\"in_flight\":{},\"cache\":{{\"mem_hits\":{},\
+             \"disk_hits\":{},\"misses\":{},\"inserts\":{},\"evictions\":{},\
+             \"memory_bytes\":{}}}}}",
+            self.started.elapsed().as_secs_f64(),
+            self.requests.load(Ordering::Relaxed),
+            self.solves.load(Ordering::Relaxed),
+            self.solve_errors.load(Ordering::Relaxed),
+            self.inflight.lock().unwrap().len(),
+            stats.mem_hits,
+            stats.disk_hits,
+            stats.misses,
+            stats.inserts,
+            stats.evictions,
+            self.cache.memory_bytes(),
+        )
+    }
+}
+
+fn outcome_counter(outcome: ResultCacheOutcome) -> &'static str {
+    match outcome {
+        ResultCacheOutcome::MemHit => "serve.mem_hits",
+        ResultCacheOutcome::DiskHit => "serve.disk_hits",
+        ResultCacheOutcome::Miss => "serve.misses",
+    }
+}
+
+fn shutdown_error() -> ServeError {
+    ServeError {
+        status: 500,
+        code: "shutting_down",
+        message: "daemon shut down before the solve finished".to_string(),
+    }
+}
+
+/// Serialize one result. `f32`/`f64` `Display` is shortest-round-trip,
+/// so `value → JSON → parse → cast` reproduces the exact bits — the
+/// differential tests compare `to_bits` across this boundary.
+fn result_json(key: ResultKey, cache: &str, r: &CachedResult) -> String {
+    let mut out = String::with_capacity(256 + r.approx_bytes());
+    out.push_str(&format!(
+        "{{\"key\":\"{}\",\"cache\":\"{cache}\",\"element_steps\":{},\"seismograms\":[",
+        key.hex(),
+        r.element_steps
+    ));
+    for (i, s) in r.seismograms.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "{{\"station\":\"{}\",\"dt\":{},\"data\":[",
+            specfem_obs::json_escape(&s.station),
+            s.dt
+        ));
+        for (j, sample) in s.data.iter().enumerate() {
+            if j > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("[{},{},{}]", sample[0], sample[1], sample[2]));
+        }
+        out.push_str("]}");
+    }
+    out.push_str("]}");
+    out
+}
+
+/// A running daemon. Dropping the handle shuts it down.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    engine: Arc<Engine>,
+    accept: Option<JoinHandle<()>>,
+    scheduler: Option<JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The bound address (resolves `:0` to the actual port).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Block until the daemon stops (a `POST /shutdown` arrives), then
+    /// finish cleanly: drain the scheduler and flush the ledger.
+    pub fn join(mut self) {
+        self.finish();
+    }
+
+    /// Stop the daemon from this side (the programmatic equivalent of
+    /// `POST /shutdown`).
+    pub fn shutdown(mut self) {
+        self.engine.shutdown.store(true, Ordering::SeqCst);
+        self.finish();
+    }
+
+    fn finish(&mut self) {
+        if let Some(h) = self.accept.take() {
+            let _ = h.join();
+        }
+        // Closing the job channel lets the scheduler run the campaign
+        // down and exit.
+        *self.engine.jobs_tx.lock().unwrap() = None;
+        if let Some(h) = self.scheduler.take() {
+            let _ = h.join();
+        }
+        self.engine.flush_ledger();
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        self.engine.shutdown.store(true, Ordering::SeqCst);
+        self.finish();
+    }
+}
+
+/// Bind, spawn the scheduler and accept threads, and return the handle.
+pub fn serve(cfg: ServeConfig) -> std::io::Result<ServerHandle> {
+    let listener = TcpListener::bind(&cfg.addr)?;
+    let addr = listener.local_addr()?;
+    listener.set_nonblocking(true)?;
+
+    let cache = ResultCache::new(cfg.data_dir.join("results"), cfg.result_cache_bytes)
+        .map_err(|e| std::io::Error::other(e.to_string()))?;
+    let (jobs_tx, jobs_rx) = unbounded::<Job>();
+    let engine = Arc::new(Engine {
+        cache,
+        inflight: Mutex::new(HashMap::new()),
+        jobs_tx: Mutex::new(Some(jobs_tx)),
+        default_deadline: cfg.request_deadline,
+        shutdown: AtomicBool::new(false),
+        started: Instant::now(),
+        requests: AtomicU64::new(0),
+        solves: AtomicU64::new(0),
+        solve_errors: AtomicU64::new(0),
+        workers: cfg.workers,
+        ledger: cfg.ledger_dir.map(|dir| LedgerSink {
+            dir,
+            batch: cfg.ledger_batch.max(1),
+            state: Mutex::new(LedgerBatch {
+                started: Instant::now(),
+                solves: 0,
+                failures: 0,
+                element_steps: 0,
+            }),
+        }),
+    });
+
+    let scheduler = {
+        let engine = Arc::clone(&engine);
+        let workers = cfg.workers;
+        std::thread::spawn(move || scheduler_loop(engine, jobs_rx, workers))
+    };
+    let accept = {
+        let engine = Arc::clone(&engine);
+        std::thread::spawn(move || accept_loop(listener, engine))
+    };
+    Ok(ServerHandle {
+        addr,
+        engine,
+        accept: Some(accept),
+        scheduler: Some(scheduler),
+    })
+}
+
+/// Own the campaign: admit jobs off the channel, wake waiters via the
+/// completion callback, and fold drained outcomes into ledger batches.
+fn scheduler_loop(engine: Arc<Engine>, jobs_rx: Receiver<Job>, workers: usize) {
+    let mut campaign = Campaign::new(CampaignConfig {
+        workers,
+        queue_capacity: (workers.max(1)) * 4,
+        ..CampaignConfig::default()
+    });
+    {
+        let engine = Arc::clone(&engine);
+        campaign.on_completion(move |outcome| {
+            let Some(hex) = outcome.name.strip_prefix("req_") else {
+                return;
+            };
+            let Ok(bits) = u64::from_str_radix(hex, 16) else {
+                return;
+            };
+            let result = outcome
+                .result
+                .as_ref()
+                .map_err(Clone::clone)
+                .map(|r| CachedResult {
+                    seismograms: r.seismograms.clone(),
+                    element_steps: outcome.element_steps,
+                });
+            engine.complete(ResultKey(bits), &result);
+        });
+    }
+    loop {
+        match jobs_rx.recv_timeout(Duration::from_millis(200)) {
+            Ok(job) => campaign.submit(job),
+            Err(RecvTimeoutError::Timeout) => {}
+            Err(RecvTimeoutError::Disconnected) => break,
+        }
+        for outcome in campaign.drain() {
+            engine.record_outcome(&outcome);
+        }
+    }
+    for outcome in campaign.finish().outcomes {
+        engine.record_outcome(&outcome);
+    }
+}
+
+/// Accept connections until shutdown; one thread per connection.
+fn accept_loop(listener: TcpListener, engine: Arc<Engine>) {
+    let mut conns: Vec<JoinHandle<()>> = Vec::new();
+    while !engine.shutdown.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                let engine = Arc::clone(&engine);
+                conns.push(std::thread::spawn(move || {
+                    handle_connection(stream, engine)
+                }));
+                conns.retain(|h| !h.is_finished());
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(5));
+            }
+            Err(_) => break,
+        }
+    }
+    for h in conns {
+        let _ = h.join();
+    }
+}
+
+/// Serve one connection: read a request, route it, answer, close.
+fn handle_connection(stream: TcpStream, engine: Arc<Engine>) {
+    let Ok(read_half) = stream.try_clone() else {
+        return;
+    };
+    let mut reader = BufReader::new(read_half);
+    let mut writer = stream;
+    let req = match http::read_request(&mut reader) {
+        Ok(req) => req,
+        Err(http::HttpError::Closed) => return,
+        Err(e) => {
+            let err = ServeError::bad_request("http", e.to_string());
+            let _ = http::write_response(&mut writer, 400, "Bad Request", &err.to_json());
+            return;
+        }
+    };
+    let (status, reason, body) = route(&engine, &req);
+    let _ = http::write_response(&mut writer, status, reason, &body);
+    let _ = writer.flush();
+}
+
+fn route(engine: &Arc<Engine>, req: &http::Request) -> (u16, &'static str, String) {
+    match (req.method.as_str(), req.path.as_str()) {
+        ("GET", "/health") => (200, "OK", engine.health_json()),
+        ("GET", "/metrics") => (200, "OK", metrics_json(&global_snapshot())),
+        ("POST", "/simulate") => engine.simulate(&req.body),
+        ("POST", "/shutdown") => {
+            engine.shutdown.store(true, Ordering::SeqCst);
+            (200, "OK", "{\"status\":\"shutting_down\"}".to_string())
+        }
+        ("GET" | "POST", "/health" | "/metrics" | "/simulate" | "/shutdown") => {
+            let e = ServeError {
+                status: 405,
+                code: "method_not_allowed",
+                message: format!("{} not allowed on {}", req.method, req.path),
+            };
+            (405, e.reason(), e.to_json())
+        }
+        (_, path) => {
+            let e = ServeError {
+                status: 404,
+                code: "not_found",
+                message: format!("no such endpoint: {path}"),
+            };
+            (404, e.reason(), e.to_json())
+        }
+    }
+}
+
+/// Blocking HTTP client helpers — shared by the tests, the CI smoke
+/// job, and the `serve_load` harness.
+pub mod client {
+    use super::http::{self, HttpError};
+    use std::io::{BufReader, Write};
+    use std::net::{SocketAddr, TcpStream};
+
+    fn roundtrip(
+        addr: SocketAddr,
+        method: &str,
+        path: &str,
+        body: &str,
+    ) -> Result<(u16, String), HttpError> {
+        let stream = TcpStream::connect(addr).map_err(|e| HttpError::Io(e.to_string()))?;
+        let mut writer = stream
+            .try_clone()
+            .map_err(|e| HttpError::Io(e.to_string()))?;
+        write!(
+            writer,
+            "{method} {path} HTTP/1.1\r\nHost: specfem\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+            body.len()
+        )
+        .map_err(|e| HttpError::Io(e.to_string()))?;
+        writer.flush().map_err(|e| HttpError::Io(e.to_string()))?;
+        http::read_response(&mut BufReader::new(stream))
+    }
+
+    /// `GET` the path, returning `(status, body)`.
+    pub fn get(addr: SocketAddr, path: &str) -> Result<(u16, String), HttpError> {
+        roundtrip(addr, "GET", path, "")
+    }
+
+    /// `POST` a JSON body, returning `(status, body)`.
+    pub fn post(addr: SocketAddr, path: &str, body: &str) -> Result<(u16, String), HttpError> {
+        roundtrip(addr, "POST", path, body)
+    }
+}

@@ -1,0 +1,63 @@
+//! Fuzzed request validation: no byte sequence may panic the parser,
+//! and every rejection must be a typed 4xx — the "never panic, never
+//! silently default" contract the daemon's front door depends on.
+
+use proptest::prelude::*;
+use specfem_serve::parse_request;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Arbitrary bytes — including invalid UTF-8 and truncated JSON —
+    /// always produce Ok or a 4xx ServeError, never a panic.
+    #[test]
+    fn arbitrary_bytes_never_panic(body in prop::collection::vec(any::<u8>(), 0..512)) {
+        match parse_request(&body) {
+            Ok(req) => {
+                // Anything accepted respects the documented ceilings.
+                prop_assert!(req.resolution <= specfem_serve::request::MAX_RESOLUTION);
+                prop_assert!(req.steps >= 1 && req.steps <= specfem_serve::request::MAX_STEPS);
+            }
+            Err(e) => {
+                prop_assert_eq!(e.status, 400);
+                prop_assert!(!e.code.is_empty());
+            }
+        }
+    }
+
+    /// Structurally valid JSON with fuzzed field values: same contract,
+    /// and whenever parsing succeeds the builder path must not panic
+    /// either (it may reject with a typed 400).
+    #[test]
+    fn fuzzed_json_fields_never_panic(
+        resolution in -4i64..600,
+        steps in -2i64..40,
+        nstations in -2i64..20,
+        lat in -200.0f64..200.0,
+        lon in -400.0f64..400.0,
+        model_idx in 0usize..6,
+        extra_field in any::<bool>(),
+        use_list in any::<bool>(),
+    ) {
+        let model = ["prem", "prem_iso", "prem_3d", "homogeneous", "mars", ""][model_idx];
+        let extra = if extra_field { ",\"surprise\":1" } else { "" };
+        let stations = if use_list {
+            format!("\"stations\":[{{\"name\":\"XY\",\"lat_deg\":{lat},\"lon_deg\":{lon}}}]")
+        } else {
+            format!("\"nstations\":{nstations}")
+        };
+        let body = format!(
+            "{{\"resolution\":{resolution},\"steps\":{steps},\"model\":\"{model}\",{stations}{extra}}}"
+        );
+        match parse_request(body.as_bytes()) {
+            Ok(req) => {
+                // Builder-level rejection is fine; panicking is not.
+                let _ = req.build();
+            }
+            Err(e) => {
+                prop_assert_eq!(e.status, 400);
+                let _ = e.to_json();
+            }
+        }
+    }
+}

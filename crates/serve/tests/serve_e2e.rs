@@ -1,0 +1,214 @@
+//! End-to-end daemon tests, anchored by the differential oracle: a
+//! seismogram served over HTTP must be **bit-identical** to the batch
+//! `Simulation::run_serial` answer — cold (solved on demand), warm
+//! (memory tier), and after a restart (disk tier, no re-solve).
+
+use std::path::PathBuf;
+use std::time::Duration;
+
+use serde_json::Value;
+use specfem_serve::{client, serve, ServeConfig, ServerHandle};
+
+const REQ: &str = r#"{"resolution": 4, "steps": 10, "event": "argentina_deep", "stations": 2}"#;
+
+fn tmp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("specfem_serve_{tag}"));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn start(data_dir: PathBuf) -> ServerHandle {
+    serve(ServeConfig {
+        addr: "127.0.0.1:0".to_string(),
+        result_cache_bytes: 32 << 20,
+        request_deadline: Some(Duration::from_secs(300)),
+        workers: 2,
+        data_dir,
+        ledger_dir: None,
+        ledger_batch: 4,
+    })
+    .expect("daemon starts")
+}
+
+/// Per-station `[x, y, z]` sample bits from a `/simulate` response body.
+fn response_bits(body: &str) -> (String, Vec<Vec<[u32; 3]>>) {
+    let v: Value = serde_json::from_str(body).expect("response is JSON");
+    let cache = v.get("cache").unwrap().as_str().unwrap().to_string();
+    let seis = v.get("seismograms").unwrap().as_array().unwrap();
+    let bits = seis
+        .iter()
+        .map(|s| {
+            s.get("data")
+                .unwrap()
+                .as_array()
+                .unwrap()
+                .iter()
+                .map(|row| {
+                    let r = row.as_array().unwrap();
+                    [
+                        (r[0].as_f64().unwrap() as f32).to_bits(),
+                        (r[1].as_f64().unwrap() as f32).to_bits(),
+                        (r[2].as_f64().unwrap() as f32).to_bits(),
+                    ]
+                })
+                .collect()
+        })
+        .collect();
+    (cache, bits)
+}
+
+fn batch_bits() -> Vec<Vec<[u32; 3]>> {
+    let sim = specfem_core::Simulation::builder()
+        .resolution(4)
+        .steps(10)
+        .catalogue_event("argentina_deep")
+        .stations(2)
+        .build()
+        .unwrap();
+    sim.run_serial()
+        .seismograms
+        .iter()
+        .map(|s| {
+            s.data
+                .iter()
+                .map(|v| [v[0].to_bits(), v[1].to_bits(), v[2].to_bits()])
+                .collect()
+        })
+        .collect()
+}
+
+fn health_solves(addr: std::net::SocketAddr) -> u64 {
+    let (status, body) = client::get(addr, "/health").unwrap();
+    assert_eq!(status, 200, "{body}");
+    let v: Value = serde_json::from_str(&body).unwrap();
+    v.get("solves").unwrap().as_u64().unwrap()
+}
+
+#[test]
+fn served_seismograms_match_batch_cold_warm_and_across_restart() {
+    let dir = tmp_dir("oracle");
+    let oracle = batch_bits();
+    assert!(!oracle.is_empty() && !oracle[0].is_empty());
+
+    let daemon = start(dir.clone());
+    let addr = daemon.addr();
+
+    // Cold: solved on demand, reported as a miss, bit-identical.
+    let (status, body) = client::post(addr, "/simulate", REQ).unwrap();
+    assert_eq!(status, 200, "{body}");
+    let (cache, bits) = response_bits(&body);
+    assert_eq!(cache, "miss");
+    assert_eq!(bits, oracle, "cold daemon result diverges from batch");
+    assert_eq!(health_solves(addr), 1);
+
+    // Warm: memory tier, same bits, no extra solve.
+    let (status, body) = client::post(addr, "/simulate", REQ).unwrap();
+    assert_eq!(status, 200, "{body}");
+    let (cache, bits) = response_bits(&body);
+    assert_eq!(cache, "mem_hit");
+    assert_eq!(bits, oracle, "warm daemon result diverges from batch");
+    assert_eq!(health_solves(addr), 1);
+
+    daemon.shutdown();
+
+    // Restart on the same data dir: the disk tier answers, still bit
+    // for bit, and the solver never runs.
+    let daemon = start(dir);
+    let addr = daemon.addr();
+    let (status, body) = client::post(addr, "/simulate", REQ).unwrap();
+    assert_eq!(status, 200, "{body}");
+    let (cache, bits) = response_bits(&body);
+    assert_eq!(cache, "disk_hit");
+    assert_eq!(bits, oracle, "restarted daemon result diverges from batch");
+    assert_eq!(health_solves(addr), 0, "disk hit must not re-solve");
+    daemon.shutdown();
+}
+
+#[test]
+fn concurrent_identical_requests_single_flight_into_one_solve() {
+    let daemon = start(tmp_dir("single_flight"));
+    let addr = daemon.addr();
+    let threads: Vec<_> = (0..8)
+        .map(|_| {
+            std::thread::spawn(move || {
+                let (status, body) = client::post(addr, "/simulate", REQ).unwrap();
+                assert_eq!(status, 200, "{body}");
+                response_bits(&body).1
+            })
+        })
+        .collect();
+    let mut answers: Vec<_> = threads.into_iter().map(|t| t.join().unwrap()).collect();
+    answers.dedup();
+    assert_eq!(answers.len(), 1, "all waiters must see the same result");
+    assert_eq!(
+        health_solves(addr),
+        1,
+        "identical requests must share one solve"
+    );
+    daemon.shutdown();
+}
+
+#[test]
+fn deadline_returns_a_typed_timeout() {
+    let daemon = start(tmp_dir("deadline"));
+    let addr = daemon.addr();
+    let body = r#"{"resolution": 4, "steps": 200, "stations": 2, "deadline_ms": 1}"#;
+    let (status, reply) = client::post(addr, "/simulate", body).unwrap();
+    assert_eq!(status, 504, "{reply}");
+    let v: Value = serde_json::from_str(&reply).unwrap();
+    assert_eq!(
+        v.get("error")
+            .unwrap()
+            .get("code")
+            .unwrap()
+            .as_str()
+            .unwrap(),
+        "deadline"
+    );
+    daemon.shutdown();
+}
+
+#[test]
+fn validation_and_routing_over_the_wire() {
+    let daemon = start(tmp_dir("validation"));
+    let addr = daemon.addr();
+
+    let (status, body) = client::post(addr, "/simulate", "not json").unwrap();
+    assert_eq!(status, 400);
+    let v: Value = serde_json::from_str(&body).unwrap();
+    assert_eq!(
+        v.get("error")
+            .unwrap()
+            .get("code")
+            .unwrap()
+            .as_str()
+            .unwrap(),
+        "bad_json"
+    );
+
+    let (status, _) = client::post(addr, "/simulate", r#"{"resolution": 8}"#).unwrap();
+    assert_eq!(status, 400);
+    let (status, _) = client::get(addr, "/nope").unwrap();
+    assert_eq!(status, 404);
+    let (status, _) = client::get(addr, "/simulate").unwrap();
+    assert_eq!(status, 405);
+
+    let (status, body) = client::get(addr, "/metrics").unwrap();
+    assert_eq!(status, 200);
+    let v: Value = serde_json::from_str(&body).unwrap();
+    assert!(v.get("counters").is_some());
+    daemon.shutdown();
+}
+
+#[test]
+fn shutdown_endpoint_stops_the_daemon_cleanly() {
+    let daemon = start(tmp_dir("shutdown"));
+    let addr = daemon.addr();
+    let (status, body) = client::post(addr, "/shutdown", "").unwrap();
+    assert_eq!(status, 200);
+    assert_eq!(body, "{\"status\":\"shutting_down\"}");
+    // join() returns once the accept loop notices the flag and the
+    // campaign runs down — a hang here is the failure being tested.
+    daemon.join();
+}

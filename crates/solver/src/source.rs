@@ -276,7 +276,7 @@ fn invert3(m: &[[f64; 3]; 3]) -> [[f64; 3]; 3] {
 }
 
 /// One recorded seismogram: a 3-component time series at a station.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Seismogram {
     /// Station name.
     pub station: String,
