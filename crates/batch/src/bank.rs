@@ -1,0 +1,211 @@
+//! Lane-major wavefield storage for K fused events.
+//!
+//! Layout: vector fields store `[(point*3 + comp)*k + lane]`, scalar
+//! fields `[point*k + lane]` (see `specfem_kernels::lane_major`). The
+//! K lane values of one slot are contiguous, which is what lets the
+//! halo layer pack all lanes of a shared point into one message
+//! (`ncomp = 3K` / `K`) and the batched kernels stream K products per
+//! coefficient load.
+//!
+//! Every update here is the *same per-lane f32 operation sequence* as
+//! `specfem_solver::WaveFields`: the Newmark predictor is an
+//! element-wise zip (lane order is irrelevant — each lane only reads
+//! its own slots) and the correctors hoist `1/m` exactly like the
+//! single-lane code, so batch results stay bit-identical to serial
+//! runs (the crate-wide zero-ULP contract).
+
+/// SoA wavefield bank for `k` event lanes over `nglob` mesh points.
+pub struct WavefieldBank {
+    /// Number of event lanes fused into this bank.
+    pub k: usize,
+    /// Points in the local mesh slice.
+    pub nglob: usize,
+    /// Solid displacement, `[(p*3+c)*k + lane]`.
+    pub displ: Vec<f32>,
+    /// Solid velocity, same layout.
+    pub veloc: Vec<f32>,
+    /// Solid acceleration / force accumulator, same layout.
+    pub accel: Vec<f32>,
+    /// Fluid potential χ, `[p*k + lane]`.
+    pub chi: Vec<f32>,
+    /// ∂χ/∂t, same layout.
+    pub chi_dot: Vec<f32>,
+    /// ∂²χ/∂t² / fluid force accumulator, same layout.
+    pub chi_ddot: Vec<f32>,
+}
+
+impl WavefieldBank {
+    /// All-zero bank (quiescent initial conditions, like `WaveFields::zeros`).
+    pub fn zeros(nglob: usize, k: usize) -> Self {
+        assert!((1..=specfem_kernels::MAX_BATCH_LANES).contains(&k));
+        Self {
+            k,
+            nglob,
+            displ: vec![0.0; nglob * 3 * k],
+            veloc: vec![0.0; nglob * 3 * k],
+            accel: vec![0.0; nglob * 3 * k],
+            chi: vec![0.0; nglob * k],
+            chi_dot: vec![0.0; nglob * k],
+            chi_ddot: vec![0.0; nglob * k],
+        }
+    }
+
+    /// Newmark predictor for all lanes. Identical per-element update to
+    /// the single-lane predictor; lane-major layout only changes the
+    /// iteration order across independent slots, not any lane's own
+    /// operation sequence.
+    pub fn predictor(&mut self, dt: f32) {
+        let half_dt = 0.5 * dt;
+        let dt2_half = 0.5 * dt * dt;
+        for ((u, v), a) in self
+            .displ
+            .iter_mut()
+            .zip(self.veloc.iter_mut())
+            .zip(self.accel.iter_mut())
+        {
+            *u += dt * *v + dt2_half * *a;
+            *v += half_dt * *a;
+            *a = 0.0;
+        }
+        for ((u, v), a) in self
+            .chi
+            .iter_mut()
+            .zip(self.chi_dot.iter_mut())
+            .zip(self.chi_ddot.iter_mut())
+        {
+            *u += dt * *v + dt2_half * *a;
+            *v += half_dt * *a;
+            *a = 0.0;
+        }
+    }
+
+    /// Newmark corrector on the solid fields: divide the assembled force
+    /// by the mass matrix and advance velocity a half step, per lane.
+    pub fn corrector_solid(&mut self, mass: &[f32], dt: f32) {
+        let half_dt = 0.5 * dt;
+        let k = self.k;
+        for (p, &m) in mass.iter().enumerate() {
+            if m > 0.0 {
+                let inv = 1.0 / m;
+                for c in 0..3 {
+                    let o = (p * 3 + c) * k;
+                    for lane in 0..k {
+                        let a = &mut self.accel[o + lane];
+                        *a *= inv;
+                        self.veloc[o + lane] += half_dt * *a;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Newmark corrector on the fluid potential, per lane.
+    pub fn corrector_fluid(&mut self, mass: &[f32], dt: f32) {
+        let half_dt = 0.5 * dt;
+        let k = self.k;
+        for (p, &m) in mass.iter().enumerate() {
+            if m > 0.0 {
+                let inv = 1.0 / m;
+                let o = p * k;
+                for lane in 0..k {
+                    let a = &mut self.chi_ddot[o + lane];
+                    *a *= inv;
+                    self.chi_dot[o + lane] += half_dt * *a;
+                }
+            }
+        }
+    }
+
+    /// Extract one lane of a 3-component field into the single-lane
+    /// `[p*3 + c]` layout (for health checks, checkpoints, oracles).
+    pub fn lane_vec3(field: &[f32], nglob: usize, k: usize, lane: usize) -> Vec<f32> {
+        let mut out = vec![0.0f32; nglob * 3];
+        for slot in 0..nglob * 3 {
+            out[slot] = field[slot * k + lane];
+        }
+        out
+    }
+
+    /// Extract one lane of a scalar field into the single-lane `[p]` layout.
+    pub fn lane_scalar(field: &[f32], nglob: usize, k: usize, lane: usize) -> Vec<f32> {
+        let mut out = vec![0.0f32; nglob];
+        for p in 0..nglob {
+            out[p] = field[p * k + lane];
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    #[allow(clippy::needless_range_loop)]
+    fn predictor_and_correctors_match_single_lane_bitwise() {
+        // Build a 2-lane bank whose lanes hold two different states, and
+        // the same states as two independent single-lane "banks"; every
+        // update must agree to the bit.
+        let nglob = 7;
+        let k = 2;
+        let mut bank = WavefieldBank::zeros(nglob, k);
+        let mut solo: Vec<WavefieldBank> = (0..k).map(|_| WavefieldBank::zeros(nglob, 1)).collect();
+
+        let mut x = 1.0f32;
+        for slot in 0..nglob * 3 {
+            for lane in 0..k {
+                x = (x * 1.1 + 0.3).sin();
+                bank.displ[slot * k + lane] = x;
+                solo[lane].displ[slot] = x;
+                bank.veloc[slot * k + lane] = x * 0.5;
+                solo[lane].veloc[slot] = x * 0.5;
+                bank.accel[slot * k + lane] = x * 0.25;
+                solo[lane].accel[slot] = x * 0.25;
+            }
+        }
+        for p in 0..nglob {
+            for lane in 0..k {
+                x = (x * 1.7 + 0.1).cos();
+                bank.chi[p * k + lane] = x;
+                solo[lane].chi[p] = x;
+                bank.chi_dot[p * k + lane] = -x;
+                solo[lane].chi_dot[p] = -x;
+                bank.chi_ddot[p * k + lane] = 2.0 * x;
+                solo[lane].chi_ddot[p] = 2.0 * x;
+            }
+        }
+
+        let mass: Vec<f32> = (0..nglob)
+            .map(|p| if p == 3 { 0.0 } else { 1.0 + p as f32 * 0.37 })
+            .collect();
+        let dt = 0.125f32;
+
+        bank.predictor(dt);
+        bank.corrector_solid(&mass, dt);
+        bank.corrector_fluid(&mass, dt);
+        for s in solo.iter_mut() {
+            s.predictor(dt);
+            s.corrector_solid(&mass, dt);
+            s.corrector_fluid(&mass, dt);
+        }
+
+        for lane in 0..k {
+            let d = WavefieldBank::lane_vec3(&bank.displ, nglob, k, lane);
+            let v = WavefieldBank::lane_vec3(&bank.veloc, nglob, k, lane);
+            let a = WavefieldBank::lane_vec3(&bank.accel, nglob, k, lane);
+            for slot in 0..nglob * 3 {
+                assert_eq!(d[slot].to_bits(), solo[lane].displ[slot].to_bits());
+                assert_eq!(v[slot].to_bits(), solo[lane].veloc[slot].to_bits());
+                assert_eq!(a[slot].to_bits(), solo[lane].accel[slot].to_bits());
+            }
+            let c = WavefieldBank::lane_scalar(&bank.chi, nglob, k, lane);
+            let cd = WavefieldBank::lane_scalar(&bank.chi_dot, nglob, k, lane);
+            let cdd = WavefieldBank::lane_scalar(&bank.chi_ddot, nglob, k, lane);
+            for p in 0..nglob {
+                assert_eq!(c[p].to_bits(), solo[lane].chi[p].to_bits());
+                assert_eq!(cd[p].to_bits(), solo[lane].chi_dot[p].to_bits());
+                assert_eq!(cdd[p].to_bits(), solo[lane].chi_ddot[p].to_bits());
+            }
+        }
+    }
+}

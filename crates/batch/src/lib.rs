@@ -1,0 +1,62 @@
+//! `specfem-batch` — the batched multi-event execution tier: one mesh,
+//! K earthquakes per solve.
+//!
+//! The campaign runtime already dedups the mesh across a catalogue
+//! sweep (E-CAMP), but each event still re-pays identical stiffness
+//! work: the same metric terms, the same derivative operators, the same
+//! halo exchange, once per event. Following Yamaguchi et al.'s
+//! multiple-simulation formulation, this crate fuses K simulations that
+//! share a mesh into *one* time loop:
+//!
+//! * [`WavefieldBank`] stores `displ/veloc/accel/chi/χ̇/χ̈` with an
+//!   innermost event-lane dimension K (lane-major SoA,
+//!   `specfem_kernels::lane_major`);
+//! * [`forces`] runs the solid and fluid force kernels as 5×5×K
+//!   batched cut-plane products through the same kernel-dispatch
+//!   interface ([`specfem_kernels::batched`]);
+//! * [`BatchSolver`] mirrors the single-lane `RankSolver` step order
+//!   exactly — per-lane source injection, per-lane seismogram
+//!   recording, a per-lane health monitor (a poisoned lane fails alone;
+//!   its siblings finish) — and exchanges halos once per neighbor per
+//!   step with all K lanes packed into the message (`ncomp = 3K` solid,
+//!   `K` fluid), so the posted message count is independent of K.
+//!
+//! **Differential oracle / ULP policy: zero ULP.** A K-event batch is
+//! bit-identical to the K serial runs it replaces — seismograms *and*
+//! final checkpointed fields — for every kernel variant. See
+//! `specfem_kernels::batched` for the per-variant argument and
+//! `tests/batch_oracle.rs` for the enforcement.
+
+pub mod bank;
+pub mod forces;
+pub mod timeloop;
+
+pub use bank::WavefieldBank;
+pub use timeloop::{
+    try_run_batch_partitioned, try_run_batch_serial, BatchRankOutput, BatchRunOptions, BatchSolver,
+    EventLane, LaneOutput,
+};
+
+/// Reject configurations the batched tier does not support. The serial
+/// path handles these; the campaign packer only fuses jobs that pass.
+pub fn supported(config: &specfem_solver::SolverConfig) -> Result<(), String> {
+    if config.attenuation {
+        return Err("batched tier does not support attenuation (per-lane SLS memory)".into());
+    }
+    if config.ocean_load {
+        return Err("batched tier does not support the ocean load".into());
+    }
+    if config.energy_every > 0 {
+        return Err("batched tier does not support energy diagnostics".into());
+    }
+    if config.snapshot_every > 0 {
+        return Err("batched tier does not support wavefield snapshots".into());
+    }
+    if config.checkpoint_every > 0 {
+        return Err("batched tier does not support mid-run checkpointing".into());
+    }
+    if config.fault_plan.is_some() {
+        return Err("batched tier does not run fault plans".into());
+    }
+    Ok(())
+}

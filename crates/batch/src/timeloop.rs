@@ -1,0 +1,569 @@
+//! The batched time-marching driver: `RankSolver`'s step sequence with K
+//! event lanes advancing through one mesh, one set of metric terms, and
+//! one halo exchange per neighbor per field per step.
+//!
+//! Everything lane-scoped (source injection, seismogram recording,
+//! health monitoring) runs per lane in lane order; everything
+//! mesh-scoped (stiffness, mass division, halo assembly) runs once over
+//! the lane-major bank. The step order is a verbatim transcription of
+//! `RankSolver::step`'s blocking path — which the solver's
+//! `overlap_equivalence` harness proves bit-identical to the default
+//! overlapped path — so a K-lane batch reproduces K serial runs to the
+//! bit (enforced by `tests/batch_oracle.rs`).
+
+use std::time::Instant;
+
+use specfem_comm::{
+    assemble_halo, tags, CommError, Communicator, NetworkProfile, SerialComm, StatsSnapshot,
+    ThreadWorld,
+};
+use specfem_kernels::{DerivOps, FlopCounter, MAX_BATCH_LANES};
+use specfem_mesh::stations::Station;
+use specfem_mesh::{GlobalMesh, LocalMesh, Partition};
+use specfem_obs::{HealthMonitor, HealthReport};
+use specfem_solver::{
+    CheckpointState, CouplingSurface, MassMatrices, PrecomputedGeometry, ReceiverSet, Seismogram,
+    SolverConfig, SolverError, SourceArrays, SourceSpec, EARTH_OMEGA_RAD_S,
+};
+
+use crate::bank::WavefieldBank;
+use crate::forces::{compute_fluid_forces_batched, compute_solid_forces_batched, BatchScratch};
+
+/// One event lane of a batch: its earthquake and the stations whose
+/// seismograms it owes.
+#[derive(Debug, Clone)]
+pub struct EventLane {
+    /// Job/event name, carried through to the lane's output.
+    pub name: String,
+    /// The lane's source.
+    pub source: SourceSpec,
+    /// The lane's station set.
+    pub stations: Vec<Station>,
+}
+
+/// Per-lane solver state (the lane-scoped half of `RankSolver`).
+struct LaneState {
+    name: String,
+    source: SourceArrays,
+    apply_source: bool,
+    receivers: ReceiverSet,
+    health: HealthMonitor,
+    tripped: Option<HealthReport>,
+}
+
+/// Run options for the batched time loop.
+#[derive(Debug, Clone, Default)]
+pub struct BatchRunOptions {
+    /// Capture every lane's final wavefield as a [`CheckpointState`] —
+    /// the differential oracle compares these against serial runs, and
+    /// campaign jobs that feed adjoint workflows keep them.
+    pub capture_final_state: bool,
+}
+
+/// What one lane of a batch produced on one rank.
+#[derive(Debug, Clone)]
+pub struct LaneOutput {
+    /// The lane's event name.
+    pub name: String,
+    /// Seismograms of the stations this rank owns for this lane.
+    pub seismograms: Vec<Seismogram>,
+    /// Worst station location error on this rank (m).
+    pub station_error_m: f64,
+    /// Final wavefield (when [`BatchRunOptions::capture_final_state`]).
+    pub final_state: Option<CheckpointState>,
+}
+
+/// Everything one rank returns from a batched run.
+#[derive(Debug, Clone)]
+pub struct BatchRankOutput {
+    /// Rank id.
+    pub rank: usize,
+    /// Lane count of the batch.
+    pub k: usize,
+    /// Per-lane outcome: a healthy lane's output, or the health report
+    /// that poisoned it (siblings complete regardless).
+    pub lanes: Vec<Result<LaneOutput, HealthReport>>,
+    /// Communication statistics of the main loop — shared by the whole
+    /// batch (one message per neighbor carries all K lanes).
+    pub comm: StatsSnapshot,
+    /// Total flops executed by this rank's kernels (all lanes).
+    pub flops: u64,
+    /// Wall-clock seconds of the main loop.
+    pub elapsed_s: f64,
+    /// Time step used (s).
+    pub dt: f64,
+    /// Steps taken.
+    pub nsteps: usize,
+    /// Local elements / points.
+    pub nspec: usize,
+    pub nglob: usize,
+}
+
+/// Unwrap a setup-phase collective (same policy as the single-lane
+/// solver: failures before the first step are fatal).
+fn setup<T>(r: Result<T, CommError>) -> T {
+    r.unwrap_or_else(|e| panic!("collective failed during batch solver setup: {e}"))
+}
+
+/// Map a health trip's flat field index back to the local element holding
+/// the offending grid point (single-lane layout: the monitor scans
+/// per-lane extracts).
+fn attribute_element(mesh: &LocalMesh, field: &str, point: usize) -> Option<usize> {
+    let pid = if matches!(field, "chi" | "chi_dot" | "chi_ddot") {
+        point
+    } else {
+        point / 3
+    } as u32;
+    let npe = mesh.points_per_element();
+    mesh.ibool.chunks(npe).position(|elem| elem.contains(&pid))
+}
+
+/// One rank's batched solver state.
+pub struct BatchSolver {
+    /// The rank's mesh slice.
+    pub mesh: LocalMesh,
+    config: SolverConfig,
+    geom: PrecomputedGeometry,
+    ops: DerivOps,
+    mass: MassMatrices,
+    coupling: CouplingSurface,
+    /// The lane-major wave fields (public for tests).
+    pub bank: WavefieldBank,
+    lanes: Vec<LaneState>,
+    /// Time step (s) — identical to the single-lane solver's on the
+    /// same mesh (same Courant collective).
+    pub dt: f64,
+    flops: FlopCounter,
+    scratch: BatchScratch,
+}
+
+impl BatchSolver {
+    /// Set up one rank for K lanes (collective call). The mesh-scoped
+    /// setup runs once; source and receiver location run per lane, in
+    /// lane order, with the same ownership collectives as the
+    /// single-lane solver — so every rank agrees on who applies which
+    /// lane's source and records which lane's stations.
+    ///
+    /// Panics on configurations the batched tier does not support
+    /// (see [`crate::supported`]) — the campaign packer screens jobs
+    /// before fusing them, so hitting one here is a driver bug.
+    pub fn new(
+        mesh: LocalMesh,
+        config: &SolverConfig,
+        lanes: &[EventLane],
+        comm: &mut dyn Communicator,
+    ) -> Self {
+        let _span = specfem_obs::span("batch.setup");
+        let k = lanes.len();
+        assert!(
+            (1..=MAX_BATCH_LANES).contains(&k),
+            "batch lane count {k} out of 1..={MAX_BATCH_LANES}"
+        );
+        crate::supported(config).unwrap_or_else(|e| panic!("unbatchable config: {e}"));
+
+        let gravity_profile = if config.gravity {
+            Some(specfem_model::GravityProfile::new(
+                &specfem_model::Prem::isotropic_no_ocean(),
+                256,
+            ))
+        } else {
+            None
+        };
+        let geom = PrecomputedGeometry::compute(&mesh, gravity_profile.as_ref());
+        let ops = DerivOps::from_basis(&mesh.basis);
+        let mass = MassMatrices::build(&mesh, &geom, comm)
+            .unwrap_or_else(|e| panic!("mass-matrix assembly failed: {e}"));
+        let coupling = CouplingSurface::build(&mesh);
+        let absorbing =
+            specfem_solver::AbsorbingSurface::build(&mesh, specfem_model::EARTH_RADIUS_M);
+        assert!(
+            absorbing.is_empty(),
+            "batched tier only runs global meshes (no absorbing boundaries)"
+        );
+
+        let quality = mesh.quality();
+        let dt = match config.dt {
+            Some(dt) => dt,
+            None => setup(comm.allreduce_min(quality.dt_stable_s)),
+        };
+
+        let lane_states = lanes
+            .iter()
+            .map(|lane| {
+                // Source ownership: every rank locates, the best fit wins
+                // (identical collective sequence to the single-lane path).
+                let source = SourceArrays::build(&mesh, &lane.source);
+                let best = setup(comm.allreduce_min(source.locate_cost()));
+                let mine = if (source.locate_cost() - best).abs() <= 1e-9 * best.max(1.0) {
+                    comm.rank() as f64
+                } else {
+                    f64::INFINITY
+                };
+                let winner = setup(comm.allreduce_min(mine));
+                let apply_source = best.is_finite() && winner == comm.rank() as f64;
+
+                // Receivers: per-station ownership by best location error.
+                let mut receivers =
+                    ReceiverSet::locate(&mesh, &lane.stations, config.exact_station_location);
+                let errors = receivers.errors();
+                let mut keep = vec![false; errors.len()];
+                for (s, &err) in errors.iter().enumerate() {
+                    let best = setup(comm.allreduce_min(err));
+                    let mine = if (err - best).abs() <= 1e-9 * best.max(1.0) {
+                        comm.rank() as f64
+                    } else {
+                        f64::INFINITY
+                    };
+                    let winner = setup(comm.allreduce_min(mine));
+                    keep[s] = winner == comm.rank() as f64;
+                }
+                receivers.retain(&keep);
+
+                LaneState {
+                    name: lane.name.clone(),
+                    source,
+                    apply_source,
+                    receivers,
+                    health: HealthMonitor::new(config.health_every),
+                    tripped: None,
+                }
+            })
+            .collect();
+
+        let bank = WavefieldBank::zeros(mesh.nglob, k);
+        Self {
+            config: config.clone(),
+            geom,
+            ops,
+            mass,
+            coupling,
+            bank,
+            lanes: lane_states,
+            dt,
+            flops: FlopCounter::new(),
+            scratch: BatchScratch::new(k),
+            mesh,
+        }
+    }
+
+    /// Add lane `lane`'s source force at time `t` into its lane of the
+    /// acceleration bank — `SourceArrays::apply` re-addressed into the
+    /// lane-major layout (same weights, same add order).
+    fn apply_source_lane(&mut self, lane: usize, t: f64) {
+        let k = self.bank.k;
+        let source = &self.lanes[lane].source;
+        if let Some((weights, samples, dt)) = &source.trace {
+            let idx = (t / dt).round() as usize;
+            let Some(s) = samples.get(idx) else { return };
+            for &(p, w) in weights {
+                let o = p as usize * 3 * k;
+                self.bank.accel[o + lane] += w * s[0];
+                self.bank.accel[o + k + lane] += w * s[1];
+                self.bank.accel[o + 2 * k + lane] += w * s[2];
+            }
+            return;
+        }
+        let Some(stf) = &source.stf else { return };
+        let s = stf.eval(t) as f32;
+        if s == 0.0 {
+            return;
+        }
+        for &(p, f) in &source.entries {
+            let o = p as usize * 3 * k;
+            self.bank.accel[o + lane] += s * f[0];
+            self.bank.accel[o + k + lane] += s * f[1];
+            self.bank.accel[o + 2 * k + lane] += s * f[2];
+        }
+    }
+
+    /// Advance all lanes one time step. Mirrors `RankSolver::step`'s
+    /// blocking path; each halo field is exchanged once with all K
+    /// lanes packed (`ncomp = K` fluid, `3K` solid) under the batched
+    /// tags, so the posted message count per step does not depend on K.
+    pub fn step(&mut self, istep: usize, comm: &mut dyn Communicator) -> Result<(), SolverError> {
+        comm.on_time_step(istep)?;
+        let _span = specfem_obs::span("batch.step");
+        let dt = self.dt as f32;
+        let t = (istep + 1) as f64 * self.dt;
+        let k = self.bank.k;
+
+        // 1. Newmark predictor on both media, all lanes.
+        self.bank.predictor(dt);
+
+        // 2. Fluid outer core: solid→fluid coupling from the predicted
+        //    displacement (before the element loop — same accumulation-
+        //    order contract as the single-lane solver), stiffness,
+        //    assemble, divide by mass.
+        {
+            let _s = specfem_obs::span("batch.forces.fluid");
+            for cp in &self.coupling.points {
+                let o = cp.point as usize * 3 * k;
+                let co = cp.point as usize * k;
+                for lane in 0..k {
+                    let dot = self.bank.displ[o + lane] * cp.nw[0]
+                        + self.bank.displ[o + k + lane] * cp.nw[1]
+                        + self.bank.displ[o + 2 * k + lane] * cp.nw[2];
+                    self.bank.chi_ddot[co + lane] += dot;
+                }
+            }
+            compute_fluid_forces_batched(
+                &self.mesh,
+                &self.geom,
+                &self.ops,
+                self.config.variant,
+                &mut self.bank,
+                &mut self.flops,
+                &mut self.scratch,
+            );
+        }
+        {
+            let _s = specfem_obs::span("batch.assemble.fluid");
+            assemble_halo(
+                comm,
+                &self.mesh.halo,
+                &mut self.bank.chi_ddot,
+                k,
+                tags::HALO_BATCHED_FLUID,
+            )?;
+        }
+        self.bank.corrector_fluid(&self.mass.fluid, dt);
+
+        // 3. Solid regions: fluid→solid coupling, per-lane sources,
+        //    stiffness, assembly.
+        {
+            let _s = specfem_obs::span("batch.forces.solid");
+            for cp in &self.coupling.points {
+                let o = cp.point as usize * 3 * k;
+                let co = cp.point as usize * k;
+                for lane in 0..k {
+                    let chiddot = self.bank.chi_ddot[co + lane];
+                    self.bank.accel[o + lane] -= cp.nw[0] * chiddot;
+                    self.bank.accel[o + k + lane] -= cp.nw[1] * chiddot;
+                    self.bank.accel[o + 2 * k + lane] -= cp.nw[2] * chiddot;
+                }
+            }
+            for lane in 0..k {
+                if self.lanes[lane].apply_source {
+                    self.apply_source_lane(lane, t);
+                }
+            }
+            compute_solid_forces_batched(
+                &self.mesh,
+                &self.geom,
+                &self.ops,
+                self.config.variant,
+                &mut self.bank,
+                self.config.gravity,
+                &mut self.flops,
+                &mut self.scratch,
+            );
+        }
+        {
+            let _s = specfem_obs::span("batch.assemble.solid");
+            assemble_halo(
+                comm,
+                &self.mesh.halo,
+                &mut self.bank.accel,
+                3 * k,
+                tags::HALO_BATCHED_SOLID,
+            )?;
+        }
+
+        // 4. Solid corrector (optional Coriolis between the mass division
+        //    and the velocity half-update), all lanes.
+        if self.config.rotation {
+            let half_dt = 0.5 * dt;
+            let om = EARTH_OMEGA_RAD_S as f32;
+            for (p, &m) in self.mass.solid.iter().enumerate() {
+                if m > 0.0 {
+                    let inv = 1.0 / m;
+                    let o = p * 3 * k;
+                    for lane in 0..k {
+                        let vx = self.bank.veloc[o + lane];
+                        let vy = self.bank.veloc[o + k + lane];
+                        let ax = self.bank.accel[o + lane] * inv + 2.0 * om * vy;
+                        let ay = self.bank.accel[o + k + lane] * inv - 2.0 * om * vx;
+                        let az = self.bank.accel[o + 2 * k + lane] * inv;
+                        self.bank.accel[o + lane] = ax;
+                        self.bank.accel[o + k + lane] = ay;
+                        self.bank.accel[o + 2 * k + lane] = az;
+                        self.bank.veloc[o + lane] += half_dt * ax;
+                        self.bank.veloc[o + k + lane] += half_dt * ay;
+                        self.bank.veloc[o + 2 * k + lane] += half_dt * az;
+                    }
+                }
+            }
+        } else {
+            self.bank.corrector_solid(&self.mass.solid, dt);
+        }
+
+        // Bookkeeping flops for the update loops (≈ 50/point/step/lane).
+        self.flops.add_raw(self.mesh.nglob as u64 * 50 * k as u64);
+
+        if istep.is_multiple_of(self.config.record_every) {
+            let _s = specfem_obs::span("batch.step.record");
+            let bank = &self.bank;
+            for (lane, ls) in self.lanes.iter_mut().enumerate() {
+                ls.receivers
+                    .record_with(&self.mesh, |p, c| bank.veloc[(p * 3 + c) * k + lane]);
+            }
+        }
+        Ok(())
+    }
+
+    /// Scan every healthy lane's fields with its own monitor. A trip
+    /// poisons only that lane: its report is stored (and later returned
+    /// as the lane's outcome) while its siblings keep marching — lanes
+    /// never mix numerically, so a NaN stays in its own lane.
+    fn check_health(&mut self, rank: usize, istep: usize) {
+        let k = self.bank.k;
+        let nglob = self.bank.nglob;
+        for (lane, ls) in self.lanes.iter_mut().enumerate() {
+            if ls.tripped.is_some() || !ls.health.should_check(istep) {
+                continue;
+            }
+            let displ = WavefieldBank::lane_vec3(&self.bank.displ, nglob, k, lane);
+            let veloc = WavefieldBank::lane_vec3(&self.bank.veloc, nglob, k, lane);
+            let chi_dot = WavefieldBank::lane_scalar(&self.bank.chi_dot, nglob, k, lane);
+            let fields: [(&'static str, &[f32]); 3] =
+                [("displ", &displ), ("veloc", &veloc), ("chi_dot", &chi_dot)];
+            if let Some(mut report) = ls.health.check(rank, istep, &fields) {
+                report.element = attribute_element(&self.mesh, report.field, report.point);
+                specfem_obs::counter_add("batch.health.trips", 1);
+                ls.tripped = Some(report);
+            }
+        }
+    }
+
+    /// Capture lane `lane`'s final wavefield in the single-lane
+    /// checkpoint container (next_step = nsteps, no attenuation memory,
+    /// no energy/snapshot series — the batched tier records neither).
+    fn capture_lane_state(&self, lane: usize, rank: usize, nranks: usize) -> CheckpointState {
+        let k = self.bank.k;
+        let nglob = self.bank.nglob;
+        CheckpointState {
+            rank,
+            nranks,
+            next_step: self.config.nsteps,
+            dt: self.dt,
+            nglob,
+            global_ids: self.mesh.global_ids.clone(),
+            element_global: self.mesh.element_global.clone(),
+            displ: WavefieldBank::lane_vec3(&self.bank.displ, nglob, k, lane),
+            veloc: WavefieldBank::lane_vec3(&self.bank.veloc, nglob, k, lane),
+            accel: WavefieldBank::lane_vec3(&self.bank.accel, nglob, k, lane),
+            chi: WavefieldBank::lane_scalar(&self.bank.chi, nglob, k, lane),
+            chi_dot: WavefieldBank::lane_scalar(&self.bank.chi_dot, nglob, k, lane),
+            chi_ddot: WavefieldBank::lane_scalar(&self.bank.chi_ddot, nglob, k, lane),
+            atten_memory: None,
+            records: self.lanes[lane]
+                .receivers
+                .station_names()
+                .into_iter()
+                .zip(self.lanes[lane].receivers.records().iter().cloned())
+                .collect(),
+            energy: Vec::new(),
+            snapshots: Vec::new(),
+            flops: 0,
+        }
+    }
+
+    /// Run the configured number of steps and package per-lane results.
+    pub fn try_run(
+        mut self,
+        comm: &mut dyn Communicator,
+        opts: &BatchRunOptions,
+    ) -> Result<BatchRankOutput, SolverError> {
+        comm.barrier()?;
+        comm.reset_stats(); // main-loop statistics only, like IPM
+        let span_timeloop = specfem_obs::span("batch.timeloop");
+        let t0 = Instant::now();
+        for istep in 0..self.config.nsteps {
+            self.step(istep, comm)?;
+            self.check_health(comm.rank(), istep);
+        }
+        comm.barrier()?;
+        drop(span_timeloop);
+        let elapsed = t0.elapsed().as_secs_f64();
+        specfem_obs::counter_add("batch.steps", self.config.nsteps as u64);
+
+        let rank = comm.rank();
+        let nranks = comm.size();
+        let final_states: Vec<Option<CheckpointState>> = (0..self.lanes.len())
+            .map(|lane| {
+                (opts.capture_final_state && self.lanes[lane].tripped.is_none())
+                    .then(|| self.capture_lane_state(lane, rank, nranks))
+            })
+            .collect();
+        let dt_samples = self.dt * self.config.record_every as f64;
+        let lanes: Vec<Result<LaneOutput, HealthReport>> = self
+            .lanes
+            .into_iter()
+            .zip(final_states)
+            .map(|(ls, final_state)| match ls.tripped {
+                Some(report) => Err(report),
+                None => Ok(LaneOutput {
+                    name: ls.name,
+                    station_error_m: ls.receivers.worst_error_m(),
+                    seismograms: ls.receivers.into_seismograms(dt_samples),
+                    final_state,
+                }),
+            })
+            .collect();
+        Ok(BatchRankOutput {
+            rank,
+            k: self.bank.k,
+            lanes,
+            comm: comm.stats(),
+            flops: self.flops.total(),
+            elapsed_s: elapsed,
+            dt: self.dt,
+            nsteps: self.config.nsteps,
+            nspec: self.mesh.nspec,
+            nglob: self.mesh.nglob,
+        })
+    }
+}
+
+/// Run a batch serially (one rank, whole mesh).
+pub fn try_run_batch_serial(
+    mesh: &GlobalMesh,
+    config: &SolverConfig,
+    lanes: &[EventLane],
+    opts: &BatchRunOptions,
+) -> Result<BatchRankOutput, SolverError> {
+    let local = Partition::serial(mesh).extract(mesh, 0);
+    let mut comm = SerialComm::new();
+    let solver = BatchSolver::new(local, config, lanes, &mut comm);
+    solver.try_run(&mut comm, opts)
+}
+
+/// Run a batch distributed over an explicit partition (the `mpirun`
+/// analog of [`try_run_batch_serial`]).
+pub fn try_run_batch_partitioned(
+    mesh: &GlobalMesh,
+    config: &SolverConfig,
+    lanes: &[EventLane],
+    profile: NetworkProfile,
+    partition: &Partition,
+    opts: &BatchRunOptions,
+) -> Vec<Result<BatchRankOutput, SolverError>> {
+    let nranks = partition.num_ranks;
+    let rank_main = |mut base: specfem_comm::ThreadComm| {
+        base.set_recv_timeout(config.recv_timeout);
+        let rank = base.rank();
+        let local = partition.extract(mesh, rank);
+        let solver = BatchSolver::new(local, config, lanes, &mut base);
+        solver.try_run(&mut base, opts)
+    };
+    ThreadWorld::try_run(nranks, profile, rank_main)
+        .into_iter()
+        .map(|r| match r {
+            Ok(inner) => inner,
+            Err(p) => Err(SolverError::RankPanicked {
+                rank: p.rank,
+                message: p.message,
+            }),
+        })
+        .collect()
+}

@@ -1,0 +1,366 @@
+//! The batched tier's differential oracle — the crate's non-negotiable
+//! contract: a K-event batch is **bit-identical** (zero ULP, every
+//! kernel variant) to the K serial runs it replaces, on every
+//! decomposition, for seismograms *and* final checkpointed fields; and
+//! the halo message count per step does not depend on K.
+//!
+//! The single-lane reference is driven through `RankSolver` manually
+//! (`new` → `step` loop → `capture_checkpoint`) so one pass yields both
+//! the final fields and the station records, with the solver's default
+//! overlapped exchange — so the oracle also transitively rechecks the
+//! overlap/blocking equivalence the batched (blocking-only) path leans
+//! on.
+
+use specfem_batch::{try_run_batch_partitioned, try_run_batch_serial, BatchRunOptions, EventLane};
+use specfem_comm::{tags, Communicator, NetworkProfile, SerialComm, ThreadWorld};
+use specfem_kernels::KernelVariant;
+use specfem_mesh::stations::global_network;
+use specfem_mesh::{GlobalMesh, MeshParams, Partition};
+use specfem_model::{builtin_events, Prem, SourceTimeFunction, StfKind};
+use specfem_solver::{CheckpointState, RankSolver, SolverConfig, SourceSpec};
+
+fn prem_mesh() -> GlobalMesh {
+    GlobalMesh::build(&MeshParams::new(4, 1), &Prem::isotropic_no_ocean())
+}
+
+fn config(variant: KernelVariant, nsteps: usize) -> SolverConfig {
+    SolverConfig {
+        variant,
+        nsteps,
+        ..SolverConfig::default()
+    }
+}
+
+/// Lane i: the i-th builtin CMT event, with a per-lane station set (the
+/// sizes differ so per-lane receiver plumbing is actually exercised).
+fn lanes(n: usize) -> Vec<EventLane> {
+    let events = builtin_events();
+    (0..n)
+        .map(|i| EventLane {
+            name: format!("event-{i}"),
+            source: SourceSpec::Cmt {
+                event: events[i % events.len()].clone(),
+                stf: SourceTimeFunction::new(StfKind::Ricker, 200.0),
+            },
+            stations: global_network(2 + (i % 2)),
+        })
+        .collect()
+}
+
+/// Single-lane serial reference: manual `RankSolver` loop, returning the
+/// final fields + station records in one checkpoint container.
+fn serial_state(mesh: &GlobalMesh, cfg: &SolverConfig, lane: &EventLane) -> CheckpointState {
+    let cfg = SolverConfig {
+        source: lane.source.clone(),
+        ..cfg.clone()
+    };
+    let cfg = &cfg;
+    let local = Partition::serial(mesh).extract(mesh, 0);
+    let mut comm = SerialComm::new();
+    let mut solver = RankSolver::new(local, cfg, &lane.stations, &mut comm);
+    for istep in 0..cfg.nsteps {
+        solver.step(istep, &mut comm).expect("serial step");
+    }
+    solver.capture_checkpoint(0, 1, cfg.nsteps)
+}
+
+fn assert_bits(name: &str, a: &[f32], b: &[f32]) {
+    assert_eq!(a.len(), b.len(), "{name} length");
+    for (i, (x, y)) in a.iter().zip(b).enumerate() {
+        assert_eq!(
+            x.to_bits(),
+            y.to_bits(),
+            "{name}[{i}]: batch {x:e} vs serial {y:e}"
+        );
+    }
+}
+
+fn assert_state_matches(lane_name: &str, batch: &CheckpointState, serial: &CheckpointState) {
+    assert_bits(&format!("{lane_name}.displ"), &batch.displ, &serial.displ);
+    assert_bits(&format!("{lane_name}.veloc"), &batch.veloc, &serial.veloc);
+    assert_bits(&format!("{lane_name}.accel"), &batch.accel, &serial.accel);
+    assert_bits(&format!("{lane_name}.chi"), &batch.chi, &serial.chi);
+    assert_bits(
+        &format!("{lane_name}.chi_dot"),
+        &batch.chi_dot,
+        &serial.chi_dot,
+    );
+    assert_bits(
+        &format!("{lane_name}.chi_ddot"),
+        &batch.chi_ddot,
+        &serial.chi_ddot,
+    );
+    assert_eq!(batch.dt.to_bits(), serial.dt.to_bits(), "{lane_name}.dt");
+    // Station records: same stations, same samples, to the bit.
+    assert_eq!(
+        batch.records.len(),
+        serial.records.len(),
+        "{lane_name} stations"
+    );
+    for ((bn, bs), (sn, ss)) in batch.records.iter().zip(&serial.records) {
+        assert_eq!(bn, sn, "{lane_name} station name");
+        assert_eq!(bs.len(), ss.len(), "{lane_name}/{bn} samples");
+        for (x, y) in bs.iter().zip(ss) {
+            for c in 0..3 {
+                assert_eq!(x[c].to_bits(), y[c].to_bits(), "{lane_name}/{bn}");
+            }
+        }
+    }
+}
+
+fn run_batch_and_compare(mesh: &GlobalMesh, cfg: &SolverConfig, k: usize) {
+    let lanes = lanes(k);
+    let out = try_run_batch_serial(
+        mesh,
+        cfg,
+        &lanes,
+        &BatchRunOptions {
+            capture_final_state: true,
+        },
+    )
+    .expect("batch run");
+    assert_eq!(out.k, k);
+    assert_eq!(out.lanes.len(), k);
+    for (lane, result) in lanes.iter().zip(&out.lanes) {
+        let got = result.as_ref().expect("healthy lane");
+        assert_eq!(got.name, lane.name);
+        let want = serial_state(mesh, cfg, lane);
+        assert_state_matches(&lane.name, got.final_state.as_ref().unwrap(), &want);
+        // The packaged seismograms restate the records.
+        assert_eq!(got.seismograms.len(), lane.stations.len());
+        for (seis, (name, rec)) in got.seismograms.iter().zip(&want.records) {
+            assert_eq!(&seis.station, name);
+            assert_eq!(seis.data.len(), rec.len());
+            for (x, y) in seis.data.iter().zip(rec) {
+                for c in 0..3 {
+                    assert_eq!(x[c].to_bits(), y[c].to_bits());
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn serial_batch_is_bit_identical_for_k_1_2_4_reference() {
+    let mesh = prem_mesh();
+    let cfg = config(KernelVariant::Reference, 10);
+    for k in [1, 2, 4] {
+        run_batch_and_compare(&mesh, &cfg, k);
+    }
+}
+
+#[test]
+fn serial_batch_is_bit_identical_for_simd_and_blas_variants() {
+    // Simd/BlasStyle dispatch gathers each lane through the unmodified
+    // single-lane kernel, so identity must hold there too.
+    let mesh = prem_mesh();
+    for variant in [KernelVariant::Simd, KernelVariant::BlasStyle] {
+        run_batch_and_compare(&mesh, &config(variant, 8), 2);
+    }
+}
+
+#[test]
+fn serial_batch_is_bit_identical_with_rotation_and_gravity() {
+    let mesh = prem_mesh();
+    let cfg = SolverConfig {
+        rotation: true,
+        gravity: true,
+        ..config(KernelVariant::Reference, 6)
+    };
+    run_batch_and_compare(&mesh, &cfg, 2);
+}
+
+/// Single-lane distributed reference on an explicit partition: manual
+/// per-rank `RankSolver` loops capturing each rank's final state.
+fn distributed_states(
+    mesh: &GlobalMesh,
+    cfg: &SolverConfig,
+    lane: &EventLane,
+    partition: &Partition,
+) -> Vec<CheckpointState> {
+    let cfg = &SolverConfig {
+        source: lane.source.clone(),
+        ..cfg.clone()
+    };
+    let nranks = partition.num_ranks;
+    let raw = ThreadWorld::try_run(nranks, NetworkProfile::loopback(), |mut base| {
+        base.set_recv_timeout(cfg.recv_timeout);
+        let rank = base.rank();
+        let local = partition.extract(mesh, rank);
+        let mut solver = RankSolver::new(local, cfg, &lane.stations, &mut base);
+        for istep in 0..cfg.nsteps {
+            solver.step(istep, &mut base).expect("distributed step");
+        }
+        solver.capture_checkpoint(rank, nranks, cfg.nsteps)
+    });
+    raw.into_iter()
+        .map(|r| r.unwrap_or_else(|p| panic!("rank {} panicked: {}", p.rank, p.message)))
+        .collect()
+}
+
+#[test]
+fn distributed_batch_is_bit_identical_per_rank_and_per_lane() {
+    let mesh = prem_mesh();
+    let partition = Partition::compute(&mesh);
+    let cfg = config(KernelVariant::Reference, 6);
+    let lanes4 = lanes(4);
+    let outs = try_run_batch_partitioned(
+        &mesh,
+        &cfg,
+        &lanes4,
+        NetworkProfile::loopback(),
+        &partition,
+        &BatchRunOptions {
+            capture_final_state: true,
+        },
+    );
+    assert_eq!(outs.len(), partition.num_ranks);
+    for (lane_idx, lane) in lanes4.iter().enumerate() {
+        let want = distributed_states(&mesh, &cfg, lane, &partition);
+        for (rank, out) in outs.iter().enumerate() {
+            let out = out.as_ref().expect("rank ok");
+            let got = out.lanes[lane_idx].as_ref().expect("healthy lane");
+            assert_state_matches(
+                &format!("rank{rank}/{}", lane.name),
+                got.final_state.as_ref().unwrap(),
+                &want[rank],
+            );
+        }
+    }
+}
+
+#[test]
+fn halo_message_count_is_independent_of_lane_count() {
+    let mesh = prem_mesh();
+    let partition = Partition::compute(&mesh);
+    let cfg = config(KernelVariant::Reference, 4);
+    let opts = BatchRunOptions::default();
+    let run = |k: usize| {
+        try_run_batch_partitioned(
+            &mesh,
+            &cfg,
+            &lanes(k),
+            NetworkProfile::loopback(),
+            &partition,
+            &opts,
+        )
+        .into_iter()
+        .map(|r| r.expect("rank ok"))
+        .collect::<Vec<_>>()
+    };
+    let k1 = run(1);
+    let k2 = run(2);
+    let k4 = run(4);
+
+    let tag_traffic = |out: &specfem_batch::BatchRankOutput, tag: u32| {
+        out.comm
+            .per_tag
+            .iter()
+            .find(|t| t.tag == tag)
+            .map(|t| (t.messages, t.bytes))
+            .unwrap_or((0, 0))
+    };
+    for rank in 0..partition.num_ranks {
+        // Posted message count per step is independent of K...
+        assert_eq!(k1[rank].comm.messages_sent, k2[rank].comm.messages_sent);
+        assert_eq!(k2[rank].comm.messages_sent, k4[rank].comm.messages_sent);
+        for tag in [tags::HALO_BATCHED_SOLID, tags::HALO_BATCHED_FLUID] {
+            let (m1, b1) = tag_traffic(&k1[rank], tag);
+            let (m2, b2) = tag_traffic(&k2[rank], tag);
+            let (m4, b4) = tag_traffic(&k4[rank], tag);
+            assert!(m1 > 0, "rank {rank} tag {tag} sent no halo messages");
+            assert_eq!(m1, m2, "rank {rank} tag {tag} message count");
+            assert_eq!(m2, m4, "rank {rank} tag {tag} message count");
+            // ...while the bytes scale exactly linearly with K.
+            assert_eq!(b2, 2 * b1, "rank {rank} tag {tag} bytes");
+            assert_eq!(b4, 2 * b2, "rank {rank} tag {tag} bytes");
+        }
+        // The legacy single-lane tags are silent on the batched path.
+        for tag in [tags::HALO_SOLID, tags::HALO_FLUID] {
+            assert_eq!(tag_traffic(&k4[rank], tag).0, 0);
+        }
+    }
+}
+
+#[test]
+fn poisoned_lane_fails_alone_and_siblings_stay_bit_identical() {
+    let mesh = prem_mesh();
+    let cfg = SolverConfig {
+        health_every: 2,
+        ..config(KernelVariant::Reference, 8)
+    };
+    let mut batch_lanes = lanes(3);
+    // Poison the middle lane: a NaN force nukes its own wavefield at the
+    // first source application but must never leak into siblings.
+    batch_lanes[1].source = SourceSpec::PointForce {
+        position: [0.0, 0.0, 5.8e6],
+        force: [f64::NAN, 0.0, 1.0e18],
+        stf: SourceTimeFunction::new(StfKind::Ricker, 200.0),
+    };
+    let out = try_run_batch_serial(
+        &mesh,
+        &cfg,
+        &batch_lanes,
+        &BatchRunOptions {
+            capture_final_state: true,
+        },
+    )
+    .expect("batch completes despite the poisoned lane");
+    let report = out.lanes[1].as_ref().expect_err("lane 1 must trip");
+    assert_eq!(report.rank, 0);
+    assert!(!report.field.is_empty());
+    for lane_idx in [0usize, 2] {
+        let got = out.lanes[lane_idx].as_ref().expect("sibling completes");
+        let want = serial_state(&mesh, &cfg, &batch_lanes[lane_idx]);
+        assert_state_matches(
+            &batch_lanes[lane_idx].name,
+            got.final_state.as_ref().unwrap(),
+            &want,
+        );
+    }
+}
+
+#[test]
+fn unsupported_configs_are_rejected() {
+    for (cfg, why) in [
+        (
+            SolverConfig {
+                attenuation: true,
+                ..SolverConfig::default()
+            },
+            "attenuation",
+        ),
+        (
+            SolverConfig {
+                ocean_load: true,
+                ..SolverConfig::default()
+            },
+            "ocean",
+        ),
+        (
+            SolverConfig {
+                energy_every: 5,
+                ..SolverConfig::default()
+            },
+            "energy",
+        ),
+        (
+            SolverConfig {
+                snapshot_every: 5,
+                ..SolverConfig::default()
+            },
+            "snapshot",
+        ),
+        (
+            SolverConfig {
+                checkpoint_every: 5,
+                ..SolverConfig::default()
+            },
+            "checkpoint",
+        ),
+    ] {
+        let err = specfem_batch::supported(&cfg).expect_err(why);
+        assert!(err.contains("batched tier"), "{why}: {err}");
+    }
+    assert!(specfem_batch::supported(&SolverConfig::default()).is_ok());
+}

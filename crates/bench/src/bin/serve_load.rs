@@ -12,10 +12,19 @@
 //! ```text
 //! serve_load [--requests N] [--concurrency C] [--warm-pct P]
 //!            [--keys K] [--resolution NEX] [--steps S] [--relax]
+//!            [--event-mix] [--batch-lanes K] [--batch-window-ms MS]
 //! ```
 //!
 //! Without `--relax`, the run asserts the tentpole latency claim: warm
 //! p50 at least 10× below cold p50.
+//!
+//! `--event-mix` cycles the catalogue event across requests while
+//! keeping the mesh and timeloop shape fixed — the duplicate-mesh /
+//! different-source mix that `--batch-lanes K` (with a fuse window) can
+//! coalesce into multi-event solves, so E-BATCH can measure batched
+//! serving against the single-lane baseline. Batched runs drop the
+//! request deadline: a deadline becomes the solver watchdog, which
+//! forces the single-lane path.
 
 use std::net::SocketAddr;
 use std::path::PathBuf;
@@ -36,6 +45,9 @@ struct Flags {
     resolution: usize,
     steps: usize,
     relax: bool,
+    event_mix: bool,
+    batch_lanes: usize,
+    batch_window_ms: u64,
 }
 
 impl Flags {
@@ -48,6 +60,9 @@ impl Flags {
             resolution: 4,
             steps: 10,
             relax: false,
+            event_mix: false,
+            batch_lanes: 1,
+            batch_window_ms: 0,
         };
         let mut args = std::env::args().skip(1);
         while let Some(arg) = args.next() {
@@ -64,6 +79,9 @@ impl Flags {
                 "--resolution" => f.resolution = num("--resolution"),
                 "--steps" => f.steps = num("--steps"),
                 "--relax" => f.relax = true,
+                "--event-mix" => f.event_mix = true,
+                "--batch-lanes" => f.batch_lanes = num("--batch-lanes").max(1),
+                "--batch-window-ms" => f.batch_window_ms = num("--batch-window-ms") as u64,
                 other => panic!("unknown flag: {other}"),
             }
         }
@@ -71,14 +89,27 @@ impl Flags {
     }
 }
 
+/// The duplicate-mesh / different-source rotation for `--event-mix`.
+const MIX_EVENTS: [&str; 3] = ["argentina_deep", "sumatra_thrust", "denali_strike_slip"];
+
 /// Request body for key index `k`: same mesh and timeloop everywhere
 /// (so `element_steps` per solve is constant), distinct station sets to
-/// make distinct result keys.
-fn body(resolution: usize, steps: usize, k: usize) -> String {
-    format!(
-        "{{\"resolution\":{resolution},\"steps\":{steps},\"stations\":{}}}",
-        2 + k
-    )
+/// make distinct result keys. With `event_mix`, the catalogue event also
+/// rotates — distinct sources on one mesh, the mix a batched daemon can
+/// fuse.
+fn body(resolution: usize, steps: usize, k: usize, event_mix: bool) -> String {
+    if event_mix {
+        format!(
+            "{{\"resolution\":{resolution},\"steps\":{steps},\"stations\":{},\"event\":\"{}\"}}",
+            2 + k,
+            MIX_EVENTS[k % MIX_EVENTS.len()]
+        )
+    } else {
+        format!(
+            "{{\"resolution\":{resolution},\"steps\":{steps},\"stations\":{}}}",
+            2 + k
+        )
+    }
 }
 
 struct Sample {
@@ -117,11 +148,19 @@ fn main() {
     let daemon = serve(ServeConfig {
         addr: "127.0.0.1:0".to_string(),
         result_cache_bytes: 64 << 20,
-        request_deadline: Some(Duration::from_secs(600)),
+        // A request deadline becomes the solver watchdog, which keeps a
+        // job on the single-lane path — batched runs must not set one.
+        request_deadline: if flags.batch_lanes > 1 {
+            None
+        } else {
+            Some(Duration::from_secs(600))
+        },
         workers: 2,
         data_dir: data_dir.clone(),
         ledger_dir: None,
         ledger_batch: 32,
+        batch_max_lanes: flags.batch_lanes,
+        batch_window_ms: flags.batch_window_ms,
     })
     .expect("daemon starts");
     let addr = daemon.addr();
@@ -131,7 +170,10 @@ fn main() {
     // cold latencies are uncontended.
     let mut samples: Vec<Sample> = Vec::with_capacity(flags.keys + flags.requests);
     for k in 0..flags.keys {
-        let s = fire(addr, &body(flags.resolution, flags.steps, k));
+        let s = fire(
+            addr,
+            &body(flags.resolution, flags.steps, k, flags.event_mix),
+        );
         assert!(!s.warm, "first request for key {k} must be a miss");
         samples.push(s);
     }
@@ -149,6 +191,7 @@ fn main() {
             let collected = Arc::clone(&collected);
             let (keys, warm_pct, requests) = (flags.keys, flags.warm_pct, flags.requests);
             let (resolution, steps) = (flags.resolution, flags.steps);
+            let event_mix = flags.event_mix;
             std::thread::spawn(move || loop {
                 let i = next.fetch_add(1, Ordering::Relaxed);
                 if i >= requests {
@@ -159,7 +202,7 @@ fn main() {
                 } else {
                     keys + i
                 };
-                let s = fire(addr, &body(resolution, steps, key));
+                let s = fire(addr, &body(resolution, steps, key, event_mix));
                 collected.lock().unwrap().push(s);
             })
         })
@@ -234,6 +277,11 @@ fn main() {
     extra.insert("throughput_rps".to_string(), throughput);
     extra.insert("requests".to_string(), total as f64);
     extra.insert("cold_solves".to_string(), cold_us.len() as f64);
+    extra.insert("batch_lanes".to_string(), flags.batch_lanes as f64);
+    extra.insert(
+        "event_mix".to_string(),
+        if flags.event_mix { 1.0 } else { 0.0 },
+    );
     let record = LedgerRecord {
         schema_version: LEDGER_SCHEMA_VERSION,
         harness: "serve".to_string(),

@@ -36,9 +36,11 @@
 //! ```
 
 pub mod cache;
+pub mod packer;
 pub mod report;
 
 pub use cache::{CacheOutcome, CacheStats, MeshCache};
+pub use packer::{batch_key, plan_batches, BatchKey};
 pub use report::{CampaignReport, JobRow, JobTelemetry};
 
 use std::cmp::Reverse;
@@ -195,6 +197,19 @@ pub struct CampaignConfig {
     /// Bound on queued (not yet dispatched) jobs; `submit` blocks at the
     /// bound. 0 = unbounded.
     pub queue_capacity: usize,
+    /// Maximum event lanes fused into one batched solve (`Par_file` key
+    /// `BATCH_MAX_LANES`). 1 (the default) disables batching — every
+    /// job takes the single-lane path, untouched. With more lanes, a
+    /// worker that dequeues a batchable serial job also claims every
+    /// queued job sharing its [`BatchKey`] (same mesh, same fused-loop
+    /// shape) and runs them as one solve; each job still gets its own
+    /// [`JobOutcome`], bit-identical to an unbatched run.
+    pub batch_max_lanes: usize,
+    /// How long a worker holding a non-full batch waits for more
+    /// batch-mates to be submitted before solving (`Par_file` key
+    /// `BATCH_WINDOW_MS`). 0 (the default) = fuse only what is already
+    /// queued, never wait.
+    pub batch_window_ms: u64,
 }
 
 impl Default for CampaignConfig {
@@ -208,7 +223,30 @@ impl Default for CampaignConfig {
             disk_cache_dir: None,
             checkpoint_root: None,
             queue_capacity: 0,
+            batch_max_lanes: 1,
+            batch_window_ms: 0,
         }
+    }
+}
+
+impl CampaignConfig {
+    /// Adopt the `Par_file` campaign knobs (`CAMPAIGN_WORKERS`,
+    /// `MESH_CACHE_BYTES`, `BATCH_MAX_LANES`, `BATCH_WINDOW_MS`) —
+    /// builder-style, leaving every other field as configured.
+    pub fn with_knobs(mut self, knobs: &specfem_core::parfile::CampaignKnobs) -> Self {
+        self.workers = knobs.workers;
+        self.mesh_cache_bytes = knobs.mesh_cache_bytes;
+        self.batch_max_lanes = knobs.batch_max_lanes;
+        self.batch_window_ms = knobs.batch_window_ms;
+        self
+    }
+
+    /// Builder-style batching control: fuse up to `lanes` compatible
+    /// jobs per solve, waiting up to `window` for batch-mates.
+    pub fn batching(mut self, lanes: usize, window: Duration) -> Self {
+        self.batch_max_lanes = lanes.max(1);
+        self.batch_window_ms = window.as_millis() as u64;
+        self
     }
 }
 
@@ -487,16 +525,56 @@ fn pick_index(shared: &Shared, queue: &[QueuedJob]) -> Option<usize> {
     }
 }
 
+/// Claim every queued job fusable with `key`, up to `room` of them, in
+/// queue order. Caller holds the state lock.
+fn claim_batch_mates(queue: &mut Vec<QueuedJob>, key: BatchKey, room: usize) -> Vec<QueuedJob> {
+    let mut mates = Vec::new();
+    let mut j = 0;
+    while j < queue.len() && mates.len() < room {
+        if packer::batch_key(&queue[j].job) == Some(key) {
+            mates.push(queue.remove(j));
+        } else {
+            j += 1;
+        }
+    }
+    mates
+}
+
 fn worker_loop(shared: Arc<Shared>, worker_id: usize) {
     loop {
-        let queued = {
+        let batch: Vec<QueuedJob> = {
             let mut st = shared.state.lock().unwrap();
             loop {
                 if let Some(i) = pick_index(&shared, &st.queue) {
-                    let q = st.queue.remove(i);
-                    // A queue slot freed: wake blocked submitters.
+                    let primary = st.queue.remove(i);
+                    let mut group = vec![primary];
+                    let max_lanes = shared.cfg.batch_max_lanes.min(packer::max_lanes());
+                    if max_lanes > 1 {
+                        if let Some(key) = packer::batch_key(&group[0].job) {
+                            // Greedy pack from the live queue; with a
+                            // window configured, keep the claim open for
+                            // late-arriving batch-mates.
+                            let deadline =
+                                Instant::now() + Duration::from_millis(shared.cfg.batch_window_ms);
+                            loop {
+                                let room = max_lanes - group.len();
+                                group.extend(claim_batch_mates(&mut st.queue, key, room));
+                                if group.len() >= max_lanes || st.done {
+                                    break;
+                                }
+                                let now = Instant::now();
+                                if now >= deadline {
+                                    break;
+                                }
+                                let (guard, _timeout) =
+                                    shared.cond.wait_timeout(st, deadline - now).unwrap();
+                                st = guard;
+                            }
+                        }
+                    }
+                    // Queue slots freed: wake blocked submitters.
                     shared.cond.notify_all();
-                    break q;
+                    break group;
                 }
                 if st.done {
                     return;
@@ -504,20 +582,130 @@ fn worker_loop(shared: Arc<Shared>, worker_id: usize) {
                 st = shared.cond.wait(st).unwrap();
             }
         };
-        let outcome = run_job(&shared, worker_id, queued);
+        let outcomes = if batch.len() == 1 {
+            let queued = batch.into_iter().next().unwrap();
+            vec![run_job(&shared, worker_id, queued)]
+        } else {
+            run_batch(&shared, worker_id, batch)
+        };
         // Completion hook first (lock dropped before the call), so a
         // waiting daemon connection is answered before the outcome even
         // reaches the drainable backlog.
         let cb = shared.on_complete.lock().unwrap().clone();
-        if let Some(cb) = cb {
-            cb(&outcome);
+        for outcome in outcomes {
+            if let Some(cb) = &cb {
+                cb(&outcome);
+            }
+            shared.state.lock().unwrap().outcomes.push(outcome);
         }
-        shared.state.lock().unwrap().outcomes.push(outcome);
-        // The job's mesh Arc is dropped: admission-control waiters may
+        // The batch's mesh Arc is dropped: admission-control waiters may
         // now be able to evict it.
         shared.cache.notify_released();
         shared.cond.notify_all();
     }
+}
+
+/// Run K fused jobs as one batched solve and fan the per-lane results
+/// out to one [`JobOutcome`] each. The fused loop's shared accounting
+/// follows `specfem_core::batch::try_run_batch_with_mesh`: comm/flops
+/// on lane 0, the real mesh-cache outcome on lane 0 (siblings are
+/// `Hit` — they shared lane 0's acquisition). A lane poisoned by a
+/// health trip fails only its own job. A whole-batch setup failure or
+/// panic falls back to running every job on the single-lane path.
+fn run_batch(shared: &Shared, worker: usize, batch: Vec<QueuedJob>) -> Vec<JobOutcome> {
+    let start_ns = specfem_obs::timestamp_ns();
+    let t0 = Instant::now();
+    let _span = specfem_obs::span("campaign.batch");
+    let k = batch.len();
+    let queue_waits: Vec<f64> = batch
+        .iter()
+        .map(|q| q.submitted.elapsed().as_secs_f64())
+        .collect();
+
+    let attempted = catch_unwind(AssertUnwindSafe(|| {
+        let lead = &batch[0].job.sim;
+        let key = lead.mesh_key();
+        let (mesh, cache_outcome) =
+            shared
+                .cache
+                .get_or_build(&key, &lead.params, lead.estimated_mesh_bytes(), || {
+                    lead.build_mesh().0
+                });
+        let sims: Vec<&Simulation> = batch.iter().map(|q| &q.job.sim).collect();
+        specfem_core::batch::try_run_batch_with_mesh(&sims, &mesh, None)
+            .map(|results| (mesh.nspec, cache_outcome, results))
+    }));
+    let (nspec, cache_outcome, results) = match attempted {
+        Ok(Ok(parts)) => parts,
+        Ok(Err(setup_err)) => {
+            // The packer should have screened this; recover by running
+            // the jobs unfused rather than failing them.
+            specfem_obs::counter_add("campaign.batch_fallbacks", 1);
+            eprintln!("warning: batch of {k} fell back to single-lane runs: {setup_err}");
+            return batch
+                .into_iter()
+                .map(|q| run_job(shared, worker, q))
+                .collect();
+        }
+        Err(_panic) => {
+            specfem_obs::counter_add("campaign.batch_fallbacks", 1);
+            eprintln!("warning: batched solve panicked; rerunning {k} job(s) single-lane");
+            return batch
+                .into_iter()
+                .map(|q| run_job(shared, worker, q))
+                .collect();
+        }
+    };
+    specfem_obs::counter_add("campaign.batched_jobs", k as u64);
+    let end_ns = specfem_obs::timestamp_ns();
+    let run_s = t0.elapsed().as_secs_f64();
+    batch
+        .into_iter()
+        .zip(results)
+        .zip(queue_waits)
+        .enumerate()
+        .map(|(lane, ((q, res), queue_wait_s))| {
+            let mut telemetry = JobTelemetry {
+                batch_lanes: k,
+                native_world: 1,
+                ..JobTelemetry::default()
+            };
+            let result = match res {
+                Ok(r) => {
+                    roll_up_result(&mut telemetry, &r);
+                    Ok(r)
+                }
+                Err(e) => {
+                    roll_up_error(&mut telemetry, &e);
+                    Err(e.to_string())
+                }
+            };
+            let element_steps = if result.is_ok() {
+                nspec as u64 * q.job.sim.config.nsteps as u64
+            } else {
+                0
+            };
+            specfem_obs::counter_add("campaign.jobs_finished", 1);
+            JobOutcome {
+                name: q.job.name,
+                index: q.index,
+                worker,
+                attempts: 1,
+                queue_wait_s,
+                run_s,
+                cache: if lane == 0 {
+                    cache_outcome
+                } else {
+                    CacheOutcome::Hit
+                },
+                element_steps,
+                start_ns,
+                end_ns,
+                result,
+                telemetry,
+            }
+        })
+        .collect()
 }
 
 fn run_job(shared: &Shared, worker: usize, queued: QueuedJob) -> JobOutcome {

@@ -44,6 +44,9 @@ pub struct JobTelemetry {
     /// World size of the final attempt when elastic retry shrank it below
     /// the native decomposition (`None` = ran at native size).
     pub final_world: Option<usize>,
+    /// Lanes of the batched solve this job rode in (0 or 1 = ran
+    /// unbatched on the single-lane path).
+    pub batch_lanes: usize,
 }
 
 impl JobTelemetry {
@@ -117,6 +120,8 @@ pub struct CampaignReport {
     pub stalled_jobs: usize,
     /// Jobs that finished on a shrunken world (elastic recovery engaged).
     pub shrunk_jobs: usize,
+    /// Jobs that ran fused in a multi-lane batched solve.
+    pub batched_jobs: usize,
 }
 
 impl CampaignReport {
@@ -162,6 +167,10 @@ impl CampaignReport {
             .iter()
             .filter(|o| o.telemetry.final_world.is_some())
             .count();
+        let batched_jobs = outcomes
+            .iter()
+            .filter(|o| o.telemetry.batch_lanes > 1)
+            .count();
         CampaignReport {
             workers,
             total_wall_s,
@@ -174,6 +183,7 @@ impl CampaignReport {
             health_trips,
             stalled_jobs,
             shrunk_jobs,
+            batched_jobs,
         }
     }
 
@@ -212,6 +222,12 @@ impl CampaignReport {
             out.push_str(&format!(
                 "  elastic         : {} job(s) finished on a shrunken world\n",
                 self.shrunk_jobs
+            ));
+        }
+        if self.batched_jobs > 0 {
+            out.push_str(&format!(
+                "  batching        : {} job(s) ran fused in multi-event solves\n",
+                self.batched_jobs
             ));
         }
         out.push_str(
@@ -267,6 +283,7 @@ impl CampaignReport {
         out.push_str(&format!("  \"health_trips\": {},\n", self.health_trips));
         out.push_str(&format!("  \"stalled_jobs\": {},\n", self.stalled_jobs));
         out.push_str(&format!("  \"shrunk_jobs\": {},\n", self.shrunk_jobs));
+        out.push_str(&format!("  \"batched_jobs\": {},\n", self.batched_jobs));
         out.push_str(&format!(
             "  \"cache\": {{\"hits\": {}, \"derived_hits\": {}, \"disk_hits\": {}, \
              \"misses\": {}, \"evictions\": {}}},\n",
@@ -351,6 +368,9 @@ fn telemetry_json(t: &JobTelemetry) -> String {
             t.watchdog_max_skew_steps.unwrap_or(0),
             ranks.join(", ")
         ));
+    }
+    if t.batch_lanes > 1 {
+        out.push_str(&format!(", \"batch_lanes\": {}", t.batch_lanes));
     }
     if t.final_world.is_some() || !t.shrink_path.is_empty() {
         let path: Vec<String> = t.shrink_path.iter().map(|w| w.to_string()).collect();

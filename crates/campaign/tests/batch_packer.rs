@@ -1,0 +1,203 @@
+//! Batch-packer contract tests: fusion legality (only identical
+//! `BatchKey`s fuse), lane→job fan-out bijection, bit-identity of
+//! batched campaign results, and poisoned-lane isolation.
+
+use std::time::Duration;
+
+use proptest::prelude::*;
+use specfem_campaign::{plan_batches, BatchKey, Campaign, CampaignConfig, Job, RetryPolicy};
+use specfem_core::model::builtin_events;
+use specfem_core::{Simulation, SourceSpec, SourceTimeFunction, StfKind};
+
+fn event_sim(steps: usize, event_idx: usize) -> Simulation {
+    let events = builtin_events();
+    let event = events[event_idx % events.len()].clone();
+    Simulation::builder()
+        .resolution(4)
+        .steps(steps)
+        .stations(3)
+        .source(SourceSpec::Cmt {
+            event,
+            stf: SourceTimeFunction::new(StfKind::Ricker, 200.0),
+        })
+        .build()
+        .unwrap()
+}
+
+proptest! {
+    /// Every planned batch holds jobs of exactly one key, never more
+    /// than `max_lanes` of them, and unbatchable (`None`) jobs ride
+    /// alone.
+    #[test]
+    fn plan_fuses_only_identical_keys(
+        raw in prop::collection::vec((any::<bool>(), 0u64..3, 0u64..3), 0..40),
+        max_lanes in 1usize..6,
+    ) {
+        let keys: Vec<Option<BatchKey>> = raw
+            .into_iter()
+            .map(|(batchable, mesh, compat)| {
+                batchable.then_some(BatchKey { mesh, compat })
+            })
+            .collect();
+        let batches = plan_batches(&keys, max_lanes);
+        for b in &batches {
+            prop_assert!(!b.is_empty());
+            prop_assert!(b.len() <= max_lanes);
+            let first = keys[b[0]];
+            for &i in b {
+                prop_assert_eq!(keys[i], first, "a batch mixed keys");
+            }
+            if first.is_none() {
+                prop_assert_eq!(b.len(), 1, "unbatchable jobs must ride alone");
+            }
+        }
+    }
+
+    /// The plan is a partition of the input: each job lands in exactly
+    /// one batch, in queue order within its batch (lane→job fan-out is
+    /// a bijection).
+    #[test]
+    fn plan_is_a_bijection(
+        raw in prop::collection::vec((any::<bool>(), 0u64..4, 0u64..2), 0..60),
+        max_lanes in 1usize..8,
+    ) {
+        let keys: Vec<Option<BatchKey>> = raw
+            .into_iter()
+            .map(|(batchable, mesh, compat)| {
+                batchable.then_some(BatchKey { mesh, compat })
+            })
+            .collect();
+        let batches = plan_batches(&keys, max_lanes);
+        let mut seen = vec![0usize; keys.len()];
+        for b in &batches {
+            prop_assert!(b.windows(2).all(|w| w[0] < w[1]), "lanes out of queue order");
+            for &i in b {
+                prop_assert!(i < keys.len());
+                seen[i] += 1;
+            }
+        }
+        prop_assert!(seen.iter().all(|&c| c == 1), "not a bijection: {seen:?}");
+    }
+}
+
+#[test]
+fn batched_campaign_is_bit_identical_to_serial_runs() {
+    const K: usize = 4;
+    let sims: Vec<Simulation> = (0..K).map(|i| event_sim(6, i)).collect();
+    let mut campaign = Campaign::new(
+        CampaignConfig {
+            workers: 1,
+            ..CampaignConfig::default()
+        }
+        .batching(K, Duration::from_secs(10)),
+    );
+    for (i, sim) in sims.iter().enumerate() {
+        campaign.submit(Job::new(format!("ev{i}"), sim.clone()));
+    }
+    let result = campaign.finish();
+    assert!(result.all_ok(), "{}", result.report.render_text());
+    assert_eq!(result.report.batched_jobs, K, "all jobs must have fused");
+    assert_eq!(result.cache.misses, 1, "one mesh build for the whole batch");
+    let json = result.report.to_json();
+    assert!(json.contains(&format!("\"batched_jobs\": {K}")));
+    assert!(json.contains("\"batch_lanes\": 4"));
+    for (sim, outcome) in sims.iter().zip(&result.outcomes) {
+        assert_eq!(outcome.telemetry.batch_lanes, K);
+        assert_eq!(outcome.attempts, 1);
+        let got = outcome.result.as_ref().unwrap();
+        let expected = sim.run_serial();
+        assert_eq!(got.seismograms.len(), expected.seismograms.len());
+        assert_eq!(got.dt.to_bits(), expected.dt.to_bits());
+        for (g, e) in got.seismograms.iter().zip(&expected.seismograms) {
+            assert_eq!(g.station, e.station);
+            assert_eq!(g.data, e.data, "job {} diverged from serial", outcome.name);
+        }
+    }
+}
+
+#[test]
+fn poisoned_lane_fails_alone_while_siblings_complete() {
+    // Three jobs fuse; the middle one injects a NaN through its source
+    // and has the health monitor armed. Its lane must fail with a
+    // health trip while both siblings finish bit-identical to their
+    // serial runs. (All three share the compat key, so health_every
+    // must match across the batch.)
+    const STEPS: usize = 8;
+    let with_health = |mut sim: Simulation| {
+        sim.config.health_every = 2;
+        sim
+    };
+    let good_a = with_health(event_sim(STEPS, 0));
+    let good_b = with_health(event_sim(STEPS, 1));
+    let mut poisoned = with_health(event_sim(STEPS, 2));
+    poisoned.config.source = SourceSpec::PointForce {
+        position: [0.0, 0.0, 6.0e6],
+        force: [f64::NAN, 0.0, 1.0e18],
+        stf: SourceTimeFunction::new(StfKind::Ricker, 60.0),
+    };
+
+    let mut campaign = Campaign::new(
+        CampaignConfig {
+            workers: 1,
+            retry: RetryPolicy {
+                max_retries: 0,
+                backoff: Duration::from_millis(1),
+                ..RetryPolicy::default()
+            },
+            ..CampaignConfig::default()
+        }
+        .batching(3, Duration::from_secs(10)),
+    );
+    campaign.submit(Job::new("good_a", good_a.clone()));
+    campaign.submit(Job::new("poisoned", poisoned));
+    campaign.submit(Job::new("good_b", good_b.clone()));
+    let result = campaign.finish();
+    assert_eq!(
+        result.report.batched_jobs,
+        3,
+        "{}",
+        result.report.render_text()
+    );
+    assert_eq!(result.report.failed_jobs, 1);
+    assert_eq!(result.report.health_trips, 1);
+
+    let bad = result
+        .outcomes
+        .iter()
+        .find(|o| o.name == "poisoned")
+        .unwrap();
+    assert!(bad.result.is_err());
+    assert!(bad.telemetry.health_trip.is_some(), "trip must roll up");
+    assert_eq!(bad.element_steps, 0);
+
+    for (name, sim) in [("good_a", &good_a), ("good_b", &good_b)] {
+        let outcome = result.outcomes.iter().find(|o| o.name == name).unwrap();
+        let got = outcome.result.as_ref().unwrap();
+        let expected = sim.run_serial();
+        for (g, e) in got.seismograms.iter().zip(&expected.seismograms) {
+            assert_eq!(g.station, e.station);
+            assert_eq!(g.data, e.data, "sibling {name} was contaminated");
+        }
+    }
+}
+
+#[test]
+fn incompatible_jobs_never_fuse() {
+    // Same mesh, different nsteps: they must run as two single-lane
+    // jobs even with batching wide open.
+    let mut campaign = Campaign::new(
+        CampaignConfig {
+            workers: 1,
+            ..CampaignConfig::default()
+        }
+        .batching(8, Duration::from_millis(50)),
+    );
+    campaign.submit(Job::new("a", event_sim(5, 0)));
+    campaign.submit(Job::new("b", event_sim(6, 1)));
+    let result = campaign.finish();
+    assert!(result.all_ok());
+    assert_eq!(result.report.batched_jobs, 0);
+    for o in &result.outcomes {
+        assert_eq!(o.telemetry.batch_lanes, 0, "job {} fused wrongly", o.name);
+    }
+}

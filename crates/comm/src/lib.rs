@@ -56,6 +56,14 @@ pub mod tags {
     pub const HALO_SOLID: u32 = 100;
     /// Halo exchange of fluid (outer-core) potential.
     pub const HALO_FLUID: u32 = 101;
+    /// Batched (K-event-lane) solid halo exchange: one message per
+    /// neighbor carries all K lanes, so it is K× the single-lane
+    /// message size by design. A distinct tag keeps IPM per-tag
+    /// accounting from misreading batching as a message-size
+    /// regression on `HALO_SOLID`.
+    pub const HALO_BATCHED_SOLID: u32 = 110;
+    /// Batched (K-event-lane) fluid halo exchange.
+    pub const HALO_BATCHED_FLUID: u32 = 111;
     /// Generic reduction traffic.
     pub const REDUCE: u32 = 200;
     /// Generic broadcast traffic.
@@ -197,6 +205,8 @@ mod tests {
         let all = [
             tags::HALO_SOLID,
             tags::HALO_FLUID,
+            tags::HALO_BATCHED_SOLID,
+            tags::HALO_BATCHED_FLUID,
             tags::REDUCE,
             tags::BCAST,
             tags::BARRIER,
@@ -207,5 +217,20 @@ mod tests {
                 assert_ne!(all[i], all[j]);
             }
         }
+    }
+
+    #[test]
+    fn tag_names_in_obs_match_the_tag_constants() {
+        // `specfem_obs::report::tag_name` restates these values (obs
+        // stays dependency-free); keep the two in sync.
+        use specfem_obs::report::tag_name;
+        assert_eq!(tag_name(tags::HALO_SOLID), "halo_solid");
+        assert_eq!(tag_name(tags::HALO_FLUID), "halo_fluid");
+        assert_eq!(tag_name(tags::HALO_BATCHED_SOLID), "halo_batched_solid");
+        assert_eq!(tag_name(tags::HALO_BATCHED_FLUID), "halo_batched_fluid");
+        assert_eq!(tag_name(tags::REDUCE), "reduce");
+        assert_eq!(tag_name(tags::BCAST), "bcast");
+        assert_eq!(tag_name(tags::BARRIER), "barrier");
+        assert_eq!(tag_name(tags::MESH_HANDOFF), "mesh_handoff");
     }
 }

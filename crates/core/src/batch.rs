@@ -1,0 +1,362 @@
+//! Facade-level glue for the batched multi-event tier: decide which
+//! [`Simulation`]s may fuse into one solve, and run K of them through
+//! `specfem-batch` producing K ordinary [`SimulationResult`]s.
+//!
+//! The campaign packer and the serve daemon only ever talk to this
+//! module — they never touch lane-major banks or `BatchSolver` directly.
+//! The contract is the crate-wide zero-ULP one: each lane's seismograms
+//! (and, when requested, final wavefield) are bit-identical to the
+//! serial run of the same job, so a batched answer is cached under the
+//! same `result_key` a serial answer would be.
+
+use specfem_batch::{
+    try_run_batch_partitioned, try_run_batch_serial, BatchRankOutput, BatchRunOptions, EventLane,
+    LaneOutput,
+};
+use specfem_comm::{NetworkProfile, StatsSnapshot};
+use specfem_kernels::{KernelVariant, MAX_BATCH_LANES};
+use specfem_mesh::{GlobalMesh, MeshMode, Partition};
+use specfem_solver::{RankResult, SolverError};
+
+use crate::{ResultFnv, Simulation, SimulationResult};
+
+/// Can this simulation run on the batched tier at all? Requires the
+/// solver configuration `specfem_batch::supported` accepts, a global
+/// mesh (no absorbing boundaries), and none of the ops machinery the
+/// batch driver does not thread through (tracing, watchdog, fault
+/// injection, resume). Anything rejected here simply runs on the
+/// single-lane path — batching is an optimization, never a requirement.
+pub fn batchable(sim: &Simulation) -> bool {
+    if specfem_batch::supported(&sim.config).is_err() {
+        return false;
+    }
+    if !matches!(sim.params.mode, MeshMode::Global) {
+        return false;
+    }
+    // Per-lane rank profiles and watchdog telemetry are not plumbed
+    // through the batch driver; jobs that asked for them keep the
+    // single-lane path so nothing is silently dropped.
+    !sim.config.trace && sim.config.watchdog_timeout.is_none()
+}
+
+/// The batch-compatibility fingerprint: two simulations may share one
+/// batched time loop iff they are [`batchable`] and their keys are
+/// equal. Hashes everything the fused loop holds in common — the mesh
+/// geometry, the kernel variant, the physics toggles, and the timeloop
+/// shape — while the per-lane degrees of freedom (source, stations) are
+/// deliberately excluded; those are exactly what the lanes vary.
+pub fn batch_compat_key(sim: &Simulation) -> Option<u64> {
+    if !batchable(sim) {
+        return None;
+    }
+    let c = &sim.config;
+    let mut h = ResultFnv::new();
+    h.bytes(b"specfem-batch-compat-v1");
+    h.u64(sim.mesh_key().geometry_fingerprint());
+    h.u8(match c.variant {
+        KernelVariant::Reference => 0,
+        KernelVariant::Simd => 1,
+        KernelVariant::BlasStyle => 2,
+    });
+    h.u8(c.rotation as u8);
+    h.u8(c.gravity as u8);
+    h.u64(c.nsteps as u64);
+    match c.dt {
+        Some(dt) => {
+            h.u8(1);
+            h.f64(dt);
+        }
+        None => {
+            h.u8(0);
+            h.f64(0.0);
+        }
+    }
+    h.u64(c.record_every as u64);
+    h.u8(c.exact_station_location as u8);
+    // Health cadence shapes the step loop (when lanes are scanned), so
+    // only jobs sampling at the same cadence fuse.
+    h.u64(c.health_every as u64);
+    Some(h.finish())
+}
+
+/// Why a batch could not even be attempted (a packing/validation error,
+/// distinct from a per-lane [`SolverError`]). The caller's fallback is
+/// always the same: run the jobs on the single-lane path instead.
+pub type BatchSetupError = String;
+
+/// Run `sims` — up to [`MAX_BATCH_LANES`] simulations sharing one mesh
+/// and one [`batch_compat_key`] — as a single batched solve. `profile =
+/// None` solves serially on one in-process rank; `Some(profile)` runs
+/// the mesh's native `6 × NPROC_XI²` thread world.
+///
+/// Returns one entry per input simulation, in order: the lane's
+/// [`SimulationResult`] (bit-identical to what `run_serial_with_mesh` /
+/// `run_parallel_with_mesh` would have produced), or the
+/// [`SolverError::Health`] that poisoned that lane while its siblings
+/// completed. A whole-batch failure (comm error, rank panic, lane
+/// mismatch) surfaces as the outer `Err` so the caller can rerun the
+/// jobs unfused.
+///
+/// Accounting: the fused loop's communication and flop counters are
+/// physically shared by all lanes, so they are attributed to lane 0's
+/// `RankResult`s; sibling lanes carry empty comm stats and zero flops
+/// (wall time, being shared too, is reported on every lane). Summing
+/// telemetry across the returned results therefore never double-counts.
+pub fn try_run_batch_with_mesh(
+    sims: &[&Simulation],
+    mesh: &GlobalMesh,
+    profile: Option<NetworkProfile>,
+) -> Result<Vec<Result<SimulationResult, SolverError>>, BatchSetupError> {
+    if sims.is_empty() {
+        return Err("empty batch".into());
+    }
+    if sims.len() > MAX_BATCH_LANES {
+        return Err(format!(
+            "batch of {} lanes exceeds MAX_BATCH_LANES = {MAX_BATCH_LANES}",
+            sims.len()
+        ));
+    }
+    let key = batch_compat_key(sims[0])
+        .ok_or_else(|| format!("'{}' is not batchable", lane_name(sims[0], 0)))?;
+    for (i, sim) in sims.iter().enumerate() {
+        match batch_compat_key(sim) {
+            Some(k) if k == key => {}
+            Some(_) => {
+                return Err(format!(
+                    "'{}' has a different batch-compat key than lane 0",
+                    lane_name(sim, i)
+                ))
+            }
+            None => return Err(format!("'{}' is not batchable", lane_name(sim, i))),
+        }
+        let theirs = specfem_mesh::MeshKey::new(&mesh.params, sim.model.id());
+        let check = if profile.is_some() {
+            sim.mesh_key().fingerprint() == theirs.fingerprint()
+        } else {
+            sim.mesh_key().geometry_fingerprint() == theirs.geometry_fingerprint()
+        };
+        if !check {
+            return Err(format!(
+                "'{}' was configured for a different mesh than the one supplied",
+                lane_name(sim, i)
+            ));
+        }
+    }
+
+    let lanes: Vec<EventLane> = sims
+        .iter()
+        .enumerate()
+        .map(|(i, sim)| EventLane {
+            name: lane_name(sim, i),
+            source: sim.config.source.clone(),
+            stations: sim.stations.clone(),
+        })
+        .collect();
+    // The compat key pins every answer-affecting shared knob, so lane
+    // 0's config legitimately drives the fused loop.
+    let config = sims[0].config.clone();
+    let opts = BatchRunOptions::default();
+
+    let per_rank: Vec<BatchRankOutput> = match profile {
+        None => vec![try_run_batch_serial(mesh, &config, &lanes, &opts)
+            .map_err(|e| format!("batched solve failed: {e}"))?],
+        Some(profile) => {
+            let partition = Partition::compute(mesh);
+            let mut outputs = Vec::with_capacity(partition.num_ranks);
+            for r in try_run_batch_partitioned(mesh, &config, &lanes, profile, &partition, &opts) {
+                outputs.push(r.map_err(|e| format!("batched solve failed: {e}"))?);
+            }
+            outputs
+        }
+    };
+
+    Ok((0..sims.len())
+        .map(|lane| fan_out_lane(lane, &per_rank, sims[lane]))
+        .collect())
+}
+
+fn lane_name(sim: &Simulation, index: usize) -> String {
+    match &sim.config.source {
+        specfem_solver::SourceSpec::Cmt { event, .. } => event.name.clone(),
+        _ => format!("lane-{index}"),
+    }
+}
+
+/// Assemble one lane's [`SimulationResult`] from every rank's batch
+/// output. A health trip on any rank fails the lane (and only it).
+fn fan_out_lane(
+    lane: usize,
+    per_rank: &[BatchRankOutput],
+    sim: &Simulation,
+) -> Result<SimulationResult, SolverError> {
+    let mut ranks: Vec<RankResult> = Vec::with_capacity(per_rank.len());
+    for out in per_rank {
+        let lo: &LaneOutput = match &out.lanes[lane] {
+            Ok(lo) => lo,
+            Err(report) => return Err(SolverError::Health(report.clone())),
+        };
+        let first_lane = lane == 0;
+        ranks.push(RankResult {
+            rank: out.rank,
+            seismograms: lo.seismograms.clone(),
+            energy: Vec::new(),
+            elapsed_s: out.elapsed_s,
+            comm: if first_lane {
+                out.comm.clone()
+            } else {
+                StatsSnapshot::default()
+            },
+            flops: if first_lane { out.flops } else { 0 },
+            dt: out.dt,
+            nsteps: out.nsteps,
+            nspec: out.nspec,
+            nglob: out.nglob,
+            station_error_m: lo.station_error_m,
+            snapshots: None,
+            profile: None,
+        });
+    }
+    let seismograms = specfem_solver::timeloop::merge_seismograms(&ranks);
+    let dt = ranks.first().map(|r| r.dt).unwrap_or(0.0);
+    let result = SimulationResult {
+        seismograms,
+        ranks,
+        dt,
+        mesher_profile: None,
+        watchdog: None,
+    };
+    // Honor trace_dir autowrite symmetry: batchable() rejects traced
+    // configs, so there is nothing to write here by construction.
+    let _ = sim;
+    Ok(result)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SimulationBuilder;
+
+    fn batch_sim(event: &str) -> SimulationBuilder {
+        Simulation::builder()
+            .resolution(4)
+            .steps(8)
+            .catalogue_event(event)
+            .stations(2)
+    }
+
+    #[test]
+    fn batchable_screens_unsupported_configs() {
+        assert!(batchable(&batch_sim("argentina_deep").build().unwrap()));
+        assert!(!batchable(
+            &batch_sim("argentina_deep")
+                .attenuation(true)
+                .build()
+                .unwrap()
+        ));
+        assert!(!batchable(
+            &batch_sim("argentina_deep").trace(true).build().unwrap()
+        ));
+        assert!(!batchable(
+            &batch_sim("argentina_deep")
+                .watchdog_timeout(std::time::Duration::from_secs(1))
+                .build()
+                .unwrap()
+        ));
+        assert!(!batchable(
+            &batch_sim("argentina_deep")
+                .configure(|c| c.checkpoint_every = 5)
+                .build()
+                .unwrap()
+        ));
+        // Regional meshes have absorbing boundaries — single-lane only.
+        assert!(!batchable(
+            &Simulation::builder()
+                .resolution(4)
+                .regional(6_000_000.0)
+                .steps(8)
+                .build()
+                .unwrap()
+        ));
+    }
+
+    #[test]
+    fn compat_key_separates_timeloop_shapes_but_not_sources() {
+        let a = batch_sim("argentina_deep").build().unwrap();
+        let b = batch_sim("sumatra_thrust").build().unwrap();
+        // Different earthquakes, same fused loop.
+        assert_eq!(batch_compat_key(&a), batch_compat_key(&b));
+        // Different station *sets* still fuse (stations are per-lane).
+        let c = batch_sim("argentina_deep").stations(5).build().unwrap();
+        assert_eq!(batch_compat_key(&a), batch_compat_key(&c));
+        // Anything shaping the shared loop splits the key.
+        for other in [
+            batch_sim("argentina_deep").steps(9).build().unwrap(),
+            batch_sim("argentina_deep").resolution(6).build().unwrap(),
+            batch_sim("argentina_deep")
+                .kernel(KernelVariant::Simd)
+                .build()
+                .unwrap(),
+            batch_sim("argentina_deep").rotation(true).build().unwrap(),
+            batch_sim("argentina_deep").gravity(true).build().unwrap(),
+            batch_sim("argentina_deep").health_every(4).build().unwrap(),
+            batch_sim("argentina_deep")
+                .configure(|c| c.record_every = 2)
+                .build()
+                .unwrap(),
+        ] {
+            assert_ne!(batch_compat_key(&a), batch_compat_key(&other));
+        }
+        // Unbatchable → no key at all.
+        assert_eq!(
+            batch_compat_key(
+                &batch_sim("argentina_deep")
+                    .attenuation(true)
+                    .build()
+                    .unwrap()
+            ),
+            None
+        );
+    }
+
+    #[test]
+    fn batched_results_match_serial_runs_bitwise() {
+        let sims: Vec<Simulation> = ["argentina_deep", "sumatra_thrust"]
+            .iter()
+            .map(|e| batch_sim(e).build().unwrap())
+            .collect();
+        let refs: Vec<&Simulation> = sims.iter().collect();
+        let (mesh, _) = sims[0].build_mesh();
+        let results = try_run_batch_with_mesh(&refs, &mesh, None).unwrap();
+        assert_eq!(results.len(), 2);
+        for (sim, result) in sims.iter().zip(&results) {
+            let batched = result.as_ref().unwrap();
+            let serial = sim.run_serial_with_mesh(&mesh);
+            assert_eq!(batched.seismograms.len(), serial.seismograms.len());
+            assert_eq!(batched.dt.to_bits(), serial.dt.to_bits());
+            for (b, s) in batched.seismograms.iter().zip(&serial.seismograms) {
+                assert_eq!(b.station, s.station);
+                assert_eq!(b.data.len(), s.data.len());
+                for (bs, ss) in b.data.iter().zip(&s.data) {
+                    for c in 0..3 {
+                        assert_eq!(bs[c].to_bits(), ss[c].to_bits(), "station {}", b.station);
+                    }
+                }
+            }
+        }
+        // Shared accounting lands on lane 0 only.
+        let lane0 = results[0].as_ref().unwrap();
+        let lane1 = results[1].as_ref().unwrap();
+        assert!(lane0.total_flops() > 0);
+        assert_eq!(lane1.total_flops(), 0);
+    }
+
+    #[test]
+    fn mixed_batches_are_rejected_up_front() {
+        let a = batch_sim("argentina_deep").build().unwrap();
+        let b = batch_sim("sumatra_thrust").steps(9).build().unwrap();
+        let (mesh, _) = a.build_mesh();
+        let err = try_run_batch_with_mesh(&[&a, &b], &mesh, None).unwrap_err();
+        assert!(err.contains("batch-compat"), "got: {err}");
+        assert!(try_run_batch_with_mesh(&[], &mesh, None).is_err());
+    }
+}

@@ -28,8 +28,10 @@
 //!          result.seismograms.len(), result.total_flop_rate() / 1e9);
 //! ```
 
+pub mod batch;
 pub mod parfile;
 
+pub use specfem_batch as batchlib;
 pub use specfem_comm as comm;
 pub use specfem_gll as gll;
 pub use specfem_io as io;

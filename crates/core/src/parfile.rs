@@ -34,6 +34,8 @@
 //! # campaign runtime (read via [`campaign_knobs_from_parfile`])
 //! CAMPAIGN_WORKERS       = 0           # worker pool size, 0 = auto
 //! MESH_CACHE_BYTES       = 512M        # cache ceiling, 0 = unbounded (K/M/G ok)
+//! BATCH_MAX_LANES        = 1           # events fused per solve, 1 = batching off
+//! BATCH_WINDOW_MS        = 0           # wait for batch-mates before solving, 0 = no wait
 //! # serve daemon (read via [`serve_knobs_from_parfile`])
 //! SERVE_ADDR             = 127.0.0.1:7460  # daemon listen address
 //! RESULT_CACHE_BYTES     = 64M         # result-cache memory tier (K/M/G ok)
@@ -72,13 +74,33 @@ fn parse_bool(v: &str) -> Result<bool, String> {
 /// [`Simulation`] because they configure the scheduler around many
 /// simulations, not any single one; `specfem-campaign` builds its
 /// `CampaignConfig` from these.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct CampaignKnobs {
     /// `CAMPAIGN_WORKERS`: worker-pool size; 0 (the default) = auto.
     pub workers: usize,
     /// `MESH_CACHE_BYTES`: mesh-cache resident-byte ceiling; 0 (the
     /// default) = unbounded. Accepts `K`/`M`/`G` suffixes.
     pub mesh_cache_bytes: usize,
+    /// `BATCH_MAX_LANES`: maximum events fused into one batched solve.
+    /// 1 (the default) keeps batching off — every job runs on the
+    /// single-lane path, untouched. Capped at
+    /// `specfem_kernels::MAX_BATCH_LANES`.
+    pub batch_max_lanes: usize,
+    /// `BATCH_WINDOW_MS`: how long a worker holding one batchable job
+    /// waits for compatible batch-mates to arrive before solving.
+    /// 0 (the default) = fuse only what is already queued, never wait.
+    pub batch_window_ms: u64,
+}
+
+impl Default for CampaignKnobs {
+    fn default() -> Self {
+        Self {
+            workers: 0,
+            mesh_cache_bytes: 0,
+            batch_max_lanes: 1,
+            batch_window_ms: 0,
+        }
+    }
 }
 
 impl CampaignKnobs {
@@ -86,8 +108,8 @@ impl CampaignKnobs {
     /// [`campaign_knobs_from_parfile`]).
     pub fn to_parfile(&self) -> String {
         format!(
-            "CAMPAIGN_WORKERS = {}\nMESH_CACHE_BYTES = {}\n",
-            self.workers, self.mesh_cache_bytes
+            "CAMPAIGN_WORKERS = {}\nMESH_CACHE_BYTES = {}\nBATCH_MAX_LANES = {}\nBATCH_WINDOW_MS = {}\n",
+            self.workers, self.mesh_cache_bytes, self.batch_max_lanes, self.batch_window_ms
         )
     }
 }
@@ -126,6 +148,14 @@ pub struct ServeKnobs {
     pub result_cache_bytes: usize,
     /// `REQUEST_DEADLINE_MS`: per-request deadline; 0 disables it.
     pub request_deadline_ms: u64,
+    /// `BATCH_MAX_LANES`: same knob as [`CampaignKnobs::batch_max_lanes`]
+    /// — the daemon passes it to its internal campaign, so concurrent
+    /// requests for the same mesh and timeloop shape fuse into one
+    /// K-event solve. 1 (the default) = batching off.
+    pub batch_max_lanes: usize,
+    /// `BATCH_WINDOW_MS`: same knob as [`CampaignKnobs::batch_window_ms`]
+    /// — how long an underfull batch waits for fusable requests.
+    pub batch_window_ms: u64,
 }
 
 impl Default for ServeKnobs {
@@ -134,17 +164,29 @@ impl Default for ServeKnobs {
             addr: "127.0.0.1:7460".to_string(),
             result_cache_bytes: 64 << 20,
             request_deadline_ms: 30_000,
+            batch_max_lanes: 1,
+            batch_window_ms: 0,
         }
     }
 }
 
 impl ServeKnobs {
     /// Render as Par_file lines (the inverse of [`serve_knobs_from_parfile`]).
+    /// The batching keys are shared with [`CampaignKnobs::to_parfile`]
+    /// and only rendered when they differ from the defaults, so
+    /// concatenating both knob sets never emits conflicting duplicates.
     pub fn to_parfile(&self) -> String {
-        format!(
+        let mut out = format!(
             "SERVE_ADDR = {}\nRESULT_CACHE_BYTES = {}\nREQUEST_DEADLINE_MS = {}\n",
             self.addr, self.result_cache_bytes, self.request_deadline_ms
-        )
+        );
+        if self.batch_max_lanes != 1 {
+            out.push_str(&format!("BATCH_MAX_LANES = {}\n", self.batch_max_lanes));
+        }
+        if self.batch_window_ms != 0 {
+            out.push_str(&format!("BATCH_WINDOW_MS = {}\n", self.batch_window_ms));
+        }
+        out
     }
 }
 
@@ -173,7 +215,36 @@ pub fn serve_knobs_from_parfile(text: &str) -> Result<ServeKnobs, String> {
             .parse()
             .map_err(|_| format!("REQUEST_DEADLINE_MS: not a millisecond count: {v}"))?;
     }
+    if let Some(v) = get("BATCH_MAX_LANES") {
+        knobs.batch_max_lanes = parse_batch_max_lanes(v)?;
+    }
+    if let Some(v) = get("BATCH_WINDOW_MS") {
+        knobs.batch_window_ms = parse_batch_window_ms(v)?;
+    }
     Ok(knobs)
+}
+
+/// Validate `BATCH_MAX_LANES` (shared by the campaign and serve knob
+/// readers): at least 1, at most the kernel tier's lane ceiling.
+fn parse_batch_max_lanes(v: &str) -> Result<usize, String> {
+    let lanes: usize = v
+        .parse()
+        .map_err(|_| format!("BATCH_MAX_LANES: not a lane count: {v}"))?;
+    if lanes < 1 {
+        return Err(format!("BATCH_MAX_LANES: must be >= 1, got {v}"));
+    }
+    if lanes > specfem_kernels::MAX_BATCH_LANES {
+        return Err(format!(
+            "BATCH_MAX_LANES: must be <= {}, got {v}",
+            specfem_kernels::MAX_BATCH_LANES
+        ));
+    }
+    Ok(lanes)
+}
+
+fn parse_batch_window_ms(v: &str) -> Result<u64, String> {
+    v.parse()
+        .map_err(|_| format!("BATCH_WINDOW_MS: not a millisecond count: {v}"))
 }
 
 /// Extract the campaign-runtime knobs from Par_file text. Both keys are
@@ -197,6 +268,12 @@ pub fn campaign_knobs_from_parfile(text: &str) -> Result<CampaignKnobs, String> 
     }
     if let Some(v) = get("MESH_CACHE_BYTES") {
         knobs.mesh_cache_bytes = parse_bytes("MESH_CACHE_BYTES", v)?;
+    }
+    if let Some(v) = get("BATCH_MAX_LANES") {
+        knobs.batch_max_lanes = parse_batch_max_lanes(v)?;
+    }
+    if let Some(v) = get("BATCH_WINDOW_MS") {
+        knobs.batch_window_ms = parse_batch_window_ms(v)?;
     }
     Ok(knobs)
 }
@@ -431,6 +508,7 @@ NSTATIONS    = 4
         let exact = CampaignKnobs {
             workers: 3,
             mesh_cache_bytes: 1_234_567,
+            ..CampaignKnobs::default()
         };
         assert_eq!(
             campaign_knobs_from_parfile(&exact.to_parfile()).unwrap(),
@@ -455,6 +533,47 @@ NSTATIONS    = 4
     }
 
     #[test]
+    fn batch_knobs_parse_and_round_trip() {
+        // Off by default: one lane, no window.
+        let defaults = campaign_knobs_from_parfile("NEX_XI = 8\n").unwrap();
+        assert_eq!(defaults.batch_max_lanes, 1);
+        assert_eq!(defaults.batch_window_ms, 0);
+
+        let text = "BATCH_MAX_LANES = 8\nBATCH_WINDOW_MS = 250\n";
+        let knobs = campaign_knobs_from_parfile(text).unwrap();
+        assert_eq!(knobs.batch_max_lanes, 8);
+        assert_eq!(knobs.batch_window_ms, 250);
+        // Round trip: render → parse → identical.
+        assert_eq!(
+            campaign_knobs_from_parfile(&knobs.to_parfile()).unwrap(),
+            knobs
+        );
+        assert_eq!(
+            campaign_knobs_from_parfile(&CampaignKnobs::default().to_parfile()).unwrap(),
+            CampaignKnobs::default()
+        );
+        // Bounds are enforced, not clamped silently.
+        assert!(campaign_knobs_from_parfile("BATCH_MAX_LANES = 0\n").is_err());
+        assert!(campaign_knobs_from_parfile(&format!(
+            "BATCH_MAX_LANES = {}\n",
+            specfem_kernels::MAX_BATCH_LANES + 1
+        ))
+        .is_err());
+        assert!(campaign_knobs_from_parfile("BATCH_MAX_LANES = lots\n").is_err());
+        assert!(campaign_knobs_from_parfile("BATCH_WINDOW_MS = soon\n").is_err());
+        // The ceiling itself is accepted.
+        assert_eq!(
+            campaign_knobs_from_parfile(&format!(
+                "BATCH_MAX_LANES = {}\n",
+                specfem_kernels::MAX_BATCH_LANES
+            ))
+            .unwrap()
+            .batch_max_lanes,
+            specfem_kernels::MAX_BATCH_LANES
+        );
+    }
+
+    #[test]
     fn serve_knobs_parse_and_round_trip() {
         let text =
             "SERVE_ADDR = 0.0.0.0:8080\nRESULT_CACHE_BYTES = 16M\nREQUEST_DEADLINE_MS = 500\n";
@@ -475,6 +594,18 @@ NSTATIONS    = 4
         // Errors are reported, not swallowed.
         assert!(serve_knobs_from_parfile("RESULT_CACHE_BYTES = big\n").is_err());
         assert!(serve_knobs_from_parfile("REQUEST_DEADLINE_MS = soon\n").is_err());
+        // The daemon reads the same batching keys as the campaign, with
+        // the same validation, and they round-trip through to_parfile.
+        let batched =
+            serve_knobs_from_parfile("BATCH_MAX_LANES = 4\nBATCH_WINDOW_MS = 250\n").unwrap();
+        assert_eq!(batched.batch_max_lanes, 4);
+        assert_eq!(batched.batch_window_ms, 250);
+        assert_eq!(
+            serve_knobs_from_parfile(&batched.to_parfile()).unwrap(),
+            batched
+        );
+        assert!(serve_knobs_from_parfile("BATCH_MAX_LANES = 0\n").is_err());
+        assert!(serve_knobs_from_parfile("BATCH_MAX_LANES = 1000\n").is_err());
     }
 
     #[test]

@@ -1,0 +1,329 @@
+//! Batched (multi-event) cut-plane kernels: the 5×5 matrix products of
+//! [`crate::reference`] widened to 5×5×K, with K event lanes stored
+//! innermost (lane-major SoA — see [`crate::layout::lane_major`]).
+//!
+//! This is the transformation of Yamaguchi et al.'s multiple-simulation
+//! work: K earthquakes sharing one mesh advance in a single solve, so
+//! every metric term, derivative operator row, and cache line of
+//! geometry is loaded once and applied to K wavefields.
+//!
+//! **Bit-identity contract (ULP policy: zero).** A batched solve must be
+//! bit-identical to the K serial solves it replaces, per lane:
+//!
+//! * the lane-fused kernels in this module keep the *per-lane* sequence
+//!   of f32 operations exactly equal to the single-lane reference
+//!   kernel — accumulators live per lane, the `l` contraction stays the
+//!   outer loop, and the three-term accumulate expression keeps the
+//!   reference's association order — so each lane reproduces the
+//!   reference result bit-for-bit while the lane loop vectorizes;
+//! * the `Simd` / `BlasStyle` variants run the *unmodified* single-lane
+//!   kernel per lane on gathered blocks (gather → kernel → scatter);
+//!   copies are exact, so those variants are trivially bit-identical
+//!   to their single-lane selves.
+
+use crate::layout::{NGLL, NGLL3, NGLL3_PADDED};
+use crate::{DerivOps, KernelVariant};
+
+/// Hard cap on event lanes per batch: bounds the per-point stack
+/// accumulators so the lane loop stays allocation-free.
+pub const MAX_BATCH_LANES: usize = 32;
+
+/// Lane-fused `t_d = ∂u/∂(ξ,η,γ)` on a lane-major block: `u[slot·k + lane]`
+/// with `slot < NGLL3`. Per lane this performs exactly the reference
+/// kernel's operation sequence.
+pub fn cutplane_derivatives_lanes(
+    u: &[f32],
+    k: usize,
+    h: &[[f32; NGLL]; NGLL],
+    t1: &mut [f32],
+    t2: &mut [f32],
+    t3: &mut [f32],
+) {
+    assert!(
+        (1..=MAX_BATCH_LANES).contains(&k),
+        "lane count {k} out of range"
+    );
+    let mut a1 = [0.0f32; MAX_BATCH_LANES];
+    let mut a2 = [0.0f32; MAX_BATCH_LANES];
+    let mut a3 = [0.0f32; MAX_BATCH_LANES];
+    for kk in 0..NGLL {
+        for j in 0..NGLL {
+            for i in 0..NGLL {
+                a1[..k].fill(0.0);
+                a2[..k].fill(0.0);
+                a3[..k].fill(0.0);
+                for l in 0..NGLL {
+                    let h1 = h[i][l];
+                    let h2 = h[j][l];
+                    let h3 = h[kk][l];
+                    let s1 = ((kk * NGLL + j) * NGLL + l) * k;
+                    let s2 = ((kk * NGLL + l) * NGLL + i) * k;
+                    let s3 = ((l * NGLL + j) * NGLL + i) * k;
+                    for lane in 0..k {
+                        a1[lane] += h1 * u[s1 + lane];
+                        a2[lane] += h2 * u[s2 + lane];
+                        a3[lane] += h3 * u[s3 + lane];
+                    }
+                }
+                let o = ((kk * NGLL + j) * NGLL + i) * k;
+                t1[o..o + k].copy_from_slice(&a1[..k]);
+                t2[o..o + k].copy_from_slice(&a2[..k]);
+                t3[o..o + k].copy_from_slice(&a3[..k]);
+            }
+        }
+    }
+}
+
+/// Lane-fused weighted-transpose accumulation on lane-major blocks.
+/// Mirrors the reference kernel: one fused accumulator per (point, lane),
+/// three products added per `l` iteration in the same association order,
+/// a single `+=` into `out` at the end.
+pub fn cutplane_transpose_accumulate_lanes(
+    f1: &[f32],
+    f2: &[f32],
+    f3: &[f32],
+    k: usize,
+    w: &[[f32; NGLL]; NGLL],
+    out: &mut [f32],
+) {
+    assert!(
+        (1..=MAX_BATCH_LANES).contains(&k),
+        "lane count {k} out of range"
+    );
+    let mut acc = [0.0f32; MAX_BATCH_LANES];
+    for kk in 0..NGLL {
+        for j in 0..NGLL {
+            for i in 0..NGLL {
+                acc[..k].fill(0.0);
+                for l in 0..NGLL {
+                    let w1 = w[i][l];
+                    let w2 = w[j][l];
+                    let w3 = w[kk][l];
+                    let s1 = ((kk * NGLL + j) * NGLL + l) * k;
+                    let s2 = ((kk * NGLL + l) * NGLL + i) * k;
+                    let s3 = ((l * NGLL + j) * NGLL + i) * k;
+                    for lane in 0..k {
+                        acc[lane] += w1 * f1[s1 + lane] + w2 * f2[s2 + lane] + w3 * f3[s3 + lane];
+                    }
+                }
+                let o = ((kk * NGLL + j) * NGLL + i) * k;
+                for lane in 0..k {
+                    out[o + lane] += acc[lane];
+                }
+            }
+        }
+    }
+}
+
+/// Copy one lane out of a lane-major block into a padded single-lane
+/// block (padding stays zero).
+pub fn gather_lane(src: &[f32], k: usize, lane: usize, dst: &mut [f32; NGLL3_PADDED]) {
+    for slot in 0..NGLL3 {
+        dst[slot] = src[slot * k + lane];
+    }
+}
+
+/// Write a padded single-lane block back into one lane of a lane-major
+/// block.
+pub fn scatter_lane(src: &[f32; NGLL3_PADDED], k: usize, lane: usize, dst: &mut [f32]) {
+    for slot in 0..NGLL3 {
+        dst[slot * k + lane] = src[slot];
+    }
+}
+
+/// Dispatch: batched cut-plane derivatives on a lane-major block.
+/// `Reference` runs the lane-fused kernel; `Simd` / `BlasStyle` run the
+/// unmodified single-lane kernel per lane via gather/scatter.
+pub fn dispatch_derivatives(
+    variant: KernelVariant,
+    u: &[f32],
+    k: usize,
+    ops: &DerivOps,
+    t1: &mut [f32],
+    t2: &mut [f32],
+    t3: &mut [f32],
+) {
+    match variant {
+        KernelVariant::Reference => cutplane_derivatives_lanes(u, k, &ops.hprime, t1, t2, t3),
+        KernelVariant::Simd | KernelVariant::BlasStyle => {
+            let mut ub = [0.0f32; NGLL3_PADDED];
+            let mut b1 = [0.0f32; NGLL3_PADDED];
+            let mut b2 = [0.0f32; NGLL3_PADDED];
+            let mut b3 = [0.0f32; NGLL3_PADDED];
+            for lane in 0..k {
+                gather_lane(u, k, lane, &mut ub);
+                crate::cutplane_derivatives(variant, &ub, ops, &mut b1, &mut b2, &mut b3);
+                scatter_lane(&b1, k, lane, t1);
+                scatter_lane(&b2, k, lane, t2);
+                scatter_lane(&b3, k, lane, t3);
+            }
+        }
+    }
+}
+
+/// Dispatch: batched weighted-transpose accumulation on lane-major
+/// blocks (see [`dispatch_derivatives`] for the per-variant strategy).
+pub fn dispatch_transpose_accumulate(
+    variant: KernelVariant,
+    f1: &[f32],
+    f2: &[f32],
+    f3: &[f32],
+    k: usize,
+    ops: &DerivOps,
+    out: &mut [f32],
+) {
+    match variant {
+        KernelVariant::Reference => {
+            cutplane_transpose_accumulate_lanes(f1, f2, f3, k, &ops.hprime_wgll_t, out)
+        }
+        KernelVariant::Simd | KernelVariant::BlasStyle => {
+            let mut g1 = [0.0f32; NGLL3_PADDED];
+            let mut g2 = [0.0f32; NGLL3_PADDED];
+            let mut g3 = [0.0f32; NGLL3_PADDED];
+            let mut ob = [0.0f32; NGLL3_PADDED];
+            for lane in 0..k {
+                gather_lane(f1, k, lane, &mut g1);
+                gather_lane(f2, k, lane, &mut g2);
+                gather_lane(f3, k, lane, &mut g3);
+                gather_lane(out, k, lane, &mut ob);
+                crate::cutplane_transpose_accumulate(variant, &g1, &g2, &g3, ops, &mut ob);
+                scatter_lane(&ob, k, lane, out);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layout::lane_major;
+    use crate::reference;
+    use specfem_gll::GllBasis;
+
+    fn lane_field(seed: u32) -> Vec<f32> {
+        let mut v = vec![0.0f32; NGLL3_PADDED];
+        for (i, x) in v.iter_mut().take(NGLL3).enumerate() {
+            *x = ((i as u32).wrapping_mul(2654435761).wrapping_add(seed) % 1000) as f32 / 500.0
+                - 1.0;
+        }
+        v
+    }
+
+    fn interleave(lanes: &[Vec<f32>]) -> Vec<f32> {
+        let k = lanes.len();
+        let mut out = vec![0.0f32; NGLL3 * k];
+        for (lane, f) in lanes.iter().enumerate() {
+            for slot in 0..NGLL3 {
+                out[lane_major(slot, lane, k)] = f[slot];
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn lane_fused_derivatives_are_bit_identical_to_reference_per_lane() {
+        let ops = DerivOps::from_basis(&GllBasis::new(4));
+        for k in [1usize, 2, 3, 4, 8] {
+            let lanes: Vec<Vec<f32>> = (0..k).map(|l| lane_field(l as u32 * 31 + 7)).collect();
+            let u = interleave(&lanes);
+            let mut t1 = vec![0.0f32; NGLL3 * k];
+            let mut t2 = vec![0.0f32; NGLL3 * k];
+            let mut t3 = vec![0.0f32; NGLL3 * k];
+            cutplane_derivatives_lanes(&u, k, &ops.hprime, &mut t1, &mut t2, &mut t3);
+            for (lane, f) in lanes.iter().enumerate() {
+                let mut r1 = vec![0.0f32; NGLL3_PADDED];
+                let mut r2 = vec![0.0f32; NGLL3_PADDED];
+                let mut r3 = vec![0.0f32; NGLL3_PADDED];
+                reference::cutplane_derivatives(f, &ops.hprime, &mut r1, &mut r2, &mut r3);
+                for slot in 0..NGLL3 {
+                    let b = lane_major(slot, lane, k);
+                    assert_eq!(t1[b].to_bits(), r1[slot].to_bits(), "k={k} lane={lane}");
+                    assert_eq!(t2[b].to_bits(), r2[slot].to_bits());
+                    assert_eq!(t3[b].to_bits(), r3[slot].to_bits());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn lane_fused_transpose_accumulate_is_bit_identical_per_lane() {
+        let ops = DerivOps::from_basis(&GllBasis::new(4));
+        for k in [1usize, 2, 4, 5] {
+            let f1l: Vec<Vec<f32>> = (0..k).map(|l| lane_field(l as u32 + 1)).collect();
+            let f2l: Vec<Vec<f32>> = (0..k).map(|l| lane_field(l as u32 + 100)).collect();
+            let f3l: Vec<Vec<f32>> = (0..k).map(|l| lane_field(l as u32 + 200)).collect();
+            let outl: Vec<Vec<f32>> = (0..k).map(|l| lane_field(l as u32 + 300)).collect();
+            let (f1, f2, f3) = (interleave(&f1l), interleave(&f2l), interleave(&f3l));
+            let mut out = interleave(&outl);
+            cutplane_transpose_accumulate_lanes(&f1, &f2, &f3, k, &ops.hprime_wgll_t, &mut out);
+            for lane in 0..k {
+                let mut r = outl[lane].clone();
+                reference::cutplane_transpose_accumulate(
+                    &f1l[lane],
+                    &f2l[lane],
+                    &f3l[lane],
+                    &ops.hprime_wgll_t,
+                    &mut r,
+                );
+                for slot in 0..NGLL3 {
+                    assert_eq!(
+                        out[lane_major(slot, lane, k)].to_bits(),
+                        r[slot].to_bits(),
+                        "k={k} lane={lane} slot={slot}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn gather_scatter_dispatch_matches_single_lane_kernels_bitwise() {
+        let ops = DerivOps::from_basis(&GllBasis::new(4));
+        for variant in [KernelVariant::Simd, KernelVariant::BlasStyle] {
+            let k = 3;
+            let lanes: Vec<Vec<f32>> = (0..k).map(|l| lane_field(l as u32 * 13 + 5)).collect();
+            let u = interleave(&lanes);
+            let mut t1 = vec![0.0f32; NGLL3 * k];
+            let mut t2 = vec![0.0f32; NGLL3 * k];
+            let mut t3 = vec![0.0f32; NGLL3 * k];
+            dispatch_derivatives(variant, &u, k, &ops, &mut t1, &mut t2, &mut t3);
+            for (lane, f) in lanes.iter().enumerate() {
+                let mut r1 = vec![0.0f32; NGLL3_PADDED];
+                let mut r2 = vec![0.0f32; NGLL3_PADDED];
+                let mut r3 = vec![0.0f32; NGLL3_PADDED];
+                crate::cutplane_derivatives(variant, f, &ops, &mut r1, &mut r2, &mut r3);
+                for slot in 0..NGLL3 {
+                    let b = lane_major(slot, lane, k);
+                    assert_eq!(t1[b].to_bits(), r1[slot].to_bits(), "{variant:?}");
+                    assert_eq!(t2[b].to_bits(), r2[slot].to_bits());
+                    assert_eq!(t3[b].to_bits(), r3[slot].to_bits());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn k_equals_one_matches_reference_exactly() {
+        let ops = DerivOps::from_basis(&GllBasis::new(4));
+        let u = lane_field(42);
+        let mut t1 = vec![0.0f32; NGLL3];
+        let mut t2 = vec![0.0f32; NGLL3];
+        let mut t3 = vec![0.0f32; NGLL3];
+        dispatch_derivatives(
+            KernelVariant::Reference,
+            &u[..NGLL3],
+            1,
+            &ops,
+            &mut t1,
+            &mut t2,
+            &mut t3,
+        );
+        let mut r1 = vec![0.0f32; NGLL3_PADDED];
+        let mut r2 = vec![0.0f32; NGLL3_PADDED];
+        let mut r3 = vec![0.0f32; NGLL3_PADDED];
+        reference::cutplane_derivatives(&u, &ops.hprime, &mut r1, &mut r2, &mut r3);
+        assert_eq!(t1, r1[..NGLL3]);
+        assert_eq!(t2, r2[..NGLL3]);
+        assert_eq!(t3, r3[..NGLL3]);
+    }
+}

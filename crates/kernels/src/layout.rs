@@ -49,6 +49,18 @@ impl PaddedBlock {
     }
 }
 
+/// Index into a lane-major batched buffer: `k` event lanes stored
+/// innermost, so lane data for one GLL slot (or one field component of
+/// one mesh point) is contiguous. This is the SoA layout the batched
+/// 5×5×K kernels and the K-lane halo packing both assume: a point's
+/// `ncomp·k` values occupy one contiguous run, which is what lets the
+/// existing halo exchange treat a K-lane field as a single field with
+/// `ncomp·k` components (one message per neighbor, independent of `k`).
+#[inline]
+pub const fn lane_major(slot: usize, lane: usize, k: usize) -> usize {
+    slot * k + lane
+}
+
 /// Fractional memory overhead of the padding (documented 2.4 %).
 pub fn padding_overhead() -> f64 {
     NGLL3_PADDED as f64 / NGLL3 as f64 - 1.0

@@ -21,14 +21,16 @@
 // Numeric kernels index several arrays with one loop variable by design.
 #![allow(clippy::needless_range_loop)]
 
+pub mod batched;
 pub mod blas_style;
 pub mod flops;
 pub mod layout;
 pub mod reference;
 pub mod simd;
 
+pub use batched::MAX_BATCH_LANES;
 pub use flops::FlopCounter;
-pub use layout::{PaddedBlock, NGLL, NGLL2, NGLL3, NGLL3_PADDED};
+pub use layout::{lane_major, PaddedBlock, NGLL, NGLL2, NGLL3, NGLL3_PADDED};
 
 /// The 5×5 one-dimensional derivative operator `h[i][l] = l'_l(x_i)` in
 /// `f32`, plus its quadrature-weighted counterpart — the two constant
@@ -128,6 +130,38 @@ pub fn cutplane_transpose_accumulate(
             blas_style::cutplane_transpose_accumulate(f1, f2, f3, &ops.hprime_wgll_t, out)
         }
     }
+}
+
+/// Dispatch: batched cut-plane derivatives on a lane-major block of `k`
+/// event lanes (`u[slot·k + lane]`, `slot` i-fastest). Per lane this is
+/// bit-identical to [`cutplane_derivatives`] with the same `variant` —
+/// see [`batched`] for the per-variant strategy and the ULP policy.
+#[inline]
+pub fn batched_cutplane_derivatives(
+    variant: KernelVariant,
+    u: &[f32],
+    k: usize,
+    ops: &DerivOps,
+    t1: &mut [f32],
+    t2: &mut [f32],
+    t3: &mut [f32],
+) {
+    batched::dispatch_derivatives(variant, u, k, ops, t1, t2, t3)
+}
+
+/// Dispatch: batched weighted-transpose accumulation on lane-major
+/// blocks; per lane bit-identical to [`cutplane_transpose_accumulate`].
+#[inline]
+pub fn batched_cutplane_transpose_accumulate(
+    variant: KernelVariant,
+    f1: &[f32],
+    f2: &[f32],
+    f3: &[f32],
+    k: usize,
+    ops: &DerivOps,
+    out: &mut [f32],
+) {
+    batched::dispatch_transpose_accumulate(variant, f1, f2, f3, k, ops, out)
 }
 
 #[cfg(test)]

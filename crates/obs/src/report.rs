@@ -15,6 +15,24 @@ use std::collections::BTreeMap;
 use crate::json_escape;
 use crate::metrics::LogHistogram;
 
+/// Human-readable name for a known solver message tag (values mirror
+/// `specfem_comm::tags`; this crate stays dependency-free, so they are
+/// restated here and pinned by a test on the comm side). Unknown tags
+/// render as an empty string.
+pub fn tag_name(tag: u32) -> &'static str {
+    match tag {
+        100 => "halo_solid",
+        101 => "halo_fluid",
+        110 => "halo_batched_solid",
+        111 => "halo_batched_fluid",
+        200 => "reduce",
+        201 => "bcast",
+        202 => "barrier",
+        300 => "mesh_handoff",
+        _ => "",
+    }
+}
+
 /// Traffic attributed to one message tag.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct TagTraffic {
@@ -260,11 +278,14 @@ impl IpmReport {
             }
         }
         if !self.tags.is_empty() {
-            o.push_str("#\n# tag        messages          bytes\n");
+            o.push_str("#\n# tag                            messages          bytes\n");
             for t in &self.tags {
                 o.push_str(&format!(
-                    "# {:<8} {:>10} {:>14}\n",
-                    t.tag, t.messages, t.bytes
+                    "# {:<8} {:<20} {:>10} {:>14}\n",
+                    t.tag,
+                    tag_name(t.tag),
+                    t.messages,
+                    t.bytes
                 ));
             }
         }

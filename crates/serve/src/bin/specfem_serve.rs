@@ -3,12 +3,14 @@
 //! ```text
 //! specfem_serve [--parfile PATH] [--addr HOST:PORT] [--data-dir DIR]
 //!               [--workers N] [--ledger-dir DIR] [--ledger-batch N]
+//!               [--batch-lanes K] [--batch-window-ms MS]
 //! ```
 //!
 //! Knobs come from the Par_file (`SERVE_ADDR`, `RESULT_CACHE_BYTES`,
-//! `REQUEST_DEADLINE_MS`; see `specfem_core::parfile::ServeKnobs`) with
-//! flags overriding. The process prints the bound address on stdout
-//! (`SERVE_LISTENING <addr>`) and blocks until `POST /shutdown`.
+//! `REQUEST_DEADLINE_MS`, `BATCH_MAX_LANES`, `BATCH_WINDOW_MS`; see
+//! `specfem_core::parfile::ServeKnobs`) with flags overriding. The
+//! process prints the bound address on stdout (`SERVE_LISTENING <addr>`)
+//! and blocks until `POST /shutdown`.
 
 use std::path::PathBuf;
 
@@ -23,6 +25,8 @@ fn main() {
     let mut workers = 0usize;
     let mut ledger_dir: Option<PathBuf> = None;
     let mut ledger_batch = 32usize;
+    let mut batch_lanes: Option<usize> = None;
+    let mut batch_window_ms: Option<u64> = None;
     while let Some(arg) = args.next() {
         let mut value = |name: &str| {
             args.next()
@@ -42,6 +46,20 @@ fn main() {
                 ledger_batch = value("--ledger-batch")
                     .parse()
                     .expect("--ledger-batch must be a count")
+            }
+            "--batch-lanes" => {
+                batch_lanes = Some(
+                    value("--batch-lanes")
+                        .parse()
+                        .expect("--batch-lanes must be a lane count"),
+                )
+            }
+            "--batch-window-ms" => {
+                batch_window_ms = Some(
+                    value("--batch-window-ms")
+                        .parse()
+                        .expect("--batch-window-ms must be a millisecond count"),
+                )
             }
             other => {
                 eprintln!("unknown flag: {other}");
@@ -65,6 +83,12 @@ fn main() {
     cfg.workers = workers;
     cfg.ledger_dir = ledger_dir;
     cfg.ledger_batch = ledger_batch;
+    if let Some(lanes) = batch_lanes {
+        cfg.batch_max_lanes = lanes.max(1);
+    }
+    if let Some(ms) = batch_window_ms {
+        cfg.batch_window_ms = ms;
+    }
 
     let handle = serve(cfg).unwrap_or_else(|e| panic!("cannot start daemon: {e}"));
     println!("SERVE_LISTENING {}", handle.addr());

@@ -17,6 +17,11 @@
 //!   and worker pool; identical concurrent requests **single-flight**
 //!   into one solve, and every waiter is answered from the same cached
 //!   value;
+//! * with `BATCH_MAX_LANES > 1`, *distinct* concurrent misses that share
+//!   a mesh and timeloop shape (different earthquakes or station sets)
+//!   fuse into one multi-event solve via the campaign's batch packer —
+//!   one mesh build and one time loop answer K requests, each lane
+//!   bit-identical to its single-event answer;
 //! * results land in a two-tier [`ResultCache`] (LRU memory + SFCN disk
 //!   containers), so repeats are O(1) and survive daemon restarts;
 //! * per-request deadlines bound the wait: the connection gets a typed
@@ -75,6 +80,18 @@ pub struct ServeConfig {
     pub ledger_dir: Option<PathBuf>,
     /// Solves per ledger record.
     pub ledger_batch: usize,
+    /// Max event lanes per fused solve (`BATCH_MAX_LANES`); 1 keeps
+    /// every solve single-lane. Requests for the same mesh and
+    /// timeloop shape but different sources/stations fuse into one
+    /// K-event solve (bit-identical per lane to the serial answer).
+    /// A request carrying a deadline runs single-lane regardless: its
+    /// deadline becomes the solver watchdog, which is per-solve, and a
+    /// fused solve must not let one lane's deadline kill its siblings.
+    pub batch_max_lanes: usize,
+    /// How long a worker holds an underfull batch open waiting for
+    /// fusable queue mates (`BATCH_WINDOW_MS`); 0 = only fuse what is
+    /// already queued.
+    pub batch_window_ms: u64,
 }
 
 impl ServeConfig {
@@ -91,6 +108,8 @@ impl ServeConfig {
             data_dir: data_dir.into(),
             ledger_dir: None,
             ledger_batch: 32,
+            batch_max_lanes: knobs.batch_max_lanes,
+            batch_window_ms: knobs.batch_window_ms,
         }
     }
 }
@@ -509,8 +528,16 @@ pub fn serve(cfg: ServeConfig) -> std::io::Result<ServerHandle> {
 
     let scheduler = {
         let engine = Arc::clone(&engine);
-        let workers = cfg.workers;
-        std::thread::spawn(move || scheduler_loop(engine, jobs_rx, workers))
+        let campaign_cfg = CampaignConfig {
+            workers: cfg.workers,
+            queue_capacity: (cfg.workers.max(1)) * 4,
+            ..CampaignConfig::default()
+        }
+        .batching(
+            cfg.batch_max_lanes,
+            Duration::from_millis(cfg.batch_window_ms),
+        );
+        std::thread::spawn(move || scheduler_loop(engine, jobs_rx, campaign_cfg))
     };
     let accept = {
         let engine = Arc::clone(&engine);
@@ -526,12 +553,11 @@ pub fn serve(cfg: ServeConfig) -> std::io::Result<ServerHandle> {
 
 /// Own the campaign: admit jobs off the channel, wake waiters via the
 /// completion callback, and fold drained outcomes into ledger batches.
-fn scheduler_loop(engine: Arc<Engine>, jobs_rx: Receiver<Job>, workers: usize) {
-    let mut campaign = Campaign::new(CampaignConfig {
-        workers,
-        queue_capacity: (workers.max(1)) * 4,
-        ..CampaignConfig::default()
-    });
+/// With `batch_max_lanes > 1` in the config, compatible concurrent
+/// requests (same mesh + timeloop shape, different sources/stations)
+/// fuse into one K-event solve inside the campaign's worker pool.
+fn scheduler_loop(engine: Arc<Engine>, jobs_rx: Receiver<Job>, cfg: CampaignConfig) {
+    let mut campaign = Campaign::new(cfg);
     {
         let engine = Arc::clone(&engine);
         campaign.on_completion(move |outcome| {

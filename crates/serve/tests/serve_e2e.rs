@@ -27,6 +27,8 @@ fn start(data_dir: PathBuf) -> ServerHandle {
         data_dir,
         ledger_dir: None,
         ledger_batch: 4,
+        batch_max_lanes: 1,
+        batch_window_ms: 0,
     })
     .expect("daemon starts")
 }
@@ -146,6 +148,89 @@ fn concurrent_identical_requests_single_flight_into_one_solve() {
         1,
         "identical requests must share one solve"
     );
+    daemon.shutdown();
+}
+
+/// Serial-oracle bits for one catalogue event (the per-lane expectation
+/// for the batched daemon test).
+fn event_bits(event: &str) -> Vec<Vec<[u32; 3]>> {
+    let sim = specfem_core::Simulation::builder()
+        .resolution(4)
+        .steps(10)
+        .catalogue_event(event)
+        .stations(2)
+        .build()
+        .unwrap();
+    sim.run_serial()
+        .seismograms
+        .iter()
+        .map(|s| {
+            s.data
+                .iter()
+                .map(|v| [v[0].to_bits(), v[1].to_bits(), v[2].to_bits()])
+                .collect()
+        })
+        .collect()
+}
+
+#[test]
+fn batched_daemon_answers_each_event_bit_identical_to_serial() {
+    // One worker, lanes wide open, a generous fuse window, and *no*
+    // request deadline (a deadline becomes the solver watchdog, which
+    // forces the single-lane path). Three concurrent requests for
+    // different catalogue events share the mesh and timeloop shape, so
+    // they fuse into one 3-lane solve — and every lane must still be
+    // bit-identical to its own single-event serial answer.
+    let daemon = serve(ServeConfig {
+        addr: "127.0.0.1:0".to_string(),
+        result_cache_bytes: 32 << 20,
+        request_deadline: None,
+        workers: 1,
+        data_dir: tmp_dir("batched"),
+        ledger_dir: None,
+        ledger_batch: 4,
+        batch_max_lanes: 4,
+        batch_window_ms: 2_000,
+    })
+    .expect("daemon starts");
+    let addr = daemon.addr();
+
+    let events = ["argentina_deep", "sumatra_thrust", "denali_strike_slip"];
+    let threads: Vec<_> = events
+        .map(|event| {
+            std::thread::spawn(move || {
+                let body = format!(
+                    r#"{{"resolution": 4, "steps": 10, "event": "{event}", "stations": 2}}"#
+                );
+                let (status, reply) = client::post(addr, "/simulate", &body).unwrap();
+                assert_eq!(status, 200, "{reply}");
+                let (cache, bits) = response_bits(&reply);
+                assert_eq!(cache, "miss");
+                bits
+            })
+        })
+        .into_iter()
+        .collect();
+    let answers: Vec<_> = threads.into_iter().map(|t| t.join().unwrap()).collect();
+    for (event, got) in events.iter().zip(&answers) {
+        assert_eq!(
+            got,
+            &event_bits(event),
+            "batched daemon answer for {event} diverges from serial"
+        );
+    }
+    assert_eq!(health_solves(addr), 3, "every lane counts as one solve");
+
+    // Warm repeats hit the cache under the lane's own result key.
+    for event in events {
+        let body =
+            format!(r#"{{"resolution": 4, "steps": 10, "event": "{event}", "stations": 2}}"#);
+        let (status, reply) = client::post(addr, "/simulate", &body).unwrap();
+        assert_eq!(status, 200, "{reply}");
+        let (cache, bits) = response_bits(&reply);
+        assert_eq!(cache, "mem_hit");
+        assert_eq!(bits, event_bits(event), "cached lane result diverges");
+    }
     daemon.shutdown();
 }
 

@@ -350,6 +350,14 @@ impl ReceiverSet {
 
     /// Record the current velocity at every station.
     pub fn record(&mut self, mesh: &LocalMesh, fields: &WaveFields) {
+        self.record_with(mesh, |p, c| fields.veloc[p * 3 + c])
+    }
+
+    /// Record with a caller-supplied velocity accessor `veloc_at(point,
+    /// component)` — the batched solver reads one event lane out of its
+    /// lane-major bank through this, reusing the exact interpolation
+    /// sequence of the single-lane path.
+    pub fn record_with(&mut self, mesh: &LocalMesh, veloc_at: impl Fn(usize, usize) -> f32) {
         let n3 = mesh.points_per_element();
         for ((_, loc), rec) in self.located.iter().zip(&mut self.records) {
             let ev = loc.evaluator(&mesh.basis.points);
@@ -358,7 +366,7 @@ impl ReceiverSet {
             for c in 0..3 {
                 let comp: Vec<f64> = mesh.ibool[base..base + n3]
                     .iter()
-                    .map(|&p| fields.veloc[p as usize * 3 + c] as f64)
+                    .map(|&p| veloc_at(p as usize, c) as f64)
                     .collect();
                 v[c] = ev.interpolate(&comp) as f32;
             }
