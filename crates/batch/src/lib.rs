@@ -58,5 +58,8 @@ pub fn supported(config: &specfem_solver::SolverConfig) -> Result<(), String> {
     if config.fault_plan.is_some() {
         return Err("batched tier does not run fault plans".into());
     }
+    if config.lts_max_rate > 1 || config.lts_all_rate_one {
+        return Err("batched tier does not support local time stepping".into());
+    }
     Ok(())
 }

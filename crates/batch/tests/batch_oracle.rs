@@ -19,6 +19,10 @@ use specfem_mesh::{GlobalMesh, MeshParams, Partition};
 use specfem_model::{builtin_events, Prem, SourceTimeFunction, StfKind};
 use specfem_solver::{CheckpointState, RankSolver, SolverConfig, SourceSpec};
 
+#[path = "../../../tests/common/oracle.rs"]
+mod oracle;
+use oracle::assert_state_matches;
+
 fn prem_mesh() -> GlobalMesh {
     GlobalMesh::build(&MeshParams::new(4, 1), &Prem::isotropic_no_ocean())
 }
@@ -62,50 +66,6 @@ fn serial_state(mesh: &GlobalMesh, cfg: &SolverConfig, lane: &EventLane) -> Chec
         solver.step(istep, &mut comm).expect("serial step");
     }
     solver.capture_checkpoint(0, 1, cfg.nsteps)
-}
-
-fn assert_bits(name: &str, a: &[f32], b: &[f32]) {
-    assert_eq!(a.len(), b.len(), "{name} length");
-    for (i, (x, y)) in a.iter().zip(b).enumerate() {
-        assert_eq!(
-            x.to_bits(),
-            y.to_bits(),
-            "{name}[{i}]: batch {x:e} vs serial {y:e}"
-        );
-    }
-}
-
-fn assert_state_matches(lane_name: &str, batch: &CheckpointState, serial: &CheckpointState) {
-    assert_bits(&format!("{lane_name}.displ"), &batch.displ, &serial.displ);
-    assert_bits(&format!("{lane_name}.veloc"), &batch.veloc, &serial.veloc);
-    assert_bits(&format!("{lane_name}.accel"), &batch.accel, &serial.accel);
-    assert_bits(&format!("{lane_name}.chi"), &batch.chi, &serial.chi);
-    assert_bits(
-        &format!("{lane_name}.chi_dot"),
-        &batch.chi_dot,
-        &serial.chi_dot,
-    );
-    assert_bits(
-        &format!("{lane_name}.chi_ddot"),
-        &batch.chi_ddot,
-        &serial.chi_ddot,
-    );
-    assert_eq!(batch.dt.to_bits(), serial.dt.to_bits(), "{lane_name}.dt");
-    // Station records: same stations, same samples, to the bit.
-    assert_eq!(
-        batch.records.len(),
-        serial.records.len(),
-        "{lane_name} stations"
-    );
-    for ((bn, bs), (sn, ss)) in batch.records.iter().zip(&serial.records) {
-        assert_eq!(bn, sn, "{lane_name} station name");
-        assert_eq!(bs.len(), ss.len(), "{lane_name}/{bn} samples");
-        for (x, y) in bs.iter().zip(ss) {
-            for c in 0..3 {
-                assert_eq!(x[c].to_bits(), y[c].to_bits(), "{lane_name}/{bn}");
-            }
-        }
-    }
 }
 
 fn run_batch_and_compare(mesh: &GlobalMesh, cfg: &SolverConfig, k: usize) {
@@ -252,22 +212,14 @@ fn halo_message_count_is_independent_of_lane_count() {
     let k2 = run(2);
     let k4 = run(4);
 
-    let tag_traffic = |out: &specfem_batch::BatchRankOutput, tag: u32| {
-        out.comm
-            .per_tag
-            .iter()
-            .find(|t| t.tag == tag)
-            .map(|t| (t.messages, t.bytes))
-            .unwrap_or((0, 0))
-    };
     for rank in 0..partition.num_ranks {
         // Posted message count per step is independent of K...
         assert_eq!(k1[rank].comm.messages_sent, k2[rank].comm.messages_sent);
         assert_eq!(k2[rank].comm.messages_sent, k4[rank].comm.messages_sent);
         for tag in [tags::HALO_BATCHED_SOLID, tags::HALO_BATCHED_FLUID] {
-            let (m1, b1) = tag_traffic(&k1[rank], tag);
-            let (m2, b2) = tag_traffic(&k2[rank], tag);
-            let (m4, b4) = tag_traffic(&k4[rank], tag);
+            let (m1, b1) = k1[rank].comm.tag_traffic(tag);
+            let (m2, b2) = k2[rank].comm.tag_traffic(tag);
+            let (m4, b4) = k4[rank].comm.tag_traffic(tag);
             assert!(m1 > 0, "rank {rank} tag {tag} sent no halo messages");
             assert_eq!(m1, m2, "rank {rank} tag {tag} message count");
             assert_eq!(m2, m4, "rank {rank} tag {tag} message count");
@@ -277,7 +229,7 @@ fn halo_message_count_is_independent_of_lane_count() {
         }
         // The legacy single-lane tags are silent on the batched path.
         for tag in [tags::HALO_SOLID, tags::HALO_FLUID] {
-            assert_eq!(tag_traffic(&k4[rank], tag).0, 0);
+            assert_eq!(k4[rank].comm.tag_traffic(tag).0, 0);
         }
     }
 }
@@ -357,6 +309,20 @@ fn unsupported_configs_are_rejected() {
                 ..SolverConfig::default()
             },
             "checkpoint",
+        ),
+        (
+            SolverConfig {
+                lts_max_rate: 2,
+                ..SolverConfig::default()
+            },
+            "lts",
+        ),
+        (
+            SolverConfig {
+                lts_all_rate_one: true,
+                ..SolverConfig::default()
+            },
+            "lts oracle hook",
         ),
     ] {
         let err = specfem_batch::supported(&cfg).expect_err(why);

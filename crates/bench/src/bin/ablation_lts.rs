@@ -1,0 +1,236 @@
+//! E-LTS ablation: clustered local time stepping against the
+//! global-min-dt reference on the layered NEX-10 PREM mesh.
+//!
+//! Three claims are checked in one pass (EXPERIMENTS.md E-LTS):
+//! 1. the rate-1 clustered path is **bit-identical** (0 ULP) to the plain
+//!    timeloop — the differential oracle the whole scheme rests on;
+//! 2. the multi-rate path stays within the stated tolerance (5 % of each
+//!    station's peak amplitude) of the global-min-dt reference;
+//! 3. the measured multi-rate speedup clears the `--min-speedup` floor,
+//!    and the theoretical-vs-achieved gap is explained by the
+//!    `specfem_perf::LtsSpeedupModel` fixed-cost calibration.
+//!
+//! Writes a JSON artifact (default `OUTPUT_FILES/ablation_lts.json`,
+//! override with `--out`) and appends a `BENCH_lts.json` ledger record
+//! with the deterministic cluster census for the `perf_ledger` gate.
+
+use specfem_bench::{append_ledger, ledger_dir, prem_mesh, timed};
+use specfem_core::obs::ledger::{LedgerMachine, LedgerRecord, LEDGER_SCHEMA_VERSION};
+use specfem_perf::LtsSpeedupModel;
+use specfem_solver::{run_serial, RankResult, SolverConfig};
+
+/// Largest ULP distance over all paired seismogram samples.
+fn max_ulp_diff(a: &RankResult, b: &RankResult) -> u32 {
+    let mut worst = 0u32;
+    for (sa, sb) in a.seismograms.iter().zip(&b.seismograms) {
+        assert_eq!(sa.station, sb.station);
+        assert_eq!(sa.data.len(), sb.data.len());
+        for (va, vb) in sa.data.iter().zip(&sb.data) {
+            for c in 0..3 {
+                let d = (va[c].to_bits() as i64 - vb[c].to_bits() as i64).unsigned_abs() as u32;
+                worst = worst.max(d);
+            }
+        }
+    }
+    worst
+}
+
+/// Worst deviation across stations, relative to each station's peak.
+fn worst_relative_deviation(reference: &RankResult, lts: &RankResult) -> f64 {
+    let mut worst = 0.0f64;
+    for (sa, sb) in reference.seismograms.iter().zip(&lts.seismograms) {
+        let scale = sa
+            .data
+            .iter()
+            .flat_map(|v| v.iter())
+            .fold(0.0f32, |m, &x| m.max(x.abs()))
+            .max(1e-20) as f64;
+        for (va, vb) in sa.data.iter().zip(&sb.data) {
+            for c in 0..3 {
+                worst = worst.max((va[c] as f64 - vb[c] as f64).abs() / scale);
+            }
+        }
+    }
+    worst
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let flag = |name: &str| {
+        args.iter()
+            .position(|a| a == name)
+            .and_then(|i| args.get(i + 1).cloned())
+    };
+    let out_path = flag("--out").unwrap_or_else(|| "OUTPUT_FILES/ablation_lts.json".into());
+    let cap: usize = flag("--cap").map_or(8, |v| v.parse().expect("--cap"));
+    let nsteps: usize = flag("--steps").map_or(40, |v| v.parse().expect("--steps"));
+    let min_speedup: f64 = flag("--min-speedup").map_or(1.2, |v| v.parse().expect("--min-speedup"));
+
+    println!("== E-LTS: clustered local time stepping ablation ==");
+    let mesh = prem_mesh(10, 1);
+    let stations = specfem_mesh::stations::global_network(4);
+    let config = SolverConfig {
+        nsteps,
+        ..SolverConfig::default()
+    };
+
+    // 1. Rate-1 differential oracle: the clustered machinery with every
+    // element at rate 1 must reproduce the plain timeloop bit for bit.
+    let oracle_cfg = SolverConfig {
+        nsteps: 10,
+        ..config.clone()
+    };
+    let plain10 = run_serial(&mesh, &oracle_cfg, &stations);
+    let rate1 = run_serial(
+        &mesh,
+        &SolverConfig {
+            lts_all_rate_one: true,
+            ..oracle_cfg
+        },
+        &stations,
+    );
+    let ulp_rate1 = max_ulp_diff(&plain10, &rate1);
+    assert_eq!(
+        ulp_rate1, 0,
+        "rate-1 LTS must be bit-identical to the plain timeloop"
+    );
+    println!("rate-1 oracle: 0 ULP over {} steps", 10);
+
+    // 2 & 3. Timed multi-rate vs global-min-dt reference. Two runs per
+    // mode, keep the faster, to damp scheduler noise.
+    let (reference, tp1) = timed(|| run_serial(&mesh, &config, &stations));
+    let (_, tp2) = timed(|| run_serial(&mesh, &config, &stations));
+    let lts_cfg = SolverConfig {
+        lts_max_rate: cap,
+        ..config.clone()
+    };
+    let (lts, tl1) = timed(|| run_serial(&mesh, &lts_cfg, &stations));
+    let (_, tl2) = timed(|| run_serial(&mesh, &lts_cfg, &stations));
+    let t_plain = tp1.min(tp2);
+    let t_lts = tl1.min(tl2);
+    let measured = t_plain / t_lts;
+
+    let worst_rel = worst_relative_deviation(&reference, &lts);
+    assert!(
+        worst_rel <= 0.05,
+        "multi-rate deviation {worst_rel:.4} exceeds the stated 5%-of-peak tolerance"
+    );
+
+    let summary = lts.lts.as_ref().expect("multi-rate run reports LTS");
+    let model = LtsSpeedupModel::new(summary.levels.clone());
+    let theoretical = model.theoretical_speedup();
+    let efficiency = model.efficiency(measured);
+    let fixed_fraction = model.calibrate_fixed_fraction(measured);
+
+    println!(
+        "{:>16} {:>10} {:>12} {:>12}",
+        "path", "time (s)", "speedup", "worst dev"
+    );
+    println!(
+        "{:>16} {t_plain:>10.3} {:>12} {:>12}",
+        "global-min-dt", "—", "—"
+    );
+    println!(
+        "{:>16} {t_lts:>10.3} {measured:>11.3}x {worst_rel:>11.2e}",
+        format!("lts cap {cap}")
+    );
+    println!(
+        "cluster census: {:?} (max rate {}, {} of {} element·steps saved)",
+        summary.levels, summary.max_rate, summary.element_steps_saved, summary.element_steps_total
+    );
+    println!(
+        "theoretical {theoretical:.3}x, achieved {measured:.3}x (efficiency {:.1} %){}",
+        100.0 * efficiency,
+        match fixed_fraction {
+            Some(f) => format!(
+                " — gap explained by a fixed per-step cost {:.0} % of kernel",
+                100.0 * f
+            ),
+            None => String::new(),
+        }
+    );
+    assert!(
+        measured >= min_speedup,
+        "measured LTS speedup {measured:.3}x below the {min_speedup:.2}x floor"
+    );
+
+    // JSON artifact, hand-rendered (vendored serde_json is parse-only)
+    // and parse-validated before writing.
+    let census_json: Vec<String> = summary
+        .levels
+        .iter()
+        .map(|&(rate, n)| format!(r#"{{ "rate": {rate}, "elements": {n} }}"#))
+        .collect();
+    let artifact = format!(
+        r#"{{
+  "bench": "ablation_lts",
+  "config": {{ "nex": 10, "ranks": 1, "nsteps": {nsteps}, "lts_max_rate": {cap} }},
+  "oracle": {{ "rate1_max_ulp": {ulp_rate1}, "tolerance_rel_peak": 0.05 }},
+  "measured": {{
+    "plain_s": {t_plain},
+    "lts_s": {t_lts},
+    "speedup": {measured},
+    "worst_relative_deviation": {worst_rel},
+    "min_speedup_floor": {min_speedup}
+  }},
+  "model": {{
+    "theoretical_speedup": {theoretical},
+    "efficiency": {efficiency},
+    "fixed_cost_fraction": {fixed},
+    "element_steps_saved": {saved},
+    "element_steps_total": {total},
+    "census": [{census}]
+  }}
+}}
+"#,
+        fixed = fixed_fraction.map_or("null".to_string(), |f| format!("{f}")),
+        saved = summary.element_steps_saved,
+        total = summary.element_steps_total,
+        census = census_json.join(", "),
+    );
+    serde_json::from_str(&artifact).expect("artifact JSON must parse");
+    if let Some(dir) = std::path::Path::new(&out_path).parent() {
+        std::fs::create_dir_all(dir).expect("create artifact directory");
+    }
+    std::fs::write(&out_path, artifact).expect("write JSON artifact");
+    println!("artifact: {out_path}");
+
+    // Ledger record for the perf_ledger gate. `element_steps` is the
+    // LTS-effective count (total − saved): deterministic for a fixed mesh
+    // and cap, so any accidental change to the cluster assignment trips
+    // the two-sided counter gate.
+    let mut extra = std::collections::BTreeMap::new();
+    extra.insert("lts_max_rate".to_string(), cap as f64);
+    extra.insert("theoretical_speedup".to_string(), theoretical);
+    extra.insert("measured_speedup".to_string(), measured);
+    extra.insert("efficiency".to_string(), efficiency);
+    extra.insert("worst_relative_deviation".to_string(), worst_rel);
+    extra.insert("rate1_max_ulp".to_string(), ulp_rate1 as f64);
+    let record = LedgerRecord {
+        schema_version: LEDGER_SCHEMA_VERSION,
+        harness: "lts".to_string(),
+        ranks: 1,
+        wall_s: t_lts,
+        comm_fraction: 0.0,
+        imbalance: 0.0,
+        bytes_sent: 0,
+        bytes_received: 0,
+        messages: 0,
+        collectives: 0,
+        element_steps: summary.element_steps_total - summary.element_steps_saved,
+        phases: Vec::new(),
+        machine: LedgerMachine::detect("none"),
+        extra,
+    };
+    let dir = ledger_dir();
+    match append_ledger(&dir, "lts", &record) {
+        Ok(path) => println!("ledger {} appended", path.display()),
+        Err(e) => {
+            eprintln!("FAIL: ledger append failed: {e}");
+            std::process::exit(1);
+        }
+    }
+    println!(
+        "PASS: rate-1 bit-identical, multi-rate within tolerance, {measured:.2}x >= {min_speedup:.2}x"
+    );
+}

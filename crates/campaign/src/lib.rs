@@ -836,6 +836,10 @@ fn roll_up_result(t: &mut JobTelemetry, res: &SimulationResult) {
         t.messages_sent += r.comm.messages_sent;
         t.collectives += r.comm.collectives;
         t.merge_tags(&r.comm.per_tag);
+        if let Some(lts) = &r.lts {
+            t.lts_max_rate = Some(lts.max_rate);
+            t.lts_element_steps_saved += lts.element_steps_saved;
+        }
         if let Some(profile) = &r.profile {
             if let Some(h) = profile.metrics.histograms.get("comm.recv_wait_ns") {
                 t.recv_wait_ns.get_or_insert_with(Default::default).merge(h);

@@ -47,6 +47,12 @@ pub struct JobTelemetry {
     /// Lanes of the batched solve this job rode in (0 or 1 = ran
     /// unbatched on the single-lane path).
     pub batch_lanes: usize,
+    /// Clustered-LTS rate cap in effect on the job's run (`None` = LTS
+    /// off, every element at the global minimum dt).
+    pub lts_max_rate: Option<u32>,
+    /// Σ element·steps the coarse LTS clusters skipped across the job's
+    /// ranks (0 when LTS is off or the mesh has no dt spread).
+    pub lts_element_steps_saved: u64,
 }
 
 impl JobTelemetry {
@@ -122,6 +128,8 @@ pub struct CampaignReport {
     pub shrunk_jobs: usize,
     /// Jobs that ran fused in a multi-lane batched solve.
     pub batched_jobs: usize,
+    /// Jobs that ran with clustered local time stepping engaged.
+    pub lts_jobs: usize,
 }
 
 impl CampaignReport {
@@ -171,6 +179,10 @@ impl CampaignReport {
             .iter()
             .filter(|o| o.telemetry.batch_lanes > 1)
             .count();
+        let lts_jobs = outcomes
+            .iter()
+            .filter(|o| o.telemetry.lts_max_rate.is_some())
+            .count();
         CampaignReport {
             workers,
             total_wall_s,
@@ -184,6 +196,7 @@ impl CampaignReport {
             stalled_jobs,
             shrunk_jobs,
             batched_jobs,
+            lts_jobs,
         }
     }
 
@@ -228,6 +241,12 @@ impl CampaignReport {
             out.push_str(&format!(
                 "  batching        : {} job(s) ran fused in multi-event solves\n",
                 self.batched_jobs
+            ));
+        }
+        if self.lts_jobs > 0 {
+            out.push_str(&format!(
+                "  lts             : {} job(s) ran with clustered local time stepping\n",
+                self.lts_jobs
             ));
         }
         out.push_str(
@@ -284,6 +303,7 @@ impl CampaignReport {
         out.push_str(&format!("  \"stalled_jobs\": {},\n", self.stalled_jobs));
         out.push_str(&format!("  \"shrunk_jobs\": {},\n", self.shrunk_jobs));
         out.push_str(&format!("  \"batched_jobs\": {},\n", self.batched_jobs));
+        out.push_str(&format!("  \"lts_jobs\": {},\n", self.lts_jobs));
         out.push_str(&format!(
             "  \"cache\": {{\"hits\": {}, \"derived_hits\": {}, \"disk_hits\": {}, \
              \"misses\": {}, \"evictions\": {}}},\n",
@@ -371,6 +391,12 @@ fn telemetry_json(t: &JobTelemetry) -> String {
     }
     if t.batch_lanes > 1 {
         out.push_str(&format!(", \"batch_lanes\": {}", t.batch_lanes));
+    }
+    if let Some(cap) = t.lts_max_rate {
+        out.push_str(&format!(
+            ", \"lts\": {{\"max_rate\": {cap}, \"element_steps_saved\": {}}}",
+            t.lts_element_steps_saved
+        ));
     }
     if t.final_world.is_some() || !t.shrink_path.is_empty() {
         let path: Vec<String> = t.shrink_path.iter().map(|w| w.to_string()).collect();

@@ -131,6 +131,17 @@ pub struct StatsSnapshot {
 }
 
 impl StatsSnapshot {
+    /// Sent traffic for one message tag as `(messages, bytes)` — `(0, 0)`
+    /// when the tag never appeared. Saves every per-tag assertion in the
+    /// oracle suites from re-walking `per_tag` by hand.
+    pub fn tag_traffic(&self, tag: u32) -> (u64, u64) {
+        self.per_tag
+            .iter()
+            .find(|t| t.tag == tag)
+            .map(|t| (t.messages, t.bytes))
+            .unwrap_or((0, 0))
+    }
+
     /// Aggregate snapshots from all ranks into "total for all cores" form —
     /// the quantity Figures 6/7 of the paper plot.
     pub fn total(all: &[StatsSnapshot]) -> StatsSnapshot {
@@ -220,6 +231,10 @@ mod tests {
         assert_eq!(snap.size_hist.sum(), 8200);
         // 4096 = 2^12 lands in the [4096, 8191] bucket, twice.
         assert_eq!(snap.size_hist.top_k(1), vec![(4096, 8191, 2)]);
+        // The per-tag accessor reads the same numbers without a walk.
+        assert_eq!(snap.tag_traffic(100), (2, 8192));
+        assert_eq!(snap.tag_traffic(200), (1, 8));
+        assert_eq!(snap.tag_traffic(999), (0, 0));
     }
 
     #[test]

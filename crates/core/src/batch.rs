@@ -214,6 +214,7 @@ fn fan_out_lane(
             station_error_m: lo.station_error_m,
             snapshots: None,
             profile: None,
+            lts: None,
         });
     }
     let seismograms = specfem_solver::timeloop::merge_seismograms(&ranks);

@@ -114,6 +114,21 @@ pub enum BuildError {
         /// The rejected inner radius (m).
         r_min_m: f64,
     },
+    /// `LTS_MAX_RATE` outside the legal range (a power of two between 1
+    /// and [`specfem_mesh::lts::MAX_LTS_RATE`]).
+    InvalidLtsRate {
+        /// The rejected rate cap.
+        rate: usize,
+    },
+    /// `CHECKPOINT_EVERY` must be a multiple of `LTS_MAX_RATE`: frozen
+    /// force contributions are only consistent at full-cycle boundaries,
+    /// so checkpoints may only land there.
+    LtsMisalignedCheckpoint {
+        /// The checkpoint cadence.
+        checkpoint_every: usize,
+        /// The LTS rate cap.
+        lts_max_rate: usize,
+    },
 }
 
 impl std::fmt::Display for BuildError {
@@ -132,6 +147,24 @@ impl std::fmt::Display for BuildError {
                 write!(
                     f,
                     "regional meshes must stay above the fluid outer core (r_min = {r_min_m} m)"
+                )
+            }
+            BuildError::InvalidLtsRate { rate } => {
+                write!(
+                    f,
+                    "LTS_MAX_RATE must be a power of two between 1 and {} (got {rate})",
+                    specfem_mesh::lts::MAX_LTS_RATE
+                )
+            }
+            BuildError::LtsMisalignedCheckpoint {
+                checkpoint_every,
+                lts_max_rate,
+            } => {
+                write!(
+                    f,
+                    "CHECKPOINT_EVERY ({checkpoint_every}) must be a multiple of \
+                     LTS_MAX_RATE ({lts_max_rate}) — checkpoints may only land on \
+                     full LTS cycles"
                 )
             }
         }
@@ -948,6 +981,18 @@ impl SimulationBuilder {
         self
     }
 
+    /// Clustered local-time-stepping rate cap (`Par_file` key
+    /// `LTS_MAX_RATE`, default 1 = off): elements whose Courant-permitted
+    /// `dt` allows it refresh their force contributions only every
+    /// `2^k ≤ cap` fine steps. Validated at [`SimulationBuilder::build`]:
+    /// the cap must be a power of two no larger than
+    /// [`specfem_mesh::lts::MAX_LTS_RATE`], and any checkpoint cadence
+    /// must be a multiple of it (checkpoints land on full cycles only).
+    pub fn lts_max_rate(mut self, rate: usize) -> Self {
+        self.config.lts_max_rate = rate;
+        self
+    }
+
     /// Arm the straggler watchdog on distributed runs (`Par_file` key
     /// `WATCHDOG_TIMEOUT_MS`; off by default): a monitor thread flags any
     /// rank whose step heartbeat ages past `timeout`, publishes skew
@@ -974,6 +1019,22 @@ impl SimulationBuilder {
             return Err(BuildError::IndivisibleDecomposition {
                 nex: self.nex,
                 nproc: self.nproc,
+            });
+        }
+        if specfem_mesh::lts::validate_max_rate(self.config.lts_max_rate).is_err() {
+            return Err(BuildError::InvalidLtsRate {
+                rate: self.config.lts_max_rate,
+            });
+        }
+        if self.config.checkpoint_every > 0
+            && !self
+                .config
+                .checkpoint_every
+                .is_multiple_of(self.config.lts_max_rate)
+        {
+            return Err(BuildError::LtsMisalignedCheckpoint {
+                checkpoint_every: self.config.checkpoint_every,
+                lts_max_rate: self.config.lts_max_rate,
             });
         }
         if let Some(name) = &self.event {
@@ -1028,6 +1089,40 @@ mod tests {
         assert_eq!(sim.params.num_ranks(), 24);
         assert_eq!(sim.stations.len(), 5);
         assert!(matches!(sim.config.source, SourceSpec::Cmt { .. }));
+    }
+
+    #[test]
+    fn builder_validates_lts_rate_and_checkpoint_alignment() {
+        // Non-power-of-two cap: a typed rejection, not a clamp.
+        assert!(matches!(
+            Simulation::builder().resolution(4).lts_max_rate(3).build(),
+            Err(BuildError::InvalidLtsRate { rate: 3 })
+        ));
+        assert!(matches!(
+            Simulation::builder().resolution(4).lts_max_rate(0).build(),
+            Err(BuildError::InvalidLtsRate { rate: 0 })
+        ));
+        // Checkpoint cadence must land on full LTS cycles.
+        let misaligned = Simulation::builder()
+            .resolution(4)
+            .lts_max_rate(4)
+            .configure(|c| c.checkpoint_every = 6)
+            .build();
+        assert!(matches!(
+            misaligned,
+            Err(BuildError::LtsMisalignedCheckpoint {
+                checkpoint_every: 6,
+                lts_max_rate: 4,
+            })
+        ));
+        let aligned = Simulation::builder()
+            .resolution(4)
+            .lts_max_rate(4)
+            .configure(|c| c.checkpoint_every = 8)
+            .build()
+            .unwrap();
+        assert_eq!(aligned.config.lts_max_rate, 4);
+        assert_eq!(aligned.config.checkpoint_every, 8);
     }
 
     #[test]

@@ -21,6 +21,7 @@
 //! # run
 //! NSTEP                  = 400
 //! DT                     = 0.0          # 0 = automatic (Courant)
+//! LTS_MAX_RATE           = 1            # clustered-LTS rate cap (power of two), 1 = off
 //! RECORD_LENGTH_STEPS    = 1
 //! EVENT                  = argentina_deep
 //! NSTATIONS              = 12
@@ -365,6 +366,13 @@ pub fn simulation_from_parfile(text: &str) -> Result<Simulation, String> {
             builder = builder.watchdog_timeout(std::time::Duration::from_millis(ms as u64));
         }
     }
+    if let Some(v) = get("LTS_MAX_RATE") {
+        let rate: usize = v
+            .parse()
+            .map_err(|_| format!("LTS_MAX_RATE: not a rate cap: {v}"))?;
+        specfem_mesh::lts::validate_max_rate(rate)?;
+        builder = builder.lts_max_rate(rate);
+    }
     if let Some(v) = get("CHECKPOINT_KEEP") {
         let keep = parse_num("CHECKPOINT_KEEP", v)?;
         if keep < 1.0 {
@@ -491,6 +499,32 @@ NSTATIONS    = 4
         assert!(simulation_from_parfile("NEX_XI = 4\nCHECKPOINT_KEEP = 0\n").is_err());
         assert!(simulation_from_parfile("NEX_XI = 4\nCHECKPOINT_KEEP = -1\n").is_err());
         assert!(simulation_from_parfile("NEX_XI = 4\nCHECKPOINT_KEEP = lots\n").is_err());
+    }
+
+    #[test]
+    fn lts_max_rate_key_round_trips_and_rejects() {
+        // Off by default: every element at the global minimum dt.
+        let sim = simulation_from_parfile("NEX_XI = 4\n").unwrap();
+        assert_eq!(sim.config.lts_max_rate, 1);
+        let sim = simulation_from_parfile("NEX_XI = 4\nLTS_MAX_RATE = 4\n").unwrap();
+        assert_eq!(sim.config.lts_max_rate, 4);
+        // The ceiling itself is accepted; last assignment wins.
+        let text = format!(
+            "NEX_XI = 4\nLTS_MAX_RATE = 2\nLTS_MAX_RATE = {}\n",
+            specfem_mesh::lts::MAX_LTS_RATE
+        );
+        assert_eq!(
+            simulation_from_parfile(&text).unwrap().config.lts_max_rate,
+            specfem_mesh::lts::MAX_LTS_RATE
+        );
+        // Zero / non-power-of-two / over-cap / garbage are rejected, not
+        // clamped silently.
+        for bad in ["0", "3", "64", "-2", "lots"] {
+            assert!(
+                simulation_from_parfile(&format!("NEX_XI = 4\nLTS_MAX_RATE = {bad}\n")).is_err(),
+                "LTS_MAX_RATE = {bad} must be rejected"
+            );
+        }
     }
 
     #[test]

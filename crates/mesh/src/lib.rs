@@ -19,6 +19,7 @@ pub mod fingerprint;
 pub mod geometry;
 pub mod layers;
 pub mod local;
+pub mod lts;
 pub mod numbering;
 pub mod partition;
 pub mod report;
@@ -30,6 +31,7 @@ pub use fingerprint::{content_hash, estimated_mesh_bytes, MeshContentHash, MeshK
 pub use geometry::{ElementGeometry, QualityReport};
 pub use layers::{LayerPlan, Shell};
 pub use local::LocalMesh;
+pub use lts::{element_dts, global_element_dts, LtsClusters, MAX_LTS_RATE};
 pub use numbering::ElementOrder;
 pub use partition::{CubeAssignment, Partition};
 pub use stations::{locate_station_exact, locate_station_nearest, Station, StationLocation};

@@ -1,0 +1,435 @@
+//! Clustered local time stepping (LTS): per-element permitted time steps
+//! and rate-2^k cluster assignment.
+//!
+//! The global mesh's doubling layers and crustal thinning make the
+//! Courant-stable `dt` vary by large factors across elements, yet the
+//! plain solver steps every element at the global minimum. Following the
+//! clustered-LTS scheme of Breuer & Heinecke's ADER-DG work, elements are
+//! bucketed into clusters whose rates are powers of two: a rate-`r`
+//! cluster refreshes its element contributions every `r` fine steps. The
+//! assignment here is purely element-local — a function of the element's
+//! geometry and material only — so it is deterministic under any element
+//! reordering (the fingerprint invariance `tests/` property).
+
+use std::collections::hash_map::DefaultHasher;
+use std::hash::{Hash, Hasher};
+
+use crate::build::GlobalMesh;
+use crate::geometry::{min_gll_spacing, COURANT};
+use crate::local::LocalMesh;
+use crate::partition::Partition;
+use specfem_gll::GllBasis;
+
+/// Hard ceiling on cluster rates (`LTS_MAX_RATE` must be a power of two
+/// no larger than this). 32 covers the dt spread of every mesh the layer
+/// plan can produce; deeper hierarchies only add scheduling overhead.
+pub const MAX_LTS_RATE: usize = 32;
+
+/// Validate an `LTS_MAX_RATE` value: at least 1, a power of two, at most
+/// [`MAX_LTS_RATE`]. Shared by the Par_file reader and the solver so the
+/// two never disagree on what a legal cap is.
+pub fn validate_max_rate(max_rate: usize) -> Result<(), String> {
+    if max_rate < 1 {
+        return Err(format!("LTS_MAX_RATE: must be >= 1, got {max_rate}"));
+    }
+    if !max_rate.is_power_of_two() {
+        return Err(format!(
+            "LTS_MAX_RATE: must be a power of two, got {max_rate}"
+        ));
+    }
+    if max_rate > MAX_LTS_RATE {
+        return Err(format!(
+            "LTS_MAX_RATE: must be <= {MAX_LTS_RATE}, got {max_rate}"
+        ));
+    }
+    Ok(())
+}
+
+/// Courant-permitted time step of one element: `COURANT · h_min / v_p,max`
+/// — exactly the per-element bound [`LocalMesh::quality`] minimizes over.
+fn element_dt(basis: &GllBasis, nodes: &[[f64; 3]], rho: &[f32], kappa: &[f32], mu: &[f32]) -> f64 {
+    let hmin = min_gll_spacing(basis, nodes);
+    let mut vp_max = 0.0f64;
+    for l in 0..nodes.len() {
+        let rho = rho[l] as f64;
+        let kap = kappa[l] as f64;
+        let mu = mu[l] as f64;
+        let vp = ((kap + 4.0 / 3.0 * mu) / rho).sqrt();
+        vp_max = vp_max.max(vp);
+    }
+    COURANT * hmin / vp_max
+}
+
+/// Per-element permitted `dt` of a rank's local elements, in local
+/// element order. The minimum over all ranks' entries equals
+/// `quality().dt_stable_s` reduced over the world — the plain solver's
+/// global step.
+pub fn element_dts(mesh: &LocalMesh) -> Vec<f64> {
+    let n3 = mesh.points_per_element();
+    (0..mesh.nspec)
+        .map(|e| {
+            let nodes = mesh.element_nodes(e);
+            let base = e * n3;
+            element_dt(
+                &mesh.basis,
+                &nodes,
+                &mesh.rho[base..base + n3],
+                &mesh.kappa[base..base + n3],
+                &mesh.mu[base..base + n3],
+            )
+        })
+        .collect()
+}
+
+/// Per-element permitted `dt` of the global mesh, in global element order
+/// — the partitioner's input for cluster-aware balancing.
+pub fn global_element_dts(mesh: &GlobalMesh) -> Vec<f64> {
+    let n3 = mesh.points_per_element();
+    (0..mesh.nspec)
+        .map(|e| {
+            let base = e * n3;
+            let nodes: Vec<[f64; 3]> = mesh.ibool[base..base + n3]
+                .iter()
+                .map(|&g| mesh.coords[g as usize])
+                .collect();
+            element_dt(
+                &mesh.basis,
+                &nodes,
+                &mesh.rho[base..base + n3],
+                &mesh.kappa[base..base + n3],
+                &mesh.mu[base..base + n3],
+            )
+        })
+        .collect()
+}
+
+/// The cluster assignment: one rate per element, each a power of two.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LtsClusters {
+    /// Rate of each element (power of two, ≤ the cap used at assignment).
+    pub rate_of: Vec<u32>,
+    /// The cap the assignment honoured.
+    pub max_rate: u32,
+}
+
+impl LtsClusters {
+    /// Bucket elements by permitted step: an element of permitted step
+    /// `dt_e` run at base step `dt` lands in the cluster whose rate is the
+    /// largest power of two `r` with `r·dt ≤ dt_e`, capped at `max_rate`
+    /// (and floored at 1 — an explicit `dt` larger than an element's bound
+    /// never produces a zero rate).
+    ///
+    /// The mapping reads only `(dt_e, dt, max_rate)`, so permuting the
+    /// input permutes the output identically — assignment is invariant
+    /// under element reordering.
+    ///
+    /// # Panics
+    /// When `max_rate` fails [`validate_max_rate`] or `dt` is not positive.
+    pub fn assign(dts: &[f64], dt: f64, max_rate: usize) -> LtsClusters {
+        validate_max_rate(max_rate).unwrap_or_else(|e| panic!("{e}"));
+        assert!(dt > 0.0, "LTS base step must be positive, got {dt}");
+        let rate_of = dts
+            .iter()
+            .map(|&dt_e| {
+                let ratio = dt_e / dt;
+                let mut rate = 1u32;
+                while (rate as usize) < max_rate && (2 * rate) as f64 <= ratio {
+                    rate *= 2;
+                }
+                rate
+            })
+            .collect();
+        LtsClusters {
+            rate_of,
+            max_rate: max_rate as u32,
+        }
+    }
+
+    /// The distinct rates present, ascending.
+    pub fn levels(&self) -> Vec<u32> {
+        let mut lv: Vec<u32> = self.rate_of.clone();
+        lv.sort_unstable();
+        lv.dedup();
+        lv
+    }
+
+    /// Elements of one rate, ascending element index.
+    pub fn elements_at(&self, rate: u32) -> Vec<u32> {
+        self.rate_of
+            .iter()
+            .enumerate()
+            .filter(|(_, &r)| r == rate)
+            .map(|(e, _)| e as u32)
+            .collect()
+    }
+
+    /// Element-step count of an `nsteps`-step run: rate-`r` elements
+    /// refresh at steps `0, r, 2r, …`, i.e. `ceil(nsteps / r)` times.
+    pub fn element_steps(&self, nsteps: usize) -> u64 {
+        self.rate_of
+            .iter()
+            .map(|&r| nsteps.div_ceil(r as usize) as u64)
+            .sum()
+    }
+
+    /// Theoretical LTS speedup: global-min-dt element steps over clustered
+    /// element steps (pure kernel-work model; the achieved number the
+    /// E-LTS ablation measures is below this because per-step scatter,
+    /// update and communication costs are not rate-scaled).
+    pub fn theoretical_speedup(&self, nsteps: usize) -> f64 {
+        let plain = (self.rate_of.len() * nsteps) as f64;
+        plain / self.element_steps(nsteps).max(1) as f64
+    }
+
+    /// Order-invariant fingerprint of the assignment: a hash over the
+    /// sorted `(global element id, rate)` pairs. Two ranks (or two
+    /// extraction orders) holding the same elements at the same rates
+    /// produce the same fingerprint regardless of local ordering.
+    pub fn fingerprint(&self, element_global: &[u32]) -> u64 {
+        assert_eq!(element_global.len(), self.rate_of.len());
+        let mut pairs: Vec<(u32, u32)> = element_global
+            .iter()
+            .copied()
+            .zip(self.rate_of.iter().copied())
+            .collect();
+        pairs.sort_unstable();
+        let mut h = DefaultHasher::new();
+        pairs.hash(&mut h);
+        h.finish()
+    }
+
+    /// Per-element LTS work weights (`1/rate`) — the partitioner input.
+    pub fn weights(&self) -> Vec<f64> {
+        self.rate_of.iter().map(|&r| 1.0 / r as f64).collect()
+    }
+}
+
+impl Partition {
+    /// A contiguous partition balanced by *LTS work* instead of element
+    /// count: element `e` costs `1/rate_of[e]` kernel sweeps per fine
+    /// step, and the blocks are cut so every rank's summed cost is within
+    /// the stated bound of the ideal share.
+    ///
+    /// **Stated balance bound:** every rank's weighted load is at most
+    /// `total_weight / nranks + 1.0` (one element weighs at most 1), which
+    /// the cluster-balance proptests enforce. With all rates equal this
+    /// degenerates to [`Partition::balanced`]'s near-equal element counts.
+    ///
+    /// # Panics
+    /// When `rate_of` doesn't cover the mesh or `nranks` is zero / exceeds
+    /// the element count.
+    pub fn lts_balanced(mesh: &GlobalMesh, nranks: usize, rate_of: &[u32]) -> Partition {
+        assert_eq!(rate_of.len(), mesh.nspec, "rate per global element");
+        assert!(nranks >= 1, "LTS partition needs at least one rank");
+        assert!(
+            nranks <= mesh.nspec,
+            "LTS partition of {} elements cannot fill {nranks} ranks",
+            mesh.nspec
+        );
+        let n = mesh.nspec;
+        // Prefix weights: prefix[e] = Σ w_i for i < e.
+        let mut prefix = Vec::with_capacity(n + 1);
+        let mut acc = 0.0f64;
+        prefix.push(0.0);
+        for &r in rate_of {
+            acc += 1.0 / r as f64;
+            prefix.push(acc);
+        }
+        let total = acc;
+        let share = total / nranks as f64;
+        // Cut r at the smallest index with prefix ≥ r·share, nudged so
+        // every block keeps at least one element. A nudge only fires when
+        // the natural block would be empty, and the forced single-element
+        // block weighs ≤ 1 — inside the stated bound either way.
+        let mut cuts = Vec::with_capacity(nranks + 1);
+        cuts.push(0usize);
+        for r in 1..nranks {
+            let target = r as f64 * share;
+            let natural = prefix.partition_point(|&w| w < target).min(n);
+            let lo = cuts[r - 1] + 1;
+            let hi = n - (nranks - r);
+            cuts.push(natural.clamp(lo, hi));
+        }
+        cuts.push(n);
+        let mut rank_of = vec![0u32; n];
+        for r in 0..nranks {
+            rank_of[cuts[r]..cuts[r + 1]].fill(r as u32);
+        }
+        Partition {
+            num_ranks: nranks,
+            rank_of,
+        }
+    }
+
+    /// Weighted (LTS-work) load per rank — the balance view the
+    /// [`Partition::lts_balanced`] bound is stated over.
+    pub fn lts_load(&self, rate_of: &[u32]) -> Vec<f64> {
+        assert_eq!(rate_of.len(), self.rank_of.len());
+        let mut load = vec![0.0f64; self.num_ranks];
+        for (e, &r) in self.rank_of.iter().enumerate() {
+            load[r as usize] += 1.0 / rate_of[e] as f64;
+        }
+        load
+    }
+
+    /// Elements per `(rank, rate)` — `out[rank]` lists `(rate, count)`
+    /// ascending by rate. The per-rank cluster census for reports and
+    /// balance tests.
+    pub fn cluster_census(&self, rate_of: &[u32]) -> Vec<Vec<(u32, usize)>> {
+        assert_eq!(rate_of.len(), self.rank_of.len());
+        let mut out: Vec<std::collections::BTreeMap<u32, usize>> =
+            vec![Default::default(); self.num_ranks];
+        for (e, &r) in self.rank_of.iter().enumerate() {
+            *out[r as usize].entry(rate_of[e]).or_default() += 1;
+        }
+        out.into_iter().map(|m| m.into_iter().collect()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::MeshParams;
+    use specfem_model::Prem;
+
+    fn prem_mesh(nex: usize) -> GlobalMesh {
+        GlobalMesh::build(&MeshParams::new(nex, 1), &Prem::isotropic_no_ocean())
+    }
+
+    #[test]
+    fn max_rate_validation() {
+        assert!(validate_max_rate(1).is_ok());
+        assert!(validate_max_rate(2).is_ok());
+        assert!(validate_max_rate(MAX_LTS_RATE).is_ok());
+        assert!(validate_max_rate(0).is_err());
+        assert!(validate_max_rate(3).is_err());
+        assert!(validate_max_rate(MAX_LTS_RATE * 2).is_err());
+    }
+
+    #[test]
+    fn local_min_dt_matches_quality_report() {
+        let gm = prem_mesh(4);
+        let local = Partition::serial(&gm).extract(&gm, 0);
+        let dts = element_dts(&local);
+        let min = dts.iter().cloned().fold(f64::INFINITY, f64::min);
+        let q = local.quality();
+        assert!(
+            (min - q.dt_stable_s).abs() < 1e-12 * q.dt_stable_s,
+            "per-element min {min} vs quality {q:?}"
+        );
+    }
+
+    #[test]
+    fn global_dts_match_local_dts_under_extraction() {
+        // The same element must get the same permitted dt whether computed
+        // from the global mesh or from any rank's extracted local mesh —
+        // the property that lets ranks assign clusters independently.
+        let gm = prem_mesh(4);
+        let global = global_element_dts(&gm);
+        let part = Partition::compute(&gm);
+        for rank in [0usize, 7, 23] {
+            let local = part.extract(&gm, rank);
+            let local_dts = element_dts(&local);
+            for (le, &ge) in local.element_global.iter().enumerate() {
+                assert_eq!(
+                    local_dts[le].to_bits(),
+                    global[ge as usize].to_bits(),
+                    "rank {rank} element {le} (global {ge})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn assignment_rates_are_powers_of_two_within_cap() {
+        let gm = prem_mesh(6);
+        let dts = global_element_dts(&gm);
+        let dt_min = dts.iter().cloned().fold(f64::INFINITY, f64::min);
+        for cap in [1usize, 2, 4, 8, MAX_LTS_RATE] {
+            let clusters = LtsClusters::assign(&dts, dt_min, cap);
+            assert_eq!(clusters.rate_of.len(), gm.nspec);
+            for &r in &clusters.rate_of {
+                assert!(r.is_power_of_two() && r as usize <= cap, "rate {r}");
+            }
+            if cap == 1 {
+                assert_eq!(clusters.levels(), vec![1]);
+            }
+        }
+    }
+
+    #[test]
+    fn prem_mesh_has_a_multi_rate_spread() {
+        // The layered mesh must actually produce ≥ 2 clusters — otherwise
+        // the whole LTS tier is a no-op on the meshes we care about.
+        let gm = prem_mesh(6);
+        let dts = global_element_dts(&gm);
+        let dt_min = dts.iter().cloned().fold(f64::INFINITY, f64::min);
+        let clusters = LtsClusters::assign(&dts, dt_min, MAX_LTS_RATE);
+        let levels = clusters.levels();
+        assert!(
+            levels.len() >= 2,
+            "expected a rate spread on PREM, got {levels:?}"
+        );
+        assert!(clusters.theoretical_speedup(64) > 1.0);
+    }
+
+    #[test]
+    fn element_steps_count_activations() {
+        let clusters = LtsClusters {
+            rate_of: vec![1, 2, 4],
+            max_rate: 4,
+        };
+        // 10 steps: rate 1 fires 10×, rate 2 fires at 0,2,..,8 = 5×,
+        // rate 4 at 0,4,8 = 3× (ceil(10/4)).
+        assert_eq!(clusters.element_steps(10), 10 + 5 + 3);
+        let s = clusters.theoretical_speedup(8);
+        assert!((s - 24.0 / (8.0 + 4.0 + 2.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fingerprint_is_order_invariant() {
+        let rates = vec![1u32, 2, 4, 2, 1, 8];
+        let ids = vec![10u32, 11, 12, 13, 14, 15];
+        let a = LtsClusters {
+            rate_of: rates.clone(),
+            max_rate: 8,
+        };
+        let perm = [5usize, 3, 0, 1, 4, 2];
+        let b = LtsClusters {
+            rate_of: perm.iter().map(|&i| rates[i]).collect(),
+            max_rate: 8,
+        };
+        let ids_b: Vec<u32> = perm.iter().map(|&i| ids[i]).collect();
+        assert_eq!(a.fingerprint(&ids), b.fingerprint(&ids_b));
+        // Changing one rate changes the fingerprint.
+        let mut c = a.clone();
+        c.rate_of[0] = 4;
+        assert_ne!(a.fingerprint(&ids), c.fingerprint(&ids));
+    }
+
+    #[test]
+    fn lts_balanced_honours_the_stated_bound() {
+        let gm = prem_mesh(6);
+        let dts = global_element_dts(&gm);
+        let dt_min = dts.iter().cloned().fold(f64::INFINITY, f64::min);
+        let clusters = LtsClusters::assign(&dts, dt_min, 8);
+        for nranks in [1usize, 2, 3, 5, 8, 13] {
+            let part = Partition::lts_balanced(&gm, nranks, &clusters.rate_of);
+            let load = part.lts_load(&clusters.rate_of);
+            let total: f64 = load.iter().sum();
+            let share = total / nranks as f64;
+            for (r, &w) in load.iter().enumerate() {
+                assert!(w > 0.0, "rank {r} empty at nranks={nranks}");
+                assert!(
+                    w <= share + 1.0 + 1e-9,
+                    "rank {r} load {w} over bound {share} + 1 at nranks={nranks}"
+                );
+            }
+            // Contiguous blocks: rank ids are non-decreasing.
+            assert!(part.rank_of.windows(2).all(|w| w[0] <= w[1]));
+            let census = part.cluster_census(&clusters.rate_of);
+            let n: usize = census.iter().flat_map(|c| c.iter().map(|&(_, k)| k)).sum();
+            assert_eq!(n, gm.nspec);
+        }
+    }
+}

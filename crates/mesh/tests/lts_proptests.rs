@@ -1,0 +1,140 @@
+//! Property tests for the clustered-LTS rate assignment and the
+//! LTS-weighted partitioner (ISSUE 9): every element lands in exactly one
+//! cluster, rates are powers of two within the cap (and maximal for the
+//! element's permitted step), the assignment is invariant under element
+//! reordering (fingerprint-stable), and per-rank cluster balance honours
+//! the partitioner's stated bound.
+
+use std::sync::OnceLock;
+
+use proptest::prelude::*;
+use specfem_mesh::{GlobalMesh, LtsClusters, MeshParams, Partition};
+use specfem_model::Prem;
+
+fn mesh() -> &'static GlobalMesh {
+    static MESH: OnceLock<GlobalMesh> = OnceLock::new();
+    MESH.get_or_init(|| GlobalMesh::build(&MeshParams::new(2, 1), &Prem::isotropic_no_ocean()))
+}
+
+/// Deterministic Fisher-Yates permutation of `0..n` from a seed (LCG —
+/// proptest shrinks the seed, the shuffle itself stays reproducible).
+fn permutation(n: usize, seed: u64) -> Vec<usize> {
+    let mut perm: Vec<usize> = (0..n).collect();
+    let mut s = seed;
+    for i in (1..n).rev() {
+        s = s
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        let j = (s >> 33) as usize % (i + 1);
+        perm.swap(i, j);
+    }
+    perm
+}
+
+proptest! {
+    #[test]
+    fn every_element_lands_in_exactly_one_cluster(
+        dts in prop::collection::vec(1e-3..10.0f64, 1..300),
+        dt in 1e-3..1.0f64,
+        cap_pow in 0u32..6,
+    ) {
+        let cap = 1usize << cap_pow;
+        let c = LtsClusters::assign(&dts, dt, cap);
+        let mut count = vec![0usize; dts.len()];
+        for rate in c.levels() {
+            for e in c.elements_at(rate) {
+                count[e as usize] += 1;
+            }
+        }
+        prop_assert!(count.iter().all(|&n| n == 1), "levels must partition the elements");
+    }
+
+    #[test]
+    fn rates_are_maximal_powers_of_two_within_the_cap(
+        dts in prop::collection::vec(1e-3..10.0f64, 1..300),
+        dt in 1e-3..1.0f64,
+        cap_pow in 0u32..6,
+    ) {
+        let cap = 1usize << cap_pow;
+        let c = LtsClusters::assign(&dts, dt, cap);
+        prop_assert_eq!(c.rate_of.len(), dts.len());
+        for (e, &r) in c.rate_of.iter().enumerate() {
+            prop_assert!(r.is_power_of_two(), "rate {r} not a power of two");
+            prop_assert!(r as usize <= cap, "rate {r} above cap {cap}");
+            // Safety: a rate above 1 never exceeds the element's permitted
+            // step at the base dt...
+            prop_assert!(r == 1 || (r as f64) * dt <= dts[e]);
+            // ...and the rate is maximal: doubling it (inside the cap)
+            // would break that bound.
+            prop_assert!(r as usize == cap || (2 * r) as f64 * dt > dts[e]);
+        }
+    }
+
+    #[test]
+    fn assignment_is_reordering_invariant_and_fingerprint_stable(
+        dts in prop::collection::vec(1e-3..10.0f64, 1..200),
+        dt in 1e-3..1.0f64,
+        seed in any::<u64>(),
+    ) {
+        let cap = 8;
+        let c = LtsClusters::assign(&dts, dt, cap);
+        let n = dts.len();
+        let perm = permutation(n, seed);
+        let permuted_dts: Vec<f64> = perm.iter().map(|&i| dts[i]).collect();
+        let cp = LtsClusters::assign(&permuted_dts, dt, cap);
+        // Element-wise: permuted slot j holds original element perm[j] and
+        // must get the identical rate.
+        for (j, &i) in perm.iter().enumerate() {
+            prop_assert_eq!(cp.rate_of[j], c.rate_of[i]);
+        }
+        // The order-invariant fingerprint agrees once both sides carry
+        // their global element ids.
+        let ids: Vec<u32> = (0..n as u32).collect();
+        let permuted_ids: Vec<u32> = perm.iter().map(|&i| i as u32).collect();
+        prop_assert_eq!(c.fingerprint(&ids), cp.fingerprint(&permuted_ids));
+    }
+
+    #[test]
+    fn lts_partition_balance_honours_the_stated_bound(
+        seed in any::<u64>(),
+        nranks in 1usize..16,
+    ) {
+        let gm = mesh();
+        // Arbitrary per-element rates from the seed (powers of two ≤ 32).
+        let mut s = seed;
+        let rates: Vec<u32> = (0..gm.nspec)
+            .map(|_| {
+                s = s
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                1u32 << ((s >> 33) % 6)
+            })
+            .collect();
+        let part = Partition::lts_balanced(gm, nranks, &rates);
+        let load = part.lts_load(&rates);
+        prop_assert_eq!(load.len(), nranks);
+        let total: f64 = load.iter().sum();
+        let share = total / nranks as f64;
+        for (rank, &l) in load.iter().enumerate() {
+            // The stated bound: ideal share plus at most one element's
+            // maximum weight (1.0).
+            prop_assert!(
+                l <= share + 1.0 + 1e-9,
+                "rank {rank} load {l} above share {share} + 1"
+            );
+            prop_assert!(l > 0.0, "rank {rank} must own at least one element");
+        }
+        // Census covers every element exactly once.
+        let census = part.cluster_census(&rates);
+        let covered: usize = census
+            .iter()
+            .flat_map(|per_rank| per_rank.iter().map(|&(_, n)| n))
+            .sum();
+        prop_assert_eq!(covered, gm.nspec);
+    }
+
+    #[test]
+    fn power_of_two_caps_pass_validation(cap_pow in 0u32..6) {
+        prop_assert!(specfem_mesh::lts::validate_max_rate(1usize << cap_pow).is_ok());
+    }
+}

@@ -7,6 +7,7 @@ pub mod comm_model;
 pub mod disk_model;
 pub mod fault_model;
 pub mod flops_model;
+pub mod lts_model;
 pub mod machines;
 pub mod runtime_model;
 
@@ -17,6 +18,7 @@ pub use comm_model::{
 pub use disk_model::DiskSpaceModel;
 pub use fault_model::{survey_62k, FaultToleranceModel, FtPrediction};
 pub use flops_model::{paper_runs as paper_runs_table, predict_run, runs_to_json, RunPrediction};
+pub use lts_model::LtsSpeedupModel;
 pub use machines::{MachineProfile, ALL_MACHINES};
 pub use runtime_model::RuntimeModel;
 

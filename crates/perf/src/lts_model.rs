@@ -1,0 +1,140 @@
+//! Clustered-LTS speedup model: theoretical vs achievable.
+//!
+//! A rate-`r` cluster recomputes its stiffness contributions every `r`
+//! fine steps, so its *kernel* cost drops by `r` — but every element
+//! still pays a fixed per-step cost each fine step: the canonical
+//! scatter, the Newmark update, the halo exchange. With `w_l` the
+//! fraction of elements at rate `r_l` and `f` the fixed cost as a
+//! fraction of the kernel cost, the model is
+//!
+//! ```text
+//! speedup(f) = (1 + f) / (Σ_l w_l / r_l + f)
+//! ```
+//!
+//! `f = 0` gives the *theoretical* speedup (pure element-step counting,
+//! the number `LtsSummary` reports); a calibrated `f > 0` explains the
+//! gap to the *achieved* speedup the E-LTS ablation measures.
+
+/// Speedup model over one cluster census.
+#[derive(Debug, Clone)]
+pub struct LtsSpeedupModel {
+    /// `(rate, element count)` per cluster level.
+    levels: Vec<(u32, usize)>,
+    nspec: usize,
+}
+
+impl LtsSpeedupModel {
+    /// Build from a cluster census (`(rate, element count)` pairs).
+    pub fn new(levels: Vec<(u32, usize)>) -> Self {
+        assert!(!levels.is_empty(), "empty cluster census");
+        for &(rate, _) in &levels {
+            assert!(rate.is_power_of_two(), "rate {rate} not a power of two");
+        }
+        let nspec = levels.iter().map(|&(_, n)| n).sum();
+        assert!(nspec > 0, "census covers no elements");
+        Self { levels, nspec }
+    }
+
+    /// Total elements in the census.
+    pub fn nspec(&self) -> usize {
+        self.nspec
+    }
+
+    /// Kernel-work fraction remaining under LTS: `Σ_l w_l / r_l ∈ (0, 1]`.
+    pub fn kernel_work_fraction(&self) -> f64 {
+        self.levels
+            .iter()
+            .map(|&(rate, n)| n as f64 / self.nspec as f64 / rate as f64)
+            .sum()
+    }
+
+    /// Speedup with a fixed per-step cost of `fixed_fraction` of the
+    /// kernel cost per element (scatter + Newmark + halo — the work LTS
+    /// cannot skip).
+    pub fn predicted_speedup(&self, fixed_fraction: f64) -> f64 {
+        assert!(fixed_fraction >= 0.0, "negative fixed-cost fraction");
+        (1.0 + fixed_fraction) / (self.kernel_work_fraction() + fixed_fraction)
+    }
+
+    /// The pure element-step-counting bound (`fixed_fraction = 0`) — what
+    /// the solver's `LtsSummary::theoretical_speedup` reports.
+    pub fn theoretical_speedup(&self) -> f64 {
+        self.predicted_speedup(0.0)
+    }
+
+    /// Achieved-over-theoretical efficiency of a measured speedup.
+    pub fn efficiency(&self, achieved: f64) -> f64 {
+        achieved / self.theoretical_speedup()
+    }
+
+    /// Solve the model for the fixed-cost fraction that explains a
+    /// measured speedup: the inverse of [`predicted_speedup`]. Returns
+    /// `None` when the measurement is at/below 1× or at/above the
+    /// theoretical bound (no finite `f ≥ 0` explains it).
+    ///
+    /// [`predicted_speedup`]: LtsSpeedupModel::predicted_speedup
+    pub fn calibrate_fixed_fraction(&self, achieved: f64) -> Option<f64> {
+        let w = self.kernel_work_fraction();
+        if achieved <= 1.0 || achieved * w >= 1.0 {
+            return None;
+        }
+        // a = (1+f)/(w+f)  ⇒  f = (1 − a·w) / (a − 1)
+        Some((1.0 - achieved * w) / (achieved - 1.0))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_rate_one_census_never_speeds_up() {
+        let m = LtsSpeedupModel::new(vec![(1, 500)]);
+        assert_eq!(m.theoretical_speedup(), 1.0);
+        assert_eq!(m.predicted_speedup(3.0), 1.0);
+        assert!(m.calibrate_fixed_fraction(1.5).is_none());
+    }
+
+    #[test]
+    fn all_coarse_census_hits_the_rate_bound() {
+        let m = LtsSpeedupModel::new(vec![(4, 100)]);
+        assert!((m.theoretical_speedup() - 4.0).abs() < 1e-12);
+        // f = 1: half the per-step cost is unskippable → (1+1)/(0.25+1).
+        assert!((m.predicted_speedup(1.0) - 1.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mixed_census_matches_hand_computation() {
+        // Half at rate 1, half at rate 4: w = 0.5 + 0.125 = 0.625.
+        let m = LtsSpeedupModel::new(vec![(1, 50), (4, 50)]);
+        assert!((m.kernel_work_fraction() - 0.625).abs() < 1e-12);
+        assert!((m.theoretical_speedup() - 1.6).abs() < 1e-12);
+        // Fixed costs only ever shrink the speedup, monotonically.
+        let mut prev = m.theoretical_speedup();
+        for f in [0.05, 0.1, 0.5, 1.0, 5.0] {
+            let s = m.predicted_speedup(f);
+            assert!(s < prev, "speedup must fall as f grows");
+            assert!(s > 1.0);
+            prev = s;
+        }
+    }
+
+    #[test]
+    fn calibration_inverts_prediction() {
+        let m = LtsSpeedupModel::new(vec![(1, 30), (2, 40), (8, 30)]);
+        for f in [0.01, 0.2, 1.5] {
+            let achieved = m.predicted_speedup(f);
+            let back = m.calibrate_fixed_fraction(achieved).expect("in range");
+            assert!((back - f).abs() < 1e-9, "f={f} round-tripped to {back}");
+        }
+        // Out-of-range measurements are refused, not extrapolated.
+        assert!(m.calibrate_fixed_fraction(0.9).is_none());
+        assert!(m
+            .calibrate_fixed_fraction(m.theoretical_speedup() + 0.1)
+            .is_none());
+        // Efficiency is the achieved/theoretical ratio.
+        let achieved = m.predicted_speedup(0.3);
+        let eff = m.efficiency(achieved);
+        assert!(eff > 0.0 && eff < 1.0);
+    }
+}

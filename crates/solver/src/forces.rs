@@ -29,6 +29,20 @@ pub struct AttenuationState {
 impl AttenuationState {
     /// Build for a run with time step `dt` resolving `shortest_period_s`.
     pub fn new(mesh: &LocalMesh, dt: f64, shortest_period_s: f64) -> Self {
+        let (alpha, beta_unit) = Self::update_constants(dt, shortest_period_s);
+        let n3 = mesh.points_per_element();
+        Self {
+            alpha,
+            beta_unit,
+            memory: vec![0.0; mesh.nspec * n3 * 5 * N_SLS],
+        }
+    }
+
+    /// The SLS recursion constants `(α, β_unit)` for step `dt` resolving
+    /// `shortest_period_s`. LTS re-derives these at `rate·dt` for coarse
+    /// clusters whose memory variables refresh every `rate` fine steps;
+    /// at rate 1 the result is bitwise equal to what [`Self::new`] installs.
+    pub fn update_constants(dt: f64, shortest_period_s: f64) -> ([f32; N_SLS], [f32; N_SLS]) {
         // Unit fit: Q = 1 reference; y scales as 1/Q.
         let fit = AttenuationFit::fit(AttenuationSpec::for_shortest_period(
             1.0 + 1e-9, // Q→1 reference (assert in fit requires > 1)
@@ -41,12 +55,7 @@ impl AttenuationState {
             alpha[j] = factors[j].0 as f32;
             beta_unit[j] = factors[j].1 as f32;
         }
-        let n3 = mesh.points_per_element();
-        Self {
-            alpha,
-            beta_unit,
-            memory: vec![0.0; mesh.nspec * n3 * 5 * N_SLS],
-        }
+        (alpha, beta_unit)
     }
 }
 
@@ -54,6 +63,87 @@ impl AttenuationState {
 fn gather_component(ibool: &[u32], field: &[f32], comp: usize, out: &mut [f32; NGLL3_PADDED]) {
     for (l, &p) in ibool.iter().enumerate() {
         out[l] = field[p as usize * 3 + comp];
+    }
+}
+
+/// Destination of a solid element's accumulated force: either scattered
+/// straight into the global `accel` (the plain timeloop) or written to a
+/// per-element contribution buffer (the LTS timeloop, which scatters all
+/// elements in one canonical ascending pass afterwards). The emitted
+/// value per point is the identical f32 expression in both cases —
+/// `−accum` (or `−accum + body` with gravity) — so compute-then-scatter
+/// is bit-identical to the fused loop.
+trait SolidSink {
+    fn emit(
+        &mut self,
+        e: usize,
+        ib: &[u32],
+        c: usize,
+        accum: &[f32; NGLL3_PADDED],
+        body: Option<&[f32; NGLL3_PADDED]>,
+    );
+}
+
+/// Scatter into the global acceleration (`accel[p·3+c] += −accum [+ body]`).
+struct SolidAccelSink<'a> {
+    accel: &'a mut [f32],
+}
+
+impl SolidSink for SolidAccelSink<'_> {
+    #[inline(always)]
+    fn emit(
+        &mut self,
+        _e: usize,
+        ib: &[u32],
+        c: usize,
+        accum: &[f32; NGLL3_PADDED],
+        body: Option<&[f32; NGLL3_PADDED]>,
+    ) {
+        match body {
+            Some(body) => {
+                for (l, &p) in ib.iter().enumerate() {
+                    self.accel[p as usize * 3 + c] += -accum[l] + body[l];
+                }
+            }
+            None => {
+                for (l, &p) in ib.iter().enumerate() {
+                    self.accel[p as usize * 3 + c] -= accum[l];
+                }
+            }
+        }
+    }
+}
+
+/// Overwrite the element's slice of a contribution buffer
+/// (`out[(e·n³+l)·3+c] = −accum [+ body]`).
+struct SolidContribSink<'a> {
+    out: &'a mut [f32],
+    n3: usize,
+}
+
+impl SolidSink for SolidContribSink<'_> {
+    #[inline(always)]
+    fn emit(
+        &mut self,
+        e: usize,
+        ib: &[u32],
+        c: usize,
+        accum: &[f32; NGLL3_PADDED],
+        body: Option<&[f32; NGLL3_PADDED]>,
+    ) {
+        let base = e * self.n3;
+        match body {
+            Some(body) => {
+                for l in 0..ib.len() {
+                    self.out[(base + l) * 3 + c] = -accum[l] + body[l];
+                }
+            }
+            None => {
+                for l in 0..ib.len() {
+                    self.out[(base + l) * 3 + c] = -accum[l];
+                }
+            }
+        }
     }
 }
 
@@ -96,10 +186,73 @@ pub fn compute_solid_forces_range(
     ops: &DerivOps,
     variant: KernelVariant,
     fields: &mut WaveFields,
-    mut atten: Option<&mut AttenuationState>,
+    atten: Option<&mut AttenuationState>,
     gravity: bool,
     flops: &mut FlopCounter,
     elems: std::ops::Range<usize>,
+) {
+    let WaveFields { displ, accel, .. } = fields;
+    solid_forces_impl(
+        mesh,
+        geom,
+        ops,
+        variant,
+        displ,
+        atten,
+        gravity,
+        flops,
+        elems,
+        &mut SolidAccelSink { accel },
+    );
+}
+
+/// Solid forces of the listed elements written to a per-element
+/// contribution buffer (`out[(e·n³+l)·3+c]`, sized `nspec·n³·3`) instead
+/// of the global field — the LTS refresh step. Elements *not* listed keep
+/// their previous (frozen) contributions; the caller scatters the whole
+/// buffer in ascending element order afterwards, which reproduces the
+/// plain loop's per-point accumulation order exactly.
+#[allow(clippy::too_many_arguments)]
+pub fn compute_solid_contribs(
+    mesh: &LocalMesh,
+    geom: &PrecomputedGeometry,
+    ops: &DerivOps,
+    variant: KernelVariant,
+    displ: &[f32],
+    atten: Option<&mut AttenuationState>,
+    gravity: bool,
+    flops: &mut FlopCounter,
+    elems: &[u32],
+    out: &mut [f32],
+) {
+    let n3 = mesh.points_per_element();
+    debug_assert_eq!(out.len(), mesh.nspec * n3 * 3);
+    solid_forces_impl(
+        mesh,
+        geom,
+        ops,
+        variant,
+        displ,
+        atten,
+        gravity,
+        flops,
+        elems.iter().map(|&e| e as usize),
+        &mut SolidContribSink { out, n3 },
+    );
+}
+
+#[allow(clippy::too_many_arguments)]
+fn solid_forces_impl<S: SolidSink>(
+    mesh: &LocalMesh,
+    geom: &PrecomputedGeometry,
+    ops: &DerivOps,
+    variant: KernelVariant,
+    displ: &[f32],
+    mut atten: Option<&mut AttenuationState>,
+    gravity: bool,
+    flops: &mut FlopCounter,
+    elems: impl Iterator<Item = usize>,
+    sink: &mut S,
 ) {
     let n3 = mesh.points_per_element();
     assert_eq!(n3, NGLL3, "solver kernels are specialized to degree 4");
@@ -124,7 +277,7 @@ pub fn compute_solid_forces_range(
         let base = e * n3;
         let ib = &mesh.ibool[base..base + n3];
         for (c, uc) in u.iter_mut().enumerate() {
-            gather_component(ib, &fields.displ, c, uc);
+            gather_component(ib, displ, c, uc);
         }
         for c in 0..3 {
             let (t0, rest) = t[c].split_at_mut(1);
@@ -241,18 +394,50 @@ pub fn compute_solid_forces_range(
         for c in 0..3 {
             accum[..NGLL3].fill(0.0);
             cutplane_transpose_accumulate(variant, &f[c][0], &f[c][1], &f[c][2], ops, &mut accum);
-            if gravity {
-                for (l, &p) in ib.iter().enumerate() {
-                    fields.accel[p as usize * 3 + c] += -accum[l] + body[c][l];
-                }
-            } else {
-                for (l, &p) in ib.iter().enumerate() {
-                    fields.accel[p as usize * 3 + c] -= accum[l];
-                }
-            }
+            sink.emit(
+                e,
+                ib,
+                c,
+                &accum,
+                if gravity { Some(&body[c]) } else { None },
+            );
         }
     }
     flops.add_solid_elements(nsolid, atten.is_some());
+}
+
+/// Destination of a fluid element's accumulated force — the scalar
+/// (χ̈) analog of [`SolidSink`].
+trait FluidSink {
+    fn emit(&mut self, e: usize, ib: &[u32], accum: &[f32; NGLL3_PADDED]);
+}
+
+struct FluidAccelSink<'a> {
+    chi_ddot: &'a mut [f32],
+}
+
+impl FluidSink for FluidAccelSink<'_> {
+    #[inline(always)]
+    fn emit(&mut self, _e: usize, ib: &[u32], accum: &[f32; NGLL3_PADDED]) {
+        for (l, &p) in ib.iter().enumerate() {
+            self.chi_ddot[p as usize] -= accum[l];
+        }
+    }
+}
+
+struct FluidContribSink<'a> {
+    out: &'a mut [f32],
+    n3: usize,
+}
+
+impl FluidSink for FluidContribSink<'_> {
+    #[inline(always)]
+    fn emit(&mut self, e: usize, ib: &[u32], accum: &[f32; NGLL3_PADDED]) {
+        let base = e * self.n3;
+        for l in 0..ib.len() {
+            self.out[base + l] = -accum[l];
+        }
+    }
 }
 
 /// Fluid (outer-core) internal forces: `χ̈ -= K_f·χ` with
@@ -279,6 +464,58 @@ pub fn compute_fluid_forces_range(
     flops: &mut FlopCounter,
     elems: std::ops::Range<usize>,
 ) {
+    let WaveFields { chi, chi_ddot, .. } = fields;
+    fluid_forces_impl(
+        mesh,
+        geom,
+        ops,
+        variant,
+        chi,
+        flops,
+        elems,
+        &mut FluidAccelSink { chi_ddot },
+    );
+}
+
+/// Fluid forces of the listed elements written to a per-element
+/// contribution buffer (`out[e·n³+l]`, sized `nspec·n³`) — the fluid half
+/// of the LTS refresh step; see [`compute_solid_contribs`].
+#[allow(clippy::too_many_arguments)]
+pub fn compute_fluid_contribs(
+    mesh: &LocalMesh,
+    geom: &PrecomputedGeometry,
+    ops: &DerivOps,
+    variant: KernelVariant,
+    chi: &[f32],
+    flops: &mut FlopCounter,
+    elems: &[u32],
+    out: &mut [f32],
+) {
+    let n3 = mesh.points_per_element();
+    debug_assert_eq!(out.len(), mesh.nspec * n3);
+    fluid_forces_impl(
+        mesh,
+        geom,
+        ops,
+        variant,
+        chi,
+        flops,
+        elems.iter().map(|&e| e as usize),
+        &mut FluidContribSink { out, n3 },
+    );
+}
+
+#[allow(clippy::too_many_arguments)]
+fn fluid_forces_impl<S: FluidSink>(
+    mesh: &LocalMesh,
+    geom: &PrecomputedGeometry,
+    ops: &DerivOps,
+    variant: KernelVariant,
+    chi_field: &[f32],
+    flops: &mut FlopCounter,
+    elems: impl Iterator<Item = usize>,
+    sink: &mut S,
+) {
     let n3 = mesh.points_per_element();
     let w = &mesh.basis.weights;
     let mut wf = [0.0f32; NGLL];
@@ -303,7 +540,7 @@ pub fn compute_fluid_forces_range(
         let base = e * n3;
         let ib = &mesh.ibool[base..base + n3];
         for (l, &p) in ib.iter().enumerate() {
-            chi[l] = fields.chi[p as usize];
+            chi[l] = chi_field[p as usize];
         }
         cutplane_derivatives(variant, &chi, ops, &mut t1, &mut t2, &mut t3);
         for k in 0..NGLL {
@@ -330,9 +567,7 @@ pub fn compute_fluid_forces_range(
         }
         accum[..NGLL3].fill(0.0);
         cutplane_transpose_accumulate(variant, &f1, &f2, &f3, ops, &mut accum);
-        for (l, &p) in ib.iter().enumerate() {
-            fields.chi_ddot[p as usize] -= accum[l];
-        }
+        sink.emit(e, ib, &accum);
     }
     flops.add_fluid_elements(nfluid);
 }

@@ -31,6 +31,7 @@ pub mod assemble;
 pub mod checkpoint;
 pub mod coupling;
 pub mod forces;
+pub mod lts;
 pub mod source;
 pub mod surface;
 pub mod timeloop;
@@ -40,6 +41,7 @@ pub use adjoint::{shear_kernel, WavefieldSnapshots};
 pub use assemble::{MassMatrices, PrecomputedGeometry, WaveFields};
 pub use checkpoint::{CheckpointError, CheckpointSink, CheckpointState, MemorySink};
 pub use coupling::CouplingSurface;
+pub use lts::{LtsLevel, LtsState, LtsSummary};
 pub use source::{ReceiverSet, Seismogram, SourceArrays, SourceSpec};
 pub use timeloop::{
     merge_seismograms, run_distributed, run_serial, try_run_distributed,
@@ -137,6 +139,18 @@ pub struct SolverConfig {
     /// (the default) leaves the watchdog off — the step hook stays a
     /// no-op.
     pub watchdog_timeout: Option<Duration>,
+    /// `LTS_MAX_RATE`: cap on the clustered local-time-stepping rate
+    /// (power of two ≤ [`specfem_mesh::MAX_LTS_RATE`]). 1 (the default)
+    /// disables LTS and runs the plain timeloop; larger caps let coarse
+    /// clusters refresh their stiffness forces every 2^k fine steps.
+    /// When checkpointing, `checkpoint_every` must be a multiple of the
+    /// cap so every cluster refreshes on the first resumed step (frozen
+    /// contributions then never need to be persisted).
+    pub lts_max_rate: usize,
+    /// Test hook: run the clustered LTS machinery with *every* element at
+    /// rate 1 — the differential oracle configuration that must be 0-ULP
+    /// bit-identical to the plain timeloop (`tests/lts_equivalence.rs`).
+    pub lts_all_rate_one: bool,
 }
 
 impl Default for SolverConfig {
@@ -164,6 +178,8 @@ impl Default for SolverConfig {
             overlap: true,
             health_every: 0,
             watchdog_timeout: None,
+            lts_max_rate: 1,
+            lts_all_rate_one: false,
         }
     }
 }

@@ -18,7 +18,11 @@ use crate::absorbing::AbsorbingSurface;
 use crate::assemble::{region_masks, MassMatrices, PrecomputedGeometry, WaveFields};
 use crate::checkpoint::{CheckpointError, CheckpointSink, CheckpointState};
 use crate::coupling::CouplingSurface;
-use crate::forces::{compute_fluid_forces_range, compute_solid_forces_range, AttenuationState};
+use crate::forces::{
+    compute_fluid_contribs, compute_fluid_forces_range, compute_solid_contribs,
+    compute_solid_forces_range, AttenuationState,
+};
+use crate::lts::{scatter_flops, scatter_fluid, scatter_solid, LtsState, LtsSummary};
 use crate::source::{ReceiverSet, Seismogram, SourceArrays};
 use crate::{SolverConfig, EARTH_OMEGA_RAD_S};
 
@@ -106,6 +110,9 @@ pub struct RankResult {
     /// Span trace and metrics captured on this rank's thread
     /// (`Some` only when `config.trace` enabled the recorder).
     pub profile: Option<specfem_obs::RankProfile>,
+    /// Clustered local-time-stepping telemetry (`Some` only when LTS ran:
+    /// `lts_max_rate > 1` or the rate-1 oracle hook).
+    pub lts: Option<LtsSummary>,
 }
 
 impl RankResult {
@@ -136,6 +143,8 @@ pub struct RankSolver {
     /// free-surface point when the ocean load is on.
     ocean: Vec<(u32, f32, [f32; 3])>,
     atten: Option<AttenuationState>,
+    /// Clustered local-time-stepping state (`None` runs the plain loop).
+    lts: Option<LtsState>,
     source: SourceArrays,
     apply_source: bool,
     receivers: ReceiverSet,
@@ -248,9 +257,38 @@ impl RankSolver {
         };
 
         // Attenuation band centred on what the mesh resolves.
-        let atten = if config.attenuation {
-            let period = setup(comm.allreduce_max(quality.shortest_period_s));
-            Some(AttenuationState::new(&mesh, dt, period))
+        let atten_period = if config.attenuation {
+            Some(setup(comm.allreduce_max(quality.shortest_period_s)))
+        } else {
+            None
+        };
+        let atten = atten_period.map(|period| AttenuationState::new(&mesh, dt, period));
+
+        // Clustered LTS: off at the default cap of 1 unless the rate-1
+        // differential-oracle hook forces the machinery on.
+        let lts = if config.lts_max_rate > 1 || config.lts_all_rate_one {
+            specfem_mesh::lts::validate_max_rate(config.lts_max_rate)
+                .unwrap_or_else(|e| panic!("{e}"));
+            if config.checkpoint_every > 0
+                && !config.checkpoint_every.is_multiple_of(config.lts_max_rate)
+            {
+                panic!(
+                    "CHECKPOINT_EVERY ({}) must be a multiple of LTS_MAX_RATE ({}) so every \
+                     cluster refreshes its frozen forces on the first resumed step",
+                    config.checkpoint_every, config.lts_max_rate
+                );
+            }
+            let atten_params = atten_period.map(|p| (dt, p));
+            Some(if config.lts_all_rate_one {
+                LtsState::new(
+                    &mesh,
+                    vec![1; mesh.nspec],
+                    config.lts_max_rate as u32,
+                    atten_params,
+                )
+            } else {
+                LtsState::from_mesh(&mesh, dt, config.lts_max_rate, atten_params)
+            })
         } else {
             None
         };
@@ -303,6 +341,7 @@ impl RankSolver {
             absorbing,
             ocean,
             atten,
+            lts,
             source,
             apply_source,
             receivers,
@@ -321,6 +360,14 @@ impl RankSolver {
     /// reflecting behaviour on the same regional mesh).
     pub fn disable_absorbing_for_tests(&mut self) {
         self.absorbing = AbsorbingSurface::default();
+    }
+
+    /// Direct access to the LTS state (test hook: the loop-order-invariance
+    /// harness splits the rate-1 level into artificial clusters swept in
+    /// arbitrary order to prove the canonical scatter makes the sweep order
+    /// irrelevant).
+    pub fn lts_state_mut_for_tests(&mut self) -> Option<&mut LtsState> {
+        self.lts.as_mut()
     }
 
     /// Impose an initial solid displacement field (for source-free
@@ -366,7 +413,11 @@ impl RankSolver {
             self.coupling
                 .add_solid_displacement_to_fluid(&mut self.fields);
         }
-        if self.config.overlap {
+        if self.lts.is_some() {
+            // LTS: refresh the active clusters' frozen contributions, then
+            // scatter *all* elements in canonical ascending order.
+            self.lts_fluid_phase(istep, comm)?;
+        } else if self.config.overlap {
             // Outer elements first, post the halo exchange, fill the
             // in-flight window with the inner elements, then wait/combine.
             {
@@ -443,7 +494,9 @@ impl RankSolver {
                 self.source.apply(t, &mut self.fields);
             }
         }
-        if self.config.overlap {
+        if self.lts.is_some() {
+            self.lts_solid_phase(istep, comm)?;
+        } else if self.config.overlap {
             {
                 let _s = specfem_obs::span("forces.solid.outer");
                 compute_solid_forces_range(
@@ -567,6 +620,240 @@ impl RankSolver {
         Ok(())
     }
 
+    /// The LTS fluid force phase: recompute the contributions of clusters
+    /// active on `istep`, then add *every* element's (fresh or frozen)
+    /// contribution into `chi_ddot` in ascending element order — the same
+    /// per-point accumulation sequence as the plain loop, which is what
+    /// keeps the rate-1 path bit-identical (`tests/lts_equivalence.rs`).
+    fn lts_fluid_phase(
+        &mut self,
+        istep: usize,
+        comm: &mut dyn Communicator,
+    ) -> Result<(), SolverError> {
+        let Self {
+            mesh,
+            geom,
+            ops,
+            config,
+            fields,
+            flops,
+            lts,
+            ..
+        } = self;
+        let lts = lts.as_mut().expect("LTS phase without LTS state");
+        let WaveFields { chi, chi_ddot, .. } = fields;
+        let LtsState {
+            levels,
+            fluid_contrib,
+            ..
+        } = lts;
+        let split = mesh.nspec_outer;
+        if config.overlap {
+            {
+                let _s = specfem_obs::span("forces.fluid.outer");
+                for lv in levels.iter() {
+                    if lv.active(istep) {
+                        compute_fluid_contribs(
+                            mesh,
+                            geom,
+                            ops,
+                            config.variant,
+                            chi,
+                            flops,
+                            &lv.outer,
+                            fluid_contrib,
+                        );
+                    }
+                }
+                scatter_fluid(mesh, fluid_contrib, chi_ddot, 0..split);
+            }
+            let reqs = post_halo_exchange(comm, &mesh.halo, chi_ddot, 1, tags::HALO_FLUID)?;
+            {
+                let _s = specfem_obs::span("forces.fluid.inner");
+                for lv in levels.iter() {
+                    if lv.active(istep) {
+                        compute_fluid_contribs(
+                            mesh,
+                            geom,
+                            ops,
+                            config.variant,
+                            chi,
+                            flops,
+                            &lv.inner,
+                            fluid_contrib,
+                        );
+                    }
+                }
+                scatter_fluid(mesh, fluid_contrib, chi_ddot, split..mesh.nspec);
+            }
+            finish_halo_assembly(comm, &mesh.halo, chi_ddot, 1, reqs)?;
+        } else {
+            {
+                let _s = specfem_obs::span("forces.fluid");
+                for lv in levels.iter() {
+                    if lv.active(istep) {
+                        compute_fluid_contribs(
+                            mesh,
+                            geom,
+                            ops,
+                            config.variant,
+                            chi,
+                            flops,
+                            &lv.outer,
+                            fluid_contrib,
+                        );
+                        compute_fluid_contribs(
+                            mesh,
+                            geom,
+                            ops,
+                            config.variant,
+                            chi,
+                            flops,
+                            &lv.inner,
+                            fluid_contrib,
+                        );
+                    }
+                }
+                scatter_fluid(mesh, fluid_contrib, chi_ddot, 0..mesh.nspec);
+            }
+            let _s = specfem_obs::span("assemble.fluid");
+            assemble_halo(comm, &mesh.halo, chi_ddot, 1, tags::HALO_FLUID)?;
+        }
+        Ok(())
+    }
+
+    /// The LTS solid force phase — see [`Self::lts_fluid_phase`]. Each
+    /// active cluster computes with attenuation recursion constants fitted
+    /// at its own `rate·dt` (memory variables refresh on the cluster's
+    /// schedule); skipped element-steps are tallied here, once per element
+    /// per fine step.
+    fn lts_solid_phase(
+        &mut self,
+        istep: usize,
+        comm: &mut dyn Communicator,
+    ) -> Result<(), SolverError> {
+        let Self {
+            mesh,
+            geom,
+            ops,
+            config,
+            fields,
+            flops,
+            atten,
+            lts,
+            ..
+        } = self;
+        let lts = lts.as_mut().expect("LTS phase without LTS state");
+        let WaveFields { displ, accel, .. } = fields;
+        let LtsState {
+            levels,
+            solid_contrib,
+            element_steps_saved,
+            ..
+        } = lts;
+        let split = mesh.nspec_outer;
+        if config.overlap {
+            {
+                let _s = specfem_obs::span("forces.solid.outer");
+                for lv in levels.iter() {
+                    if lv.active(istep) {
+                        if let (Some(att), Some((a, b))) = (atten.as_mut(), lv.atten) {
+                            att.alpha = a;
+                            att.beta_unit = b;
+                        }
+                        compute_solid_contribs(
+                            mesh,
+                            geom,
+                            ops,
+                            config.variant,
+                            displ,
+                            atten.as_mut(),
+                            config.gravity,
+                            flops,
+                            &lv.outer,
+                            solid_contrib,
+                        );
+                    }
+                }
+                scatter_solid(mesh, solid_contrib, accel, 0..split);
+            }
+            let reqs = post_halo_exchange(comm, &mesh.halo, accel, 3, tags::HALO_SOLID)?;
+            {
+                let _s = specfem_obs::span("forces.solid.inner");
+                for lv in levels.iter() {
+                    if lv.active(istep) {
+                        if let (Some(att), Some((a, b))) = (atten.as_mut(), lv.atten) {
+                            att.alpha = a;
+                            att.beta_unit = b;
+                        }
+                        compute_solid_contribs(
+                            mesh,
+                            geom,
+                            ops,
+                            config.variant,
+                            displ,
+                            atten.as_mut(),
+                            config.gravity,
+                            flops,
+                            &lv.inner,
+                            solid_contrib,
+                        );
+                    }
+                }
+                scatter_solid(mesh, solid_contrib, accel, split..mesh.nspec);
+            }
+            finish_halo_assembly(comm, &mesh.halo, accel, 3, reqs)?;
+        } else {
+            {
+                let _s = specfem_obs::span("forces.solid");
+                for lv in levels.iter() {
+                    if lv.active(istep) {
+                        if let (Some(att), Some((a, b))) = (atten.as_mut(), lv.atten) {
+                            att.alpha = a;
+                            att.beta_unit = b;
+                        }
+                        compute_solid_contribs(
+                            mesh,
+                            geom,
+                            ops,
+                            config.variant,
+                            displ,
+                            atten.as_mut(),
+                            config.gravity,
+                            flops,
+                            &lv.outer,
+                            solid_contrib,
+                        );
+                        compute_solid_contribs(
+                            mesh,
+                            geom,
+                            ops,
+                            config.variant,
+                            displ,
+                            atten.as_mut(),
+                            config.gravity,
+                            flops,
+                            &lv.inner,
+                            solid_contrib,
+                        );
+                    }
+                }
+                scatter_solid(mesh, solid_contrib, accel, 0..mesh.nspec);
+            }
+            let _s = specfem_obs::span("assemble.solid");
+            assemble_halo(comm, &mesh.halo, accel, 3, tags::HALO_SOLID)?;
+        }
+        // Bookkeeping: the scatter's per-point adds (covers this step's
+        // fluid scatter too), and the element-steps LTS skipped.
+        scatter_flops(mesh, flops);
+        for lv in levels.iter() {
+            if !lv.active(istep) {
+                *element_steps_saved += lv.len() as u64;
+            }
+        }
+        Ok(())
+    }
+
     /// Global kinetic and potential energy (collective).
     fn energy_sample(&mut self, comm: &mut dyn Communicator) -> Result<(f64, f64), CommError> {
         let mut ke = 0.0f64;
@@ -656,6 +943,19 @@ impl RankSolver {
                 "dt mismatch: checkpoint {} vs recomputed {} — different mesh or config?",
                 state.dt, self.dt
             ));
+        }
+        if let Some(lts) = &self.lts {
+            // Frozen force contributions are never persisted; that is only
+            // sound when every cluster refreshes on the first resumed step,
+            // i.e. the resume step is a full-cycle boundary.
+            let cap = lts.cap as usize;
+            if !state.next_step.is_multiple_of(cap) {
+                return fail(format!(
+                    "LTS resume step {} is not a multiple of the rate cap {cap} — frozen \
+                     force contributions are only valid at full-cycle boundaries",
+                    state.next_step
+                ));
+            }
         }
         let n3 = self.mesh.nglob * 3;
         for (name, len, expect) in [
@@ -772,6 +1072,13 @@ impl RankSolver {
         );
         specfem_obs::gauge_set("solver.nspec", self.mesh.nspec as f64);
         specfem_obs::gauge_set("solver.nglob", self.mesh.nglob as f64);
+        let lts = self.lts.as_ref().map(|l| {
+            let s = l.summary(self.mesh.nspec, self.config.nsteps - self.start_step);
+            specfem_obs::gauge_set("lts.max_rate", s.max_rate as f64);
+            specfem_obs::gauge_set("lts.levels", s.levels.len() as f64);
+            specfem_obs::counter_add("lts.element_steps_saved", s.element_steps_saved);
+            s
+        });
         let station_error_m = self.receivers.worst_error_m();
         let snapshots = if self.config.snapshot_every > 0 {
             Some(crate::adjoint::WavefieldSnapshots {
@@ -798,6 +1105,7 @@ impl RankSolver {
             station_error_m,
             snapshots,
             profile: specfem_obs::finish_rank(),
+            lts,
         })
     }
 }

@@ -1,0 +1,193 @@
+//! Shared bit-identity test kit for the differential oracle suites
+//! (`overlap_equivalence`, `elastic_resume`, `lts_equivalence`, and the
+//! batch crate's `batch_oracle`).
+//!
+//! The kit deliberately depends only on `specfem_solver` types so every
+//! consumer — the core facade's test targets *and* `crates/batch/tests`,
+//! which cannot see `specfem_core` — can include it verbatim with a
+//! `#[path]` module declaration.
+//!
+//! Everything here compares to the **bit** (`f32::to_bits`), because the
+//! solver's equivalence contracts (overlap vs blocking, batch vs serial,
+//! LTS rate-1 vs plain) are exact, not approximate: float addition is not
+//! associative, so the solver pins the per-point accumulation order and
+//! any reordering regression must surface as a ULP diff, not hide inside
+//! a tolerance.
+
+// Each consumer uses the subset it needs; the rest must not warn.
+#![allow(dead_code)]
+
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+
+use specfem_solver::checkpoint::{CheckpointError, CheckpointSink, CheckpointState};
+use specfem_solver::Seismogram;
+
+/// Every sample of `a` and `b` bit-identical.
+pub fn assert_bits_eq(label: &str, a: &[f32], b: &[f32]) {
+    assert_eq!(a.len(), b.len(), "{label} length");
+    for (i, (x, y)) in a.iter().zip(b).enumerate() {
+        assert_eq!(x.to_bits(), y.to_bits(), "{label}[{i}]: {x:e} vs {y:e}");
+    }
+}
+
+/// `dt` must survive any re-derivation (resume, re-partition, LTS) to the
+/// bit — it feeds every timestep expression.
+pub fn assert_dt_bits_eq(label: &str, a: f64, b: f64) {
+    assert_eq!(a.to_bits(), b.to_bits(), "{label}: dt {a} vs {b}");
+}
+
+/// All six wave fields plus the attenuation memory of two checkpointed
+/// states bit-identical.
+pub fn assert_fields_bits_eq(label: &str, a: &CheckpointState, b: &CheckpointState) {
+    assert_bits_eq(&format!("{label}.displ"), &a.displ, &b.displ);
+    assert_bits_eq(&format!("{label}.veloc"), &a.veloc, &b.veloc);
+    assert_bits_eq(&format!("{label}.accel"), &a.accel, &b.accel);
+    assert_bits_eq(&format!("{label}.chi"), &a.chi, &b.chi);
+    assert_bits_eq(&format!("{label}.chi_dot"), &a.chi_dot, &b.chi_dot);
+    assert_bits_eq(&format!("{label}.chi_ddot"), &a.chi_ddot, &b.chi_ddot);
+    match (&a.atten_memory, &b.atten_memory) {
+        (Some(ma), Some(mb)) => assert_bits_eq(&format!("{label}.atten_memory"), ma, mb),
+        (None, None) => {}
+        _ => panic!("{label}: attenuation memory presence differs"),
+    }
+}
+
+/// Station records carried inside two checkpointed states bit-identical.
+pub fn assert_records_bits_eq(label: &str, a: &CheckpointState, b: &CheckpointState) {
+    assert_eq!(a.records.len(), b.records.len(), "{label} stations");
+    for ((an, asamples), (bn, bsamples)) in a.records.iter().zip(&b.records) {
+        assert_eq!(an, bn, "{label} station name");
+        assert_eq!(asamples.len(), bsamples.len(), "{label}/{an} samples");
+        for (x, y) in asamples.iter().zip(bsamples) {
+            for c in 0..3 {
+                assert_eq!(x[c].to_bits(), y[c].to_bits(), "{label}/{an}");
+            }
+        }
+    }
+}
+
+/// The full state contract: fields, `dt`, and station records — what the
+/// batch and LTS oracles demand of a final checkpoint.
+pub fn assert_state_matches(label: &str, a: &CheckpointState, b: &CheckpointState) {
+    assert_fields_bits_eq(label, a, b);
+    assert_dt_bits_eq(label, a.dt, b.dt);
+    assert_records_bits_eq(label, a, b);
+}
+
+/// Two merged seismogram sets bit-identical, station by station.
+pub fn assert_seismograms_bits_eq(label: &str, a: &[Seismogram], b: &[Seismogram]) {
+    assert_eq!(a.len(), b.len(), "{label} seismogram count");
+    for (sa, sb) in a.iter().zip(b) {
+        assert_eq!(sa.station, sb.station, "{label} station order");
+        assert_eq!(
+            sa.data.len(),
+            sb.data.len(),
+            "{label}/{} samples",
+            sa.station
+        );
+        for (va, vb) in sa.data.iter().zip(&sb.data) {
+            for c in 0..3 {
+                assert_eq!(
+                    va[c].to_bits(),
+                    vb[c].to_bits(),
+                    "{label}, station {}: {} vs {}",
+                    sa.station,
+                    va[c],
+                    vb[c]
+                );
+            }
+        }
+    }
+}
+
+/// Peak absolute amplitude across one station's samples (tolerance scale).
+pub fn seismogram_scale(s: &Seismogram) -> f32 {
+    s.data
+        .iter()
+        .flat_map(|v| v.iter())
+        .fold(0.0f32, |m, &x| m.max(x.abs()))
+        .max(1e-20)
+}
+
+/// Two seismogram sets equal within `tol_rel ×` each station's peak
+/// amplitude — the envelope for contracts that are *approximate* by
+/// construction (cross-decomposition resume tails, multi-rate LTS vs the
+/// global-min-dt reference).
+pub fn assert_seismograms_close(label: &str, a: &[Seismogram], b: &[Seismogram], tol_rel: f32) {
+    assert_eq!(a.len(), b.len(), "{label} seismogram count");
+    for (sa, sb) in a.iter().zip(b) {
+        assert_eq!(sa.station, sb.station, "{label} station order");
+        let scale = seismogram_scale(sa);
+        for (va, vb) in sa.data.iter().zip(&sb.data) {
+            for c in 0..3 {
+                assert!(
+                    (va[c] - vb[c]).abs() <= tol_rel * scale,
+                    "{label}, station {}: {} vs {} (tol {tol_rel} × scale {scale})",
+                    sa.station,
+                    va[c],
+                    vb[c]
+                );
+            }
+        }
+    }
+}
+
+/// Longest shared bit-identical sample prefix between two seismogram sets,
+/// minimized over stations (how far a restored run's records reach before
+/// the recomputed tail starts).
+pub fn bit_identical_prefix(a: &[Seismogram], b: &[Seismogram]) -> usize {
+    let mut prefix = usize::MAX;
+    for (sa, sb) in a.iter().zip(b) {
+        let mut p = 0;
+        for (va, vb) in sa.data.iter().zip(&sb.data) {
+            if (0..3).all(|c| va[c].to_bits() == vb[c].to_bits()) {
+                p += 1;
+            } else {
+                break;
+            }
+        }
+        prefix = prefix.min(p);
+    }
+    prefix
+}
+
+/// Captures each rank's final checkpoint (written once, at the last step)
+/// — the standard way the oracles get at complete final fields: set
+/// `checkpoint_every = nsteps` and hand [`FinalStates::sink`] to the run's
+/// sink factory.
+#[derive(Clone, Default)]
+pub struct FinalStates {
+    states: Arc<Mutex<HashMap<usize, CheckpointState>>>,
+}
+
+struct FinalSink {
+    rank: usize,
+    store: FinalStates,
+}
+
+impl CheckpointSink for FinalSink {
+    fn write(&mut self, state: &CheckpointState) -> Result<(), CheckpointError> {
+        self.store
+            .states
+            .lock()
+            .unwrap()
+            .insert(self.rank, state.clone());
+        Ok(())
+    }
+}
+
+impl FinalStates {
+    /// The per-rank sink to hand to `FtOptions::sink_factory`.
+    pub fn sink(&self, rank: usize) -> Box<dyn CheckpointSink> {
+        Box::new(FinalSink {
+            rank,
+            store: self.clone(),
+        })
+    }
+
+    /// Snapshot of every rank's captured state.
+    pub fn collected(&self) -> HashMap<usize, CheckpointState> {
+        self.states.lock().unwrap().clone()
+    }
+}

@@ -8,6 +8,9 @@
 use specfem_core::comm::FaultPlan;
 use specfem_core::{NetworkProfile, RunOptions, Simulation, SimulationResult};
 
+#[path = "common/oracle.rs"]
+mod oracle;
+
 const NSTEPS: usize = 20;
 const CHECKPOINT_EVERY: usize = 5;
 /// The kill lands here, so the newest complete generation precedes it.
@@ -38,34 +41,12 @@ fn copy_dir(src: &std::path::Path, dst: &std::path::Path) {
     }
 }
 
-/// Longest shared bit-identical seismogram prefix between two runs,
-/// minimized over stations.
-fn bit_identical_prefix(a: &SimulationResult, b: &SimulationResult) -> usize {
-    let mut prefix = usize::MAX;
-    for (sa, sb) in a.seismograms.iter().zip(&b.seismograms) {
-        let mut p = 0;
-        for (va, vb) in sa.data.iter().zip(&sb.data) {
-            if (0..3).all(|c| va[c].to_bits() == vb[c].to_bits()) {
-                p += 1;
-            } else {
-                break;
-            }
-        }
-        prefix = prefix.min(p);
-    }
-    prefix
-}
-
-fn assert_matches_oracle(oracle: &SimulationResult, got: &SimulationResult, label: &str) {
-    assert_eq!(
-        oracle.dt.to_bits(),
-        got.dt.to_bits(),
-        "{label}: dt must survive resume bit-exactly"
-    );
-    assert_eq!(oracle.seismograms.len(), got.seismograms.len());
+fn assert_matches_oracle(reference: &SimulationResult, got: &SimulationResult, label: &str) {
+    oracle::assert_dt_bits_eq(label, reference.dt, got.dt);
+    assert_eq!(reference.seismograms.len(), got.seismograms.len());
     // Samples recorded before the restore point were carried inside the
     // container verbatim — they must be bit-identical to the oracle's.
-    let restored = bit_identical_prefix(oracle, got);
+    let restored = oracle::bit_identical_prefix(&reference.seismograms, &got.seismograms);
     assert!(
         restored >= CHECKPOINT_EVERY,
         "{label}: restored prefix must be bit-identical \
@@ -74,26 +55,7 @@ fn assert_matches_oracle(oracle: &SimulationResult, got: &SimulationResult, labe
     // The recomputed tail runs on a different decomposition, so halo
     // assembly order differs: f32 roundoff, not bit identity (same
     // envelope as distributed_run_matches_serial_seismograms).
-    for (so, sg) in oracle.seismograms.iter().zip(&got.seismograms) {
-        assert_eq!(so.station, sg.station);
-        let scale = so
-            .data
-            .iter()
-            .flat_map(|v| v.iter())
-            .fold(0.0f32, |m, &x| m.max(x.abs()))
-            .max(1e-20);
-        for (vo, vg) in so.data.iter().zip(&sg.data) {
-            for c in 0..3 {
-                assert!(
-                    (vo[c] - vg[c]).abs() <= 2e-3 * scale,
-                    "{label}, station {}: oracle {} vs resumed {} (scale {scale})",
-                    so.station,
-                    vo[c],
-                    vg[c]
-                );
-            }
-        }
-    }
+    oracle::assert_seismograms_close(label, &reference.seismograms, &got.seismograms, 2e-3);
 }
 
 #[test]

@@ -3,10 +3,14 @@
 //! indistinguishable when plotted superimposed" — element-loop order only
 //! perturbs the last digits through floating-point reassociation.
 
-use specfem_core::mesh::{ElementOrder, GlobalMesh, MeshParams};
-use specfem_core::model::Prem;
-use specfem_core::solver::{run_serial, SolverConfig};
+use specfem_core::mesh::{ElementOrder, GlobalMesh, MeshParams, Partition};
+use specfem_core::model::{Prem, SourceTimeFunction, StfKind};
+use specfem_core::solver::lts::LtsLevel;
+use specfem_core::solver::{run_serial, RankSolver, SolverConfig, SourceSpec};
 use specfem_core::Station;
+
+#[path = "common/oracle.rs"]
+mod oracle;
 
 fn run_with_order(order: ElementOrder) -> Vec<[f32; 3]> {
     let mut params = MeshParams::new(4, 1);
@@ -64,5 +68,73 @@ fn element_loop_order_changes_only_roundoff() {
                 "random order produced bitwise-identical output — permutation not applied?"
             );
         }
+    }
+}
+
+/// Run the rate-1 LTS path after splitting its single level into `n`
+/// artificial rate-1 clusters (round-robin element assignment) swept in
+/// *rotated* order, and capture the final state + records.
+fn run_lts_with_cluster_split(
+    mesh: &GlobalMesh,
+    config: &SolverConfig,
+    n: usize,
+    rotate: usize,
+) -> specfem_core::solver::CheckpointState {
+    let local = Partition::serial(mesh).extract(mesh, 0);
+    let mut comm = specfem_core::comm::SerialComm::new();
+    let stations = vec![Station {
+        name: "PERM".into(),
+        lat_deg: 35.0,
+        lon_deg: 12.0,
+    }];
+    let mut solver = RankSolver::new(local, config, &stations, &mut comm);
+    if n > 1 {
+        let lts = solver.lts_state_mut_for_tests().expect("LTS engaged");
+        let base = lts.levels[0].clone();
+        let mut split: Vec<LtsLevel> = (0..n)
+            .map(|_| LtsLevel {
+                rate: base.rate,
+                outer: Vec::new(),
+                inner: Vec::new(),
+                atten: base.atten,
+            })
+            .collect();
+        for (i, &e) in base.outer.iter().enumerate() {
+            split[i % n].outer.push(e);
+        }
+        for (i, &e) in base.inner.iter().enumerate() {
+            split[i % n].inner.push(e);
+        }
+        split.rotate_left(rotate % n);
+        lts.levels = split;
+    }
+    for istep in 0..config.nsteps {
+        solver.step(istep, &mut comm).expect("step");
+    }
+    solver.capture_checkpoint(0, 1, config.nsteps)
+}
+
+#[test]
+fn lts_rate1_cluster_sweep_order_is_bit_identical_to_one_cluster() {
+    // The LTS compute phase may visit clusters in any order: contributions
+    // land in disjoint per-element buffer slices, and the scatter adds them
+    // in canonical ascending element order regardless. Splitting the rate-1
+    // level into several interleaved clusters — swept in rotated order —
+    // must therefore be bit-identical to the unsplit sweep.
+    let mesh = GlobalMesh::build(&MeshParams::new(4, 1), &Prem::isotropic_no_ocean());
+    let config = SolverConfig {
+        nsteps: 16,
+        lts_all_rate_one: true,
+        source: SourceSpec::PointForce {
+            position: [0.0, 0.0, 5.8e6],
+            force: [0.0, 0.0, 1.0e18],
+            stf: SourceTimeFunction::new(StfKind::Ricker, 200.0),
+        },
+        ..SolverConfig::default()
+    };
+    let reference = run_lts_with_cluster_split(&mesh, &config, 1, 0);
+    for (n, rotate) in [(2, 1), (5, 3), (7, 6)] {
+        let permuted = run_lts_with_cluster_split(&mesh, &config, n, rotate);
+        oracle::assert_state_matches(&format!("split n={n} rot={rotate}"), &permuted, &reference);
     }
 }

@@ -11,7 +11,6 @@
 //! paths. Any reordering regression shows up here as a ULP-level diff.
 
 use std::collections::HashMap;
-use std::sync::{Arc, Mutex};
 
 use specfem_core::comm::NetworkProfile;
 use specfem_core::mesh::stations::Station;
@@ -22,30 +21,9 @@ use specfem_core::solver::{
     merge_seismograms, try_run_distributed, FtOptions, Seismogram, SolverConfig, SourceSpec,
 };
 
-/// Captures each rank's final checkpoint (written once, at the last step).
-#[derive(Clone, Default)]
-struct FinalStates {
-    states: Arc<Mutex<HashMap<usize, CheckpointState>>>,
-}
-
-struct FinalSink {
-    rank: usize,
-    store: FinalStates,
-}
-
-impl CheckpointSink for FinalSink {
-    fn write(
-        &mut self,
-        state: &CheckpointState,
-    ) -> Result<(), specfem_core::solver::CheckpointError> {
-        self.store
-            .states
-            .lock()
-            .unwrap()
-            .insert(self.rank, state.clone());
-        Ok(())
-    }
-}
+#[path = "common/oracle.rs"]
+mod oracle;
+use oracle::FinalStates;
 
 fn stations() -> Vec<Station> {
     vec![
@@ -74,12 +52,7 @@ fn run(
     config.checkpoint_every = config.nsteps; // exactly one final capture
     let store = FinalStates::default();
     let sink_store = store.clone();
-    let sink_factory = move |rank: usize| -> Box<dyn CheckpointSink> {
-        Box::new(FinalSink {
-            rank,
-            store: sink_store.clone(),
-        })
-    };
+    let sink_factory = move |rank: usize| -> Box<dyn CheckpointSink> { sink_store.sink(rank) };
     let results = try_run_distributed(
         mesh,
         &config,
@@ -94,19 +67,7 @@ fn run(
         .into_iter()
         .map(|r| r.expect("every rank must finish"))
         .collect();
-    let states = store.states.lock().unwrap().clone();
-    (merge_seismograms(&ranks), states)
-}
-
-fn assert_bits_eq(name: &str, rank: usize, a: &[f32], b: &[f32]) {
-    assert_eq!(a.len(), b.len(), "rank {rank} {name} length");
-    for (i, (x, y)) in a.iter().zip(b).enumerate() {
-        assert_eq!(
-            x.to_bits(),
-            y.to_bits(),
-            "rank {rank} {name}[{i}]: blocking {x} vs overlapped {y}"
-        );
-    }
+    (merge_seismograms(&ranks), store.collected())
 }
 
 /// The harness: run both paths, demand bit-identity everywhere.
@@ -115,39 +76,13 @@ fn assert_overlap_equivalent(mesh: &GlobalMesh, config: &SolverConfig) {
     let (seis_over, fields_over) = run(mesh, config, true);
 
     // Seismograms: every sample bit-identical.
-    assert_eq!(seis_block.len(), seis_over.len());
-    for (a, b) in seis_block.iter().zip(&seis_over) {
-        assert_eq!(a.station, b.station);
-        assert_eq!(a.data.len(), b.data.len());
-        for (va, vb) in a.data.iter().zip(&b.data) {
-            for c in 0..3 {
-                assert_eq!(
-                    va[c].to_bits(),
-                    vb[c].to_bits(),
-                    "station {}: blocking {} vs overlapped {}",
-                    a.station,
-                    va[c],
-                    vb[c]
-                );
-            }
-        }
-    }
+    oracle::assert_seismograms_bits_eq("blocking vs overlapped", &seis_block, &seis_over);
 
     // Final fields: every component of every rank's state bit-identical.
     assert_eq!(fields_block.len(), fields_over.len());
     for (rank, a) in &fields_block {
         let b = &fields_over[rank];
-        assert_bits_eq("displ", *rank, &a.displ, &b.displ);
-        assert_bits_eq("veloc", *rank, &a.veloc, &b.veloc);
-        assert_bits_eq("accel", *rank, &a.accel, &b.accel);
-        assert_bits_eq("chi", *rank, &a.chi, &b.chi);
-        assert_bits_eq("chi_dot", *rank, &a.chi_dot, &b.chi_dot);
-        assert_bits_eq("chi_ddot", *rank, &a.chi_ddot, &b.chi_ddot);
-        match (&a.atten_memory, &b.atten_memory) {
-            (Some(ma), Some(mb)) => assert_bits_eq("atten_memory", *rank, ma, mb),
-            (None, None) => {}
-            _ => panic!("rank {rank}: attenuation memory presence differs"),
-        }
+        oracle::assert_fields_bits_eq(&format!("rank {rank}"), a, b);
     }
 }
 
