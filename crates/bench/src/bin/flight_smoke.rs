@@ -1,0 +1,152 @@
+//! Flight-recorder smoke harness for CI.
+//!
+//! Injects the two headline failure classes — a NaN/growth blow-up past
+//! the Courant bound and a mid-run rank kill — into armed-recorder runs,
+//! then asserts the forensic contract: **exactly one** merged SFCN crash
+//! dossier per incident, classified and naming the failing rank, with
+//! the surviving ranks' journals inside. Extracts each dossier's
+//! `incident.json` chunk and writes a machine-readable summary so the
+//! workflow's Python validator can check the schema without linking the
+//! container format. Exits nonzero on any violation.
+
+use std::path::{Path, PathBuf};
+
+use specfem_core::comm::FaultPlan;
+use specfem_core::io::{read_crash_dossier, ContainerReader, CrashDossier, DOSSIER_KIND};
+use specfem_core::{NetworkProfile, RunOptions, Simulation};
+
+fn base_sim() -> Simulation {
+    Simulation::builder()
+        .resolution(4)
+        .steps(12)
+        .stations(3)
+        .catalogue_event("argentina_deep")
+        .flight_recorder(true)
+        .flight_buffer_events(256)
+        .build()
+        .unwrap()
+}
+
+/// The single dossier in `dir` — more or fewer is a contract violation.
+fn the_dossier(dir: &Path) -> (PathBuf, CrashDossier) {
+    let files: Vec<PathBuf> = std::fs::read_dir(dir)
+        .unwrap_or_else(|e| panic!("list {}: {e}", dir.display()))
+        .map(|e| e.unwrap().path())
+        .filter(|p| {
+            let name = p.file_name().unwrap().to_string_lossy();
+            name.starts_with("dossier_") && name.ends_with(".sfcn")
+        })
+        .collect();
+    assert_eq!(
+        files.len(),
+        1,
+        "exactly one dossier per incident in {}, found {files:?}",
+        dir.display()
+    );
+    let dossier = read_crash_dossier(&files[0]).expect("dossier parses back");
+    (files[0].clone(), dossier)
+}
+
+/// Pull the raw `incident.json` chunk out of the container for the
+/// external schema validator.
+fn extract_incident(container: &Path, out: &Path) {
+    let mut reader = ContainerReader::open(container).expect("container opens");
+    assert_eq!(reader.kind(), DOSSIER_KIND, "dossier container kind");
+    let bytes = reader.chunk("incident.json").expect("incident chunk");
+    std::fs::write(out, bytes).expect("write incident json");
+}
+
+fn main() {
+    let mut out_dir = PathBuf::from("OUTPUT_FILES/flight");
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--out-dir" => out_dir = PathBuf::from(args.next().expect("--out-dir value")),
+            other => panic!("unknown argument {other}"),
+        }
+    }
+    let _ = std::fs::remove_dir_all(&out_dir);
+    std::fs::create_dir_all(&out_dir).expect("create out dir");
+
+    // Incident 1: NaN/growth health trip on a serial run. A dt far past
+    // the Courant bound blows up within a few health samples.
+    let health_dir = out_dir.join("health");
+    std::fs::create_dir_all(&health_dir).unwrap();
+    let mut sim = base_sim();
+    sim.config.dt = Some(1000.0);
+    sim.config.health_every = 5;
+    sim.config.nsteps = 500;
+    sim.config.checkpoint_every = 0;
+    let (mesh, _) = sim.build_mesh();
+    sim.try_run_with_mesh(
+        &mesh,
+        RunOptions {
+            profile: None,
+            checkpoint_dir: None,
+            resume: false,
+            world: None,
+            dossier_dir: Some(&health_dir),
+        },
+    )
+    .expect_err("the unstable run must trip the health monitor");
+    let (health_path, health) = the_dossier(&health_dir);
+    assert_eq!(health.incident.class, "health", "{:?}", health.incident);
+    assert_eq!(health.incident.rank, Some(0));
+    assert!(health.incident.step.is_some(), "health trip names its step");
+    assert!(!health.journals.is_empty(), "the rank's journal survived");
+    extract_incident(&health_path, &out_dir.join("health_incident.json"));
+
+    // Incident 2: rank 1 killed at step 6 of a 4-rank partitioned run.
+    let kill_dir = out_dir.join("kill");
+    std::fs::create_dir_all(&kill_dir).unwrap();
+    let mut sim = base_sim();
+    sim.config.checkpoint_every = 0;
+    sim.config.fault_plan = Some(FaultPlan::new(7).kill(1, 6));
+    sim.config.recv_timeout = Some(std::time::Duration::from_secs(5));
+    let (mesh, _) = sim.build_mesh();
+    sim.try_run_with_mesh(
+        &mesh,
+        RunOptions {
+            profile: Some(NetworkProfile::loopback()),
+            checkpoint_dir: None,
+            resume: false,
+            world: Some(4),
+            dossier_dir: Some(&kill_dir),
+        },
+    )
+    .expect_err("the injected kill must abort the run");
+    let (kill_path, kill) = the_dossier(&kill_dir);
+    assert_eq!(kill.incident.class, "rank_dead", "{:?}", kill.incident);
+    assert_eq!(kill.incident.rank, Some(1), "the victim is named");
+    assert_eq!(kill.incident.world, 4);
+    assert!(
+        kill.journals.len() >= 2,
+        "surviving ranks' journals merged, got {}",
+        kill.journals.len()
+    );
+    extract_incident(&kill_path, &out_dir.join("kill_incident.json"));
+
+    // Summary for the workflow validator and humans reading artifacts.
+    let event_count =
+        |d: &CrashDossier| -> usize { d.journals.iter().map(|j| j.events.len()).sum() };
+    let summary = format!(
+        "{{\n  \"incidents\": [\n    {{\"class\": \"health\", \"rank\": 0, \"world\": 1, \
+         \"journals\": {}, \"events\": {}, \"file\": {:?}}},\n    \
+         {{\"class\": \"rank_dead\", \"rank\": 1, \"world\": 4, \
+         \"journals\": {}, \"events\": {}, \"file\": {:?}}}\n  ]\n}}\n",
+        health.journals.len(),
+        event_count(&health),
+        health_path.file_name().unwrap().to_string_lossy(),
+        kill.journals.len(),
+        event_count(&kill),
+        kill_path.file_name().unwrap().to_string_lossy(),
+    );
+    std::fs::write(out_dir.join("flight_summary.json"), &summary).unwrap();
+
+    println!(
+        "ok: one dossier per incident — health (rank 0, {} events), \
+         rank_dead (rank 1, {} journals merged)",
+        event_count(&health),
+        kill.journals.len()
+    );
+}

@@ -138,6 +138,11 @@ pub struct Job {
     pub priority: i32,
     /// Serial or distributed execution.
     pub mode: JobMode,
+    /// End-to-end correlation id. `None` at submit time gets one minted —
+    /// callers that already own a request-scoped id (the serve daemon)
+    /// pass it through [`Job::trace`] so the job, its solver ranks, and
+    /// any crash dossier all share the caller's id.
+    pub trace: Option<specfem_obs::TraceId>,
 }
 
 impl Job {
@@ -148,12 +153,20 @@ impl Job {
             sim,
             priority: 0,
             mode: JobMode::Serial,
+            trace: None,
         }
     }
 
     /// Set the priority (higher = earlier).
     pub fn priority(mut self, p: i32) -> Self {
         self.priority = p;
+        self
+    }
+
+    /// Adopt an existing end-to-end correlation id instead of minting
+    /// one at submit.
+    pub fn trace(mut self, id: specfem_obs::TraceId) -> Self {
+        self.trace = Some(id);
         self
     }
 
@@ -376,9 +389,16 @@ impl Campaign {
 
     /// Enqueue a job. Blocks while the queue is at
     /// [`CampaignConfig::queue_capacity`].
-    pub fn submit(&mut self, job: Job) {
+    pub fn submit(&mut self, mut job: Job) {
         if self.submitted == 0 {
             self.started = Instant::now();
+        }
+        // The campaign is an outermost entry point: a job arriving
+        // without a correlation id gets one minted here, so everything
+        // downstream (solver ranks, dossiers, timelines) can be stitched
+        // back to this submission.
+        if job.trace.is_none() {
+            job.trace = Some(specfem_obs::TraceId::mint());
         }
         self.widest_job_threads = self.widest_job_threads.max(job.thread_footprint());
         {
@@ -708,6 +728,23 @@ fn run_batch(shared: &Shared, worker: usize, batch: Vec<QueuedJob>) -> Vec<JobOu
         .collect()
 }
 
+/// Newest crash-dossier path inside a job's checkpoint directory
+/// (`dossier_<class>_<seq>.sfcn` — the sequence number is monotonic, so
+/// lexicographically-last is newest).
+fn newest_dossier(dir: &std::path::Path) -> Option<String> {
+    let mut best: Option<String> = None;
+    for entry in std::fs::read_dir(dir).ok()?.flatten() {
+        let name = entry.file_name().to_string_lossy().into_owned();
+        if name.starts_with("dossier_") && name.ends_with(".sfcn") {
+            let path = entry.path().display().to_string();
+            if best.as_deref().is_none_or(|b| path.as_str() > b) {
+                best = Some(path);
+            }
+        }
+    }
+    best
+}
+
 fn run_job(shared: &Shared, worker: usize, queued: QueuedJob) -> JobOutcome {
     let queue_wait_s = queued.submitted.elapsed().as_secs_f64();
     let start_ns = specfem_obs::timestamp_ns();
@@ -728,7 +765,10 @@ fn run_job(shared: &Shared, worker: usize, queued: QueuedJob) -> JobOutcome {
             .as_ref()
             .map(|root| root.join(sanitize(&job.name)));
         let mut attempts = 0;
-        let mut telemetry = JobTelemetry::default();
+        let mut telemetry = JobTelemetry {
+            trace_id: job.trace.map(|t| t.hex()),
+            ..JobTelemetry::default()
+        };
         let native_world = match job.mode {
             JobMode::Serial => 1,
             JobMode::Distributed => job.sim.params.num_ranks(),
@@ -737,6 +777,7 @@ fn run_job(shared: &Shared, worker: usize, queued: QueuedJob) -> JobOutcome {
         let result = loop {
             attempts += 1;
             let mut sim = job.sim.clone();
+            sim.config.trace_id = job.trace;
             if attempts > 1 {
                 // The fault plan had its chance; retries run clean and,
                 // when checkpointing, resume where the fault struck.
@@ -750,6 +791,7 @@ fn run_job(shared: &Shared, worker: usize, queued: QueuedJob) -> JobOutcome {
                 checkpoint_dir: checkpoint_dir.as_deref(),
                 resume: checkpoint_dir.is_some(),
                 world: world_override,
+                dossier_dir: None,
             };
             match sim.try_run_with_mesh(&mesh, opts) {
                 Ok(res) => {
@@ -758,6 +800,14 @@ fn run_job(shared: &Shared, worker: usize, queued: QueuedJob) -> JobOutcome {
                 }
                 Err(e) => {
                     roll_up_error(&mut telemetry, &e);
+                    // A failed attempt with the flight recorder armed left
+                    // a crash dossier next to the checkpoints — record the
+                    // newest so the report/serve layers can point at it.
+                    if let Some(dir) = checkpoint_dir.as_deref() {
+                        if let Some(d) = newest_dossier(dir) {
+                            telemetry.dossier = Some(d);
+                        }
+                    }
                     if attempts <= shared.cfg.retry.max_retries {
                         if shared.cfg.retry.shrink_to_survive
                             && job.mode == JobMode::Distributed
@@ -806,7 +856,10 @@ fn run_job(shared: &Shared, worker: usize, queued: QueuedJob) -> JobOutcome {
                 1,
                 0,
                 Err(format!("job panicked: {msg}")),
-                JobTelemetry::default(),
+                JobTelemetry {
+                    trace_id: job.trace.map(|t| t.hex()),
+                    ..JobTelemetry::default()
+                },
             )
         }
     };

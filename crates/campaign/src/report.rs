@@ -53,6 +53,12 @@ pub struct JobTelemetry {
     /// Σ element·steps the coarse LTS clusters skipped across the job's
     /// ranks (0 when LTS is off or the mesh has no dt spread).
     pub lts_element_steps_saved: u64,
+    /// End-to-end correlation id (16 hex digits) the job ran under —
+    /// minted at submit or adopted from the caller's request.
+    pub trace_id: Option<String>,
+    /// Path of the newest crash dossier a failed attempt left behind
+    /// (`None` = no attempt failed with the flight recorder armed).
+    pub dossier: Option<String>,
 }
 
 impl JobTelemetry {
@@ -397,6 +403,12 @@ fn telemetry_json(t: &JobTelemetry) -> String {
             ", \"lts\": {{\"max_rate\": {cap}, \"element_steps_saved\": {}}}",
             t.lts_element_steps_saved
         ));
+    }
+    if let Some(id) = &t.trace_id {
+        out.push_str(&format!(", \"trace_id\": \"{}\"", json_escape(id)));
+    }
+    if let Some(dossier) = &t.dossier {
+        out.push_str(&format!(", \"dossier\": \"{}\"", json_escape(dossier)));
     }
     if t.final_world.is_some() || !t.shrink_path.is_empty() {
         let path: Vec<String> = t.shrink_path.iter().map(|w| w.to_string()).collect();

@@ -1,0 +1,145 @@
+//! Perfetto-export validation for multi-worker campaign timelines and
+//! multi-rank solver traces, checked against the vendored JSON parser
+//! rather than by substring: the exporters hand-serialize, so a stray
+//! comma or unescaped label would still `contains()` fine but break
+//! `ui.perfetto.dev`. Asserts the track/process/thread metadata scheme
+//! and that timestamps on every row are monotonic.
+
+use serde_json::Value;
+use specfem_campaign::{Campaign, CampaignConfig, Job};
+use specfem_core::{NetworkProfile, RunOptions, Simulation};
+
+fn tiny_sim(steps: usize) -> Simulation {
+    Simulation::builder()
+        .resolution(4)
+        .steps(steps)
+        .stations(2)
+        .catalogue_event("argentina_deep")
+        .build()
+        .unwrap()
+}
+
+/// Parse an exporter's output and return `(metadata, complete)` events.
+fn load_events(json: &str) -> (Vec<Value>, Vec<Value>) {
+    let doc = serde_json::from_str(json).expect("Perfetto export parses as JSON");
+    assert_eq!(doc["displayTimeUnit"].as_str(), Some("ns"));
+    let events = doc["traceEvents"].as_array().expect("traceEvents array");
+    let mut meta = Vec::new();
+    let mut complete = Vec::new();
+    for e in events.iter() {
+        match e["ph"].as_str() {
+            Some("M") => meta.push(e.clone()),
+            Some("X") => complete.push(e.clone()),
+            other => panic!("unexpected event phase {other:?}"),
+        }
+    }
+    (meta, complete)
+}
+
+/// Shared checks: one named process, one named thread row per expected
+/// tid, and per-row monotonic (exit-ordered) timestamps.
+fn assert_track_scheme(json: &str, thread_names: &[(u64, String)]) {
+    let (meta, complete) = load_events(json);
+
+    let process: Vec<&Value> = meta
+        .iter()
+        .filter(|e| e["name"].as_str() == Some("process_name"))
+        .collect();
+    assert_eq!(process.len(), 1, "exactly one process_name metadata event");
+    assert_eq!(process[0]["pid"].as_u64(), Some(1));
+    assert!(process[0]["args"]["name"].as_str().is_some());
+
+    let threads: Vec<&Value> = meta
+        .iter()
+        .filter(|e| e["name"].as_str() == Some("thread_name"))
+        .collect();
+    assert_eq!(threads.len(), thread_names.len(), "one row per track");
+    for (i, (tid, name)) in thread_names.iter().enumerate() {
+        assert_eq!(threads[i]["tid"].as_u64(), Some(*tid), "tid order");
+        assert_eq!(threads[i]["args"]["name"].as_str(), Some(name.as_str()));
+    }
+
+    assert!(!complete.is_empty(), "timeline has complete events");
+    for (tid, _) in thread_names {
+        // Spans are recorded at exit, so each row's end times ascend;
+        // 0.01 us of slack absorbs the exporter's 3-decimal rounding.
+        let mut last_end = f64::NEG_INFINITY;
+        for e in complete.iter().filter(|e| e["tid"].as_u64() == Some(*tid)) {
+            assert_eq!(e["pid"].as_u64(), Some(1));
+            let ts = e["ts"].as_f64().expect("numeric ts");
+            let dur = e["dur"].as_f64().expect("numeric dur");
+            assert!(ts >= 0.0 && dur >= 0.0, "non-negative times: {e:?}");
+            assert!(e["name"].as_str().is_some(), "named event");
+            let end = ts + dur;
+            assert!(
+                end >= last_end - 0.01,
+                "tid {tid}: end times must ascend ({end} after {last_end})"
+            );
+            last_end = end;
+        }
+        assert!(last_end > f64::NEG_INFINITY, "tid {tid} has events");
+    }
+}
+
+/// A two-worker campaign exports one named track per worker, with every
+/// finished job as a complete event on its worker's row.
+#[test]
+fn campaign_timeline_validates_against_the_json_parser() {
+    let mut campaign = Campaign::new(CampaignConfig {
+        workers: 2,
+        ..CampaignConfig::default()
+    });
+    for steps in [4, 5, 6, 7] {
+        campaign.submit(Job::new(format!("job_{steps}"), tiny_sim(steps)));
+    }
+    let result = campaign.finish();
+    assert!(result.all_ok());
+
+    let json = result.perfetto_json();
+    assert_track_scheme(&json, &[(0, "worker 0".into()), (1, "worker 1".into())]);
+    let (_, complete) = load_events(&json);
+    assert_eq!(complete.len(), 4, "one complete event per finished job");
+    for steps in [4, 5, 6, 7] {
+        assert!(
+            complete.iter().any(|e| e["name"]
+                .as_str()
+                .unwrap()
+                .starts_with(&format!("job_{steps} "))),
+            "job_{steps} appears on the timeline"
+        );
+    }
+}
+
+/// A traced four-rank solve exports one named `rank N` row per rank; the
+/// solver's own spans (time loop, halo exchange) land on those rows.
+#[test]
+fn multi_rank_solver_timeline_validates_against_the_json_parser() {
+    let mut sim = tiny_sim(6);
+    sim.config.trace = true;
+    let (mesh, _) = sim.build_mesh();
+    let result = sim
+        .try_run_with_mesh(
+            &mesh,
+            RunOptions {
+                profile: Some(NetworkProfile::loopback()),
+                checkpoint_dir: None,
+                resume: false,
+                world: Some(4),
+                dossier_dir: None,
+            },
+        )
+        .unwrap();
+
+    let json = result
+        .perfetto_json()
+        .expect("traced run exports a timeline");
+    let rows: Vec<(u64, String)> = (0..4).map(|r| (r, format!("rank {r}"))).collect();
+    assert_track_scheme(&json, &rows);
+    let (_, complete) = load_events(&json);
+    assert!(
+        complete
+            .iter()
+            .any(|e| e["name"].as_str().unwrap().contains("step")),
+        "time-loop spans appear on rank rows"
+    );
+}

@@ -3,7 +3,7 @@
 use std::collections::BTreeMap;
 use std::time::Duration;
 
-use specfem_obs::{LogHistogram, TagTraffic};
+use specfem_obs::{flight_event, FlightEventKind, LogHistogram, TagTraffic};
 
 /// Mutable accumulator owned by one rank's communicator.
 #[derive(Debug, Default, Clone)]
@@ -42,6 +42,7 @@ pub struct CommStats {
 impl CommStats {
     /// Record a message of `bytes` bytes sent with `tag`.
     pub fn on_send(&mut self, tag: u32, bytes: usize) {
+        flight_event(FlightEventKind::CommSend, "", tag as u64, bytes as u64);
         self.bytes_sent += bytes as u64;
         self.messages_sent += 1;
         let t = self.per_tag.entry(tag).or_insert(TagTraffic {
@@ -56,6 +57,7 @@ impl CommStats {
 
     /// Record a received message.
     pub fn on_recv(&mut self, bytes: usize) {
+        flight_event(FlightEventKind::CommRecv, "", 0, bytes as u64);
         self.bytes_received += bytes as u64;
     }
 
@@ -79,6 +81,12 @@ impl CommStats {
     /// between post and `wait` entry, `blocked` the time spent inside
     /// `wait` itself.
     pub fn on_wait(&mut self, overlap: Duration, blocked: Duration) {
+        flight_event(
+            FlightEventKind::CommWait,
+            "",
+            overlap.as_nanos() as u64,
+            blocked.as_nanos() as u64,
+        );
         self.overlap_time += overlap;
         self.wait_time += blocked;
     }
@@ -235,6 +243,30 @@ mod tests {
         assert_eq!(snap.tag_traffic(100), (2, 8192));
         assert_eq!(snap.tag_traffic(200), (1, 8));
         assert_eq!(snap.tag_traffic(999), (0, 0));
+    }
+
+    #[test]
+    fn comm_edges_are_journaled_when_flight_armed() {
+        specfem_obs::flight_arm(0, 64);
+        let mut s = CommStats::default();
+        s.on_send(100, 4096);
+        s.on_recv(128);
+        s.on_wait(Duration::from_micros(2), Duration::from_micros(1));
+        let j = specfem_obs::flight_harvest().unwrap();
+        let kinds: Vec<_> = j.events.iter().map(|e| e.kind).collect();
+        assert_eq!(
+            kinds,
+            vec![
+                FlightEventKind::CommSend,
+                FlightEventKind::CommRecv,
+                FlightEventKind::CommWait
+            ]
+        );
+        assert_eq!(j.events[0].a, 100);
+        assert_eq!(j.events[0].b, 4096);
+        assert_eq!(j.events[1].b, 128);
+        assert_eq!(j.events[2].a, 2_000);
+        assert_eq!(j.events[2].b, 1_000);
     }
 
     #[test]

@@ -215,6 +215,10 @@ fn fan_out_lane(
             snapshots: None,
             profile: None,
             lts: None,
+            // Each lane keeps its *own* correlation id — the fused loop
+            // shares physics knobs across lanes, but tracing identity
+            // stays per-event.
+            trace_id: sim.config.trace_id,
         });
     }
     let seismograms = specfem_solver::timeloop::merge_seismograms(&ranks);

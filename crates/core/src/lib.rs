@@ -549,7 +549,14 @@ impl Simulation {
         };
         let sink_factory;
         let restore_fn;
+        // Journals deposited by each rank thread (success and failure
+        // exits both) — the raw material of a crash dossier.
+        let journals: std::sync::Mutex<Vec<obs::FlightJournal>> = std::sync::Mutex::new(Vec::new());
+        let deposit = |j: obs::FlightJournal| journals.lock().unwrap().push(j);
         let mut ft = solver::FtOptions::default();
+        if self.config.flight_recorder {
+            ft.flight = Some(&deposit);
+        }
         if let Some(store) = &store {
             store.set_keep(self.config.checkpoint_keep);
             if let Some(plan) = &self.config.fault_plan {
@@ -574,17 +581,10 @@ impl Simulation {
                 );
             }
         }
-        let (ranks, watchdog): (Vec<RankResult>, Option<comm::WatchdogReport>) = match opts.profile
-        {
-            None => (
-                vec![specfem_solver::try_run_serial(
-                    mesh,
-                    &self.config,
-                    &self.stations,
-                    ft,
-                )?],
-                None,
-            ),
+        type RunOut = Result<(Vec<RankResult>, Option<comm::WatchdogReport>), solver::SolverError>;
+        let run_out: RunOut = match opts.profile {
+            None => specfem_solver::try_run_serial(mesh, &self.config, &self.stations, ft)
+                .map(|r| (vec![r], None)),
             Some(profile) => {
                 let (per_rank, watchdog) = match opts.world {
                     // Elastic world override: a balanced contiguous
@@ -609,11 +609,64 @@ impl Simulation {
                         ft,
                     ),
                 };
+                // One incident can surface differently on each rank: the
+                // killed rank sees `RankDead`, its peers see
+                // `Disconnected`/`Timeout`. Keep the most *specific*
+                // error (rank order breaks ties) — that is the one the
+                // crash dossier is classified from. The world is already
+                // joined, so every surviving rank has deposited its
+                // journal by now.
                 let mut ranks = Vec::with_capacity(per_rank.len());
+                let mut primary: Option<solver::SolverError> = None;
                 for r in per_rank {
-                    ranks.push(r?);
+                    match r {
+                        Ok(v) => ranks.push(v),
+                        Err(e) => {
+                            if primary
+                                .as_ref()
+                                .is_none_or(|p| error_salience(&e) > error_salience(p))
+                            {
+                                primary = Some(e);
+                            }
+                        }
+                    }
                 }
-                (ranks, watchdog)
+                match primary {
+                    Some(e) => Err(e),
+                    None => Ok((ranks, watchdog)),
+                }
+            }
+        };
+        let (ranks, watchdog) = match run_out {
+            Ok(v) => v,
+            Err(e) => {
+                // One merged crash dossier per incident — the run's
+                // primary typed failure, with every harvested journal.
+                if self.config.flight_recorder {
+                    let world = match opts.profile {
+                        None => 1,
+                        Some(_) => opts
+                            .world
+                            .map(|w| w.max(1))
+                            .unwrap_or_else(|| self.params.num_ranks()),
+                    };
+                    let harvested = std::mem::take(&mut *journals.lock().unwrap());
+                    let dest = opts
+                        .dossier_dir
+                        .or(opts.checkpoint_dir)
+                        .or(self.config.trace_dir.as_deref());
+                    if let Some(dir) = dest {
+                        let incident = classify_incident(&e, world, self.config.trace_id);
+                        match specfem_io::write_crash_dossier(dir, &incident, &harvested) {
+                            Ok(path) => {
+                                obs::global_counter_add("dossier.written", 1);
+                                eprintln!("crash dossier written: {}", path.display());
+                            }
+                            Err(we) => eprintln!("crash dossier write failed: {we}"),
+                        }
+                    }
+                }
+                return Err(e);
             }
         };
         let seismograms = specfem_solver::timeloop::merge_seismograms(&ranks);
@@ -675,6 +728,7 @@ impl Simulation {
                 checkpoint_dir: Some(checkpoint_dir),
                 resume: true,
                 world: Some(world),
+                dossier_dir: None,
             },
             mesher_profile,
         )
@@ -694,9 +748,56 @@ impl Simulation {
                 checkpoint_dir: Some(checkpoint_dir),
                 resume,
                 world: None,
+                dossier_dir: None,
             },
             mesher_profile,
         )
+    }
+}
+
+/// How precisely a rank's error pins down the underlying incident —
+/// higher wins when one failure fans out across the world as different
+/// errors per rank (the killed rank's `RankDead` beats its peers'
+/// secondary `Disconnected`/`Timeout` noise).
+fn error_salience(e: &solver::SolverError) -> u8 {
+    use solver::SolverError as E;
+    match e {
+        E::Health(_) => 5,
+        E::Comm(comm::CommError::RankDead { .. }) => 4,
+        E::RankPanicked { .. } => 4,
+        E::Comm(comm::CommError::Stalled { .. }) => 3,
+        E::Checkpoint(_) => 2,
+        E::Comm(_) => 1,
+    }
+}
+
+/// Map a run's first typed failure onto the crash-dossier incident
+/// record: a stable class string plus whichever rank/step coordinates
+/// the error carries. The class names are part of the dossier schema
+/// (CI validates them), so keep them in sync with `DESIGN.md` §3l.
+fn classify_incident(
+    e: &solver::SolverError,
+    world: usize,
+    trace_id: Option<obs::TraceId>,
+) -> io::DossierIncident {
+    use solver::SolverError as E;
+    let (class, rank, step) = match e {
+        E::Health(r) => ("health", Some(r.rank as u64), Some(r.step as u64)),
+        E::Comm(comm::CommError::Stalled { rank, .. }) => ("stall", Some(*rank as u64), None),
+        E::Comm(comm::CommError::RankDead { rank, step }) => {
+            ("rank_dead", Some(*rank as u64), Some(*step as u64))
+        }
+        E::RankPanicked { rank, .. } => ("rank_dead", Some(*rank as u64), None),
+        E::Checkpoint(_) => ("artifact", None, None),
+        E::Comm(_) => ("comm", None, None),
+    };
+    io::DossierIncident {
+        class: class.to_string(),
+        detail: e.to_string(),
+        rank,
+        step,
+        trace_id: trace_id.map(|t| t.0),
+        world: world as u64,
     }
 }
 
@@ -809,6 +910,11 @@ pub struct RunOptions<'a> {
     /// another. Ignored on the serial path (`profile = None`); clamped to
     /// at least 1.
     pub world: Option<usize>,
+    /// Where a crash dossier lands when the run fails with
+    /// `config.flight_recorder` armed. Falls back to `checkpoint_dir`,
+    /// then `config.trace_dir`; with none of the three set, harvested
+    /// journals are discarded on failure.
+    pub dossier_dir: Option<&'a std::path::Path>,
 }
 
 /// Builder for [`Simulation`].
@@ -1000,6 +1106,26 @@ impl SimulationBuilder {
     /// [`comm::CommError::Stalled`] instead of letting the world hang.
     pub fn watchdog_timeout(mut self, timeout: std::time::Duration) -> Self {
         self.config.watchdog_timeout = Some(timeout);
+        self
+    }
+
+    /// Arm the per-rank flight recorder (`Par_file` key `FLIGHT_RECORDER`;
+    /// off by default): each rank keeps a fixed-size ring journal of
+    /// recent span/comm/health/checkpoint events, and a failed run writes
+    /// the surviving ranks' journals into one merged SFCN crash dossier
+    /// (see [`RunOptions::dossier_dir`]). Purely observational — armed or
+    /// not, seismograms and checkpoints are bit-identical
+    /// (`tests/flight_recorder.rs`).
+    pub fn flight_recorder(mut self, on: bool) -> Self {
+        self.config.flight_recorder = on;
+        self
+    }
+
+    /// Per-rank flight-journal capacity in events (`Par_file` key
+    /// `FLIGHT_BUFFER_EVENTS`, default 1024, clamped to at least 16 when
+    /// armed).
+    pub fn flight_buffer_events(mut self, events: usize) -> Self {
+        self.config.flight_buffer_events = events;
         self
     }
 
@@ -1199,11 +1325,14 @@ mod tests {
         // deadline must still hit the cache.
         let ops = keyed_sim()
             .watchdog_timeout(std::time::Duration::from_millis(123))
+            .flight_recorder(true)
+            .flight_buffer_events(64)
             .configure(|c| {
                 c.checkpoint_every = 5;
                 c.trace = true;
                 c.metrics_every = 1;
                 c.health_every = 2;
+                c.trace_id = Some(obs::TraceId(0xdead_beef));
             })
             .build()
             .unwrap();

@@ -31,6 +31,8 @@
 //! METRICS_EVERY          = 10          # step-timing sample cadence
 //! HEALTH_EVERY           = 0           # numerical-health sample cadence, 0 = off
 //! WATCHDOG_TIMEOUT_MS    = 0           # straggler watchdog heartbeat deadline, 0 = off
+//! FLIGHT_RECORDER        = .false.     # per-rank event journal for crash dossiers
+//! FLIGHT_BUFFER_EVENTS   = 1024        # flight-journal ring capacity (>= 1)
 //! CHECKPOINT_KEEP        = 2           # merged checkpoint generations kept on disk (>= 1)
 //! # campaign runtime (read via [`campaign_knobs_from_parfile`])
 //! CAMPAIGN_WORKERS       = 0           # worker pool size, 0 = auto
@@ -366,6 +368,16 @@ pub fn simulation_from_parfile(text: &str) -> Result<Simulation, String> {
             builder = builder.watchdog_timeout(std::time::Duration::from_millis(ms as u64));
         }
     }
+    if let Some(v) = get("FLIGHT_RECORDER") {
+        builder = builder.flight_recorder(parse_bool(v)?);
+    }
+    if let Some(v) = get("FLIGHT_BUFFER_EVENTS") {
+        let events = parse_num("FLIGHT_BUFFER_EVENTS", v)?;
+        if events < 1.0 {
+            return Err(format!("FLIGHT_BUFFER_EVENTS: must be >= 1, got {v}"));
+        }
+        builder = builder.flight_buffer_events(events as usize);
+    }
     if let Some(v) = get("LTS_MAX_RATE") {
         let rate: usize = v
             .parse()
@@ -486,6 +498,21 @@ NSTATIONS    = 4
         // Errors are reported, not swallowed.
         assert!(simulation_from_parfile("NEX_XI = 4\nHEALTH_EVERY = often\n").is_err());
         assert!(simulation_from_parfile("NEX_XI = 4\nWATCHDOG_TIMEOUT_MS = -5\n").is_err());
+    }
+
+    #[test]
+    fn flight_recorder_keys() {
+        // Off by default with the standard ring size.
+        let sim = simulation_from_parfile("NEX_XI = 4\n").unwrap();
+        assert!(!sim.config.flight_recorder);
+        assert_eq!(sim.config.flight_buffer_events, 1024);
+        let text = "NEX_XI = 4\nFLIGHT_RECORDER = .true.\nFLIGHT_BUFFER_EVENTS = 256\n";
+        let sim = simulation_from_parfile(text).unwrap();
+        assert!(sim.config.flight_recorder);
+        assert_eq!(sim.config.flight_buffer_events, 256);
+        // A zero-capacity journal is a config error, not a silent clamp.
+        assert!(simulation_from_parfile("NEX_XI = 4\nFLIGHT_BUFFER_EVENTS = 0\n").is_err());
+        assert!(simulation_from_parfile("NEX_XI = 4\nFLIGHT_RECORDER = maybe\n").is_err());
     }
 
     #[test]

@@ -103,11 +103,12 @@ pub struct GlobalCheckpoint {
     pub flops: u64,
 }
 
-/// Gather one 3-component field into global numbering. Shared (halo) points
-/// are written by every owning rank with bit-identical values — the
-/// assembly reduction ran before capture — so the gather is well defined.
+/// Gather one 3-component field into global numbering. Shared (halo)
+/// points can carry ULP-different copies per rank (each rank sums its
+/// assembly contributions in its own order), so the caller passes states
+/// sorted by rank: the highest owning rank deterministically wins.
 fn gather3(
-    states: &[CheckpointState],
+    states: &[&CheckpointState],
     nglob: usize,
     field: fn(&CheckpointState) -> &[f32],
 ) -> Vec<f32> {
@@ -122,9 +123,10 @@ fn gather3(
     out
 }
 
-/// Gather one scalar field into global numbering.
+/// Gather one scalar field into global numbering (rank-sorted states —
+/// see [`gather3`] on why order matters).
 fn gather1(
-    states: &[CheckpointState],
+    states: &[&CheckpointState],
     nglob: usize,
     field: fn(&CheckpointState) -> &[f32],
 ) -> Vec<f32> {
@@ -251,7 +253,14 @@ fn decode_f32_chunk(
 /// container size in bytes.
 fn write_merged(path: &Path, states: &[CheckpointState]) -> Result<u64, CheckpointError> {
     check_states(states)?;
-    let first = &states[0];
+    // Merge in rank order, not collector-arrival order: arrival depends
+    // on thread scheduling, and shared halo points differ by ULPs across
+    // ranks, so an arrival-order merge makes the container (and any
+    // resumed run) nondeterministic between bit-identical runs.
+    let mut order: Vec<&CheckpointState> = states.iter().collect();
+    order.sort_by_key(|s| s.rank);
+    let states = &order[..];
+    let first = states[0];
     let nglob = states
         .iter()
         .flat_map(|s| s.global_ids.iter())
@@ -302,10 +311,8 @@ fn write_merged(path: &Path, states: &[CheckpointState]) -> Result<u64, Checkpoi
 
     // Station ownership is disjoint across ranks; union in rank order so
     // the container is deterministic.
-    let mut order: Vec<&CheckpointState> = states.iter().collect();
-    order.sort_by_key(|s| s.rank);
     let mut records: Vec<(String, Vec<[f32; 3]>)> = Vec::new();
-    for s in &order {
+    for s in states {
         for (name, samples) in &s.records {
             if !records.iter().any(|(n, _)| n == name) {
                 records.push((name.clone(), samples.clone()));
@@ -315,8 +322,8 @@ fn write_merged(path: &Path, states: &[CheckpointState]) -> Result<u64, Checkpoi
     let records = encode_records(&records);
     let energy = {
         let mut out = Vec::new();
-        put_u64(&mut out, order[0].energy.len() as u64);
-        for &(step, ke, pe) in &order[0].energy {
+        put_u64(&mut out, states[0].energy.len() as u64);
+        for &(step, ke, pe) in &states[0].energy {
             put_u64(&mut out, step as u64);
             put_f64(&mut out, ke);
             put_f64(&mut out, pe);

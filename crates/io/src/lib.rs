@@ -15,6 +15,7 @@
 
 pub mod checkpoint;
 pub mod container;
+pub mod dossier;
 pub mod generation;
 pub mod mesh_artifact;
 pub mod result_cache;
@@ -22,6 +23,10 @@ pub mod seismograms;
 
 pub use checkpoint::{scatter_state, CheckpointStore, GlobalCheckpoint};
 pub use container::{ArtifactError, ContainerReader, ContainerWriter};
+pub use dossier::{
+    read_crash_dossier, write_crash_dossier, CrashDossier, DossierEvent, DossierIncident,
+    DossierJournal, DOSSIER_KIND,
+};
 pub use generation::{load_latest_good, GenerationScan};
 pub use mesh_artifact::{decode_mesh, encode_mesh, MeshArtifactStore};
 pub use result_cache::{

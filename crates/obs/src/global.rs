@@ -16,7 +16,7 @@
 use std::sync::{Mutex, OnceLock};
 
 use crate::json_escape;
-use crate::metrics::{MetricsRegistry, MetricsSnapshot};
+use crate::metrics::{MetricName, MetricsRegistry, MetricsSnapshot};
 
 static GLOBAL: OnceLock<Mutex<MetricsRegistry>> = OnceLock::new();
 
@@ -24,18 +24,20 @@ fn global() -> &'static Mutex<MetricsRegistry> {
     GLOBAL.get_or_init(|| Mutex::new(MetricsRegistry::default()))
 }
 
-/// Add `delta` to the named process-global counter.
-pub fn global_counter_add(name: &'static str, delta: u64) {
+/// Add `delta` to the named process-global counter. Accepts `&'static
+/// str` (no allocation) or an owned `String` for dynamic names such as
+/// per-route request labels.
+pub fn global_counter_add(name: impl Into<MetricName>, delta: u64) {
     global().lock().unwrap().counter_add(name, delta);
 }
 
 /// Set the named process-global gauge.
-pub fn global_gauge_set(name: &'static str, value: f64) {
+pub fn global_gauge_set(name: impl Into<MetricName>, value: f64) {
     global().lock().unwrap().gauge_set(name, value);
 }
 
 /// Record `value` into the named process-global log₂ histogram.
-pub fn global_hist_record(name: &'static str, value: u64) {
+pub fn global_hist_record(name: impl Into<MetricName>, value: u64) {
     global().lock().unwrap().hist_record(name, value);
 }
 
@@ -57,13 +59,16 @@ pub fn global_reset() {
 ///   "counters": {"serve.requests": 12},
 ///   "gauges": {"serve.mem_bytes": 1048576.0},
 ///   "histograms": {
-///     "serve.latency_ms": {"count": 12, "sum": 340, "min": 3, "max": 91, "mean": 28.3}
+///     "serve.latency_ms": {"count": 12, "sum": 340, "min": 3, "max": 91,
+///                          "mean": 28.3, "p50": 24, "p95": 77, "p99": 90}
 ///   }
 /// }
 /// ```
 ///
 /// Deterministic (`BTreeMap` order), allocation-light, and hand-rolled
-/// like every other exporter in this crate.
+/// like every other exporter in this crate. Metric names pass through
+/// [`json_escape`], so arbitrary dynamic keys (spaces, quotes, control
+/// characters) always yield valid JSON — fuzzed below.
 pub fn metrics_json(snap: &MetricsSnapshot) -> String {
     let mut out = String::from("{\"counters\":{");
     for (i, (k, v)) in snap.counters.iter().enumerate() {
@@ -85,13 +90,17 @@ pub fn metrics_json(snap: &MetricsSnapshot) -> String {
             out.push(',');
         }
         out.push_str(&format!(
-            "\"{}\":{{\"count\":{},\"sum\":{},\"min\":{},\"max\":{},\"mean\":{}}}",
+            "\"{}\":{{\"count\":{},\"sum\":{},\"min\":{},\"max\":{},\"mean\":{},\
+             \"p50\":{},\"p95\":{},\"p99\":{}}}",
             json_escape(k),
             h.count(),
             h.sum(),
             h.min().unwrap_or(0),
             h.max().unwrap_or(0),
             fmt_f64(h.mean()),
+            h.quantile(0.50).unwrap_or(0),
+            h.quantile(0.95).unwrap_or(0),
+            h.quantile(0.99).unwrap_or(0),
         ));
     }
     out.push_str("}}");
@@ -158,8 +167,50 @@ mod tests {
             json,
             "{\"counters\":{\"a\":1,\"b\":2},\
              \"gauges\":{\"g\":1.5,\"whole\":3.0},\
-             \"histograms\":{\"h\":{\"count\":2,\"sum\":30,\"min\":10,\"max\":20,\"mean\":15.0}}}"
+             \"histograms\":{\"h\":{\"count\":2,\"sum\":30,\"min\":10,\"max\":20,\"mean\":15.0,\
+             \"p50\":15,\"p95\":20,\"p99\":20}}}"
         );
+    }
+
+    #[test]
+    fn metrics_json_escapes_hostile_keys() {
+        let mut r = MetricsRegistry::default();
+        r.counter_add(String::from("with \"quotes\" and \\slashes\\"), 1);
+        r.gauge_set(String::from("ctl\nchars\ttoo"), 2.0);
+        r.hist_record(String::from("route{path=\"/x\"}"), 9);
+        let json = metrics_json(&r.snapshot());
+        let v = serde_json::from_str(&json).expect("valid JSON");
+        assert_eq!(
+            v["counters"]["with \"quotes\" and \\slashes\\"].as_u64(),
+            Some(1)
+        );
+        assert_eq!(v["gauges"]["ctl\nchars\ttoo"].as_f64(), Some(2.0));
+        assert_eq!(
+            v["histograms"]["route{path=\"/x\"}"]["count"].as_u64(),
+            Some(1)
+        );
+    }
+
+    proptest::proptest! {
+        /// Any metric name — control characters, quotes, non-ASCII —
+        /// must still yield parseable JSON with the key recoverable.
+        #[test]
+        fn metrics_json_valid_for_arbitrary_names(
+            codes in proptest::prop::collection::vec(0u32..0x2500, 0usize..48),
+            value in 0u64..1_000_000,
+        ) {
+            let name: String = codes
+                .iter()
+                .map(|&c| char::from_u32(c).unwrap_or('\u{fffd}'))
+                .collect();
+            let mut r = MetricsRegistry::default();
+            r.counter_add(name.clone(), value);
+            r.hist_record(name.clone(), value);
+            let json = metrics_json(&r.snapshot());
+            let v = serde_json::from_str(&json).expect("valid JSON");
+            proptest::prop_assert_eq!(v["counters"][name.as_str()].as_u64(), Some(value));
+            proptest::prop_assert_eq!(v["histograms"][name.as_str()]["count"].as_u64(), Some(1));
+        }
     }
 
     #[test]

@@ -41,6 +41,7 @@
 //! assert_eq!(profile.trace.events.len(), 2);
 //! ```
 
+pub mod flight;
 pub mod global;
 pub mod health;
 pub mod ledger;
@@ -49,21 +50,75 @@ pub mod perfetto;
 pub mod report;
 pub mod span;
 
+pub use flight::{
+    flight_active, flight_arm, flight_event, flight_harvest, flight_set_step, FlightEvent,
+    FlightEventKind, FlightJournal,
+};
 pub use global::{
     global_counter_add, global_gauge_set, global_hist_record, global_reset, global_snapshot,
     metrics_json,
 };
 pub use health::{HealthMonitor, HealthReport, HealthTrip};
 pub use ledger::{LedgerDiff, LedgerMachine, LedgerPhase, LedgerRecord, LEDGER_SCHEMA_VERSION};
-pub use metrics::{LogHistogram, MetricsRegistry, MetricsSnapshot};
+pub use metrics::{LogHistogram, MetricName, MetricsRegistry, MetricsSnapshot};
 pub use perfetto::{perfetto_json, perfetto_tracks, Track, TrackEvent};
 pub use report::{IpmRankInput, IpmReport, PhaseRow, RankRow, TagTraffic};
 pub use span::{RankTrace, Span, SpanEvent};
 
 use std::cell::RefCell;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::OnceLock;
 use std::time::Instant;
+
+/// A compact correlation id minted at the outermost entry point of a
+/// piece of work (an HTTP request, a campaign job submit, a CLI run) and
+/// propagated through every layer that executes on its behalf — daemon →
+/// campaign → batch lanes → solver ranks. Rendered as 16 lowercase hex
+/// digits everywhere it crosses a serialization boundary.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TraceId(pub u64);
+
+impl TraceId {
+    /// Mint a fresh, non-zero id: an FNV-1a mix of the wall clock and a
+    /// process-wide sequence number, so ids are unique within a process
+    /// and overwhelmingly unlikely to collide across processes.
+    pub fn mint() -> Self {
+        static NEXT: AtomicU64 = AtomicU64::new(1);
+        let seq = NEXT.fetch_add(1, Ordering::Relaxed);
+        let nanos = std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.as_nanos() as u64)
+            .unwrap_or(0);
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        for b in nanos.to_le_bytes().into_iter().chain(seq.to_le_bytes()) {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x100_0000_01b3);
+        }
+        if h == 0 {
+            h = seq | 1;
+        }
+        TraceId(h)
+    }
+
+    /// The canonical wire form: 16 lowercase hex digits.
+    pub fn hex(&self) -> String {
+        format!("{:016x}", self.0)
+    }
+
+    /// Parse the canonical wire form (exactly 16 hex digits).
+    pub fn parse_hex(s: &str) -> Option<Self> {
+        if s.len() != 16 {
+            return None;
+        }
+        u64::from_str_radix(s, 16).ok().map(TraceId)
+    }
+}
+
+impl std::fmt::Display for TraceId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:016x}", self.0)
+    }
+}
 
 /// Configuration for one rank's tracer.
 #[derive(Debug, Clone)]
@@ -175,14 +230,17 @@ pub(crate) fn with_obs<R>(f: impl FnOnce(&mut RankObs) -> R) -> Option<R> {
 }
 
 /// Open a scoped span; it closes (and is recorded) when the returned
-/// guard drops. On an uninstrumented thread this is one relaxed atomic
-/// load and returns an inert guard.
+/// guard drops. Spans feed both the tracer ring buffer and, when the
+/// thread's flight recorder is armed, the flight journal. On a thread
+/// with neither instrument this is two relaxed atomic loads and returns
+/// an inert guard — still effectively free next to the work spans wrap.
 #[inline]
 pub fn span(name: &'static str) -> Span {
-    if ACTIVE_TRACERS.load(Ordering::Relaxed) == 0 {
+    let traced = ACTIVE_TRACERS.load(Ordering::Relaxed) != 0;
+    if !traced && !flight::any_armed() {
         return Span::inert();
     }
-    Span::open(name)
+    Span::open(name, traced)
 }
 
 /// Add `delta` to the named counter (no-op without a live tracer).
@@ -271,6 +329,20 @@ mod tests {
         assert_eq!(p.rank, 1);
         assert!(p.trace.events.is_empty());
         assert!(finish_rank().is_none());
+    }
+
+    #[test]
+    fn trace_ids_are_unique_nonzero_and_roundtrip_hex() {
+        let a = TraceId::mint();
+        let b = TraceId::mint();
+        assert_ne!(a, b);
+        assert_ne!(a.0, 0);
+        let hex = a.hex();
+        assert_eq!(hex.len(), 16);
+        assert_eq!(TraceId::parse_hex(&hex), Some(a));
+        assert_eq!(format!("{a}"), hex);
+        assert_eq!(TraceId::parse_hex("zzzz"), None);
+        assert_eq!(TraceId::parse_hex("0123456789abcdeg"), None);
     }
 
     #[test]

@@ -5,10 +5,16 @@
 //! `[2^(i−1), 2^i)` (bucket 64 tops out at `u64::MAX`). Recording is an
 //! `ilog2` and an array increment — cheap enough for per-message use.
 
+use std::borrow::Cow;
 use std::collections::BTreeMap;
 
 /// Number of histogram buckets: zeros + one per bit position.
 pub const HIST_BUCKETS: usize = 65;
+
+/// Metric-name key: `&'static str` call sites stay allocation-free
+/// (`Cow::Borrowed`), while daemons may register dynamic names (per-route
+/// request labels) with owned strings.
+pub type MetricName = Cow<'static, str>;
 
 /// A log₂-scale histogram over `u64` values.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -110,6 +116,42 @@ impl LogHistogram {
         self.max = self.max.max(other.max);
     }
 
+    /// Estimate the `q`-quantile (`q` in `[0, 1]`) of the recorded
+    /// values: walk the cumulative bucket counts to the bucket holding
+    /// the target rank, then interpolate linearly by rank position
+    /// within the bucket's value range (clamped to the observed
+    /// min/max, so estimates never leave the data range). `None` when
+    /// empty. An estimate — exact only when every value in the target
+    /// bucket sits at the interpolated position — but log₂ buckets
+    /// bound the relative error at 2× worst case, plenty for latency
+    /// reporting.
+    pub fn quantile(&self, q: f64) -> Option<u64> {
+        if self.count == 0 {
+            return None;
+        }
+        let q = q.clamp(0.0, 1.0);
+        // Target rank in [1, count].
+        let target = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            if seen + c >= target {
+                let (lo, hi) = Self::bucket_bounds(i);
+                let lo = lo.max(self.min);
+                let hi = hi.min(self.max);
+                if hi <= lo {
+                    return Some(lo);
+                }
+                let frac = (target - seen) as f64 / c as f64;
+                return Some(lo + ((hi - lo) as f64 * frac).round() as u64);
+            }
+            seen += c;
+        }
+        Some(self.max)
+    }
+
     /// The `k` most-populated buckets as `(lo, hi, count)`, ordered by
     /// descending count then ascending lower bound — the IPM "top
     /// message sizes" table.
@@ -133,29 +175,34 @@ impl LogHistogram {
     }
 }
 
-/// Per-rank registry of named metrics. Keys are `&'static str` so
-/// recording never allocates.
+/// Per-rank registry of named metrics. Keys are [`MetricName`]s: the hot
+/// paths pass `&'static str` (a `Cow::Borrowed` — recording never
+/// allocates), while daemon surfaces may register dynamic names such as
+/// per-route request labels.
 #[derive(Debug, Default)]
 pub struct MetricsRegistry {
-    counters: BTreeMap<&'static str, u64>,
-    gauges: BTreeMap<&'static str, f64>,
-    histograms: BTreeMap<&'static str, LogHistogram>,
+    counters: BTreeMap<MetricName, u64>,
+    gauges: BTreeMap<MetricName, f64>,
+    histograms: BTreeMap<MetricName, LogHistogram>,
 }
 
 impl MetricsRegistry {
     /// Add `delta` to a counter (created at 0 on first use).
-    pub fn counter_add(&mut self, name: &'static str, delta: u64) {
-        *self.counters.entry(name).or_default() += delta;
+    pub fn counter_add(&mut self, name: impl Into<MetricName>, delta: u64) {
+        *self.counters.entry(name.into()).or_default() += delta;
     }
 
     /// Set a gauge to its latest value.
-    pub fn gauge_set(&mut self, name: &'static str, value: f64) {
-        self.gauges.insert(name, value);
+    pub fn gauge_set(&mut self, name: impl Into<MetricName>, value: f64) {
+        self.gauges.insert(name.into(), value);
     }
 
     /// Record into a histogram (created empty on first use).
-    pub fn hist_record(&mut self, name: &'static str, value: u64) {
-        self.histograms.entry(name).or_default().record(value);
+    pub fn hist_record(&mut self, name: impl Into<MetricName>, value: u64) {
+        self.histograms
+            .entry(name.into())
+            .or_default()
+            .record(value);
     }
 
     /// Immutable copy with owned keys (deterministic `BTreeMap` order).
@@ -248,7 +295,48 @@ mod tests {
         assert_eq!(h.min(), None);
         assert_eq!(h.max(), None);
         assert_eq!(h.mean(), 0.0);
+        assert_eq!(h.quantile(0.5), None);
         assert!(h.top_k(3).is_empty());
+    }
+
+    #[test]
+    fn quantiles_walk_cumulative_buckets() {
+        let mut h = LogHistogram::default();
+        // 100 values of 100 (bucket [64,127]) and 1 value of 100_000.
+        for _ in 0..100 {
+            h.record(100);
+        }
+        h.record(100_000);
+        // Low/median quantiles stay inside the dominant bucket, clamped
+        // to the observed range.
+        let p50 = h.quantile(0.5).unwrap();
+        assert!((100..=127).contains(&p50), "p50 {p50}");
+        // p99 = rank 100 of 101, still the dominant bucket.
+        let p99 = h.quantile(0.99).unwrap();
+        assert!(p99 <= 127, "p99 {p99}");
+        // The max quantile reaches the outlier exactly (clamped to max).
+        assert_eq!(h.quantile(1.0), Some(100_000));
+        // Degenerate single-value histogram: every quantile is the value.
+        let mut one = LogHistogram::default();
+        one.record(42);
+        for q in [0.0, 0.5, 0.99, 1.0] {
+            assert_eq!(one.quantile(q), Some(42));
+        }
+    }
+
+    #[test]
+    fn dynamic_string_keys_coexist_with_static_keys() {
+        let mut r = MetricsRegistry::default();
+        r.counter_add("static.key", 1);
+        r.counter_add(String::from("dyn{route=\"/x\",outcome=\"200\"}"), 2);
+        r.hist_record(String::from("h dyn"), 7);
+        let s = r.snapshot();
+        assert_eq!(s.counters.get("static.key"), Some(&1));
+        assert_eq!(
+            s.counters.get("dyn{route=\"/x\",outcome=\"200\"}"),
+            Some(&2)
+        );
+        assert_eq!(s.histograms.get("h dyn").unwrap().count(), 1);
     }
 
     #[test]

@@ -295,6 +295,14 @@ impl IpmReport {
                 o.push_str(&format!("# [{lo}, {hi}] B{:>width$}\n", c, width = 12));
             }
         }
+        if self.size_hist.count() > 0 {
+            o.push_str(&format!(
+                "# size quantiles : p50 {} B   p95 {} B   p99 {} B\n",
+                self.size_hist.quantile(0.50).unwrap_or(0),
+                self.size_hist.quantile(0.95).unwrap_or(0),
+                self.size_hist.quantile(0.99).unwrap_or(0),
+            ));
+        }
         o.push_str("#\n# rank     wall(s)    comm(s)   comm%      sent B      recv B    msgs\n");
         for r in &self.per_rank {
             o.push_str(&format!(
@@ -361,7 +369,13 @@ impl IpmReport {
             }
             o.push_str(&format!("{{\"lo\":{lo},\"hi\":{hi},\"count\":{c}}}"));
         }
-        o.push_str("],\"per_rank\":[");
+        o.push_str(&format!(
+            "],\"size_quantiles\":{{\"p50\":{},\"p95\":{},\"p99\":{}}},",
+            self.size_hist.quantile(0.50).unwrap_or(0),
+            self.size_hist.quantile(0.95).unwrap_or(0),
+            self.size_hist.quantile(0.99).unwrap_or(0),
+        ));
+        o.push_str("\"per_rank\":[");
         for (i, r) in self.per_rank.iter().enumerate() {
             if i > 0 {
                 o.push(',');
@@ -449,5 +463,15 @@ mod tests {
         assert!(text.contains("comm       : mean 5.00 %"));
         assert!(text.contains("forces"));
         assert!(text.contains("message size bucket"));
+        // Single recorded size (1000 B): every quantile is the value.
+        assert!(text.contains("size quantiles : p50 1000 B   p95 1000 B   p99 1000 B"));
+    }
+
+    #[test]
+    fn json_carries_size_quantiles() {
+        let r = IpmReport::build(&[input(0, 2.0, 0.1, 1000)]);
+        let json = r.to_json();
+        assert!(json.contains("\"size_quantiles\":{\"p50\":1000,\"p95\":1000,\"p99\":1000}"));
+        serde_json::from_str(&json).expect("valid JSON");
     }
 }

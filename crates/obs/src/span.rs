@@ -7,6 +7,7 @@
 //! so the recorded event set always forms a well-formed tree — verified
 //! by [`RankTrace::check_well_formed`] and the crate's proptests.
 
+use crate::flight::{self, FlightEventKind};
 use crate::{now_ns, with_obs};
 
 /// One completed span.
@@ -123,17 +124,33 @@ impl SpanRecorder {
 /// RAII guard returned by [`crate::span`].
 pub struct Span {
     id: Option<u64>,
+    /// `(name, start_ns)` when this thread's flight recorder is armed —
+    /// the span is then also journaled as enter/exit flight events.
+    flight: Option<(&'static str, u64)>,
 }
 
 impl Span {
     pub(crate) fn inert() -> Self {
-        Span { id: None }
+        Span {
+            id: None,
+            flight: None,
+        }
     }
 
-    pub(crate) fn open(name: &'static str) -> Self {
-        Span {
-            id: with_obs(|o| o.spans.open(name)),
-        }
+    pub(crate) fn open(name: &'static str, traced: bool) -> Self {
+        let id = if traced {
+            with_obs(|o| o.spans.open(name))
+        } else {
+            None
+        };
+        let flight = if flight::flight_active() {
+            let t0 = now_ns();
+            flight::flight_event_at(t0, FlightEventKind::SpanEnter, name, 0, 0);
+            Some((name, t0))
+        } else {
+            None
+        };
+        Span { id, flight }
     }
 }
 
@@ -141,6 +158,10 @@ impl Drop for Span {
     fn drop(&mut self) {
         if let Some(id) = self.id {
             with_obs(|o| o.spans.close(id));
+        }
+        if let Some((name, t0)) = self.flight {
+            let t1 = now_ns();
+            flight::flight_event_at(t1, FlightEventKind::SpanExit, name, t1 - t0, 0);
         }
     }
 }

@@ -40,7 +40,7 @@ pub mod request;
 
 pub use request::{parse_request, ServeError, SimRequest};
 
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 use std::io::{BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::path::PathBuf;
@@ -55,7 +55,10 @@ use specfem_core::obs::ledger::{self, LedgerMachine, LedgerRecord, LEDGER_SCHEMA
 use specfem_core::parfile::ServeKnobs;
 use specfem_core::Simulation;
 use specfem_io::{CachedResult, ResultCache, ResultCacheOutcome, ResultKey};
-use specfem_obs::{global_counter_add, global_hist_record, global_snapshot, metrics_json};
+use specfem_obs::{
+    global_counter_add, global_hist_record, global_snapshot, json_escape, metrics_json,
+    perfetto_tracks, TraceId, Track, TrackEvent,
+};
 
 /// Daemon configuration. [`ServeConfig::from_knobs`] maps the Par_file
 /// knobs (`SERVE_ADDR`, `RESULT_CACHE_BYTES`, `REQUEST_DEADLINE_MS`)
@@ -135,6 +138,23 @@ struct LedgerBatch {
     element_steps: u64,
 }
 
+/// Completed solves the `GET /jobs` endpoint remembers (newest last).
+const JOB_LOG_CAPACITY: usize = 256;
+/// Stitched per-request timelines `GET /trace/<id>` can answer.
+const TRACE_STORE_CAPACITY: usize = 64;
+
+/// One completed solve, as `GET /jobs` reports it.
+struct JobSummary {
+    name: String,
+    trace_id: Option<String>,
+    ok: bool,
+    error: Option<String>,
+    attempts: usize,
+    run_s: f64,
+    element_steps: u64,
+    dossier: Option<String>,
+}
+
 /// Shared daemon state: the cache, the single-flight table, and the
 /// pipe into the scheduler thread.
 struct Engine {
@@ -149,6 +169,11 @@ struct Engine {
     solve_errors: AtomicU64,
     workers: usize,
     ledger: Option<LedgerSink>,
+    /// Ring of recent solve outcomes (`GET /jobs`).
+    jobs_log: Mutex<VecDeque<JobSummary>>,
+    /// Ring of `(trace id hex, stitched Perfetto JSON)` per traced solve
+    /// (`GET /trace/<id>`).
+    traces: Mutex<VecDeque<(String, String)>>,
 }
 
 impl Engine {
@@ -257,6 +282,87 @@ impl Engine {
         };
     }
 
+    /// Remember a finished solve for `GET /jobs`, and stitch its
+    /// cross-layer timeline into the trace store when it ran under a
+    /// correlation id. Runs on campaign worker threads via the
+    /// completion hook.
+    fn record_job(&self, outcome: &specfem_campaign::JobOutcome) {
+        let summary = JobSummary {
+            name: outcome.name.clone(),
+            trace_id: outcome.telemetry.trace_id.clone(),
+            ok: outcome.result.is_ok(),
+            error: outcome.result.as_ref().err().cloned(),
+            attempts: outcome.attempts,
+            run_s: outcome.run_s,
+            element_steps: outcome.element_steps,
+            dossier: outcome.telemetry.dossier.clone(),
+        };
+        {
+            let mut log = self.jobs_log.lock().unwrap();
+            if log.len() == JOB_LOG_CAPACITY {
+                log.pop_front();
+            }
+            log.push_back(summary);
+        }
+        if let Some(id) = &outcome.telemetry.trace_id {
+            let json = stitch_timeline(outcome, id);
+            let mut traces = self.traces.lock().unwrap();
+            if traces.len() == TRACE_STORE_CAPACITY {
+                traces.pop_front();
+            }
+            traces.push_back((id.clone(), json));
+        }
+    }
+
+    /// Handle `GET /jobs`: recent solves, oldest first.
+    fn jobs_json(&self) -> String {
+        let log = self.jobs_log.lock().unwrap();
+        let mut out = String::from("{\"jobs\":[");
+        for (i, j) in log.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "{{\"name\":\"{}\",\"ok\":{},\"attempts\":{},\"run_s\":{:.6},\
+                 \"element_steps\":{}",
+                json_escape(&j.name),
+                j.ok,
+                j.attempts,
+                j.run_s,
+                j.element_steps
+            ));
+            if let Some(id) = &j.trace_id {
+                out.push_str(&format!(",\"trace_id\":\"{}\"", json_escape(id)));
+            }
+            if let Some(e) = &j.error {
+                out.push_str(&format!(",\"error\":\"{}\"", json_escape(e)));
+            }
+            if let Some(d) = &j.dossier {
+                out.push_str(&format!(",\"dossier\":\"{}\"", json_escape(d)));
+            }
+            out.push('}');
+        }
+        out.push_str("]}");
+        out
+    }
+
+    /// Handle `GET /trace/<id>`: the stitched Perfetto timeline of the
+    /// solve that ran under that correlation id.
+    fn trace_json(&self, id: &str) -> (u16, &'static str, String) {
+        let traces = self.traces.lock().unwrap();
+        match traces.iter().rev().find(|(k, _)| k == id) {
+            Some((_, json)) => (200, "OK", json.clone()),
+            None => {
+                let e = ServeError {
+                    status: 404,
+                    code: "unknown_trace",
+                    message: format!("no timeline stored for trace id {id}"),
+                };
+                (404, e.reason(), e.to_json())
+            }
+        }
+    }
+
     /// Register for `key`'s in-flight solve (submitting the job when
     /// this is the first waiter), or return the cached value if the
     /// solve completed in the window since the caller's cache miss.
@@ -266,6 +372,7 @@ impl Engine {
         mut sim: Simulation,
         priority: i32,
         deadline: Option<Duration>,
+        trace: TraceId,
     ) -> Result<Admission, ServeError> {
         let mut map = self.inflight.lock().unwrap();
         // Re-check under the lock: `complete` puts into the cache
@@ -282,9 +389,15 @@ impl Engine {
         drop(map);
         if first {
             // Wire the request deadline into the solver's straggler
-            // watchdog; the result key deliberately ignores it.
+            // watchdog; the result key deliberately ignores it. Traced
+            // rank spans are what `GET /trace/<id>` stitches, so solves
+            // admitted by the daemon always record them (the key ignores
+            // that knob too — hits and misses answer identically).
             sim.config.watchdog_timeout = deadline;
-            let job = Job::new(format!("req_{}", key.hex()), sim).priority(priority);
+            sim.config.trace = true;
+            let job = Job::new(format!("req_{}", key.hex()), sim)
+                .priority(priority)
+                .trace(trace);
             let sent = match &*self.jobs_tx.lock().unwrap() {
                 Some(tx) => tx.send(job).is_ok(),
                 None => false,
@@ -305,35 +418,39 @@ impl Engine {
     fn simulate(&self, body: &[u8]) -> (u16, &'static str, String) {
         self.requests.fetch_add(1, Ordering::Relaxed);
         global_counter_add("serve.requests", 1);
+        // The request is an outermost entry point: every `/simulate`
+        // gets its own correlation id, echoed in the response (success
+        // or error) so the caller can come back for `GET /trace/<id>`.
+        let trace = TraceId::mint();
         let t0 = Instant::now();
-        let reply = self.simulate_inner(body);
+        let reply = self.simulate_inner(body, trace);
         global_hist_record("serve.latency_ms", t0.elapsed().as_millis() as u64);
         match reply {
             Ok(body) => (200, "OK", body),
             Err(e) => {
                 global_counter_add("serve.request_errors", 1);
-                (e.status, e.reason(), e.to_json())
+                (e.status, e.reason(), error_json(&e, trace))
             }
         }
     }
 
-    fn simulate_inner(&self, body: &[u8]) -> Result<String, ServeError> {
+    fn simulate_inner(&self, body: &[u8], trace: TraceId) -> Result<String, ServeError> {
         let req = parse_request(body)?;
         let sim = req.build()?;
         let key = sim.result_key();
         let (hit, outcome) = self.cache.get(key);
         if let Some(value) = hit {
             global_counter_add(outcome_counter(outcome), 1);
-            return Ok(result_json(key, outcome.as_str(), &value));
+            return Ok(result_json(key, trace, outcome.as_str(), &value));
         }
         let deadline = req
             .deadline_ms
             .map(Duration::from_millis)
             .or(self.default_deadline);
-        let rx = match self.wait_or_submit(key, sim, req.priority, deadline)? {
+        let rx = match self.wait_or_submit(key, sim, req.priority, deadline, trace)? {
             Ok((value, outcome)) => {
                 global_counter_add(outcome_counter(outcome), 1);
-                return Ok(result_json(key, outcome.as_str(), &value));
+                return Ok(result_json(key, trace, outcome.as_str(), &value));
             }
             Err(rx) => rx,
         };
@@ -354,7 +471,12 @@ impl Engine {
         match received {
             Ok(value) => {
                 global_counter_add("serve.cache_misses_solved", 1);
-                Ok(result_json(key, ResultCacheOutcome::Miss.as_str(), &value))
+                Ok(result_json(
+                    key,
+                    trace,
+                    ResultCacheOutcome::Miss.as_str(),
+                    &value,
+                ))
             }
             Err(msg) => {
                 // A watchdog trip is the deadline surfacing from inside
@@ -399,12 +521,72 @@ impl Engine {
     }
 }
 
+/// Stitch one solve into a single cross-layer Perfetto timeline: a
+/// `request` track spanning the job's life in the worker (queue handoff
+/// to completion), plus one track per solver rank carrying its recorded
+/// spans. Every layer shares the process trace epoch, so the rows line
+/// up on one wall-clock axis.
+fn stitch_timeline(o: &specfem_campaign::JobOutcome, trace_id: &str) -> String {
+    let mut tracks = vec![Track {
+        name: "request".to_string(),
+        tid: 0,
+        events: vec![TrackEvent {
+            name: format!(
+                "{} [trace {}, {}{}]",
+                o.name,
+                trace_id,
+                o.cache.as_str(),
+                if o.attempts > 1 {
+                    format!(", {} attempts", o.attempts)
+                } else {
+                    String::new()
+                }
+            ),
+            start_ns: o.start_ns,
+            dur_ns: o.end_ns.saturating_sub(o.start_ns),
+            depth: 0,
+        }],
+    }];
+    if let Ok(res) = &o.result {
+        for r in &res.ranks {
+            if let Some(profile) = &r.profile {
+                tracks.push(Track {
+                    name: format!("rank {}", r.rank),
+                    tid: 1 + r.rank,
+                    events: profile
+                        .trace
+                        .events
+                        .iter()
+                        .map(|e| TrackEvent {
+                            name: e.name.to_string(),
+                            start_ns: e.start_ns,
+                            dur_ns: e.dur_ns,
+                            depth: e.depth,
+                        })
+                        .collect(),
+                });
+            }
+        }
+    }
+    perfetto_tracks(&tracks)
+}
+
 fn outcome_counter(outcome: ResultCacheOutcome) -> &'static str {
     match outcome {
         ResultCacheOutcome::MemHit => "serve.mem_hits",
         ResultCacheOutcome::DiskHit => "serve.disk_hits",
         ResultCacheOutcome::Miss => "serve.misses",
     }
+}
+
+/// An error response body carrying the request's correlation id.
+fn error_json(e: &ServeError, trace: TraceId) -> String {
+    format!(
+        "{{\"error\":{{\"code\":\"{}\",\"message\":\"{}\"}},\"trace_id\":\"{}\"}}",
+        e.code,
+        json_escape(&e.message),
+        trace.hex()
+    )
 }
 
 fn shutdown_error() -> ServeError {
@@ -418,11 +600,13 @@ fn shutdown_error() -> ServeError {
 /// Serialize one result. `f32`/`f64` `Display` is shortest-round-trip,
 /// so `value → JSON → parse → cast` reproduces the exact bits — the
 /// differential tests compare `to_bits` across this boundary.
-fn result_json(key: ResultKey, cache: &str, r: &CachedResult) -> String {
+fn result_json(key: ResultKey, trace: TraceId, cache: &str, r: &CachedResult) -> String {
     let mut out = String::with_capacity(256 + r.approx_bytes());
     out.push_str(&format!(
-        "{{\"key\":\"{}\",\"cache\":\"{cache}\",\"element_steps\":{},\"seismograms\":[",
+        "{{\"key\":\"{}\",\"trace_id\":\"{}\",\"cache\":\"{cache}\",\
+         \"element_steps\":{},\"seismograms\":[",
         key.hex(),
+        trace.hex(),
         r.element_steps
     ));
     for (i, s) in r.seismograms.iter().enumerate() {
@@ -524,6 +708,8 @@ pub fn serve(cfg: ServeConfig) -> std::io::Result<ServerHandle> {
                 element_steps: 0,
             }),
         }),
+        jobs_log: Mutex::new(VecDeque::new()),
+        traces: Mutex::new(VecDeque::new()),
     });
 
     let scheduler = {
@@ -561,6 +747,7 @@ fn scheduler_loop(engine: Arc<Engine>, jobs_rx: Receiver<Job>, cfg: CampaignConf
     {
         let engine = Arc::clone(&engine);
         campaign.on_completion(move |outcome| {
+            engine.record_job(outcome);
             let Some(hex) = outcome.name.strip_prefix("req_") else {
                 return;
             };
@@ -638,15 +825,41 @@ fn handle_connection(stream: TcpStream, engine: Arc<Engine>) {
 }
 
 fn route(engine: &Arc<Engine>, req: &http::Request) -> (u16, &'static str, String) {
+    let t0 = Instant::now();
+    let reply = route_inner(engine, req);
+    // Per-route × per-outcome request latency. The label set is bounded:
+    // unknown paths all share the "other" row, so a scanner cannot grow
+    // the registry, and hostile path bytes are escaped by `metrics_json`
+    // anyway.
+    let route_label = match req.path.as_str() {
+        "/health" | "/metrics" | "/simulate" | "/shutdown" | "/jobs" => req.path.as_str(),
+        p if p.starts_with("/trace/") => "/trace",
+        _ => "other",
+    };
+    global_hist_record(
+        format!(
+            "serve.latency_ms{{route=\"{route_label}\",outcome=\"{}\"}}",
+            reply.0
+        ),
+        t0.elapsed().as_millis() as u64,
+    );
+    reply
+}
+
+fn route_inner(engine: &Arc<Engine>, req: &http::Request) -> (u16, &'static str, String) {
     match (req.method.as_str(), req.path.as_str()) {
         ("GET", "/health") => (200, "OK", engine.health_json()),
         ("GET", "/metrics") => (200, "OK", metrics_json(&global_snapshot())),
+        ("GET", "/jobs") => (200, "OK", engine.jobs_json()),
+        ("GET", path) if path.starts_with("/trace/") => {
+            engine.trace_json(path.trim_start_matches("/trace/"))
+        }
         ("POST", "/simulate") => engine.simulate(&req.body),
         ("POST", "/shutdown") => {
             engine.shutdown.store(true, Ordering::SeqCst);
             (200, "OK", "{\"status\":\"shutting_down\"}".to_string())
         }
-        ("GET" | "POST", "/health" | "/metrics" | "/simulate" | "/shutdown") => {
+        ("GET" | "POST", "/health" | "/metrics" | "/simulate" | "/shutdown" | "/jobs") => {
             let e = ServeError {
                 status: 405,
                 code: "method_not_allowed",

@@ -287,6 +287,77 @@ fn validation_and_routing_over_the_wire() {
 }
 
 #[test]
+fn requests_carry_trace_ids_end_to_end() {
+    let daemon = start(tmp_dir("tracing"));
+    let addr = daemon.addr();
+
+    // A cold request mints a correlation id and echoes it.
+    let (status, body) = client::post(addr, "/simulate", REQ).unwrap();
+    assert_eq!(status, 200, "{body}");
+    let v: Value = serde_json::from_str(&body).unwrap();
+    let trace_id = v.get("trace_id").unwrap().as_str().unwrap().to_string();
+    assert_eq!(trace_id.len(), 16, "trace id is 16 hex digits: {trace_id}");
+    assert!(trace_id.chars().all(|c| c.is_ascii_hexdigit()));
+
+    // The job ledger remembers the solve under the same id.
+    let (status, jobs) = client::get(addr, "/jobs").unwrap();
+    assert_eq!(status, 200, "{jobs}");
+    let v: Value = serde_json::from_str(&jobs).unwrap();
+    let rows = v.get("jobs").unwrap().as_array().unwrap();
+    assert!(!rows.is_empty());
+    let row = rows
+        .iter()
+        .find(|r| r.get("trace_id").and_then(|t| t.as_str()) == Some(trace_id.as_str()))
+        .expect("the solve appears in /jobs under its trace id");
+    assert!(row.get("ok").unwrap().as_bool().unwrap());
+
+    // The stitched timeline: one request track plus the solver rank's
+    // spans, on one shared clock axis.
+    let (status, timeline) = client::get(addr, &format!("/trace/{trace_id}")).unwrap();
+    assert_eq!(status, 200, "{timeline}");
+    let v: Value = serde_json::from_str(&timeline).expect("timeline is valid JSON");
+    assert!(!v.get("traceEvents").unwrap().as_array().unwrap().is_empty());
+    assert!(timeline.contains("\"request\""), "{timeline}");
+    assert!(timeline.contains("rank 0"), "{timeline}");
+    assert!(timeline.contains(&trace_id));
+
+    // Unknown ids are a typed 404, not a hang or a panic.
+    let (status, missing) = client::get(addr, "/trace/0000000000000000").unwrap();
+    assert_eq!(status, 404, "{missing}");
+    let v: Value = serde_json::from_str(&missing).unwrap();
+    assert_eq!(
+        v.get("error")
+            .unwrap()
+            .get("code")
+            .unwrap()
+            .as_str()
+            .unwrap(),
+        "unknown_trace"
+    );
+
+    // Error responses carry a trace id too.
+    let (status, err) = client::post(addr, "/simulate", "not json").unwrap();
+    assert_eq!(status, 400);
+    let v: Value = serde_json::from_str(&err).unwrap();
+    assert_eq!(v.get("trace_id").unwrap().as_str().unwrap().len(), 16);
+
+    // Per-route × per-outcome latency histograms in /metrics.
+    let (status, metrics) = client::get(addr, "/metrics").unwrap();
+    assert_eq!(status, 200);
+    let v: Value = serde_json::from_str(&metrics).expect("metrics stay valid JSON");
+    let hists = v.get("histograms").unwrap();
+    let ok_row = hists.get("serve.latency_ms{route=\"/simulate\",outcome=\"200\"}");
+    assert!(
+        ok_row.is_some_and(|r| r.get("count").unwrap().as_u64().unwrap() >= 1),
+        "{metrics}"
+    );
+    let err_row = hists.get("serve.latency_ms{route=\"/simulate\",outcome=\"400\"}");
+    assert!(err_row.is_some(), "{metrics}");
+
+    daemon.shutdown();
+}
+
+#[test]
 fn shutdown_endpoint_stops_the_daemon_cleanly() {
     let daemon = start(tmp_dir("shutdown"));
     let addr = daemon.addr();

@@ -151,6 +151,21 @@ pub struct SolverConfig {
     /// rate 1 — the differential oracle configuration that must be 0-ULP
     /// bit-identical to the plain timeloop (`tests/lts_equivalence.rs`).
     pub lts_all_rate_one: bool,
+    /// `FLIGHT_RECORDER`: arm the per-rank flight recorder — a fixed-size
+    /// ring journal of recent span/comm/health/checkpoint events kept so
+    /// a failed run can write a crash dossier from its last moments. Off
+    /// by default; when off a would-be journal entry costs one relaxed
+    /// atomic load, and when on the recorder only reads metadata, so the
+    /// physics is bit-identical either way
+    /// (`tests/flight_recorder.rs`).
+    pub flight_recorder: bool,
+    /// `FLIGHT_BUFFER_EVENTS`: ring capacity of each rank's flight
+    /// journal in events (clamped to at least 16).
+    pub flight_buffer_events: usize,
+    /// Correlation id of the request/job this run executes for; stamped
+    /// onto each `RankResult` and any crash dossier. `None` for runs
+    /// nobody is tracing end-to-end.
+    pub trace_id: Option<specfem_obs::TraceId>,
 }
 
 impl Default for SolverConfig {
@@ -180,6 +195,9 @@ impl Default for SolverConfig {
             watchdog_timeout: None,
             lts_max_rate: 1,
             lts_all_rate_one: false,
+            flight_recorder: false,
+            flight_buffer_events: 1024,
+            trace_id: None,
         }
     }
 }

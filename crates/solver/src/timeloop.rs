@@ -113,6 +113,10 @@ pub struct RankResult {
     /// Clustered local-time-stepping telemetry (`Some` only when LTS ran:
     /// `lts_max_rate > 1` or the rate-1 oracle hook).
     pub lts: Option<LtsSummary>,
+    /// Correlation id of the request/job this run executed for, echoed
+    /// from `config.trace_id` so result consumers can stitch the rank
+    /// into an end-to-end timeline.
+    pub trace_id: Option<specfem_obs::TraceId>,
 }
 
 impl RankResult {
@@ -1006,6 +1010,12 @@ impl RankSolver {
         // Restored fields have a fresh (possibly large) baseline norm; the
         // growth tracker must not read the jump from zero as a blow-up.
         self.health.re_arm();
+        specfem_obs::flight_event(
+            specfem_obs::FlightEventKind::Restore,
+            "",
+            self.start_step as u64,
+            0,
+        );
         Ok(())
     }
 
@@ -1036,6 +1046,7 @@ impl RankSolver {
         };
         let t0 = Instant::now();
         for istep in self.start_step..self.config.nsteps {
+            specfem_obs::flight_set_step(istep as u64);
             let t_step =
                 (sample_every > 0 && istep.is_multiple_of(sample_every)).then(Instant::now);
             self.step(istep, comm)?;
@@ -1052,14 +1063,27 @@ impl RankSolver {
                 if let Some(mut report) = self.health.check(comm.rank(), istep, &fields) {
                     report.element = attribute_element(&self.mesh, report.field, report.point);
                     specfem_obs::counter_add("health.trips", 1);
+                    specfem_obs::flight_event(
+                        specfem_obs::FlightEventKind::HealthTrip,
+                        report.field,
+                        report.point as u64,
+                        0,
+                    );
                     return Err(SolverError::Health(report));
                 }
                 specfem_obs::counter_add("health.samples", 1);
+                specfem_obs::flight_event(specfem_obs::FlightEventKind::HealthSample, "", 0, 0);
             }
             if self.config.checkpoint_every > 0 && (istep + 1) % self.config.checkpoint_every == 0 {
                 if let Some(sink) = sink.as_mut() {
                     let state = self.capture_checkpoint(comm.rank(), comm.size(), istep + 1);
                     sink.write(&state)?;
+                    specfem_obs::flight_event(
+                        specfem_obs::FlightEventKind::Checkpoint,
+                        "",
+                        (istep + 1) as u64,
+                        0,
+                    );
                 }
             }
         }
@@ -1106,6 +1130,7 @@ impl RankSolver {
             snapshots,
             profile: specfem_obs::finish_rank(),
             lts,
+            trace_id: self.config.trace_id,
         })
     }
 }
@@ -1131,6 +1156,9 @@ pub fn try_run_serial(
 ) -> Result<RankResult, SolverError> {
     if config.trace {
         specfem_obs::init_rank(0, &specfem_obs::TraceConfig::default());
+    }
+    if config.flight_recorder {
+        specfem_obs::flight_arm(0, config.flight_buffer_events);
     }
     let local = Partition::serial(mesh).extract(mesh, 0);
     let base = SerialComm::new();
@@ -1158,6 +1186,11 @@ pub fn try_run_serial(
         // A failed run never reached the harvest in `try_run`; drop the
         // recorder so the global tracer gate is released.
         let _ = specfem_obs::finish_rank();
+    }
+    if let Some(journal) = specfem_obs::flight_harvest() {
+        if let Some(deposit) = opts.flight {
+            deposit(journal);
+        }
     }
     out
 }
@@ -1190,6 +1223,12 @@ pub struct FtOptions<'a> {
     pub restore: Option<
         &'a (dyn Fn(usize, &LocalMesh) -> Result<Option<CheckpointState>, CheckpointError> + Sync),
     >,
+    /// Receive the rank's harvested flight journal when
+    /// `config.flight_recorder` armed one — called from the rank's own
+    /// thread on both success and failure exits, so a crash-dossier
+    /// writer sees every surviving rank's journal. `None` discards
+    /// harvested journals.
+    pub flight: Option<&'a (dyn Fn(specfem_obs::FlightJournal) + Sync)>,
 }
 
 /// The fault-tolerant `mpirun` analog: per-rank typed results instead of a
@@ -1256,6 +1295,9 @@ pub fn try_run_partitioned(
             // the trace too.
             specfem_obs::init_rank(rank, &specfem_obs::TraceConfig::default());
         }
+        if config.flight_recorder {
+            specfem_obs::flight_arm(rank, config.flight_buffer_events);
+        }
         let mut comm: Box<dyn Communicator> = match &config.fault_plan {
             Some(plan) => Box::new(FaultyComm::new(base, plan)),
             None => Box::new(base),
@@ -1281,6 +1323,11 @@ pub fn try_run_partitioned(
             // A failed rank never reached the harvest in `try_run`; drop
             // its recorder so the global tracer gate is released.
             let _ = specfem_obs::finish_rank();
+        }
+        if let Some(journal) = specfem_obs::flight_harvest() {
+            if let Some(deposit) = opts.flight {
+                deposit(journal);
+            }
         }
         out
     };

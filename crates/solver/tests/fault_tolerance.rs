@@ -232,6 +232,7 @@ fn killed_run_resumes_bit_identical() {
         FtOptions {
             sink_factory: Some(&sink_factory),
             restore: None,
+            flight: None,
         },
     );
     assert!(
@@ -280,6 +281,7 @@ fn killed_run_resumes_bit_identical() {
         FtOptions {
             sink_factory: Some(&sink_factory),
             restore: Some(&restore),
+            flight: None,
         },
     );
     let resumed: Vec<_> = resumed
@@ -350,6 +352,7 @@ fn mismatched_checkpoint_is_rejected() {
         FtOptions {
             sink_factory: None,
             restore: Some(&restore),
+            flight: None,
         },
     );
     for r in results {

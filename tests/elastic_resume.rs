@@ -74,6 +74,7 @@ fn checkpoint_at_w4_resumes_at_r2_and_r8() {
                 checkpoint_dir: Some(&oracle_dir),
                 resume: false,
                 world: Some(4),
+                dossier_dir: None,
             },
         )
         .unwrap();
@@ -91,6 +92,7 @@ fn checkpoint_at_w4_resumes_at_r2_and_r8() {
             checkpoint_dir: Some(&ckpt),
             resume: false,
             world: Some(4),
+            dossier_dir: None,
         },
     );
     assert!(err.is_err(), "the injected kill must abort the run");
@@ -123,6 +125,7 @@ fn checkpoint_at_w4_resumes_at_r2_and_r8() {
                 checkpoint_dir: Some(&ckpt),
                 resume: true,
                 world: Some(2),
+                dossier_dir: None,
             },
         )
         .unwrap();
@@ -138,6 +141,7 @@ fn checkpoint_at_w4_resumes_at_r2_and_r8() {
                 checkpoint_dir: Some(&ckpt8),
                 resume: true,
                 world: Some(8),
+                dossier_dir: None,
             },
         )
         .unwrap();

@@ -1,0 +1,441 @@
+//! Flight-recorder acceptance suite (DESIGN.md §3l).
+//!
+//! Two contracts:
+//!
+//! 1. **Bit transparency** — arming the flight recorder (and tracing)
+//!    must leave the physics 0-ULP bit-identical to a disabled run:
+//!    seismograms and final checkpointed fields, both kernel families,
+//!    serial and partitioned. The recorder only ever reads metadata,
+//!    and the differential oracle here is what enforces that claim.
+//! 2. **Crash dossiers** — each injected failure class (NaN health
+//!    trip, watchdog stall, rank kill, torn checkpoint artifact)
+//!    yields exactly one merged SFCN dossier container naming the
+//!    failing rank/step, written atomically next to the checkpoints.
+
+use std::path::PathBuf;
+use std::time::Duration;
+
+use specfem_core::comm::FaultPlan;
+use specfem_core::io::{read_crash_dossier, DOSSIER_KIND};
+use specfem_core::{KernelVariant, NetworkProfile, RunOptions, Simulation};
+
+#[path = "common/oracle.rs"]
+mod oracle;
+
+fn tmp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("specfem_flight_{tag}"));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn base_sim(variant: KernelVariant, armed: bool) -> Simulation {
+    Simulation::builder()
+        .resolution(4)
+        .steps(12)
+        .stations(3)
+        .catalogue_event("argentina_deep")
+        .kernel(variant)
+        .flight_recorder(armed)
+        .flight_buffer_events(256)
+        .configure(|c| {
+            c.checkpoint_every = 12; // exactly one final capture
+            if armed {
+                // Worst case for transparency: journal *and* tracer on.
+                c.trace = true;
+            }
+        })
+        .build()
+        .unwrap()
+}
+
+/// Contract 1: armed vs disabled is 0-ULP on seismograms and final
+/// checkpointed fields, per kernel family, serial and partitioned.
+#[test]
+fn armed_recorder_is_bit_transparent_to_the_physics() {
+    for variant in [KernelVariant::Reference, KernelVariant::Simd] {
+        // Serial path.
+        let off = base_sim(variant, false);
+        let on = base_sim(variant, true);
+        let (mesh, _) = off.build_mesh();
+
+        let dir_off = tmp_dir(&format!("{variant:?}_serial_off"));
+        let dir_on = tmp_dir(&format!("{variant:?}_serial_on"));
+        let serial_off = off
+            .try_run_with_mesh(
+                &mesh,
+                RunOptions {
+                    profile: None,
+                    checkpoint_dir: Some(&dir_off),
+                    resume: false,
+                    world: None,
+                    dossier_dir: None,
+                },
+            )
+            .unwrap();
+        let serial_on = on
+            .try_run_with_mesh(
+                &mesh,
+                RunOptions {
+                    profile: None,
+                    checkpoint_dir: Some(&dir_on),
+                    resume: false,
+                    world: None,
+                    dossier_dir: None,
+                },
+            )
+            .unwrap();
+        oracle::assert_dt_bits_eq(&format!("{variant:?} serial"), serial_off.dt, serial_on.dt);
+        oracle::assert_seismograms_bits_eq(
+            &format!("{variant:?} serial seismograms"),
+            &serial_off.seismograms,
+            &serial_on.seismograms,
+        );
+        assert_checkpoints_match(
+            &dir_off,
+            &dir_on,
+            &mesh,
+            &format!("{variant:?} serial fields"),
+        );
+
+        // Partitioned path (4 balanced ranks).
+        let dir_off = tmp_dir(&format!("{variant:?}_par_off"));
+        let dir_on = tmp_dir(&format!("{variant:?}_par_on"));
+        let par_off = off
+            .try_run_with_mesh(
+                &mesh,
+                RunOptions {
+                    profile: Some(NetworkProfile::loopback()),
+                    checkpoint_dir: Some(&dir_off),
+                    resume: false,
+                    world: Some(4),
+                    dossier_dir: None,
+                },
+            )
+            .unwrap();
+        let par_on = on
+            .try_run_with_mesh(
+                &mesh,
+                RunOptions {
+                    profile: Some(NetworkProfile::loopback()),
+                    checkpoint_dir: Some(&dir_on),
+                    resume: false,
+                    world: Some(4),
+                    dossier_dir: None,
+                },
+            )
+            .unwrap();
+        oracle::assert_dt_bits_eq(&format!("{variant:?} partitioned"), par_off.dt, par_on.dt);
+        oracle::assert_seismograms_bits_eq(
+            &format!("{variant:?} partitioned seismograms"),
+            &par_off.seismograms,
+            &par_on.seismograms,
+        );
+        assert_checkpoints_match(
+            &dir_off,
+            &dir_on,
+            &mesh,
+            &format!("{variant:?} partitioned fields"),
+        );
+    }
+}
+
+/// Baseline for the differential above: two *identical* partitioned runs
+/// must produce bit-identical merged checkpoint containers. Guards the
+/// rank-ordered merge in `write_merged` — an arrival-order merge lets
+/// thread scheduling pick which rank's ULP-variant halo copy wins.
+#[test]
+fn identical_partitioned_runs_checkpoint_bit_identically() {
+    let off1 = base_sim(KernelVariant::Reference, false);
+    let off2 = base_sim(KernelVariant::Reference, false);
+    let (mesh, _) = off1.build_mesh();
+    let d1 = tmp_dir("probe1");
+    let d2 = tmp_dir("probe2");
+    for (sim, dir) in [(&off1, &d1), (&off2, &d2)] {
+        sim.try_run_with_mesh(
+            &mesh,
+            RunOptions {
+                profile: Some(NetworkProfile::loopback()),
+                checkpoint_dir: Some(dir),
+                resume: false,
+                world: Some(4),
+                dossier_dir: None,
+            },
+        )
+        .unwrap();
+    }
+    assert_checkpoints_match(&d1, &d2, &mesh, "probe identical-config partitioned");
+}
+
+/// Compare the newest merged checkpoint generation of two runs bit for
+/// bit: scatter each onto the full-domain serial decomposition and
+/// demand identical fields, dt, and station records.
+fn assert_checkpoints_match(
+    a: &std::path::Path,
+    b: &std::path::Path,
+    mesh: &specfem_core::GlobalMesh,
+    label: &str,
+) {
+    use specfem_core::io::checkpoint::CheckpointStore;
+    let local = specfem_core::Partition::serial(mesh).extract(mesh, 0);
+    let ga = CheckpointStore::new(a)
+        .unwrap()
+        .restore_latest_for(0, &local)
+        .unwrap()
+        .expect("a run checkpointed");
+    let gb = CheckpointStore::new(b)
+        .unwrap()
+        .restore_latest_for(0, &local)
+        .unwrap()
+        .expect("b run checkpointed");
+    oracle::assert_state_matches(label, &ga, &gb);
+}
+
+/// One dossier file in `dir`, opened and sanity-checked.
+fn the_dossier(dir: &std::path::Path) -> specfem_core::io::CrashDossier {
+    let files: Vec<PathBuf> = std::fs::read_dir(dir)
+        .unwrap()
+        .map(|e| e.unwrap().path())
+        .filter(|p| {
+            let name = p.file_name().unwrap().to_string_lossy();
+            name.starts_with("dossier_") && name.ends_with(".sfcn")
+        })
+        .collect();
+    assert_eq!(
+        files.len(),
+        1,
+        "exactly one dossier per incident, found {files:?}"
+    );
+    read_crash_dossier(&files[0]).expect("dossier container parses back")
+}
+
+/// Contract 2a: a NaN blow-up (enormous dt, armed health monitor) writes
+/// one dossier whose incident names the rank, step, and health class.
+#[test]
+fn health_trip_writes_one_dossier_naming_rank_and_step() {
+    let dir = tmp_dir("health");
+    let mut sim = base_sim(KernelVariant::Reference, true);
+    // A dt far past the Courant bound: the source still injects energy
+    // (the Ricker has support at t ~ 1000 s) and the explicit scheme
+    // amplifies it to a NaN/Inf/growth trip within a few samples.
+    sim.config.dt = Some(1000.0);
+    sim.config.health_every = 5;
+    sim.config.nsteps = 500;
+    sim.config.checkpoint_every = 0;
+    let (mesh, _) = sim.build_mesh();
+    let err = sim
+        .try_run_with_mesh(
+            &mesh,
+            RunOptions {
+                profile: None,
+                checkpoint_dir: None,
+                resume: false,
+                world: None,
+                dossier_dir: Some(&dir),
+            },
+        )
+        .expect_err("an unstable dt must trip the health monitor");
+    let report = format!("{err}");
+    let dossier = the_dossier(&dir);
+    assert_eq!(dossier.incident.class, "health");
+    assert_eq!(dossier.incident.rank, Some(0));
+    assert!(
+        dossier.incident.step.is_some(),
+        "health incident carries the tripping step"
+    );
+    assert_eq!(dossier.incident.world, 1);
+    assert_eq!(dossier.incident.detail, report);
+    // The journal survived the crash: the serial rank's ring is there
+    // and its last events include the health trip itself.
+    assert_eq!(dossier.journals.len(), 1);
+    let j = &dossier.journals[0];
+    assert_eq!(j.rank, 0);
+    assert!(
+        j.events
+            .iter()
+            .any(|e| e.kind() == Some(specfem_core::obs::FlightEventKind::HealthTrip)),
+        "journal records the trip"
+    );
+}
+
+/// Contract 2b: a killed rank on a partitioned world writes one dossier
+/// classified `rank_dead`, naming the victim, with the *surviving*
+/// ranks' journals merged in.
+#[test]
+fn rank_kill_writes_one_merged_dossier() {
+    let dir = tmp_dir("kill");
+    let mut sim = base_sim(KernelVariant::Reference, true);
+    sim.config.checkpoint_every = 0;
+    sim.config.fault_plan = Some(FaultPlan::new(7).kill(1, 6));
+    sim.config.recv_timeout = Some(Duration::from_secs(5));
+    let (mesh, _) = sim.build_mesh();
+    let err = sim
+        .try_run_with_mesh(
+            &mesh,
+            RunOptions {
+                profile: Some(NetworkProfile::loopback()),
+                checkpoint_dir: None,
+                resume: false,
+                world: Some(4),
+                dossier_dir: Some(&dir),
+            },
+        )
+        .expect_err("the injected kill must abort the run");
+    drop(err);
+    let dossier = the_dossier(&dir);
+    assert_eq!(dossier.incident.class, "rank_dead");
+    assert_eq!(dossier.incident.rank, Some(1), "the victim is named");
+    assert_eq!(dossier.incident.world, 4);
+    // Survivors deposited their journals; the merged container holds
+    // more than one rank's history, sorted by rank.
+    assert!(
+        dossier.journals.len() >= 2,
+        "merged journals from surviving ranks, got {}",
+        dossier.journals.len()
+    );
+    let ranks: Vec<u64> = dossier.journals.iter().map(|j| j.rank).collect();
+    let mut sorted = ranks.clone();
+    sorted.sort_unstable();
+    assert_eq!(ranks, sorted, "journals are ordered by rank");
+    // Comm edges made it into at least one journal — the recorder was
+    // genuinely wired into the halo exchange.
+    assert!(dossier.journals.iter().any(|j| j
+        .events
+        .iter()
+        .any(|e| e.kind() == Some(specfem_core::obs::FlightEventKind::CommSend))));
+}
+
+/// Contract 2c: a stalled rank under an armed watchdog writes one
+/// dossier classified `stall` naming the straggler.
+#[test]
+fn watchdog_stall_writes_one_dossier() {
+    let dir = tmp_dir("stall");
+    let mut sim = base_sim(KernelVariant::Reference, true);
+    sim.config.checkpoint_every = 0;
+    sim.config.nsteps = 400; // far more steps than can finish
+    sim.config.watchdog_timeout = Some(Duration::from_millis(150));
+    sim.config.recv_timeout = Some(Duration::from_secs(10));
+    // From step 2 on, every message rank 1 sends sleeps 60 ms — its
+    // heartbeat age blows past the 150 ms deadline.
+    sim.config.fault_plan = Some(FaultPlan::new(11).delay(1, 2, 395, 60_000));
+    let (mesh, _) = sim.build_mesh();
+    let err = sim
+        .try_run_with_mesh(
+            &mesh,
+            RunOptions {
+                profile: Some(NetworkProfile::loopback()),
+                checkpoint_dir: None,
+                resume: false,
+                world: None,
+                dossier_dir: Some(&dir),
+            },
+        )
+        .expect_err("the stalled rank must trip the watchdog");
+    drop(err);
+    let dossier = the_dossier(&dir);
+    assert_eq!(dossier.incident.class, "stall");
+    // The stall cascades (every rank blocks on the straggler's halo), so
+    // the watchdog's stalest-heartbeat pick may be any blocked rank —
+    // what the contract guarantees is that *a* rank is named.
+    let named = dossier.incident.rank.expect("the stall names a rank");
+    assert!(named < 6, "named rank {named} is in the world");
+}
+
+/// Contract 2d: a torn checkpoint artifact on resume writes one dossier
+/// classified `artifact` (no rank — the store, not a rank, failed).
+#[test]
+fn torn_artifact_on_resume_writes_one_dossier() {
+    let ckpt = tmp_dir("torn_ckpt");
+    let dir = tmp_dir("torn_dossier");
+    let mut sim = base_sim(KernelVariant::Reference, true);
+    sim.config.checkpoint_every = 6;
+    let (mesh, _) = sim.build_mesh();
+    sim.try_run_with_mesh(
+        &mesh,
+        RunOptions {
+            profile: None,
+            checkpoint_dir: Some(&ckpt),
+            resume: false,
+            world: None,
+            dossier_dir: None,
+        },
+    )
+    .expect("the seeding run succeeds");
+    // Tear every generation: truncate each container to half, so resume
+    // has no complete fallback and must fail with a typed error.
+    let mut tore = 0;
+    for entry in std::fs::read_dir(&ckpt).unwrap() {
+        let path = entry.unwrap().path();
+        let bytes = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &bytes[..bytes.len() / 2]).unwrap();
+        tore += 1;
+    }
+    assert!(tore >= 1, "the seeding run checkpointed");
+    let err = sim
+        .try_run_with_mesh(
+            &mesh,
+            RunOptions {
+                profile: None,
+                checkpoint_dir: Some(&ckpt),
+                resume: true,
+                world: None,
+                dossier_dir: Some(&dir),
+            },
+        )
+        .expect_err("resume from torn containers must fail typed");
+    drop(err);
+    let dossier = the_dossier(&dir);
+    assert_eq!(dossier.incident.class, "artifact");
+    assert!(dossier
+        .incident
+        .detail
+        .to_lowercase()
+        .contains("checkpoint"));
+}
+
+/// The dossier container itself is atomic and well-formed: correct SFCN
+/// kind, parseable incident JSON chunk, no stray tmp files left behind.
+#[test]
+fn dossier_containers_are_atomic_and_typed() {
+    let dir = tmp_dir("atomic");
+    let mut sim = base_sim(KernelVariant::Reference, true);
+    sim.config.dt = Some(1000.0); // far past Courant: guaranteed blow-up
+    sim.config.health_every = 5;
+    sim.config.nsteps = 500;
+    sim.config.checkpoint_every = 0;
+    let (mesh, _) = sim.build_mesh();
+    let _ = sim
+        .try_run_with_mesh(
+            &mesh,
+            RunOptions {
+                profile: None,
+                checkpoint_dir: None,
+                resume: false,
+                world: None,
+                dossier_dir: Some(&dir),
+            },
+        )
+        .expect_err("the unstable run fails");
+    let mut dossiers = 0;
+    for entry in std::fs::read_dir(&dir).unwrap() {
+        let path = entry.unwrap().path();
+        let name = path.file_name().unwrap().to_string_lossy().into_owned();
+        assert!(
+            !name.contains(".tmp"),
+            "atomic write leaves no torn temporaries: {name}"
+        );
+        if name.ends_with(".sfcn") {
+            dossiers += 1;
+            let mut reader = specfem_core::io::ContainerReader::open(&path).unwrap();
+            assert_eq!(reader.kind(), DOSSIER_KIND);
+            let incident = reader.chunk("incident.json").unwrap();
+            let text = String::from_utf8(incident).unwrap();
+            let v = serde_json::from_str(&text).expect("incident.json parses");
+            assert_eq!(v["class"].as_str(), Some("health"));
+            assert_eq!(v["world"].as_u64(), Some(1));
+            assert_eq!(v["rank"].as_u64(), Some(0));
+            assert!(!v["step"].is_null());
+        }
+    }
+    assert_eq!(dossiers, 1);
+}

@@ -147,6 +147,7 @@ fn run_partitioned(
         FtOptions {
             sink_factory: Some(&sink_factory),
             restore: None,
+            flight: None,
         },
     );
     let ranks: Vec<_> = results

@@ -61,6 +61,7 @@ fn run(
         FtOptions {
             sink_factory: Some(&sink_factory),
             restore: None,
+            flight: None,
         },
     );
     let ranks: Vec<_> = results
